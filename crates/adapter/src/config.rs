@@ -1,0 +1,61 @@
+//! Adapter timing/geometry configuration.
+
+use sp_sim::Dur;
+
+/// TB2 firmware and DMA timing constants.
+///
+/// Together with [`sp_machine::CostModel`] these are the calibration
+/// surface of the reproduction; they are fit to the paper's §2.3/§2.4
+/// microbenchmarks (47 µs raw round-trip, 34.3 MB/s asymptotic payload
+/// bandwidth) and nothing else.
+#[derive(Debug, Clone)]
+pub struct AdapterConfig {
+    /// Delay between the host's length-array store and the firmware picking
+    /// the packet up (i860 polling loop + MicroChannel turnaround).
+    pub fw_scan_delay: Dur,
+    /// Per-packet firmware processing on the send side (header checks,
+    /// route selection, DMA setup).
+    pub fw_send_per_packet: Dur,
+    /// Per-packet firmware processing on the receive side.
+    pub fw_recv_per_packet: Dur,
+    /// MicroChannel DMA bandwidth between host memory and adapter, MB/s
+    /// (80 MB/s peak on the 32-bit MicroChannel; sustained is close for
+    /// aligned packet-sized bursts).
+    pub dma_mb_s: f64,
+    /// How many consumed receive-FIFO entries the host accumulates before
+    /// paying one MicroChannel access to pop them ("done lazily ... to
+    /// reduce the number of microchannel accesses", §2.1).
+    pub recv_pop_batch: usize,
+    /// Host cost of checking the receive FIFO head when it is empty (a
+    /// cached load plus a compare; the *adapter* wrote the entry by DMA so
+    /// the first check after an arrival takes a cache miss, folded into the
+    /// per-packet copy cost instead).
+    pub recv_empty_check: Dur,
+    /// Send FIFO entries (128 on TB2).
+    pub send_entries: usize,
+    /// Receive FIFO entries per active source node (64 on TB2).
+    pub recv_entries_per_node: usize,
+}
+
+impl Default for AdapterConfig {
+    fn default() -> Self {
+        AdapterConfig {
+            fw_scan_delay: Dur::us(7.0),
+            fw_send_per_packet: Dur::us(4.0),
+            fw_recv_per_packet: Dur::us(4.0),
+            dma_mb_s: 110.0,
+            recv_pop_batch: 16,
+            recv_empty_check: Dur::ns(100),
+            send_entries: crate::unit::SEND_FIFO_ENTRIES,
+            recv_entries_per_node: crate::unit::RECV_ENTRIES_PER_NODE,
+        }
+    }
+}
+
+impl AdapterConfig {
+    /// Time to DMA `bytes` across the MicroChannel.
+    #[inline]
+    pub fn dma(&self, bytes: usize) -> Dur {
+        Dur::for_bytes(bytes as u64, self.dma_mb_s)
+    }
+}

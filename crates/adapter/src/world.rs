@@ -1,0 +1,150 @@
+//! The simulated SP machine: switch + one adapter per node + host cost
+//! model, plus the firmware event chains that move packets.
+
+use crate::config::AdapterConfig;
+use crate::unit::{Adapter, AdapterStats, WirePacket};
+use sp_machine::CostModel;
+use sp_switch::{Switch, SwitchConfig, Transit};
+use sp_sim::EventCtx;
+
+/// Configuration of a whole simulated SP partition.
+#[derive(Debug, Clone)]
+pub struct SpConfig {
+    /// Number of processing nodes.
+    pub nodes: usize,
+    /// Host cost model (thin or wide nodes).
+    pub cost: CostModel,
+    /// Switch fabric parameters.
+    pub switch: SwitchConfig,
+    /// Adapter firmware/DMA parameters.
+    pub adapter: AdapterConfig,
+}
+
+impl SpConfig {
+    /// A partition of `nodes` thin nodes with default fabric and adapter
+    /// parameters — the configuration of every experiment except the
+    /// wide-node MPI figures.
+    pub fn thin(nodes: usize) -> Self {
+        SpConfig {
+            nodes,
+            cost: CostModel::thin(),
+            switch: SwitchConfig::default(),
+            adapter: AdapterConfig::default(),
+        }
+    }
+
+    /// A partition of `nodes` wide nodes (model 590): larger cache lines, a
+    /// faster memory system and I/O bus.
+    pub fn wide(nodes: usize) -> Self {
+        SpConfig { cost: CostModel::wide(), ..SpConfig::thin(nodes) }
+    }
+}
+
+/// World state of an SP-machine simulation with protocol payload `P`.
+pub struct SpWorld<P: Send + 'static> {
+    // (fields below)
+    /// Host cost model, read by protocol layers to charge their own costs.
+    pub cost: CostModel,
+    /// The switch fabric (exposed for fault injection and statistics).
+    pub switch: Switch,
+    pub(crate) cfg: AdapterConfig,
+    pub(crate) adapters: Vec<Adapter<P>>,
+}
+
+impl<P: Send + 'static> std::fmt::Debug for SpWorld<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpWorld")
+            .field("nodes", &self.adapters.len())
+            .field("switch", self.switch.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Send + 'static> SpWorld<P> {
+    /// Build the machine.
+    pub fn new(cfg: SpConfig) -> Self {
+        let recv_capacity = cfg.adapter.recv_entries_per_node * cfg.nodes.max(1);
+        let adapters = (0..cfg.nodes)
+            .map(|_| Adapter::new(cfg.adapter.send_entries, recv_capacity))
+            .collect();
+        SpWorld {
+            cost: cfg.cost,
+            switch: Switch::new(cfg.nodes, cfg.switch),
+            cfg: cfg.adapter,
+            adapters,
+        }
+    }
+
+    /// Number of nodes in the partition.
+    pub fn nodes(&self) -> usize {
+        self.adapters.len()
+    }
+
+    /// Adapter configuration.
+    pub fn adapter_config(&self) -> &AdapterConfig {
+        &self.cfg
+    }
+
+    /// Adapter statistics for `node`.
+    pub fn adapter_stats(&self, node: usize) -> &AdapterStats {
+        &self.adapters[node].stats
+    }
+
+    /// Artificially shrink node `node`'s receive-FIFO capacity (tests use
+    /// this to force overflow drops cheaply).
+    pub fn set_recv_capacity(&mut self, node: usize, capacity: usize) {
+        self.adapters[node].recv_capacity = capacity;
+    }
+}
+
+/// Firmware send engine: take the head ready packet, spend per-packet
+/// processing + DMA time, hand it to the switch, and chain to the next
+/// packet. The chain parks (`fw_send_active = false`) when the FIFO has no
+/// ready head entry; the next doorbell restarts it after the scan delay.
+pub(crate) fn fw_send_step<P: Send + 'static>(e: &mut EventCtx<'_, SpWorld<P>>, node: usize) {
+    let now = e.now();
+    let (pkt, done) = {
+        let w = e.world();
+        match w.adapters[node].pop_ready() {
+            None => {
+                w.adapters[node].fw_send_active = false;
+                return;
+            }
+            Some(pkt) => {
+                let occupancy = w.cfg.fw_send_per_packet + w.cfg.dma(pkt.wire_bytes);
+                (pkt, now + occupancy)
+            }
+        }
+    };
+    let dst = pkt.dst;
+    let transit = {
+        let w = e.world();
+        w.adapters[node].stats.sent += 1;
+        w.switch.transit(node, dst, pkt.wire_bytes, done)
+    };
+    if let Transit::Delivered { at, .. } = transit {
+        e.schedule_at(at, move |e2| fw_recv_step(e2, dst, pkt));
+    }
+    e.schedule_at(done, move |e2| fw_send_step(e2, node));
+}
+
+/// Firmware receive engine: per-packet processing + DMA into the host-memory
+/// receive FIFO; drops on overflow.
+pub(crate) fn fw_recv_step<P: Send + 'static>(e: &mut EventCtx<'_, SpWorld<P>>, dst: usize, pkt: WirePacket<P>) {
+    let now = e.now();
+    let finish = {
+        let w = e.world();
+        let start = now.max(w.adapters[dst].recv_busy_until);
+        let finish = start + w.cfg.fw_recv_per_packet + w.cfg.dma(pkt.wire_bytes);
+        w.adapters[dst].recv_busy_until = finish;
+        finish
+    };
+    e.schedule_at(finish, move |e2| {
+        if e2.world().adapters[dst].deliver(pkt) {
+            // Interrupt line: wake the host if it is sleeping on arrival
+            // (a latched signal otherwise; pure-polling layers never park,
+            // so this is free for them).
+            e2.unpark(sp_sim::NodeId(dst));
+        }
+    });
+}

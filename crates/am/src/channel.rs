@@ -1,0 +1,727 @@
+//! Sliding-window sender/receiver state machines (pure logic, no I/O).
+//!
+//! One [`TxChan`]/[`RxChan`] pair exists per (peer, channel) — request and
+//! reply traffic have independent sequence spaces and windows (§2.2). All
+//! methods are pure state transitions so the protocol invariants can be
+//! unit- and property-tested without a simulator; `port.rs` wires them to
+//! the adapter.
+
+use crate::wire::{AmPacket, Body, Channel, ShortKind};
+use sp_adapter::MAX_PAYLOAD;
+use std::collections::VecDeque;
+
+/// A queued outbound bulk transfer.
+#[derive(Debug)]
+pub(crate) struct BulkTx {
+    /// Issuing-node-local transfer id (rides in `Body::Data::xfer`).
+    pub id: u32,
+    /// Base destination address on the receiving node.
+    pub dst_addr: u32,
+    /// Completion handler to run on the receiving node (`u16::MAX` = none).
+    pub handler: u16,
+    /// Handler argument words.
+    pub args: [u32; 4],
+    /// Source data snapshot.
+    pub data: Box<[u8]>,
+    /// Whether the final ack should complete handle `id` on *this* node
+    /// (false for get-serving transfers, whose `id` belongs to the
+    /// requester and completes over there on data arrival).
+    pub track_completion: bool,
+    /// Bytes already emitted.
+    sent: usize,
+    /// Packets already emitted of the current chunk.
+    chunk_sent: u32,
+}
+
+impl BulkTx {
+    pub(crate) fn new(id: u32, dst_addr: u32, handler: u16, args: [u32; 4], data: Box<[u8]>) -> Self {
+        assert!(!data.is_empty(), "zero-length bulk transfer");
+        BulkTx { id, dst_addr, handler, args, data, track_completion: true, sent: 0, chunk_sent: 0 }
+    }
+
+    /// A transfer whose id belongs to a remote requester (get service).
+    pub(crate) fn untracked(id: u32, dst_addr: u32, handler: u16, args: [u32; 4], data: Box<[u8]>) -> Self {
+        BulkTx { track_completion: false, ..Self::new(id, dst_addr, handler, args, data) }
+    }
+
+    /// Packets in the chunk currently being emitted (the last chunk may be
+    /// partial).
+    fn cur_chunk_packets(&self, chunk_packets: u32) -> u32 {
+        let chunk_start = self.sent - (self.chunk_sent as usize * MAX_PAYLOAD);
+        let remaining = self.data.len() - chunk_start;
+        (remaining.div_ceil(MAX_PAYLOAD)).min(chunk_packets as usize) as u32
+    }
+
+    fn mid_chunk(&self) -> bool {
+        self.chunk_sent > 0
+    }
+
+    fn done(&self) -> bool {
+        self.sent >= self.data.len()
+    }
+}
+
+/// An item waiting in a channel's send queue.
+#[derive(Debug)]
+pub(crate) enum SendItem {
+    /// A short message (request, reply, or get request).
+    Short {
+        /// Short flavour.
+        kind: ShortKind,
+        /// Handler id.
+        handler: u16,
+        /// Valid argument count.
+        nargs: u8,
+        /// Arguments.
+        args: [u32; 4],
+    },
+    /// A bulk transfer, emitted chunk by chunk.
+    Bulk(BulkTx),
+}
+
+/// A sent-but-unacked packet saved for retransmission.
+#[derive(Debug)]
+struct Saved {
+    seq: u32,
+    offset: u32,
+    pkt: AmPacket,
+}
+
+/// Sender half of one reliable channel.
+#[derive(Debug)]
+pub(crate) struct TxChan {
+    chan: Channel,
+    window: u32,
+    chunk_packets: u32,
+    next_seq: u32,
+    in_flight: u32,
+    queue: VecDeque<SendItem>,
+    unacked: VecDeque<Saved>,
+    /// Retransmission queue (copies of saved packets; they already hold
+    /// window slots, so they bypass admission).
+    rtx: VecDeque<AmPacket>,
+    /// (bulk id, sequence number of its final chunk): completion fires when
+    /// the cumulative ack passes the final seq.
+    bulk_finals: VecDeque<(u32, u32)>,
+}
+
+impl TxChan {
+    #[cfg(test)]
+    pub(crate) fn new(chan: Channel, window: u32) -> Self {
+        Self::with_chunk(chan, window, crate::wire::CHUNK_PACKETS as u32)
+    }
+
+    pub(crate) fn with_chunk(chan: Channel, window: u32, chunk_packets: u32) -> Self {
+        assert!(window >= chunk_packets, "window smaller than a chunk");
+        assert!(chunk_packets >= 1, "chunk must hold at least one packet");
+        TxChan {
+            chan,
+            window,
+            chunk_packets,
+            next_seq: 0,
+            in_flight: 0,
+            queue: VecDeque::new(),
+            unacked: VecDeque::new(),
+            rtx: VecDeque::new(),
+            bulk_finals: VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, item: SendItem) {
+        self.queue.push_back(item);
+    }
+
+    /// Anything sent and not yet cumulatively acknowledged?
+    pub(crate) fn has_unacked(&self) -> bool {
+        !self.unacked.is_empty()
+    }
+
+    /// Anything left to (re)send or await?
+    pub(crate) fn idle(&self) -> bool {
+        self.queue.is_empty() && self.unacked.is_empty() && self.rtx.is_empty()
+    }
+
+    #[allow(dead_code)] // diagnostics + tests
+    pub(crate) fn in_flight(&self) -> u32 {
+        self.in_flight
+    }
+
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub(crate) fn rtx_len(&self) -> usize {
+        self.rtx.len()
+    }
+
+    /// Build the next packet to put on the wire, or `None` if the window
+    /// (or queue) doesn't allow one. Retransmissions go first; then the
+    /// current chunk must finish before anything else; then queued items.
+    /// The caller stamps the piggybacked ACK fields.
+    pub(crate) fn try_emit(&mut self) -> Option<AmPacket> {
+        if let Some(pkt) = self.rtx.pop_front() {
+            return Some(pkt);
+        }
+        let item = self.queue.front_mut()?;
+        match item {
+            SendItem::Short { kind, handler, nargs, args } => {
+                if self.in_flight + 1 > self.window {
+                    return None;
+                }
+                let pkt = AmPacket {
+                    chan: self.chan,
+                    seq: self.next_seq,
+                    offset: 0,
+                    ack_req: 0,
+                    ack_rep: 0,
+                    body: Body::Short { kind: *kind, handler: *handler, nargs: *nargs, args: *args },
+                };
+                self.unacked.push_back(Saved { seq: self.next_seq, offset: 0, pkt: pkt.clone() });
+                self.next_seq += 1;
+                self.in_flight += 1;
+                self.queue.pop_front();
+                Some(pkt)
+            }
+            SendItem::Bulk(bulk) => {
+                // Admission control is per chunk: a new chunk needs all its
+                // packets' window slots up front ("the window slides by the
+                // number of packets in a chunk").
+                if !bulk.mid_chunk() {
+                    let need = bulk.cur_chunk_packets(self.chunk_packets);
+                    if self.in_flight + need > self.window {
+                        return None;
+                    }
+                }
+                let off = bulk.sent;
+                let len = (bulk.data.len() - off).min(MAX_PAYLOAD);
+                let chunk_len = bulk.cur_chunk_packets(self.chunk_packets);
+                let offset = bulk.chunk_sent;
+                let last_of_chunk = offset + 1 == chunk_len;
+                let last_of_xfer = off + len >= bulk.data.len();
+                let pkt = AmPacket {
+                    chan: self.chan,
+                    seq: self.next_seq,
+                    offset,
+                    ack_req: 0,
+                    ack_rep: 0,
+                    body: Body::Data {
+                        addr: bulk.dst_addr + off as u32,
+                        len: len as u16,
+                        last_of_chunk,
+                        last_of_xfer,
+                        handler: bulk.handler,
+                        args: bulk.args,
+                        base_addr: bulk.dst_addr,
+                        total_len: bulk.data.len() as u32,
+                        xfer: bulk.id,
+                        bytes: bulk.data[off..off + len].into(),
+                    },
+                };
+                self.unacked.push_back(Saved { seq: self.next_seq, offset, pkt: pkt.clone() });
+                self.in_flight += 1;
+                bulk.sent += len;
+                bulk.chunk_sent += 1;
+                if last_of_chunk {
+                    if last_of_xfer && bulk.track_completion {
+                        self.bulk_finals.push_back((bulk.id, self.next_seq));
+                    }
+                    self.next_seq += 1;
+                    bulk.chunk_sent = 0;
+                    if bulk.done() {
+                        self.queue.pop_front();
+                    }
+                }
+                Some(pkt)
+            }
+        }
+    }
+
+    /// Process a cumulative acknowledgement ("everything below `cum` was
+    /// received in order"). Returns `(packets freed, ids of bulk transfers
+    /// whose final chunk this ack covers)`.
+    pub(crate) fn on_ack(&mut self, cum: u32) -> (u32, Vec<u32>) {
+        let mut freed = 0u32;
+        while self.unacked.front().is_some_and(|s| s.seq < cum) {
+            self.unacked.pop_front();
+            self.in_flight -= 1;
+            freed += 1;
+        }
+        // Drop retransmission copies the ack made moot.
+        self.rtx.retain(|p| p.seq >= cum);
+        let mut completed = Vec::new();
+        while self.bulk_finals.front().is_some_and(|&(_, fs)| fs < cum) {
+            completed.push(self.bulk_finals.pop_front().expect("front checked").0);
+        }
+        (freed, completed)
+    }
+
+    /// Process a NACK: cumulative-ack everything below `seq`, then queue
+    /// go-back-N retransmission of every saved packet from (`seq`,
+    /// `offset`) onward. Returns completed bulk ids (from the implied ack)
+    /// and the number of packets queued for retransmission.
+    pub(crate) fn on_nack(&mut self, seq: u32, offset: u32) -> (Vec<u32>, usize) {
+        let (_, completed) = self.on_ack(seq);
+        self.rtx.clear();
+        for saved in &self.unacked {
+            if (saved.seq, saved.offset) >= (seq, offset) {
+                self.rtx.push_back(saved.pkt.clone());
+            }
+        }
+        (completed, self.rtx.len())
+    }
+
+    /// Highest sequence number sent so far plus one (what a fully caught-up
+    /// receiver would report as expected).
+    #[allow(dead_code)] // diagnostics + tests
+    pub(crate) fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+}
+
+/// What the receiver decided about an incoming packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RxVerdict {
+    /// In order: deliver it. `force_ack` is set at chunk boundaries ("each
+    /// chunk requires only one acknowledgment") and when the explicit-ACK
+    /// threshold is reached.
+    Deliver {
+        /// Send an explicit ACK now.
+        force_ack: bool,
+    },
+    /// Duplicate of something already delivered: drop, but re-ACK so a
+    /// sender whose ACKs got lost can make progress.
+    DupDrop,
+    /// Out of order (a gap): drop; `nack` says whether to send a NACK (one
+    /// per gap, not one per stray packet).
+    OooDrop {
+        /// Send a NACK now.
+        nack: bool,
+    },
+}
+
+/// Receiver half of one reliable channel.
+#[derive(Debug)]
+pub(crate) struct RxChan {
+    expected_seq: u32,
+    expected_offset: u32,
+    unacked_packets: u32,
+    ack_threshold: u32,
+    nack_outstanding: bool,
+}
+
+impl RxChan {
+    pub(crate) fn new(window: u32, ack_threshold: u32) -> Self {
+        let _ = window;
+        RxChan { expected_seq: 0, expected_offset: 0, unacked_packets: 0, ack_threshold, nack_outstanding: false }
+    }
+
+    /// Next expected sequence number — the cumulative ACK value this side
+    /// piggybacks on every outgoing packet.
+    pub(crate) fn cum_ack(&self) -> u32 {
+        self.expected_seq
+    }
+
+    /// Next expected (seq, in-chunk offset) — the NACK payload.
+    pub(crate) fn expected(&self) -> (u32, u32) {
+        (self.expected_seq, self.expected_offset)
+    }
+
+    /// Note that an ACK for everything so far went out (piggybacked or
+    /// explicit).
+    pub(crate) fn acked(&mut self) {
+        self.unacked_packets = 0;
+    }
+
+    /// Classify an incoming sequenced packet. `advances_seq` is true for
+    /// shorts and for the last packet of a chunk.
+    pub(crate) fn accept(&mut self, seq: u32, offset: u32, advances_seq: bool) -> RxVerdict {
+        use std::cmp::Ordering;
+        let key = (seq, offset);
+        let expected = (self.expected_seq, self.expected_offset);
+        match key.cmp(&expected) {
+            Ordering::Less => RxVerdict::DupDrop,
+            Ordering::Greater => {
+                let nack = !self.nack_outstanding;
+                self.nack_outstanding = true;
+                RxVerdict::OooDrop { nack }
+            }
+            Ordering::Equal => {
+                self.nack_outstanding = false;
+                self.unacked_packets += 1;
+                if advances_seq {
+                    self.expected_seq += 1;
+                    self.expected_offset = 0;
+                } else {
+                    self.expected_offset += 1;
+                }
+                // Explicit-ACK policy: one ACK per completed chunk (§2.2),
+                // and the quarter-window threshold otherwise — checked only
+                // at sequence boundaries so a chunk never acks mid-flight.
+                let force_ack =
+                    advances_seq && (offset > 0 || self.unacked_packets >= self.ack_threshold);
+                RxVerdict::Deliver { force_ack }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::wire::CHUNK_PACKETS;
+
+    fn short_item(h: u16) -> SendItem {
+        SendItem::Short { kind: ShortKind::User, handler: h, nargs: 1, args: [7, 0, 0, 0] }
+    }
+
+    fn tx(window: u32) -> TxChan {
+        TxChan::new(Channel::Request, window)
+    }
+
+    #[test]
+    fn shorts_get_consecutive_seqs() {
+        let mut t = tx(72);
+        t.push(short_item(1));
+        t.push(short_item(2));
+        let a = t.try_emit().unwrap();
+        let b = t.try_emit().unwrap();
+        assert_eq!((a.seq, b.seq), (0, 1));
+        assert_eq!(t.in_flight(), 2);
+        assert!(t.try_emit().is_none(), "queue drained");
+    }
+
+    #[test]
+    fn window_blocks_emission() {
+        let mut t = tx(CHUNK_PACKETS as u32); // minimum legal window
+        for i in 0..=CHUNK_PACKETS as u16 {
+            t.push(short_item(i));
+        }
+        for _ in 0..CHUNK_PACKETS {
+            assert!(t.try_emit().is_some());
+        }
+        assert!(t.try_emit().is_none(), "window full");
+        // Ack one packet; exactly one more may go.
+        assert!(t.on_ack(1).1.is_empty());
+        assert!(t.try_emit().is_some());
+        assert!(t.try_emit().is_none());
+    }
+
+    #[test]
+    fn chunk_shares_one_seq_and_occupies_its_packets() {
+        let mut t = tx(72);
+        let data = vec![9u8; CHUNK_BYTES_TEST];
+        t.push(SendItem::Bulk(BulkTx::new(5, 0x100, 3, [0; 4], data.into())));
+        let mut seqs = Vec::new();
+        let mut offsets = Vec::new();
+        while let Some(p) = t.try_emit() {
+            seqs.push(p.seq);
+            offsets.push(p.offset);
+        }
+        assert_eq!(seqs.len(), CHUNK_PACKETS, "one full chunk");
+        assert!(seqs.iter().all(|&s| s == 0), "chunk packets share seq");
+        assert_eq!(offsets, (0..CHUNK_PACKETS as u32).collect::<Vec<_>>());
+        assert_eq!(t.in_flight(), CHUNK_PACKETS as u32);
+    }
+    const CHUNK_BYTES_TEST: usize = crate::wire::CHUNK_BYTES;
+
+    #[test]
+    fn two_chunk_pipeline_waits_for_ack() {
+        // Window 72 admits exactly two chunks; the third needs an ack.
+        let mut t = tx(72);
+        let data = vec![1u8; 3 * CHUNK_BYTES_TEST];
+        t.push(SendItem::Bulk(BulkTx::new(1, 0, u16::MAX, [0; 4], data.into())));
+        let mut n = 0;
+        while t.try_emit().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2 * CHUNK_PACKETS, "exactly two chunks admitted");
+        t.on_ack(1); // first chunk acked
+        let mut m = 0;
+        while t.try_emit().is_some() {
+            m += 1;
+        }
+        assert_eq!(m, CHUNK_PACKETS, "third chunk flows after first ack");
+    }
+
+    #[test]
+    fn partial_last_chunk_and_completion() {
+        let mut t = tx(72);
+        // 1.5 packets worth of data: 2 packets, one (partial) chunk.
+        let data = vec![2u8; MAX_PAYLOAD + 10];
+        t.push(SendItem::Bulk(BulkTx::new(9, 0, u16::MAX, [0; 4], data.into())));
+        let a = t.try_emit().unwrap();
+        let b = t.try_emit().unwrap();
+        assert!(t.try_emit().is_none());
+        match (&a.body, &b.body) {
+            (
+                Body::Data { len: la, last_of_chunk: ca, last_of_xfer: xa, .. },
+                Body::Data { len: lb, last_of_chunk: cb, last_of_xfer: xb, .. },
+            ) => {
+                assert_eq!((*la as usize, *lb as usize), (MAX_PAYLOAD, 10));
+                assert!(!ca && !xa);
+                assert!(cb & xb);
+            }
+            other => panic!("unexpected bodies {other:?}"),
+        }
+        assert!(t.on_ack(0).1.is_empty());
+        assert_eq!(t.on_ack(1), (2, vec![9]), "final ack completes the bulk and frees both packets");
+        assert_eq!(t.in_flight(), 0);
+        assert!(t.idle());
+    }
+
+    #[test]
+    fn nack_triggers_go_back_n() {
+        let mut t = tx(72);
+        for i in 0..5 {
+            t.push(short_item(i));
+        }
+        let sent: Vec<AmPacket> = std::iter::from_fn(|| t.try_emit()).collect();
+        assert_eq!(sent.len(), 5);
+        // Receiver saw 0,1 then lost 2: NACK(expected=2).
+        let (completed, rtx) = t.on_nack(2, 0);
+        assert!(completed.is_empty());
+        assert_eq!(rtx, 3, "packets 2,3,4 retransmit");
+        let r: Vec<u32> = std::iter::from_fn(|| t.try_emit()).map(|p| p.seq).collect();
+        assert_eq!(r, vec![2, 3, 4]);
+        assert_eq!(t.in_flight(), 3, "retransmits reuse their window slots");
+    }
+
+    #[test]
+    fn nack_mid_chunk_retransmits_from_offset() {
+        let mut t = tx(72);
+        let data = vec![3u8; CHUNK_BYTES_TEST];
+        t.push(SendItem::Bulk(BulkTx::new(1, 0, u16::MAX, [0; 4], data.into())));
+        while t.try_emit().is_some() {}
+        let (_, rtx) = t.on_nack(0, 10);
+        assert_eq!(rtx, CHUNK_PACKETS - 10);
+        let first = t.try_emit().unwrap();
+        assert_eq!((first.seq, first.offset), (0, 10));
+    }
+
+    #[test]
+    fn ack_drops_stale_retransmissions() {
+        let mut t = tx(72);
+        for i in 0..3 {
+            t.push(short_item(i));
+        }
+        while t.try_emit().is_some() {}
+        t.on_nack(0, 0); // retransmit everything
+        t.on_ack(2); // but 0,1 arrive fine after all
+        let r: Vec<u32> = std::iter::from_fn(|| t.try_emit()).map(|p| p.seq).collect();
+        assert_eq!(r, vec![2], "only the still-unacked packet retransmits");
+    }
+
+    #[test]
+    fn duplicate_nack_is_idempotent() {
+        let mut t = tx(72);
+        for i in 0..4 {
+            t.push(short_item(i));
+        }
+        while t.try_emit().is_some() {}
+        t.on_nack(1, 0);
+        let (_, rtx2) = t.on_nack(1, 0);
+        assert_eq!(rtx2, 3, "rtx queue rebuilt, not doubled");
+        let r: Vec<u32> = std::iter::from_fn(|| t.try_emit()).map(|p| p.seq).collect();
+        assert_eq!(r, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rx_in_order_delivery_and_acks() {
+        let mut r = RxChan::new(72, 18);
+        for seq in 0..17 {
+            assert_eq!(r.accept(seq, 0, true), RxVerdict::Deliver { force_ack: false });
+        }
+        // 18th unacked packet crosses the quarter-window threshold.
+        assert_eq!(r.accept(17, 0, true), RxVerdict::Deliver { force_ack: true });
+        r.acked();
+        assert_eq!(r.cum_ack(), 18);
+        assert_eq!(r.accept(18, 0, true), RxVerdict::Deliver { force_ack: false });
+    }
+
+    #[test]
+    fn rx_chunk_completion_forces_ack() {
+        let mut r = RxChan::new(72, 18);
+        for off in 0..CHUNK_PACKETS as u32 - 1 {
+            assert_eq!(r.accept(0, off, false), RxVerdict::Deliver { force_ack: false });
+        }
+        assert_eq!(
+            r.accept(0, CHUNK_PACKETS as u32 - 1, true),
+            RxVerdict::Deliver { force_ack: true },
+            "last packet of a chunk forces the per-chunk ack"
+        );
+        assert_eq!(r.cum_ack(), 1);
+    }
+
+    #[test]
+    fn rx_gap_nacks_once() {
+        let mut r = RxChan::new(72, 18);
+        assert_eq!(r.accept(0, 0, true), RxVerdict::Deliver { force_ack: false });
+        // Packet 1 lost; 2, 3, 4 arrive.
+        assert_eq!(r.accept(2, 0, true), RxVerdict::OooDrop { nack: true });
+        assert_eq!(r.accept(3, 0, true), RxVerdict::OooDrop { nack: false });
+        assert_eq!(r.accept(4, 0, true), RxVerdict::OooDrop { nack: false });
+        assert_eq!(r.expected(), (1, 0));
+        // Retransmitted 1 arrives: progress resumes, future gaps re-NACK.
+        assert_eq!(r.accept(1, 0, true), RxVerdict::Deliver { force_ack: false });
+        assert_eq!(r.accept(3, 0, true), RxVerdict::OooDrop { nack: true });
+    }
+
+    #[test]
+    fn rx_duplicates_dropped() {
+        let mut r = RxChan::new(72, 18);
+        assert_eq!(r.accept(0, 0, true), RxVerdict::Deliver { force_ack: false });
+        assert_eq!(r.accept(0, 0, true), RxVerdict::DupDrop);
+        // Mid-chunk duplicate.
+        assert_eq!(r.accept(1, 0, false), RxVerdict::Deliver { force_ack: false });
+        assert_eq!(r.accept(1, 0, false), RxVerdict::DupDrop);
+        assert_eq!(r.accept(1, 1, false), RxVerdict::Deliver { force_ack: false });
+    }
+
+    #[test]
+    fn shorts_wait_behind_bulk_fifo_order() {
+        let mut t = tx(72);
+        let data = vec![4u8; 2 * MAX_PAYLOAD];
+        t.push(SendItem::Bulk(BulkTx::new(1, 0, u16::MAX, [0; 4], data.into())));
+        t.push(short_item(42));
+        let kinds: Vec<bool> = std::iter::from_fn(|| t.try_emit())
+            .map(|p| matches!(p.body, Body::Data { .. }))
+            .collect();
+        assert_eq!(kinds, vec![true, true, false], "bulk first, then the short");
+    }
+}
+
+#[cfg(test)]
+mod model_tests {
+    //! A pure model check: drive a TxChan/RxChan pair over a lossy,
+    //! FIFO-per-pair wire and assert exactly-once in-order delivery with
+    //! eventual completion, for arbitrary loss patterns.
+
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+        #[test]
+        fn lossy_wire_exactly_once(
+            n_msgs in 1u16..120,
+            loss_millis in 0u32..400,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut tx = TxChan::new(Channel::Request, 72);
+            let mut rx = RxChan::new(72, 18);
+            for i in 0..n_msgs {
+                tx.push(SendItem::Short {
+                    kind: ShortKind::User,
+                    handler: i,
+                    nargs: 0,
+                    args: [0; 4],
+                });
+            }
+            let mut delivered: Vec<u16> = Vec::new();
+            // Rounds: emit what the window allows, drop some, deliver the
+            // rest in order, then feed back either an ack or a NACK.
+            let mut rounds = 0;
+            while delivered.len() < n_msgs as usize {
+                rounds += 1;
+                prop_assert!(rounds < 10_000, "no progress after {rounds} rounds");
+                let mut got_any = false;
+                let mut nacked = false;
+                while let Some(pkt) = tx.try_emit() {
+                    if rng.gen_bool(loss_millis as f64 / 1000.0) {
+                        continue; // lost on the wire
+                    }
+                    match rx.accept(pkt.seq, pkt.offset, true) {
+                        RxVerdict::Deliver { .. } => {
+                            if let Body::Short { handler, .. } = pkt.body {
+                                delivered.push(handler);
+                            }
+                            got_any = true;
+                        }
+                        RxVerdict::DupDrop => {}
+                        RxVerdict::OooDrop { nack } => {
+                            if nack && !nacked {
+                                nacked = true;
+                                let (s, o) = rx.expected();
+                                tx.on_nack(s, o);
+                            }
+                        }
+                    }
+                }
+                // End-of-round feedback (the keep-alive/ACK path, itself
+                // lossless here — the sim-level tests cover lossy acks).
+                if got_any {
+                    let (completed, _) = (tx.on_ack(rx.cum_ack()), ());
+                    let _ = completed;
+                    rx.acked();
+                } else if tx.has_unacked() {
+                    // Keep-alive probe: receiver answers with its state.
+                    let (s, o) = rx.expected();
+                    tx.on_nack(s, o);
+                }
+            }
+            let expect: Vec<u16> = (0..n_msgs).collect();
+            prop_assert_eq!(delivered, expect);
+            prop_assert!(tx.on_ack(rx.cum_ack()).1.is_empty());
+            prop_assert!(tx.idle(), "sender should be quiescent");
+        }
+
+        #[test]
+        fn lossy_wire_bulk_reassembly(
+            len in 1usize..60_000,
+            loss_millis in 0u32..300,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let data: Vec<u8> = (0..len).map(|i| (i as u8) ^ 0x5A).collect();
+            let mut tx = TxChan::new(Channel::Request, 72);
+            let mut rx = RxChan::new(72, 18);
+            tx.push(SendItem::Bulk(BulkTx::new(7, 0, u16::MAX, [0; 4], data.clone().into())));
+            let mut assembled = vec![0u8; len];
+            let mut done = false;
+            let mut rounds = 0;
+            while !done {
+                rounds += 1;
+                prop_assert!(rounds < 20_000, "no progress");
+                let mut progressed = false;
+                let mut nacked = false;
+                while let Some(pkt) = tx.try_emit() {
+                    if rng.gen_bool(loss_millis as f64 / 1000.0) {
+                        continue;
+                    }
+                    if let Body::Data { addr, last_of_chunk, last_of_xfer, ref bytes, .. } = pkt.body {
+                        match rx.accept(pkt.seq, pkt.offset, last_of_chunk) {
+                            RxVerdict::Deliver { .. } => {
+                                assembled[addr as usize..addr as usize + bytes.len()]
+                                    .copy_from_slice(bytes);
+                                progressed = true;
+                                if last_of_xfer {
+                                    done = true;
+                                }
+                            }
+                            RxVerdict::DupDrop => {}
+                            RxVerdict::OooDrop { nack } => {
+                                if nack && !nacked {
+                                    nacked = true;
+                                    let (s, o) = rx.expected();
+                                    tx.on_nack(s, o);
+                                }
+                            }
+                        }
+                    }
+                }
+                tx.on_ack(rx.cum_ack());
+                rx.acked();
+                if !progressed && !done && tx.has_unacked() {
+                    let (s, o) = rx.expected();
+                    tx.on_nack(s, o);
+                }
+            }
+            prop_assert_eq!(assembled, data);
+        }
+    }
+}

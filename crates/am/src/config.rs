@@ -1,0 +1,113 @@
+//! SP AM software-cost and protocol configuration.
+
+use sp_sim::Dur;
+
+/// SP AM protocol parameters and software costs.
+///
+/// Protocol constants are the paper's (§2.2); software costs are calibrated
+/// to Table 2 (request 7.7–8.2 µs, reply 4.0–4.4 µs, empty poll 1.3 µs,
+/// +1.8 µs per received message) and §2.3's 51 µs round trip.
+#[derive(Debug, Clone)]
+pub struct AmConfig {
+    /// Sliding-window size for the request channel, in packets
+    /// (≥ 2 chunks = 72, §2.2).
+    pub window_request: u32,
+    /// Sliding-window size for the reply channel, in packets (76: the extra
+    /// slots accommodate start-up request traffic, §2.2).
+    pub window_reply: u32,
+    /// Receiver issues an explicit ACK once this many packets are received
+    /// but unacknowledged ("when one-quarter of the window remains
+    /// unacknowledged"). Expressed as a divisor of the window size.
+    pub ack_threshold_div: u32,
+    /// Packets per bulk-transfer chunk (36 on the SP: 36 × 224 B = 8064 B,
+    /// §2.2). Exposed for the chunk-size ablation; the window must hold at
+    /// least two chunks.
+    pub chunk_packets: u32,
+    /// Consecutive unsuccessful polls (with traffic outstanding) before the
+    /// keep-alive protocol probes the peer (§2.2: "timeouts are emulated by
+    /// counting the number of unsuccessful polls").
+    pub keepalive_polls: u32,
+    /// CPU cost of the `am_request_*` path beyond the raw hardware
+    /// operations (window bookkeeping, sequence stamping, retransmit
+    /// buffering).
+    pub request_cpu: Dur,
+    /// Same for `am_reply_*` (no post-send poll, less bookkeeping).
+    pub reply_cpu: Dur,
+    /// Extra CPU per argument word beyond the first.
+    pub per_word_cpu: Dur,
+    /// CPU cost of `am_poll` finding the network empty (minus the hardware
+    /// head check charged by the adapter layer).
+    pub poll_cpu: Dur,
+    /// CPU dispatch cost per received message (header decode, sequence
+    /// check, handler dispatch) on top of the adapter's copy-out cost.
+    pub dispatch_cpu: Dur,
+    /// Cost of taking a receive interrupt (kernel dispatch + context): the
+    /// reason the paper analyzes the *polling* mode — AIX interrupt
+    /// dispatch dwarfed the 1.3 µs poll. Used by
+    /// [`Am::wait_message`](crate::Am::wait_message).
+    pub interrupt_cpu: Dur,
+    /// Per-bulk-transfer setup cost (`am_store`/`am_get` call overhead).
+    pub bulk_setup_cpu: Dur,
+    /// Per-packet CPU on the bulk send path beyond the FIFO write
+    /// (offset/length arithmetic, window accounting amortized per chunk).
+    pub bulk_per_packet_cpu: Dur,
+    /// How many packet lengths a bulk sender accumulates per doorbell
+    /// (batching the MicroChannel length stores, §2.1).
+    pub doorbell_batch: usize,
+    /// Record a chunk-protocol trace (chunk emissions + cumulative acks);
+    /// used to regenerate the paper's Figure 2 and by pipeline tests.
+    pub trace_chunks: bool,
+}
+
+impl Default for AmConfig {
+    fn default() -> Self {
+        AmConfig {
+            window_request: 72,
+            window_reply: 76,
+            ack_threshold_div: 4,
+            chunk_packets: crate::CHUNK_PACKETS as u32,
+            keepalive_polls: 4096,
+            request_cpu: Dur::us(4.3),
+            reply_cpu: Dur::us(1.7),
+            per_word_cpu: Dur::ns(120),
+            poll_cpu: Dur::us(1.2),
+            dispatch_cpu: Dur::ns(400),
+            interrupt_cpu: Dur::us(35.0),
+            bulk_setup_cpu: Dur::us(2.0),
+            bulk_per_packet_cpu: Dur::ns(350),
+            doorbell_batch: 8,
+            trace_chunks: false,
+        }
+    }
+}
+
+impl AmConfig {
+    /// Explicit-ACK threshold in packets for a window of `window` packets.
+    #[inline]
+    pub fn ack_threshold(&self, window: u32) -> u32 {
+        (window / self.ack_threshold_div).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_protocol() {
+        let c = AmConfig::default();
+        assert_eq!(c.window_request, 72);
+        assert_eq!(c.window_reply, 76);
+        // Window must fit at least two chunks for the pipelined chunk
+        // protocol (§2.2).
+        assert!(c.window_request as usize >= 2 * crate::CHUNK_PACKETS);
+        assert_eq!(c.ack_threshold(72), 18);
+    }
+
+    #[test]
+    fn ack_threshold_never_zero() {
+        let c = AmConfig::default();
+        assert_eq!(c.ack_threshold(1), 1);
+        assert_eq!(c.ack_threshold(3), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Builder tying an SP machine simulation to per-node AM programs.
+
+use crate::api::Am;
+use crate::config::AmConfig;
+use crate::mem::MemPool;
+use crate::wire::AmPacket;
+use crate::AmWorld;
+use sp_adapter::SpConfig;
+use sp_sim::{NodeId, Sim, SimError, Time};
+
+/// A configured SP machine running Active Messages node programs.
+///
+/// ```
+/// use sp_am::{AmConfig, AmMachine};
+/// use sp_adapter::SpConfig;
+///
+/// let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 1);
+/// for node in 0..2 {
+///     m.spawn(format!("n{node}"), (), |am| {
+///         am.barrier();
+///     });
+/// }
+/// let report = m.run().unwrap();
+/// assert!(report.end_time.as_us() > 0.0);
+/// ```
+pub struct AmMachine {
+    sim: Sim<AmWorld>,
+    mem: MemPool,
+    cfg: AmConfig,
+    nodes: usize,
+    spawned: usize,
+}
+
+/// Result of a completed AM simulation.
+#[derive(Debug)]
+pub struct AmReport {
+    /// Final virtual time.
+    pub end_time: Time,
+    /// Engine events executed.
+    pub events: u64,
+    /// The machine's final hardware state (switch/adapter statistics).
+    pub world: AmWorld,
+    /// The memory pool (inspect transfer results after the run).
+    pub mem: MemPool,
+}
+
+impl AmMachine {
+    /// Build a machine over `sp` hardware with `am` protocol parameters.
+    pub fn new(sp: SpConfig, am: AmConfig, seed: u64) -> Self {
+        let nodes = sp.nodes;
+        let world: AmWorld = sp_adapter::SpWorld::<AmPacket>::new(sp);
+        AmMachine {
+            sim: Sim::new(world, seed),
+            mem: MemPool::new(nodes),
+            cfg: am,
+            nodes,
+            spawned: 0,
+        }
+    }
+
+    /// Mutate the machine's hardware state before the run (fault
+    /// injection, receive-FIFO shrinking, …).
+    pub fn configure_world(&mut self, f: impl FnOnce(&mut AmWorld)) -> &mut Self {
+        f(self.sim.world_mut());
+        self
+    }
+
+    /// Cap engine events (livelock guard in tests).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.sim.set_event_budget(budget);
+    }
+
+    /// The memory pool handle (also available in [`AmReport`]).
+    pub fn mem(&self) -> MemPool {
+        self.mem.clone()
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Spawn the next node's program with initial state `state`. Programs
+    /// must be spawned for nodes `0..nodes` in order.
+    pub fn spawn<S: Send + 'static>(
+        &mut self,
+        name: impl Into<String>,
+        state: S,
+        prog: impl FnOnce(&mut Am<'_, S>) + Send + 'static,
+    ) -> NodeId {
+        assert!(self.spawned < self.nodes, "more programs than nodes");
+        self.spawned += 1;
+        let mem = self.mem.clone();
+        let cfg = self.cfg.clone();
+        self.sim.spawn(name, move |ctx| {
+            let mut am = Am::new(ctx, mem, cfg, state);
+            prog(&mut am);
+        })
+    }
+
+    /// Spawn the same program on every remaining node (SPMD style).
+    pub fn spawn_all<S: Send + 'static>(
+        &mut self,
+        state: impl Fn(usize) -> S + 'static,
+        prog: impl Fn(&mut Am<'_, S>) + Send + Sync + Clone + 'static,
+    ) {
+        for node in self.spawned..self.nodes {
+            let p = prog.clone();
+            self.spawn(format!("n{node}"), state(node), move |am| p(am));
+        }
+    }
+
+    /// Run to completion.
+    pub fn run(self) -> Result<AmReport, SimError> {
+        assert_eq!(self.spawned, self.nodes, "every node needs a program");
+        let mem = self.mem;
+        let report = self.sim.run()?;
+        Ok(AmReport { end_time: report.end_time, events: report.events, world: report.world, mem })
+    }
+}

@@ -1,0 +1,616 @@
+//! The per-node protocol engine: wires the pure channel state machines to
+//! the adapter, dispatches handlers, and implements bulk transfers, the
+//! explicit-ACK/NACK machinery, and the keep-alive protocol.
+
+use crate::api::{AmArgs, AmEnv, BulkHandle, BulkInfo};
+use crate::channel::{BulkTx, RxChan, RxVerdict, SendItem, TxChan};
+use crate::config::AmConfig;
+use crate::mem::MemPool;
+use crate::stats::{AmStats, TraceEvent};
+use crate::wire::{AmPacket, Body, Channel, ShortKind};
+use crate::AmCtx;
+use sp_adapter::host;
+use std::collections::{HashMap, HashSet};
+
+/// Handler table index.
+pub(crate) const HANDLER_NONE: u16 = u16::MAX;
+
+pub(crate) type HandlerFn<S> = fn(&mut AmEnv<'_, S>, AmArgs);
+
+struct Peer {
+    tx: [TxChan; 2],
+    rx: [RxChan; 2],
+}
+
+/// Per-node SP AM protocol state. Most users interact through the
+/// [`Am`](crate::Am) facade instead.
+pub struct AmPort<S> {
+    me: usize,
+    n: usize,
+    cfg: AmConfig,
+    mem: MemPool,
+    handlers: Vec<HandlerFn<S>>,
+    peers: Vec<Peer>,
+    /// Bulk handles whose transfer has completed (sender-side final ack for
+    /// stores; local data arrival for gets).
+    completed: HashSet<u32>,
+    /// Sender-side completion handlers for async stores.
+    completions: HashMap<u32, (u16, [u32; 4])>,
+    next_bulk_id: u32,
+    idle_polls: u32,
+    /// Set during a poll when an ack freed window slots or a sequenced
+    /// packet was delivered — i.e. the protocol made forward progress.
+    made_progress: bool,
+    barrier_hits: u32,
+    barrier_go: bool,
+    trace: Vec<TraceEvent>,
+    pub(crate) stats: AmStats,
+}
+
+impl<S> AmPort<S> {
+    pub(crate) fn new(me: usize, n: usize, cfg: AmConfig, mem: MemPool) -> Self {
+        let peers = (0..n)
+            .map(|_| Peer {
+                tx: [
+                    TxChan::with_chunk(Channel::Request, cfg.window_request, cfg.chunk_packets),
+                    TxChan::with_chunk(Channel::Reply, cfg.window_reply, cfg.chunk_packets),
+                ],
+                rx: [
+                    RxChan::new(cfg.window_request, cfg.ack_threshold(cfg.window_request)),
+                    RxChan::new(cfg.window_reply, cfg.ack_threshold(cfg.window_reply)),
+                ],
+            })
+            .collect();
+        AmPort {
+            me,
+            n,
+            cfg,
+            mem,
+            handlers: Vec::new(),
+            peers,
+            completed: HashSet::new(),
+            completions: HashMap::new(),
+            next_bulk_id: 0,
+            idle_polls: 0,
+            made_progress: false,
+            barrier_hits: 0,
+            barrier_go: false,
+            trace: Vec::new(),
+            stats: AmStats::default(),
+        }
+    }
+
+    /// This node's index.
+    pub fn node(&self) -> usize {
+        self.me
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &AmStats {
+        &self.stats
+    }
+
+    /// The memory pool.
+    pub fn mem_pool(&self) -> &MemPool {
+        &self.mem
+    }
+
+    #[allow(dead_code)] // exposed for layered protocols and tests
+    pub(crate) fn config(&self) -> &AmConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn config_interrupt_cpu(&self) -> sp_sim::Dur {
+        self.cfg.interrupt_cpu
+    }
+
+    /// The chunk-protocol trace (empty unless `AmConfig::trace_chunks`).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    pub(crate) fn register(&mut self, f: HandlerFn<S>) -> u16 {
+        let id = self.handlers.len() as u16;
+        assert!(id < HANDLER_NONE, "handler table full");
+        self.handlers.push(f);
+        id
+    }
+
+    // ----- send paths ------------------------------------------------
+
+    /// Queue a user request and push it toward the wire.
+    pub(crate) fn send_request(&mut self, ctx: &mut AmCtx, dst: usize, handler: u16, nargs: u8, args: [u32; 4]) {
+        let words = (nargs as u64).saturating_sub(1);
+        ctx.advance(self.cfg.request_cpu + self.cfg.per_word_cpu * words);
+        self.stats.requests_sent += 1;
+        self.peers[dst].tx[Channel::Request.idx()]
+            .push(SendItem::Short { kind: ShortKind::User, handler, nargs, args });
+        self.pump_peer(ctx, dst);
+    }
+
+    /// Queue a reply (only legal from a request handler; enforced by
+    /// [`AmEnv`](crate::AmEnv)).
+    pub(crate) fn send_reply(&mut self, ctx: &mut AmCtx, dst: usize, handler: u16, nargs: u8, args: [u32; 4]) {
+        let words = (nargs as u64).saturating_sub(1);
+        ctx.advance(self.cfg.reply_cpu + self.cfg.per_word_cpu * words);
+        self.stats.replies_sent += 1;
+        self.peers[dst].tx[Channel::Reply.idx()]
+            .push(SendItem::Short { kind: ShortKind::User, handler, nargs, args });
+        self.pump_peer(ctx, dst);
+    }
+
+    /// Start a bulk store toward `dst_node` (non-blocking). `handler` runs
+    /// on the receiver when the data has landed; `completion` runs locally
+    /// when the final chunk is acknowledged.
+    #[allow(clippy::too_many_arguments)] // mirrors am_store's C signature
+    pub(crate) fn start_store(
+        &mut self,
+        ctx: &mut AmCtx,
+        dst_node: usize,
+        dst_addr: u32,
+        data: Box<[u8]>,
+        handler: u16,
+        args: [u32; 4],
+        completion: Option<(u16, [u32; 4])>,
+    ) -> BulkHandle {
+        ctx.advance(self.cfg.bulk_setup_cpu);
+        self.stats.stores += 1;
+        let id = self.alloc_bulk_id();
+        if data.is_empty() {
+            // Degenerate zero-length store: nothing to move; complete now.
+            self.completed.insert(id);
+            return BulkHandle(id);
+        }
+        if let Some(c) = completion {
+            self.completions.insert(id, c);
+        }
+        self.peers[dst_node].tx[Channel::Request.idx()]
+            .push(SendItem::Bulk(BulkTx::new(id, dst_addr, handler, args, data)));
+        self.pump_peer(ctx, dst_node);
+        BulkHandle(id)
+    }
+
+    /// Start a get: fetch `len` bytes from (`src_node`, `src_addr`) into
+    /// local `dst_addr`; `handler` runs locally when the data has arrived.
+    #[allow(clippy::too_many_arguments)] // mirrors am_get's C signature
+    pub(crate) fn start_get(
+        &mut self,
+        ctx: &mut AmCtx,
+        src_node: usize,
+        src_addr: u32,
+        dst_addr: u32,
+        len: u32,
+        handler: u16,
+        args: [u32; 4],
+    ) -> BulkHandle {
+        ctx.advance(self.cfg.bulk_setup_cpu);
+        self.stats.gets += 1;
+        let id = self.alloc_bulk_id();
+        if len == 0 {
+            self.completed.insert(id);
+            return BulkHandle(id);
+        }
+        self.peers[src_node].tx[Channel::Request.idx()].push(SendItem::Short {
+            kind: ShortKind::GetReq { src_addr, dst_addr, len, xfer: id },
+            handler,
+            nargs: 4,
+            args,
+        });
+        self.pump_peer(ctx, src_node);
+        BulkHandle(id)
+    }
+
+    fn alloc_bulk_id(&mut self) -> u32 {
+        let id = self.next_bulk_id;
+        self.next_bulk_id += 1;
+        id
+    }
+
+    /// Has this bulk transfer completed (stores: final ack received; gets:
+    /// data arrived locally)?
+    pub(crate) fn bulk_done(&self, h: BulkHandle) -> bool {
+        self.completed.contains(&h.0)
+    }
+
+    // ----- pump: move queued packets to the send FIFO -----------------
+
+    /// Emit as many queued packets toward `dst` as the windows and the send
+    /// FIFO allow, batching doorbells.
+    pub(crate) fn pump_peer(&mut self, ctx: &mut AmCtx, dst: usize) {
+        let mut free = host::send_fifo_free(ctx);
+        let mut pending_doorbell = 0usize;
+        for chan in Channel::BOTH {
+            loop {
+                if free == 0 {
+                    break;
+                }
+                let Some(mut pkt) = self.peers[dst].tx[chan.idx()].try_emit() else {
+                    break;
+                };
+                let is_data = matches!(pkt.body, Body::Data { .. });
+                if is_data {
+                    ctx.advance(self.cfg.bulk_per_packet_cpu);
+                    self.stats.packets_sent += 1;
+                    if self.cfg.trace_chunks {
+                        if let Body::Data { last_of_chunk, .. } = pkt.body {
+                            if pkt.offset == 0 {
+                                self.trace
+                                    .push(TraceEvent::ChunkStart { seq: pkt.seq, at: ctx.now() });
+                            }
+                            if last_of_chunk {
+                                self.trace
+                                    .push(TraceEvent::ChunkEnd { seq: pkt.seq, at: ctx.now() });
+                            }
+                        }
+                    }
+                } else {
+                    self.stats.packets_sent += 1;
+                }
+                self.stamp_acks(dst, &mut pkt);
+                let bytes = pkt.payload_bytes();
+                host::write_packet(ctx, dst, bytes, pkt)
+                    .expect("send FIFO free count was checked");
+                free -= 1;
+                pending_doorbell += 1;
+                if pending_doorbell >= self.cfg.doorbell_batch {
+                    host::ring_doorbell(ctx, pending_doorbell);
+                    pending_doorbell = 0;
+                }
+            }
+        }
+        if pending_doorbell > 0 {
+            host::ring_doorbell(ctx, pending_doorbell);
+        }
+    }
+
+    /// Pump every peer that has queued or retransmittable traffic.
+    pub(crate) fn pump_all(&mut self, ctx: &mut AmCtx) {
+        for dst in 0..self.n {
+            if !self.peers[dst].tx[0].idle() || !self.peers[dst].tx[1].idle() {
+                self.pump_peer(ctx, dst);
+            }
+        }
+    }
+
+    /// Stamp the piggybacked cumulative ACKs and note that the peer is now
+    /// fully acknowledged.
+    fn stamp_acks(&mut self, dst: usize, pkt: &mut AmPacket) {
+        let peer = &mut self.peers[dst];
+        pkt.ack_req = peer.rx[Channel::Request.idx()].cum_ack();
+        pkt.ack_rep = peer.rx[Channel::Reply.idx()].cum_ack();
+        peer.rx[0].acked();
+        peer.rx[1].acked();
+    }
+
+    /// Send a control packet (ACK/NACK/probe) immediately, outside the
+    /// sequence space.
+    fn send_control(&mut self, ctx: &mut AmCtx, dst: usize, chan: Channel, body: Body) {
+        debug_assert!(matches!(body, Body::Ack | Body::Nack { .. } | Body::Probe));
+        let mut pkt = AmPacket { chan, seq: 0, offset: 0, ack_req: 0, ack_rep: 0, body };
+        self.stamp_acks(dst, &mut pkt);
+        let bytes = pkt.payload_bytes();
+        // Control packets bypass the send queue; if the FIFO is full they
+        // are simply not sent — the keep-alive protocol covers the loss.
+        if host::send_fifo_free(ctx) > 0 {
+            let _ = host::write_packet(ctx, dst, bytes, pkt);
+            host::ring_doorbell(ctx, 1);
+        }
+    }
+
+    // ----- poll: receive, dispatch, ack, keep-alive --------------------
+
+    /// One `am_poll`: drain the receive FIFO, dispatching handlers and
+    /// control processing; run the keep-alive counter; pump all peers.
+    /// Returns the number of packets processed.
+    pub(crate) fn poll(&mut self, ctx: &mut AmCtx, state: &mut S) -> usize {
+        self.stats.polls += 1;
+        ctx.advance(self.cfg.poll_cpu);
+        self.made_progress = false;
+        let mut processed = 0usize;
+        while let Some(wpkt) = host::poll_packet(ctx) {
+            processed += 1;
+            ctx.advance(self.cfg.dispatch_cpu);
+            self.handle_packet(ctx, state, wpkt.src, wpkt.payload);
+        }
+        // Keep-alive: the paper emulates timeouts "by counting the number
+        // of unsuccessful polls". A poll is unsuccessful if it made no
+        // forward progress (receiving only probes from an equally stuck
+        // peer must not reset the counter, or two lossy peers can starve
+        // each other's keep-alive forever).
+        if self.made_progress {
+            self.idle_polls = 0;
+        } else if self.any_unacked() {
+            self.idle_polls += 1;
+            if self.idle_polls >= self.cfg.keepalive_polls {
+                self.idle_polls = 0;
+                self.keepalive_round(ctx);
+            }
+        }
+        self.pump_all(ctx);
+        processed
+    }
+
+    fn any_unacked(&self) -> bool {
+        self.peers.iter().any(|p| p.tx[0].has_unacked() || p.tx[1].has_unacked())
+    }
+
+    /// True when every outbound channel is quiescent (nothing queued,
+    /// unacked, or pending retransmission).
+    pub(crate) fn all_idle(&self) -> bool {
+        self.peers.iter().all(|p| p.tx[0].idle() && p.tx[1].idle())
+    }
+
+    /// True when every outbound channel has *emitted* everything it was
+    /// asked to send (queues and retransmission buffers empty; acks may
+    /// still be outstanding).
+    pub(crate) fn all_sent(&self) -> bool {
+        self.peers
+            .iter()
+            .all(|p| p.tx.iter().all(|t| t.queue_len() == 0 && t.rtx_len() == 0))
+    }
+
+    /// Probe every peer with unacknowledged traffic; the peer answers with
+    /// a NACK reflecting its expected sequence number, which acts as an ACK
+    /// if everything actually arrived, or restarts lost traffic otherwise.
+    fn keepalive_round(&mut self, ctx: &mut AmCtx) {
+        self.stats.keepalive_rounds += 1;
+        for dst in 0..self.n {
+            for chan in Channel::BOTH {
+                if self.peers[dst].tx[chan.idx()].has_unacked() {
+                    self.stats.probes_sent += 1;
+                    self.send_control(ctx, dst, chan, Body::Probe);
+                }
+            }
+        }
+    }
+
+    fn handle_packet(&mut self, ctx: &mut AmCtx, state: &mut S, src: usize, pkt: AmPacket) {
+        // Piggybacked cumulative ACKs ride on every packet.
+        self.process_ack(ctx, state, src, Channel::Request, pkt.ack_req);
+        self.process_ack(ctx, state, src, Channel::Reply, pkt.ack_rep);
+        let chan = pkt.chan;
+        match pkt.body {
+            Body::Ack => {}
+            Body::Nack { seq, offset } => {
+                self.made_progress = true;
+                self.stats.nacks_received += 1;
+                let (completed, rtx) = self.peers[src].tx[chan.idx()].on_nack(seq, offset);
+                self.stats.packets_retransmitted += rtx as u64;
+                self.finish_bulks(ctx, state, completed);
+                self.pump_peer(ctx, src);
+            }
+            Body::Probe => {
+                let (es, eo) = self.peers[src].rx[chan.idx()].expected();
+                self.send_control(ctx, src, chan, Body::Nack { seq: es, offset: eo });
+                self.stats.nacks_sent += 1;
+            }
+            Body::Short { kind, handler, nargs, args } => {
+                let verdict = self.peers[src].rx[chan.idx()].accept(pkt.seq, pkt.offset, true);
+                match verdict {
+                    RxVerdict::Deliver { force_ack } => {
+                        self.made_progress = true;
+                        self.stats.shorts_delivered += 1;
+                        match kind {
+                            ShortKind::User => {
+                                self.invoke(ctx, state, handler, AmArgs {
+                                    a: args,
+                                    nargs,
+                                    src,
+                                    info: None,
+                                }, chan == Channel::Request);
+                            }
+                            ShortKind::GetReq { src_addr, dst_addr, len, xfer } => {
+                                self.serve_get(ctx, src, src_addr, dst_addr, len, xfer, handler, args);
+                            }
+                            ShortKind::Barrier { go } => {
+                                if go {
+                                    self.barrier_go = true;
+                                } else {
+                                    self.barrier_hits += 1;
+                                }
+                            }
+                        }
+                        if force_ack {
+                            self.explicit_ack(ctx, src, chan);
+                        }
+                    }
+                    RxVerdict::DupDrop => {
+                        self.stats.dup_dropped += 1;
+                        self.explicit_ack(ctx, src, chan);
+                    }
+                    RxVerdict::OooDrop { nack } => {
+                        self.stats.ooo_dropped += 1;
+                        if nack {
+                            self.send_nack(ctx, src, chan);
+                        }
+                    }
+                }
+            }
+            Body::Data {
+                addr,
+                len,
+                last_of_chunk,
+                last_of_xfer,
+                handler,
+                args,
+                base_addr,
+                total_len,
+                xfer,
+                bytes,
+            } => {
+                let verdict = self.peers[src].rx[chan.idx()].accept(pkt.seq, pkt.offset, last_of_chunk);
+                match verdict {
+                    RxVerdict::Deliver { force_ack } => {
+                        self.made_progress = true;
+                        debug_assert_eq!(len as usize, bytes.len());
+                        self.stats.data_packets_delivered += 1;
+                        self.stats.bulk_bytes_delivered += bytes.len() as u64;
+                        self.mem.write(crate::GlobalPtr { node: self.me, addr }, &bytes);
+                        if last_of_xfer {
+                            if chan == Channel::Reply {
+                                // Get data arrived back home: the handle
+                                // completes here.
+                                self.completed.insert(xfer);
+                            }
+                            if handler != HANDLER_NONE {
+                                self.invoke(ctx, state, handler, AmArgs {
+                                    a: args,
+                                    nargs: 4,
+                                    src,
+                                    info: Some(BulkInfo { base: base_addr, len: total_len }),
+                                }, chan == Channel::Request);
+                            }
+                        }
+                        if force_ack || last_of_xfer {
+                            self.explicit_ack(ctx, src, chan);
+                        }
+                    }
+                    RxVerdict::DupDrop => {
+                        self.stats.dup_dropped += 1;
+                        self.explicit_ack(ctx, src, chan);
+                    }
+                    RxVerdict::OooDrop { nack } => {
+                        self.stats.ooo_dropped += 1;
+                        if nack {
+                            self.send_nack(ctx, src, chan);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn explicit_ack(&mut self, ctx: &mut AmCtx, dst: usize, chan: Channel) {
+        self.stats.explicit_acks_sent += 1;
+        self.send_control(ctx, dst, chan, Body::Ack);
+    }
+
+    fn send_nack(&mut self, ctx: &mut AmCtx, dst: usize, chan: Channel) {
+        let (es, eo) = self.peers[dst].rx[chan.idx()].expected();
+        self.stats.nacks_sent += 1;
+        self.send_control(ctx, dst, chan, Body::Nack { seq: es, offset: eo });
+    }
+
+    fn process_ack(&mut self, ctx: &mut AmCtx, state: &mut S, src: usize, chan: Channel, cum: u32) {
+        let (freed, completed) = self.peers[src].tx[chan.idx()].on_ack(cum);
+        if freed > 0 {
+            self.made_progress = true;
+            if self.cfg.trace_chunks && chan == Channel::Request {
+                self.trace.push(TraceEvent::AckIn { cum, at: ctx.now() });
+            }
+        }
+        self.finish_bulks(ctx, state, completed);
+    }
+
+    fn finish_bulks(&mut self, ctx: &mut AmCtx, state: &mut S, ids: Vec<u32>) {
+        for id in ids {
+            self.completed.insert(id);
+            if let Some((handler, args)) = self.completions.remove(&id) {
+                self.invoke(ctx, state, handler, AmArgs { a: args, nargs: 4, src: self.me, info: None }, false);
+            }
+        }
+    }
+
+    /// Serve a get request: stream the requested bytes back on the reply
+    /// channel. The data packets carry the *requester's* handler/args/id.
+    #[allow(clippy::too_many_arguments)] // the get-request wire fields
+    fn serve_get(
+        &mut self,
+        ctx: &mut AmCtx,
+        requester: usize,
+        src_addr: u32,
+        dst_addr: u32,
+        len: u32,
+        xfer: u32,
+        handler: u16,
+        args: [u32; 4],
+    ) {
+        let data = self.mem.read_vec(crate::GlobalPtr { node: self.me, addr: src_addr }, len as usize);
+        self.peers[requester].tx[Channel::Reply.idx()].push(SendItem::Bulk(BulkTx::untracked(
+            xfer,
+            dst_addr,
+            handler,
+            args,
+            data.into_boxed_slice(),
+        )));
+        self.pump_peer(ctx, requester);
+    }
+
+    fn invoke(&mut self, ctx: &mut AmCtx, state: &mut S, handler: u16, args: AmArgs, reply_allowed: bool) {
+        let f = *self
+            .handlers
+            .get(handler as usize)
+            .unwrap_or_else(|| panic!("node {}: unregistered handler {handler}", self.me));
+        let mut env = AmEnv { port: self, ctx, state, reply_to: args.src, reply_allowed, replied: false };
+        f(&mut env, args);
+    }
+
+    /// Diagnostic snapshot of channel state (debugging aid).
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (p, peer) in self.peers.iter().enumerate() {
+            for chan in Channel::BOTH {
+                let tx = &peer.tx[chan.idx()];
+                let rx = &peer.rx[chan.idx()];
+                if !tx.idle() || rx.expected() != (0, 0) {
+                    let _ = write!(
+                        s,
+                        "[{me}->{p} {chan:?}] tx: in_flight={} unacked={} queue={} rtx={} next={} | rx expects {:?}; ",
+                        tx.in_flight(),
+                        tx.has_unacked(),
+                        tx.queue_len(),
+                        tx.rtx_len(),
+                        tx.next_seq(),
+                        rx.expected(),
+                        me = self.me,
+                    );
+                }
+            }
+        }
+        s
+    }
+
+    // ----- barrier ----------------------------------------------------
+
+    /// A simple dissemination barrier built from protocol-level shorts
+    /// (node 0 collects hits, then broadcasts go). Used by benchmarks.
+    pub(crate) fn barrier(&mut self, ctx: &mut AmCtx, state: &mut S) {
+        if self.n == 1 {
+            return;
+        }
+        if self.me == 0 {
+            while self.barrier_hits < (self.n - 1) as u32 {
+                self.poll(ctx, state);
+            }
+            self.barrier_hits = 0;
+            for dst in 1..self.n {
+                self.peers[dst].tx[Channel::Request.idx()].push(SendItem::Short {
+                    kind: ShortKind::Barrier { go: true },
+                    handler: HANDLER_NONE,
+                    nargs: 0,
+                    args: [0; 4],
+                });
+                self.pump_peer(ctx, dst);
+            }
+        } else {
+            self.peers[0].tx[Channel::Request.idx()].push(SendItem::Short {
+                kind: ShortKind::Barrier { go: false },
+                handler: HANDLER_NONE,
+                nargs: 0,
+                args: [0; 4],
+            });
+            self.pump_peer(ctx, 0);
+            while !self.barrier_go {
+                self.poll(ctx, state);
+            }
+            self.barrier_go = false;
+        }
+    }
+}

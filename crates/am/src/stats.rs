@@ -1,0 +1,68 @@
+//! Protocol statistics, exposed for tests and experiments.
+
+/// Counters kept by each node's [`AmPort`](crate::AmPort).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AmStats {
+    /// `am_request_*` calls.
+    pub requests_sent: u64,
+    /// `am_reply_*` calls.
+    pub replies_sent: u64,
+    /// `am_store`/`am_store_async` calls.
+    pub stores: u64,
+    /// `am_get` calls.
+    pub gets: u64,
+    /// `am_poll` calls.
+    pub polls: u64,
+    /// Sequenced packets emitted (first transmissions).
+    pub packets_sent: u64,
+    /// Packets retransmitted (go-back-N).
+    pub packets_retransmitted: u64,
+    /// Short messages delivered to handlers.
+    pub shorts_delivered: u64,
+    /// Bulk data packets whose bytes were written to memory.
+    pub data_packets_delivered: u64,
+    /// Bulk payload bytes delivered.
+    pub bulk_bytes_delivered: u64,
+    /// Duplicates dropped by the receiver.
+    pub dup_dropped: u64,
+    /// Out-of-order packets dropped by the receiver.
+    pub ooo_dropped: u64,
+    /// NACKs sent.
+    pub nacks_sent: u64,
+    /// NACKs received (each triggers a go-back-N).
+    pub nacks_received: u64,
+    /// Explicit ACK packets sent (piggybacked ACKs are free).
+    pub explicit_acks_sent: u64,
+    /// Keep-alive probes sent.
+    pub probes_sent: u64,
+    /// Keep-alive activations (a probe round for outstanding traffic).
+    pub keepalive_rounds: u64,
+}
+
+/// One entry of the chunk-protocol trace (enabled by
+/// [`AmConfig::trace_chunks`](crate::AmConfig)); regenerates the paper's
+/// Figure 2 from measured events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// First packet of chunk `seq` handed to the send FIFO.
+    ChunkStart {
+        /// Chunk sequence number.
+        seq: u32,
+        /// Emission time.
+        at: sp_sim::Time,
+    },
+    /// Last packet of chunk `seq` handed to the send FIFO.
+    ChunkEnd {
+        /// Chunk sequence number.
+        seq: u32,
+        /// Emission time.
+        at: sp_sim::Time,
+    },
+    /// A cumulative acknowledgement arrived ("everything below `cum`").
+    AckIn {
+        /// Cumulative ack value.
+        cum: u32,
+        /// Arrival time.
+        at: sp_sim::Time,
+    },
+}

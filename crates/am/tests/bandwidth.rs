@@ -1,0 +1,112 @@
+//! Bandwidth shape checks against §2.4: asymptotic payload rate ~34.3 MB/s,
+//! pipelined async stores beating blocking stores at small sizes, and the
+//! chunk pipeline staying busy.
+
+use sp_adapter::SpConfig;
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr};
+use std::sync::Arc;
+
+#[derive(Default)]
+struct St {
+    stores_done: u32,
+}
+
+fn on_store(env: &mut AmEnv<'_, St>, _args: AmArgs) {
+    env.state.stores_done += 1;
+}
+
+/// One-way bandwidth of transferring `total` bytes as `n`-byte async
+/// stores, in MB/s of payload.
+fn async_store_bandwidth(total: usize, n: usize) -> f64 {
+    let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 42);
+    let out = Arc::new(parking_lot::Mutex::new(0.0f64));
+    let out2 = out.clone();
+    let count = total.div_ceil(n) as u32;
+    m.spawn("tx", St::default(), move |am: &mut Am<'_, St>| {
+        am.register(on_store);
+        let data = vec![0xABu8; n];
+        am.barrier();
+        let t0 = am.now();
+        let mut handles = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let dst = GlobalPtr { node: 1, addr: (i as u64 % 64) as u32 * 16384 };
+            handles.push(am.store_async(dst, &data, None, &[], None));
+        }
+        for h in handles {
+            am.wait_bulk(h);
+        }
+        let dt = am.now() - t0;
+        *out2.lock() = (count as usize * n) as f64 / dt.as_secs() / 1e6;
+        am.barrier();
+    });
+    m.spawn("rx", St::default(), |am: &mut Am<'_, St>| {
+        am.register(on_store);
+        // Pre-touch the landing area so arena writes are in bounds.
+        am.alloc(64 * 16384 + 65536);
+        am.barrier();
+        am.barrier();
+    });
+    m.run().unwrap();
+    let v = *out.lock();
+    v
+}
+
+/// One-way bandwidth of `count` blocking stores of `n` bytes.
+fn sync_store_bandwidth(count: u32, n: usize) -> f64 {
+    let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 42);
+    let out = Arc::new(parking_lot::Mutex::new(0.0f64));
+    let out2 = out.clone();
+    m.spawn("tx", St::default(), move |am: &mut Am<'_, St>| {
+        am.register(on_store);
+        let data = vec![0xCDu8; n];
+        am.barrier();
+        let t0 = am.now();
+        for _ in 0..count {
+            am.store(GlobalPtr { node: 1, addr: 0 }, &data, None, &[]);
+        }
+        let dt = am.now() - t0;
+        *out2.lock() = (count as usize * n) as f64 / dt.as_secs() / 1e6;
+        am.barrier();
+    });
+    m.spawn("rx", St::default(), |am: &mut Am<'_, St>| {
+        am.register(on_store);
+        am.alloc(1 << 20);
+        am.barrier();
+        am.barrier();
+    });
+    m.run().unwrap();
+    let v = *out.lock();
+    v
+}
+
+#[test]
+fn asymptotic_bandwidth_near_34mb_s() {
+    let bw = async_store_bandwidth(1 << 19, 1 << 16); // 512 KB in 64 KB stores
+    eprintln!("async store r_inf: {bw:.2} MB/s (paper: 34.3)");
+    assert!((32.0..36.0).contains(&bw), "asymptotic bandwidth {bw:.2} MB/s, want ~34.3");
+}
+
+#[test]
+fn async_half_power_point_is_small() {
+    // Paper: n_1/2 ~ 260 bytes for pipelined async stores. At 256 bytes the
+    // rate must already exceed ~half of r_inf's neighborhood (>12 MB/s),
+    // and at 64 bytes it must be clearly below half.
+    let at_256 = async_store_bandwidth(1 << 17, 256);
+    let at_64 = async_store_bandwidth(1 << 15, 64);
+    eprintln!("async store: 64B -> {at_64:.2} MB/s, 256B -> {at_256:.2} MB/s");
+    assert!(at_256 > 12.0, "256-byte async stores reached only {at_256:.2} MB/s");
+    assert!(at_64 < 17.0, "64-byte async stores too fast ({at_64:.2} MB/s) for a ~260B n_1/2");
+}
+
+#[test]
+fn sync_stores_slower_at_small_sizes_but_converge() {
+    // Blocking stores pay a round trip per transfer: at 1 KB they must be
+    // well below the async rate, but by 64 KB the chunk pipeline hides the
+    // ack latency ("virtually no distinction ... for very large sizes").
+    let sync_1k = sync_store_bandwidth(64, 1024);
+    let async_1k = async_store_bandwidth(1 << 16, 1024);
+    let sync_64k = sync_store_bandwidth(8, 1 << 16);
+    eprintln!("1KB: sync {sync_1k:.2} vs async {async_1k:.2} MB/s; 64KB sync {sync_64k:.2} MB/s");
+    assert!(sync_1k < async_1k * 0.8, "blocking stores should lag at 1 KB");
+    assert!(sync_64k > 30.0, "64 KB blocking stores must approach r_inf, got {sync_64k:.2}");
+}

@@ -1,0 +1,61 @@
+//! Calibration checks against the paper's own microbenchmarks (§2.3–§2.5,
+//! Table 2). These are the numbers the cost model is *fit* to; everything
+//! else in the reproduction is predicted.
+
+use sp_adapter::SpConfig;
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine};
+
+#[derive(Default)]
+struct PingState {
+    pongs: u32,
+    pings: u32,
+}
+
+fn pong_handler(env: &mut AmEnv<'_, PingState>, args: AmArgs) {
+    env.state.pings += 1;
+    env.reply_1(args.a[0] as u16, 0);
+}
+
+fn done_handler(env: &mut AmEnv<'_, PingState>, _args: AmArgs) {
+    env.state.pongs += 1;
+}
+
+/// One-word round-trip time over `iters` ping-pongs, in microseconds.
+fn round_trip_us(iters: u32) -> f64 {
+    let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 42);
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(0.0f64));
+    let out2 = out.clone();
+    m.spawn("pinger", PingState::default(), move |am: &mut Am<'_, PingState>| {
+        let pong = am.register(pong_handler);
+        let done = am.register(done_handler);
+        let _ = pong;
+        // Warmup round.
+        am.request_1(1, 0, done as u32);
+        am.poll_until(|s| s.pongs >= 1);
+        let t0 = am.now();
+        for i in 0..iters {
+            am.request_1(1, 0, done as u32);
+            am.poll_until(move |s| s.pongs >= i + 2);
+        }
+        let dt = am.now() - t0;
+        *out2.lock() = dt.as_us() / iters as f64;
+    });
+    m.spawn("ponger", PingState::default(), move |am: &mut Am<'_, PingState>| {
+        am.register(pong_handler);
+        am.register(done_handler);
+        am.poll_until(move |s| s.pings > iters);
+    });
+    m.run().unwrap();
+    let v = *out.lock();
+    v
+}
+
+#[test]
+fn one_word_round_trip_is_near_51us() {
+    let rtt = round_trip_us(100);
+    eprintln!("AM 1-word round trip: {rtt:.2} us (paper: 51.0)");
+    assert!(
+        (46.0..56.0).contains(&rtt),
+        "AM round trip {rtt:.2} us, paper says 51.0 us"
+    );
+}

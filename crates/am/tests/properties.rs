@@ -1,0 +1,141 @@
+//! Property-based tests on protocol invariants: arbitrary payloads survive
+//! arbitrary loss patterns exactly once, in order; memory round-trips;
+//! bulk transfers reassemble to identity.
+
+use proptest::prelude::*;
+use sp_adapter::SpConfig;
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr, MemPool};
+use sp_switch::FaultInjector;
+
+#[derive(Default)]
+struct St {
+    done: bool,
+    seen: Vec<u32>,
+}
+
+fn mark_done(env: &mut AmEnv<'_, St>, _args: AmArgs) {
+    env.state.done = true;
+}
+
+fn record(env: &mut AmEnv<'_, St>, args: AmArgs) {
+    env.state.seen.push(args.a[0]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any payload, any single-transfer length, any loss probability up to
+    /// 5%: the stored bytes arrive exactly.
+    #[test]
+    fn store_reassembles_identity(
+        len in 1usize..40_000,
+        salt in any::<u8>(),
+        loss_millis in 0u32..50,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i as u8) ^ salt).collect();
+        let data2 = data.clone();
+        let cfg = AmConfig { keepalive_polls: 64, ..AmConfig::default() };
+        let mut m = AmMachine::new(SpConfig::thin(2), cfg, seed);
+        if loss_millis > 0 {
+            m.configure_world(|w| {
+                w.switch.set_fault_injector(FaultInjector::bernoulli(loss_millis as f64 / 1000.0, seed))
+            });
+        }
+        m.mem().alloc(1, len as u32); // receiver landing area
+        m.spawn("tx", St::default(), move |am: &mut Am<'_, St>| {
+            am.register(mark_done);
+            am.store(GlobalPtr { node: 1, addr: 0 }, &data2, Some(0), &[]);
+        });
+        m.spawn("rx", St::default(), |am: &mut Am<'_, St>| {
+            am.register(mark_done);
+            am.poll_until(|s| s.done);
+            // Serve the sender's final-ack recovery before exiting.
+            am.drain(sp_sim::Dur::ms(5.0));
+        });
+        let report = m.run().unwrap();
+        prop_assert_eq!(report.mem.read_vec(GlobalPtr { node: 1, addr: 0 }, len), data);
+    }
+
+    /// Request streams are delivered exactly once, in order, under loss.
+    #[test]
+    fn requests_exactly_once_in_order(
+        count in 1u32..150,
+        loss_millis in 0u32..60,
+        seed in any::<u64>(),
+    ) {
+        let cfg = AmConfig { keepalive_polls: 48, ..AmConfig::default() };
+        let mut m = AmMachine::new(SpConfig::thin(2), cfg, seed);
+        if loss_millis > 0 {
+            m.configure_world(|w| {
+                w.switch.set_fault_injector(FaultInjector::bernoulli(loss_millis as f64 / 1000.0, seed))
+            });
+        }
+        m.spawn("tx", St::default(), move |am: &mut Am<'_, St>| {
+            am.register(record);
+            for i in 0..count {
+                am.request_1(1, 0, i);
+            }
+            am.quiesce();
+        });
+        let expect: Vec<u32> = (0..count).collect();
+        m.spawn("rx", St::default(), move |am: &mut Am<'_, St>| {
+            am.register(record);
+            am.poll_until(|s| s.seen.len() as u32 >= count);
+            assert_eq!(am.state().seen, expect, "must be exactly-once, in-order");
+            am.drain(sp_sim::Dur::ms(5.0));
+        });
+        m.run().unwrap();
+    }
+
+    /// Gets return exactly the remote bytes, under loss.
+    #[test]
+    fn get_roundtrip(
+        len in 1usize..20_000,
+        loss_millis in 0u32..40,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(7)).collect();
+        let data2 = data.clone();
+        let cfg = AmConfig { keepalive_polls: 48, ..AmConfig::default() };
+        let mut m = AmMachine::new(SpConfig::thin(2), cfg, seed);
+        if loss_millis > 0 {
+            m.configure_world(|w| {
+                w.switch.set_fault_injector(FaultInjector::bernoulli(loss_millis as f64 / 1000.0, seed))
+            });
+        }
+        m.spawn("holder", St::default(), move |am: &mut Am<'_, St>| {
+            am.register(mark_done);
+            let p = am.alloc(len as u32);
+            am.mem().write(p.addr, &data2);
+            am.barrier();
+            // Serve the get, then wait until the reply data is fully
+            // acknowledged (the getter drains long enough to cover our
+            // keep-alive recovery rounds).
+            am.quiesce();
+        });
+        m.spawn("getter", St::default(), move |am: &mut Am<'_, St>| {
+            am.register(mark_done);
+            am.barrier();
+            let dst = am.alloc(len as u32);
+            am.get_blocking(GlobalPtr { node: 0, addr: 0 }, dst.addr, len as u32);
+            am.drain(sp_sim::Dur::ms(5.0));
+        });
+        let report = m.run().unwrap();
+        prop_assert_eq!(report.mem.read_vec(GlobalPtr { node: 1, addr: 0 }, len), data);
+    }
+
+    /// Memory pool read/write roundtrips for arbitrary writes.
+    #[test]
+    fn mempool_roundtrip(writes in prop::collection::vec((0u32..1000, prop::collection::vec(any::<u8>(), 1..64)), 1..20)) {
+        let pool = MemPool::new(1);
+        pool.alloc(0, 2048);
+        let mut shadow = vec![0u8; 2048];
+        for (addr, bytes) in &writes {
+            let addr = (*addr).min(2048 - bytes.len() as u32);
+            pool.write(GlobalPtr { node: 0, addr }, bytes);
+            shadow[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        prop_assert_eq!(pool.read_vec(GlobalPtr { node: 0, addr: 0 }, 2048), shadow);
+    }
+}

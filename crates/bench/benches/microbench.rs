@@ -1,0 +1,161 @@
+//! Criterion wall-clock microbenches of the implementation's hot paths:
+//! the DES engine, the switch model, the AM machine end-to-end, the MPL
+//! layer, and the memory pool. These measure the *simulator's* real
+//! performance (events/second), complementing the virtual-time experiment
+//! harness in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sp_adapter::{host, SpConfig, SpWorld};
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr, MemPool};
+use sp_sim::{Dur, Sim};
+use sp_switch::{Switch, SwitchConfig};
+
+fn engine_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim-engine");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("advance-10k-events", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new((), 1);
+            sim.spawn("spinner", |ctx| {
+                for _ in 0..10_000 {
+                    ctx.advance(Dur::ns(100));
+                }
+            });
+            sim.run().unwrap()
+        })
+    });
+    g.bench_function("scheduled-events-10k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0u64, 1);
+            sim.spawn("kick", |ctx| {
+                for i in 0..10_000u64 {
+                    ctx.schedule(Dur::ns(i), |e| {
+                        *e.world() += 1;
+                    });
+                }
+                ctx.advance(Dur::ms(1.0));
+            });
+            sim.run().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn switch_transit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("switch");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("transit", |b| {
+        let mut sw = Switch::new(16, SwitchConfig::default());
+        let mut t = sp_sim::Time::ZERO;
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 15;
+            t += Dur::ns(100);
+            sw.transit(0, 1 + i, 256, t)
+        })
+    });
+    g.finish();
+}
+
+fn adapter_packet_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adapter");
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("100-packets-end-to-end", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(SpWorld::<u32>::new(SpConfig::thin(2)), 1);
+            sim.spawn("tx", |ctx| {
+                for i in 0..100u32 {
+                    while host::send_fifo_free(ctx) == 0 {
+                        ctx.advance(Dur::us(1.0));
+                    }
+                    host::send_packet(ctx, 1, 64, i).unwrap();
+                }
+            });
+            sim.spawn("rx", |ctx| {
+                for _ in 0..100 {
+                    let _ = host::spin_recv(ctx, Dur::ns(300));
+                }
+            });
+            sim.run().unwrap()
+        })
+    });
+    g.finish();
+}
+
+#[derive(Default)]
+struct St {
+    count: u32,
+}
+
+fn bump(env: &mut AmEnv<'_, St>, _args: AmArgs) {
+    env.state.count += 1;
+}
+
+fn am_request_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sp-am");
+    g.throughput(Throughput::Elements(50));
+    g.bench_function("50-requests", |b| {
+        b.iter(|| {
+            let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 1);
+            m.spawn("tx", St::default(), |am: &mut Am<'_, St>| {
+                am.register(bump);
+                for _ in 0..50 {
+                    am.request_1(1, 0, 0);
+                }
+                am.barrier();
+            });
+            m.spawn("rx", St::default(), |am: &mut Am<'_, St>| {
+                am.register(bump);
+                am.poll_until(|s| s.count >= 50);
+                am.barrier();
+            });
+            m.run().unwrap()
+        })
+    });
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.bench_function("store-64KB", |b| {
+        b.iter(|| {
+            let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 1);
+            m.mem().alloc(1, 64 * 1024);
+            m.spawn("tx", St::default(), |am: &mut Am<'_, St>| {
+                am.register(bump);
+                let data = vec![7u8; 64 * 1024];
+                am.store(GlobalPtr { node: 1, addr: 0 }, &data, Some(0), &[]);
+            });
+            m.spawn("rx", St::default(), |am: &mut Am<'_, St>| {
+                am.register(bump);
+                am.poll_until(|s| s.count >= 1);
+            });
+            m.run().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn mempool_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mempool");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("write-read-4KB", |b| {
+        let pool = MemPool::new(1);
+        let p = pool.alloc(0, 1 << 20);
+        let data = vec![3u8; 4096];
+        let mut off = 0u32;
+        b.iter_batched(
+            || (),
+            |_| {
+                off = (off + 4096) % (1 << 19);
+                pool.write(GlobalPtr { node: 0, addr: p.addr + off }, &data);
+                pool.read_vec(GlobalPtr { node: 0, addr: p.addr + off }, 4096)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    targets = engine_event_throughput, switch_transit, adapter_packet_path, am_request_roundtrip, mempool_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerates Figure 2 (the flow-control protocol diagram) from *measured*
+//! protocol events: the chunk pipeline of a large store — chunk N+2 starts
+//! only after the ACK for chunk N — printed as a timeline.
+
+use parking_lot::Mutex;
+use sp_adapter::SpConfig;
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr, TraceEvent};
+use std::sync::Arc;
+
+#[derive(Default)]
+struct St {
+    done: bool,
+}
+
+fn mark(env: &mut AmEnv<'_, St>, _args: AmArgs) {
+    env.state.done = true;
+}
+
+fn main() {
+    let chunks = 6usize;
+    let len = chunks * sp_am::CHUNK_BYTES;
+    let cfg = AmConfig { trace_chunks: true, ..AmConfig::default() };
+    let mut m = AmMachine::new(SpConfig::thin(2), cfg, 7);
+    m.mem().alloc(1, len as u32);
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    let trace2 = trace.clone();
+    m.spawn("sender", St::default(), move |am: &mut Am<'_, St>| {
+        let data = vec![0xF1u8; len];
+        am.register(mark);
+        am.store(GlobalPtr { node: 1, addr: 0 }, &data, Some(0), &[]);
+        *trace2.lock() = am.port().trace().to_vec();
+    });
+    m.spawn("receiver", St::default(), |am: &mut Am<'_, St>| {
+        am.register(mark);
+        am.poll_until(|s| s.done);
+    });
+    m.run().expect("store completes");
+
+    let trace = trace.lock();
+    println!("Figure 2: flow-control protocol — measured chunk pipeline");
+    println!("({chunks} chunks of 8064 bytes; sender-side events)\n");
+    println!("{:>12}  event", "time (us)");
+    println!("{}", "-".repeat(60));
+    let mut chunk_start = vec![None; chunks + 1];
+    let mut acked_through = Vec::new();
+    for ev in trace.iter() {
+        match *ev {
+            TraceEvent::ChunkStart { seq, at } => {
+                chunk_start[seq as usize] = Some(at);
+                println!("{:>12.1}  chunk {} -> first packet enters send FIFO", at.as_us(), seq + 1);
+            }
+            TraceEvent::ChunkEnd { seq, at } => {
+                println!("{:>12.1}  chunk {} fully handed to adapter", at.as_us(), seq + 1);
+            }
+            TraceEvent::AckIn { cum, at } => {
+                acked_through.push((cum, at));
+                println!("{:>12.1}  <- ack: chunks 1..{} delivered", at.as_us(), cum);
+            }
+        }
+    }
+    // Verify the Figure 2 invariant: chunk N+2 starts only after the ack
+    // for chunk N.
+    #[allow(clippy::needless_range_loop)] // n is a chunk number, not an index
+    for n in 2..chunks {
+        let start = chunk_start[n].expect("chunk started");
+        let ack_n_minus_2 = acked_through
+            .iter()
+            .find(|&&(cum, _)| cum as usize >= n - 1)
+            .map(|&(_, at)| at)
+            .expect("ack observed");
+        assert!(
+            start >= ack_n_minus_2,
+            "chunk {} started at {} before the ack for chunk {} at {}",
+            n + 1,
+            start,
+            n - 1,
+            ack_n_minus_2
+        );
+    }
+    println!("\ninvariant checked: chunk N+2 is transmitted only after the ack for chunk N");
+    println!("(\"initially, two chunks are transmitted and the next chunk is sent only when");
+    println!("the previous to last chunk is acknowledged\" — paper Figure 2).");
+}

@@ -1,0 +1,23 @@
+//! Runs every table/figure regeneration in sequence (the full evaluation
+//! pass). `SP_BENCH_QUICK=1` shrinks sweeps for a smoke run.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table2", "fig2", "fig5-6", "table3", "fig3", "table4", "table5", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "table6", "ablations",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n============================================================");
+        println!("==== {bin}");
+        println!("============================================================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nAll experiments regenerated.");
+}

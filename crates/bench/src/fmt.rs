@@ -1,0 +1,77 @@
+//! Tiny table-printing helpers for the experiment binaries.
+
+/// Print a header row followed by a rule.
+pub fn header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (name, w) in cols {
+        line.push_str(&format!("{name:>w$}  ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(100)));
+}
+
+/// Format a microsecond value compactly.
+pub fn us(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a MB/s value compactly.
+pub fn mbs(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format seconds.
+pub fn secs(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// A single labelled (x, y) series, e.g. one curve of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Curve label (matching the paper's legend).
+    pub label: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Print a figure's series as aligned columns: x then one column per
+/// curve (the text rendition of the paper's plot).
+pub fn print_series(x_label: &str, series: &[Series]) {
+    let mut cols = vec![(x_label.to_string(), 10usize)];
+    for s in series {
+        cols.push((s.label.clone(), s.label.len().max(12)));
+    }
+    let mut line = String::new();
+    for (name, w) in &cols {
+        line.push_str(&format!("{name:>w$}  "));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(140)));
+    let xs: Vec<f64> = series[0].points.iter().map(|p| p.0).collect();
+    for (i, x) in xs.iter().enumerate() {
+        let mut line = format!("{x:>10.0}  ");
+        for (s, (_, w)) in series.iter().zip(cols.iter().skip(1)) {
+            let y = s.points.get(i).map_or(f64::NAN, |p| p.1);
+            line.push_str(&format!("{y:>w$.2}  "));
+        }
+        println!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(51.04), "51.0");
+        assert_eq!(mbs(34.256), "34.26");
+        assert_eq!(secs(1.2345), "1.234");
+    }
+
+    #[test]
+    fn series_holds_points() {
+        let s = Series { label: "x".into(), points: vec![(1.0, 2.0), (2.0, 4.0)] };
+        assert_eq!(s.points.len(), 2);
+    }
+}

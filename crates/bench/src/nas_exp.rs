@@ -1,0 +1,35 @@
+//! Table 6: NAS kernels on 16 thin nodes, MPI-F vs MPI-AM.
+
+use sp_mpi::runner::MpiImpl;
+use sp_nas::{run_kernel, Kernel};
+
+/// One Table 6 row.
+#[derive(Debug, Clone)]
+pub struct NasRow {
+    /// Benchmark name.
+    pub kernel: Kernel,
+    /// MPI-F time (virtual seconds, scaled class — see EXPERIMENTS.md).
+    pub mpif_s: f64,
+    /// MPI-AM (optimized MPICH-over-AM) time.
+    pub mpiam_s: f64,
+    /// Residual agreement check.
+    pub checksums_agree: bool,
+}
+
+/// Run Table 6 on `ranks` ranks.
+pub fn table6(ranks: usize) -> Vec<NasRow> {
+    Kernel::all()
+        .into_iter()
+        .map(|kernel| {
+            let f = run_kernel(kernel, MpiImpl::MpiF, ranks, 5);
+            let am = run_kernel(kernel, MpiImpl::AmOptimized, ranks, 5);
+            NasRow {
+                kernel,
+                mpif_s: f.time.as_secs(),
+                mpiam_s: am.time.as_secs(),
+                checksums_agree: (f.checksum - am.checksum).abs()
+                    <= 1e-9 * f.checksum.abs().max(1.0),
+            }
+        })
+        .collect()
+}

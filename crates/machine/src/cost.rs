@@ -1,0 +1,193 @@
+//! The host cost model.
+
+use sp_sim::Dur;
+
+/// Which SP node flavour a [`CostModel`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Model 390 "thin" node: 64 KB / 64 B-line data cache.
+    Thin,
+    /// Model 590 "wide" node: 256 KB / 256 B-line data cache, faster memory.
+    Wide,
+}
+
+impl std::fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeKind::Thin => write!(f, "thin"),
+            NodeKind::Wide => write!(f, "wide"),
+        }
+    }
+}
+
+/// Host-side cost constants for one SP node flavour.
+///
+/// All communication-layer code charges virtual time exclusively through
+/// the methods on this struct, so the calibration lives in one place.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Node flavour these constants describe.
+    pub kind: NodeKind,
+    /// CPU clock in MHz (66 for both flavours).
+    pub cpu_mhz: f64,
+    /// Data-cache line size in bytes (64 thin, 256 wide).
+    pub cache_line: usize,
+    /// Cost of flushing one cache line to main memory (`dcbf`-style, §2.1).
+    pub flush_per_line: Dur,
+    /// Fixed cost of a MicroChannel programmed-I/O store ("around 1 µs").
+    pub pio_write: Dur,
+    /// Fixed cost of a MicroChannel programmed-I/O load.
+    pub pio_read: Dur,
+    /// Host memcpy bandwidth for pipelined medium/large copies, MB/s.
+    pub memcpy_mb_s: f64,
+    /// Fixed per-call memcpy startup cost (loop setup, alignment).
+    pub memcpy_setup: Dur,
+    /// Sustained floating-point rate used to charge computation phases of
+    /// application benchmarks, in MFLOP/s. Peak is 266 for Power2 (2 FPUs ×
+    /// 2 (FMA) × 66 MHz); sustained application rates are far lower.
+    pub sustained_mflops: f64,
+    /// Relative integer/CPU speed factor (1.0 = SP thin node). Used by the
+    /// cross-machine Split-C comparison, where other machines reuse the
+    /// same application kernels with a scaled CPU.
+    pub cpu_scale: f64,
+}
+
+impl CostModel {
+    /// Cost model for a thin node (model 390) — the default for every
+    /// experiment except Figures 10/11.
+    pub fn thin() -> Self {
+        CostModel {
+            kind: NodeKind::Thin,
+            cpu_mhz: 66.0,
+            cache_line: 64,
+            flush_per_line: Dur::ns(300),
+            pio_write: Dur::us(1.0),
+            pio_read: Dur::us(1.1),
+            memcpy_mb_s: 75.0,
+            memcpy_setup: Dur::ns(250),
+            sustained_mflops: 55.0,
+            cpu_scale: 1.0,
+        }
+    }
+
+    /// Cost model for a wide node (model 590): bigger cache lines (fewer,
+    /// slightly dearer flushes), a faster memory system, and a slightly
+    /// faster I/O bus.
+    pub fn wide() -> Self {
+        CostModel {
+            kind: NodeKind::Wide,
+            cpu_mhz: 66.0,
+            cache_line: 256,
+            flush_per_line: Dur::ns(480),
+            pio_write: Dur::ns(900),
+            pio_read: Dur::us(1.0),
+            memcpy_mb_s: 130.0,
+            memcpy_setup: Dur::ns(250),
+            sustained_mflops: 60.0,
+            cpu_scale: 1.0,
+        }
+    }
+
+    /// Number of cache lines covering `bytes` bytes (at worst alignment one
+    /// extra line is touched; we charge the aligned count, matching how the
+    /// SP AM code lays packets out on line boundaries).
+    #[inline]
+    pub fn lines(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.cache_line)
+    }
+
+    /// Cost of explicitly flushing `bytes` bytes of cache to main memory.
+    #[inline]
+    pub fn flush(&self, bytes: usize) -> Dur {
+        self.flush_per_line * self.lines(bytes) as u64
+    }
+
+    /// Cost of a host memory copy of `bytes` bytes.
+    #[inline]
+    pub fn memcpy(&self, bytes: usize) -> Dur {
+        if bytes == 0 {
+            return Dur::ZERO;
+        }
+        self.memcpy_setup + Dur::for_bytes(bytes as u64, self.memcpy_mb_s)
+    }
+
+    /// Cost of `cycles` CPU cycles of straight-line work.
+    #[inline]
+    pub fn cycles(&self, cycles: u64) -> Dur {
+        Dur::ns(((cycles as f64) * 1_000.0 / self.cpu_mhz / self.cpu_scale).round() as u64)
+    }
+
+    /// Cost of `n` floating-point operations at the sustained rate.
+    #[inline]
+    pub fn flops(&self, n: u64) -> Dur {
+        Dur::ns(((n as f64) * 1_000.0 / self.sustained_mflops / self.cpu_scale).round() as u64)
+    }
+
+    /// A copy of this model with the CPU slowed/sped by `scale` (>1 means
+    /// faster). Used by the LogGP cross-machine comparison.
+    pub fn with_cpu_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "cpu scale must be positive");
+        self.cpu_scale = scale;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_geometry() {
+        let thin = CostModel::thin();
+        assert_eq!(thin.cache_line, 64);
+        assert_eq!(thin.pio_write, Dur::us(1.0)); // "each access costs around 1us"
+        let wide = CostModel::wide();
+        assert_eq!(wide.cache_line, 256);
+        assert!(wide.memcpy_mb_s > thin.memcpy_mb_s);
+    }
+
+    #[test]
+    fn line_rounding() {
+        let thin = CostModel::thin();
+        assert_eq!(thin.lines(0), 0);
+        assert_eq!(thin.lines(1), 1);
+        assert_eq!(thin.lines(64), 1);
+        assert_eq!(thin.lines(65), 2);
+        assert_eq!(thin.lines(256), 4);
+        let wide = CostModel::wide();
+        assert_eq!(wide.lines(256), 1);
+    }
+
+    #[test]
+    fn flush_scales_with_lines() {
+        let thin = CostModel::thin();
+        assert_eq!(thin.flush(256), thin.flush_per_line * 4);
+        // A full 256 B packet costs fewer flushes on a wide node.
+        let wide = CostModel::wide();
+        assert!(wide.flush(256) < thin.flush(256));
+    }
+
+    #[test]
+    fn memcpy_cost_monotone_and_zero_free() {
+        let m = CostModel::thin();
+        assert_eq!(m.memcpy(0), Dur::ZERO);
+        assert!(m.memcpy(100) < m.memcpy(1000));
+        // 75 MB/s => ~13.3 ns/byte; 1 KB ~ 13.9 us total.
+        let c = m.memcpy(1024);
+        assert!((c.as_us() - 13.9).abs() < 1.0, "1KB memcpy was {c}");
+    }
+
+    #[test]
+    fn cycles_at_66mhz() {
+        let m = CostModel::thin();
+        // 66 cycles at 66 MHz = 1 us.
+        assert_eq!(m.cycles(66), Dur::us(1.0));
+    }
+
+    #[test]
+    fn cpu_scale_divides_work() {
+        let slow = CostModel::thin().with_cpu_scale(0.5);
+        assert_eq!(slow.cycles(66), Dur::us(2.0));
+        assert_eq!(slow.flops(55), Dur::us(2.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! # sp-machine — Power2 host cost models
+//!
+//! The SC '96 paper runs on IBM RS/6000 SP nodes: 66 MHz Power2 processors
+//! on a MicroChannel I/O bus with a software-managed (non-coherent) data
+//! cache. Two node flavours appear in the evaluation:
+//!
+//! * **thin nodes** (model 390): 64 KB data cache, 64-byte lines — the nodes
+//!   used for all AM microbenchmarks, Split-C runs, and the NAS table;
+//! * **wide nodes** (model 590): 256 KB data cache, 256-byte lines, faster
+//!   memory system — used for the MPI comparison in Figures 10/11.
+//!
+//! This crate captures every *host-side* cost the paper attributes latency
+//! to as an explicit constant on [`CostModel`]:
+//!
+//! * cache-line **flushes** ("the relevant cache lines must be flushed out
+//!   to main memory explicitly", §2.1) — needed on the send path, and on the
+//!   receive path before a FIFO wrap-around;
+//! * **MicroChannel programmed-I/O** accesses ("each access costs around
+//!   1 µs", §2.1) — one store per packet-length-array slot, one per lazy
+//!   receive-FIFO pop;
+//! * host **memcpy** bandwidth — the copy into the send FIFO and out of the
+//!   receive FIFO;
+//! * plain **CPU work** at 66 MHz, plus a floating-point rate for charging
+//!   computation phases of application benchmarks.
+//!
+//! These constants are the *only* tuning surface of the whole reproduction:
+//! they are calibrated once against the paper's own microbenchmarks
+//! (Table 2, §2.3, §2.4) and everything else is predicted from them.
+
+#![warn(missing_docs)]
+
+mod cost;
+
+pub use cost::{CostModel, NodeKind};

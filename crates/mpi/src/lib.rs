@@ -1,0 +1,43 @@
+//! # sp-mpi — MPI over Active Messages, and the MPI-F baseline
+//!
+//! Section 4 of the paper layers MPI on SP AM through MPICH's abstract
+//! device interface and shows it matching (and for medium messages beating)
+//! IBM's from-scratch MPI-F. This crate reproduces that stack:
+//!
+//! * [`Mpi`] — the MPI subset the paper's evaluation needs (blocking and
+//!   non-blocking point-to-point with `(source, tag)` wildcards, waitall,
+//!   barrier, broadcast, reductions, all-to-all), as a trait so the NAS
+//!   kernels run unchanged on either implementation. Collectives are
+//!   provided as *generic* default methods built from point-to-point —
+//!   exactly MPICH's portable collectives, including the naive `alltoall`
+//!   whose convergent traffic pattern the paper blames for FT's gap
+//!   (§4.4);
+//! * [`MpiAm`] — MPI over SP AM (§4.1–4.2):
+//!   - **buffered protocol** for short messages: a 16 KB staging region per
+//!     source at every receiver, *sender-side* allocation (no handshake),
+//!     one `am_store` carrying data + envelope, a reply freeing the space;
+//!   - **rendezvous protocol** for long messages: request-for-address,
+//!     grant when the receive posts, then a direct store — with the ADI
+//!     restriction that the grant handler may not start the transfer (it
+//!     queues it for the next poll);
+//!   - **optimizations** (§4.2, all switchable): binned buffer allocator
+//!     (8 × 1 KB bins) instead of first-fit, batched buffer-free replies,
+//!     and the **hybrid** protocol that ships a 4 KB prefix eagerly while
+//!     the rendezvous handshake is in flight, removing MPI-F's bandwidth
+//!     dip at the protocol switch (Figure 7);
+//! * [`MpiF`] — an "MPI-F"-like native baseline implemented directly over
+//!   the adapter with its own eager(≤4 KB)/rendezvous split and cost
+//!   profile calibrated to the paper's MPI-F curves (Figures 8–11). MPI-F
+//!   ships tuned collectives, so it overrides `alltoall` with a staggered
+//!   schedule.
+
+#![warn(missing_docs)]
+
+mod iface;
+mod mpiam;
+mod mpif;
+pub mod runner;
+
+pub use iface::{Mpi, Req, Status, ANY_SOURCE, ANY_TAG};
+pub use mpiam::{MpiAm, MpiAmConfig, MpiSt};
+pub use mpif::{MpiF, MpiFConfig};

@@ -1,0 +1,100 @@
+//! SPMD runner for MPI programs over the paper's MPI implementations.
+
+use crate::iface::Mpi;
+use crate::mpiam::{MpiAm, MpiAmConfig, MpiSt};
+use crate::mpif::{MpiF, MpiFConfig};
+use parking_lot::Mutex;
+use sp_adapter::SpConfig;
+use sp_am::{Am, AmConfig, AmMachine};
+use sp_mpl::{Mpl, MplMachine};
+use std::sync::Arc;
+
+/// Which MPI implementation (and node flavour) to run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpiImpl {
+    /// Unoptimized MPICH-over-AM (§4.1).
+    AmUnoptimized,
+    /// Optimized MPICH-over-AM (§4.2).
+    AmOptimized,
+    /// Optimized MPICH-over-AM with SP-tuned collectives (the paper's
+    /// §4.4 future-work configuration).
+    AmTuned,
+    /// The MPI-F-like native baseline.
+    MpiF,
+}
+
+impl MpiImpl {
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MpiImpl::AmUnoptimized => "unoptimized AM MPI",
+            MpiImpl::AmOptimized => "optimized AM MPI",
+            MpiImpl::AmTuned => "AM MPI + tuned collectives",
+            MpiImpl::MpiF => "MPI-F",
+        }
+    }
+
+    /// All implementations, in the paper's legend order (the tuned-
+    /// collectives extension last).
+    pub fn all() -> [MpiImpl; 4] {
+        [MpiImpl::AmUnoptimized, MpiImpl::AmOptimized, MpiImpl::MpiF, MpiImpl::AmTuned]
+    }
+}
+
+/// Run `app` SPMD over `nodes` ranks of `imp` on the given SP hardware
+/// (thin or wide nodes); returns each rank's result.
+pub fn run_mpi<R: Send + 'static>(
+    imp: MpiImpl,
+    sp: SpConfig,
+    seed: u64,
+    app: impl Fn(&mut dyn Mpi) -> R + Send + Sync + Clone + 'static,
+) -> Vec<R> {
+    let nodes = sp.nodes;
+    let results: Arc<Mutex<Vec<Option<R>>>> =
+        Arc::new(Mutex::new((0..nodes).map(|_| None).collect()));
+    match imp {
+        MpiImpl::AmUnoptimized | MpiImpl::AmOptimized | MpiImpl::AmTuned => {
+            let cfg = match imp {
+                MpiImpl::AmOptimized => MpiAmConfig::optimized(),
+                MpiImpl::AmTuned => {
+                    MpiAmConfig { tuned_collectives: true, ..MpiAmConfig::optimized() }
+                }
+                _ => MpiAmConfig::unoptimized(),
+            };
+            let cost = sp.cost.clone();
+            let mut m = AmMachine::new(sp, AmConfig::default(), seed);
+            for node in 0..nodes {
+                let app = app.clone();
+                let results = results.clone();
+                let cfg = cfg.clone();
+                let st = MpiSt::new(&cfg, node, nodes, &cost);
+                m.spawn(format!("r{node}"), st, move |am: &mut Am<'_, MpiSt>| {
+                    let mut mpi = MpiAm::new(am, cfg);
+                    let r = app(&mut mpi);
+                    results.lock()[node] = Some(r);
+                });
+            }
+            m.run().expect("MPI-AM run completes");
+        }
+        MpiImpl::MpiF => {
+            let cfg = MpiFConfig::default();
+            let mut m = MplMachine::new(sp, cfg.transport.clone(), seed);
+            for node in 0..nodes {
+                let app = app.clone();
+                let results = results.clone();
+                let cfg = cfg.clone();
+                m.spawn(format!("r{node}"), move |mpl: &mut Mpl<'_>| {
+                    let mut mpi = MpiF::new(mpl, cfg);
+                    let r = app(&mut mpi);
+                    results.lock()[node] = Some(r);
+                });
+            }
+            m.run().expect("MPI-F run completes");
+        }
+    }
+    let mut out = Vec::with_capacity(nodes);
+    for slot in results.lock().iter_mut() {
+        out.push(slot.take().expect("every rank produced a result"));
+    }
+    out
+}

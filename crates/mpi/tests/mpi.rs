@@ -1,0 +1,352 @@
+//! MPI semantics tests across all three implementations: matching,
+//! ordering, wildcards, every protocol path (eager / rendezvous / hybrid),
+//! and the generic collectives.
+
+use sp_adapter::SpConfig;
+use sp_mpi::runner::{run_mpi, MpiImpl};
+use sp_mpi::{Mpi, ANY_SOURCE, ANY_TAG};
+
+fn pattern(len: usize, salt: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(13).wrapping_add(salt)).collect()
+}
+
+fn on_all(nodes: usize, app: impl Fn(&mut dyn Mpi) -> u64 + Send + Sync + Clone + 'static) {
+    for imp in MpiImpl::all() {
+        let results = run_mpi(imp, SpConfig::thin(nodes), 7, app.clone());
+        assert_eq!(results.len(), nodes, "{}", imp.name());
+    }
+}
+
+#[test]
+fn small_message_roundtrip_all_impls() {
+    on_all(2, |mpi| {
+        if mpi.rank() == 0 {
+            mpi.send(&[1, 2, 3], 1, 5);
+            let (data, st) = mpi.recv(Some(1), Some(6));
+            assert_eq!(data, vec![9]);
+            assert_eq!((st.source, st.tag, st.len), (1, 6, 1));
+        } else {
+            let (data, st) = mpi.recv(Some(0), Some(5));
+            assert_eq!(data, vec![1, 2, 3]);
+            assert_eq!(st.source, 0);
+            mpi.send(&[9], 0, 6);
+        }
+        0
+    });
+}
+
+#[test]
+fn every_protocol_path_delivers_exact_bytes() {
+    // Sizes hitting: zero-length, bins (<1KB), first-fit eager, just below
+    // and above each impl's eager/rendezvous switch, hybrid territory, and
+    // multi-chunk rendezvous.
+    let sizes = [0usize, 17, 1000, 4000, 4096, 4097, 8191, 8192, 8193, 16384, 16385, 60000, 200_000];
+    on_all(2, move |mpi| {
+        for (i, &len) in sizes.iter().enumerate() {
+            let tag = i as i32;
+            if mpi.rank() == 0 {
+                mpi.send(&pattern(len, i as u8), 1, tag);
+            } else {
+                let (data, st) = mpi.recv(Some(0), Some(tag));
+                assert_eq!(st.len, len, "length mismatch at size {len}");
+                assert_eq!(data, pattern(len, i as u8), "bytes mangled at size {len}");
+            }
+        }
+        mpi.barrier();
+        0
+    });
+}
+
+#[test]
+fn unexpected_messages_match_later_receives() {
+    on_all(2, |mpi| {
+        if mpi.rank() == 0 {
+            // Flood before the receiver posts anything, mixing protocols.
+            // The rendezvous message must use Isend: a blocking MPI_Send
+            // with no matching receive posted deadlocks by design (§4.1 —
+            // "inherent in the message passing primitives").
+            mpi.send(&pattern(100, 1), 1, 1);
+            let r = mpi.isend(&pattern(20_000, 2), 1, 2); // rendezvous: unexpected req
+            mpi.send(&pattern(500, 3), 1, 3);
+            mpi.barrier();
+            mpi.wait(r);
+        } else {
+            mpi.barrier();
+            // Receive out of tag order.
+            let (d3, _) = mpi.recv(Some(0), Some(3));
+            let (d2, _) = mpi.recv(Some(0), Some(2));
+            let (d1, _) = mpi.recv(Some(0), Some(1));
+            assert_eq!(d1, pattern(100, 1));
+            assert_eq!(d2, pattern(20_000, 2));
+            assert_eq!(d3, pattern(500, 3));
+        }
+        mpi.barrier();
+        0
+    });
+}
+
+#[test]
+fn same_tag_fifo_order_preserved() {
+    on_all(2, |mpi| {
+        if mpi.rank() == 0 {
+            for i in 0..50u8 {
+                mpi.send(&[i], 1, 9);
+            }
+            mpi.barrier();
+        } else {
+            for i in 0..50u8 {
+                let (d, _) = mpi.recv(Some(0), Some(9));
+                assert_eq!(d, vec![i], "same-tag messages reordered");
+            }
+            mpi.barrier();
+        }
+        0
+    });
+}
+
+#[test]
+fn wildcards_match_any_source_and_tag() {
+    on_all(4, |mpi| {
+        if mpi.rank() == 0 {
+            let mut seen = [false; 4];
+            for _ in 0..3 {
+                let (data, st) = mpi.recv(ANY_SOURCE, ANY_TAG);
+                assert_eq!(data.len(), 8);
+                assert_eq!(st.tag as usize, st.source * 10);
+                seen[st.source] = true;
+            }
+            assert!(seen[1] && seen[2] && seen[3]);
+        } else {
+            mpi.send(&pattern(8, mpi.rank() as u8), 0, (mpi.rank() * 10) as i32);
+        }
+        mpi.barrier();
+        0
+    });
+}
+
+#[test]
+fn isend_irecv_overlap() {
+    on_all(2, |mpi| {
+        let peer = 1 - mpi.rank();
+        // Both sides post receives first, then send: full-duplex exchange
+        // that deadlocks if blocking semantics are wrong.
+        let r = mpi.irecv(Some(peer), Some(1));
+        let s = mpi.isend(&pattern(30_000, mpi.rank() as u8), peer, 1);
+        let (data, _) = mpi.wait(r).expect("message");
+        assert_eq!(data, pattern(30_000, peer as u8));
+        mpi.wait(s);
+        mpi.barrier();
+        0
+    });
+}
+
+#[test]
+fn sendrecv_ring() {
+    on_all(4, |mpi| {
+        let (me, p) = (mpi.rank(), mpi.size());
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        let (data, st) = mpi.sendrecv(&pattern(64, me as u8), right, 3, Some(left), Some(3));
+        assert_eq!(st.source, left);
+        assert_eq!(data, pattern(64, left as u8));
+        0
+    });
+}
+
+#[test]
+fn barrier_synchronizes() {
+    on_all(8, |mpi| {
+        let staggered = sp_sim::Dur::us(40.0 * mpi.rank() as f64);
+        mpi.work(staggered);
+        mpi.barrier();
+        let t = mpi.now().as_us();
+        assert!(t >= 40.0 * 7.0, "left the barrier at {t:.1} before the last arriver");
+        0
+    });
+}
+
+#[test]
+fn bcast_from_every_root() {
+    on_all(6, |mpi| {
+        for root in 0..mpi.size() {
+            let data = if mpi.rank() == root { pattern(500, root as u8) } else { Vec::new() };
+            let got = mpi.bcast(root, &data);
+            assert_eq!(got, pattern(500, root as u8), "bcast from root {root}");
+        }
+        0
+    });
+}
+
+#[test]
+fn reduce_and_allreduce() {
+    on_all(5, |mpi| {
+        let mine: Vec<f64> = (0..8).map(|i| (mpi.rank() * 8 + i) as f64).collect();
+        let expect: Vec<f64> = (0..8)
+            .map(|i| (0..5).map(|r| (r * 8 + i) as f64).sum())
+            .collect();
+        if let Some(sum) = mpi.reduce_f64(0, &mine, |a, b| a + b) {
+            assert_eq!(mpi.rank(), 0);
+            assert_eq!(sum, expect);
+        }
+        let all = mpi.allreduce_f64(&mine, |a, b| a + b);
+        assert_eq!(all, expect);
+        let max = mpi.allreduce_f64(&mine, f64::max);
+        let expect_max: Vec<f64> = (0..8).map(|i| (4 * 8 + i) as f64).collect();
+        assert_eq!(max, expect_max);
+        0
+    });
+}
+
+#[test]
+fn alltoall_exchanges_all_pairs() {
+    on_all(6, |mpi| {
+        let (me, p) = (mpi.rank(), mpi.size());
+        let bufs: Vec<Vec<u8>> = (0..p).map(|d| pattern(400, (me * p + d) as u8)).collect();
+        let got = mpi.alltoall(&bufs);
+        for (s, block) in got.iter().enumerate() {
+            assert_eq!(block, &pattern(400, (s * p + me) as u8), "from {s}");
+        }
+        0
+    });
+}
+
+#[test]
+fn gather_collects_contributions() {
+    on_all(5, |mpi| {
+        let me = mpi.rank();
+        let out = mpi.gather(2, &pattern(32, me as u8));
+        if me == 2 {
+            let rows = out.expect("root receives");
+            for (s, row) in rows.iter().enumerate() {
+                assert_eq!(row, &pattern(32, s as u8));
+            }
+        } else {
+            assert!(out.is_none());
+        }
+        0
+    });
+}
+
+#[test]
+fn self_send_works() {
+    on_all(2, |mpi| {
+        let me = mpi.rank();
+        let r = mpi.irecv(Some(me), Some(77));
+        mpi.send(&pattern(100, 9), me, 77);
+        let (d, _) = mpi.wait(r).expect("self message");
+        assert_eq!(d, pattern(100, 9));
+        0
+    });
+}
+
+#[test]
+fn eager_region_backpressure_resolves() {
+    // Flood far more eager data than the 16 KB region holds before the
+    // receiver drains: senders must stall on allocation and recover.
+    on_all(2, |mpi| {
+        if mpi.rank() == 0 {
+            for i in 0..200u32 {
+                mpi.send(&pattern(1000, i as u8), 1, i as i32);
+            }
+            mpi.barrier();
+        } else {
+            mpi.work(sp_sim::Dur::ms(3.0)); // let the flood hit the region limit
+            for i in 0..200u32 {
+                let (d, _) = mpi.recv(Some(0), Some(i as i32));
+                assert_eq!(d, pattern(1000, i as u8));
+            }
+            mpi.barrier();
+        }
+        0
+    });
+}
+
+#[test]
+fn wide_node_machine_also_works() {
+    let results = run_mpi(MpiImpl::AmOptimized, SpConfig::wide(2), 3, |mpi: &mut dyn Mpi| {
+        if mpi.rank() == 0 {
+            mpi.send(&pattern(50_000, 3), 1, 0);
+            mpi.barrier();
+            1u64
+        } else {
+            let (d, _) = mpi.recv(Some(0), Some(0));
+            assert_eq!(d, pattern(50_000, 3));
+            mpi.barrier();
+            1u64
+        }
+    });
+    assert_eq!(results, vec![1, 1]);
+}
+
+#[test]
+fn single_rank_collectives_are_noops() {
+    for imp in MpiImpl::all() {
+        run_mpi(imp, SpConfig::thin(1), 1, |mpi: &mut dyn Mpi| {
+            mpi.barrier();
+            assert_eq!(mpi.bcast(0, &[1, 2, 3]), vec![1, 2, 3]);
+            assert_eq!(mpi.allreduce_f64(&[2.5], |a, b| a + b), vec![2.5]);
+            let out = mpi.alltoall(&[vec![9, 9]]);
+            assert_eq!(out, vec![vec![9, 9]]);
+            let g = mpi.gather(0, &[4]).expect("root");
+            assert_eq!(g, vec![vec![4]]);
+            0u8
+        });
+    }
+}
+
+#[test]
+fn test_polls_until_complete() {
+    on_all(2, |mpi| {
+        if mpi.rank() == 0 {
+            mpi.work(sp_sim::Dur::us(500.0));
+            mpi.send(&[1], 1, 0);
+            mpi.barrier();
+        } else {
+            let r = mpi.irecv(Some(0), Some(0));
+            let mut spins = 0u64;
+            while !mpi.test(r) {
+                spins += 1;
+            }
+            assert!(spins > 0, "message should not be instant");
+            let (d, _) = mpi.wait(r).expect("message");
+            assert_eq!(d, vec![1]);
+            mpi.barrier();
+        }
+        0
+    });
+}
+
+#[test]
+fn waitall_mixed_sends_and_recvs() {
+    on_all(2, |mpi| {
+        let peer = 1 - mpi.rank();
+        let mut reqs = Vec::new();
+        for i in 0..5 {
+            reqs.push(mpi.irecv(Some(peer), Some(i)));
+        }
+        for i in 0..5 {
+            reqs.push(mpi.isend(&pattern(200 + i as usize, i as u8), peer, i));
+        }
+        let results = mpi.waitall(reqs);
+        for (i, r) in results.iter().take(5).enumerate() {
+            let (d, st) = r.as_ref().expect("recv yields");
+            assert_eq!(st.tag, i as i32);
+            assert_eq!(d, &pattern(200 + i, i as u8));
+        }
+        assert!(results[5..].iter().all(|r| r.is_none()), "sends yield no data");
+        0
+    });
+}
+
+#[test]
+fn tuned_alltoall_matches_generic_results() {
+    let app = |mpi: &mut dyn Mpi| {
+        let (me, p) = (mpi.rank(), mpi.size());
+        let bufs: Vec<Vec<u8>> = (0..p).map(|d| pattern(300, (me * p + d) as u8)).collect();
+        let got = mpi.alltoall(&bufs);
+        got.iter().flat_map(|v| v.iter().copied()).fold(0u64, |a, b| a.wrapping_add(b as u64))
+    };
+    let generic = run_mpi(MpiImpl::AmOptimized, SpConfig::thin(6), 3, app);
+    let tuned = run_mpi(MpiImpl::AmTuned, SpConfig::thin(6), 3, app);
+    assert_eq!(generic, tuned, "tuned schedule must move identical data");
+}

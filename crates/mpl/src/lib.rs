@@ -1,0 +1,46 @@
+//! # sp-mpl — the IBM MPL comparator
+//!
+//! The paper measures SP AM against IBM's Message Passing Library (MPL),
+//! the user-space message-passing layer shipped with the SP. MPL is a
+//! *measured baseline* in the paper, not an artifact, so this crate
+//! reproduces its externally observable cost structure on the same
+//! simulated TB2 adapter:
+//!
+//! * one-word `mpc_bsend`/`mpc_brecv` ping-pong round trip of **88 µs**
+//!   (§2.3) — the heavyweight per-message software path (`o_send`,
+//!   `o_recv`) is calibrated to this;
+//! * asymptotic bandwidth of **~34.6 MB/s** (§2.4) — MPL packetizes into
+//!   the same 256-byte adapter packets, so its `r∞` matches SP AM's;
+//! * a half-power point in the **kilobytes** (vs. SP AM's ~260 bytes),
+//!   emerging from the per-message overheads.
+//!
+//! The API mirrors the MPL calls the paper uses: [`Mpl::bsend`]
+//! (`mpc_bsend`), [`Mpl::brecv`] (`mpc_brecv`), [`Mpl::send`]/[`Mpl::recv`]
+//! (non-blocking `mpc_send`/`mpc_recv`) with [`Mpl::wait`], plus matching
+//! on `(source, tag)` with wildcards.
+//!
+//! A light credit-based flow-control scheme (a real MPL had one inside the
+//! CSS layer) bounds in-flight packets per destination so the receive FIFO
+//! cannot be overrun by a well-behaved program; senders poll (and thus
+//! drain their own inbound traffic) while waiting for credits, so mutual
+//! floods cannot deadlock.
+
+#![warn(missing_docs)]
+
+mod config;
+mod layer;
+mod wire;
+
+pub use config::MplConfig;
+pub use layer::{Mpl, MplMachine, MplReport, MplStats, Msg, RecvHandle, SendHandle};
+pub use wire::MplWire;
+
+/// World type for MPL simulations.
+pub type MplWorld = sp_adapter::SpWorld<wire::MplWire>;
+/// Node context type for MPL simulations.
+pub type MplCtx = sp_adapter::SpCtx<wire::MplWire>;
+
+/// Wildcard source for receives (`DONTCARE` in MPL).
+pub const ANY_SOURCE: Option<usize> = None;
+/// Wildcard tag for receives.
+pub const ANY_TAG: Option<u32> = None;

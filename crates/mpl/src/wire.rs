@@ -1,0 +1,53 @@
+//! MPL wire format: messages are packetized into adapter packets carrying
+//! a (message id, byte offset, total length) triple for reassembly, plus
+//! credit returns for flow control.
+
+/// One MPL packet payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MplWire {
+    /// A fragment of message `msg_id` from its source.
+    Frag {
+        /// Per-(src→dst) message sequence number.
+        msg_id: u32,
+        /// MPL message tag ("type" in MPL parlance).
+        tag: u32,
+        /// Byte offset of this fragment.
+        offset: u32,
+        /// Total message length in bytes.
+        total: u32,
+        /// Fragment bytes.
+        bytes: Box<[u8]>,
+    },
+    /// Credit return: the receiver drained `count` packets from this
+    /// sender.
+    Credit {
+        /// Packets drained since the last credit return.
+        count: u32,
+    },
+}
+
+impl MplWire {
+    /// Payload bytes on the wire (fragment metadata rides in the 32-byte
+    /// adapter header, as with SP AM).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            MplWire::Frag { bytes, .. } => bytes.len().max(1),
+            MplWire::Credit { .. } => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_accounting() {
+        let f = MplWire::Frag { msg_id: 0, tag: 0, offset: 0, total: 10, bytes: vec![1; 10].into() };
+        assert_eq!(f.payload_bytes(), 10);
+        // Zero-length messages still occupy one wire byte of payload.
+        let z = MplWire::Frag { msg_id: 0, tag: 0, offset: 0, total: 0, bytes: Vec::new().into() };
+        assert_eq!(z.payload_bytes(), 1);
+        assert_eq!(MplWire::Credit { count: 3 }.payload_bytes(), 4);
+    }
+}

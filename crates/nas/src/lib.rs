@@ -1,0 +1,58 @@
+//! # sp-nas — NAS Parallel Benchmark kernels for Table 6
+//!
+//! The paper's §4.4 compares MPI-over-AM against MPI-F on the NAS Parallel
+//! Benchmarks 2.0 (BT, FT, LU, MG, SP), Class A, on 16 thin nodes. This
+//! crate reimplements the five kernels as *communication-faithful*
+//! miniatures:
+//!
+//! * each kernel runs the real NPB 2.0 communication pattern — BT/SP's
+//!   per-dimension face exchanges on a square process grid, LU's fine-grain
+//!   SSOR wavefront pipeline, MG's V-cycle halo exchanges across grid
+//!   levels, FT's transpose built on `MPI_Alltoall` (the generic MPICH
+//!   schedule on MPI-AM, the tuned one on MPI-F — exactly the difference
+//!   the paper blames for FT's gap);
+//! * each performs *real arithmetic* on a scaled-down grid (class "S16" —
+//!   our simulation class), so results are verifiable: both MPI
+//!   implementations must produce bit-identical residuals;
+//! * computation is charged to virtual time from the actual flop counts of
+//!   the scaled problem, so communication/computation ratios stay
+//!   representative and the Table 6 *ratios* (MPI-AM vs MPI-F per
+//!   benchmark) are meaningful even though our absolute class is smaller
+//!   than Class A (see EXPERIMENTS.md for the scale discussion).
+//!
+//! Run a kernel with [`run_kernel`]; each returns a [`NasResult`] with the
+//! timed section's virtual duration and a deterministic residual checksum.
+
+#![warn(missing_docs)]
+
+mod adi;
+mod common;
+mod ft;
+mod lu;
+mod mg;
+
+pub use common::{Kernel, NasResult};
+
+use sp_adapter::SpConfig;
+use sp_mpi::runner::{run_mpi, MpiImpl};
+
+/// Run `kernel` on `ranks` ranks of `imp`; returns the slowest rank's
+/// timed duration and the global residual checksum.
+pub fn run_kernel(kernel: Kernel, imp: MpiImpl, ranks: usize, seed: u64) -> NasResult {
+    let results = run_mpi(imp, SpConfig::thin(ranks), seed, move |mpi| match kernel {
+        Kernel::Bt => adi::run_bt(mpi),
+        Kernel::Sp => adi::run_sp(mpi),
+        Kernel::Lu => lu::run(mpi),
+        Kernel::Mg => mg::run(mpi),
+        Kernel::Ft => ft::run(mpi),
+    });
+    let time = results.iter().map(|r| r.time).max().expect("ranks > 0");
+    let checksum = results[0].checksum;
+    for r in &results {
+        assert!(
+            (r.checksum - checksum).abs() <= 1e-9 * checksum.abs().max(1.0),
+            "ranks disagree on the residual"
+        );
+    }
+    NasResult { time, checksum }
+}

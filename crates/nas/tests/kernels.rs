@@ -1,0 +1,65 @@
+//! NAS kernel tests: determinism, implementation-independence of the
+//! numerics, and basic Table 6 shape (MPI-AM close to MPI-F).
+
+use sp_mpi::runner::MpiImpl;
+use sp_nas::{run_kernel, Kernel};
+
+#[test]
+fn kernels_agree_across_implementations_4_ranks() {
+    for kernel in Kernel::all() {
+        let a = run_kernel(kernel, MpiImpl::AmOptimized, 4, 3);
+        let b = run_kernel(kernel, MpiImpl::MpiF, 4, 3);
+        let c = run_kernel(kernel, MpiImpl::AmUnoptimized, 4, 3);
+        assert!(
+            (a.checksum - b.checksum).abs() <= 1e-9 * a.checksum.abs().max(1.0),
+            "{}: AM-opt {} vs MPI-F {}",
+            kernel.name(),
+            a.checksum,
+            b.checksum
+        );
+        assert!(
+            (a.checksum - c.checksum).abs() <= 1e-9 * a.checksum.abs().max(1.0),
+            "{}: AM-opt {} vs AM-unopt {}",
+            kernel.name(),
+            a.checksum,
+            c.checksum
+        );
+        assert!(a.checksum.is_finite() && a.checksum != 0.0, "{} trivial checksum", kernel.name());
+        assert!(a.time.as_us() > 0.0);
+    }
+}
+
+#[test]
+fn kernels_deterministic() {
+    for kernel in [Kernel::Lu, Kernel::Ft] {
+        let a = run_kernel(kernel, MpiImpl::AmOptimized, 4, 3);
+        let b = run_kernel(kernel, MpiImpl::AmOptimized, 4, 3);
+        assert_eq!(a.time, b.time, "{} time not reproducible", kernel.name());
+        assert_eq!(a.checksum, b.checksum);
+    }
+}
+
+#[test]
+fn table6_shape_16_ranks() {
+    // The paper's qualitative Table 6 claims on 16 thin nodes:
+    //  - MPI-AM (optimized) is within ~25% of MPI-F on every kernel;
+    //  - FT and SP show a visible gap (generic collectives / many small
+    //    messages), BT and MG are close.
+    for kernel in Kernel::all() {
+        let am = run_kernel(kernel, MpiImpl::AmOptimized, 16, 5);
+        let f = run_kernel(kernel, MpiImpl::MpiF, 16, 5);
+        let ratio = am.time.as_us() / f.time.as_us();
+        eprintln!(
+            "{}: MPI-F {:.3}s  MPI-AM {:.3}s  ratio {:.2}",
+            kernel.name(),
+            f.time.as_secs(),
+            am.time.as_secs(),
+            ratio
+        );
+        assert!(
+            (0.7..1.45).contains(&ratio),
+            "{}: MPI-AM/MPI-F ratio {ratio:.2} out of the paper's ballpark",
+            kernel.name()
+        );
+    }
+}

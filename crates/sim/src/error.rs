@@ -1,0 +1,50 @@
+//! Engine error type.
+
+use crate::time::Time;
+use std::fmt;
+
+/// Errors surfaced by [`Sim::run`](crate::Sim::run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained while one or more node programs were still
+    /// parked waiting for a wake that can no longer arrive.
+    Deadlock {
+        /// Virtual time at which the simulation stalled.
+        at: Time,
+        /// Names of the parked node programs.
+        parked: Vec<String>,
+    },
+    /// The configured event budget was exhausted; the simulation is most
+    /// likely livelocked (e.g. a node spinning in `advance(Dur::ZERO)`).
+    EventBudgetExhausted {
+        /// Virtual time reached when the budget ran out.
+        at: Time,
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// A node program panicked; the payload is the panic message.
+    NodePanicked {
+        /// Name of the panicking node program.
+        node: String,
+        /// Stringified panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at, parked } => {
+                write!(f, "deadlock at {at}: parked nodes with no pending events: {parked:?}")
+            }
+            SimError::EventBudgetExhausted { at, budget } => {
+                write!(f, "event budget of {budget} exhausted at {at} (livelock?)")
+            }
+            SimError::NodePanicked { node, message } => {
+                write!(f, "node program '{node}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,261 @@
+//! Node programs: the baton handshake and the [`NodeCtx`] API they program
+//! against.
+//!
+//! Each simulated node's program runs on a dedicated OS thread, but the
+//! engine and the node threads pass a *baton* back and forth so that exactly
+//! one of them executes at any moment. The handshake is a tiny state machine
+//! guarded by a `parking_lot` mutex/condvar pair per node.
+
+use crate::engine::{EvKind, NodeId, Shared};
+use crate::time::{Dur, Time};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Why a blocked node program resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeReason {
+    /// The requested virtual-time span elapsed (for [`NodeCtx::advance`] and
+    /// the timeout arm of [`NodeCtx::park_timeout`]).
+    Timeout,
+    /// Another node or a scheduled event called `unpark` on this node.
+    Unparked,
+}
+
+/// What a node program hands back to the engine when it yields.
+///
+/// The `until` fields exist for `Debug` diagnostics; scheduling state is
+/// recorded by the node-side `note_*` calls before the yield, so the engine
+/// itself never reads them.
+#[derive(Debug)]
+#[allow(dead_code)]
+pub(crate) enum Yield {
+    /// Charge virtual time: wake unconditionally at `until`. Unparks that
+    /// arrive while sleeping are latched as a pending signal.
+    Sleep {
+        /// Absolute wake time.
+        until: Time,
+    },
+    /// Block until some event unparks this node.
+    Park,
+    /// Block until unparked or until `until`, whichever comes first.
+    ParkTimeout {
+        /// Absolute timeout instant.
+        until: Time,
+    },
+    /// The program returned normally.
+    Done,
+    /// The program panicked; payload is the stringified panic message.
+    Panicked(String),
+}
+
+/// Baton slot contents.
+enum Slot {
+    /// Neither side has anything for the other (engine owns the baton).
+    Idle,
+    /// Engine granted the node the right to run, at virtual time `at`.
+    Run { at: Time, reason: WakeReason },
+    /// Engine is tearing the simulation down; the node thread must exit.
+    Exit,
+    /// Node handed control back to the engine.
+    Yielded(Yield),
+}
+
+/// Panic payload used to unwind a node thread during teardown.
+pub(crate) struct ShutdownToken;
+
+/// One node's half-duplex rendezvous channel with the engine.
+pub(crate) struct Baton {
+    slot: Mutex<Slot>,
+    cv: Condvar,
+}
+
+impl Baton {
+    pub(crate) fn new() -> Arc<Baton> {
+        Arc::new(Baton { slot: Mutex::new(Slot::Idle), cv: Condvar::new() })
+    }
+
+    /// Engine side: hand the baton to the node and block until it yields.
+    pub(crate) fn resume(&self, at: Time, reason: WakeReason) -> Yield {
+        let mut slot = self.slot.lock();
+        debug_assert!(matches!(*slot, Slot::Idle), "resume: baton not idle");
+        *slot = Slot::Run { at, reason };
+        self.cv.notify_one();
+        loop {
+            match &*slot {
+                Slot::Yielded(_) => break,
+                _ => self.cv.wait(&mut slot),
+            }
+        }
+        match std::mem::replace(&mut *slot, Slot::Idle) {
+            Slot::Yielded(y) => y,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Engine side: tell a blocked node thread to unwind and exit.
+    pub(crate) fn exit(&self) {
+        let mut slot = self.slot.lock();
+        *slot = Slot::Exit;
+        self.cv.notify_one();
+    }
+
+    /// Node side: wait for the first `Run` grant (program start).
+    pub(crate) fn wait_for_start(&self) -> (Time, WakeReason) {
+        self.wait_for_run()
+    }
+
+    /// Node side: publish `y` and block until the engine grants `Run` again.
+    /// `Done`/`Panicked` yields never resume; callers must not wait after
+    /// publishing them (see [`Baton::finish`]).
+    fn yield_and_wait(&self, y: Yield) -> (Time, WakeReason) {
+        {
+            let mut slot = self.slot.lock();
+            debug_assert!(matches!(*slot, Slot::Run { .. }), "yield: node does not hold baton");
+            *slot = Slot::Yielded(y);
+            self.cv.notify_one();
+        }
+        self.wait_for_run()
+    }
+
+    /// Node side: publish a terminal yield (`Done`/`Panicked`) and return.
+    pub(crate) fn finish(&self, y: Yield) {
+        let mut slot = self.slot.lock();
+        *slot = Slot::Yielded(y);
+        self.cv.notify_one();
+    }
+
+    fn wait_for_run(&self) -> (Time, WakeReason) {
+        let mut slot = self.slot.lock();
+        loop {
+            match &*slot {
+                Slot::Run { at, reason } => {
+                    let out = (*at, *reason);
+                    // Leave `Run` in place: it marks that the node holds the
+                    // baton until it yields again.
+                    return out;
+                }
+                Slot::Exit => {
+                    drop(slot);
+                    std::panic::resume_unwind(Box::new(ShutdownToken));
+                }
+                _ => self.cv.wait(&mut slot),
+            }
+        }
+    }
+}
+
+/// Handle through which a node program interacts with the simulation.
+///
+/// A `NodeCtx` is handed (by mutable reference) to the node program closure.
+/// All methods that touch virtual time are *explicit*: wall-clock time spent
+/// computing inside the closure costs nothing; only [`NodeCtx::advance`]
+/// moves this node's clock.
+pub struct NodeCtx<W: Send + 'static> {
+    pub(crate) id: NodeId,
+    pub(crate) num_nodes: usize,
+    pub(crate) now: Time,
+    pub(crate) shared: Arc<Shared<W>>,
+    pub(crate) baton: Arc<Baton>,
+    pub(crate) rng: SmallRng,
+}
+
+impl<W: Send + 'static> NodeCtx<W> {
+    pub(crate) fn new(
+        id: NodeId,
+        num_nodes: usize,
+        seed: u64,
+        shared: Arc<Shared<W>>,
+        baton: Arc<Baton>,
+    ) -> Self {
+        // Mix the node id into the master seed so per-node streams differ.
+        let node_seed = seed ^ (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        NodeCtx {
+            id,
+            num_nodes,
+            now: Time::ZERO,
+            shared,
+            baton,
+            rng: SmallRng::seed_from_u64(node_seed),
+        }
+    }
+
+    /// This node's id (dense, `0..num_nodes`).
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Total number of node programs in the simulation.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Current virtual time at this node.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Deterministic per-node random number generator.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Charge `d` of virtual time to this node (e.g. CPU work, an I/O-bus
+    /// access, a cache flush). Scheduled events whose time falls within the
+    /// span execute while this node "computes"; unparks arriving meanwhile
+    /// are latched and delivered by the next `park`/`park_timeout`.
+    pub fn advance(&mut self, d: Dur) {
+        let until = self.now + d;
+        self.shared.note_sleep(self.id, until);
+        let (t, _) = self.baton.yield_and_wait(Yield::Sleep { until });
+        debug_assert_eq!(t, until);
+        self.now = t;
+    }
+
+    /// Block until another node or an event calls unpark on this node.
+    /// Consecutive unparks coalesce (as with `std::thread::park`). Returns
+    /// immediately if a signal is already pending.
+    pub fn park(&mut self) -> WakeReason {
+        if self.shared.take_signal(self.id) {
+            return WakeReason::Unparked;
+        }
+        self.shared.note_park(self.id, None);
+        let (t, reason) = self.baton.yield_and_wait(Yield::Park);
+        self.now = t;
+        reason
+    }
+
+    /// Block until unparked, but at most for `d` of virtual time.
+    pub fn park_timeout(&mut self, d: Dur) -> WakeReason {
+        if self.shared.take_signal(self.id) {
+            return WakeReason::Unparked;
+        }
+        let until = self.now + d;
+        self.shared.note_park(self.id, Some(until));
+        let (t, reason) = self.baton.yield_and_wait(Yield::ParkTimeout { until });
+        self.now = t;
+        reason
+    }
+
+    /// Unpark node `target`: if it is parked it becomes runnable *now*;
+    /// otherwise the signal is latched for its next park.
+    pub fn unpark(&mut self, target: NodeId) {
+        self.shared.unpark(target, self.now);
+    }
+
+    /// Access the shared world state (the simulated hardware). No virtual
+    /// time is charged; pair with [`NodeCtx::advance`] to model cost.
+    pub fn world<R>(&self, f: impl FnOnce(&mut W) -> R) -> R {
+        self.shared.with_world(f)
+    }
+
+    /// Schedule `f` to run as an engine event `after` from now.
+    pub fn schedule(&self, after: Dur, f: impl FnOnce(&mut crate::engine::EventCtx<'_, W>) + Send + 'static) {
+        self.shared.schedule(self.now + after, EvKind::call(f));
+    }
+}

@@ -1,0 +1,288 @@
+//! Virtual time: absolute instants ([`Time`]) and spans ([`Dur`]).
+//!
+//! Both are nanosecond-granular `u64`s. One nanosecond of resolution is two
+//! orders of magnitude below the finest cost the paper reports (0.17 µs per
+//! extra request word), and a `u64` of nanoseconds spans ~584 years of
+//! virtual time, so neither rounding nor overflow is a practical concern.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant of virtual time, in nanoseconds since simulation
+/// start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+impl Dur {
+    /// Zero-length span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// A span of `n` nanoseconds.
+    #[inline]
+    pub const fn ns(n: u64) -> Dur {
+        Dur(n)
+    }
+
+    /// A span of `us` microseconds (fractional values allowed; rounded to
+    /// the nearest nanosecond).
+    #[inline]
+    pub fn us(us: f64) -> Dur {
+        debug_assert!(us >= 0.0, "negative duration");
+        Dur((us * 1_000.0).round() as u64)
+    }
+
+    /// A span of `ms` milliseconds.
+    #[inline]
+    pub fn ms(ms: f64) -> Dur {
+        Dur((ms * 1_000_000.0).round() as u64)
+    }
+
+    /// A span of `s` seconds.
+    #[inline]
+    pub fn secs(s: f64) -> Dur {
+        Dur((s * 1_000_000_000.0).round() as u64)
+    }
+
+    /// The span covered by transferring `bytes` at `mbytes_per_s`
+    /// (decimal megabytes, as used throughout the paper).
+    #[inline]
+    pub fn for_bytes(bytes: u64, mbytes_per_s: f64) -> Dur {
+        debug_assert!(mbytes_per_s > 0.0, "non-positive bandwidth");
+        Dur(((bytes as f64) * 1_000.0 / mbytes_per_s).round() as u64)
+    }
+
+    /// This span in nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This span in (fractional) microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This span in (fractional) seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, rhs: Dur) -> Dur {
+        Dur(self.0.max(rhs.0))
+    }
+}
+
+impl Time {
+    /// Simulation start.
+    pub const ZERO: Time = Time(0);
+
+    /// This instant as nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as (fractional) microseconds since simulation start.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This instant as (fractional) seconds since simulation start.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Span since an earlier instant. Panics in debug builds if `earlier`
+    /// is actually later.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Dur {
+        debug_assert!(self >= earlier, "Time::since: earlier instant is later");
+        Dur(self.0 - earlier.0)
+    }
+
+    /// Saturating span since another instant (zero if `other` is later).
+    #[inline]
+    pub fn saturating_since(self, other: Time) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dur {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: f64) -> Dur {
+        debug_assert!(rhs >= 0.0);
+        Dur((self.0 as f64 * rhs).round() as u64)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(Dur::us(1.0).as_ns(), 1_000);
+        assert_eq!(Dur::ms(1.0).as_ns(), 1_000_000);
+        assert_eq!(Dur::secs(1.0).as_ns(), 1_000_000_000);
+        assert_eq!(Dur::us(0.5).as_ns(), 500);
+        assert!((Dur::ns(1_500).as_us() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_duration() {
+        // 40 MB/s => 25 ns per byte.
+        assert_eq!(Dur::for_bytes(1, 40.0).as_ns(), 25);
+        // A 256-byte TB2 packet at 40 MB/s serializes in 6.4 us.
+        assert_eq!(Dur::for_bytes(256, 40.0).as_ns(), 6_400);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::ZERO + Dur::us(2.0) + Dur::us(3.0);
+        assert_eq!(t.as_ns(), 5_000);
+        assert_eq!((t - Time(1_000)).as_ns(), 4_000);
+        assert_eq!(t.since(Time(1_000)).as_ns(), 4_000);
+        assert_eq!(Dur::us(4.0) * 3, Dur::us(12.0));
+        assert_eq!(Dur::us(9.0) / 3, Dur::us(3.0));
+        assert_eq!(Dur::us(1.0).saturating_sub(Dur::us(2.0)), Dur::ZERO);
+        let total: Dur = (0..4).map(|_| Dur::us(1.0)).sum();
+        assert_eq!(total, Dur::us(4.0));
+    }
+
+    #[test]
+    fn saturating_since() {
+        assert_eq!(Time(5).saturating_since(Time(9)), Dur::ZERO);
+        assert_eq!(Time(9).saturating_since(Time(5)), Dur::ns(4));
+    }
+
+    #[test]
+    fn display_formats_microseconds() {
+        assert_eq!(format!("{}", Dur::us(51.0)), "51.000us");
+        assert_eq!(format!("{}", Time(1_500)), "1.500us");
+    }
+}

@@ -1,0 +1,199 @@
+//! Blocked matrix multiply (the paper's `mm 128x128` and `mm 16x16`).
+//!
+//! C = A·B on an `nb × nb` grid of `bn × bn` blocks of doubles, blocks
+//! spread round-robin over the processors. Each processor computes its C
+//! blocks, bulk-reading the needed A and B blocks — large blocks amortize
+//! message overhead (where SP AM and MPL tie), small blocks stress it
+//! (where MPL "degrades significantly", §3).
+
+use crate::gas::{AppTimes, Gas};
+use crate::util::flops_time;
+use crate::GlobalPtr;
+
+/// Matrix multiply configuration.
+#[derive(Debug, Clone)]
+pub struct MmConfig {
+    /// Blocks per matrix dimension.
+    pub nb: usize,
+    /// Elements per block dimension.
+    pub bn: usize,
+    /// Sustained SP dgemm rate in MFLOP/s (calibration for Table 5).
+    pub mflops: f64,
+}
+
+impl MmConfig {
+    /// The paper's large-block run: 4×4 blocks of 128×128 doubles.
+    pub fn large() -> Self {
+        MmConfig { nb: 4, bn: 128, mflops: 38.0 }
+    }
+
+    /// The paper's small-block run: 16×16 blocks of 16×16 doubles.
+    pub fn small() -> Self {
+        MmConfig { nb: 16, bn: 16, mflops: 25.0 }
+    }
+
+    /// A tiny configuration for tests.
+    pub fn tiny() -> Self {
+        MmConfig { nb: 4, bn: 8, mflops: 38.0 }
+    }
+}
+
+/// Deterministic initial element value for matrix `m` (0 = A, 1 = B),
+/// block (bi, bj), element (r, c). Kept tiny so products stay exact in
+/// f64.
+fn init_elem(m: usize, nb: usize, bn: usize, bi: usize, bj: usize, r: usize, c: usize) -> f64 {
+    let gr = bi * bn + r;
+    let gc = bj * bn + c;
+    let n = nb * bn;
+    (((gr * 31 + gc * 17 + m * 7) % 13) as f64 - 6.0) / ((n % 97 + 3) as f64)
+}
+
+/// Owner of block index `b` (row-major).
+fn owner(b: usize, p: usize) -> usize {
+    b % p
+}
+
+/// Run the benchmark on this node. Returns instrumented times and a
+/// checksum of this node's C blocks (for verification against
+/// [`reference_checksum`]).
+pub fn run(g: &mut dyn Gas, cfg: &MmConfig) -> (AppTimes, f64) {
+    let p = g.nodes();
+    let me = g.node();
+    let (nb, bn) = (cfg.nb, cfg.bn);
+    assert_eq!(nb * nb % p, 0, "blocks must divide evenly over processors (SPMD layout)");
+    let bs = (bn * bn * 8) as u32; // block bytes
+    let my_blocks = nb * nb / p;
+
+    // SPMD allocation: every node allocates its A, B, C blocks and two
+    // fetch buffers in the same order, so block slot s of matrix m lives at
+    // the same local address on every node.
+    let a_base = g.alloc(bs * my_blocks as u32).addr;
+    let b_base = g.alloc(bs * my_blocks as u32).addr;
+    let c_base = g.alloc(bs * my_blocks as u32).addr;
+    let buf_a = g.alloc(bs).addr;
+    let buf_b = g.alloc(bs).addr;
+
+    // Slot of block b within its owner's arena.
+    let slot = |b: usize| b / p;
+    let block_ptr = |base_sel: usize, b: usize| {
+        let base = [a_base, b_base, c_base][base_sel];
+        GlobalPtr { node: owner(b, p), addr: base + (slot(b) as u32) * bs }
+    };
+
+    // Initialize owned A and B blocks.
+    let mem = g.mem();
+    for b in (0..nb * nb).filter(|&b| owner(b, p) == me) {
+        let (bi, bj) = (b / nb, b % nb);
+        for m in 0..2 {
+            let base = if m == 0 { a_base } else { b_base };
+            let mut bytes = Vec::with_capacity(bn * bn * 8);
+            for r in 0..bn {
+                for c in 0..bn {
+                    bytes.extend_from_slice(&init_elem(m, nb, bn, bi, bj, r, c).to_le_bytes());
+                }
+            }
+            mem.write(base + (slot(b) as u32) * bs, &bytes);
+        }
+    }
+    g.barrier();
+    let t0 = g.now();
+    let comm0 = g.comm_time();
+
+    let load = |g: &dyn Gas, addr: u32| -> Vec<f64> {
+        let mem = g.mem();
+        let mut out = vec![0.0f64; bn * bn];
+        let mut raw = vec![0u8; bn * bn * 8];
+        mem.read(addr, &mut raw);
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = f64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().expect("aligned"));
+        }
+        out
+    };
+
+    for b in (0..nb * nb).filter(|&b| owner(b, p) == me) {
+        let (bi, bj) = (b / nb, b % nb);
+        let mut acc = vec![0.0f64; bn * bn];
+        for k in 0..nb {
+            // Split-phase: launch both block fetches, then one sync — the
+            // Split-C idiom (overlap the two gets).
+            let a_src = block_ptr(0, bi * nb + k);
+            let b_src = block_ptr(1, k * nb + bj);
+            let a_addr = if a_src.node == me {
+                a_src.addr
+            } else {
+                g.get(a_src, buf_a, bs);
+                buf_a
+            };
+            let b_addr = if b_src.node == me {
+                b_src.addr
+            } else {
+                g.get(b_src, buf_b, bs);
+                buf_b
+            };
+            g.sync();
+            let ablk = load(g, a_addr);
+            let bblk = load(g, b_addr);
+            // Real dgemm so results are verifiable.
+            for r in 0..bn {
+                for kk in 0..bn {
+                    let av = ablk[r * bn + kk];
+                    if av != 0.0 {
+                        let brow = &bblk[kk * bn..(kk + 1) * bn];
+                        let crow = &mut acc[r * bn..(r + 1) * bn];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+            g.work(flops_time((2 * bn * bn * bn) as u64, cfg.mflops));
+        }
+        let bytes: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
+        g.mem().write(c_base + (slot(b) as u32) * bs, &bytes);
+    }
+
+    g.barrier();
+    let times = AppTimes { total: g.now() - t0, comm: g.comm_time() - comm0 };
+
+    // Checksum of owned C blocks.
+    let mem = g.mem();
+    let mut sum = 0.0f64;
+    for b in (0..nb * nb).filter(|&b| owner(b, p) == me) {
+        let mut raw = vec![0u8; bn * bn * 8];
+        mem.read(c_base + (slot(b) as u32) * bs, &mut raw);
+        for i in 0..bn * bn {
+            let v = f64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().expect("aligned"));
+            sum += v * ((b * bn * bn + i) % 1000 + 1) as f64; // position-weighted
+        }
+    }
+    (times, sum)
+}
+
+/// Sequential reference: the sum of position-weighted C elements every node
+/// checksum should add up to.
+pub fn reference_checksum(cfg: &MmConfig) -> f64 {
+    let (nb, bn) = (cfg.nb, cfg.bn);
+    let n = nb * bn;
+    // Dense sequential multiply on the same init values.
+    let idx = |m: usize, gr: usize, gc: usize| {
+        init_elem(m, nb, bn, gr / bn, gc / bn, gr % bn, gc % bn)
+    };
+    let mut total = 0.0f64;
+    for bi in 0..nb {
+        for bj in 0..nb {
+            let b = bi * nb + bj;
+            for r in 0..bn {
+                for c in 0..bn {
+                    let (gr, gc) = (bi * bn + r, bj * bn + c);
+                    let mut v = 0.0;
+                    for k in 0..n {
+                        v += idx(0, gr, k) * idx(1, k, gc);
+                    }
+                    let i = r * bn + c;
+                    total += v * ((b * bn * bn + i) % 1000 + 1) as f64;
+                }
+            }
+        }
+    }
+    total
+}

@@ -1,0 +1,43 @@
+//! The paper's Split-C application benchmark set (§3, Table 5, Figure 4):
+//! blocked matrix multiply at two block sizes, sample sort in small-message
+//! and bulk variants, and radix sort in small-message and bulk variants.
+
+pub mod mm;
+pub mod radix_sort;
+pub mod sample_sort;
+
+pub use mm::MmConfig;
+pub use radix_sort::RadixConfig;
+pub use sample_sort::SampleConfig;
+
+/// Outcome of a sorting benchmark on one node (used for verification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortOutcome {
+    /// Number of keys this node holds after the sort.
+    pub count: usize,
+    /// Smallest held key (meaningless if `count == 0`).
+    pub min: u32,
+    /// Largest held key.
+    pub max: u32,
+    /// Whether the local run is sorted.
+    pub locally_sorted: bool,
+    /// Sum of held keys (mod 2^64) for conservation checks.
+    pub checksum: u64,
+}
+
+/// Verify a distributed sort: every node locally sorted, node boundaries
+/// ordered, and the global checksum/count conserved.
+pub fn verify_sort(outcomes: &[SortOutcome], expect_count: usize, expect_checksum: u64) {
+    let total: usize = outcomes.iter().map(|o| o.count).sum();
+    assert_eq!(total, expect_count, "keys lost or duplicated");
+    let checksum: u64 = outcomes.iter().fold(0u64, |a, o| a.wrapping_add(o.checksum));
+    assert_eq!(checksum, expect_checksum, "key values changed");
+    for o in outcomes {
+        assert!(o.locally_sorted, "a node's keys are not sorted");
+    }
+    for w in outcomes.windows(2) {
+        if w[0].count > 0 && w[1].count > 0 {
+            assert!(w[0].max <= w[1].min, "node boundary out of order");
+        }
+    }
+}

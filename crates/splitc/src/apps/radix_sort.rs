@@ -1,0 +1,169 @@
+//! Radix sort (the paper's `rdxsort sm` and `rdxsort lg`).
+//!
+//! LSD radix sort with global counting per pass: each pass histograms the
+//! current digit, exchanges histograms so every processor can compute the
+//! exact global destination of each of its keys, then routes keys — one
+//! 4-byte store per key (`sm`) or contiguous runs marshaled into bulk
+//! stores (`lg`). With several passes over all the data, radix sort moves
+//! 2–4× the traffic of sample sort, which is why the paper's `rdxsort sm`
+//! is where MPL's overhead hurts the most.
+
+use crate::apps::SortOutcome;
+use crate::gas::{AppTimes, Gas};
+use crate::util::{cycles_time, exchange_u32s, gen_keys, read_keys, write_keys};
+use crate::GlobalPtr;
+
+/// Radix sort configuration.
+#[derive(Debug, Clone)]
+pub struct RadixConfig {
+    /// Keys per processor (kept constant across passes by the dense global
+    /// index computation).
+    pub keys_per_node: usize,
+    /// Bulk distribution (`lg`) vs per-key stores (`sm`).
+    pub bulk: bool,
+    /// Workload seed.
+    pub seed: u64,
+    /// Digit width in bits.
+    pub digit_bits: u32,
+    /// Number of passes (`digit_bits * passes` must cover 31 bits).
+    pub passes: u32,
+    /// CPU cycles charged per key per pass (histogram + rank + route).
+    pub cycles_per_key_pass: f64,
+}
+
+impl RadixConfig {
+    /// Paper-scale run.
+    pub fn paper(bulk: bool) -> Self {
+        RadixConfig {
+            keys_per_node: 128 * 1024,
+            bulk,
+            seed: 0xBEEF,
+            digit_bits: 8,
+            passes: 4,
+            cycles_per_key_pass: 26.0,
+        }
+    }
+
+    /// Tiny configuration for tests.
+    pub fn tiny(bulk: bool) -> Self {
+        RadixConfig { keys_per_node: 256, ..Self::paper(bulk) }
+    }
+}
+
+/// Run the benchmark on this node.
+pub fn run(g: &mut dyn Gas, cfg: &RadixConfig) -> (AppTimes, SortOutcome) {
+    let p = g.nodes();
+    let me = g.node();
+    let n = cfg.keys_per_node;
+    let radix = 1usize << cfg.digit_bits;
+
+    // Double-buffered key arrays (same local addresses machine-wide).
+    let buf0 = g.alloc((n * 4) as u32).addr;
+    let buf1 = g.alloc((n * 4) as u32).addr;
+    write_keys(g, buf0, &gen_keys(cfg.seed, me, n));
+
+    g.barrier();
+    let t0 = g.now();
+    let comm0 = g.comm_time();
+
+    let (mut cur, mut nxt) = (buf0, buf1);
+    for pass in 0..cfg.passes {
+        let shift = pass * cfg.digit_bits;
+        let keys = read_keys(g, cur, n);
+        let digit = |k: u32| ((k >> shift) as usize) & (radix - 1);
+
+        // Local histogram.
+        let mut hist = vec![0u32; radix];
+        for &k in &keys {
+            hist[digit(k)] += 1;
+        }
+
+        // Everyone learns everyone's histogram.
+        let all = exchange_u32s(g, &hist); // all[src*radix + b]
+
+        // Global start of bucket b, plus my start within bucket b.
+        let mut bucket_start = vec![0usize; radix + 1];
+        for b in 0..radix {
+            let total: usize = (0..p).map(|src| all[src * radix + b] as usize).sum();
+            bucket_start[b + 1] = bucket_start[b] + total;
+        }
+        let my_start: Vec<usize> = (0..radix)
+            .map(|b| (0..me).map(|src| all[src * radix + b] as usize).sum())
+            .collect();
+
+        g.work(cycles_time((n as f64 * cfg.cycles_per_key_pass) as u64));
+
+        // Route: the j-th of my keys with digit b (stable order) goes to
+        // dense global index bucket_start[b] + my_start[b] + j, i.e. node
+        // idx / n, slot idx % n.
+        if cfg.bulk {
+            // Bulk variant: first gather my keys by digit (stable), so each
+            // bucket's keys occupy one contiguous global range; then emit
+            // one store per (bucket × node-boundary) piece. This is the
+            // marshaling the Split-C `rdxsort lg` version performs — a few
+            // hundred bulk stores instead of one store per key.
+            let mut by_bucket: Vec<Vec<u32>> = vec![Vec::new(); radix];
+            for &k in &keys {
+                by_bucket[digit(k)].push(k);
+            }
+            g.work(cycles_time((n as f64 * 5.0) as u64)); // marshaling copy
+            for (b, bucket_keys) in by_bucket.iter().enumerate() {
+                if bucket_keys.is_empty() {
+                    continue;
+                }
+                let mut idx = bucket_start[b] + my_start[b];
+                let mut sent = 0usize;
+                while sent < bucket_keys.len() {
+                    let node = idx / n;
+                    let slot = idx % n;
+                    // Keys until the next node boundary.
+                    let room = n - slot;
+                    let take = room.min(bucket_keys.len() - sent);
+                    let bytes: Vec<u8> = bucket_keys[sent..sent + take]
+                        .iter()
+                        .flat_map(|k| k.to_le_bytes())
+                        .collect();
+                    g.store(GlobalPtr { node, addr: nxt + (slot * 4) as u32 }, &bytes);
+                    sent += take;
+                    idx += take;
+                }
+            }
+        } else {
+            let mut rank = vec![0usize; radix];
+            for &k in &keys {
+                let b = digit(k);
+                let idx = bucket_start[b] + my_start[b] + rank[b];
+                rank[b] += 1;
+                let (node, slot) = (idx / n, idx % n);
+                g.store(GlobalPtr { node, addr: nxt + (slot * 4) as u32 }, &k.to_le_bytes());
+            }
+        }
+        g.all_store_sync();
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+
+    g.barrier();
+    let times = AppTimes { total: g.now() - t0, comm: g.comm_time() - comm0 };
+
+    let held = read_keys(g, cur, n);
+    let outcome = SortOutcome {
+        count: n,
+        min: held.first().copied().unwrap_or(0),
+        max: held.last().copied().unwrap_or(0),
+        locally_sorted: held.windows(2).all(|w| w[0] <= w[1]),
+        checksum: held.iter().fold(0u64, |a, &k| a.wrapping_add(k as u64)),
+    };
+    (times, outcome)
+}
+
+/// Expected global checksum/count for verification.
+pub fn expected(cfg: &RadixConfig, nodes: usize) -> (usize, u64) {
+    let mut count = 0usize;
+    let mut sum = 0u64;
+    for node in 0..nodes {
+        let keys = gen_keys(cfg.seed, node, cfg.keys_per_node);
+        count += keys.len();
+        sum = keys.iter().fold(sum, |a, &k| a.wrapping_add(k as u64));
+    }
+    (count, sum)
+}

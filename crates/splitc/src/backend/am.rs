@@ -1,0 +1,157 @@
+//! Split-C over SP Active Messages — the paper's fast port. Gets map to
+//! `am_get`, puts and stores to `am_store_async`, `sync` to completion
+//! polling; handlers bump per-node counters.
+
+use crate::gas::Gas;
+use sp_am::{Am, AmArgs, AmEnv, GlobalPtr, HandlerId, Mem};
+use sp_sim::{Dur, Time};
+
+/// Per-node Split-C runtime counters (the `Am` state type).
+#[derive(Debug, Default)]
+pub struct SplitcSt {
+    gets_done: u64,
+    puts_done: u64,
+    stores_done: u64,
+}
+
+fn get_done(env: &mut AmEnv<'_, SplitcSt>, _args: AmArgs) {
+    env.state.gets_done += 1;
+}
+
+fn put_done(env: &mut AmEnv<'_, SplitcSt>, _args: AmArgs) {
+    env.state.puts_done += 1;
+}
+
+fn store_done(env: &mut AmEnv<'_, SplitcSt>, _args: AmArgs) {
+    env.state.stores_done += 1;
+}
+
+/// Split-C endpoint over SP AM.
+pub struct AmGas<'a, 'c> {
+    am: &'a mut Am<'c, SplitcSt>,
+    h_get: HandlerId,
+    h_put: HandlerId,
+    h_store: HandlerId,
+    gets_issued: u64,
+    puts_issued: u64,
+    stores_issued: u64,
+    scratch: u32,
+    comm: Dur,
+}
+
+impl<'a, 'c> AmGas<'a, 'c> {
+    /// Wrap an AM endpoint (whose state type is [`SplitcSt`]). Registers
+    /// the completion handlers and allocates the scratch cell; must be the
+    /// first thing the node program does (SPMD allocation discipline).
+    pub fn new(am: &'a mut Am<'c, SplitcSt>) -> Self {
+        let h_get = am.register(get_done);
+        let h_put = am.register(put_done);
+        let h_store = am.register(store_done);
+        let scratch = am.alloc(8).addr;
+        AmGas {
+            am,
+            h_get,
+            h_put,
+            h_store,
+            gets_issued: 0,
+            puts_issued: 0,
+            stores_issued: 0,
+            scratch,
+            comm: Dur::ZERO,
+        }
+    }
+
+    /// The underlying AM endpoint.
+    pub fn am(&self) -> &Am<'c, SplitcSt> {
+        self.am
+    }
+}
+
+impl Gas for AmGas<'_, '_> {
+    fn node(&self) -> usize {
+        self.am.node()
+    }
+
+    fn nodes(&self) -> usize {
+        self.am.nodes()
+    }
+
+    fn now(&self) -> Time {
+        self.am.now()
+    }
+
+    fn work(&mut self, sp_time: Dur) {
+        self.am.work(sp_time);
+    }
+
+    fn alloc(&mut self, len: u32) -> GlobalPtr {
+        self.am.alloc(len)
+    }
+
+    fn mem(&self) -> Mem {
+        self.am.mem()
+    }
+
+    fn barrier(&mut self) {
+        let t0 = self.am.now();
+        self.am.barrier();
+        self.comm += self.am.now() - t0;
+    }
+
+    fn get(&mut self, src: GlobalPtr, dst_addr: u32, len: u32) {
+        let t0 = self.am.now();
+        self.gets_issued += 1;
+        let h = self.h_get;
+        let _ = self.am.get(src, dst_addr, len, Some(h), &[]);
+        self.comm += self.am.now() - t0;
+    }
+
+    fn put(&mut self, src_addr: u32, dst: GlobalPtr, len: u32) {
+        let t0 = self.am.now();
+        self.puts_issued += 1;
+        let data = self.am.mem_pool().read_vec(
+            GlobalPtr { node: self.am.node(), addr: src_addr },
+            len as usize,
+        );
+        let h = self.h_put;
+        let _ = self.am.store_async(dst, &data, None, &[], Some((h, [0; 4])));
+        self.comm += self.am.now() - t0;
+    }
+
+    fn store(&mut self, dst: GlobalPtr, bytes: &[u8]) {
+        let t0 = self.am.now();
+        self.stores_issued += 1;
+        let h = self.h_store;
+        let _ = self.am.store_async(dst, bytes, None, &[], Some((h, [0; 4])));
+        self.comm += self.am.now() - t0;
+    }
+
+    fn sync(&mut self) {
+        let t0 = self.am.now();
+        let (gi, pi) = (self.gets_issued, self.puts_issued);
+        self.am.poll_until(|s| s.gets_done >= gi && s.puts_done >= pi);
+        // Serve-to-completion: don't leave the service window while a
+        // peer's get is still streaming out of our reply channel — the
+        // next compute phase would strand it (cf. the MPL port, whose
+        // request server sends each reply synchronously).
+        self.am.flush_sends();
+        self.comm += self.am.now() - t0;
+    }
+
+    fn all_store_sync(&mut self) {
+        let t0 = self.am.now();
+        let si = self.stores_issued;
+        self.am.poll_until(|s| s.stores_done >= si);
+        self.am.flush_sends();
+        self.am.barrier();
+        self.comm += self.am.now() - t0;
+    }
+
+    fn comm_time(&self) -> Dur {
+        self.comm
+    }
+
+    fn scratch_addr(&self) -> u32 {
+        self.scratch
+    }
+}

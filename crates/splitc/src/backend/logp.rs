@@ -1,0 +1,193 @@
+//! Split-C over LogGP machine models — the CM-5 / CS-2 / U-Net side of the
+//! paper's cross-machine comparison (Tables 4–5, Figure 4). These machines
+//! run Active Messages natively, so remote operations are served at poll
+//! time like the AM backend, with the machine's (o, L, G) costs.
+
+use crate::gas::Gas;
+use sp_am::{GlobalPtr, Mem, MemPool};
+use sp_logp::{Logp, LogpMsg};
+use sp_sim::{Dur, Time};
+
+/// Message opcodes.
+mod op {
+    pub const GET_REQ: u32 = 1;
+    pub const GET_DATA: u32 = 2;
+    pub const PUT: u32 = 3;
+    pub const PUT_ACK: u32 = 4;
+    pub const STORE: u32 = 5;
+    pub const STORE_ACK: u32 = 6;
+    pub const BARRIER_HIT: u32 = 7;
+    pub const BARRIER_GO: u32 = 8;
+}
+
+/// Split-C endpoint over a LogGP machine.
+pub struct LogGas<'a, 'c> {
+    lp: &'a mut Logp<'c>,
+    mem: MemPool,
+    scratch: u32,
+    gets_issued: u64,
+    gets_done: u64,
+    puts_issued: u64,
+    put_acks: u64,
+    stores_issued: u64,
+    store_acks: u64,
+    barrier_hits: u32,
+    barrier_go: bool,
+    comm: Dur,
+}
+
+impl<'a, 'c> LogGas<'a, 'c> {
+    /// Wrap a LogGP endpoint with a shared memory pool.
+    pub fn new(lp: &'a mut Logp<'c>, mem: MemPool) -> Self {
+        let scratch = mem.alloc(lp.node(), 8).addr;
+        LogGas {
+            lp,
+            mem,
+            scratch,
+            gets_issued: 0,
+            gets_done: 0,
+            puts_issued: 0,
+            put_acks: 0,
+            stores_issued: 0,
+            store_acks: 0,
+            barrier_hits: 0,
+            barrier_go: false,
+            comm: Dur::ZERO,
+        }
+    }
+
+    /// Poll once, handling any arrived message (AM-style: handlers run at
+    /// poll time).
+    fn service(&mut self) {
+        if let Some(msg) = self.lp.poll() {
+            self.handle(msg);
+        }
+    }
+
+    fn handle(&mut self, msg: LogpMsg) {
+        let me = self.lp.node();
+        match msg.op {
+            op::GET_REQ => {
+                let [src_addr, dst_addr, len, _] = msg.args;
+                let data =
+                    self.mem.read_vec(GlobalPtr { node: me, addr: src_addr }, len as usize);
+                self.lp.send(msg.src, op::GET_DATA, [dst_addr, 0, 0, 0], &data);
+            }
+            op::GET_DATA => {
+                let dst_addr = msg.args[0];
+                self.mem.write(GlobalPtr { node: me, addr: dst_addr }, &msg.bytes);
+                self.gets_done += 1;
+            }
+            op::PUT | op::STORE => {
+                let addr = msg.args[0];
+                self.mem.write(GlobalPtr { node: me, addr }, &msg.bytes);
+                let ack = if msg.op == op::PUT { op::PUT_ACK } else { op::STORE_ACK };
+                self.lp.send(msg.src, ack, [0; 4], &[]);
+            }
+            op::PUT_ACK => self.put_acks += 1,
+            op::STORE_ACK => self.store_acks += 1,
+            op::BARRIER_HIT => self.barrier_hits += 1,
+            op::BARRIER_GO => self.barrier_go = true,
+            other => unreachable!("unknown opcode {other}"),
+        }
+    }
+}
+
+impl Gas for LogGas<'_, '_> {
+    fn node(&self) -> usize {
+        self.lp.node()
+    }
+
+    fn nodes(&self) -> usize {
+        self.lp.nodes()
+    }
+
+    fn now(&self) -> Time {
+        self.lp.now()
+    }
+
+    fn work(&mut self, sp_time: Dur) {
+        self.lp.work_scaled(sp_time);
+    }
+
+    fn alloc(&mut self, len: u32) -> GlobalPtr {
+        self.mem.alloc(self.lp.node(), len)
+    }
+
+    fn mem(&self) -> Mem {
+        self.mem.on(self.lp.node())
+    }
+
+    fn barrier(&mut self) {
+        let t0 = self.now();
+        let n = self.nodes();
+        if n > 1 {
+            if self.node() == 0 {
+                while self.barrier_hits < (n - 1) as u32 {
+                    self.service();
+                }
+                self.barrier_hits -= (n - 1) as u32;
+                for dst in 1..n {
+                    self.lp.send(dst, op::BARRIER_GO, [0; 4], &[]);
+                }
+            } else {
+                self.lp.send(0, op::BARRIER_HIT, [0; 4], &[]);
+                while !self.barrier_go {
+                    self.service();
+                }
+                self.barrier_go = false;
+            }
+        }
+        self.comm += self.now() - t0;
+    }
+
+    fn get(&mut self, src: GlobalPtr, dst_addr: u32, len: u32) {
+        let t0 = self.now();
+        self.gets_issued += 1;
+        self.lp.send(src.node, op::GET_REQ, [src.addr, dst_addr, len, 0], &[]);
+        self.comm += self.now() - t0;
+    }
+
+    fn put(&mut self, src_addr: u32, dst: GlobalPtr, len: u32) {
+        let t0 = self.now();
+        self.puts_issued += 1;
+        let data = self.mem.read_vec(
+            GlobalPtr { node: self.lp.node(), addr: src_addr },
+            len as usize,
+        );
+        self.lp.send(dst.node, op::PUT, [dst.addr, 0, 0, 0], &data);
+        self.comm += self.now() - t0;
+    }
+
+    fn store(&mut self, dst: GlobalPtr, bytes: &[u8]) {
+        let t0 = self.now();
+        self.stores_issued += 1;
+        self.lp.send(dst.node, op::STORE, [dst.addr, 0, 0, 0], bytes);
+        self.comm += self.now() - t0;
+    }
+
+    fn sync(&mut self) {
+        let t0 = self.now();
+        while self.gets_done < self.gets_issued || self.put_acks < self.puts_issued {
+            self.service();
+        }
+        self.comm += self.now() - t0;
+    }
+
+    fn all_store_sync(&mut self) {
+        let t0 = self.now();
+        while self.store_acks < self.stores_issued {
+            self.service();
+        }
+        self.comm += self.now() - t0;
+        self.barrier();
+    }
+
+    fn comm_time(&self) -> Dur {
+        self.comm
+    }
+
+    fn scratch_addr(&self) -> u32 {
+        self.scratch
+    }
+}

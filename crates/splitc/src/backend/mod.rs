@@ -1,0 +1,10 @@
+//! Transport backends for the Split-C runtime.
+//!
+//! * [`am::AmGas`] — over SP Active Messages (the paper's fast port);
+//! * [`mpl::MplGas`] — over the MPL comparator (the paper's baseline port,
+//!   request/serve style since MPL has no remote handlers);
+//! * [`logp::LogGas`] — over LogGP machine models (CM-5 / CS-2 / U-Net).
+
+pub mod am;
+pub mod logp;
+pub mod mpl;

@@ -1,0 +1,217 @@
+//! Split-C over MPL — the paper's baseline port (via David Bader's MPL
+//! port of Split-C). MPL has no remote handlers, so every global-memory
+//! operation is a *request* served by the target from within its own
+//! Split-C calls: each operation and every wait loop drains and serves
+//! incoming service messages. This is exactly why the MPL port pays MPL's
+//! heavyweight per-message path twice for fine-grain traffic.
+
+use crate::gas::Gas;
+use sp_am::{GlobalPtr, Mem, MemPool};
+use sp_mpl::{Mpl, Msg};
+use sp_sim::{Dur, Time};
+
+/// Service message tags (high bits set to stay clear of application tags).
+mod tag {
+    pub const GET_REQ: u32 = 0xF100_0001;
+    pub const GET_DATA: u32 = 0xF100_0002;
+    pub const PUT: u32 = 0xF100_0003;
+    pub const PUT_ACK: u32 = 0xF100_0004;
+    pub const STORE: u32 = 0xF100_0005;
+    pub const STORE_ACK: u32 = 0xF100_0006;
+    pub const BARRIER_HIT: u32 = 0xF100_0007;
+    pub const BARRIER_GO: u32 = 0xF100_0008;
+
+    pub fn is_service(t: u32) -> bool {
+        (0xF100_0001..=0xF100_0008).contains(&t)
+    }
+}
+
+/// Split-C endpoint over MPL.
+pub struct MplGas<'a, 'c> {
+    mpl: &'a mut Mpl<'c>,
+    mem: MemPool,
+    scratch: u32,
+    gets_issued: u64,
+    gets_done: u64,
+    puts_issued: u64,
+    put_acks: u64,
+    stores_issued: u64,
+    store_acks: u64,
+    barrier_hits: u32,
+    barrier_go: bool,
+    comm: Dur,
+}
+
+impl<'a, 'c> MplGas<'a, 'c> {
+    /// Wrap an MPL endpoint with a shared memory pool. Allocates the
+    /// scratch cell first (SPMD allocation discipline).
+    pub fn new(mpl: &'a mut Mpl<'c>, mem: MemPool) -> Self {
+        let scratch = mem.alloc(mpl.node(), 8).addr;
+        MplGas {
+            mpl,
+            mem,
+            scratch,
+            gets_issued: 0,
+            gets_done: 0,
+            puts_issued: 0,
+            put_acks: 0,
+            stores_issued: 0,
+            store_acks: 0,
+            barrier_hits: 0,
+            barrier_go: false,
+            comm: Dur::ZERO,
+        }
+    }
+
+    /// Drain the network once and serve any service messages.
+    fn service(&mut self) {
+        self.mpl.poll();
+        while let Some(msg) = self.mpl.take_unexpected(|m| tag::is_service(m.tag)) {
+            self.handle(msg);
+        }
+    }
+
+    fn handle(&mut self, msg: Msg) {
+        let me = self.mpl.node();
+        match msg.tag {
+            tag::GET_REQ => {
+                let src_addr = u32::from_le_bytes(msg.data[0..4].try_into().expect("len"));
+                let dst_addr = u32::from_le_bytes(msg.data[4..8].try_into().expect("len"));
+                let len = u32::from_le_bytes(msg.data[8..12].try_into().expect("len"));
+                let mut reply = Vec::with_capacity(4 + len as usize);
+                reply.extend_from_slice(&dst_addr.to_le_bytes());
+                reply.extend_from_slice(&self.mem.read_vec(
+                    GlobalPtr { node: me, addr: src_addr },
+                    len as usize,
+                ));
+                self.mpl.bsend(msg.src, tag::GET_DATA, &reply);
+            }
+            tag::GET_DATA => {
+                let dst_addr = u32::from_le_bytes(msg.data[0..4].try_into().expect("len"));
+                self.mem.write(GlobalPtr { node: me, addr: dst_addr }, &msg.data[4..]);
+                self.gets_done += 1;
+            }
+            tag::PUT | tag::STORE => {
+                let addr = u32::from_le_bytes(msg.data[0..4].try_into().expect("len"));
+                self.mem.write(GlobalPtr { node: me, addr }, &msg.data[4..]);
+                let ack = if msg.tag == tag::PUT { tag::PUT_ACK } else { tag::STORE_ACK };
+                self.mpl.bsend(msg.src, ack, &[]);
+            }
+            tag::PUT_ACK => self.put_acks += 1,
+            tag::STORE_ACK => self.store_acks += 1,
+            tag::BARRIER_HIT => self.barrier_hits += 1,
+            tag::BARRIER_GO => self.barrier_go = true,
+            _ => unreachable!("non-service tag {}", msg.tag),
+        }
+    }
+
+    fn send_to_addr(&mut self, t: u32, dst: GlobalPtr, bytes: &[u8]) {
+        let mut payload = Vec::with_capacity(4 + bytes.len());
+        payload.extend_from_slice(&dst.addr.to_le_bytes());
+        payload.extend_from_slice(bytes);
+        self.mpl.bsend(dst.node, t, &payload);
+    }
+}
+
+impl Gas for MplGas<'_, '_> {
+    fn node(&self) -> usize {
+        self.mpl.node()
+    }
+
+    fn nodes(&self) -> usize {
+        self.mpl.nodes()
+    }
+
+    fn now(&self) -> Time {
+        self.mpl.now()
+    }
+
+    fn work(&mut self, sp_time: Dur) {
+        self.mpl.work(sp_time);
+    }
+
+    fn alloc(&mut self, len: u32) -> GlobalPtr {
+        self.mem.alloc(self.mpl.node(), len)
+    }
+
+    fn mem(&self) -> Mem {
+        self.mem.on(self.mpl.node())
+    }
+
+    fn barrier(&mut self) {
+        let t0 = self.now();
+        let n = self.nodes();
+        if n > 1 {
+            if self.node() == 0 {
+                while self.barrier_hits < (n - 1) as u32 {
+                    self.service();
+                }
+                self.barrier_hits -= (n - 1) as u32;
+                for dst in 1..n {
+                    self.mpl.bsend(dst, tag::BARRIER_GO, &[]);
+                }
+            } else {
+                self.mpl.bsend(0, tag::BARRIER_HIT, &[]);
+                while !self.barrier_go {
+                    self.service();
+                }
+                self.barrier_go = false;
+            }
+        }
+        self.comm += self.now() - t0;
+    }
+
+    fn get(&mut self, src: GlobalPtr, dst_addr: u32, len: u32) {
+        let t0 = self.now();
+        self.gets_issued += 1;
+        let mut req = Vec::with_capacity(12);
+        req.extend_from_slice(&src.addr.to_le_bytes());
+        req.extend_from_slice(&dst_addr.to_le_bytes());
+        req.extend_from_slice(&len.to_le_bytes());
+        self.mpl.bsend(src.node, tag::GET_REQ, &req);
+        self.comm += self.now() - t0;
+    }
+
+    fn put(&mut self, src_addr: u32, dst: GlobalPtr, len: u32) {
+        let t0 = self.now();
+        self.puts_issued += 1;
+        let data = self.mem.read_vec(
+            GlobalPtr { node: self.mpl.node(), addr: src_addr },
+            len as usize,
+        );
+        self.send_to_addr(tag::PUT, dst, &data);
+        self.comm += self.now() - t0;
+    }
+
+    fn store(&mut self, dst: GlobalPtr, bytes: &[u8]) {
+        let t0 = self.now();
+        self.stores_issued += 1;
+        self.send_to_addr(tag::STORE, dst, bytes);
+        self.comm += self.now() - t0;
+    }
+
+    fn sync(&mut self) {
+        let t0 = self.now();
+        while self.gets_done < self.gets_issued || self.put_acks < self.puts_issued {
+            self.service();
+        }
+        self.comm += self.now() - t0;
+    }
+
+    fn all_store_sync(&mut self) {
+        let t0 = self.now();
+        while self.store_acks < self.stores_issued {
+            self.service();
+        }
+        self.comm += self.now() - t0;
+        self.barrier();
+    }
+
+    fn comm_time(&self) -> Dur {
+        self.comm
+    }
+
+    fn scratch_addr(&self) -> u32 {
+        self.scratch
+    }
+}

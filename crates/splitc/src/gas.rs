@@ -1,0 +1,109 @@
+//! The Split-C communication interface as a trait.
+
+use sp_am::{GlobalPtr, Mem};
+use sp_sim::{Dur, Time};
+
+/// Instrumented wall/compute/communication times of one node's run of an
+/// application benchmark (the split the paper's Figure 4 plots).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppTimes {
+    /// Total elapsed virtual time.
+    pub total: Dur,
+    /// Time spent inside communication operations (including waiting).
+    pub comm: Dur,
+}
+
+impl AppTimes {
+    /// Computation time (total minus communication).
+    pub fn cpu(&self) -> Dur {
+        self.total.saturating_sub(self.comm)
+    }
+}
+
+/// The Split-C global-address-space interface.
+///
+/// Semantics follow Split-C:
+///
+/// * [`Gas::get`]/[`Gas::put`] are *split-phase*: they initiate the
+///   transfer; [`Gas::sync`] blocks until every outstanding get and put of
+///   this node has completed.
+/// * [`Gas::store`] is *one-way*: completion is only established globally
+///   by [`Gas::all_store_sync`], which also acts as a barrier.
+/// * Memory is allocated with identical call sequences on every node
+///   (SPMD), so symmetric structures share local addresses across nodes.
+///
+/// Computation phases charge SP-normalized time through [`Gas::work`];
+/// machine models with slower CPUs (Table 4) scale it.
+pub trait Gas {
+    /// This node's index.
+    fn node(&self) -> usize;
+    /// Number of nodes.
+    fn nodes(&self) -> usize;
+    /// Current virtual time.
+    fn now(&self) -> Time;
+    /// Charge computation time, expressed as time on the SP's Power2
+    /// (backends scale by their machine's CPU factor).
+    fn work(&mut self, sp_time: Dur);
+    /// Allocate `len` bytes of local global-address-space memory.
+    fn alloc(&mut self, len: u32) -> GlobalPtr;
+    /// Local memory view.
+    fn mem(&self) -> Mem;
+    /// Global barrier.
+    fn barrier(&mut self);
+    /// Split-phase read of `len` bytes from `src` into local `dst_addr`.
+    fn get(&mut self, src: GlobalPtr, dst_addr: u32, len: u32);
+    /// Split-phase write of `len` local bytes at `src_addr` to `dst`.
+    fn put(&mut self, src_addr: u32, dst: GlobalPtr, len: u32);
+    /// One-way store of `bytes` to `dst` (completed by `all_store_sync`).
+    fn store(&mut self, dst: GlobalPtr, bytes: &[u8]);
+    /// Complete all outstanding gets and puts issued by this node.
+    fn sync(&mut self);
+    /// Globally complete all stores (and synchronize).
+    fn all_store_sync(&mut self);
+    /// Accumulated communication time (inside ops and waits).
+    fn comm_time(&self) -> Dur;
+
+    /// Blocking bulk read: get + sync.
+    fn read_into(&mut self, src: GlobalPtr, dst_addr: u32, len: u32) {
+        self.get(src, dst_addr, len);
+        self.sync();
+    }
+
+    /// Blocking bulk write: put + sync.
+    fn write_from(&mut self, src_addr: u32, dst: GlobalPtr, len: u32) {
+        self.put(src_addr, dst, len);
+        self.sync();
+    }
+
+    /// Address of an 8-byte per-node scratch cell (allocated first on
+    /// every node, so it has the same address machine-wide).
+    fn scratch_addr(&self) -> u32;
+
+    /// Blocking read of a remote `u32`.
+    fn read_u32(&mut self, src: GlobalPtr) -> u32 {
+        let scratch = self.scratch_addr();
+        self.read_into(src, scratch, 4);
+        self.mem().read_u32(scratch)
+    }
+
+    /// Blocking write of a remote `u32`.
+    fn write_u32(&mut self, dst: GlobalPtr, v: u32) {
+        let scratch = self.scratch_addr();
+        self.mem().write_u32(scratch, v);
+        self.write_from(scratch, dst, 4);
+    }
+
+    /// Blocking read of a remote `f64`.
+    fn read_f64(&mut self, src: GlobalPtr) -> f64 {
+        let scratch = self.scratch_addr();
+        self.read_into(src, scratch, 8);
+        self.mem().read_f64(scratch)
+    }
+
+    /// Blocking write of a remote `f64`.
+    fn write_f64(&mut self, dst: GlobalPtr, v: f64) {
+        let scratch = self.scratch_addr();
+        self.mem().write_f64(scratch, v);
+        self.write_from(scratch, dst, 8);
+    }
+}

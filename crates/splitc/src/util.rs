@@ -1,0 +1,79 @@
+//! SPMD helpers shared by the application benchmarks.
+
+use crate::gas::Gas;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sp_sim::Dur;
+
+/// SP-normalized time for `n` floating-point operations at a sustained
+/// rate of `mflops` (the rate the 66 MHz Power2 achieves on this kernel;
+/// slower machines scale it through [`Gas::work`]).
+pub fn flops_time(n: u64, mflops: f64) -> Dur {
+    Dur::ns(((n as f64) * 1_000.0 / mflops).round() as u64)
+}
+
+/// SP-normalized time for `n` CPU cycles at 66 MHz.
+pub fn cycles_time(n: u64) -> Dur {
+    Dur::ns(((n as f64) * 1_000.0 / 66.0).round() as u64)
+}
+
+/// All-gather of `my` (k words from every node, same k everywhere):
+/// allocates an n×k word table (at the same local address machine-wide),
+/// stores `my` into everyone's row for this node, completes with
+/// `all_store_sync`, and returns the full table.
+pub fn exchange_u32s(g: &mut dyn Gas, my: &[u32]) -> Vec<u32> {
+    let n = g.nodes();
+    let k = my.len();
+    let me = g.node();
+    let table = g.alloc((n * k * 4) as u32);
+    let bytes: Vec<u8> = my.iter().flat_map(|v| v.to_le_bytes()).collect();
+    for dst in 0..n {
+        g.store(crate::GlobalPtr { node: dst, addr: table.addr + (me * k * 4) as u32 }, &bytes);
+    }
+    g.all_store_sync();
+    let mem = g.mem();
+    let mut out = vec![0u32; n * k];
+    for (i, v) in out.iter_mut().enumerate() {
+        *v = mem.read_u32(table.addr + (i * 4) as u32);
+    }
+    out
+}
+
+/// Deterministic per-node key stream for the sorting benchmarks.
+pub fn gen_keys(seed: u64, node: usize, count: usize) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (node as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    (0..count).map(|_| rng.gen::<u32>() >> 1).collect() // keep below 2^31 for stable math
+}
+
+/// Read `count` little-endian u32 keys from local memory.
+pub fn read_keys(g: &dyn Gas, addr: u32, count: usize) -> Vec<u32> {
+    let mem = g.mem();
+    (0..count).map(|i| mem.read_u32(addr + (i * 4) as u32)).collect()
+}
+
+/// Write keys to local memory as little-endian u32s.
+pub fn write_keys(g: &dyn Gas, addr: u32, keys: &[u32]) {
+    let bytes: Vec<u8> = keys.iter().flat_map(|v| v.to_le_bytes()).collect();
+    g.mem().write(addr, &bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_streams_are_deterministic_and_distinct() {
+        let a = gen_keys(1, 0, 100);
+        let b = gen_keys(1, 0, 100);
+        let c = gen_keys(1, 1, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&k| k < (1 << 31)));
+    }
+
+    #[test]
+    fn time_helpers() {
+        assert_eq!(flops_time(40, 40.0), Dur::us(1.0));
+        assert_eq!(cycles_time(66), Dur::us(1.0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Cross-platform correctness tests: every application benchmark must
+//! produce verifiably correct results on every platform (the same program
+//! runs over SP AM, SP MPL, and the three LogGP machines).
+
+use sp_splitc::apps::{self, mm, radix_sort, sample_sort, MmConfig, RadixConfig, SampleConfig};
+use sp_splitc::{run_spmd, Gas, GlobalPtr, Platform};
+
+const NODES: usize = 4;
+
+#[test]
+fn gas_scalar_roundtrip_all_platforms() {
+    for platform in Platform::all() {
+        let results = run_spmd(platform, 2, 7, move |g: &mut dyn Gas| {
+            let cell = g.alloc(8);
+            g.barrier();
+            if g.node() == 0 {
+                g.mem().write_u32(cell.addr, 777);
+                g.write_u32(GlobalPtr { node: 1, addr: cell.addr }, 4242);
+                g.barrier();
+                // Stay alive to serve the peer's read.
+                g.barrier();
+                0
+            } else {
+                g.barrier();
+                let v = g.mem().read_u32(cell.addr);
+                assert_eq!(v, 4242, "remote write lost on {}", platform.name());
+                // And read something back over the wire.
+                let got = g.read_u32(GlobalPtr { node: 0, addr: cell.addr });
+                assert_eq!(got, 777, "remote read wrong on {}", platform.name());
+                g.barrier();
+                got
+            }
+        });
+        assert_eq!(results.len(), 2, "platform {}", platform.name());
+    }
+}
+
+#[test]
+fn exchange_gathers_everyones_words() {
+    for platform in Platform::all() {
+        let rows = run_spmd(platform, NODES, 3, move |g: &mut dyn Gas| {
+            let my = [g.node() as u32 * 10, g.node() as u32 * 10 + 1];
+            sp_splitc::util::exchange_u32s(g, &my)
+        });
+        for (node, row) in rows.iter().enumerate() {
+            let expect: Vec<u32> = (0..NODES as u32).flat_map(|p| [p * 10, p * 10 + 1]).collect();
+            assert_eq!(row, &expect, "node {node} on {}", platform.name());
+        }
+    }
+}
+
+#[test]
+fn mm_correct_on_all_platforms() {
+    let cfg = MmConfig::tiny();
+    let reference = mm::reference_checksum(&cfg);
+    for platform in Platform::all() {
+        let cfg2 = cfg.clone();
+        let results = run_spmd(platform, NODES, 5, move |g: &mut dyn Gas| mm::run(g, &cfg2));
+        let total: f64 = results.iter().map(|(_, sum)| sum).sum();
+        assert!(
+            (total - reference).abs() < 1e-6 * reference.abs().max(1.0),
+            "{}: checksum {total} != reference {reference}",
+            platform.name()
+        );
+        for (node, (times, _)) in results.iter().enumerate() {
+            assert!(times.total >= times.comm, "node {node} times inconsistent");
+        }
+    }
+}
+
+#[test]
+fn sample_sort_correct_on_all_platforms_both_variants() {
+    for bulk in [false, true] {
+        let cfg = SampleConfig::tiny(bulk);
+        let (count, checksum) = sample_sort::expected(&cfg, NODES);
+        for platform in Platform::all() {
+            let cfg2 = cfg.clone();
+            let results =
+                run_spmd(platform, NODES, 9, move |g: &mut dyn Gas| sample_sort::run(g, &cfg2));
+            let outcomes: Vec<_> = results.iter().map(|(_, o)| *o).collect();
+            apps::verify_sort(&outcomes, count, checksum);
+        }
+    }
+}
+
+#[test]
+fn radix_sort_correct_on_all_platforms_both_variants() {
+    for bulk in [false, true] {
+        let cfg = RadixConfig::tiny(bulk);
+        let (count, checksum) = radix_sort::expected(&cfg, NODES);
+        for platform in Platform::all() {
+            let cfg2 = cfg.clone();
+            let results =
+                run_spmd(platform, NODES, 11, move |g: &mut dyn Gas| radix_sort::run(g, &cfg2));
+            let outcomes: Vec<_> = results.iter().map(|(_, o)| *o).collect();
+            apps::verify_sort(&outcomes, count, checksum);
+        }
+    }
+}
+
+#[test]
+fn fine_grain_sorts_slower_over_mpl_than_am() {
+    // The paper's headline Split-C result: for small-message sorts, MPL's
+    // per-message overhead makes it several times slower than SP AM.
+    let cfg = SampleConfig { keys_per_node: 2048, ..SampleConfig::tiny(false) };
+    let time_on = |platform| {
+        let cfg2 = cfg.clone();
+        let results =
+            run_spmd(platform, NODES, 13, move |g: &mut dyn Gas| sample_sort::run(g, &cfg2));
+        results.iter().map(|(t, _)| t.total.as_us()).fold(0.0f64, f64::max)
+    };
+    let am = time_on(Platform::SpAm);
+    let mpl = time_on(Platform::SpMpl);
+    assert!(
+        mpl > am * 2.0,
+        "fine-grain sample sort: MPL {mpl:.0} us should be >2x AM {am:.0} us"
+    );
+}
+
+#[test]
+fn bulk_variant_much_faster_than_fine_grain_on_am() {
+    let sm = SampleConfig { keys_per_node: 2048, ..SampleConfig::tiny(false) };
+    let lg = SampleConfig { keys_per_node: 2048, ..SampleConfig::tiny(true) };
+    let run_cfg = |cfg: SampleConfig| {
+        let results =
+            run_spmd(Platform::SpAm, NODES, 13, move |g: &mut dyn Gas| sample_sort::run(g, &cfg));
+        results.iter().map(|(t, _)| t.total.as_us()).fold(0.0f64, f64::max)
+    };
+    let t_sm = run_cfg(sm);
+    let t_lg = run_cfg(lg);
+    assert!(t_lg < t_sm, "bulk distribution ({t_lg:.0} us) must beat per-key stores ({t_sm:.0} us)");
+}
+
+#[test]
+fn comm_time_reflects_network_quality() {
+    // Same program, same work: the CM-5's lower overhead should yield less
+    // comm time than U-Net for fine-grain traffic.
+    let cfg = SampleConfig { keys_per_node: 1024, ..SampleConfig::tiny(false) };
+    let comm_on = |platform| {
+        let cfg2 = cfg.clone();
+        let results =
+            run_spmd(platform, NODES, 17, move |g: &mut dyn Gas| sample_sort::run(g, &cfg2));
+        results.iter().map(|(t, _)| t.comm.as_us()).fold(0.0f64, f64::max)
+    };
+    let cm5 = comm_on(Platform::Cm5);
+    let unet = comm_on(Platform::Unet);
+    assert!(cm5 < unet, "CM-5 comm {cm5:.0} us should be below U-Net {unet:.0} us");
+}

@@ -1,0 +1,60 @@
+//! Property tests: the distributed sorts are correct for arbitrary sizes,
+//! seeds, and node counts, on both detailed-machine backends.
+
+use proptest::prelude::*;
+use sp_splitc::apps::{self, radix_sort, sample_sort, RadixConfig, SampleConfig};
+use sp_splitc::{run_spmd, Gas, Platform};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sample_sort_any_workload(
+        keys_per_node in 16usize..600,
+        nodes in 2usize..6,
+        seed in any::<u64>(),
+        bulk in any::<bool>(),
+    ) {
+        let cfg = SampleConfig { keys_per_node, seed, ..SampleConfig::tiny(bulk) };
+        let (count, checksum) = sample_sort::expected(&cfg, nodes);
+        for platform in [Platform::SpAm, Platform::Cm5] {
+            let cfg2 = cfg.clone();
+            let results =
+                run_spmd(platform, nodes, seed, move |g: &mut dyn Gas| sample_sort::run(g, &cfg2));
+            let outcomes: Vec<_> = results.iter().map(|(_, o)| *o).collect();
+            apps::verify_sort(&outcomes, count, checksum);
+        }
+    }
+
+    #[test]
+    fn radix_sort_any_workload(
+        keys_per_node in 16usize..400,
+        nodes in 2usize..5,
+        seed in any::<u64>(),
+        bulk in any::<bool>(),
+    ) {
+        let cfg = RadixConfig { keys_per_node, seed, ..RadixConfig::tiny(bulk) };
+        let (count, checksum) = radix_sort::expected(&cfg, nodes);
+        let cfg2 = cfg.clone();
+        let results =
+            run_spmd(Platform::SpAm, nodes, seed, move |g: &mut dyn Gas| radix_sort::run(g, &cfg2));
+        let outcomes: Vec<_> = results.iter().map(|(_, o)| *o).collect();
+        apps::verify_sort(&outcomes, count, checksum);
+    }
+
+    /// Comm-time accounting is sane: comm <= total on every node, every
+    /// platform, for random sort workloads.
+    #[test]
+    fn app_times_consistent(keys_per_node in 32usize..300, seed in any::<u64>()) {
+        let cfg = SampleConfig { keys_per_node, seed, ..SampleConfig::tiny(true) };
+        for platform in Platform::all() {
+            let cfg2 = cfg.clone();
+            let results =
+                run_spmd(platform, 4, seed, move |g: &mut dyn Gas| sample_sort::run(g, &cfg2));
+            for (t, _) in &results {
+                prop_assert!(t.total >= t.comm, "{}: comm exceeds total", platform.name());
+                prop_assert!(t.total.as_ns() > 0);
+            }
+        }
+    }
+}

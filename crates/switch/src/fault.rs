@@ -1,0 +1,168 @@
+//! Deterministic fault injection for exercising the reliability layer.
+//!
+//! The real SP switch is lossless; SP AM's flow control exists because the
+//! *receive FIFO* can overflow (§2.2). Tests additionally need to force
+//! losses, duplicate-free reordering, and bursts at precise points, so the
+//! switch accepts an injector consulted once per packet.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// What to do with a packet selected by the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Deliver normally.
+    None,
+    /// Silently drop the packet (models a lost packet).
+    Drop,
+    /// Deliver, but delayed by an extra fixed hop latency multiple — enough
+    /// to push it behind its successors and exercise the out-of-order NACK
+    /// path.
+    Delay,
+}
+
+/// Per-packet fault plan. All selectors compose; `Drop` wins over `Delay`.
+#[derive(Debug)]
+pub struct FaultInjector {
+    /// Drop every packet whose global index (0-based, in injection order)
+    /// is a multiple of this (if `Some`). `Some(1)` drops everything.
+    pub drop_every_nth: Option<u64>,
+    /// Drop with this probability (deterministic RNG).
+    pub drop_probability: f64,
+    /// Explicit global packet indices to drop.
+    pub drop_indices: BTreeSet<u64>,
+    /// Explicit global packet indices to delay (reorder).
+    pub delay_indices: BTreeSet<u64>,
+    /// Inject faults only among the first `stop_after` packets (if `Some`):
+    /// tests use this to bound the lossy phase so graceful shutdown runs
+    /// over a lossless tail.
+    pub stop_after: Option<u64>,
+    rng: SmallRng,
+    next_index: u64,
+}
+
+impl FaultInjector {
+    /// An injector that never faults.
+    pub fn none() -> Self {
+        Self::with_seed(0)
+    }
+
+    /// An injector with a specific RNG seed (only relevant when
+    /// `drop_probability > 0`).
+    pub fn with_seed(seed: u64) -> Self {
+        FaultInjector {
+            drop_every_nth: None,
+            drop_probability: 0.0,
+            drop_indices: BTreeSet::new(),
+            delay_indices: BTreeSet::new(),
+            stop_after: None,
+            rng: SmallRng::seed_from_u64(seed),
+            next_index: 0,
+        }
+    }
+
+    /// An injector dropping each packet independently with probability `p`.
+    pub fn bernoulli(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let mut inj = Self::with_seed(seed);
+        inj.drop_probability = p;
+        inj
+    }
+
+    /// An injector dropping exactly the packets with the given global
+    /// injection indices.
+    pub fn drop_at(indices: impl IntoIterator<Item = u64>) -> Self {
+        let mut inj = Self::with_seed(0);
+        inj.drop_indices = indices.into_iter().collect();
+        inj
+    }
+
+    /// Total number of packets classified so far.
+    pub fn packets_seen(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Classify the next packet. Called exactly once per injected packet,
+    /// in injection order, so explicit indices are meaningful.
+    pub fn classify(&mut self) -> FaultKind {
+        let idx = self.next_index;
+        self.next_index += 1;
+        if self.stop_after.is_some_and(|n| idx >= n) {
+            // Keep the RNG stream advancing so runs with/without the bound
+            // stay comparable up to the cut-off.
+            if self.drop_probability > 0.0 {
+                let _ = self.rng.gen_bool(self.drop_probability);
+            }
+            return FaultKind::None;
+        }
+        if self.drop_indices.contains(&idx) {
+            return FaultKind::Drop;
+        }
+        if let Some(n) = self.drop_every_nth {
+            if n > 0 && idx.is_multiple_of(n) {
+                return FaultKind::Drop;
+            }
+        }
+        if self.drop_probability > 0.0 && self.rng.gen_bool(self.drop_probability) {
+            return FaultKind::Drop;
+        }
+        if self.delay_indices.contains(&idx) {
+            return FaultKind::Delay;
+        }
+        FaultKind::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_faults() {
+        let mut inj = FaultInjector::none();
+        for _ in 0..1000 {
+            assert_eq!(inj.classify(), FaultKind::None);
+        }
+        assert_eq!(inj.packets_seen(), 1000);
+    }
+
+    #[test]
+    fn explicit_indices_hit_exactly() {
+        let mut inj = FaultInjector::drop_at([2, 5]);
+        let kinds: Vec<_> = (0..7).map(|_| inj.classify()).collect();
+        assert_eq!(kinds[2], FaultKind::Drop);
+        assert_eq!(kinds[5], FaultKind::Drop);
+        assert_eq!(kinds.iter().filter(|k| **k == FaultKind::Drop).count(), 2);
+    }
+
+    #[test]
+    fn every_nth_drops_multiples() {
+        let mut inj = FaultInjector::none();
+        inj.drop_every_nth = Some(3);
+        let kinds: Vec<_> = (0..9).map(|_| inj.classify()).collect();
+        for (i, k) in kinds.iter().enumerate() {
+            assert_eq!(*k == FaultKind::Drop, i % 3 == 0, "index {i}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut inj = FaultInjector::bernoulli(0.3, seed);
+            (0..100).map(|_| inj.classify()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        let drops = run(7).iter().filter(|k| **k == FaultKind::Drop).count();
+        assert!((10..60).contains(&drops), "p=0.3 of 100 gave {drops}");
+    }
+
+    #[test]
+    fn delay_classification() {
+        let mut inj = FaultInjector::none();
+        inj.delay_indices.insert(1);
+        assert_eq!(inj.classify(), FaultKind::None);
+        assert_eq!(inj.classify(), FaultKind::Delay);
+    }
+}

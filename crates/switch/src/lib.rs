@@ -1,0 +1,35 @@
+//! # sp-switch — SP high-performance switch fabric model
+//!
+//! The SP's interconnect (§1.2 of the paper) is a scalable multistage
+//! switch: racks of up to 16 thin nodes, **four distinct routes between
+//! each pair of nodes**, a hardware latency of about **500 ns**, and link
+//! bandwidth close to **40 MB/s**. The switch itself is lossless and highly
+//! reliable; packets are only lost at the *adapter's* receive FIFO on
+//! overflow (modeled in `sp-adapter`), or through explicit fault injection.
+//!
+//! ## Timing model
+//!
+//! Wormhole-style: a packet of `w` wire bytes leaving node `s` for node `d`
+//! occupies `s`'s injection link for `w/B` (B = link bandwidth), crosses the
+//! fabric in `L` (hop latency), and then occupies `d`'s ejection link for
+//! `w/B`. Injection links and ejection links are independent resources, so
+//!
+//! * a single sender is paced at `B` (the paper's 34–35 MB/s of payload once
+//!   the 32-byte packet header is discounted), and
+//! * `k` senders converging on one receiver share the receiver's ejection
+//!   link — the paper's §4.4 observation that MPICH's naive `MPI_Alltoall`
+//!   ("all processors try to send to the same processor at the same time")
+//!   bottlenecks is exactly this resource.
+//!
+//! Delivery per (src, dst) pair is FIFO (all four routes have equal length
+//! in a real SP partition, and the model's per-link resources are monotone),
+//! which is what lets SP AM promise *ordered* delivery (§4.1). A test-only
+//! reordering fault can be injected to exercise AM's NACK path.
+
+#![warn(missing_docs)]
+
+mod fabric;
+mod fault;
+
+pub use fabric::{Switch, SwitchConfig, Transit};
+pub use fault::{FaultInjector, FaultKind};

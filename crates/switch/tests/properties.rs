@@ -1,0 +1,90 @@
+//! Property tests on the fabric model: per-pair FIFO, link conservation,
+//! and fault-injection accounting.
+
+use proptest::prelude::*;
+use sp_switch::{FaultInjector, Switch, SwitchConfig, Transit};
+use sp_sim::Time;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Deliveries on each (src, dst) pair are strictly increasing in time
+    /// (the ordering SP AM's sequence numbers rely on).
+    #[test]
+    fn per_pair_fifo(
+        packets in prop::collection::vec((0usize..4, 0usize..4, 33usize..256), 1..200),
+    ) {
+        let mut sw = Switch::new(4, SwitchConfig::default());
+        let mut last: Vec<Vec<Option<Time>>> = vec![vec![None; 4]; 4];
+        for (src, dst, bytes) in packets {
+            if let Transit::Delivered { at, .. } = sw.transit(src, dst, bytes, Time::ZERO) {
+                if let Some(prev) = last[src][dst] {
+                    prop_assert!(at > prev, "pair ({src},{dst}) reordered");
+                }
+                last[src][dst] = Some(at);
+            }
+        }
+    }
+
+    /// No link ever carries more than its bandwidth: consecutive
+    /// deliveries *to one node* are separated by at least the smaller
+    /// packet's serialization time.
+    #[test]
+    fn ejection_link_conserved(
+        packets in prop::collection::vec((0usize..3, 64usize..256), 2..150),
+    ) {
+        let mut sw = Switch::new(4, SwitchConfig::default());
+        let mut deliveries: Vec<(Time, usize)> = Vec::new();
+        for (src, bytes) in packets {
+            if let Transit::Delivered { at, .. } = sw.transit(src, 3, bytes, Time::ZERO) {
+                deliveries.push((at, bytes));
+            }
+        }
+        deliveries.sort();
+        for w in deliveries.windows(2) {
+            let min_gap = sw.serialization(w[1].1.min(w[0].1));
+            prop_assert!(
+                w[1].0 - w[0].0 >= min_gap,
+                "two deliveries {} apart, min serialization {}",
+                w[1].0 - w[0].0,
+                min_gap
+            );
+        }
+    }
+
+    /// Fault accounting: delivered + dropped equals packets injected, and
+    /// the injector's own count matches.
+    #[test]
+    fn fault_accounting(
+        count in 1u64..300,
+        p_millis in 0u32..300,
+        seed in any::<u64>(),
+    ) {
+        let mut sw = Switch::new(2, SwitchConfig::default());
+        sw.set_fault_injector(FaultInjector::bernoulli(p_millis as f64 / 1000.0, seed));
+        let mut delivered = 0u64;
+        for _ in 0..count {
+            match sw.transit(0, 1, 128, Time::ZERO) {
+                Transit::Delivered { .. } => delivered += 1,
+                Transit::Dropped => {}
+            }
+        }
+        prop_assert_eq!(sw.stats().delivered, delivered);
+        prop_assert_eq!(sw.stats().delivered + sw.stats().dropped, count);
+    }
+
+    /// Route selection cycles through all configured routes uniformly.
+    #[test]
+    fn routes_round_robin(count in 4usize..100) {
+        let mut sw = Switch::new(2, SwitchConfig::default());
+        let mut seen = [0usize; 4];
+        for _ in 0..count {
+            if let Transit::Delivered { route, .. } = sw.transit(0, 1, 64, Time::ZERO) {
+                seen[route] += 1;
+            }
+        }
+        let max = *seen.iter().max().unwrap();
+        let min = *seen.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "route imbalance: {seen:?}");
+    }
+}

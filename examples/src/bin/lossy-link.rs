@@ -1,0 +1,64 @@
+//! Active Messages over an unreliable fabric: inject random packet loss
+//! and watch the sliding-window/NACK/keep-alive machinery (§2.2) deliver
+//! everything exactly once anyway.
+//!
+//! ```text
+//! cargo run -p sp-examples --bin lossy-link
+//! ```
+
+use sp_adapter::SpConfig;
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr};
+use sp_switch::FaultInjector;
+
+#[derive(Default)]
+struct St {
+    done: bool,
+}
+
+fn done_handler(env: &mut AmEnv<'_, St>, _args: AmArgs) {
+    env.state.done = true;
+}
+
+fn main() {
+    let loss = 0.03;
+    let len = 20 * 8064; // 20 chunks
+    println!("storing {len} bytes across a link dropping {:.0}% of packets\n", loss * 100.0);
+
+    let cfg = AmConfig { keepalive_polls: 128, ..AmConfig::default() }; // probe sooner than the production default
+    let mut m = AmMachine::new(SpConfig::thin(2), cfg, 1);
+    m.configure_world(|w| w.switch.set_fault_injector(FaultInjector::bernoulli(loss, 99)));
+    m.mem().alloc(1, len as u32);
+
+    let data: Vec<u8> = (0..len).map(|i| (i % 241) as u8).collect();
+    let expect = data.clone();
+    m.spawn("sender", St::default(), move |am: &mut Am<'_, St>| {
+        am.register(done_handler);
+        let t0 = am.now();
+        am.store(GlobalPtr { node: 1, addr: 0 }, &data, Some(0), &[]);
+        let dt = am.now() - t0;
+        println!(
+            "[sender] transfer complete in {dt} ({:.2} MB/s effective)",
+            len as f64 / dt.as_secs() / 1e6
+        );
+        let s = am.stats();
+        println!(
+            "[sender] packets sent {} | retransmitted {} | NACKs received {} | probes {}",
+            s.packets_sent, s.packets_retransmitted, s.nacks_received, s.probes_sent
+        );
+    });
+    m.spawn("receiver", St::default(), move |am: &mut Am<'_, St>| {
+        am.register(done_handler);
+        am.poll_until(|s| s.done);
+        let s = am.stats();
+        println!(
+            "[receiver] delivered {} data packets | dup-dropped {} | out-of-order dropped {} | NACKs sent {}",
+            s.data_packets_delivered, s.dup_dropped, s.ooo_dropped, s.nacks_sent
+        );
+        am.drain(sp_sim::Dur::ms(5.0)); // serve the sender's final recovery
+    });
+    let report = m.run().expect("run completes");
+    let dropped = report.world.switch.stats().dropped;
+    let got = report.mem.read_vec(GlobalPtr { node: 1, addr: 0 }, len);
+    assert_eq!(got, expect, "corruption!");
+    println!("\nfabric dropped {dropped} packets; every byte still arrived exactly once.");
+}

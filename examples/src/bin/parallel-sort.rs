@@ -1,0 +1,48 @@
+//! Parallel sample sort across all five platforms of the paper's Split-C
+//! comparison (§3): the same SPMD program runs over SP Active Messages,
+//! SP MPL, and LogGP models of the CM-5, CS-2, and U-Net/ATM cluster.
+//!
+//! ```text
+//! cargo run --release -p sp-examples --bin parallel-sort
+//! ```
+
+use sp_splitc::apps::{sample_sort, SampleConfig};
+use sp_splitc::{run_spmd, Gas, Platform};
+
+fn main() {
+    let nodes = 8;
+    let cfg = SampleConfig { keys_per_node: 8 * 1024, ..SampleConfig::paper(false) };
+    let (count, checksum) = sample_sort::expected(&cfg, nodes);
+    println!(
+        "sample sort (fine-grain): {} keys/node on {nodes} processors\n",
+        cfg.keys_per_node
+    );
+    println!("{:>16}  {:>10}  {:>10}  {:>10}", "platform", "total (s)", "cpu (s)", "net (s)");
+    println!("{}", "-".repeat(56));
+    for platform in Platform::all() {
+        let cfg2 = cfg.clone();
+        let results = run_spmd(platform, nodes, 9, move |g: &mut dyn Gas| {
+            sample_sort::run(g, &cfg2)
+        });
+        // Verify the sort actually sorted.
+        let outcomes: Vec<_> = results.iter().map(|(_, o)| *o).collect();
+        sp_splitc::apps::verify_sort(&outcomes, count, checksum);
+        let worst = results
+            .iter()
+            .map(|(t, _)| *t)
+            .max_by(|a, b| a.total.cmp(&b.total))
+            .expect("nodes");
+        println!(
+            "{:>16}  {:>10.3}  {:>10.3}  {:>10.3}",
+            platform.name(),
+            worst.total.as_secs(),
+            worst.cpu().as_secs(),
+            worst.comm.as_secs()
+        );
+    }
+    println!(
+        "\nThe fine-grain variant sends one 4-byte store per key: platforms with low"
+    );
+    println!("per-message overhead (SP AM, CM-5) win on net time; SP MPL pays its heavy");
+    println!("software path per key — the paper's §3 conclusion.");
+}

@@ -1,0 +1,14 @@
+//! Runnable examples for `sp-am-rs` (see `src/bin/`):
+//!
+//! * `quickstart` — a two-node Active Messages session: requests, replies,
+//!   a bulk store, and the protocol statistics;
+//! * `parallel-sort` — the Split-C sample-sort benchmark run across all
+//!   five platforms of the paper's comparison, printing the time and
+//!   comm/compute split per platform;
+//! * `mpi-stencil` — a 2D Jacobi heat-diffusion stencil written against
+//!   the MPI subset, run over both MPI-over-AM and MPI-F;
+//! * `lossy-link` — Active Messages riding over an unreliable switch with
+//!   injected packet loss, showing the flow-control/keep-alive machinery
+//!   recovering (watch the retransmission counters).
+
+#![warn(missing_docs)]

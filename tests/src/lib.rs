@@ -1,0 +1,14 @@
+//! Cross-crate integration tests live in `tests/tests/`; this library only
+//! hosts shared helpers.
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A shared cell node programs can write results into across thread
+/// boundaries (the engine runs each node on its own thread).
+pub fn shared<T: Default>() -> (Arc<Mutex<T>>, Arc<Mutex<T>>) {
+    let a = Arc::new(Mutex::new(T::default()));
+    (a.clone(), a)
+}
