@@ -24,13 +24,16 @@ pub fn write_packet<P: Send + 'static>(
 ) -> Result<(), FifoFull> {
     let src = ctx.id().0;
     let pkt = WirePacket::new(src, dst, payload_bytes, payload);
-    let cost = ctx.world(|w| {
+    // One fused world-access + time charge; a full FIFO charges nothing
+    // (the caller never touched the hardware).
+    ctx.world_then_advance(|w| {
         debug_assert!(dst < w.nodes(), "destination {dst} out of range");
-        w.cost.memcpy(pkt.wire_bytes) + w.cost.flush(pkt.wire_bytes)
-    });
-    ctx.world(|w| w.adapters[src].push_send(pkt))?;
-    ctx.advance(cost);
-    Ok(())
+        let cost = w.cost.memcpy(pkt.wire_bytes) + w.cost.flush(pkt.wire_bytes);
+        match w.adapters[src].push_send(pkt) {
+            Ok(()) => (Ok(()), cost),
+            Err(e) => (Err(e), Dur::ZERO),
+        }
+    })
 }
 
 /// Publish the oldest `count` written-but-unpublished packets by storing
@@ -39,12 +42,14 @@ pub fn write_packet<P: Send + 'static>(
 /// optimization of "writing the lengths of several packets at a time".
 pub fn ring_doorbell<P: Send + 'static>(ctx: &mut SpCtx<P>, count: usize) {
     let src = ctx.id().0;
-    let (pio, scan) = ctx.world(|w| (w.cost.pio_write, w.cfg.fw_scan_delay));
-    ctx.advance(pio);
+    let scan = ctx.world_then_advance(|w| (w.cfg.fw_scan_delay, w.cost.pio_write));
     let kick = ctx.world(|w| {
         let a = &mut w.adapters[src];
         let marked = a.mark_ready(count);
-        debug_assert_eq!(marked, count, "doorbell for packets that were never written");
+        debug_assert_eq!(
+            marked, count,
+            "doorbell for packets that were never written"
+        );
         a.stats.doorbells += 1;
         if a.fw_send_active {
             false
@@ -54,7 +59,7 @@ pub fn ring_doorbell<P: Send + 'static>(ctx: &mut SpCtx<P>, count: usize) {
         }
     });
     if kick {
-        ctx.schedule(scan, move |e| fw_send_step(e, src));
+        ctx.schedule_hot(scan, fw_send_step, src as u64, 0);
     }
 }
 
@@ -84,7 +89,7 @@ pub fn send_fifo_free<P: Send + 'static>(ctx: &mut SpCtx<P>) -> usize {
 ///   `recv_pop_batch`-th packet — one MicroChannel store for the lazy pop.
 pub fn poll_packet<P: Send + 'static>(ctx: &mut SpCtx<P>) -> Option<WirePacket<P>> {
     let me = ctx.id().0;
-    let (pkt, cost) = ctx.world(|w| {
+    ctx.world_then_advance(|w| {
         let pop_batch = w.cfg.recv_pop_batch;
         let empty_check = w.cfg.recv_empty_check;
         let a = &mut w.adapters[me];
@@ -114,9 +119,7 @@ pub fn poll_packet<P: Send + 'static>(ctx: &mut SpCtx<P>) -> Option<WirePacket<P
                 (Some(pkt), cost)
             }
         }
-    });
-    ctx.advance(cost);
-    pkt
+    })
 }
 
 /// True if a packet is waiting in the receive FIFO (free cached check; used

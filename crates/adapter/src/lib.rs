@@ -39,7 +39,10 @@ mod unit;
 mod world;
 
 pub use config::AdapterConfig;
-pub use unit::{AdapterStats, FifoFull, WirePacket, ENTRY_BYTES, HEADER_BYTES, MAX_PAYLOAD, RECV_ENTRIES_PER_NODE, SEND_FIFO_ENTRIES};
+pub use unit::{
+    AdapterStats, FifoFull, WirePacket, ENTRY_BYTES, HEADER_BYTES, MAX_PAYLOAD,
+    RECV_ENTRIES_PER_NODE, SEND_FIFO_ENTRIES,
+};
 pub use world::{SpConfig, SpWorld};
 
 /// The world type every SP-machine simulation uses, parameterized by the

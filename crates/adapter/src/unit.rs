@@ -44,8 +44,16 @@ impl<P> WirePacket<P> {
     /// Build a packet carrying `payload_bytes` of protocol payload.
     /// Panics if the payload exceeds [`MAX_PAYLOAD`].
     pub fn new(src: usize, dst: usize, payload_bytes: usize, payload: P) -> Self {
-        assert!(payload_bytes <= MAX_PAYLOAD, "payload {payload_bytes} exceeds {MAX_PAYLOAD}");
-        WirePacket { src, dst, wire_bytes: HEADER_BYTES + payload_bytes, payload }
+        assert!(
+            payload_bytes <= MAX_PAYLOAD,
+            "payload {payload_bytes} exceeds {MAX_PAYLOAD}"
+        );
+        WirePacket {
+            src,
+            dst,
+            wire_bytes: HEADER_BYTES + payload_bytes,
+            payload,
+        }
     }
 }
 
@@ -226,7 +234,10 @@ mod tests {
         let _read = a.recv_fifo.pop_front().unwrap();
         a.recv_unpopped += 1; // host read it but did not pop yet
         assert!(a.deliver(pkt(1)));
-        assert!(!a.deliver(pkt(2)), "lazy pop must still count against capacity");
+        assert!(
+            !a.deliver(pkt(2)),
+            "lazy pop must still count against capacity"
+        );
         a.recv_unpopped = 0; // lazy pop happened
         assert!(a.deliver(pkt(3)));
     }

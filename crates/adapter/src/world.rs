@@ -4,8 +4,8 @@
 use crate::config::AdapterConfig;
 use crate::unit::{Adapter, AdapterStats, WirePacket};
 use sp_machine::CostModel;
-use sp_switch::{Switch, SwitchConfig, Transit};
 use sp_sim::EventCtx;
+use sp_switch::{Switch, SwitchConfig, Transit};
 
 /// Configuration of a whole simulated SP partition.
 #[derive(Debug, Clone)]
@@ -36,7 +36,10 @@ impl SpConfig {
     /// A partition of `nodes` wide nodes (model 590): larger cache lines, a
     /// faster memory system and I/O bus.
     pub fn wide(nodes: usize) -> Self {
-        SpConfig { cost: CostModel::wide(), ..SpConfig::thin(nodes) }
+        SpConfig {
+            cost: CostModel::wide(),
+            ..SpConfig::thin(nodes)
+        }
     }
 }
 
@@ -49,6 +52,52 @@ pub struct SpWorld<P: Send + 'static> {
     pub switch: Switch,
     pub(crate) cfg: AdapterConfig,
     pub(crate) adapters: Vec<Adapter<P>>,
+    pub(crate) inflight: InflightSlab<P>,
+}
+
+/// Parking space for packets crossing the switch: allocation-free `Hot`
+/// events carry only integers, so a packet in transit parks here and its
+/// slot index rides through the event chain. Slots are recycled LIFO; with
+/// the single-runner discipline the reuse order is deterministic.
+pub(crate) struct InflightSlab<P: Send + 'static> {
+    slots: Vec<Option<WirePacket<P>>>,
+    free: Vec<u32>,
+}
+
+impl<P: Send + 'static> InflightSlab<P> {
+    fn new() -> Self {
+        InflightSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    pub(crate) fn insert(&mut self, pkt: WirePacket<P>) -> u64 {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(pkt);
+                i as u64
+            }
+            None => {
+                self.slots.push(Some(pkt));
+                (self.slots.len() - 1) as u64
+            }
+        }
+    }
+
+    pub(crate) fn get(&self, slot: u64) -> &WirePacket<P> {
+        self.slots[slot as usize]
+            .as_ref()
+            .expect("in-flight slot occupied")
+    }
+
+    pub(crate) fn take(&mut self, slot: u64) -> WirePacket<P> {
+        let pkt = self.slots[slot as usize]
+            .take()
+            .expect("in-flight slot occupied");
+        self.free.push(slot as u32);
+        pkt
+    }
 }
 
 impl<P: Send + 'static> std::fmt::Debug for SpWorld<P> {
@@ -72,6 +121,7 @@ impl<P: Send + 'static> SpWorld<P> {
             switch: Switch::new(cfg.nodes, cfg.switch),
             cfg: cfg.adapter,
             adapters,
+            inflight: InflightSlab::new(),
         }
     }
 
@@ -101,7 +151,17 @@ impl<P: Send + 'static> SpWorld<P> {
 /// processing + DMA time, hand it to the switch, and chain to the next
 /// packet. The chain parks (`fw_send_active = false`) when the FIFO has no
 /// ready head entry; the next doorbell restarts it after the scan delay.
-pub(crate) fn fw_send_step<P: Send + 'static>(e: &mut EventCtx<'_, SpWorld<P>>, node: usize) {
+///
+/// This and the chains it feeds are allocation-free `Hot` events
+/// (`fn(ctx, u64, u64)`): the node id / FIFO slot ride as the integer
+/// arguments and in-flight packets park in [`InflightSlab`]. The second
+/// argument is unused here.
+pub(crate) fn fw_send_step<P: Send + 'static>(
+    e: &mut EventCtx<'_, SpWorld<P>>,
+    node: u64,
+    _b: u64,
+) {
+    let node = node as usize;
     let now = e.now();
     let (pkt, done) = {
         let w = e.world();
@@ -123,28 +183,39 @@ pub(crate) fn fw_send_step<P: Send + 'static>(e: &mut EventCtx<'_, SpWorld<P>>, 
         w.switch.transit(node, dst, pkt.wire_bytes, done)
     };
     if let Transit::Delivered { at, .. } = transit {
-        e.schedule_at(at, move |e2| fw_recv_step(e2, dst, pkt));
+        let slot = e.world().inflight.insert(pkt);
+        e.schedule_hot_at(at, fw_recv_step, dst as u64, slot);
     }
-    e.schedule_at(done, move |e2| fw_send_step(e2, node));
+    e.schedule_hot_at(done, fw_send_step, node as u64, 0);
 }
 
 /// Firmware receive engine: per-packet processing + DMA into the host-memory
-/// receive FIFO; drops on overflow.
-pub(crate) fn fw_recv_step<P: Send + 'static>(e: &mut EventCtx<'_, SpWorld<P>>, dst: usize, pkt: WirePacket<P>) {
+/// receive FIFO; drops on overflow. `slot` is the packet's [`InflightSlab`]
+/// index.
+pub(crate) fn fw_recv_step<P: Send + 'static>(
+    e: &mut EventCtx<'_, SpWorld<P>>,
+    dst: u64,
+    slot: u64,
+) {
     let now = e.now();
     let finish = {
         let w = e.world();
-        let start = now.max(w.adapters[dst].recv_busy_until);
-        let finish = start + w.cfg.fw_recv_per_packet + w.cfg.dma(pkt.wire_bytes);
-        w.adapters[dst].recv_busy_until = finish;
+        let wire_bytes = w.inflight.get(slot).wire_bytes;
+        let start = now.max(w.adapters[dst as usize].recv_busy_until);
+        let finish = start + w.cfg.fw_recv_per_packet + w.cfg.dma(wire_bytes);
+        w.adapters[dst as usize].recv_busy_until = finish;
         finish
     };
-    e.schedule_at(finish, move |e2| {
-        if e2.world().adapters[dst].deliver(pkt) {
-            // Interrupt line: wake the host if it is sleeping on arrival
-            // (a latched signal otherwise; pure-polling layers never park,
-            // so this is free for them).
-            e2.unpark(sp_sim::NodeId(dst));
-        }
-    });
+    e.schedule_hot_at(finish, deliver_step, dst, slot);
+}
+
+/// Final hop: unpark the slab slot into the destination's receive FIFO.
+fn deliver_step<P: Send + 'static>(e: &mut EventCtx<'_, SpWorld<P>>, dst: u64, slot: u64) {
+    let pkt = e.world().inflight.take(slot);
+    if e.world().adapters[dst as usize].deliver(pkt) {
+        // Interrupt line: wake the host if it is sleeping on arrival
+        // (a latched signal otherwise; pure-polling layers never park,
+        // so this is free for them).
+        e.unpark(sp_sim::NodeId(dst as usize));
+    }
 }

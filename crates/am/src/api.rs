@@ -79,13 +79,17 @@ impl<'a, S> AmEnv<'a, S> {
     /// handlers, which run in request context) may reply, at most once —
     /// the GAM 1.1 rule.
     pub fn reply(&mut self, handler: HandlerId, args: &[u32]) {
-        assert!(self.reply_allowed, "am_reply from a reply/completion handler is illegal (GAM 1.1)");
+        assert!(
+            self.reply_allowed,
+            "am_reply from a reply/completion handler is illegal (GAM 1.1)"
+        );
         assert!(!self.replied, "a handler may reply at most once");
         assert!(args.len() <= 4, "replies carry at most 4 words");
         self.replied = true;
         let mut a = [0u32; 4];
         a[..args.len()].copy_from_slice(args);
-        self.port.send_reply(self.ctx, self.reply_to, handler, args.len() as u8, a);
+        self.port
+            .send_reply(self.ctx, self.reply_to, handler, args.len() as u8, a);
     }
 
     /// `am_reply_1`.
@@ -121,7 +125,11 @@ impl<'c, S> Am<'c, S> {
     pub(crate) fn new(ctx: &'c mut AmCtx, mem: MemPool, cfg: crate::AmConfig, state: S) -> Self {
         let me = ctx.id().0;
         let n = ctx.num_nodes();
-        Am { ctx, port: AmPort::new(me, n, cfg, mem), state }
+        Am {
+            ctx,
+            port: AmPort::new(me, n, cfg, mem),
+            state,
+        }
     }
 
     /// This node's index.
@@ -198,7 +206,8 @@ impl<'c, S> Am<'c, S> {
         assert!(args.len() <= 4, "requests carry at most 4 words");
         let mut a = [0u32; 4];
         a[..args.len()].copy_from_slice(args);
-        self.port.send_request(self.ctx, dst, handler, args.len() as u8, a);
+        self.port
+            .send_request(self.ctx, dst, handler, args.len() as u8, a);
         self.port.poll(self.ctx, &mut self.state);
     }
 
@@ -218,7 +227,15 @@ impl<'c, S> Am<'c, S> {
     }
 
     /// `am_request_4`.
-    pub fn request_4(&mut self, dst: usize, handler: HandlerId, a0: u32, a1: u32, a2: u32, a3: u32) {
+    pub fn request_4(
+        &mut self,
+        dst: usize,
+        handler: HandlerId,
+        a0: u32,
+        a1: u32,
+        a2: u32,
+        a3: u32,
+    ) {
         self.request(dst, handler, &[a0, a1, a2, a3]);
     }
 
@@ -293,9 +310,19 @@ impl<'c, S> Am<'c, S> {
     }
 
     /// `am_store` variant reading the source bytes from local memory.
-    pub fn store_from(&mut self, src_addr: u32, dst: GlobalPtr, len: u32, handler: Option<HandlerId>, args: &[u32]) {
+    pub fn store_from(
+        &mut self,
+        src_addr: u32,
+        dst: GlobalPtr,
+        len: u32,
+        handler: Option<HandlerId>,
+        args: &[u32],
+    ) {
         let data = self.port.mem_pool().read_vec(
-            GlobalPtr { node: self.port.node(), addr: src_addr },
+            GlobalPtr {
+                node: self.port.node(),
+                addr: src_addr,
+            },
             len as usize,
         );
         self.store(dst, &data, handler, args);
@@ -314,7 +341,15 @@ impl<'c, S> Am<'c, S> {
         assert!(args.len() <= 4);
         let mut a = [0u32; 4];
         a[..args.len()].copy_from_slice(args);
-        self.port.start_get(self.ctx, src.node, src.addr, dst_addr, len, handler.unwrap_or(HANDLER_NONE), a)
+        self.port.start_get(
+            self.ctx,
+            src.node,
+            src.addr,
+            dst_addr,
+            len,
+            handler.unwrap_or(HANDLER_NONE),
+            a,
+        )
     }
 
     /// Blocking `am_get`: fetch and wait for arrival.

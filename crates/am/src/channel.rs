@@ -34,14 +34,38 @@ pub(crate) struct BulkTx {
 }
 
 impl BulkTx {
-    pub(crate) fn new(id: u32, dst_addr: u32, handler: u16, args: [u32; 4], data: Box<[u8]>) -> Self {
+    pub(crate) fn new(
+        id: u32,
+        dst_addr: u32,
+        handler: u16,
+        args: [u32; 4],
+        data: Box<[u8]>,
+    ) -> Self {
         assert!(!data.is_empty(), "zero-length bulk transfer");
-        BulkTx { id, dst_addr, handler, args, data, track_completion: true, sent: 0, chunk_sent: 0 }
+        BulkTx {
+            id,
+            dst_addr,
+            handler,
+            args,
+            data,
+            track_completion: true,
+            sent: 0,
+            chunk_sent: 0,
+        }
     }
 
     /// A transfer whose id belongs to a remote requester (get service).
-    pub(crate) fn untracked(id: u32, dst_addr: u32, handler: u16, args: [u32; 4], data: Box<[u8]>) -> Self {
-        BulkTx { track_completion: false, ..Self::new(id, dst_addr, handler, args, data) }
+    pub(crate) fn untracked(
+        id: u32,
+        dst_addr: u32,
+        handler: u16,
+        args: [u32; 4],
+        data: Box<[u8]>,
+    ) -> Self {
+        BulkTx {
+            track_completion: false,
+            ..Self::new(id, dst_addr, handler, args, data)
+        }
     }
 
     /// Packets in the chunk currently being emitted (the last chunk may be
@@ -164,7 +188,12 @@ impl TxChan {
         }
         let item = self.queue.front_mut()?;
         match item {
-            SendItem::Short { kind, handler, nargs, args } => {
+            SendItem::Short {
+                kind,
+                handler,
+                nargs,
+                args,
+            } => {
                 if self.in_flight + 1 > self.window {
                     return None;
                 }
@@ -174,9 +203,18 @@ impl TxChan {
                     offset: 0,
                     ack_req: 0,
                     ack_rep: 0,
-                    body: Body::Short { kind: *kind, handler: *handler, nargs: *nargs, args: *args },
+                    body: Body::Short {
+                        kind: *kind,
+                        handler: *handler,
+                        nargs: *nargs,
+                        args: *args,
+                    },
                 };
-                self.unacked.push_back(Saved { seq: self.next_seq, offset: 0, pkt: pkt.clone() });
+                self.unacked.push_back(Saved {
+                    seq: self.next_seq,
+                    offset: 0,
+                    pkt: pkt.clone(),
+                });
                 self.next_seq += 1;
                 self.in_flight += 1;
                 self.queue.pop_front();
@@ -217,7 +255,11 @@ impl TxChan {
                         bytes: bulk.data[off..off + len].into(),
                     },
                 };
-                self.unacked.push_back(Saved { seq: self.next_seq, offset, pkt: pkt.clone() });
+                self.unacked.push_back(Saved {
+                    seq: self.next_seq,
+                    offset,
+                    pkt: pkt.clone(),
+                });
                 self.in_flight += 1;
                 bulk.sent += len;
                 bulk.chunk_sent += 1;
@@ -312,7 +354,13 @@ pub(crate) struct RxChan {
 impl RxChan {
     pub(crate) fn new(window: u32, ack_threshold: u32) -> Self {
         let _ = window;
-        RxChan { expected_seq: 0, expected_offset: 0, unacked_packets: 0, ack_threshold, nack_outstanding: false }
+        RxChan {
+            expected_seq: 0,
+            expected_offset: 0,
+            unacked_packets: 0,
+            ack_threshold,
+            nack_outstanding: false,
+        }
     }
 
     /// Next expected sequence number — the cumulative ACK value this side
@@ -372,7 +420,12 @@ mod tests {
     use crate::wire::CHUNK_PACKETS;
 
     fn short_item(h: u16) -> SendItem {
-        SendItem::Short { kind: ShortKind::User, handler: h, nargs: 1, args: [7, 0, 0, 0] }
+        SendItem::Short {
+            kind: ShortKind::User,
+            handler: h,
+            nargs: 1,
+            args: [7, 0, 0, 0],
+        }
     }
 
     fn tx(window: u32) -> TxChan {
@@ -411,7 +464,13 @@ mod tests {
     fn chunk_shares_one_seq_and_occupies_its_packets() {
         let mut t = tx(72);
         let data = vec![9u8; CHUNK_BYTES_TEST];
-        t.push(SendItem::Bulk(BulkTx::new(5, 0x100, 3, [0; 4], data.into())));
+        t.push(SendItem::Bulk(BulkTx::new(
+            5,
+            0x100,
+            3,
+            [0; 4],
+            data.into(),
+        )));
         let mut seqs = Vec::new();
         let mut offsets = Vec::new();
         while let Some(p) = t.try_emit() {
@@ -430,7 +489,13 @@ mod tests {
         // Window 72 admits exactly two chunks; the third needs an ack.
         let mut t = tx(72);
         let data = vec![1u8; 3 * CHUNK_BYTES_TEST];
-        t.push(SendItem::Bulk(BulkTx::new(1, 0, u16::MAX, [0; 4], data.into())));
+        t.push(SendItem::Bulk(BulkTx::new(
+            1,
+            0,
+            u16::MAX,
+            [0; 4],
+            data.into(),
+        )));
         let mut n = 0;
         while t.try_emit().is_some() {
             n += 1;
@@ -449,14 +514,30 @@ mod tests {
         let mut t = tx(72);
         // 1.5 packets worth of data: 2 packets, one (partial) chunk.
         let data = vec![2u8; MAX_PAYLOAD + 10];
-        t.push(SendItem::Bulk(BulkTx::new(9, 0, u16::MAX, [0; 4], data.into())));
+        t.push(SendItem::Bulk(BulkTx::new(
+            9,
+            0,
+            u16::MAX,
+            [0; 4],
+            data.into(),
+        )));
         let a = t.try_emit().unwrap();
         let b = t.try_emit().unwrap();
         assert!(t.try_emit().is_none());
         match (&a.body, &b.body) {
             (
-                Body::Data { len: la, last_of_chunk: ca, last_of_xfer: xa, .. },
-                Body::Data { len: lb, last_of_chunk: cb, last_of_xfer: xb, .. },
+                Body::Data {
+                    len: la,
+                    last_of_chunk: ca,
+                    last_of_xfer: xa,
+                    ..
+                },
+                Body::Data {
+                    len: lb,
+                    last_of_chunk: cb,
+                    last_of_xfer: xb,
+                    ..
+                },
             ) => {
                 assert_eq!((*la as usize, *lb as usize), (MAX_PAYLOAD, 10));
                 assert!(!ca && !xa);
@@ -465,7 +546,11 @@ mod tests {
             other => panic!("unexpected bodies {other:?}"),
         }
         assert!(t.on_ack(0).1.is_empty());
-        assert_eq!(t.on_ack(1), (2, vec![9]), "final ack completes the bulk and frees both packets");
+        assert_eq!(
+            t.on_ack(1),
+            (2, vec![9]),
+            "final ack completes the bulk and frees both packets"
+        );
         assert_eq!(t.in_flight(), 0);
         assert!(t.idle());
     }
@@ -491,7 +576,13 @@ mod tests {
     fn nack_mid_chunk_retransmits_from_offset() {
         let mut t = tx(72);
         let data = vec![3u8; CHUNK_BYTES_TEST];
-        t.push(SendItem::Bulk(BulkTx::new(1, 0, u16::MAX, [0; 4], data.into())));
+        t.push(SendItem::Bulk(BulkTx::new(
+            1,
+            0,
+            u16::MAX,
+            [0; 4],
+            data.into(),
+        )));
         while t.try_emit().is_some() {}
         let (_, rtx) = t.on_nack(0, 10);
         assert_eq!(rtx, CHUNK_PACKETS - 10);
@@ -530,20 +621,32 @@ mod tests {
     fn rx_in_order_delivery_and_acks() {
         let mut r = RxChan::new(72, 18);
         for seq in 0..17 {
-            assert_eq!(r.accept(seq, 0, true), RxVerdict::Deliver { force_ack: false });
+            assert_eq!(
+                r.accept(seq, 0, true),
+                RxVerdict::Deliver { force_ack: false }
+            );
         }
         // 18th unacked packet crosses the quarter-window threshold.
-        assert_eq!(r.accept(17, 0, true), RxVerdict::Deliver { force_ack: true });
+        assert_eq!(
+            r.accept(17, 0, true),
+            RxVerdict::Deliver { force_ack: true }
+        );
         r.acked();
         assert_eq!(r.cum_ack(), 18);
-        assert_eq!(r.accept(18, 0, true), RxVerdict::Deliver { force_ack: false });
+        assert_eq!(
+            r.accept(18, 0, true),
+            RxVerdict::Deliver { force_ack: false }
+        );
     }
 
     #[test]
     fn rx_chunk_completion_forces_ack() {
         let mut r = RxChan::new(72, 18);
         for off in 0..CHUNK_PACKETS as u32 - 1 {
-            assert_eq!(r.accept(0, off, false), RxVerdict::Deliver { force_ack: false });
+            assert_eq!(
+                r.accept(0, off, false),
+                RxVerdict::Deliver { force_ack: false }
+            );
         }
         assert_eq!(
             r.accept(0, CHUNK_PACKETS as u32 - 1, true),
@@ -556,33 +659,54 @@ mod tests {
     #[test]
     fn rx_gap_nacks_once() {
         let mut r = RxChan::new(72, 18);
-        assert_eq!(r.accept(0, 0, true), RxVerdict::Deliver { force_ack: false });
+        assert_eq!(
+            r.accept(0, 0, true),
+            RxVerdict::Deliver { force_ack: false }
+        );
         // Packet 1 lost; 2, 3, 4 arrive.
         assert_eq!(r.accept(2, 0, true), RxVerdict::OooDrop { nack: true });
         assert_eq!(r.accept(3, 0, true), RxVerdict::OooDrop { nack: false });
         assert_eq!(r.accept(4, 0, true), RxVerdict::OooDrop { nack: false });
         assert_eq!(r.expected(), (1, 0));
         // Retransmitted 1 arrives: progress resumes, future gaps re-NACK.
-        assert_eq!(r.accept(1, 0, true), RxVerdict::Deliver { force_ack: false });
+        assert_eq!(
+            r.accept(1, 0, true),
+            RxVerdict::Deliver { force_ack: false }
+        );
         assert_eq!(r.accept(3, 0, true), RxVerdict::OooDrop { nack: true });
     }
 
     #[test]
     fn rx_duplicates_dropped() {
         let mut r = RxChan::new(72, 18);
-        assert_eq!(r.accept(0, 0, true), RxVerdict::Deliver { force_ack: false });
+        assert_eq!(
+            r.accept(0, 0, true),
+            RxVerdict::Deliver { force_ack: false }
+        );
         assert_eq!(r.accept(0, 0, true), RxVerdict::DupDrop);
         // Mid-chunk duplicate.
-        assert_eq!(r.accept(1, 0, false), RxVerdict::Deliver { force_ack: false });
+        assert_eq!(
+            r.accept(1, 0, false),
+            RxVerdict::Deliver { force_ack: false }
+        );
         assert_eq!(r.accept(1, 0, false), RxVerdict::DupDrop);
-        assert_eq!(r.accept(1, 1, false), RxVerdict::Deliver { force_ack: false });
+        assert_eq!(
+            r.accept(1, 1, false),
+            RxVerdict::Deliver { force_ack: false }
+        );
     }
 
     #[test]
     fn shorts_wait_behind_bulk_fifo_order() {
         let mut t = tx(72);
         let data = vec![4u8; 2 * MAX_PAYLOAD];
-        t.push(SendItem::Bulk(BulkTx::new(1, 0, u16::MAX, [0; 4], data.into())));
+        t.push(SendItem::Bulk(BulkTx::new(
+            1,
+            0,
+            u16::MAX,
+            [0; 4],
+            data.into(),
+        )));
         t.push(short_item(42));
         let kinds: Vec<bool> = std::iter::from_fn(|| t.try_emit())
             .map(|p| matches!(p.body, Body::Data { .. }))

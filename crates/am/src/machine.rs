@@ -38,10 +38,19 @@ pub struct AmReport {
     pub end_time: Time,
     /// Engine events executed.
     pub events: u64,
+    /// Wall-clock duration of the run.
+    pub wall: std::time::Duration,
     /// The machine's final hardware state (switch/adapter statistics).
     pub world: AmWorld,
     /// The memory pool (inspect transfer results after the run).
     pub mem: MemPool,
+}
+
+impl AmReport {
+    /// Simulated events per wall-clock second (engine throughput).
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
 }
 
 impl AmMachine {
@@ -115,6 +124,12 @@ impl AmMachine {
         assert_eq!(self.spawned, self.nodes, "every node needs a program");
         let mem = self.mem;
         let report = self.sim.run()?;
-        Ok(AmReport { end_time: report.end_time, events: report.events, world: report.world, mem })
+        Ok(AmReport {
+            end_time: report.end_time,
+            events: report.events,
+            wall: report.wall,
+            world: report.world,
+            mem,
+        })
     }
 }

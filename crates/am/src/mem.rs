@@ -23,7 +23,10 @@ impl GlobalPtr {
     /// A pointer `delta` bytes further into the same node's arena.
     #[inline]
     pub fn offset(self, delta: u32) -> GlobalPtr {
-        GlobalPtr { node: self.node, addr: self.addr + delta }
+        GlobalPtr {
+            node: self.node,
+            addr: self.addr + delta,
+        }
     }
 }
 
@@ -38,7 +41,10 @@ const ALIGN: u32 = 8;
 
 impl Arena {
     fn new() -> Self {
-        Arena { data: Vec::new(), next: 0 }
+        Arena {
+            data: Vec::new(),
+            next: 0,
+        }
     }
 
     fn alloc(&mut self, len: u32) -> u32 {
@@ -59,7 +65,11 @@ impl Arena {
     fn write(&mut self, addr: u32, bytes: &[u8]) {
         let a = addr as usize;
         let end = a + bytes.len();
-        assert!(end <= self.data.len(), "write past end of arena: {end} > {}", self.data.len());
+        assert!(
+            end <= self.data.len(),
+            "write past end of arena: {end} > {}",
+            self.data.len()
+        );
         self.data[a..end].copy_from_slice(bytes);
     }
 }
@@ -76,7 +86,10 @@ impl std::fmt::Debug for MemPool {
         let arenas = self.arenas.lock();
         f.debug_struct("MemPool")
             .field("nodes", &arenas.len())
-            .field("allocated", &arenas.iter().map(|a| a.next).collect::<Vec<_>>())
+            .field(
+                "allocated",
+                &arenas.iter().map(|a| a.next).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -84,12 +97,17 @@ impl std::fmt::Debug for MemPool {
 impl MemPool {
     /// A pool with one empty arena per node.
     pub fn new(nodes: usize) -> Self {
-        MemPool { arenas: Arc::new(Mutex::new((0..nodes).map(|_| Arena::new()).collect())) }
+        MemPool {
+            arenas: Arc::new(Mutex::new((0..nodes).map(|_| Arena::new()).collect())),
+        }
     }
 
     /// A view of `node`'s arena.
     pub fn on(&self, node: usize) -> Mem {
-        Mem { pool: self.clone(), node }
+        Mem {
+            pool: self.clone(),
+            node,
+        }
     }
 
     /// Allocate `len` bytes on `node` (8-byte aligned bump allocation).
@@ -141,12 +159,24 @@ impl Mem {
 
     /// Read from a *local* address.
     pub fn read(&self, addr: u32, out: &mut [u8]) {
-        self.pool.read(GlobalPtr { node: self.node, addr }, out);
+        self.pool.read(
+            GlobalPtr {
+                node: self.node,
+                addr,
+            },
+            out,
+        );
     }
 
     /// Write to a *local* address.
     pub fn write(&self, addr: u32, bytes: &[u8]) {
-        self.pool.write(GlobalPtr { node: self.node, addr }, bytes);
+        self.pool.write(
+            GlobalPtr {
+                node: self.node,
+                addr,
+            },
+            bytes,
+        );
     }
 
     /// Read a little-endian `f64` at a local address.

@@ -124,23 +124,45 @@ impl<S> AmPort<S> {
     // ----- send paths ------------------------------------------------
 
     /// Queue a user request and push it toward the wire.
-    pub(crate) fn send_request(&mut self, ctx: &mut AmCtx, dst: usize, handler: u16, nargs: u8, args: [u32; 4]) {
+    pub(crate) fn send_request(
+        &mut self,
+        ctx: &mut AmCtx,
+        dst: usize,
+        handler: u16,
+        nargs: u8,
+        args: [u32; 4],
+    ) {
         let words = (nargs as u64).saturating_sub(1);
         ctx.advance(self.cfg.request_cpu + self.cfg.per_word_cpu * words);
         self.stats.requests_sent += 1;
-        self.peers[dst].tx[Channel::Request.idx()]
-            .push(SendItem::Short { kind: ShortKind::User, handler, nargs, args });
+        self.peers[dst].tx[Channel::Request.idx()].push(SendItem::Short {
+            kind: ShortKind::User,
+            handler,
+            nargs,
+            args,
+        });
         self.pump_peer(ctx, dst);
     }
 
     /// Queue a reply (only legal from a request handler; enforced by
     /// [`AmEnv`](crate::AmEnv)).
-    pub(crate) fn send_reply(&mut self, ctx: &mut AmCtx, dst: usize, handler: u16, nargs: u8, args: [u32; 4]) {
+    pub(crate) fn send_reply(
+        &mut self,
+        ctx: &mut AmCtx,
+        dst: usize,
+        handler: u16,
+        nargs: u8,
+        args: [u32; 4],
+    ) {
         let words = (nargs as u64).saturating_sub(1);
         ctx.advance(self.cfg.reply_cpu + self.cfg.per_word_cpu * words);
         self.stats.replies_sent += 1;
-        self.peers[dst].tx[Channel::Reply.idx()]
-            .push(SendItem::Short { kind: ShortKind::User, handler, nargs, args });
+        self.peers[dst].tx[Channel::Reply.idx()].push(SendItem::Short {
+            kind: ShortKind::User,
+            handler,
+            nargs,
+            args,
+        });
         self.pump_peer(ctx, dst);
     }
 
@@ -169,8 +191,9 @@ impl<S> AmPort<S> {
         if let Some(c) = completion {
             self.completions.insert(id, c);
         }
-        self.peers[dst_node].tx[Channel::Request.idx()]
-            .push(SendItem::Bulk(BulkTx::new(id, dst_addr, handler, args, data)));
+        self.peers[dst_node].tx[Channel::Request.idx()].push(SendItem::Bulk(BulkTx::new(
+            id, dst_addr, handler, args, data,
+        )));
         self.pump_peer(ctx, dst_node);
         BulkHandle(id)
     }
@@ -196,7 +219,12 @@ impl<S> AmPort<S> {
             return BulkHandle(id);
         }
         self.peers[src_node].tx[Channel::Request.idx()].push(SendItem::Short {
-            kind: ShortKind::GetReq { src_addr, dst_addr, len, xfer: id },
+            kind: ShortKind::GetReq {
+                src_addr,
+                dst_addr,
+                len,
+                xfer: id,
+            },
             handler,
             nargs: 4,
             args,
@@ -239,12 +267,16 @@ impl<S> AmPort<S> {
                     if self.cfg.trace_chunks {
                         if let Body::Data { last_of_chunk, .. } = pkt.body {
                             if pkt.offset == 0 {
-                                self.trace
-                                    .push(TraceEvent::ChunkStart { seq: pkt.seq, at: ctx.now() });
+                                self.trace.push(TraceEvent::ChunkStart {
+                                    seq: pkt.seq,
+                                    at: ctx.now(),
+                                });
                             }
                             if last_of_chunk {
-                                self.trace
-                                    .push(TraceEvent::ChunkEnd { seq: pkt.seq, at: ctx.now() });
+                                self.trace.push(TraceEvent::ChunkEnd {
+                                    seq: pkt.seq,
+                                    at: ctx.now(),
+                                });
                             }
                         }
                     }
@@ -253,8 +285,7 @@ impl<S> AmPort<S> {
                 }
                 self.stamp_acks(dst, &mut pkt);
                 let bytes = pkt.payload_bytes();
-                host::write_packet(ctx, dst, bytes, pkt)
-                    .expect("send FIFO free count was checked");
+                host::write_packet(ctx, dst, bytes, pkt).expect("send FIFO free count was checked");
                 free -= 1;
                 pending_doorbell += 1;
                 if pending_doorbell >= self.cfg.doorbell_batch {
@@ -291,7 +322,14 @@ impl<S> AmPort<S> {
     /// sequence space.
     fn send_control(&mut self, ctx: &mut AmCtx, dst: usize, chan: Channel, body: Body) {
         debug_assert!(matches!(body, Body::Ack | Body::Nack { .. } | Body::Probe));
-        let mut pkt = AmPacket { chan, seq: 0, offset: 0, ack_req: 0, ack_rep: 0, body };
+        let mut pkt = AmPacket {
+            chan,
+            seq: 0,
+            offset: 0,
+            ack_req: 0,
+            ack_rep: 0,
+            body,
+        };
         self.stamp_acks(dst, &mut pkt);
         let bytes = pkt.payload_bytes();
         // Control packets bypass the send queue; if the FIFO is full they
@@ -336,7 +374,9 @@ impl<S> AmPort<S> {
     }
 
     fn any_unacked(&self) -> bool {
-        self.peers.iter().any(|p| p.tx[0].has_unacked() || p.tx[1].has_unacked())
+        self.peers
+            .iter()
+            .any(|p| p.tx[0].has_unacked() || p.tx[1].has_unacked())
     }
 
     /// True when every outbound channel is quiescent (nothing queued,
@@ -386,10 +426,23 @@ impl<S> AmPort<S> {
             }
             Body::Probe => {
                 let (es, eo) = self.peers[src].rx[chan.idx()].expected();
-                self.send_control(ctx, src, chan, Body::Nack { seq: es, offset: eo });
+                self.send_control(
+                    ctx,
+                    src,
+                    chan,
+                    Body::Nack {
+                        seq: es,
+                        offset: eo,
+                    },
+                );
                 self.stats.nacks_sent += 1;
             }
-            Body::Short { kind, handler, nargs, args } => {
+            Body::Short {
+                kind,
+                handler,
+                nargs,
+                args,
+            } => {
                 let verdict = self.peers[src].rx[chan.idx()].accept(pkt.seq, pkt.offset, true);
                 match verdict {
                     RxVerdict::Deliver { force_ack } => {
@@ -397,15 +450,28 @@ impl<S> AmPort<S> {
                         self.stats.shorts_delivered += 1;
                         match kind {
                             ShortKind::User => {
-                                self.invoke(ctx, state, handler, AmArgs {
-                                    a: args,
-                                    nargs,
-                                    src,
-                                    info: None,
-                                }, chan == Channel::Request);
+                                self.invoke(
+                                    ctx,
+                                    state,
+                                    handler,
+                                    AmArgs {
+                                        a: args,
+                                        nargs,
+                                        src,
+                                        info: None,
+                                    },
+                                    chan == Channel::Request,
+                                );
                             }
-                            ShortKind::GetReq { src_addr, dst_addr, len, xfer } => {
-                                self.serve_get(ctx, src, src_addr, dst_addr, len, xfer, handler, args);
+                            ShortKind::GetReq {
+                                src_addr,
+                                dst_addr,
+                                len,
+                                xfer,
+                            } => {
+                                self.serve_get(
+                                    ctx, src, src_addr, dst_addr, len, xfer, handler, args,
+                                );
                             }
                             ShortKind::Barrier { go } => {
                                 if go {
@@ -443,14 +509,21 @@ impl<S> AmPort<S> {
                 xfer,
                 bytes,
             } => {
-                let verdict = self.peers[src].rx[chan.idx()].accept(pkt.seq, pkt.offset, last_of_chunk);
+                let verdict =
+                    self.peers[src].rx[chan.idx()].accept(pkt.seq, pkt.offset, last_of_chunk);
                 match verdict {
                     RxVerdict::Deliver { force_ack } => {
                         self.made_progress = true;
                         debug_assert_eq!(len as usize, bytes.len());
                         self.stats.data_packets_delivered += 1;
                         self.stats.bulk_bytes_delivered += bytes.len() as u64;
-                        self.mem.write(crate::GlobalPtr { node: self.me, addr }, &bytes);
+                        self.mem.write(
+                            crate::GlobalPtr {
+                                node: self.me,
+                                addr,
+                            },
+                            &bytes,
+                        );
                         if last_of_xfer {
                             if chan == Channel::Reply {
                                 // Get data arrived back home: the handle
@@ -458,12 +531,21 @@ impl<S> AmPort<S> {
                                 self.completed.insert(xfer);
                             }
                             if handler != HANDLER_NONE {
-                                self.invoke(ctx, state, handler, AmArgs {
-                                    a: args,
-                                    nargs: 4,
-                                    src,
-                                    info: Some(BulkInfo { base: base_addr, len: total_len }),
-                                }, chan == Channel::Request);
+                                self.invoke(
+                                    ctx,
+                                    state,
+                                    handler,
+                                    AmArgs {
+                                        a: args,
+                                        nargs: 4,
+                                        src,
+                                        info: Some(BulkInfo {
+                                            base: base_addr,
+                                            len: total_len,
+                                        }),
+                                    },
+                                    chan == Channel::Request,
+                                );
                             }
                         }
                         if force_ack || last_of_xfer {
@@ -493,7 +575,15 @@ impl<S> AmPort<S> {
     fn send_nack(&mut self, ctx: &mut AmCtx, dst: usize, chan: Channel) {
         let (es, eo) = self.peers[dst].rx[chan.idx()].expected();
         self.stats.nacks_sent += 1;
-        self.send_control(ctx, dst, chan, Body::Nack { seq: es, offset: eo });
+        self.send_control(
+            ctx,
+            dst,
+            chan,
+            Body::Nack {
+                seq: es,
+                offset: eo,
+            },
+        );
     }
 
     fn process_ack(&mut self, ctx: &mut AmCtx, state: &mut S, src: usize, chan: Channel, cum: u32) {
@@ -511,7 +601,18 @@ impl<S> AmPort<S> {
         for id in ids {
             self.completed.insert(id);
             if let Some((handler, args)) = self.completions.remove(&id) {
-                self.invoke(ctx, state, handler, AmArgs { a: args, nargs: 4, src: self.me, info: None }, false);
+                self.invoke(
+                    ctx,
+                    state,
+                    handler,
+                    AmArgs {
+                        a: args,
+                        nargs: 4,
+                        src: self.me,
+                        info: None,
+                    },
+                    false,
+                );
             }
         }
     }
@@ -530,7 +631,13 @@ impl<S> AmPort<S> {
         handler: u16,
         args: [u32; 4],
     ) {
-        let data = self.mem.read_vec(crate::GlobalPtr { node: self.me, addr: src_addr }, len as usize);
+        let data = self.mem.read_vec(
+            crate::GlobalPtr {
+                node: self.me,
+                addr: src_addr,
+            },
+            len as usize,
+        );
         self.peers[requester].tx[Channel::Reply.idx()].push(SendItem::Bulk(BulkTx::untracked(
             xfer,
             dst_addr,
@@ -541,12 +648,26 @@ impl<S> AmPort<S> {
         self.pump_peer(ctx, requester);
     }
 
-    fn invoke(&mut self, ctx: &mut AmCtx, state: &mut S, handler: u16, args: AmArgs, reply_allowed: bool) {
+    fn invoke(
+        &mut self,
+        ctx: &mut AmCtx,
+        state: &mut S,
+        handler: u16,
+        args: AmArgs,
+        reply_allowed: bool,
+    ) {
         let f = *self
             .handlers
             .get(handler as usize)
             .unwrap_or_else(|| panic!("node {}: unregistered handler {handler}", self.me));
-        let mut env = AmEnv { port: self, ctx, state, reply_to: args.src, reply_allowed, replied: false };
+        let mut env = AmEnv {
+            port: self,
+            ctx,
+            state,
+            reply_to: args.src,
+            reply_allowed,
+            replied: false,
+        };
         f(&mut env, args);
     }
 

@@ -172,7 +172,12 @@ mod tests {
             offset: 0,
             ack_req: 0,
             ack_rep: 0,
-            body: Body::Short { kind: ShortKind::User, handler: 1, nargs, args: [0; 4] },
+            body: Body::Short {
+                kind: ShortKind::User,
+                handler: 1,
+                nargs,
+                args: [0; 4],
+            },
         }
     }
 
@@ -218,7 +223,14 @@ mod tests {
     #[test]
     fn control_classification() {
         for body in [Body::Ack, Body::Nack { seq: 0, offset: 0 }, Body::Probe] {
-            let p = AmPacket { chan: Channel::Reply, seq: 0, offset: 0, ack_req: 0, ack_rep: 0, body };
+            let p = AmPacket {
+                chan: Channel::Reply,
+                seq: 0,
+                offset: 0,
+                ack_req: 0,
+                ack_rep: 0,
+                body,
+            };
             assert!(p.is_control());
             assert!(p.payload_bytes() <= 8);
         }

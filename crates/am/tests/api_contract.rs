@@ -101,7 +101,10 @@ fn zero_length_store_and_get_complete_immediately() {
     m.spawn("a", St::default(), |am: &mut Am<'_, St>| {
         am.register(record);
         let h = am.store_async(GlobalPtr { node: 1, addr: 0 }, &[], None, &[], None);
-        assert!(am.bulk_done(h), "zero-length store must complete immediately");
+        assert!(
+            am.bulk_done(h),
+            "zero-length store must complete immediately"
+        );
         let g = am.get(GlobalPtr { node: 1, addr: 0 }, 0, 0, None, &[]);
         assert!(am.bulk_done(g), "zero-length get must complete immediately");
         am.barrier();
@@ -145,7 +148,10 @@ fn store_from_local_memory() {
         am.alloc(512);
         am.barrier();
         am.poll_until(|s| s.count >= 1);
-        assert_eq!(am.mem_pool().read_vec(GlobalPtr { node: 1, addr: 0 }, 512), vec![0x42u8; 512]);
+        assert_eq!(
+            am.mem_pool().read_vec(GlobalPtr { node: 1, addr: 0 }, 512),
+            vec![0x42u8; 512]
+        );
         am.barrier();
     });
     m.run().unwrap();

@@ -29,7 +29,10 @@ fn async_store_bandwidth(total: usize, n: usize) -> f64 {
         let t0 = am.now();
         let mut handles = Vec::with_capacity(count as usize);
         for i in 0..count {
-            let dst = GlobalPtr { node: 1, addr: (i as u64 % 64) as u32 * 16384 };
+            let dst = GlobalPtr {
+                node: 1,
+                addr: (i as u64 % 64) as u32 * 16384,
+            };
             handles.push(am.store_async(dst, &data, None, &[], None));
         }
         for h in handles {
@@ -83,7 +86,10 @@ fn sync_store_bandwidth(count: u32, n: usize) -> f64 {
 fn asymptotic_bandwidth_near_34mb_s() {
     let bw = async_store_bandwidth(1 << 19, 1 << 16); // 512 KB in 64 KB stores
     eprintln!("async store r_inf: {bw:.2} MB/s (paper: 34.3)");
-    assert!((32.0..36.0).contains(&bw), "asymptotic bandwidth {bw:.2} MB/s, want ~34.3");
+    assert!(
+        (32.0..36.0).contains(&bw),
+        "asymptotic bandwidth {bw:.2} MB/s, want ~34.3"
+    );
 }
 
 #[test]
@@ -94,8 +100,14 @@ fn async_half_power_point_is_small() {
     let at_256 = async_store_bandwidth(1 << 17, 256);
     let at_64 = async_store_bandwidth(1 << 15, 64);
     eprintln!("async store: 64B -> {at_64:.2} MB/s, 256B -> {at_256:.2} MB/s");
-    assert!(at_256 > 12.0, "256-byte async stores reached only {at_256:.2} MB/s");
-    assert!(at_64 < 17.0, "64-byte async stores too fast ({at_64:.2} MB/s) for a ~260B n_1/2");
+    assert!(
+        at_256 > 12.0,
+        "256-byte async stores reached only {at_256:.2} MB/s"
+    );
+    assert!(
+        at_64 < 17.0,
+        "64-byte async stores too fast ({at_64:.2} MB/s) for a ~260B n_1/2"
+    );
 }
 
 #[test]
@@ -107,6 +119,12 @@ fn sync_stores_slower_at_small_sizes_but_converge() {
     let async_1k = async_store_bandwidth(1 << 16, 1024);
     let sync_64k = sync_store_bandwidth(8, 1 << 16);
     eprintln!("1KB: sync {sync_1k:.2} vs async {async_1k:.2} MB/s; 64KB sync {sync_64k:.2} MB/s");
-    assert!(sync_1k < async_1k * 0.8, "blocking stores should lag at 1 KB");
-    assert!(sync_64k > 30.0, "64 KB blocking stores must approach r_inf, got {sync_64k:.2}");
+    assert!(
+        sync_1k < async_1k * 0.8,
+        "blocking stores should lag at 1 KB"
+    );
+    assert!(
+        sync_64k > 30.0,
+        "64 KB blocking stores must approach r_inf, got {sync_64k:.2}"
+    );
 }

@@ -25,26 +25,34 @@ fn round_trip_us(iters: u32) -> f64 {
     let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 42);
     let out = std::sync::Arc::new(parking_lot::Mutex::new(0.0f64));
     let out2 = out.clone();
-    m.spawn("pinger", PingState::default(), move |am: &mut Am<'_, PingState>| {
-        let pong = am.register(pong_handler);
-        let done = am.register(done_handler);
-        let _ = pong;
-        // Warmup round.
-        am.request_1(1, 0, done as u32);
-        am.poll_until(|s| s.pongs >= 1);
-        let t0 = am.now();
-        for i in 0..iters {
+    m.spawn(
+        "pinger",
+        PingState::default(),
+        move |am: &mut Am<'_, PingState>| {
+            let pong = am.register(pong_handler);
+            let done = am.register(done_handler);
+            let _ = pong;
+            // Warmup round.
             am.request_1(1, 0, done as u32);
-            am.poll_until(move |s| s.pongs >= i + 2);
-        }
-        let dt = am.now() - t0;
-        *out2.lock() = dt.as_us() / iters as f64;
-    });
-    m.spawn("ponger", PingState::default(), move |am: &mut Am<'_, PingState>| {
-        am.register(pong_handler);
-        am.register(done_handler);
-        am.poll_until(move |s| s.pings > iters);
-    });
+            am.poll_until(|s| s.pongs >= 1);
+            let t0 = am.now();
+            for i in 0..iters {
+                am.request_1(1, 0, done as u32);
+                am.poll_until(move |s| s.pongs >= i + 2);
+            }
+            let dt = am.now() - t0;
+            *out2.lock() = dt.as_us() / iters as f64;
+        },
+    );
+    m.spawn(
+        "ponger",
+        PingState::default(),
+        move |am: &mut Am<'_, PingState>| {
+            am.register(pong_handler);
+            am.register(done_handler);
+            am.poll_until(move |s| s.pings > iters);
+        },
+    );
     m.run().unwrap();
     let v = *out.lock();
     v

@@ -103,14 +103,18 @@ fn mixed_mode_nodes_interoperate() {
         am.wait_until(move |s| s.count >= 3 * 10);
     });
     for i in 1..n {
-        m.spawn(format!("client{i}"), St::default(), move |am: &mut Am<'_, St>| {
-            am.register(pong);
-            am.register(bump);
-            for k in 0..10u32 {
-                am.request_1(0, 0, 0);
-                am.poll_until(move |s| s.count > k);
-            }
-        });
+        m.spawn(
+            format!("client{i}"),
+            St::default(),
+            move |am: &mut Am<'_, St>| {
+                am.register(pong);
+                am.register(bump);
+                for k in 0..10u32 {
+                    am.request_1(0, 0, 0);
+                    am.poll_until(move |s| s.count > k);
+                }
+            },
+        );
     }
     m.run().expect("mixed-mode run completes");
 }

@@ -37,7 +37,9 @@ fn run_pair(
 }
 
 fn pattern(len: usize, salt: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt))
+        .collect()
 }
 
 #[test]
@@ -112,7 +114,13 @@ fn get_handler_runs_locally_on_arrival() {
             am.register(bump_flag);
             am.barrier();
             let dst = am.alloc(500);
-            let h = am.get(GlobalPtr { node: 0, addr: 0 }, dst.addr, 500, Some(0), &[0x9]);
+            let h = am.get(
+                GlobalPtr { node: 0, addr: 0 },
+                dst.addr,
+                500,
+                Some(0),
+                &[0x9],
+            );
             am.poll_until(|s| s.flags == 0x9);
             assert!(am.bulk_done(h));
             am.barrier();
@@ -151,7 +159,10 @@ fn many_interleaved_requests_arrive_in_order() {
     // Each request carries a sequence tag; the receiving handler checks
     // monotonicity via state.count.
     fn ordered(env: &mut AmEnv<'_, St>, args: AmArgs) {
-        assert_eq!(args.a[0], env.state.count, "requests delivered out of order");
+        assert_eq!(
+            args.a[0], env.state.count,
+            "requests delivered out of order"
+        );
         env.state.count += 1;
     }
     run_pair(
@@ -178,9 +189,15 @@ fn store_survives_random_loss() {
     let len = 5 * 8064;
     let data = pattern(len, 11);
     let data2 = data.clone();
-    let cfg = AmConfig { keepalive_polls: 64, ..AmConfig::default() }; // recover promptly in the test
+    let cfg = AmConfig {
+        keepalive_polls: 64,
+        ..AmConfig::default()
+    }; // recover promptly in the test
     let mut m = AmMachine::new(SpConfig::thin(2), cfg, 7);
-    m.configure_world(|w| w.switch.set_fault_injector(FaultInjector::bernoulli(0.02, 99)));
+    m.configure_world(|w| {
+        w.switch
+            .set_fault_injector(FaultInjector::bernoulli(0.02, 99))
+    });
     m.mem().alloc(1, len as u32); // receiver landing area
     m.spawn("sender", St::default(), move |am: &mut Am<'_, St>| {
         am.register(bump_flag);
@@ -194,14 +211,20 @@ fn store_survives_random_loss() {
         am.drain(sp_sim::Dur::ms(5.0));
     });
     let report = m.run().unwrap();
-    assert_eq!(report.mem.read_vec(GlobalPtr { node: 1, addr: 0 }, len), data);
+    assert_eq!(
+        report.mem.read_vec(GlobalPtr { node: 1, addr: 0 }, len),
+        data
+    );
     let drops = report.world.switch.stats().dropped;
     assert!(drops > 0, "fault injector should have dropped something");
 }
 
 #[test]
 fn requests_survive_targeted_loss_of_first_packet() {
-    let cfg = AmConfig { keepalive_polls: 64, ..AmConfig::default() };
+    let cfg = AmConfig {
+        keepalive_polls: 64,
+        ..AmConfig::default()
+    };
     let mut m = AmMachine::new(SpConfig::thin(2), cfg, 7);
     // Drop the very first wire packet (the first request).
     m.configure_world(|w| w.switch.set_fault_injector(FaultInjector::drop_at([0])));
@@ -228,12 +251,21 @@ fn delivery_is_exactly_once_under_duplication_pressure() {
     // the receiver may already have. Handler executions must still be
     // exactly once per request, in order.
     fn ordered(env: &mut AmEnv<'_, St>, args: AmArgs) {
-        assert_eq!(args.a[0], env.state.count, "duplicate or reorder leaked through");
+        assert_eq!(
+            args.a[0], env.state.count,
+            "duplicate or reorder leaked through"
+        );
         env.state.count += 1;
     }
-    let cfg = AmConfig { keepalive_polls: 64, ..AmConfig::default() };
+    let cfg = AmConfig {
+        keepalive_polls: 64,
+        ..AmConfig::default()
+    };
     let mut m = AmMachine::new(SpConfig::thin(2), cfg, 3);
-    m.configure_world(|w| w.switch.set_fault_injector(FaultInjector::bernoulli(0.05, 5)));
+    m.configure_world(|w| {
+        w.switch
+            .set_fault_injector(FaultInjector::bernoulli(0.05, 5))
+    });
     m.spawn("sender", St::default(), |am: &mut Am<'_, St>| {
         am.register(ordered);
         for i in 0..300u32 {
@@ -254,7 +286,10 @@ fn delivery_is_exactly_once_under_duplication_pressure() {
 fn recv_fifo_overflow_recovers_via_flow_control() {
     // Shrink the receiver FIFO so the request window overruns it while the
     // receiver sleeps; flow control must retransmit the losses.
-    let cfg = AmConfig { keepalive_polls: 64, ..AmConfig::default() };
+    let cfg = AmConfig {
+        keepalive_polls: 64,
+        ..AmConfig::default()
+    };
     let mut m = AmMachine::new(SpConfig::thin(2), cfg, 3);
     m.configure_world(|w| w.set_recv_capacity(1, 8));
     m.spawn("sender", St::default(), |am: &mut Am<'_, St>| {
@@ -280,7 +315,10 @@ fn recv_fifo_overflow_recovers_via_flow_control() {
 
 #[test]
 fn reordering_fault_triggers_nack_path() {
-    let cfg = AmConfig { keepalive_polls: 64, ..AmConfig::default() };
+    let cfg = AmConfig {
+        keepalive_polls: 64,
+        ..AmConfig::default()
+    };
     let mut m = AmMachine::new(SpConfig::thin(2), cfg, 3);
     m.configure_world(|w| {
         let mut inj = FaultInjector::none();
@@ -313,18 +351,25 @@ fn barrier_synchronizes_eight_nodes() {
     let times = Arc::new(parking_lot::Mutex::new(vec![0.0f64; n]));
     for node in 0..n {
         let times = times.clone();
-        m.spawn(format!("n{node}"), St::default(), move |am: &mut Am<'_, St>| {
-            // Stagger arrival; everyone must leave after the last arriver.
-            am.work(sp_sim::Dur::us(50.0 * node as f64));
-            am.barrier();
-            times.lock()[node] = am.now().as_us();
-        });
+        m.spawn(
+            format!("n{node}"),
+            St::default(),
+            move |am: &mut Am<'_, St>| {
+                // Stagger arrival; everyone must leave after the last arriver.
+                am.work(sp_sim::Dur::us(50.0 * node as f64));
+                am.barrier();
+                times.lock()[node] = am.now().as_us();
+            },
+        );
     }
     m.run().unwrap();
     let times = times.lock();
     let last_arrival = 50.0 * (n - 1) as f64;
     for (i, &t) in times.iter().enumerate() {
-        assert!(t >= last_arrival, "node {i} left the barrier at {t:.1}us before the last arrival");
+        assert!(
+            t >= last_arrival,
+            "node {i} left the barrier at {t:.1}us before the last arrival"
+        );
     }
 }
 
@@ -363,7 +408,10 @@ fn keepalive_recovers_lost_tail() {
     let len = 300; // two packets
     let data = pattern(len, 8);
     let data2 = data.clone();
-    let cfg = AmConfig { keepalive_polls: 32, ..AmConfig::default() };
+    let cfg = AmConfig {
+        keepalive_polls: 32,
+        ..AmConfig::default()
+    };
     let mut m = AmMachine::new(SpConfig::thin(2), cfg, 3);
     // Packet indices: 0 = first data packet, 1 = second (last_of_xfer).
     m.configure_world(|w| w.switch.set_fault_injector(FaultInjector::drop_at([1])));
@@ -379,7 +427,10 @@ fn keepalive_recovers_lost_tail() {
         am.barrier();
     });
     let report = m.run().unwrap();
-    assert_eq!(report.mem.read_vec(GlobalPtr { node: 1, addr: 0 }, len), data);
+    assert_eq!(
+        report.mem.read_vec(GlobalPtr { node: 1, addr: 0 }, len),
+        data
+    );
 }
 
 #[test]
@@ -404,7 +455,10 @@ fn stats_reflect_traffic() {
     let s = stats.lock();
     assert_eq!(s.requests_sent, 10);
     assert!(s.packets_sent >= 10);
-    assert_eq!(s.packets_retransmitted, 0, "lossless run must not retransmit");
+    assert_eq!(
+        s.packets_retransmitted, 0,
+        "lossless run must not retransmit"
+    );
 }
 
 #[test]
@@ -414,14 +468,22 @@ fn chunk_pipeline_matches_figure_2() {
     use sp_am::TraceEvent;
     let chunks = 5usize;
     let len = chunks * sp_am::CHUNK_BYTES;
-    let cfg = AmConfig { trace_chunks: true, ..AmConfig::default() };
+    let cfg = AmConfig {
+        trace_chunks: true,
+        ..AmConfig::default()
+    };
     let mut m = AmMachine::new(SpConfig::thin(2), cfg, 7);
     m.mem().alloc(1, len as u32);
     let trace = Arc::new(parking_lot::Mutex::new(Vec::new()));
     let trace2 = trace.clone();
     m.spawn("tx", St::default(), move |am: &mut Am<'_, St>| {
         am.register(bump_flag);
-        am.store(GlobalPtr { node: 1, addr: 0 }, &vec![1u8; len], Some(0), &[1]);
+        am.store(
+            GlobalPtr { node: 1, addr: 0 },
+            &vec![1u8; len],
+            Some(0),
+            &[1],
+        );
         *trace2.lock() = am.port().trace().to_vec();
     });
     m.spawn("rx", St::default(), |am: &mut Am<'_, St>| {
@@ -451,7 +513,10 @@ fn chunk_pipeline_matches_figure_2() {
     };
     // Chunks 0 and 1 go out immediately; chunk n (n >= 2) waits for the
     // ack of chunk n-2.
-    assert!(start_of(1) < ack_covering(0), "second chunk must not wait for any ack");
+    assert!(
+        start_of(1) < ack_covering(0),
+        "second chunk must not wait for any ack"
+    );
     for n in 2..chunks as u32 {
         assert!(
             start_of(n) >= ack_covering(n - 2),

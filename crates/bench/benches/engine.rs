@@ -1,0 +1,151 @@
+//! Wall-clock throughput benches of the DES engine itself, used to track
+//! the engine fast path (zero-handoff `advance`, allocation-free hot
+//! events). Run with `cargo bench --bench engine`; the repo records
+//! baseline and current numbers in `BENCH_engine.json`.
+//!
+//! Workloads:
+//! * **empty-poll** — the dominant pattern of every AM program: nodes spin
+//!   on an empty receive FIFO, charging the poll cost each time. Before the
+//!   fast path this paid two context switches per poll.
+//! * **advance** — pure virtual-time charging on a single node.
+//! * **ping-pong-storm** — park/unpark rendezvous pairs; this is the slow
+//!   path (real handoffs) and must not regress.
+//! * **event-chain** — engine-side events rescheduling themselves.
+//! * **packet-stream** — end-to-end adapter traffic (firmware event chains,
+//!   delivery events): exercises the typed allocation-free event path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sp_adapter::{host, SpConfig, SpWorld};
+use sp_sim::{Dur, Sim};
+
+/// 4 nodes × 2,500 polls of an empty receive FIFO.
+fn empty_poll(c: &mut Criterion) {
+    const NODES: usize = 4;
+    const POLLS: u64 = 2_500;
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(NODES as u64 * POLLS));
+    g.bench_function("empty-poll-4x2500", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(SpWorld::<u32>::new(SpConfig::thin(NODES)), 1);
+            for i in 0..NODES {
+                sim.spawn(format!("n{i}"), |ctx| {
+                    for _ in 0..POLLS {
+                        assert!(host::poll_packet(ctx).is_none());
+                    }
+                });
+            }
+            sim.run().unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// One node charging 10,000 spans of virtual time.
+fn advance(c: &mut Criterion) {
+    const STEPS: u64 = 10_000;
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(STEPS));
+    g.bench_function("advance-1x10k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new((), 1);
+            sim.spawn("spinner", |ctx| {
+                for _ in 0..STEPS {
+                    ctx.advance(Dur::ns(100));
+                }
+            });
+            sim.run().unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// 4 independent park/unpark pairs, 250 rounds each: genuine handoffs that
+/// the fast path cannot elide.
+fn ping_pong_storm(c: &mut Criterion) {
+    const PAIRS: usize = 4;
+    const ROUNDS: u64 = 250;
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(PAIRS as u64 * ROUNDS));
+    g.bench_function("ping-pong-storm-4x250", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new((), 1);
+            for p in 0..PAIRS {
+                let sleeper = sp_sim::NodeId(2 * p);
+                sim.spawn(format!("sleeper{p}"), move |ctx| {
+                    for _ in 0..ROUNDS {
+                        ctx.park();
+                    }
+                });
+                sim.spawn(format!("waker{p}"), move |ctx| {
+                    for _ in 0..ROUNDS {
+                        ctx.advance(Dur::ns(100));
+                        ctx.unpark(sleeper);
+                        ctx.advance(Dur::ns(50));
+                    }
+                });
+            }
+            sim.run().unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// A chain of 10,000 engine events, each scheduling its successor.
+fn event_chain(c: &mut Criterion) {
+    const LINKS: u64 = 10_000;
+    fn step(e: &mut sp_sim::EventCtx<'_, u64>) {
+        if *e.world() < LINKS {
+            *e.world() += 1;
+            e.schedule(Dur::ns(10), step);
+        }
+    }
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(LINKS));
+    g.bench_function("event-chain-10k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0u64, 1);
+            sim.spawn("kick", |ctx| {
+                ctx.schedule(Dur::ns(10), step);
+                ctx.advance(Dur::ms(1.0));
+            });
+            let report = sim.run().unwrap();
+            assert_eq!(report.world, LINKS);
+            report
+        })
+    });
+    g.finish();
+}
+
+/// 500 packets through the firmware send/transit/receive event chains.
+fn packet_stream(c: &mut Criterion) {
+    const PACKETS: u32 = 500;
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(PACKETS as u64));
+    g.bench_function("packet-stream-2x500", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(SpWorld::<u32>::new(SpConfig::thin(2)), 1);
+            sim.spawn("tx", |ctx| {
+                for i in 0..PACKETS {
+                    while host::send_fifo_free(ctx) == 0 {
+                        ctx.advance(Dur::us(1.0));
+                    }
+                    host::send_packet(ctx, 1, 64, i).unwrap();
+                }
+            });
+            sim.spawn("rx", |ctx| {
+                for _ in 0..PACKETS {
+                    let _ = host::spin_recv(ctx, Dur::ns(300));
+                }
+            });
+            sim.run().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(3));
+    targets = empty_poll, advance, ping_pong_storm, event_chain, packet_stream
+}
+criterion_main!(benches);

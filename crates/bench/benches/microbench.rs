@@ -144,8 +144,20 @@ fn mempool_ops(c: &mut Criterion) {
             || (),
             |_| {
                 off = (off + 4096) % (1 << 19);
-                pool.write(GlobalPtr { node: 0, addr: p.addr + off }, &data);
-                pool.read_vec(GlobalPtr { node: 0, addr: p.addr + off }, 4096)
+                pool.write(
+                    GlobalPtr {
+                        node: 0,
+                        addr: p.addr + off,
+                    },
+                    &data,
+                );
+                pool.read_vec(
+                    GlobalPtr {
+                        node: 0,
+                        addr: p.addr + off,
+                    },
+                    4096,
+                )
             },
             BatchSize::SmallInput,
         )

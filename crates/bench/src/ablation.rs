@@ -59,7 +59,10 @@ pub fn am_profile(sp: SpConfig, am_cfg: AmConfig) -> (f64, f64) {
 /// Explicit-ACK packets sent by the receiver for a fixed request stream,
 /// plus the stream's completion time (µs).
 pub fn ack_threshold_profile(div: u32) -> (u64, f64) {
-    let cfg = AmConfig { ack_threshold_div: div, ..AmConfig::default() };
+    let cfg = AmConfig {
+        ack_threshold_div: div,
+        ..AmConfig::default()
+    };
     let out = Arc::new(Mutex::new((0u64, 0.0f64)));
     let out2 = out.clone();
     let mut m = AmMachine::new(SpConfig::thin(2), cfg, 17);
@@ -89,7 +92,10 @@ pub fn ack_threshold_profile(div: u32) -> (u64, f64) {
 /// MPI 256-byte eager send+recv per-message time (µs) with/without the
 /// binned allocator (everything else optimized).
 pub fn allocator_profile(binned: bool) -> f64 {
-    let cfg = MpiAmConfig { binned_allocator: binned, ..MpiAmConfig::optimized() };
+    let cfg = MpiAmConfig {
+        binned_allocator: binned,
+        ..MpiAmConfig::optimized()
+    };
     let out = Arc::new(Mutex::new(0.0f64));
     let sp = SpConfig::thin(2);
     let cost = sp.cost.clone();

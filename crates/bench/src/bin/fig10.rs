@@ -10,4 +10,5 @@ fn main() {
     print_series("bytes", &series);
     println!("\nexpected shape (paper): as Figure 8, but MPI-F (tuned for wide nodes)");
     println!("competitive below ~100 bytes and slower above.");
+    sp_bench::print_engine_summary();
 }

@@ -9,4 +9,5 @@ fn main() {
     print_series("bytes", &series);
     println!("\nexpected shape (paper): as Figure 9 with the faster wide-node memory");
     println!("system lifting all curves.");
+    sp_bench::print_engine_summary();
 }

@@ -19,7 +19,10 @@ fn mark(env: &mut AmEnv<'_, St>, _args: AmArgs) {
 fn main() {
     let chunks = 6usize;
     let len = chunks * sp_am::CHUNK_BYTES;
-    let cfg = AmConfig { trace_chunks: true, ..AmConfig::default() };
+    let cfg = AmConfig {
+        trace_chunks: true,
+        ..AmConfig::default()
+    };
     let mut m = AmMachine::new(SpConfig::thin(2), cfg, 7);
     m.mem().alloc(1, len as u32);
     let trace = Arc::new(Mutex::new(Vec::new()));
@@ -47,10 +50,18 @@ fn main() {
         match *ev {
             TraceEvent::ChunkStart { seq, at } => {
                 chunk_start[seq as usize] = Some(at);
-                println!("{:>12.1}  chunk {} -> first packet enters send FIFO", at.as_us(), seq + 1);
+                println!(
+                    "{:>12.1}  chunk {} -> first packet enters send FIFO",
+                    at.as_us(),
+                    seq + 1
+                );
             }
             TraceEvent::ChunkEnd { seq, at } => {
-                println!("{:>12.1}  chunk {} fully handed to adapter", at.as_us(), seq + 1);
+                println!(
+                    "{:>12.1}  chunk {} fully handed to adapter",
+                    at.as_us(),
+                    seq + 1
+                );
             }
             TraceEvent::AckIn { cum, at } => {
                 acked_through.push((cum, at));
@@ -80,4 +91,5 @@ fn main() {
     println!("\ninvariant checked: chunk N+2 is transmitted only after the ack for chunk N");
     println!("(\"initially, two chunks are transmitted and the next chunk is sent only when");
     println!("the previous to last chunk is acknowledged\" — paper Figure 2).");
+    sp_bench::print_engine_summary();
 }

@@ -11,4 +11,5 @@ fn main() {
     println!("\nexpected shape: all curves converge to ~34.3 MB/s; async store/get rise");
     println!("fastest (n1/2 ~260 B); sync store next (~2800 B), sync get slower (~3000 B,");
     println!("get-request overhead); MPL slowest to rise; async == sync above one 8064-B chunk.");
+    sp_bench::print_engine_summary();
 }

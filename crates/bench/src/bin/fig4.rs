@@ -16,7 +16,10 @@ fn main() {
             .total
             .as_secs();
         println!("{}:", app.label());
-        println!("{:>16}  {:>8}  {:>8}  {:>8}", "platform", "cpu", "net", "total");
+        println!(
+            "{:>16}  {:>8}  {:>8}  {:>8}",
+            "platform", "cpu", "net", "total"
+        );
         for (p, t) in row {
             println!(
                 "{:>16}  {:>8.2}  {:>8.2}  {:>8.2}",
@@ -30,4 +33,5 @@ fn main() {
     }
     println!("expected shape (paper): SP bars lowest cpu (fastest processor); SP AM net");
     println!("below SP MPL net everywhere, drastically so for the sm sort variants.");
+    sp_bench::print_engine_summary();
 }

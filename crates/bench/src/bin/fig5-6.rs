@@ -16,7 +16,10 @@ fn run_scenario(
     sender: impl Fn(&mut MpiAm<'_, '_>) + Send + Sync + 'static,
     receiver: impl Fn(&mut MpiAm<'_, '_>) + Send + Sync + 'static,
 ) {
-    let cfg = MpiAmConfig { trace_protocol: true, ..MpiAmConfig::unoptimized() };
+    let cfg = MpiAmConfig {
+        trace_protocol: true,
+        ..MpiAmConfig::unoptimized()
+    };
     let sp = SpConfig::thin(2);
     let cost = sp.cost.clone();
     let mut m = AmMachine::new(sp, AmConfig::default(), 11);
@@ -101,4 +104,5 @@ fn main() {
     println!("late-posted rendezvous records the request and grants when the receive is");
     println!("posted — and the data store always launches from a poll, never from the");
     println!("grant handler (the ADI restriction the paper describes).");
+    sp_bench::print_engine_summary();
 }

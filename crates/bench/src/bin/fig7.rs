@@ -12,4 +12,5 @@ fn main() {
     println!("sizes grow); rendezvous poor for small sizes (handshake latency) but best");
     println!("asymptotically; hybrid follows buffered at small sizes and rendezvous at");
     println!("large, with no dip at the switch.");
+    sp_bench::print_engine_summary();
 }

@@ -10,4 +10,5 @@ fn main() {
     print_series("bytes", &series);
     println!("\nexpected shape (paper): am_store lowest; optimized AM MPI beats MPI-F for");
     println!("small messages on thin nodes; unoptimized AM MPI highest.");
+    sp_bench::print_engine_summary();
 }

@@ -10,4 +10,5 @@ fn main() {
     println!("\nexpected shape (paper): optimized AM MPI 10-30% above MPI-F for medium");
     println!("(8-32 KB) messages — the hybrid protocol avoids MPI-F's rendezvous dip;");
     println!("all converge at 1 MB.");
+    sp_bench::print_engine_summary();
 }

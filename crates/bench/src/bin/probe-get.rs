@@ -13,7 +13,14 @@ fn main() {
                 let t0 = g.now();
                 let iters = 50;
                 for _ in 0..iters {
-                    g.read_into(GlobalPtr { node: 1, addr: buf.addr }, buf.addr, 2048);
+                    g.read_into(
+                        GlobalPtr {
+                            node: 1,
+                            addr: buf.addr,
+                        },
+                        buf.addr,
+                        2048,
+                    );
                 }
                 let per = (g.now() - t0).as_us() / iters as f64;
                 g.barrier();
@@ -23,6 +30,11 @@ fn main() {
                 0.0
             }
         });
-        println!("{:>12}: {:.1} us per blocking 2KB read", platform.name(), out[0]);
+        println!(
+            "{:>12}: {:.1} us per blocking 2KB read",
+            platform.name(),
+            out[0]
+        );
     }
+    sp_bench::print_engine_summary();
 }

@@ -5,19 +5,39 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table2", "fig2", "fig5-6", "table3", "fig3", "table4", "table5", "fig7", "fig8",
-        "fig9", "fig10", "fig11", "table6", "ablations",
+        "table2",
+        "fig2",
+        "fig5-6",
+        "table3",
+        "fig3",
+        "table4",
+        "table5",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "table6",
+        "ablations",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("bin dir");
+    let started = std::time::Instant::now();
     for bin in bins {
         println!("\n============================================================");
         println!("==== {bin}");
         println!("============================================================");
+        let t0 = std::time::Instant::now();
         let status = Command::new(dir.join(bin))
             .status()
             .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
         assert!(status.success(), "{bin} failed");
+        println!("[wall] {bin}: {:.2} s", t0.elapsed().as_secs_f64());
     }
-    println!("\nAll experiments regenerated.");
+    // Each sub-binary prints its own `[engine] ... events/sec` line above;
+    // this is the end-to-end total.
+    println!(
+        "\nAll experiments regenerated in {:.2} s wall-clock.",
+        started.elapsed().as_secs_f64()
+    );
 }

@@ -18,6 +18,10 @@ fn main() {
     }
     println!("\n");
     println!("empty am_poll: {:.1} us   (paper: 1.3)", t.poll_empty);
-    println!("per received message: {:.1} us   (paper: ~1.8)", t.per_message);
+    println!(
+        "per received message: {:.1} us   (paper: ~1.8)",
+        t.per_message
+    );
     println!("\npaper: request 7.7 / 7.9 / 8.0 / 8.2, reply 4.0 / 4.1 / 4.3 / 4.4");
+    sp_bench::print_engine_summary();
 }

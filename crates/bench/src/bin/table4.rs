@@ -5,11 +5,7 @@ fn main() {
     let quick = sp_bench::quick();
     let iters = if quick { 40 } else { 120 };
     let (sp_rtt, _) = sp_bench::micro::am_round_trip(1, iters);
-    let sp_bw = sp_bench::micro::bandwidth(
-        sp_bench::micro::BwMode::AsyncStore,
-        1 << 16,
-        1 << 19,
-    );
+    let sp_bw = sp_bench::micro::bandwidth(sp_bench::micro::BwMode::AsyncStore, 1 << 16, 1 << 19);
     let rows = sp_bench::splitc_exp::table4(sp_rtt, sp_bw);
     println!("Table 4: machine performance characteristics\n");
     println!(
@@ -25,4 +21,5 @@ fn main() {
     }
     println!("\npaper: CM-5 3us/12us/10MB/s; CS-2 11us/55us*/39MB/s; U-Net 13us*/66us/14MB/s;");
     println!("       SP ~6us/51us/34MB/s   (* OCR-reconstructed, see DESIGN.md)");
+    sp_bench::print_engine_summary();
 }

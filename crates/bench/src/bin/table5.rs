@@ -6,9 +6,7 @@ use sp_splitc::Platform;
 fn main() {
     let quick = sp_bench::quick();
     let data = sp_bench::splitc_exp::table5(quick);
-    println!(
-        "Table 5: Split-C benchmark execution times, 8 processors (seconds, scaled class)\n"
-    );
+    println!("Table 5: Split-C benchmark execution times, 8 processors (seconds, scaled class)\n");
     print!("{:>12}", "Benchmark");
     for p in Platform::all() {
         print!("  {:>14}", p.name());
@@ -38,7 +36,10 @@ fn main() {
             .total
             .as_secs();
         println!("{}:", app.label());
-        println!("{:>16}  {:>8}  {:>8}  {:>8}", "platform", "cpu", "net", "total");
+        println!(
+            "{:>16}  {:>8}  {:>8}  {:>8}",
+            "platform", "cpu", "net", "total"
+        );
         for (p, t) in row {
             println!(
                 "{:>16}  {:>8.2}  {:>8.2}  {:>8.2}",
@@ -52,4 +53,5 @@ fn main() {
     }
     println!("expected shape (paper): SP bars lowest cpu (fastest processor); SP AM net");
     println!("below SP MPL net everywhere, drastically so for the sm sort variants.");
+    sp_bench::print_engine_summary();
 }

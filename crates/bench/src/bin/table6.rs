@@ -4,7 +4,10 @@ fn main() {
     let ranks = 16;
     let rows = sp_bench::nas_exp::table6(ranks);
     println!("Table 6: NAS kernel run times on {ranks} thin nodes (scaled class, seconds)\n");
-    println!("{:>10}  {:>10}  {:>10}  {:>8}  {:>10}", "Benchmark", "MPI-F", "MPI-AM", "ratio", "checksums");
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>8}  {:>10}",
+        "Benchmark", "MPI-F", "MPI-AM", "ratio", "checksums"
+    );
     println!("{}", "-".repeat(60));
     for r in rows {
         println!(
@@ -19,4 +22,5 @@ fn main() {
     println!("\nexpected shape (paper): MPI-AM close to MPI-F on every kernel; FT pays for");
     println!("MPICH's generic Alltoall (convergent schedule); both implementations compute");
     println!("identical numerics.");
+    sp_bench::print_engine_summary();
 }

@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn series_holds_points() {
-        let s = Series { label: "x".into(), points: vec![(1.0, 2.0), (2.0, 4.0)] };
+        let s = Series {
+            label: "x".into(),
+            points: vec![(1.0, 2.0), (2.0, 4.0)],
+        };
         assert_eq!(s.points.len(), 2);
     }
 }

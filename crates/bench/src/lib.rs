@@ -25,3 +25,10 @@ pub const PAIR: usize = 2;
 pub fn quick() -> bool {
     std::env::var("SP_BENCH_QUICK").is_ok_and(|v| v == "1")
 }
+
+/// Print the cumulative engine throughput of every simulation this binary
+/// ran (wall-clock + events/sec) — called at the end of each experiment
+/// binary so simulator-performance regressions show up in ordinary runs.
+pub fn print_engine_summary() {
+    println!("\n[engine] {}", sp_sim::stats::summary());
+}

@@ -44,32 +44,40 @@ pub fn am_round_trip(words: u8, iters: u32) -> (f64, f64) {
     let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 42);
     let out = Arc::new(Mutex::new((0.0f64, 0.0f64)));
     let out2 = out.clone();
-    m.spawn("pinger", PingSt::default(), move |am: &mut Am<'_, PingSt>| {
-        am.register(pong_handler);
-        am.register(done_handler);
-        let send = |am: &mut Am<'_, PingSt>| match words {
-            1 => am.request_1(1, 0, 0),
-            2 => am.request_2(1, 0, 0, 0),
-            3 => am.request_3(1, 0, 0, 0, 0),
-            _ => am.request_4(1, 0, 0, 0, 0, 0),
-        };
-        send(am);
-        am.poll_until(|s| s.pongs >= 1);
-        let t0 = am.now();
-        for i in 0..iters {
+    m.spawn(
+        "pinger",
+        PingSt::default(),
+        move |am: &mut Am<'_, PingSt>| {
+            am.register(pong_handler);
+            am.register(done_handler);
+            let send = |am: &mut Am<'_, PingSt>| match words {
+                1 => am.request_1(1, 0, 0),
+                2 => am.request_2(1, 0, 0, 0),
+                3 => am.request_3(1, 0, 0, 0, 0),
+                _ => am.request_4(1, 0, 0, 0, 0, 0),
+            };
             send(am);
-            am.poll_until(move |s| s.pongs >= i + 2);
-        }
-        out2.lock().0 = (am.now() - t0).as_us() / iters as f64;
-    });
+            am.poll_until(|s| s.pongs >= 1);
+            let t0 = am.now();
+            for i in 0..iters {
+                send(am);
+                am.poll_until(move |s| s.pongs >= i + 2);
+            }
+            out2.lock().0 = (am.now() - t0).as_us() / iters as f64;
+        },
+    );
     let out3 = out.clone();
-    m.spawn("ponger", PingSt::default(), move |am: &mut Am<'_, PingSt>| {
-        am.register(pong_handler);
-        am.register(done_handler);
-        am.poll_until(move |s| s.pings > iters);
-        let st = am.state();
-        out3.lock().1 = st.reply_cost_ns as f64 / st.replies as f64 / 1000.0;
-    });
+    m.spawn(
+        "ponger",
+        PingSt::default(),
+        move |am: &mut Am<'_, PingSt>| {
+            am.register(pong_handler);
+            am.register(done_handler);
+            am.poll_until(move |s| s.pings > iters);
+            let st = am.state();
+            out3.lock().1 = st.reply_cost_ns as f64 / st.replies as f64 / 1000.0;
+        },
+    );
     m.run().expect("ping-pong completes");
     let v = *out.lock();
     v
@@ -154,21 +162,25 @@ pub fn table2() -> Table2 {
         let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 1);
         let out = Arc::new(Mutex::new(0.0f64));
         let out2 = out.clone();
-        m.spawn("sender", PingSt::default(), move |am: &mut Am<'_, PingSt>| {
-            am.register(done_handler);
-            let n = 12u32; // below the 18-packet explicit-ack threshold
-            let t0 = am.now();
-            for _ in 0..n {
-                match words {
-                    1 => am.request_1(1, 0, 0),
-                    2 => am.request_2(1, 0, 0, 0),
-                    3 => am.request_3(1, 0, 0, 0, 0),
-                    _ => am.request_4(1, 0, 0, 0, 0, 0),
+        m.spawn(
+            "sender",
+            PingSt::default(),
+            move |am: &mut Am<'_, PingSt>| {
+                am.register(done_handler);
+                let n = 12u32; // below the 18-packet explicit-ack threshold
+                let t0 = am.now();
+                for _ in 0..n {
+                    match words {
+                        1 => am.request_1(1, 0, 0),
+                        2 => am.request_2(1, 0, 0, 0),
+                        3 => am.request_3(1, 0, 0, 0, 0),
+                        _ => am.request_4(1, 0, 0, 0, 0, 0),
+                    }
                 }
-            }
-            *out2.lock() = (am.now() - t0).as_us() / n as f64;
-            am.barrier();
-        });
+                *out2.lock() = (am.now() - t0).as_us() / n as f64;
+                am.barrier();
+            },
+        );
         m.spawn("sink", PingSt::default(), move |am: &mut Am<'_, PingSt>| {
             am.register(done_handler);
             am.poll_until(|s| s.pongs >= 12);
@@ -185,36 +197,49 @@ pub fn table2() -> Table2 {
     let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 1);
     let out = Arc::new(Mutex::new((0.0f64, 0.0f64)));
     let out2 = out.clone();
-    m.spawn("poller", PingSt::default(), move |am: &mut Am<'_, PingSt>| {
-        am.register(done_handler);
-        // Empty-poll cost.
-        let t0 = am.now();
-        for _ in 0..1000 {
-            am.poll();
-        }
-        let empty = (am.now() - t0).as_us() / 1000.0;
-        am.barrier(); // peer now sends a burst of 10
-        am.work(Dur::ms(1.0)); // let them all land
-        let t1 = am.now();
-        let got = am.poll();
-        // 10 requests, possibly plus the peer's next barrier token.
-        assert!(got >= 10, "burst should be waiting, got {got}");
-        let burst = (am.now() - t1).as_us();
-        *out2.lock() = (empty, (burst - empty) / got as f64);
-        am.barrier();
-    });
-    m.spawn("burster", PingSt::default(), move |am: &mut Am<'_, PingSt>| {
-        am.register(done_handler);
-        am.barrier();
-        for _ in 0..10 {
-            am.request_1(0, 0, 0);
-        }
-        am.barrier();
-    });
+    m.spawn(
+        "poller",
+        PingSt::default(),
+        move |am: &mut Am<'_, PingSt>| {
+            am.register(done_handler);
+            // Empty-poll cost.
+            let t0 = am.now();
+            for _ in 0..1000 {
+                am.poll();
+            }
+            let empty = (am.now() - t0).as_us() / 1000.0;
+            am.barrier(); // peer now sends a burst of 10
+            am.work(Dur::ms(1.0)); // let them all land
+            let t1 = am.now();
+            let got = am.poll();
+            // 10 requests, possibly plus the peer's next barrier token.
+            assert!(got >= 10, "burst should be waiting, got {got}");
+            let burst = (am.now() - t1).as_us();
+            *out2.lock() = (empty, (burst - empty) / got as f64);
+            am.barrier();
+        },
+    );
+    m.spawn(
+        "burster",
+        PingSt::default(),
+        move |am: &mut Am<'_, PingSt>| {
+            am.register(done_handler);
+            am.barrier();
+            for _ in 0..10 {
+                am.request_1(0, 0, 0);
+            }
+            am.barrier();
+        },
+    );
     m.run().expect("poll-cost run completes");
     let (poll_empty, per_message) = *out.lock();
 
-    Table2 { request, reply, poll_empty, per_message }
+    Table2 {
+        request,
+        reply,
+        poll_empty,
+        per_message,
+    }
 }
 
 // ------------------------------------------------------------- bandwidth
@@ -289,7 +314,13 @@ fn am_bandwidth(mode: BwMode, n: usize, count: u32) -> f64 {
             BwMode::AsyncStore => {
                 let mut handles = Vec::with_capacity(count as usize);
                 for _ in 0..count {
-                    handles.push(am.store_async(GlobalPtr { node: 1, addr: 0 }, &data, None, &[], None));
+                    handles.push(am.store_async(
+                        GlobalPtr { node: 1, addr: 0 },
+                        &data,
+                        None,
+                        &[],
+                        None,
+                    ));
                 }
                 for h in handles {
                     am.wait_bulk(h);
@@ -298,7 +329,13 @@ fn am_bandwidth(mode: BwMode, n: usize, count: u32) -> f64 {
             BwMode::AsyncGet => {
                 let mut handles = Vec::with_capacity(count as usize);
                 for _ in 0..count {
-                    handles.push(am.get(GlobalPtr { node: 1, addr: 0 }, local.addr, n as u32, None, &[]));
+                    handles.push(am.get(
+                        GlobalPtr { node: 1, addr: 0 },
+                        local.addr,
+                        n as u32,
+                        None,
+                        &[],
+                    ));
                 }
                 for h in handles {
                     am.wait_bulk(h);
@@ -381,28 +418,35 @@ pub fn exchange_bandwidth(n: usize, total: usize) -> f64 {
     let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 42);
     for me in 0..2usize {
         let out = out.clone();
-        m.spawn(format!("n{me}"), PingSt::default(), move |am: &mut Am<'_, PingSt>| {
-            am.register(done_handler);
-            am.alloc(n.max(8) as u32);
-            let data = vec![0x7Eu8; n];
-            am.barrier();
-            let t0 = am.now();
-            let mut handles = Vec::with_capacity(count as usize);
-            for _ in 0..count {
-                handles.push(am.store_async(
-                    GlobalPtr { node: 1 - me, addr: 0 },
-                    &data,
-                    None,
-                    &[],
-                    None,
-                ));
-            }
-            for h in handles {
-                am.wait_bulk(h);
-            }
-            out.lock()[me] = (count as usize * n) as f64 / (am.now() - t0).as_secs() / 1e6;
-            am.barrier();
-        });
+        m.spawn(
+            format!("n{me}"),
+            PingSt::default(),
+            move |am: &mut Am<'_, PingSt>| {
+                am.register(done_handler);
+                am.alloc(n.max(8) as u32);
+                let data = vec![0x7Eu8; n];
+                am.barrier();
+                let t0 = am.now();
+                let mut handles = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    handles.push(am.store_async(
+                        GlobalPtr {
+                            node: 1 - me,
+                            addr: 0,
+                        },
+                        &data,
+                        None,
+                        &[],
+                        None,
+                    ));
+                }
+                for h in handles {
+                    am.wait_bulk(h);
+                }
+                out.lock()[me] = (count as usize * n) as f64 / (am.now() - t0).as_secs() / 1e6;
+                am.barrier();
+            },
+        );
     }
     m.run().expect("exchange run completes");
     let v = *out.lock();
@@ -490,7 +534,10 @@ pub fn table3(quick: bool) -> Table3 {
 
     let total = if quick { 1 << 18 } else { 1 << 20 };
     let sweep = |mode: BwMode| -> Vec<(f64, f64)> {
-        fig3_sizes(quick).iter().map(|&n| (n as f64, bandwidth(mode, n, total))).collect()
+        fig3_sizes(quick)
+            .iter()
+            .map(|&n| (n as f64, bandwidth(mode, n, total)))
+            .collect()
     };
     let async_store = sweep(BwMode::AsyncStore);
     let sync_store = sweep(BwMode::SyncStore);
@@ -523,7 +570,10 @@ mod tests {
         let points = vec![(256.0, 2.0), (1024.0, 8.0), (4096.0, 32.0), (16384.0, 32.0)];
         let n_half = half_power_point(&points, 32.0);
         let expect = 1024.0 * 4.0f64.powf(1.0 / 3.0);
-        assert!((n_half - expect).abs() < 1.0, "n_half = {n_half}, expect {expect}");
+        assert!(
+            (n_half - expect).abs() < 1.0,
+            "n_half = {n_half}, expect {expect}"
+        );
     }
 
     #[test]

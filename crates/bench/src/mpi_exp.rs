@@ -40,9 +40,11 @@ impl Protocol {
                 optimized: true,
                 ..MpiAmConfig::optimized()
             },
-            Protocol::Rendezvous => {
-                MpiAmConfig { eager_limit: 0, optimized: false, ..MpiAmConfig::unoptimized() }
-            }
+            Protocol::Rendezvous => MpiAmConfig {
+                eager_limit: 0,
+                optimized: false,
+                ..MpiAmConfig::unoptimized()
+            },
             Protocol::Hybrid => MpiAmConfig {
                 // The real optimized configuration: buffered below 8 KB,
                 // hybrid rendezvous above; same region size as the
@@ -115,7 +117,10 @@ pub fn fig7(quick: bool) -> Vec<Series> {
         .into_iter()
         .map(|p| Series {
             label: p.label().to_string(),
-            points: sizes.iter().map(|&n| (n as f64, protocol_bandwidth(p, n, total))).collect(),
+            points: sizes
+                .iter()
+                .map(|&n| (n as f64, protocol_bandwidth(p, n, total)))
+                .collect(),
         })
         .collect()
 }
@@ -148,7 +153,12 @@ impl Layer {
 
     /// All four in legend order.
     pub fn all() -> [Layer; 4] {
-        [Layer::AmStore, Layer::MpiAmUnopt, Layer::MpiAmOpt, Layer::MpiF]
+        [
+            Layer::AmStore,
+            Layer::MpiAmUnopt,
+            Layer::MpiAmOpt,
+            Layer::MpiF,
+        ]
     }
 }
 
@@ -156,7 +166,11 @@ impl Layer {
 /// (`laps` full laps), as in §4.3.
 pub fn ring_per_hop(layer: Layer, n: usize, wide: bool, laps: u32) -> f64 {
     let nodes = 4;
-    let sp = if wide { SpConfig::wide(nodes) } else { SpConfig::thin(nodes) };
+    let sp = if wide {
+        SpConfig::wide(nodes)
+    } else {
+        SpConfig::thin(nodes)
+    };
     match layer {
         Layer::AmStore => am_store_ring(sp, n, laps),
         Layer::MpiAmUnopt => mpi_ring(MpiImpl::AmUnoptimized, sp, n, laps),
@@ -212,27 +226,47 @@ fn am_store_ring(sp: SpConfig, n: usize, laps: u32) -> f64 {
     let mut m = AmMachine::new(sp, AmConfig::default(), 13);
     for me in 0..nodes {
         let out = out.clone();
-        m.spawn(format!("n{me}"), RingSt::default(), move |am: &mut Am<'_, RingSt>| {
-            am.register(ring_handler);
-            let _buf = am.alloc(n.max(8) as u32);
-            let right = (me + 1) % nodes;
-            let data = vec![0x77u8; n.max(1)];
-            am.barrier();
-            let t0 = am.now();
-            for lap in 0..laps {
-                if me == 0 {
-                    am.store(GlobalPtr { node: right, addr: 0 }, &data, Some(0), &[]);
-                    am.poll_until(move |s| s.arrived > lap);
-                } else {
-                    am.poll_until(move |s| s.arrived > lap);
-                    am.store(GlobalPtr { node: right, addr: 0 }, &data, Some(0), &[]);
+        m.spawn(
+            format!("n{me}"),
+            RingSt::default(),
+            move |am: &mut Am<'_, RingSt>| {
+                am.register(ring_handler);
+                let _buf = am.alloc(n.max(8) as u32);
+                let right = (me + 1) % nodes;
+                let data = vec![0x77u8; n.max(1)];
+                am.barrier();
+                let t0 = am.now();
+                for lap in 0..laps {
+                    if me == 0 {
+                        am.store(
+                            GlobalPtr {
+                                node: right,
+                                addr: 0,
+                            },
+                            &data,
+                            Some(0),
+                            &[],
+                        );
+                        am.poll_until(move |s| s.arrived > lap);
+                    } else {
+                        am.poll_until(move |s| s.arrived > lap);
+                        am.store(
+                            GlobalPtr {
+                                node: right,
+                                addr: 0,
+                            },
+                            &data,
+                            Some(0),
+                            &[],
+                        );
+                    }
                 }
-            }
-            if me == 0 {
-                *out.lock() = (am.now() - t0).as_us() / (laps as usize * nodes) as f64;
-            }
-            am.barrier();
-        });
+                if me == 0 {
+                    *out.lock() = (am.now() - t0).as_us() / (laps as usize * nodes) as f64;
+                }
+                am.barrier();
+            },
+        );
     }
     m.run().expect("am_store ring completes");
     let v = *out.lock();
@@ -264,7 +298,17 @@ pub fn fig_bandwidth(wide: bool, quick: bool) -> Vec<Series> {
     let sizes: Vec<usize> = if quick {
         vec![1 << 10, 1 << 13, 1 << 16]
     } else {
-        vec![1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16, 1 << 17, 1 << 18]
+        vec![
+            1 << 10,
+            1 << 11,
+            1 << 12,
+            1 << 13,
+            1 << 14,
+            1 << 15,
+            1 << 16,
+            1 << 17,
+            1 << 18,
+        ]
     };
     let laps = if quick { 3 } else { 6 };
     Layer::all()

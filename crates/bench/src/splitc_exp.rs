@@ -137,7 +137,14 @@ impl App {
 
     /// All rows in paper order.
     pub fn all() -> [App; 6] {
-        [App::MmLarge, App::MmSmall, App::SmpSortSm, App::SmpSortLg, App::RdxSortSm, App::RdxSortLg]
+        [
+            App::MmLarge,
+            App::MmSmall,
+            App::SmpSortSm,
+            App::SmpSortLg,
+            App::RdxSortSm,
+            App::RdxSortLg,
+        ]
     }
 }
 
@@ -157,22 +164,32 @@ pub fn run_app(app: App, platform: Platform, quick: bool) -> AppTimes {
     let keys = sort_keys_per_node(quick);
     let times: Vec<AppTimes> = match app {
         App::MmLarge | App::MmSmall => {
-            let cfg = if app == App::MmLarge { MmConfig::large() } else { MmConfig::small() };
-            run_spmd(platform, nodes, 5, move |g: &mut dyn Gas| mm::run(g, &cfg).0)
+            let cfg = if app == App::MmLarge {
+                MmConfig::large()
+            } else {
+                MmConfig::small()
+            };
+            run_spmd(platform, nodes, 5, move |g: &mut dyn Gas| {
+                mm::run(g, &cfg).0
+            })
         }
         App::SmpSortSm | App::SmpSortLg => {
             let cfg = SampleConfig {
                 keys_per_node: keys,
                 ..SampleConfig::paper(app == App::SmpSortLg)
             };
-            run_spmd(platform, nodes, 9, move |g: &mut dyn Gas| sample_sort::run(g, &cfg).0)
+            run_spmd(platform, nodes, 9, move |g: &mut dyn Gas| {
+                sample_sort::run(g, &cfg).0
+            })
         }
         App::RdxSortSm | App::RdxSortLg => {
             let cfg = RadixConfig {
                 keys_per_node: keys,
                 ..RadixConfig::paper(app == App::RdxSortLg)
             };
-            run_spmd(platform, nodes, 9, move |g: &mut dyn Gas| radix_sort::run(g, &cfg).0)
+            run_spmd(platform, nodes, 9, move |g: &mut dyn Gas| {
+                radix_sort::run(g, &cfg).0
+            })
         }
     };
     times

@@ -184,7 +184,12 @@ impl<'c> Logp<'c> {
         let wire_bytes = 16 + bytes.len(); // header + args
         let ser = Dur::for_bytes(wire_bytes as u64, self.params.mb_s);
         let latency = self.params.latency;
-        let msg = LogpMsg { src: me, op, args, bytes: bytes.into() };
+        let msg = LogpMsg {
+            src: me,
+            op,
+            args,
+            bytes: bytes.into(),
+        };
         let now = self.ctx.now();
         // Compute delivery time against link occupancy inside the world.
         let deliver_at = self.ctx.world(|w| {
@@ -195,11 +200,12 @@ impl<'c> Logp<'c> {
             w.ej_free[dst] = at;
             at
         });
-        self.ctx.schedule(deliver_at.saturating_since(now), move |e| {
-            let w = e.world();
-            w.queues[dst].push_back(msg);
-            w.delivered += 1;
-        });
+        self.ctx
+            .schedule(deliver_at.saturating_since(now), move |e| {
+                let w = e.world();
+                w.queues[dst].push_back(msg);
+                w.delivered += 1;
+            });
         // The sender's own link occupancy keeps it busy for long messages
         // (LogGP's G): model as CPU time for the serialization beyond one
         // packet's worth, the store-and-forward cost a user-level AM layer
@@ -290,7 +296,10 @@ mod tests {
             },
         );
         let rtt = *out.lock();
-        assert!((10.0..14.5).contains(&rtt), "CM-5 model RTT {rtt:.1} us, want ~12");
+        assert!(
+            (10.0..14.5).contains(&rtt),
+            "CM-5 model RTT {rtt:.1} us, want ~12"
+        );
     }
 
     #[test]
@@ -325,7 +334,10 @@ mod tests {
             },
         );
         let bw = *out.lock();
-        assert!((30.0..40.0).contains(&bw), "CS-2 model bandwidth {bw:.1} MB/s, want ~39");
+        assert!(
+            (30.0..40.0).contains(&bw),
+            "CS-2 model bandwidth {bw:.1} MB/s, want ~39"
+        );
     }
 
     #[test]
@@ -358,7 +370,10 @@ mod tests {
             lp.work_scaled(Dur::ms(1.0)); // 1 ms of SP work
             let dt = lp.now() - t0;
             // CM-5 CPU is ~0.27x the SP: the same work takes ~3.7x longer.
-            assert!((3.5..4.0).contains(&(dt.as_us() / 1000.0)), "scaled work {dt}");
+            assert!(
+                (3.5..4.0).contains(&(dt.as_us() / 1000.0)),
+                "scaled work {dt}"
+            );
         });
         sim.run().unwrap();
     }
@@ -387,7 +402,10 @@ mod tests {
             }
             let dt = lp.now() - t0;
             let mb_s = 100.0 * 1016.0 / dt.as_secs() / 1e6;
-            assert!(mb_s < 11.0, "aggregate into one node exceeded link rate: {mb_s:.1}");
+            assert!(
+                mb_s < 11.0,
+                "aggregate into one node exceeded link rate: {mb_s:.1}"
+            );
         });
         sim.run().unwrap();
     }

@@ -112,7 +112,11 @@ pub trait Mpi {
     fn bcast(&mut self, root: usize, data: &[u8]) -> Vec<u8> {
         let (me, p) = (self.rank(), self.size());
         let vrank = (me + p - root) % p; // rotate so root is 0
-        let mut have: Option<Vec<u8>> = if me == root { Some(data.to_vec()) } else { None };
+        let mut have: Option<Vec<u8>> = if me == root {
+            Some(data.to_vec())
+        } else {
+            None
+        };
         // Receive from parent.
         if vrank != 0 {
             let mut mask = 1usize;
@@ -149,7 +153,12 @@ pub trait Mpi {
 
     /// Generic `MPI_Reduce` of f64 vectors with operator `op` (element
     /// wise); result valid at `root` (binomial tree).
-    fn reduce_f64(&mut self, root: usize, mine: &[f64], op: fn(f64, f64) -> f64) -> Option<Vec<f64>> {
+    fn reduce_f64(
+        &mut self,
+        root: usize,
+        mine: &[f64],
+        op: fn(f64, f64) -> f64,
+    ) -> Option<Vec<f64>> {
         let (me, p) = (self.rank(), self.size());
         let vrank = (me + p - root) % p;
         let mut acc = mine.to_vec();
@@ -240,7 +249,6 @@ pub trait Mpi {
         }
     }
 }
-
 
 /// The generic MPICH all-to-all schedule as a free function, so trait
 /// implementations that override `alltoall` conditionally can fall back to

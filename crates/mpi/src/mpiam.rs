@@ -307,7 +307,11 @@ impl MpiSt {
     /// Register a new posted receive (recycling consumed slots); returns
     /// its index, already on the waiting list.
     fn post(&mut self, src: Option<usize>, tag: Option<i32>) -> usize {
-        let rec = PostedRecv { src, tag, state: PostedState::Waiting };
+        let rec = PostedRecv {
+            src,
+            tag,
+            state: PostedState::Waiting,
+        };
         let idx = match self.free_slots.pop() {
             Some(i) => {
                 self.posted[i] = rec;
@@ -370,7 +374,14 @@ fn consume_eager(
     } else {
         Vec::new()
     };
-    env.state.posted[posted].state = PostedState::Done(data, Status { source: src, tag, len });
+    env.state.posted[posted].state = PostedState::Done(
+        data,
+        Status {
+            source: src,
+            tag,
+            len,
+        },
+    );
     if len == 0 {
         return FreeAction::None;
     }
@@ -428,15 +439,28 @@ fn h_eager(env: &mut AmEnv<'_, MpiSt>, args: AmArgs) {
     if is_prefix {
         let total_len = args.a[3] as usize;
         let now = env.now();
-        env.state.log(now, env.node(), "hybrid prefix landed in staging region");
-        h_rdv_envelope(env, src, tag, total_len, xfer, Some((staged_addr, staged_len)), true);
+        env.state
+            .log(now, env.node(), "hybrid prefix landed in staging region");
+        h_rdv_envelope(
+            env,
+            src,
+            tag,
+            total_len,
+            xfer,
+            Some((staged_addr, staged_len)),
+            true,
+        );
         return;
     }
 
     match env.state.match_posted(src, tag) {
         Some(p) => {
             let now = env.now();
-            env.state.log(now, env.node(), "store handler: matched, copy to user buffer");
+            env.state.log(
+                now,
+                env.node(),
+                "store handler: matched, copy to user buffer",
+            );
             let action = consume_eager(env, p, src, tag, staged_addr, staged_len);
             send_free(env, action, true);
             let now = env.now();
@@ -444,7 +468,8 @@ fn h_eager(env: &mut AmEnv<'_, MpiSt>, args: AmArgs) {
         }
         None => {
             let now = env.now();
-            env.state.log(now, env.node(), "store handler: unexpected, recorded");
+            env.state
+                .log(now, env.node(), "store handler: unexpected, recorded");
             env.state.unexpected.push_back(InEnvelope::Eager {
                 src,
                 tag,
@@ -461,11 +486,22 @@ fn h_eager0(env: &mut AmEnv<'_, MpiSt>, args: AmArgs) {
     env.work(env_view(env).recv_cpu);
     match env.state.match_posted(src, tag) {
         Some(p) => {
-            env.state.posted[p].state =
-                PostedState::Done(Vec::new(), Status { source: src, tag, len: 0 });
+            env.state.posted[p].state = PostedState::Done(
+                Vec::new(),
+                Status {
+                    source: src,
+                    tag,
+                    len: 0,
+                },
+            );
         }
         None => {
-            env.state.unexpected.push_back(InEnvelope::Eager { src, tag, staged_addr: 0, len: 0 });
+            env.state.unexpected.push_back(InEnvelope::Eager {
+                src,
+                tag,
+                staged_addr: 0,
+                len: 0,
+            });
         }
     }
 }
@@ -524,7 +560,8 @@ fn h_rdv_envelope(
     match env.state.match_posted(src, tag) {
         Some(p) => {
             let now = env.now();
-            env.state.log(now, env.node(), "receive posted: grant address (reply)");
+            env.state
+                .log(now, env.node(), "receive posted: grant address (reply)");
             env.state.rdv_seen.insert((src, xfer));
             let (addr, freed) = accept_rdv(env, p, src, tag, total_len, xfer, prefix);
             debug_assert!(can_reply);
@@ -543,8 +580,15 @@ fn h_rdv_envelope(
         }
         None => {
             let now = env.now();
-            env.state.log(now, env.node(), "no receive yet: request recorded");
-            env.state.unexpected.push_back(InEnvelope::Rdv { src, tag, total_len, xfer, prefix });
+            env.state
+                .log(now, env.node(), "no receive yet: request recorded");
+            env.state.unexpected.push_back(InEnvelope::Rdv {
+                src,
+                tag,
+                total_len,
+                xfer,
+                prefix,
+            });
         }
     }
 }
@@ -579,12 +623,26 @@ fn accept_rdv(
             // grant (the sender expects none).
             let mut data = vec![0u8; total_len];
             env.mem().read(buf_addr, &mut data);
-            env.state.posted[posted].state =
-                PostedState::Done(data, Status { source: src, tag, len: total_len });
+            env.state.posted[posted].state = PostedState::Done(
+                data,
+                Status {
+                    source: src,
+                    tag,
+                    len: total_len,
+                },
+            );
             return (None, freed);
         }
     }
-    env.state.rdv_recv.insert((src, xfer), RdvRecv { posted, buf_addr, total_len, tag });
+    env.state.rdv_recv.insert(
+        (src, xfer),
+        RdvRecv {
+            posted,
+            buf_addr,
+            total_len,
+            tag,
+        },
+    );
     (Some(remainder_addr), freed)
 }
 
@@ -595,7 +653,8 @@ fn h_rdv_req(env: &mut AmEnv<'_, MpiSt>, args: AmArgs) {
     let xfer = args.a[2];
     env.work(env_view(env).recv_cpu);
     let now = env.now();
-    env.state.log(now, env.node(), "request-for-address arrived");
+    env.state
+        .log(now, env.node(), "request-for-address arrived");
     h_rdv_envelope(env, src, tag, len, xfer, None, true);
 }
 
@@ -612,7 +671,11 @@ fn h_rdv_grant(env: &mut AmEnv<'_, MpiSt>, args: AmArgs) {
     }
     // The ADI forbids transferring from the handler: queue for progress.
     let now = env.now();
-    env.state.log(now, env.node(), "grant received; store queued for next poll");
+    env.state.log(
+        now,
+        env.node(),
+        "grant received; store queued for next poll",
+    );
     env.state.pending_grants.push((src, xfer, addr));
 }
 
@@ -621,13 +684,24 @@ fn h_rdv_done(env: &mut AmEnv<'_, MpiSt>, args: AmArgs) {
     let xfer = args.a[0];
     env.work(env_view(env).recv_cpu);
     let now = env.now();
-    env.state.log(now, env.node(), "rendezvous data landed: receive complete");
-    let rec = env.state.rdv_recv.remove(&(src, xfer)).expect("rendezvous receive active");
+    env.state
+        .log(now, env.node(), "rendezvous data landed: receive complete");
+    let rec = env
+        .state
+        .rdv_recv
+        .remove(&(src, xfer))
+        .expect("rendezvous receive active");
     env.state.rdv_seen.remove(&(src, xfer));
     let mut data = vec![0u8; rec.total_len];
     env.mem().read(rec.buf_addr, &mut data);
-    env.state.posted[rec.posted].state =
-        PostedState::Done(data, Status { source: src, tag: rec.tag, len: rec.total_len });
+    env.state.posted[rec.posted].state = PostedState::Done(
+        data,
+        Status {
+            source: src,
+            tag: rec.tag,
+            len: rec.total_len,
+        },
+    );
 }
 
 fn h_send_done(env: &mut AmEnv<'_, MpiSt>, args: AmArgs) {
@@ -670,7 +744,12 @@ impl MpiSt {
             region_size: cfg.region_size,
             allocs: (0..n)
                 .map(|_| {
-                    RegionAlloc::new(cfg.region_size, cfg.binned_allocator, cfg.bin_size, cfg.bins)
+                    RegionAlloc::new(
+                        cfg.region_size,
+                        cfg.binned_allocator,
+                        cfg.bin_size,
+                        cfg.bins,
+                    )
                 })
                 .collect(),
             posted: Vec::new(),
@@ -716,12 +795,28 @@ impl<'a, 'c> MpiAm<'a, 'c> {
         ];
         debug_assert_eq!(
             h,
-            [H_EAGER, H_EAGER0, H_FREE_ONE, H_FREE_BINS, H_RDV_REQ, H_RDV_GRANT, H_RDV_DONE, H_SEND_DONE]
+            [
+                H_EAGER,
+                H_EAGER0,
+                H_FREE_ONE,
+                H_FREE_BINS,
+                H_RDV_REQ,
+                H_RDV_GRANT,
+                H_RDV_DONE,
+                H_SEND_DONE
+            ]
         );
         let n = am.nodes();
         let stage = am.alloc(cfg.region_size * n as u32);
         am.state_mut().stage_base = stage.addr;
-        MpiAm { am, cfg, next_xfer: 1, next_req: 0, reqs: HashMap::new(), rdv_data: HashMap::new() }
+        MpiAm {
+            am,
+            cfg,
+            next_xfer: 1,
+            next_req: 0,
+            reqs: HashMap::new(),
+            rdv_data: HashMap::new(),
+        }
     }
 
     /// The configuration in use.
@@ -757,7 +852,11 @@ impl<'a, 'c> MpiAm<'a, 'c> {
             match got {
                 Some((off, steps)) => {
                     // First-fit scanning cost vs. a bin hit (§4.2).
-                    let cycles = if steps <= 1 { 15 } else { 40 + 15 * steps as u64 };
+                    let cycles = if steps <= 1 {
+                        15
+                    } else {
+                        40 + 15 * steps as u64
+                    };
                     self.am.work(self.am.cost().cycles(cycles));
                     return off;
                 }
@@ -774,7 +873,11 @@ impl<'a, 'c> MpiAm<'a, 'c> {
     fn try_alloc_region(&mut self, dst: usize, len: u32) -> Option<u32> {
         let got = self.am.state_mut().allocs[dst].alloc(len);
         got.map(|(off, steps)| {
-            let cycles = if steps <= 1 { 15 } else { 40 + 15 * steps as u64 };
+            let cycles = if steps <= 1 {
+                15
+            } else {
+                40 + 15 * steps as u64
+            };
             self.am.work(self.am.cost().cycles(cycles));
             off
         })
@@ -790,9 +893,13 @@ impl<'a, 'c> MpiAm<'a, 'c> {
         while let Some((dst, xfer, addr)) = self.am.state_mut().pending_grants.pop() {
             let now = self.am.now();
             let me = self.am.node();
-            self.am.state_mut().log(now, me, "poll: store data to granted address");
-            let (data, prefix_sent) =
-                self.rdv_data.remove(&xfer).expect("rendezvous data retained");
+            self.am
+                .state_mut()
+                .log(now, me, "poll: store data to granted address");
+            let (data, prefix_sent) = self
+                .rdv_data
+                .remove(&xfer)
+                .expect("rendezvous data retained");
             let remainder = &data[prefix_sent..];
             debug_assert!(!remainder.is_empty(), "grant for fully-sent message");
             let _ = self.am.store_async(
@@ -816,7 +923,8 @@ impl<'a, 'c> MpiAm<'a, 'c> {
                 for (i, &o) in offs.iter().take(3).enumerate() {
                     a[i] = o;
                 }
-                self.am.request_4(dst, H_FREE_BINS, offs.len().min(3) as u32, a[0], a[1], a[2]);
+                self.am
+                    .request_4(dst, H_FREE_BINS, offs.len().min(3) as u32, a[0], a[1], a[2]);
             }
         }
     }
@@ -853,7 +961,11 @@ impl Mpi for MpiAm<'_, '_> {
                 Some(p) => {
                     st.posted[p].state = PostedState::Done(
                         buf.to_vec(),
-                        Status { source: me, tag, len: buf.len() },
+                        Status {
+                            source: me,
+                            tag,
+                            len: buf.len(),
+                        },
                     );
                 }
                 None => {
@@ -881,12 +993,18 @@ impl Mpi for MpiAm<'_, '_> {
             // Buffered protocol.
             let now = self.am.now();
             let me = self.am.node();
-            self.am.state_mut().log(now, me, "MPI_Send: allocate staging space (sender-side), store data");
+            self.am.state_mut().log(
+                now,
+                me,
+                "MPI_Send: allocate staging space (sender-side), store data",
+            );
             let off = self.alloc_region(dest, buf.len() as u32);
             let dst = self.region_addr_at(dest, off);
             let xfer = self.next_xfer;
             self.next_xfer += 1;
-            let _ = self.am.store_async(dst, buf, Some(H_EAGER), &[tag as u32, xfer, 0, 0], None);
+            let _ = self
+                .am
+                .store_async(dst, buf, Some(H_EAGER), &[tag as u32, xfer, 0, 0], None);
             return self.new_req(ReqRec::SendDone);
         }
 
@@ -913,12 +1031,19 @@ impl Mpi for MpiAm<'_, '_> {
         if prefix_sent == 0 {
             let now = self.am.now();
             let me = self.am.node();
-            self.am.state_mut().log(now, me, "MPI_Send: rendezvous request-for-address");
-            self.am.request_3(dest, H_RDV_REQ, tag as u32, buf.len() as u32, xfer);
+            self.am
+                .state_mut()
+                .log(now, me, "MPI_Send: rendezvous request-for-address");
+            self.am
+                .request_3(dest, H_RDV_REQ, tag as u32, buf.len() as u32, xfer);
         } else {
             let now = self.am.now();
             let me = self.am.node();
-            self.am.state_mut().log(now, me, "MPI_Send: hybrid prefix store (doubles as the request)");
+            self.am.state_mut().log(
+                now,
+                me,
+                "MPI_Send: hybrid prefix store (doubles as the request)",
+            );
         }
         if prefix_sent >= buf.len() {
             // Whole message travelled as the prefix.
@@ -941,9 +1066,19 @@ impl Mpi for MpiAm<'_, '_> {
         let posted = self.am.state_mut().post(source, tag);
         if let Some(pos) = pos {
             self.am.state_mut().unwait(posted);
-            let env = self.am.state_mut().unexpected.remove(pos).expect("position valid");
+            let env = self
+                .am
+                .state_mut()
+                .unexpected
+                .remove(pos)
+                .expect("position valid");
             match env {
-                InEnvelope::Eager { src, tag: t, staged_addr, len } => {
+                InEnvelope::Eager {
+                    src,
+                    tag: t,
+                    staged_addr,
+                    len,
+                } => {
                     // Copy out and free (request context).
                     let data = if len > 0 {
                         let cost = self.am.state().view.memcpy(len);
@@ -955,20 +1090,36 @@ impl Mpi for MpiAm<'_, '_> {
                         Vec::new()
                     };
                     let st = self.am.state_mut();
-                    st.posted[posted].state =
-                        PostedState::Done(data, Status { source: src, tag: t, len });
+                    st.posted[posted].state = PostedState::Done(
+                        data,
+                        Status {
+                            source: src,
+                            tag: t,
+                            len,
+                        },
+                    );
                     if len > 0 && src != st.me {
                         let off = st.region_off(src, staged_addr);
                         let action = plan_free(st, src, off, len as u32);
                         self.send_free_request(src, action);
                     }
                 }
-                InEnvelope::Rdv { src, tag: t, total_len, xfer, prefix } => {
+                InEnvelope::Rdv {
+                    src,
+                    tag: t,
+                    total_len,
+                    xfer,
+                    prefix,
+                } => {
                     // Accept: allocate the buffer, absorb any prefix, grant
                     // via request.
                     let now = self.am.now();
                     let me = self.am.node();
-                    self.am.state_mut().log(now, me, "MPI_Irecv: matches recorded request; grant address (request)");
+                    self.am.state_mut().log(
+                        now,
+                        me,
+                        "MPI_Irecv: matches recorded request; grant address (request)",
+                    );
                     self.am.state_mut().rdv_seen.insert((src, xfer));
                     let buf_addr = self.am.alloc(total_len as u32).addr;
                     let mut remainder_addr = buf_addr;
@@ -989,17 +1140,26 @@ impl Mpi for MpiAm<'_, '_> {
                             self.am.mem().read(buf_addr, &mut data);
                             self.am.state_mut().posted[posted].state = PostedState::Done(
                                 data,
-                                Status { source: src, tag: t, len: total_len },
+                                Status {
+                                    source: src,
+                                    tag: t,
+                                    len: total_len,
+                                },
                             );
                             done = true;
                         }
                     }
                     self.send_free_request(src, freed);
                     if !done {
-                        self.am
-                            .state_mut()
-                            .rdv_recv
-                            .insert((src, xfer), RdvRecv { posted, buf_addr, total_len, tag: t });
+                        self.am.state_mut().rdv_recv.insert(
+                            (src, xfer),
+                            RdvRecv {
+                                posted,
+                                buf_addr,
+                                total_len,
+                                tag: t,
+                            },
+                        );
                         self.am.request_2(src, H_RDV_GRANT, xfer, remainder_addr);
                     }
                 }
@@ -1021,7 +1181,10 @@ impl Mpi for MpiAm<'_, '_> {
     }
 
     fn wait(&mut self, req: Req) -> Option<(Vec<u8>, Status)> {
-        let rec = self.reqs.remove(&req.0).expect("request exists (wait once)");
+        let rec = self
+            .reqs
+            .remove(&req.0)
+            .expect("request exists (wait once)");
         match rec {
             ReqRec::SendDone => None,
             ReqRec::SendRdv { xfer } => {
@@ -1036,10 +1199,11 @@ impl Mpi for MpiAm<'_, '_> {
                     self.progress_once();
                 }
                 let st = self.am.state_mut();
-                let out = match std::mem::replace(&mut st.posted[posted].state, PostedState::Consumed) {
-                    PostedState::Done(data, status) => Some((data, status)),
-                    _ => unreachable!("just checked"),
-                };
+                let out =
+                    match std::mem::replace(&mut st.posted[posted].state, PostedState::Consumed) {
+                        PostedState::Done(data, status) => Some((data, status)),
+                        _ => unreachable!("just checked"),
+                    };
                 st.free_slots.push(posted);
                 out
             }
@@ -1057,8 +1221,9 @@ impl Mpi for MpiAm<'_, '_> {
         let (me, p) = (self.rank(), self.size());
         assert_eq!(bufs.len(), p);
         const TAG: i32 = i32::MAX - 4;
-        let recvs: Vec<Req> =
-            (1..p).map(|i| self.irecv(Some((me + p - i) % p), Some(TAG))).collect();
+        let recvs: Vec<Req> = (1..p)
+            .map(|i| self.irecv(Some((me + p - i) % p), Some(TAG)))
+            .collect();
         let mut sends = Vec::with_capacity(p - 1);
         for i in 1..p {
             let d = (me + i) % p;
@@ -1099,7 +1264,11 @@ mod tests {
         a.free(z, 4000);
         let (w, steps) = a.alloc(16 * 1024).unwrap();
         assert_eq!(w, 0);
-        assert_eq!(steps, 1, "coalescing failed: {} free-list entries scanned", steps);
+        assert_eq!(
+            steps, 1,
+            "coalescing failed: {} free-list entries scanned",
+            steps
+        );
     }
 
     #[test]

@@ -69,8 +69,17 @@ fn kind_of(t: u32) -> u32 {
 /// the envelope carries the real i32 tag, the wire tag only multiplexes.
 #[derive(Debug)]
 enum InEnvelope {
-    Eager { src: usize, tag: i32, data: Vec<u8> },
-    Rdv { src: usize, tag: i32, len: usize, xfer: u32 },
+    Eager {
+        src: usize,
+        tag: i32,
+        data: Vec<u8>,
+    },
+    Rdv {
+        src: usize,
+        tag: i32,
+        len: usize,
+        xfer: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -144,7 +153,11 @@ impl<'a, 'c> MpiF<'a, 'c> {
     }
 
     fn post(&mut self, src: Option<usize>, tag: Option<i32>) -> usize {
-        let rec = PostedRecv { src, tag, state: PostedState::Waiting };
+        let rec = PostedRecv {
+            src,
+            tag,
+            state: PostedState::Waiting,
+        };
         let idx = match self.free_slots.pop() {
             Some(i) => {
                 self.posted[i] = rec;
@@ -176,9 +189,13 @@ impl<'a, 'c> MpiF<'a, 'c> {
         // Push data for any grants received (outside the drain loop so the
         // bsends don't recurse).
         while let Some((dest, xfer)) = self.pending_grants.pop() {
-            let (d, data) = self.rdv_send.remove(&xfer).expect("rendezvous data retained");
+            let (d, data) = self
+                .rdv_send
+                .remove(&xfer)
+                .expect("rendezvous data retained");
             debug_assert_eq!(d, dest);
-            self.mpl.bsend(dest, wire_tag(KIND_RDV_DATA, xfer & 0x0FFF_FFFF), &data);
+            self.mpl
+                .bsend(dest, wire_tag(KIND_RDV_DATA, xfer & 0x0FFF_FFFF), &data);
             self.send_done.insert(xfer);
         }
     }
@@ -192,12 +209,18 @@ impl<'a, 'c> MpiF<'a, 'c> {
                 self.mpl.work(self.cfg.recv_cpu);
                 match self.match_posted(msg.src, tag) {
                     Some(p) => {
-                        let st = Status { source: msg.src, tag, len: data.len() };
+                        let st = Status {
+                            source: msg.src,
+                            tag,
+                            len: data.len(),
+                        };
                         self.posted[p].state = PostedState::Done(data, st);
                     }
-                    None => self
-                        .unexpected
-                        .push_back(InEnvelope::Eager { src: msg.src, tag, data }),
+                    None => self.unexpected.push_back(InEnvelope::Eager {
+                        src: msg.src,
+                        tag,
+                        data,
+                    }),
                 }
             }
             KIND_RDV_REQ => {
@@ -208,7 +231,8 @@ impl<'a, 'c> MpiF<'a, 'c> {
                 match self.match_posted(msg.src, tag) {
                     Some(p) => {
                         self.rdv_recv.insert((msg.src, xfer), (p, tag, len));
-                        self.mpl.bsend(msg.src, wire_tag(KIND_RDV_GRANT, 0), &xfer.to_le_bytes());
+                        self.mpl
+                            .bsend(msg.src, wire_tag(KIND_RDV_GRANT, 0), &xfer.to_le_bytes());
                     }
                     None => self.unexpected.push_back(InEnvelope::Rdv {
                         src: msg.src,
@@ -224,11 +248,17 @@ impl<'a, 'c> MpiF<'a, 'c> {
             }
             KIND_RDV_DATA => {
                 let xfer = msg.tag & 0x0FFF_FFFF;
-                let (posted, tag, len) =
-                    self.rdv_recv.remove(&(msg.src, xfer)).expect("rendezvous receive active");
+                let (posted, tag, len) = self
+                    .rdv_recv
+                    .remove(&(msg.src, xfer))
+                    .expect("rendezvous receive active");
                 debug_assert_eq!(len, msg.data.len());
                 self.mpl.work(self.cfg.recv_cpu);
-                let st = Status { source: msg.src, tag, len };
+                let st = Status {
+                    source: msg.src,
+                    tag,
+                    len,
+                };
                 self.posted[posted].state = PostedState::Done(msg.data, st);
             }
             other => unreachable!("unknown wire kind {other}"),
@@ -262,7 +292,11 @@ impl Mpi for MpiF<'_, '_> {
         if dest == self.rank() {
             match self.match_posted(dest, tag) {
                 Some(p) => {
-                    let st = Status { source: dest, tag, len: buf.len() };
+                    let st = Status {
+                        source: dest,
+                        tag,
+                        len: buf.len(),
+                    };
                     self.posted[p].state = PostedState::Done(buf.to_vec(), st);
                 }
                 None => self.unexpected.push_back(InEnvelope::Eager {
@@ -305,12 +339,22 @@ impl Mpi for MpiF<'_, '_> {
             debug_assert_eq!(w, posted);
             match self.unexpected.remove(pos).expect("position valid") {
                 InEnvelope::Eager { src, tag: t, data } => {
-                    let st = Status { source: src, tag: t, len: data.len() };
+                    let st = Status {
+                        source: src,
+                        tag: t,
+                        len: data.len(),
+                    };
                     self.posted[posted].state = PostedState::Done(data, st);
                 }
-                InEnvelope::Rdv { src, tag: t, len, xfer } => {
+                InEnvelope::Rdv {
+                    src,
+                    tag: t,
+                    len,
+                    xfer,
+                } => {
                     self.rdv_recv.insert((src, xfer), (posted, t, len));
-                    self.mpl.bsend(src, wire_tag(KIND_RDV_GRANT, 0), &xfer.to_le_bytes());
+                    self.mpl
+                        .bsend(src, wire_tag(KIND_RDV_GRANT, 0), &xfer.to_le_bytes());
                 }
             }
         }
@@ -330,7 +374,10 @@ impl Mpi for MpiF<'_, '_> {
     }
 
     fn wait(&mut self, req: Req) -> Option<(Vec<u8>, Status)> {
-        let rec = self.reqs.remove(&req.0).expect("request exists (wait once)");
+        let rec = self
+            .reqs
+            .remove(&req.0)
+            .expect("request exists (wait once)");
         match rec {
             ReqRec::SendDone => None,
             ReqRec::SendRdv { xfer } => {
@@ -344,12 +391,13 @@ impl Mpi for MpiF<'_, '_> {
                 while matches!(self.posted[posted].state, PostedState::Waiting) {
                     self.service();
                 }
-                let out =
-                    match std::mem::replace(&mut self.posted[posted].state, PostedState::Consumed)
-                    {
-                        PostedState::Done(data, status) => Some((data, status)),
-                        _ => unreachable!("just checked"),
-                    };
+                let out = match std::mem::replace(
+                    &mut self.posted[posted].state,
+                    PostedState::Consumed,
+                ) {
+                    PostedState::Done(data, status) => Some((data, status)),
+                    _ => unreachable!("just checked"),
+                };
                 self.free_slots.push(posted);
                 out
             }
@@ -363,8 +411,9 @@ impl Mpi for MpiF<'_, '_> {
         let (me, p) = (self.rank(), self.size());
         assert_eq!(bufs.len(), p);
         const TAG: i32 = i32::MAX - 4; // same tag space as the generic one
-        let recvs: Vec<Req> =
-            (1..p).map(|i| self.irecv(Some((me + p - i) % p), Some(TAG))).collect();
+        let recvs: Vec<Req> = (1..p)
+            .map(|i| self.irecv(Some((me + p - i) % p), Some(TAG)))
+            .collect();
         let mut sends = Vec::with_capacity(p - 1);
         for i in 1..p {
             let d = (me + i) % p;

@@ -37,7 +37,12 @@ impl MpiImpl {
     /// All implementations, in the paper's legend order (the tuned-
     /// collectives extension last).
     pub fn all() -> [MpiImpl; 4] {
-        [MpiImpl::AmUnoptimized, MpiImpl::AmOptimized, MpiImpl::MpiF, MpiImpl::AmTuned]
+        [
+            MpiImpl::AmUnoptimized,
+            MpiImpl::AmOptimized,
+            MpiImpl::MpiF,
+            MpiImpl::AmTuned,
+        ]
     }
 }
 
@@ -56,9 +61,10 @@ pub fn run_mpi<R: Send + 'static>(
         MpiImpl::AmUnoptimized | MpiImpl::AmOptimized | MpiImpl::AmTuned => {
             let cfg = match imp {
                 MpiImpl::AmOptimized => MpiAmConfig::optimized(),
-                MpiImpl::AmTuned => {
-                    MpiAmConfig { tuned_collectives: true, ..MpiAmConfig::optimized() }
-                }
+                MpiImpl::AmTuned => MpiAmConfig {
+                    tuned_collectives: true,
+                    ..MpiAmConfig::optimized()
+                },
                 _ => MpiAmConfig::unoptimized(),
             };
             let cost = sp.cost.clone();

@@ -7,7 +7,9 @@ use sp_mpi::runner::{run_mpi, MpiImpl};
 use sp_mpi::{Mpi, ANY_SOURCE, ANY_TAG};
 
 fn pattern(len: usize, salt: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(13).wrapping_add(salt)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(13).wrapping_add(salt))
+        .collect()
 }
 
 fn on_all(nodes: usize, app: impl Fn(&mut dyn Mpi) -> u64 + Send + Sync + Clone + 'static) {
@@ -40,7 +42,9 @@ fn every_protocol_path_delivers_exact_bytes() {
     // Sizes hitting: zero-length, bins (<1KB), first-fit eager, just below
     // and above each impl's eager/rendezvous switch, hybrid territory, and
     // multi-chunk rendezvous.
-    let sizes = [0usize, 17, 1000, 4000, 4096, 4097, 8191, 8192, 8193, 16384, 16385, 60000, 200_000];
+    let sizes = [
+        0usize, 17, 1000, 4000, 4096, 4097, 8191, 8192, 8193, 16384, 16385, 60000, 200_000,
+    ];
     on_all(2, move |mpi| {
         for (i, &len) in sizes.iter().enumerate() {
             let tag = i as i32;
@@ -160,7 +164,10 @@ fn barrier_synchronizes() {
         mpi.work(staggered);
         mpi.barrier();
         let t = mpi.now().as_us();
-        assert!(t >= 40.0 * 7.0, "left the barrier at {t:.1} before the last arriver");
+        assert!(
+            t >= 40.0 * 7.0,
+            "left the barrier at {t:.1} before the last arriver"
+        );
         0
     });
 }
@@ -169,7 +176,11 @@ fn barrier_synchronizes() {
 fn bcast_from_every_root() {
     on_all(6, |mpi| {
         for root in 0..mpi.size() {
-            let data = if mpi.rank() == root { pattern(500, root as u8) } else { Vec::new() };
+            let data = if mpi.rank() == root {
+                pattern(500, root as u8)
+            } else {
+                Vec::new()
+            };
             let got = mpi.bcast(root, &data);
             assert_eq!(got, pattern(500, root as u8), "bcast from root {root}");
         }
@@ -263,18 +274,23 @@ fn eager_region_backpressure_resolves() {
 
 #[test]
 fn wide_node_machine_also_works() {
-    let results = run_mpi(MpiImpl::AmOptimized, SpConfig::wide(2), 3, |mpi: &mut dyn Mpi| {
-        if mpi.rank() == 0 {
-            mpi.send(&pattern(50_000, 3), 1, 0);
-            mpi.barrier();
-            1u64
-        } else {
-            let (d, _) = mpi.recv(Some(0), Some(0));
-            assert_eq!(d, pattern(50_000, 3));
-            mpi.barrier();
-            1u64
-        }
-    });
+    let results = run_mpi(
+        MpiImpl::AmOptimized,
+        SpConfig::wide(2),
+        3,
+        |mpi: &mut dyn Mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(&pattern(50_000, 3), 1, 0);
+                mpi.barrier();
+                1u64
+            } else {
+                let (d, _) = mpi.recv(Some(0), Some(0));
+                assert_eq!(d, pattern(50_000, 3));
+                mpi.barrier();
+                1u64
+            }
+        },
+    );
     assert_eq!(results, vec![1, 1]);
 }
 
@@ -333,7 +349,10 @@ fn waitall_mixed_sends_and_recvs() {
             assert_eq!(st.tag, i as i32);
             assert_eq!(d, &pattern(200 + i, i as u8));
         }
-        assert!(results[5..].iter().all(|r| r.is_none()), "sends yield no data");
+        assert!(
+            results[5..].iter().all(|r| r.is_none()),
+            "sends yield no data"
+        );
         0
     });
 }
@@ -344,7 +363,9 @@ fn tuned_alltoall_matches_generic_results() {
         let (me, p) = (mpi.rank(), mpi.size());
         let bufs: Vec<Vec<u8>> = (0..p).map(|d| pattern(300, (me * p + d) as u8)).collect();
         let got = mpi.alltoall(&bufs);
-        got.iter().flat_map(|v| v.iter().copied()).fold(0u64, |a, b| a.wrapping_add(b as u64))
+        got.iter()
+            .flat_map(|v| v.iter().copied())
+            .fold(0u64, |a, b| a.wrapping_add(b as u64))
     };
     let generic = run_mpi(MpiImpl::AmOptimized, SpConfig::thin(6), 3, app);
     let tuned = run_mpi(MpiImpl::AmTuned, SpConfig::thin(6), 3, app);

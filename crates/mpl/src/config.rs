@@ -51,6 +51,9 @@ mod tests {
         // The whole point of the paper: MPL's per-message software cost
         // dwarfs SP AM's ~4 µs request path.
         assert!(c.o_send + c.o_recv > Dur::us(20.0));
-        assert!(c.credit_window <= 64, "window must fit the per-node receive FIFO share");
+        assert!(
+            c.credit_window <= 64,
+            "window must fit the per-node receive FIFO share"
+        );
     }
 }

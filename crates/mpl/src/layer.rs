@@ -89,7 +89,12 @@ impl<'c> Mpl<'c> {
         Mpl {
             ctx,
             cfg,
-            out: (0..n).map(|_| OutPeer { next_msg_id: 0, credits: window }).collect(),
+            out: (0..n)
+                .map(|_| OutPeer {
+                    next_msg_id: 0,
+                    credits: window,
+                })
+                .collect(),
             inn: (0..n).map(|_| InPeer { drained: 0 }).collect(),
             assembling: HashMap::new(),
             unexpected: VecDeque::new(),
@@ -197,9 +202,17 @@ impl<'c> Mpl<'c> {
             .position(|m| src.is_none_or(|s| s == m.src) && tag.is_none_or(|t| t == m.tag))
         {
             let msg = self.unexpected.remove(pos).expect("position valid");
-            self.posted.push(Posted { src, tag, state: PostedState::Ready(msg) });
+            self.posted.push(Posted {
+                src,
+                tag,
+                state: PostedState::Ready(msg),
+            });
         } else {
-            self.posted.push(Posted { src, tag, state: PostedState::Waiting });
+            self.posted.push(Posted {
+                src,
+                tag,
+                state: PostedState::Waiting,
+            });
         }
         RecvHandle(self.posted.len() - 1)
     }
@@ -253,13 +266,22 @@ impl<'c> Mpl<'c> {
                 MplWire::Credit { count } => {
                     self.out[src].credits += count;
                 }
-                MplWire::Frag { msg_id, tag, offset, total, bytes } => {
-                    let p = self.assembling.entry((src, msg_id)).or_insert_with(|| Partial {
-                        tag,
-                        total,
-                        got: 0,
-                        data: vec![0u8; total as usize],
-                    });
+                MplWire::Frag {
+                    msg_id,
+                    tag,
+                    offset,
+                    total,
+                    bytes,
+                } => {
+                    let p = self
+                        .assembling
+                        .entry((src, msg_id))
+                        .or_insert_with(|| Partial {
+                            tag,
+                            total,
+                            got: 0,
+                            data: vec![0u8; total as usize],
+                        });
                     p.data[offset as usize..offset as usize + bytes.len()].copy_from_slice(&bytes);
                     p.got += bytes.len().max(1) as u32;
                     let complete = p.got >= p.total.max(1);
@@ -267,7 +289,11 @@ impl<'c> Mpl<'c> {
                         let p = self.assembling.remove(&(src, msg_id)).expect("present");
                         self.ctx.advance(self.cfg.o_recv);
                         self.stats.recvs += 1;
-                        self.deliver(Msg { src, tag: p.tag, data: p.data });
+                        self.deliver(Msg {
+                            src,
+                            tag: p.tag,
+                            data: p.data,
+                        });
                     }
                     // Credit bookkeeping.
                     self.inn[src].drained += 1;
@@ -345,7 +371,12 @@ impl MplMachine {
     /// Build an MPL machine.
     pub fn new(sp: SpConfig, cfg: MplConfig, seed: u64) -> Self {
         let nodes = sp.nodes;
-        MplMachine { sim: Sim::new(MplWorld::new(sp), seed), cfg, nodes, spawned: 0 }
+        MplMachine {
+            sim: Sim::new(MplWorld::new(sp), seed),
+            cfg,
+            nodes,
+            spawned: 0,
+        }
     }
 
     /// Mutate hardware before the run (fault injection etc.).
@@ -373,7 +404,10 @@ impl MplMachine {
     pub fn run(self) -> Result<MplReport, SimError> {
         assert_eq!(self.spawned, self.nodes, "every node needs a program");
         let report = self.sim.run()?;
-        Ok(MplReport { end_time: report.end_time, world: report.world })
+        Ok(MplReport {
+            end_time: report.end_time,
+            world: report.world,
+        })
     }
 }
 
@@ -402,7 +436,10 @@ mod tests {
             },
             |mpl| {
                 let msg = mpl.brecv(None, None);
-                assert_eq!((msg.src, msg.tag, msg.data.clone()), (0, 7, vec![1, 2, 3, 4]));
+                assert_eq!(
+                    (msg.src, msg.tag, msg.data.clone()),
+                    (0, 7, vec![1, 2, 3, 4])
+                );
                 mpl.bsend(0, 8, &[9]);
             },
         );
@@ -542,7 +579,10 @@ mod tests {
         );
         let rtt = *out.lock();
         eprintln!("MPL 1-word round trip: {rtt:.2} us (paper: 88.0)");
-        assert!((80.0..96.0).contains(&rtt), "MPL round trip {rtt:.2} us, want ~88");
+        assert!(
+            (80.0..96.0).contains(&rtt),
+            "MPL round trip {rtt:.2} us, want ~88"
+        );
     }
 
     #[test]

@@ -43,10 +43,22 @@ mod tests {
 
     #[test]
     fn payload_accounting() {
-        let f = MplWire::Frag { msg_id: 0, tag: 0, offset: 0, total: 10, bytes: vec![1; 10].into() };
+        let f = MplWire::Frag {
+            msg_id: 0,
+            tag: 0,
+            offset: 0,
+            total: 10,
+            bytes: vec![1; 10].into(),
+        };
         assert_eq!(f.payload_bytes(), 10);
         // Zero-length messages still occupy one wire byte of payload.
-        let z = MplWire::Frag { msg_id: 0, tag: 0, offset: 0, total: 0, bytes: Vec::new().into() };
+        let z = MplWire::Frag {
+            msg_id: 0,
+            tag: 0,
+            offset: 0,
+            total: 0,
+            bytes: Vec::new().into(),
+        };
         assert_eq!(z.payload_bytes(), 1);
         assert_eq!(MplWire::Credit { count: 3 }.payload_bytes(), 4);
     }

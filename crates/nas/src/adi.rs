@@ -26,12 +26,30 @@ struct AdiParams {
 
 /// BT: block faces, fewer iterations, heavy per-cell work.
 pub fn run_bt(mpi: &mut dyn Mpi) -> NasResult {
-    run_adi(mpi, &AdiParams { n: 12, face_vars: 5, iters: 8, flops_per_cell: 100, seed: 11 })
+    run_adi(
+        mpi,
+        &AdiParams {
+            n: 12,
+            face_vars: 5,
+            iters: 8,
+            flops_per_cell: 100,
+            seed: 11,
+        },
+    )
 }
 
 /// SP: scalar faces, more iterations, lighter per-cell work.
 pub fn run_sp(mpi: &mut dyn Mpi) -> NasResult {
-    run_adi(mpi, &AdiParams { n: 12, face_vars: 1, iters: 22, flops_per_cell: 40, seed: 13 })
+    run_adi(
+        mpi,
+        &AdiParams {
+            n: 12,
+            face_vars: 1,
+            iters: 22,
+            flops_per_cell: 40,
+            seed: 13,
+        },
+    )
 }
 
 const TAG_X: i32 = 100;
@@ -47,8 +65,9 @@ fn run_adi(mpi: &mut dyn Mpi, p: &AdiParams) -> NasResult {
 
     // Local field: n³ cells (a single representative variable drives the
     // arithmetic; faces carry `face_vars` copies to model BT's block size).
-    let mut u: Vec<f64> =
-        (0..n * n * n).map(|i| field_init(p.seed, me * n * n * n + i)).collect();
+    let mut u: Vec<f64> = (0..n * n * n)
+        .map(|i| field_init(p.seed, me * n * n * n + i))
+        .collect();
     let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
 
     mpi.barrier();
@@ -80,8 +99,7 @@ fn run_adi(mpi: &mut dyn Mpi, p: &AdiParams) -> NasResult {
             }
             f
         };
-        let (from_west, from_east) =
-            exchange(mpi, west, east, TAG_X, &my_west_face, &my_east_face);
+        let (from_west, from_east) = exchange(mpi, west, east, TAG_X, &my_west_face, &my_east_face);
         // Line solve along x: forward/backward recurrence seeded by the
         // neighbour faces (zero at physical boundaries).
         for j in 0..n {
@@ -167,7 +185,10 @@ fn run_adi(mpi: &mut dyn Mpi, p: &AdiParams) -> NasResult {
 
     let local: f64 = u.iter().map(|v| v * v).sum();
     let global = mpi.allreduce_f64(&[local], |a, b| a + b)[0];
-    NasResult { time: mpi.now() - t0, checksum: global }
+    NasResult {
+        time: mpi.now() - t0,
+        checksum: global,
+    }
 }
 
 /// Bidirectional neighbour exchange: send `lo_face` toward the lower

@@ -70,13 +70,17 @@ pub fn pack(v: &[f64]) -> Vec<u8> {
 
 /// Unpack little-endian bytes to f64s.
 pub fn unpack(b: &[u8]) -> Vec<f64> {
-    b.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))).collect()
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
 }
 
 /// Deterministic pseudo-random field value (NPB-style multiplicative
 /// generator flavor, simplified but reproducible).
 pub fn field_init(seed: u64, idx: usize) -> f64 {
-    let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(idx as u64);
+    let mut x = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(idx as u64);
     x ^= x >> 33;
     x = x.wrapping_mul(0xFF51AFD7ED558CCD);
     x ^= x >> 33;

@@ -190,7 +190,10 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
 
     // Scale the checksum to a common magnitude and agree globally.
     let global = mpi.allreduce_f64(&[checksum], |a, b| a + b)[0];
-    NasResult { time: mpi.now() - t0, checksum: global }
+    NasResult {
+        time: mpi.now() - t0,
+        checksum: global,
+    }
 }
 
 #[cfg(test)]
@@ -241,8 +244,9 @@ mod tests {
     fn fft_single_tone_lands_in_one_bin() {
         let n = 32;
         let k = 5;
-        let mut re: Vec<f64> =
-            (0..n).map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos()).collect();
+        let mut re: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos())
+            .collect();
         let mut im = vec![0.0; n];
         fft(&mut re, &mut im);
         // Energy concentrated in bins k and n-k.

@@ -28,8 +28,9 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
     let west = (my_c > 0).then(|| me - 1);
     let east = (my_c + 1 < pc).then(|| me + 1);
 
-    let mut u: Vec<f64> =
-        (0..N * N * NZ).map(|i| field_init(17, me * N * N * NZ + i)).collect();
+    let mut u: Vec<f64> = (0..N * N * NZ)
+        .map(|i| field_init(17, me * N * N * NZ + i))
+        .collect();
     let idx = |i: usize, j: usize, k: usize| (i * N + j) * NZ + k;
 
     mpi.barrier();
@@ -40,7 +41,14 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
         for k in 0..NZ {
             let from_north = north.map(|p| unpack(&mpi.recv(Some(p), Some(TAG_NS)).0));
             let from_west = west.map(|p| unpack(&mpi.recv(Some(p), Some(TAG_WE)).0));
-            relax_plane(&mut u, &idx, k, from_north.as_deref(), from_west.as_deref(), 0.2);
+            relax_plane(
+                &mut u,
+                &idx,
+                k,
+                from_north.as_deref(),
+                from_west.as_deref(),
+                0.2,
+            );
             charge_flops(mpi, (N * N) as u64 * FLOPS_PER_CELL_SWEEP);
             if let Some(p) = south {
                 let strip: Vec<f64> = (0..N).map(|j| u[idx(N - 1, j, k)]).collect();
@@ -55,7 +63,14 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
         for k in (0..NZ).rev() {
             let from_south = south.map(|p| unpack(&mpi.recv(Some(p), Some(TAG_NS)).0));
             let from_east = east.map(|p| unpack(&mpi.recv(Some(p), Some(TAG_WE)).0));
-            relax_plane_rev(&mut u, &idx, k, from_south.as_deref(), from_east.as_deref(), 0.15);
+            relax_plane_rev(
+                &mut u,
+                &idx,
+                k,
+                from_south.as_deref(),
+                from_east.as_deref(),
+                0.15,
+            );
             charge_flops(mpi, (N * N) as u64 * FLOPS_PER_CELL_SWEEP);
             if let Some(p) = north {
                 let strip: Vec<f64> = (0..N).map(|j| u[idx(0, j, k)]).collect();
@@ -70,7 +85,10 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
 
     let local: f64 = u.iter().map(|v| v * v).sum();
     let global = mpi.allreduce_f64(&[local], |a, b| a + b)[0];
-    NasResult { time: mpi.now() - t0, checksum: global }
+    NasResult {
+        time: mpi.now() - t0,
+        checksum: global,
+    }
 }
 
 fn relax_plane(
@@ -83,8 +101,16 @@ fn relax_plane(
 ) {
     for i in 0..N {
         for j in 0..N {
-            let up = if i > 0 { u[idx(i - 1, j, k)] } else { north.map_or(0.0, |s| s[j]) };
-            let left = if j > 0 { u[idx(i, j - 1, k)] } else { west.map_or(0.0, |s| s[i]) };
+            let up = if i > 0 {
+                u[idx(i - 1, j, k)]
+            } else {
+                north.map_or(0.0, |s| s[j])
+            };
+            let left = if j > 0 {
+                u[idx(i, j - 1, k)]
+            } else {
+                west.map_or(0.0, |s| s[i])
+            };
             let back = if k > 0 { u[idx(i, j, k - 1)] } else { 0.0 };
             let c = idx(i, j, k);
             u[c] = (1.0 - 3.0 * w) * u[c] + w * (up + left + back);
@@ -102,8 +128,16 @@ fn relax_plane_rev(
 ) {
     for i in (0..N).rev() {
         for j in (0..N).rev() {
-            let down = if i + 1 < N { u[idx(i + 1, j, k)] } else { south.map_or(0.0, |s| s[j]) };
-            let right = if j + 1 < N { u[idx(i, j + 1, k)] } else { east.map_or(0.0, |s| s[i]) };
+            let down = if i + 1 < N {
+                u[idx(i + 1, j, k)]
+            } else {
+                south.map_or(0.0, |s| s[j])
+            };
+            let right = if j + 1 < N {
+                u[idx(i, j + 1, k)]
+            } else {
+                east.map_or(0.0, |s| s[i])
+            };
             let front = if k + 1 < NZ { u[idx(i, j, k + 1)] } else { 0.0 };
             let c = idx(i, j, k);
             u[c] = (1.0 - 3.0 * w) * u[c] + w * (down + right + front);

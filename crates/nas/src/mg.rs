@@ -53,7 +53,13 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
         .map(|l| {
             let n = N0 >> l;
             (0..n * n * n)
-                .map(|i| if l == 0 { field_init(23, me * N0 * N0 * N0 + i) } else { 0.0 })
+                .map(|i| {
+                    if l == 0 {
+                        field_init(23, me * N0 * N0 * N0 + i)
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         })
         .collect();
@@ -90,7 +96,10 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
 
     let local: f64 = levels[0].iter().map(|v| v * v).sum();
     let global = mpi.allreduce_f64(&[local], |a, b| a + b)[0];
-    NasResult { time: mpi.now() - t0, checksum: global }
+    NasResult {
+        time: mpi.now() - t0,
+        checksum: global,
+    }
 }
 
 /// Exchange the six halo faces of an n³ field, then one Jacobi relaxation
@@ -164,24 +173,24 @@ fn halo_relax(
         };
         match (side(i), side(j), side(k)) {
             (Some(2), Some(2), Some(2)) => old[idx(i as usize, j as usize, k as usize)],
-            (None, Some(2), Some(2)) => {
-                boundary[0][0].as_ref().map_or(0.0, |f| f[j as usize * n + k as usize])
-            }
-            (Some(1), Some(2), Some(2)) => {
-                boundary[0][1].as_ref().map_or(0.0, |f| f[j as usize * n + k as usize])
-            }
-            (Some(2), None, Some(2)) => {
-                boundary[1][0].as_ref().map_or(0.0, |f| f[i as usize * n + k as usize])
-            }
-            (Some(2), Some(1), Some(2)) => {
-                boundary[1][1].as_ref().map_or(0.0, |f| f[i as usize * n + k as usize])
-            }
-            (Some(2), Some(2), None) => {
-                boundary[2][0].as_ref().map_or(0.0, |f| f[i as usize * n + j as usize])
-            }
-            (Some(2), Some(2), Some(1)) => {
-                boundary[2][1].as_ref().map_or(0.0, |f| f[i as usize * n + j as usize])
-            }
+            (None, Some(2), Some(2)) => boundary[0][0]
+                .as_ref()
+                .map_or(0.0, |f| f[j as usize * n + k as usize]),
+            (Some(1), Some(2), Some(2)) => boundary[0][1]
+                .as_ref()
+                .map_or(0.0, |f| f[j as usize * n + k as usize]),
+            (Some(2), None, Some(2)) => boundary[1][0]
+                .as_ref()
+                .map_or(0.0, |f| f[i as usize * n + k as usize]),
+            (Some(2), Some(1), Some(2)) => boundary[1][1]
+                .as_ref()
+                .map_or(0.0, |f| f[i as usize * n + k as usize]),
+            (Some(2), Some(2), None) => boundary[2][0]
+                .as_ref()
+                .map_or(0.0, |f| f[i as usize * n + j as usize]),
+            (Some(2), Some(2), Some(1)) => boundary[2][1]
+                .as_ref()
+                .map_or(0.0, |f| f[i as usize * n + j as usize]),
             _ => 0.0, // corners/edges beyond one face: outside the stencil
         }
     };

@@ -24,7 +24,11 @@ fn kernels_agree_across_implementations_4_ranks() {
             a.checksum,
             c.checksum
         );
-        assert!(a.checksum.is_finite() && a.checksum != 0.0, "{} trivial checksum", kernel.name());
+        assert!(
+            a.checksum.is_finite() && a.checksum != 0.0,
+            "{} trivial checksum",
+            kernel.name()
+        );
         assert!(a.time.as_us() > 0.0);
     }
 }

@@ -27,12 +27,25 @@ pub(crate) type WakeEpoch = u64;
 /// Boxed engine-side event callback.
 type EventFn<W> = Box<dyn FnOnce(&mut EventCtx<'_, W>) + Send + 'static>;
 
+/// Allocation-free engine-side event callback: a plain `fn` pointer plus
+/// two integer arguments (see [`EventCtx::schedule_hot`]).
+pub type HotFn<W> = fn(&mut EventCtx<'_, W>, u64, u64);
+
 /// Event payload.
 pub(crate) enum EvKind<W: Send + 'static> {
     /// Resume node `node` if its epoch still matches.
-    Wake { node: NodeId, epoch: WakeEpoch, reason: WakeReason },
+    Wake {
+        node: NodeId,
+        epoch: WakeEpoch,
+        reason: WakeReason,
+    },
     /// Run an arbitrary engine-side closure (hardware model step).
     Call(EventFn<W>),
+    /// Run a plain `fn` with two integer arguments. Unlike [`EvKind::Call`]
+    /// this allocates nothing: the whole payload lives inline in the event
+    /// heap entry. Used by recurring hardware events (firmware steps, packet
+    /// delivery) on the hot path.
+    Hot { f: HotFn<W>, a: u64, b: u64 },
 }
 
 impl<W: Send + 'static> EvKind<W> {
@@ -62,7 +75,10 @@ impl<W: Send + 'static> Ord for Ev<W> {
     /// Reversed so `BinaryHeap` (a max-heap) pops the *earliest* event;
     /// ties break by insertion sequence for determinism.
     fn cmp(&self, other: &Self) -> Ordering {
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -102,6 +118,12 @@ struct Inner<W: Send + 'static> {
     now: Time,
     sched: Sched<W>,
     nodes: Vec<NodeMeta>,
+    /// Events executed so far — engine-loop pops *and* fast-path advances
+    /// (each fast advance stands in for exactly one elided Wake event).
+    events: u64,
+    /// Budget shared with the fast path so a zero-cost spin loop still trips
+    /// [`SimError::EventBudgetExhausted`] instead of livelocking.
+    budget: u64,
 }
 
 /// State shared between the engine thread and node threads. All access is
@@ -120,7 +142,14 @@ fn unpark_inner<W: Send + 'static>(
     let meta = &mut nodes[target.0];
     match meta.state {
         NState::Parked | NState::SleepInt => {
-            sched.push(now, EvKind::Wake { node: target, epoch: meta.epoch, reason: WakeReason::Unparked });
+            sched.push(
+                now,
+                EvKind::Wake {
+                    node: target,
+                    epoch: meta.epoch,
+                    reason: WakeReason::Unparked,
+                },
+            );
         }
         NState::Startup | NState::Running | NState::Sleeping => {
             meta.signal = true;
@@ -132,6 +161,59 @@ fn unpark_inner<W: Send + 'static>(
 impl<W: Send + 'static> Shared<W> {
     pub(crate) fn with_world<R>(&self, f: impl FnOnce(&mut W) -> R) -> R {
         f(&mut self.inner.lock().world)
+    }
+
+    /// Zero-handoff advance: move virtual time to `until` without yielding
+    /// the baton, provided nothing else could possibly run first.
+    ///
+    /// While a node program runs, the engine thread is blocked in
+    /// [`Baton::resume`] and this lock is uncontended, so the check is one
+    /// lock acquire instead of two context switches. The fast path applies
+    /// only when (a) no pending event falls at or before `until` (strictly:
+    /// same-time events were pushed with smaller sequence numbers and must
+    /// run before a Wake would), (b) no unpark signal is latched for this
+    /// node, and (c) the event budget is not exhausted — each fast advance
+    /// replaces exactly one Wake event and is charged against the budget.
+    pub(crate) fn try_fast_advance(&self, id: NodeId, until: Time) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.nodes[id.0].signal
+            || inner.events >= inner.budget
+            || inner.sched.queue.peek().is_some_and(|ev| ev.time <= until)
+        {
+            return false;
+        }
+        inner.events += 1;
+        debug_assert!(until >= inner.now, "fast advance went backwards");
+        inner.now = until;
+        true
+    }
+
+    /// Run a world closure and attempt the fast-path advance for the
+    /// duration it returns, all under a single lock acquire. Returns the
+    /// closure result, the computed wake time, and whether the fast path
+    /// was taken (if not, the caller must fall back to a normal sleep).
+    pub(crate) fn world_charge<R>(
+        &self,
+        id: NodeId,
+        now: Time,
+        f: impl FnOnce(&mut W) -> (R, Dur),
+    ) -> (R, Time, bool) {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let (r, d) = f(&mut inner.world);
+        let until = now + d;
+        if d == Dur::ZERO {
+            // Nothing to charge: never yields, never counts an event.
+            return (r, until, true);
+        }
+        let fast = !inner.nodes[id.0].signal
+            && inner.events < inner.budget
+            && inner.sched.queue.peek().is_none_or(|ev| ev.time > until);
+        if fast {
+            inner.events += 1;
+            inner.now = until;
+        }
+        (r, until, fast)
     }
 
     pub(crate) fn schedule(&self, at: Time, kind: EvKind<W>) {
@@ -149,7 +231,14 @@ impl<W: Send + 'static> Shared<W> {
         let mut inner = self.inner.lock();
         let epoch = inner.nodes[id.0].epoch;
         inner.nodes[id.0].state = NState::Sleeping;
-        inner.sched.push(until, EvKind::Wake { node: id, epoch, reason: WakeReason::Timeout });
+        inner.sched.push(
+            until,
+            EvKind::Wake {
+                node: id,
+                epoch,
+                reason: WakeReason::Timeout,
+            },
+        );
     }
 
     pub(crate) fn note_park(&self, id: NodeId, timeout: Option<Time>) {
@@ -159,7 +248,14 @@ impl<W: Send + 'static> Shared<W> {
             None => inner.nodes[id.0].state = NState::Parked,
             Some(until) => {
                 inner.nodes[id.0].state = NState::SleepInt;
-                inner.sched.push(until, EvKind::Wake { node: id, epoch, reason: WakeReason::Timeout });
+                inner.sched.push(
+                    until,
+                    EvKind::Wake {
+                        node: id,
+                        epoch,
+                        reason: WakeReason::Timeout,
+                    },
+                );
             }
         }
     }
@@ -209,6 +305,23 @@ impl<'a, W: Send + 'static> EventCtx<'a, W> {
         self.sched.push(at, EvKind::call(f));
     }
 
+    /// Schedule an allocation-free event `after` from now: a plain `fn`
+    /// pointer called with two integer arguments. Recurring hardware events
+    /// (firmware steps, packet delivery) use this instead of
+    /// [`EventCtx::schedule`] so the per-event closure allocation disappears
+    /// from the hot path; anything larger than two words parks in world
+    /// state (e.g. a packet slab) and travels as a slot index.
+    pub fn schedule_hot(&mut self, after: Dur, f: HotFn<W>, a: u64, b: u64) {
+        self.sched.push(self.now + after, EvKind::Hot { f, a, b });
+    }
+
+    /// Schedule an allocation-free event at absolute time `at` (clamped to
+    /// now). See [`EventCtx::schedule_hot`].
+    pub fn schedule_hot_at(&mut self, at: Time, f: HotFn<W>, a: u64, b: u64) {
+        let at = at.max(self.now);
+        self.sched.push(at, EvKind::Hot { f, a, b });
+    }
+
     /// Unpark a node program (see [`NodeCtx::unpark`](crate::NodeCtx::unpark)).
     pub fn unpark(&mut self, target: NodeId) {
         unpark_inner(self.sched, self.nodes, target, self.now);
@@ -232,15 +345,69 @@ pub struct SimReport<W> {
     pub world: W,
     /// Virtual time of the last executed event.
     pub end_time: Time,
-    /// Number of events executed (wakes + calls).
+    /// Number of events executed (wakes + calls + fast-path advances).
     pub events: u64,
+    /// Wall-clock duration of the run.
+    pub wall: std::time::Duration,
+}
+
+impl<W> SimReport<W> {
+    /// Simulated events per wall-clock second (engine throughput).
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Cumulative engine statistics across every completed [`Sim::run`] in this
+/// process. Experiment binaries print these so engine-performance
+/// regressions are visible next to the virtual-time results.
+pub mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static RUNS: AtomicU64 = AtomicU64::new(0);
+    static EVENTS: AtomicU64 = AtomicU64::new(0);
+    static WALL_NS: AtomicU64 = AtomicU64::new(0);
+
+    pub(crate) fn record(events: u64, wall: std::time::Duration) {
+        RUNS.fetch_add(1, Ordering::Relaxed);
+        EVENTS.fetch_add(events, Ordering::Relaxed);
+        WALL_NS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Totals since process start: `(runs, events, wall)`.
+    pub fn snapshot() -> (u64, u64, std::time::Duration) {
+        (
+            RUNS.load(Ordering::Relaxed),
+            EVENTS.load(Ordering::Relaxed),
+            std::time::Duration::from_nanos(WALL_NS.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// One-line human summary of [`snapshot`], e.g.
+    /// `"37 runs, 1204331 events in 0.48 s (2.5 M events/sec)"`.
+    pub fn summary() -> String {
+        let (runs, events, wall) = snapshot();
+        let secs = wall.as_secs_f64();
+        let rate = events as f64 / secs.max(1e-9);
+        let (scaled, unit) = if rate >= 1e6 {
+            (rate / 1e6, "M")
+        } else {
+            (rate / 1e3, "k")
+        };
+        format!("{runs} runs, {events} events in {secs:.2} s ({scaled:.1} {unit} events/sec)")
+    }
 }
 
 impl<W: Send + 'static> Sim<W> {
     /// Create a simulation over `world`, with `seed` driving all per-node
     /// RNG streams.
     pub fn new(world: W, seed: u64) -> Self {
-        Sim { world: Some(world), seed, event_budget: u64::MAX, programs: Vec::new() }
+        Sim {
+            world: Some(world),
+            seed,
+            event_budget: u64::MAX,
+            programs: Vec::new(),
+        }
     }
 
     /// Cap the number of events executed; exceeding it aborts the run with
@@ -270,17 +437,42 @@ impl<W: Send + 'static> Sim<W> {
     /// Run to completion: until every node program has returned and the
     /// event queue is empty.
     pub fn run(mut self) -> Result<SimReport<W>, SimError> {
+        let started = std::time::Instant::now();
         let world = self.world.take().expect("world present");
         let programs = std::mem::take(&mut self.programs);
         let num_nodes = programs.len();
 
-        let mut sched = Sched { queue: BinaryHeap::new(), seq: 0 };
+        let mut sched = Sched {
+            queue: BinaryHeap::new(),
+            seq: 0,
+        };
         let mut nodes = Vec::with_capacity(num_nodes);
         for (i, (name, _)) in programs.iter().enumerate() {
-            nodes.push(NodeMeta { name: name.clone(), state: NState::Startup, epoch: 0, signal: false });
-            sched.push(Time::ZERO, EvKind::Wake { node: NodeId(i), epoch: 0, reason: WakeReason::Timeout });
+            nodes.push(NodeMeta {
+                name: name.clone(),
+                state: NState::Startup,
+                epoch: 0,
+                signal: false,
+            });
+            sched.push(
+                Time::ZERO,
+                EvKind::Wake {
+                    node: NodeId(i),
+                    epoch: 0,
+                    reason: WakeReason::Timeout,
+                },
+            );
         }
-        let shared = Arc::new(Shared { inner: Mutex::new(Inner { world, now: Time::ZERO, sched, nodes }) });
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                world,
+                now: Time::ZERO,
+                sched,
+                nodes,
+                events: 0,
+                budget: self.event_budget,
+            }),
+        });
 
         let mut batons: Vec<Arc<Baton>> = Vec::with_capacity(num_nodes);
         let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(num_nodes);
@@ -292,7 +484,8 @@ impl<W: Send + 'static> Sim<W> {
             let handle = std::thread::Builder::new()
                 .name(format!("sp-sim-node-{i}-{name}"))
                 .spawn(move || {
-                    let mut ctx = NodeCtx::new(NodeId(i), num_nodes, seed, shared.clone(), baton.clone());
+                    let mut ctx =
+                        NodeCtx::new(NodeId(i), num_nodes, seed, shared.clone(), baton.clone());
                     let (t0, _) = baton.wait_for_start();
                     ctx.now = t0;
                     match catch_unwind(AssertUnwindSafe(|| program(&mut ctx))) {
@@ -318,7 +511,7 @@ impl<W: Send + 'static> Sim<W> {
             handles.push(handle);
         }
 
-        let result = Self::event_loop(&shared, &batons, self.event_budget);
+        let result = Self::event_loop(&shared, &batons);
 
         // Teardown: unwind any node thread still blocked on its baton.
         {
@@ -338,32 +531,38 @@ impl<W: Send + 'static> Sim<W> {
             .unwrap_or_else(|_| panic!("node threads still hold engine state"))
             .inner
             .into_inner();
-        Ok(SimReport { world: inner.world, end_time, events })
+        let wall = started.elapsed();
+        stats::record(events, wall);
+        Ok(SimReport {
+            world: inner.world,
+            end_time,
+            events,
+            wall,
+        })
     }
 
     /// Core loop. Returns `(end_time, events_executed)`.
-    fn event_loop(
-        shared: &Arc<Shared<W>>,
-        batons: &[Arc<Baton>],
-        budget: u64,
-    ) -> Result<(Time, u64), SimError> {
-        let mut events: u64 = 0;
+    fn event_loop(shared: &Arc<Shared<W>>, batons: &[Arc<Baton>]) -> Result<(Time, u64), SimError> {
         let mut inner = shared.inner.lock();
         loop {
             let ev = match inner.sched.queue.pop() {
                 Some(ev) => ev,
                 None => break,
             };
-            events += 1;
-            if events > budget {
-                let at = inner.now;
+            inner.events += 1;
+            if inner.events > inner.budget {
+                let (at, budget) = (inner.now, inner.budget);
                 drop(inner);
                 return Err(SimError::EventBudgetExhausted { at, budget });
             }
             debug_assert!(ev.time >= inner.now, "event queue went backwards");
             inner.now = ev.time;
             match ev.kind {
-                EvKind::Wake { node, epoch, reason } => {
+                EvKind::Wake {
+                    node,
+                    epoch,
+                    reason,
+                } => {
                     let meta = &mut inner.nodes[node.0];
                     let runnable = meta.epoch == epoch
                         && matches!(
@@ -378,13 +577,19 @@ impl<W: Send + 'static> Sim<W> {
                     drop(inner);
                     let y = batons[node.0].resume(ev.time, reason);
                     match y {
-                        Yield::Sleep { .. } | Yield::Park | Yield::ParkTimeout { .. } | Yield::Done => {
+                        Yield::Sleep { .. }
+                        | Yield::Park
+                        | Yield::ParkTimeout { .. }
+                        | Yield::Done => {
                             // Node-side note_* already recorded scheduler
                             // state before yielding; nothing further to do.
                         }
                         Yield::Panicked(message) => {
                             let name = shared.inner.lock().nodes[node.0].name.clone();
-                            return Err(SimError::NodePanicked { node: name, message });
+                            return Err(SimError::NodePanicked {
+                                node: name,
+                                message,
+                            });
                         }
                     }
                     inner = shared.inner.lock();
@@ -399,6 +604,16 @@ impl<W: Send + 'static> Sim<W> {
                     };
                     f(&mut ectx);
                 }
+                EvKind::Hot { f, a, b } => {
+                    let inner_ref = &mut *inner;
+                    let mut ectx = EventCtx {
+                        now: ev.time,
+                        world: &mut inner_ref.world,
+                        sched: &mut inner_ref.sched,
+                        nodes: &mut inner_ref.nodes,
+                    };
+                    f(&mut ectx, a, b);
+                }
             }
         }
 
@@ -409,12 +624,15 @@ impl<W: Send + 'static> Sim<W> {
             .filter(|m| m.state != NState::Done)
             .map(|m| m.name.clone())
             .collect();
-        let now = inner.now;
+        let (now, events) = (inner.now, inner.events);
         drop(inner);
         if stuck.is_empty() {
             Ok((now, events))
         } else {
-            Err(SimError::Deadlock { at: now, parked: stuck })
+            Err(SimError::Deadlock {
+                at: now,
+                parked: stuck,
+            })
         }
     }
 }
@@ -632,6 +850,146 @@ mod tests {
         });
         let report = sim.run().unwrap();
         assert!(report.world);
+    }
+
+    #[test]
+    fn hot_events_interleave_with_boxed_in_order() {
+        // Hot and boxed events at the same instant must run in push order.
+        fn push_hot(e: &mut EventCtx<'_, Vec<u64>>, a: u64, b: u64) {
+            e.world().push(a * 10 + b);
+        }
+        let mut sim = Sim::new(Vec::<u64>::new(), 0);
+        sim.spawn("s", |ctx| {
+            ctx.schedule(Dur::us(1.0), |e| e.world().push(1));
+            ctx.schedule_hot(Dur::us(1.0), push_hot, 0, 2);
+            ctx.schedule(Dur::us(1.0), |e| e.world().push(3));
+            ctx.schedule_hot(Dur::us(1.0), push_hot, 0, 4);
+            ctx.advance(Dur::us(2.0));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.world, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn hot_events_chain_and_wake() {
+        // A hot event rescheduling itself, then unparking the node.
+        fn tick(e: &mut EventCtx<'_, u64>, left: u64, node: u64) {
+            *e.world() += 1;
+            if left > 1 {
+                e.schedule_hot(Dur::us(1.0), tick, left - 1, node);
+            } else {
+                e.unpark(NodeId(node as usize));
+            }
+        }
+        let mut sim = Sim::new(0u64, 0);
+        sim.spawn("waiter", |ctx| {
+            ctx.schedule_hot(Dur::us(1.0), tick, 5, 0);
+            assert_eq!(ctx.park(), WakeReason::Unparked);
+            assert_eq!(ctx.now().as_us(), 5.0);
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.world, 5);
+    }
+
+    #[test]
+    fn fast_advance_matches_slow_path_timing() {
+        // A node advancing across a pending event must still let the event
+        // run mid-span (slow path), while spans with no pending events take
+        // the fast path — and both must produce identical virtual times.
+        let mut sim = Sim::new(Vec::<(u64, &'static str)>::new(), 0);
+        sim.spawn("n", |ctx| {
+            for _ in 0..100 {
+                ctx.advance(Dur::ns(10)); // fast path: queue empty
+            }
+            ctx.schedule(Dur::ns(50), |e| {
+                let t = e.now().as_ns();
+                e.world().push((t, "event"));
+            });
+            ctx.advance(Dur::ns(100)); // slow path: event inside span
+            let t = ctx.now().as_ns();
+            ctx.world(move |w| w.push((t, "node")));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.world, vec![(1050, "event"), (1100, "node")]);
+        assert_eq!(report.end_time.as_ns(), 1100);
+    }
+
+    #[test]
+    fn world_then_advance_equals_world_plus_advance() {
+        // The fused op must produce the same virtual times as the two-call
+        // sequence it replaces.
+        fn run(fused: bool) -> (Vec<u64>, Time, u64) {
+            let mut sim = Sim::new(Vec::<u64>::new(), 0);
+            sim.spawn("n", move |ctx| {
+                for i in 0..50u64 {
+                    if fused {
+                        ctx.world_then_advance(|w| {
+                            w.push(i);
+                            ((), Dur::ns(7))
+                        });
+                    } else {
+                        ctx.world(|w| w.push(i));
+                        ctx.advance(Dur::ns(7));
+                    }
+                }
+            });
+            let r = sim.run().unwrap();
+            (r.world, r.end_time, r.events)
+        }
+        let (wa, ta, ea) = run(true);
+        let (wb, tb, eb) = run(false);
+        assert_eq!(wa, wb);
+        assert_eq!(ta, tb);
+        assert_eq!(ea, eb, "fused op must charge the event budget identically");
+    }
+
+    #[test]
+    fn world_then_advance_zero_cost_never_yields() {
+        // A zero charge returns without yielding even with a same-time
+        // event pending; the event runs at the next real yield.
+        let mut sim = Sim::new(Vec::<&'static str>::new(), 0);
+        sim.spawn("n", |ctx| {
+            ctx.schedule(Dur::ZERO, |e| e.world().push("event"));
+            let r = ctx.world_then_advance(|w| {
+                w.push("zero-cost");
+                (7u32, Dur::ZERO)
+            });
+            assert_eq!(r, 7);
+            ctx.world(|w| w.push("still-before-event"));
+            ctx.advance(Dur::ns(1));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(
+            report.world,
+            vec!["zero-cost", "still-before-event", "event"]
+        );
+    }
+
+    #[test]
+    fn fast_advance_respects_event_budget() {
+        // Fast-path advances must count against the budget too.
+        let mut sim = Sim::new((), 0);
+        sim.set_event_budget(500);
+        sim.spawn("spinner", |ctx| loop {
+            ctx.advance(Dur::ns(1)); // all fast-path: nothing else pending
+        });
+        match sim.run() {
+            Err(SimError::EventBudgetExhausted { budget, .. }) => assert_eq!(budget, 500),
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_carries_wall_clock_throughput() {
+        let mut sim = Sim::new((), 0);
+        sim.spawn("n", |ctx| {
+            for _ in 0..100 {
+                ctx.advance(Dur::ns(5));
+            }
+        });
+        let report = sim.run().unwrap();
+        assert!(report.wall > std::time::Duration::ZERO);
+        assert!(report.events_per_sec() > 0.0);
     }
 
     #[test]

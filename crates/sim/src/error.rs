@@ -35,7 +35,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock { at, parked } => {
-                write!(f, "deadlock at {at}: parked nodes with no pending events: {parked:?}")
+                write!(
+                    f,
+                    "deadlock at {at}: parked nodes with no pending events: {parked:?}"
+                )
             }
             SimError::EventBudgetExhausted { at, budget } => {
                 write!(f, "event budget of {budget} exhausted at {at} (livelock?)")

@@ -45,7 +45,7 @@ mod error;
 mod node;
 mod time;
 
-pub use engine::{EventCtx, NodeId, Sim, SimReport};
+pub use engine::{stats, EventCtx, HotFn, NodeId, Sim, SimReport};
 pub use error::SimError;
 pub use node::{NodeCtx, WakeReason};
 pub use time::{Dur, Time};

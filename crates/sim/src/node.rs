@@ -73,7 +73,10 @@ pub(crate) struct Baton {
 
 impl Baton {
     pub(crate) fn new() -> Arc<Baton> {
-        Arc::new(Baton { slot: Mutex::new(Slot::Idle), cv: Condvar::new() })
+        Arc::new(Baton {
+            slot: Mutex::new(Slot::Idle),
+            cv: Condvar::new(),
+        })
     }
 
     /// Engine side: hand the baton to the node and block until it yields.
@@ -112,7 +115,10 @@ impl Baton {
     fn yield_and_wait(&self, y: Yield) -> (Time, WakeReason) {
         {
             let mut slot = self.slot.lock();
-            debug_assert!(matches!(*slot, Slot::Run { .. }), "yield: node does not hold baton");
+            debug_assert!(
+                matches!(*slot, Slot::Run { .. }),
+                "yield: node does not hold baton"
+            );
             *slot = Slot::Yielded(y);
             self.cv.notify_one();
         }
@@ -209,12 +215,40 @@ impl<W: Send + 'static> NodeCtx<W> {
     /// access, a cache flush). Scheduled events whose time falls within the
     /// span execute while this node "computes"; unparks arriving meanwhile
     /// are latched and delivered by the next `park`/`park_timeout`.
+    ///
+    /// When nothing else could run inside the span — no pending event at or
+    /// before `now + d`, no latched unpark — the clock moves under a single
+    /// uncontended lock acquire without handing the baton to the engine
+    /// (see `Shared::try_fast_advance`); virtual-time behavior is identical
+    /// either way.
     pub fn advance(&mut self, d: Dur) {
         let until = self.now + d;
+        if self.shared.try_fast_advance(self.id, until) {
+            self.now = until;
+            return;
+        }
         self.shared.note_sleep(self.id, until);
         let (t, _) = self.baton.yield_and_wait(Yield::Sleep { until });
         debug_assert_eq!(t, until);
         self.now = t;
+    }
+
+    /// Access the world and charge virtual time in one combined operation:
+    /// `f` returns `(result, cost)` and the cost is charged as by
+    /// [`NodeCtx::advance`], all under a single lock acquire when the fast
+    /// path applies. A zero cost charges nothing and never yields (use it
+    /// for error arms that abort before touching the hardware).
+    pub fn world_then_advance<R>(&mut self, f: impl FnOnce(&mut W) -> (R, Dur)) -> R {
+        let (r, until, fast) = self.shared.world_charge(self.id, self.now, f);
+        if fast {
+            self.now = until;
+            return r;
+        }
+        self.shared.note_sleep(self.id, until);
+        let (t, _) = self.baton.yield_and_wait(Yield::Sleep { until });
+        debug_assert_eq!(t, until);
+        self.now = t;
+        r
     }
 
     /// Block until another node or an event calls unpark on this node.
@@ -255,7 +289,18 @@ impl<W: Send + 'static> NodeCtx<W> {
     }
 
     /// Schedule `f` to run as an engine event `after` from now.
-    pub fn schedule(&self, after: Dur, f: impl FnOnce(&mut crate::engine::EventCtx<'_, W>) + Send + 'static) {
+    pub fn schedule(
+        &self,
+        after: Dur,
+        f: impl FnOnce(&mut crate::engine::EventCtx<'_, W>) + Send + 'static,
+    ) {
         self.shared.schedule(self.now + after, EvKind::call(f));
+    }
+
+    /// Schedule an allocation-free event `after` from now (see
+    /// [`EventCtx::schedule_hot`](crate::engine::EventCtx::schedule_hot)).
+    pub fn schedule_hot(&self, after: Dur, f: crate::engine::HotFn<W>, a: u64, b: u64) {
+        self.shared
+            .schedule(self.now + after, EvKind::Hot { f, a, b });
     }
 }

@@ -24,17 +24,29 @@ pub struct MmConfig {
 impl MmConfig {
     /// The paper's large-block run: 4×4 blocks of 128×128 doubles.
     pub fn large() -> Self {
-        MmConfig { nb: 4, bn: 128, mflops: 38.0 }
+        MmConfig {
+            nb: 4,
+            bn: 128,
+            mflops: 38.0,
+        }
     }
 
     /// The paper's small-block run: 16×16 blocks of 16×16 doubles.
     pub fn small() -> Self {
-        MmConfig { nb: 16, bn: 16, mflops: 25.0 }
+        MmConfig {
+            nb: 16,
+            bn: 16,
+            mflops: 25.0,
+        }
     }
 
     /// A tiny configuration for tests.
     pub fn tiny() -> Self {
-        MmConfig { nb: 4, bn: 8, mflops: 38.0 }
+        MmConfig {
+            nb: 4,
+            bn: 8,
+            mflops: 38.0,
+        }
     }
 }
 
@@ -60,7 +72,11 @@ pub fn run(g: &mut dyn Gas, cfg: &MmConfig) -> (AppTimes, f64) {
     let p = g.nodes();
     let me = g.node();
     let (nb, bn) = (cfg.nb, cfg.bn);
-    assert_eq!(nb * nb % p, 0, "blocks must divide evenly over processors (SPMD layout)");
+    assert_eq!(
+        nb * nb % p,
+        0,
+        "blocks must divide evenly over processors (SPMD layout)"
+    );
     let bs = (bn * bn * 8) as u32; // block bytes
     let my_blocks = nb * nb / p;
 
@@ -77,7 +93,10 @@ pub fn run(g: &mut dyn Gas, cfg: &MmConfig) -> (AppTimes, f64) {
     let slot = |b: usize| b / p;
     let block_ptr = |base_sel: usize, b: usize| {
         let base = [a_base, b_base, c_base][base_sel];
-        GlobalPtr { node: owner(b, p), addr: base + (slot(b) as u32) * bs }
+        GlobalPtr {
+            node: owner(b, p),
+            addr: base + (slot(b) as u32) * bs,
+        }
     };
 
     // Initialize owned A and B blocks.
@@ -153,7 +172,10 @@ pub fn run(g: &mut dyn Gas, cfg: &MmConfig) -> (AppTimes, f64) {
     }
 
     g.barrier();
-    let times = AppTimes { total: g.now() - t0, comm: g.comm_time() - comm0 };
+    let times = AppTimes {
+        total: g.now() - t0,
+        comm: g.comm_time() - comm0,
+    };
 
     // Checksum of owned C blocks.
     let mem = g.mem();
@@ -175,9 +197,8 @@ pub fn reference_checksum(cfg: &MmConfig) -> f64 {
     let (nb, bn) = (cfg.nb, cfg.bn);
     let n = nb * bn;
     // Dense sequential multiply on the same init values.
-    let idx = |m: usize, gr: usize, gc: usize| {
-        init_elem(m, nb, bn, gr / bn, gc / bn, gr % bn, gc % bn)
-    };
+    let idx =
+        |m: usize, gr: usize, gc: usize| init_elem(m, nb, bn, gr / bn, gc / bn, gr % bn, gc % bn);
     let mut total = 0.0f64;
     for bi in 0..nb {
         for bj in 0..nb {

@@ -30,7 +30,9 @@ pub struct SortOutcome {
 pub fn verify_sort(outcomes: &[SortOutcome], expect_count: usize, expect_checksum: u64) {
     let total: usize = outcomes.iter().map(|o| o.count).sum();
     assert_eq!(total, expect_count, "keys lost or duplicated");
-    let checksum: u64 = outcomes.iter().fold(0u64, |a, o| a.wrapping_add(o.checksum));
+    let checksum: u64 = outcomes
+        .iter()
+        .fold(0u64, |a, o| a.wrapping_add(o.checksum));
     assert_eq!(checksum, expect_checksum, "key values changed");
     for o in outcomes {
         assert!(o.locally_sorted, "a node's keys are not sorted");

@@ -46,7 +46,10 @@ impl RadixConfig {
 
     /// Tiny configuration for tests.
     pub fn tiny(bulk: bool) -> Self {
-        RadixConfig { keys_per_node: 256, ..Self::paper(bulk) }
+        RadixConfig {
+            keys_per_node: 256,
+            ..Self::paper(bulk)
+        }
     }
 }
 
@@ -123,7 +126,13 @@ pub fn run(g: &mut dyn Gas, cfg: &RadixConfig) -> (AppTimes, SortOutcome) {
                         .iter()
                         .flat_map(|k| k.to_le_bytes())
                         .collect();
-                    g.store(GlobalPtr { node, addr: nxt + (slot * 4) as u32 }, &bytes);
+                    g.store(
+                        GlobalPtr {
+                            node,
+                            addr: nxt + (slot * 4) as u32,
+                        },
+                        &bytes,
+                    );
                     sent += take;
                     idx += take;
                 }
@@ -135,7 +144,13 @@ pub fn run(g: &mut dyn Gas, cfg: &RadixConfig) -> (AppTimes, SortOutcome) {
                 let idx = bucket_start[b] + my_start[b] + rank[b];
                 rank[b] += 1;
                 let (node, slot) = (idx / n, idx % n);
-                g.store(GlobalPtr { node, addr: nxt + (slot * 4) as u32 }, &k.to_le_bytes());
+                g.store(
+                    GlobalPtr {
+                        node,
+                        addr: nxt + (slot * 4) as u32,
+                    },
+                    &k.to_le_bytes(),
+                );
             }
         }
         g.all_store_sync();
@@ -143,7 +158,10 @@ pub fn run(g: &mut dyn Gas, cfg: &RadixConfig) -> (AppTimes, SortOutcome) {
     }
 
     g.barrier();
-    let times = AppTimes { total: g.now() - t0, comm: g.comm_time() - comm0 };
+    let times = AppTimes {
+        total: g.now() - t0,
+        comm: g.comm_time() - comm0,
+    };
 
     let held = read_keys(g, cur, n);
     let outcome = SortOutcome {

@@ -46,7 +46,10 @@ impl SampleConfig {
 
     /// Tiny configuration for tests.
     pub fn tiny(bulk: bool) -> Self {
-        SampleConfig { keys_per_node: 512, ..Self::paper(bulk) }
+        SampleConfig {
+            keys_per_node: 512,
+            ..Self::paper(bulk)
+        }
     }
 }
 
@@ -97,11 +100,13 @@ pub fn run(g: &mut dyn Gas, cfg: &SampleConfig) -> (AppTimes, SortOutcome) {
     let all_counts = exchange_u32s(g, &counts); // all_counts[src*p + dst]
 
     // Write offset for my keys inside destination d's buffer.
-    let my_offset = |d: usize| -> usize {
-        (0..me).map(|src| all_counts[src * p + d] as usize).sum()
-    };
+    let my_offset =
+        |d: usize| -> usize { (0..me).map(|src| all_counts[src * p + d] as usize).sum() };
     let incoming: usize = (0..p).map(|src| all_counts[src * p + me] as usize).sum();
-    assert!(incoming <= cap, "receive buffer overflow: {incoming} > {cap}");
+    assert!(
+        incoming <= cap,
+        "receive buffer overflow: {incoming} > {cap}"
+    );
 
     // Phase 3: distribute.
     if cfg.bulk {
@@ -113,7 +118,10 @@ pub fn run(g: &mut dyn Gas, cfg: &SampleConfig) -> (AppTimes, SortOutcome) {
         g.work(cycles_time((n as f64 * 4.0) as u64)); // marshaling copy
         for (d, bin) in bins.iter().enumerate() {
             if !bin.is_empty() {
-                let dst = GlobalPtr { node: d, addr: recv_addr + (my_offset(d) * 4) as u32 };
+                let dst = GlobalPtr {
+                    node: d,
+                    addr: recv_addr + (my_offset(d) * 4) as u32,
+                };
                 g.store(dst, bin);
             }
         }
@@ -122,7 +130,10 @@ pub fn run(g: &mut dyn Gas, cfg: &SampleConfig) -> (AppTimes, SortOutcome) {
         let mut cursors: Vec<usize> = (0..p).map(my_offset).collect();
         for &k in &keys {
             let d = bucket(k);
-            let dst = GlobalPtr { node: d, addr: recv_addr + (cursors[d] * 4) as u32 };
+            let dst = GlobalPtr {
+                node: d,
+                addr: recv_addr + (cursors[d] * 4) as u32,
+            };
             g.store(dst, &k.to_le_bytes());
             cursors[d] += 1;
         }
@@ -140,7 +151,10 @@ pub fn run(g: &mut dyn Gas, cfg: &SampleConfig) -> (AppTimes, SortOutcome) {
     write_keys(g, recv_addr, &received);
     g.barrier();
 
-    let times = AppTimes { total: g.now() - t0, comm: g.comm_time() - comm0 };
+    let times = AppTimes {
+        total: g.now() - t0,
+        comm: g.comm_time() - comm0,
+    };
     let outcome = SortOutcome {
         count: incoming,
         min: received.first().copied().unwrap_or(0),

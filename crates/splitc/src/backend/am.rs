@@ -110,11 +110,16 @@ impl Gas for AmGas<'_, '_> {
         let t0 = self.am.now();
         self.puts_issued += 1;
         let data = self.am.mem_pool().read_vec(
-            GlobalPtr { node: self.am.node(), addr: src_addr },
+            GlobalPtr {
+                node: self.am.node(),
+                addr: src_addr,
+            },
             len as usize,
         );
         let h = self.h_put;
-        let _ = self.am.store_async(dst, &data, None, &[], Some((h, [0; 4])));
+        let _ = self
+            .am
+            .store_async(dst, &data, None, &[], Some((h, [0; 4])));
         self.comm += self.am.now() - t0;
     }
 
@@ -122,14 +127,17 @@ impl Gas for AmGas<'_, '_> {
         let t0 = self.am.now();
         self.stores_issued += 1;
         let h = self.h_store;
-        let _ = self.am.store_async(dst, bytes, None, &[], Some((h, [0; 4])));
+        let _ = self
+            .am
+            .store_async(dst, bytes, None, &[], Some((h, [0; 4])));
         self.comm += self.am.now() - t0;
     }
 
     fn sync(&mut self) {
         let t0 = self.am.now();
         let (gi, pi) = (self.gets_issued, self.puts_issued);
-        self.am.poll_until(|s| s.gets_done >= gi && s.puts_done >= pi);
+        self.am
+            .poll_until(|s| s.gets_done >= gi && s.puts_done >= pi);
         // Serve-to-completion: don't leave the service window while a
         // peer's get is still streaming out of our reply channel — the
         // next compute phase would strand it (cf. the MPL port, whose

@@ -69,19 +69,35 @@ impl<'a, 'c> LogGas<'a, 'c> {
         match msg.op {
             op::GET_REQ => {
                 let [src_addr, dst_addr, len, _] = msg.args;
-                let data =
-                    self.mem.read_vec(GlobalPtr { node: me, addr: src_addr }, len as usize);
-                self.lp.send(msg.src, op::GET_DATA, [dst_addr, 0, 0, 0], &data);
+                let data = self.mem.read_vec(
+                    GlobalPtr {
+                        node: me,
+                        addr: src_addr,
+                    },
+                    len as usize,
+                );
+                self.lp
+                    .send(msg.src, op::GET_DATA, [dst_addr, 0, 0, 0], &data);
             }
             op::GET_DATA => {
                 let dst_addr = msg.args[0];
-                self.mem.write(GlobalPtr { node: me, addr: dst_addr }, &msg.bytes);
+                self.mem.write(
+                    GlobalPtr {
+                        node: me,
+                        addr: dst_addr,
+                    },
+                    &msg.bytes,
+                );
                 self.gets_done += 1;
             }
             op::PUT | op::STORE => {
                 let addr = msg.args[0];
                 self.mem.write(GlobalPtr { node: me, addr }, &msg.bytes);
-                let ack = if msg.op == op::PUT { op::PUT_ACK } else { op::STORE_ACK };
+                let ack = if msg.op == op::PUT {
+                    op::PUT_ACK
+                } else {
+                    op::STORE_ACK
+                };
                 self.lp.send(msg.src, ack, [0; 4], &[]);
             }
             op::PUT_ACK => self.put_acks += 1,
@@ -144,7 +160,8 @@ impl Gas for LogGas<'_, '_> {
     fn get(&mut self, src: GlobalPtr, dst_addr: u32, len: u32) {
         let t0 = self.now();
         self.gets_issued += 1;
-        self.lp.send(src.node, op::GET_REQ, [src.addr, dst_addr, len, 0], &[]);
+        self.lp
+            .send(src.node, op::GET_REQ, [src.addr, dst_addr, len, 0], &[]);
         self.comm += self.now() - t0;
     }
 
@@ -152,7 +169,10 @@ impl Gas for LogGas<'_, '_> {
         let t0 = self.now();
         self.puts_issued += 1;
         let data = self.mem.read_vec(
-            GlobalPtr { node: self.lp.node(), addr: src_addr },
+            GlobalPtr {
+                node: self.lp.node(),
+                addr: src_addr,
+            },
             len as usize,
         );
         self.lp.send(dst.node, op::PUT, [dst.addr, 0, 0, 0], &data);
@@ -162,7 +182,8 @@ impl Gas for LogGas<'_, '_> {
     fn store(&mut self, dst: GlobalPtr, bytes: &[u8]) {
         let t0 = self.now();
         self.stores_issued += 1;
-        self.lp.send(dst.node, op::STORE, [dst.addr, 0, 0, 0], bytes);
+        self.lp
+            .send(dst.node, op::STORE, [dst.addr, 0, 0, 0], bytes);
         self.comm += self.now() - t0;
     }
 

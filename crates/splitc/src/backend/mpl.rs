@@ -81,20 +81,33 @@ impl<'a, 'c> MplGas<'a, 'c> {
                 let mut reply = Vec::with_capacity(4 + len as usize);
                 reply.extend_from_slice(&dst_addr.to_le_bytes());
                 reply.extend_from_slice(&self.mem.read_vec(
-                    GlobalPtr { node: me, addr: src_addr },
+                    GlobalPtr {
+                        node: me,
+                        addr: src_addr,
+                    },
                     len as usize,
                 ));
                 self.mpl.bsend(msg.src, tag::GET_DATA, &reply);
             }
             tag::GET_DATA => {
                 let dst_addr = u32::from_le_bytes(msg.data[0..4].try_into().expect("len"));
-                self.mem.write(GlobalPtr { node: me, addr: dst_addr }, &msg.data[4..]);
+                self.mem.write(
+                    GlobalPtr {
+                        node: me,
+                        addr: dst_addr,
+                    },
+                    &msg.data[4..],
+                );
                 self.gets_done += 1;
             }
             tag::PUT | tag::STORE => {
                 let addr = u32::from_le_bytes(msg.data[0..4].try_into().expect("len"));
                 self.mem.write(GlobalPtr { node: me, addr }, &msg.data[4..]);
-                let ack = if msg.tag == tag::PUT { tag::PUT_ACK } else { tag::STORE_ACK };
+                let ack = if msg.tag == tag::PUT {
+                    tag::PUT_ACK
+                } else {
+                    tag::STORE_ACK
+                };
                 self.mpl.bsend(msg.src, ack, &[]);
             }
             tag::PUT_ACK => self.put_acks += 1,
@@ -176,7 +189,10 @@ impl Gas for MplGas<'_, '_> {
         let t0 = self.now();
         self.puts_issued += 1;
         let data = self.mem.read_vec(
-            GlobalPtr { node: self.mpl.node(), addr: src_addr },
+            GlobalPtr {
+                node: self.mpl.node(),
+                addr: src_addr,
+            },
             len as usize,
         );
         self.send_to_addr(tag::PUT, dst, &data);

@@ -42,7 +42,13 @@ impl Platform {
 
     /// All five platforms in the paper's column order.
     pub fn all() -> [Platform; 5] {
-        [Platform::SpAm, Platform::SpMpl, Platform::Cm5, Platform::Cs2, Platform::Unet]
+        [
+            Platform::SpAm,
+            Platform::SpMpl,
+            Platform::Cm5,
+            Platform::Cs2,
+            Platform::Unet,
+        ]
     }
 }
 
@@ -62,11 +68,15 @@ pub fn run_spmd<R: Send + 'static>(
             for node in 0..nodes {
                 let app = app.clone();
                 let results = results.clone();
-                m.spawn(format!("n{node}"), SplitcSt::default(), move |am: &mut Am<'_, SplitcSt>| {
-                    let mut gas = AmGas::new(am);
-                    let r = app(&mut gas);
-                    results.lock()[node] = Some(r);
-                });
+                m.spawn(
+                    format!("n{node}"),
+                    SplitcSt::default(),
+                    move |am: &mut Am<'_, SplitcSt>| {
+                        let mut gas = AmGas::new(am);
+                        let r = app(&mut gas);
+                        results.lock()[node] = Some(r);
+                    },
+                );
             }
             m.run().expect("SP AM run completes");
         }

@@ -28,7 +28,13 @@ pub fn exchange_u32s(g: &mut dyn Gas, my: &[u32]) -> Vec<u32> {
     let table = g.alloc((n * k * 4) as u32);
     let bytes: Vec<u8> = my.iter().flat_map(|v| v.to_le_bytes()).collect();
     for dst in 0..n {
-        g.store(crate::GlobalPtr { node: dst, addr: table.addr + (me * k * 4) as u32 }, &bytes);
+        g.store(
+            crate::GlobalPtr {
+                node: dst,
+                addr: table.addr + (me * k * 4) as u32,
+            },
+            &bytes,
+        );
     }
     g.all_store_sync();
     let mem = g.mem();
@@ -48,7 +54,9 @@ pub fn gen_keys(seed: u64, node: usize, count: usize) -> Vec<u32> {
 /// Read `count` little-endian u32 keys from local memory.
 pub fn read_keys(g: &dyn Gas, addr: u32, count: usize) -> Vec<u32> {
     let mem = g.mem();
-    (0..count).map(|i| mem.read_u32(addr + (i * 4) as u32)).collect()
+    (0..count)
+        .map(|i| mem.read_u32(addr + (i * 4) as u32))
+        .collect()
 }
 
 /// Write keys to local memory as little-endian u32s.

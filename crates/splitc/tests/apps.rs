@@ -15,7 +15,13 @@ fn gas_scalar_roundtrip_all_platforms() {
             g.barrier();
             if g.node() == 0 {
                 g.mem().write_u32(cell.addr, 777);
-                g.write_u32(GlobalPtr { node: 1, addr: cell.addr }, 4242);
+                g.write_u32(
+                    GlobalPtr {
+                        node: 1,
+                        addr: cell.addr,
+                    },
+                    4242,
+                );
                 g.barrier();
                 // Stay alive to serve the peer's read.
                 g.barrier();
@@ -25,7 +31,10 @@ fn gas_scalar_roundtrip_all_platforms() {
                 let v = g.mem().read_u32(cell.addr);
                 assert_eq!(v, 4242, "remote write lost on {}", platform.name());
                 // And read something back over the wire.
-                let got = g.read_u32(GlobalPtr { node: 0, addr: cell.addr });
+                let got = g.read_u32(GlobalPtr {
+                    node: 0,
+                    addr: cell.addr,
+                });
                 assert_eq!(got, 777, "remote read wrong on {}", platform.name());
                 g.barrier();
                 got
@@ -43,7 +52,9 @@ fn exchange_gathers_everyones_words() {
             sp_splitc::util::exchange_u32s(g, &my)
         });
         for (node, row) in rows.iter().enumerate() {
-            let expect: Vec<u32> = (0..NODES as u32).flat_map(|p| [p * 10, p * 10 + 1]).collect();
+            let expect: Vec<u32> = (0..NODES as u32)
+                .flat_map(|p| [p * 10, p * 10 + 1])
+                .collect();
             assert_eq!(row, &expect, "node {node} on {}", platform.name());
         }
     }
@@ -75,8 +86,9 @@ fn sample_sort_correct_on_all_platforms_both_variants() {
         let (count, checksum) = sample_sort::expected(&cfg, NODES);
         for platform in Platform::all() {
             let cfg2 = cfg.clone();
-            let results =
-                run_spmd(platform, NODES, 9, move |g: &mut dyn Gas| sample_sort::run(g, &cfg2));
+            let results = run_spmd(platform, NODES, 9, move |g: &mut dyn Gas| {
+                sample_sort::run(g, &cfg2)
+            });
             let outcomes: Vec<_> = results.iter().map(|(_, o)| *o).collect();
             apps::verify_sort(&outcomes, count, checksum);
         }
@@ -90,8 +102,9 @@ fn radix_sort_correct_on_all_platforms_both_variants() {
         let (count, checksum) = radix_sort::expected(&cfg, NODES);
         for platform in Platform::all() {
             let cfg2 = cfg.clone();
-            let results =
-                run_spmd(platform, NODES, 11, move |g: &mut dyn Gas| radix_sort::run(g, &cfg2));
+            let results = run_spmd(platform, NODES, 11, move |g: &mut dyn Gas| {
+                radix_sort::run(g, &cfg2)
+            });
             let outcomes: Vec<_> = results.iter().map(|(_, o)| *o).collect();
             apps::verify_sort(&outcomes, count, checksum);
         }
@@ -102,12 +115,19 @@ fn radix_sort_correct_on_all_platforms_both_variants() {
 fn fine_grain_sorts_slower_over_mpl_than_am() {
     // The paper's headline Split-C result: for small-message sorts, MPL's
     // per-message overhead makes it several times slower than SP AM.
-    let cfg = SampleConfig { keys_per_node: 2048, ..SampleConfig::tiny(false) };
+    let cfg = SampleConfig {
+        keys_per_node: 2048,
+        ..SampleConfig::tiny(false)
+    };
     let time_on = |platform| {
         let cfg2 = cfg.clone();
-        let results =
-            run_spmd(platform, NODES, 13, move |g: &mut dyn Gas| sample_sort::run(g, &cfg2));
-        results.iter().map(|(t, _)| t.total.as_us()).fold(0.0f64, f64::max)
+        let results = run_spmd(platform, NODES, 13, move |g: &mut dyn Gas| {
+            sample_sort::run(g, &cfg2)
+        });
+        results
+            .iter()
+            .map(|(t, _)| t.total.as_us())
+            .fold(0.0f64, f64::max)
     };
     let am = time_on(Platform::SpAm);
     let mpl = time_on(Platform::SpMpl);
@@ -119,30 +139,53 @@ fn fine_grain_sorts_slower_over_mpl_than_am() {
 
 #[test]
 fn bulk_variant_much_faster_than_fine_grain_on_am() {
-    let sm = SampleConfig { keys_per_node: 2048, ..SampleConfig::tiny(false) };
-    let lg = SampleConfig { keys_per_node: 2048, ..SampleConfig::tiny(true) };
+    let sm = SampleConfig {
+        keys_per_node: 2048,
+        ..SampleConfig::tiny(false)
+    };
+    let lg = SampleConfig {
+        keys_per_node: 2048,
+        ..SampleConfig::tiny(true)
+    };
     let run_cfg = |cfg: SampleConfig| {
-        let results =
-            run_spmd(Platform::SpAm, NODES, 13, move |g: &mut dyn Gas| sample_sort::run(g, &cfg));
-        results.iter().map(|(t, _)| t.total.as_us()).fold(0.0f64, f64::max)
+        let results = run_spmd(Platform::SpAm, NODES, 13, move |g: &mut dyn Gas| {
+            sample_sort::run(g, &cfg)
+        });
+        results
+            .iter()
+            .map(|(t, _)| t.total.as_us())
+            .fold(0.0f64, f64::max)
     };
     let t_sm = run_cfg(sm);
     let t_lg = run_cfg(lg);
-    assert!(t_lg < t_sm, "bulk distribution ({t_lg:.0} us) must beat per-key stores ({t_sm:.0} us)");
+    assert!(
+        t_lg < t_sm,
+        "bulk distribution ({t_lg:.0} us) must beat per-key stores ({t_sm:.0} us)"
+    );
 }
 
 #[test]
 fn comm_time_reflects_network_quality() {
     // Same program, same work: the CM-5's lower overhead should yield less
     // comm time than U-Net for fine-grain traffic.
-    let cfg = SampleConfig { keys_per_node: 1024, ..SampleConfig::tiny(false) };
+    let cfg = SampleConfig {
+        keys_per_node: 1024,
+        ..SampleConfig::tiny(false)
+    };
     let comm_on = |platform| {
         let cfg2 = cfg.clone();
-        let results =
-            run_spmd(platform, NODES, 17, move |g: &mut dyn Gas| sample_sort::run(g, &cfg2));
-        results.iter().map(|(t, _)| t.comm.as_us()).fold(0.0f64, f64::max)
+        let results = run_spmd(platform, NODES, 17, move |g: &mut dyn Gas| {
+            sample_sort::run(g, &cfg2)
+        });
+        results
+            .iter()
+            .map(|(t, _)| t.comm.as_us())
+            .fold(0.0f64, f64::max)
     };
     let cm5 = comm_on(Platform::Cm5);
     let unet = comm_on(Platform::Unet);
-    assert!(cm5 < unet, "CM-5 comm {cm5:.0} us should be below U-Net {unet:.0} us");
+    assert!(
+        cm5 < unet,
+        "CM-5 comm {cm5:.0} us should be below U-Net {unet:.0} us"
+    );
 }

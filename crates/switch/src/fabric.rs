@@ -220,7 +220,10 @@ mod tests {
             last = delivered(s.transit(0, 1, 256, Time::ZERO));
         }
         let mb_s = (n * 224) as f64 / last.as_secs() / 1e6;
-        assert!((34.0..35.0).contains(&mb_s), "payload bandwidth {mb_s:.2} MB/s");
+        assert!(
+            (34.0..35.0).contains(&mb_s),
+            "payload bandwidth {mb_s:.2} MB/s"
+        );
     }
 
     #[test]
@@ -294,7 +297,10 @@ mod tests {
         assert_eq!(s.stats().dropped, 1);
         // Next packet starts after the dropped one's serialization.
         let at = delivered(s.transit(0, 1, 256, Time::ZERO));
-        assert_eq!(at, Time::ZERO + s.serialization(256) * 2 + s.config().hop_latency);
+        assert_eq!(
+            at,
+            Time::ZERO + s.serialization(256) * 2 + s.config().hop_latency
+        );
     }
 
     #[test]

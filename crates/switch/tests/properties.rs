@@ -2,8 +2,8 @@
 //! and fault-injection accounting.
 
 use proptest::prelude::*;
-use sp_switch::{FaultInjector, Switch, SwitchConfig, Transit};
 use sp_sim::Time;
+use sp_switch::{FaultInjector, Switch, SwitchConfig, Transit};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]

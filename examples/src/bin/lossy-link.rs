@@ -22,11 +22,20 @@ fn done_handler(env: &mut AmEnv<'_, St>, _args: AmArgs) {
 fn main() {
     let loss = 0.03;
     let len = 20 * 8064; // 20 chunks
-    println!("storing {len} bytes across a link dropping {:.0}% of packets\n", loss * 100.0);
+    println!(
+        "storing {len} bytes across a link dropping {:.0}% of packets\n",
+        loss * 100.0
+    );
 
-    let cfg = AmConfig { keepalive_polls: 128, ..AmConfig::default() }; // probe sooner than the production default
+    let cfg = AmConfig {
+        keepalive_polls: 128,
+        ..AmConfig::default()
+    }; // probe sooner than the production default
     let mut m = AmMachine::new(SpConfig::thin(2), cfg, 1);
-    m.configure_world(|w| w.switch.set_fault_injector(FaultInjector::bernoulli(loss, 99)));
+    m.configure_world(|w| {
+        w.switch
+            .set_fault_injector(FaultInjector::bernoulli(loss, 99))
+    });
     m.mem().alloc(1, len as u32);
 
     let data: Vec<u8> = (0..len).map(|i| (i % 241) as u8).collect();

@@ -30,8 +30,10 @@ fn stencil(mpi: &mut dyn Mpi) -> (f64, f64) {
         let up = (me > 0).then(|| me - 1);
         let down = (me + 1 < p).then(|| me + 1);
         let top_row: Vec<u8> = grid[..COLS].iter().flat_map(|v| v.to_le_bytes()).collect();
-        let bot_row: Vec<u8> =
-            grid[(N - 1) * COLS..].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let bot_row: Vec<u8> = grid[(N - 1) * COLS..]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         let r_up = up.map(|u| mpi.irecv(Some(u), Some(1)));
         let r_dn = down.map(|d| mpi.irecv(Some(d), Some(1)));
         let s_up = up.map(|u| mpi.isend(&top_row, u, 1));
@@ -70,8 +72,16 @@ fn stencil(mpi: &mut dyn Mpi) -> (f64, f64) {
                 } else {
                     halo_dn.as_ref().map_or(old[r * COLS + c], |h| h[c])
                 };
-                let west = if c > 0 { old[r * COLS + c - 1] } else { old[r * COLS + c] };
-                let east = if c + 1 < COLS { old[r * COLS + c + 1] } else { old[r * COLS + c] };
+                let west = if c > 0 {
+                    old[r * COLS + c - 1]
+                } else {
+                    old[r * COLS + c]
+                };
+                let east = if c + 1 < COLS {
+                    old[r * COLS + c + 1]
+                } else {
+                    old[r * COLS + c]
+                };
                 grid[r * COLS + c] = 0.25 * (north + south + west + east);
             }
         }
@@ -90,12 +100,17 @@ fn main() {
         let per_rank = run_mpi(imp, SpConfig::thin(8), 3, stencil);
         let time = per_rank.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
         let heat = per_rank[0].1;
-        println!("{:>22}: {time:.4} virtual seconds, total heat {heat:.3}", imp.name());
+        println!(
+            "{:>22}: {time:.4} virtual seconds, total heat {heat:.3}",
+            imp.name()
+        );
         results.push((imp, time, heat));
     }
     let h0 = results[0].2;
     assert!(
-        results.iter().all(|(_, _, h)| (h - h0).abs() < 1e-9 * h0.abs()),
+        results
+            .iter()
+            .all(|(_, _, h)| (h - h0).abs() < 1e-9 * h0.abs()),
         "implementations disagree on the physics!"
     );
     println!("\nAll three MPI implementations compute identical heat totals — same program,");

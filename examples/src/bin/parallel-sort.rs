@@ -11,13 +11,19 @@ use sp_splitc::{run_spmd, Gas, Platform};
 
 fn main() {
     let nodes = 8;
-    let cfg = SampleConfig { keys_per_node: 8 * 1024, ..SampleConfig::paper(false) };
+    let cfg = SampleConfig {
+        keys_per_node: 8 * 1024,
+        ..SampleConfig::paper(false)
+    };
     let (count, checksum) = sample_sort::expected(&cfg, nodes);
     println!(
         "sample sort (fine-grain): {} keys/node on {nodes} processors\n",
         cfg.keys_per_node
     );
-    println!("{:>16}  {:>10}  {:>10}  {:>10}", "platform", "total (s)", "cpu (s)", "net (s)");
+    println!(
+        "{:>16}  {:>10}  {:>10}  {:>10}",
+        "platform", "total (s)", "cpu (s)", "net (s)"
+    );
     println!("{}", "-".repeat(56));
     for platform in Platform::all() {
         let cfg2 = cfg.clone();
@@ -40,9 +46,7 @@ fn main() {
             worst.comm.as_secs()
         );
     }
-    println!(
-        "\nThe fine-grain variant sends one 4-byte store per key: platforms with low"
-    );
+    println!("\nThe fine-grain variant sends one 4-byte store per key: platforms with low");
     println!("per-message overhead (SP AM, CM-5) win on net time; SP MPL pays its heavy");
     println!("software path per key — the paper's §3 conclusion.");
 }

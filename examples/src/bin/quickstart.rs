@@ -59,7 +59,10 @@ fn main() {
             am.request_2(1, REQ_SUM, 10 + i, 20);
             am.poll_until(move |s| s.replies > i);
         }
-        println!("[node 0] 5 round trips done at {} (≈51 us each on the paper's SP)", am.now());
+        println!(
+            "[node 0] 5 round trips done at {} (≈51 us each on the paper's SP)",
+            am.now()
+        );
 
         // Bulk store: 1 MB into node 1's memory, chunked per the paper's
         // 8064-byte chunk protocol.

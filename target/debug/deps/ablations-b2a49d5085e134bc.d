@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-b2a49d5085e134bc.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-b2a49d5085e134bc: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

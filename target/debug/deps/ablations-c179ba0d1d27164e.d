@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-c179ba0d1d27164e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-c179ba0d1d27164e.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

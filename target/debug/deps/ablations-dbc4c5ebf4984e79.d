@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-dbc4c5ebf4984e79.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-dbc4c5ebf4984e79.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

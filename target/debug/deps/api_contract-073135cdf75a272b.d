@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api_contract-073135cdf75a272b.d: crates/am/tests/api_contract.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi_contract-073135cdf75a272b.rmeta: crates/am/tests/api_contract.rs Cargo.toml
+
+crates/am/tests/api_contract.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

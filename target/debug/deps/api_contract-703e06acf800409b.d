@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_contract-703e06acf800409b.d: crates/am/tests/api_contract.rs
+
+/root/repo/target/debug/deps/api_contract-703e06acf800409b: crates/am/tests/api_contract.rs
+
+crates/am/tests/api_contract.rs:

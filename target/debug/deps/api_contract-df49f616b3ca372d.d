@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_contract-df49f616b3ca372d.d: crates/am/tests/api_contract.rs
+
+/root/repo/target/debug/deps/libapi_contract-df49f616b3ca372d.rmeta: crates/am/tests/api_contract.rs
+
+crates/am/tests/api_contract.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps-c6325c593c70e02e.d: crates/splitc/tests/apps.rs
+
+/root/repo/target/debug/deps/libapps-c6325c593c70e02e.rmeta: crates/splitc/tests/apps.rs
+
+crates/splitc/tests/apps.rs:

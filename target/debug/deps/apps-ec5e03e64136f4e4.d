@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps-ec5e03e64136f4e4.d: crates/splitc/tests/apps.rs
+
+/root/repo/target/debug/deps/apps-ec5e03e64136f4e4: crates/splitc/tests/apps.rs
+
+crates/splitc/tests/apps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps-fbcc27bd7e88b39d.d: crates/splitc/tests/apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps-fbcc27bd7e88b39d.rmeta: crates/splitc/tests/apps.rs Cargo.toml
+
+crates/splitc/tests/apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bandwidth-3ecc2fa12b0fb9cb.d: crates/am/tests/bandwidth.rs
+
+/root/repo/target/debug/deps/bandwidth-3ecc2fa12b0fb9cb: crates/am/tests/bandwidth.rs
+
+crates/am/tests/bandwidth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bandwidth-41cc633528d6812a.d: crates/am/tests/bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbandwidth-41cc633528d6812a.rmeta: crates/am/tests/bandwidth.rs Cargo.toml
+
+crates/am/tests/bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bandwidth-c99459d5bb1b2900.d: crates/am/tests/bandwidth.rs
+
+/root/repo/target/debug/deps/libbandwidth-c99459d5bb1b2900.rmeta: crates/am/tests/bandwidth.rs
+
+crates/am/tests/bandwidth.rs:

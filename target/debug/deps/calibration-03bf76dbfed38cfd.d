@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-03bf76dbfed38cfd.d: crates/am/tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-03bf76dbfed38cfd: crates/am/tests/calibration.rs
+
+crates/am/tests/calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-0ec6260daa067e63.d: crates/am/tests/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-0ec6260daa067e63.rmeta: crates/am/tests/calibration.rs Cargo.toml
+
+crates/am/tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

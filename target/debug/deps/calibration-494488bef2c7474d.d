@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-494488bef2c7474d.d: crates/am/tests/calibration.rs
+
+/root/repo/target/debug/deps/libcalibration-494488bef2c7474d.rmeta: crates/am/tests/calibration.rs
+
+crates/am/tests/calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-a74acbb957ec9f23.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/libengine-a74acbb957ec9f23.rmeta: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-5ac39056b2d662e4.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-5ac39056b2d662e4.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-bca362d258cc92df.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-bca362d258cc92df.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-ccbc6a35f134fffa.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-ccbc6a35f134fffa: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

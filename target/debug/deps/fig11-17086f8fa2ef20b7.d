@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-17086f8fa2ef20b7.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-17086f8fa2ef20b7: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-2147ff444041e32d.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-2147ff444041e32d.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-f3f365c86a77ce27.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-f3f365c86a77ce27.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-2c3ff99b906e0de0.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-2c3ff99b906e0de0: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-4fdcb3ecad9302c1.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-4fdcb3ecad9302c1.rmeta: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

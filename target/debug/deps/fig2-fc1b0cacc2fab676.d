@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-fc1b0cacc2fab676.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-fc1b0cacc2fab676.rmeta: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

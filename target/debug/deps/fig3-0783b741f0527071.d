@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-0783b741f0527071.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-0783b741f0527071.rmeta: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

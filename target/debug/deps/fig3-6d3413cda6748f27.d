@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-6d3413cda6748f27.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-6d3413cda6748f27: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-f6e14c18d328bd61.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-f6e14c18d328bd61.rmeta: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

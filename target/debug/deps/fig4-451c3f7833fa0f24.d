@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-451c3f7833fa0f24.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-451c3f7833fa0f24: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-5553435b7eda14e7.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-5553435b7eda14e7.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

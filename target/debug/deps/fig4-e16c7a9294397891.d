@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-e16c7a9294397891.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-e16c7a9294397891.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_6-1ac166d5579f438d.d: crates/bench/src/bin/fig5-6.rs
+
+/root/repo/target/debug/deps/libfig5_6-1ac166d5579f438d.rmeta: crates/bench/src/bin/fig5-6.rs
+
+crates/bench/src/bin/fig5-6.rs:

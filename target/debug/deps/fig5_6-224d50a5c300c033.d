@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_6-224d50a5c300c033.d: crates/bench/src/bin/fig5-6.rs
+
+/root/repo/target/debug/deps/fig5_6-224d50a5c300c033: crates/bench/src/bin/fig5-6.rs
+
+crates/bench/src/bin/fig5-6.rs:

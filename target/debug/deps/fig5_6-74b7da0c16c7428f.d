@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_6-74b7da0c16c7428f.d: crates/bench/src/bin/fig5-6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_6-74b7da0c16c7428f.rmeta: crates/bench/src/bin/fig5-6.rs Cargo.toml
+
+crates/bench/src/bin/fig5-6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_6-ec7fe4549b72f175.d: crates/bench/src/bin/fig5-6.rs
+
+/root/repo/target/debug/deps/libfig5_6-ec7fe4549b72f175.rmeta: crates/bench/src/bin/fig5-6.rs
+
+crates/bench/src/bin/fig5-6.rs:

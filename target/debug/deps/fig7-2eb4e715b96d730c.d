@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-2eb4e715b96d730c.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-2eb4e715b96d730c: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-eb0207317334af9e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-eb0207317334af9e.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-38fd1015b52879d0.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-38fd1015b52879d0.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

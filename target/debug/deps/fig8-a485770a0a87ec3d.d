@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-a485770a0a87ec3d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-a485770a0a87ec3d.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-e2dade3bf76e984f.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-e2dade3bf76e984f: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-4a34e052e750834b.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-4a34e052e750834b.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

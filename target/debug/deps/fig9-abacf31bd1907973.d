@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-abacf31bd1907973.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-abacf31bd1907973.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-dbf9714322c8f2ea.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-dbf9714322c8f2ea: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-2f058253c3c909d4.d: tests/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-2f058253c3c909d4: tests/tests/golden.rs
+
+tests/tests/golden.rs:

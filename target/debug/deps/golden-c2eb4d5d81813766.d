@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-c2eb4d5d81813766.d: tests/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-c2eb4d5d81813766.rmeta: tests/tests/golden.rs Cargo.toml
+
+tests/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

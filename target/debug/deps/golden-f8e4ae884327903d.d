@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-f8e4ae884327903d.d: tests/tests/golden.rs
+
+/root/repo/target/debug/deps/libgolden-f8e4ae884327903d.rmeta: tests/tests/golden.rs
+
+tests/tests/golden.rs:

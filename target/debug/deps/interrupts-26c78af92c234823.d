@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interrupts-26c78af92c234823.d: crates/am/tests/interrupts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterrupts-26c78af92c234823.rmeta: crates/am/tests/interrupts.rs Cargo.toml
+
+crates/am/tests/interrupts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

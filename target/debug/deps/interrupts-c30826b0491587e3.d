@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interrupts-c30826b0491587e3.d: crates/am/tests/interrupts.rs
+
+/root/repo/target/debug/deps/libinterrupts-c30826b0491587e3.rmeta: crates/am/tests/interrupts.rs
+
+crates/am/tests/interrupts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interrupts-df501e5046313a1d.d: crates/am/tests/interrupts.rs
+
+/root/repo/target/debug/deps/interrupts-df501e5046313a1d: crates/am/tests/interrupts.rs
+
+crates/am/tests/interrupts.rs:

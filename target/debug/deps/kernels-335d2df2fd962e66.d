@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-335d2df2fd962e66.d: crates/nas/tests/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-335d2df2fd962e66.rmeta: crates/nas/tests/kernels.rs Cargo.toml
+
+crates/nas/tests/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

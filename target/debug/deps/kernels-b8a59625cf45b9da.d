@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-b8a59625cf45b9da.d: crates/nas/tests/kernels.rs
+
+/root/repo/target/debug/deps/kernels-b8a59625cf45b9da: crates/nas/tests/kernels.rs
+
+crates/nas/tests/kernels.rs:

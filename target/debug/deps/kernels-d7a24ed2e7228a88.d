@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-d7a24ed2e7228a88.d: crates/nas/tests/kernels.rs
+
+/root/repo/target/debug/deps/libkernels-d7a24ed2e7228a88.rmeta: crates/nas/tests/kernels.rs
+
+crates/nas/tests/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lossy_link-00135d28894fd56b.d: examples/src/bin/lossy-link.rs
+
+/root/repo/target/debug/deps/liblossy_link-00135d28894fd56b.rmeta: examples/src/bin/lossy-link.rs
+
+examples/src/bin/lossy-link.rs:

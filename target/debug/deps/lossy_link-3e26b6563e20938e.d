@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lossy_link-3e26b6563e20938e.d: examples/src/bin/lossy-link.rs
+
+/root/repo/target/debug/deps/liblossy_link-3e26b6563e20938e.rmeta: examples/src/bin/lossy-link.rs
+
+examples/src/bin/lossy-link.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lossy_link-44a5d634ef834934.d: examples/src/bin/lossy-link.rs
+
+/root/repo/target/debug/deps/lossy_link-44a5d634ef834934: examples/src/bin/lossy-link.rs
+
+examples/src/bin/lossy-link.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lossy_link-8527a80b933f689d.d: examples/src/bin/lossy-link.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblossy_link-8527a80b933f689d.rmeta: examples/src/bin/lossy-link.rs Cargo.toml
+
+examples/src/bin/lossy-link.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

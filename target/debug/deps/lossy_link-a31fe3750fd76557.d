@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lossy_link-a31fe3750fd76557.d: examples/src/bin/lossy-link.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblossy_link-a31fe3750fd76557.rmeta: examples/src/bin/lossy-link.rs Cargo.toml
+
+examples/src/bin/lossy-link.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

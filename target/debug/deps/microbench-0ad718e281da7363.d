@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-0ad718e281da7363.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/debug/deps/libmicrobench-0ad718e281da7363.rmeta: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpi-16c80c75d6ac8a7b.d: crates/mpi/tests/mpi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpi-16c80c75d6ac8a7b.rmeta: crates/mpi/tests/mpi.rs Cargo.toml
+
+crates/mpi/tests/mpi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi-1af4ec07ef5d0d53.d: crates/mpi/tests/mpi.rs
+
+/root/repo/target/debug/deps/mpi-1af4ec07ef5d0d53: crates/mpi/tests/mpi.rs
+
+crates/mpi/tests/mpi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi-3ed2cd943e884b85.d: crates/mpi/tests/mpi.rs
+
+/root/repo/target/debug/deps/libmpi-3ed2cd943e884b85.rmeta: crates/mpi/tests/mpi.rs
+
+crates/mpi/tests/mpi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_stencil-0326066fdd01e44e.d: examples/src/bin/mpi-stencil.rs
+
+/root/repo/target/debug/deps/libmpi_stencil-0326066fdd01e44e.rmeta: examples/src/bin/mpi-stencil.rs
+
+examples/src/bin/mpi-stencil.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_stencil-83dca39d5a8d6db5.d: examples/src/bin/mpi-stencil.rs
+
+/root/repo/target/debug/deps/mpi_stencil-83dca39d5a8d6db5: examples/src/bin/mpi-stencil.rs
+
+examples/src/bin/mpi-stencil.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpi_stencil-c663993c52996454.d: examples/src/bin/mpi-stencil.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpi_stencil-c663993c52996454.rmeta: examples/src/bin/mpi-stencil.rs Cargo.toml
+
+examples/src/bin/mpi-stencil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

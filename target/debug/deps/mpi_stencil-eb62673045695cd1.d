@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_stencil-eb62673045695cd1.d: examples/src/bin/mpi-stencil.rs
+
+/root/repo/target/debug/deps/libmpi_stencil-eb62673045695cd1.rmeta: examples/src/bin/mpi-stencil.rs
+
+examples/src/bin/mpi-stencil.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_sort-05ce3309a69e8d56.d: examples/src/bin/parallel-sort.rs
+
+/root/repo/target/debug/deps/libparallel_sort-05ce3309a69e8d56.rmeta: examples/src/bin/parallel-sort.rs
+
+examples/src/bin/parallel-sort.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_sort-85dfd4dbe08f6795.d: examples/src/bin/parallel-sort.rs
+
+/root/repo/target/debug/deps/libparallel_sort-85dfd4dbe08f6795.rmeta: examples/src/bin/parallel-sort.rs
+
+examples/src/bin/parallel-sort.rs:

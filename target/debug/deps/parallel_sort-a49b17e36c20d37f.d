@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_sort-a49b17e36c20d37f.d: examples/src/bin/parallel-sort.rs
+
+/root/repo/target/debug/deps/parallel_sort-a49b17e36c20d37f: examples/src/bin/parallel-sort.rs
+
+examples/src/bin/parallel-sort.rs:

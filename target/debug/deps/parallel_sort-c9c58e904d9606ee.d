@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_sort-c9c58e904d9606ee.d: examples/src/bin/parallel-sort.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_sort-c9c58e904d9606ee.rmeta: examples/src/bin/parallel-sort.rs Cargo.toml
+
+examples/src/bin/parallel-sort.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_get-2843d8ef5ae9d004.d: crates/bench/src/bin/probe-get.rs
+
+/root/repo/target/debug/deps/libprobe_get-2843d8ef5ae9d004.rmeta: crates/bench/src/bin/probe-get.rs
+
+crates/bench/src/bin/probe-get.rs:

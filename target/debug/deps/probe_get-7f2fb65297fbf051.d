@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe_get-7f2fb65297fbf051.d: crates/bench/src/bin/probe-get.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe_get-7f2fb65297fbf051.rmeta: crates/bench/src/bin/probe-get.rs Cargo.toml
+
+crates/bench/src/bin/probe-get.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

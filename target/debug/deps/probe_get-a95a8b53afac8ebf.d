@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_get-a95a8b53afac8ebf.d: crates/bench/src/bin/probe-get.rs
+
+/root/repo/target/debug/deps/probe_get-a95a8b53afac8ebf: crates/bench/src/bin/probe-get.rs
+
+crates/bench/src/bin/probe-get.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_get-d914d0171c52554c.d: crates/bench/src/bin/probe-get.rs
+
+/root/repo/target/debug/deps/libprobe_get-d914d0171c52554c.rmeta: crates/bench/src/bin/probe-get.rs
+
+crates/bench/src/bin/probe-get.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-09aae4e0997334b5.d: crates/mpl/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-09aae4e0997334b5: crates/mpl/tests/properties.rs
+
+crates/mpl/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4001591a591755e8.d: crates/switch/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4001591a591755e8: crates/switch/tests/properties.rs
+
+crates/switch/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-77c317709382c345.d: crates/splitc/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-77c317709382c345: crates/splitc/tests/properties.rs
+
+crates/splitc/tests/properties.rs:

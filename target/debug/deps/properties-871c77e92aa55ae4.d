@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-871c77e92aa55ae4.d: crates/mpl/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-871c77e92aa55ae4.rmeta: crates/mpl/tests/properties.rs
+
+crates/mpl/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-924d02acf5792d58.d: crates/splitc/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-924d02acf5792d58.rmeta: crates/splitc/tests/properties.rs Cargo.toml
+
+crates/splitc/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-95da9e658ad22dc9.d: crates/am/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-95da9e658ad22dc9.rmeta: crates/am/tests/properties.rs Cargo.toml
+
+crates/am/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

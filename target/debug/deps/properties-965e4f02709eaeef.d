@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-965e4f02709eaeef.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-965e4f02709eaeef.rmeta: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

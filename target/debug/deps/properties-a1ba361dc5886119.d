@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a1ba361dc5886119.d: crates/switch/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a1ba361dc5886119.rmeta: crates/switch/tests/properties.rs Cargo.toml
+
+crates/switch/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b7135478a9905ea2.d: crates/am/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b7135478a9905ea2: crates/am/tests/properties.rs
+
+crates/am/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c994dceddfd4c594.d: crates/splitc/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-c994dceddfd4c594.rmeta: crates/splitc/tests/properties.rs
+
+crates/splitc/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-cd78c483a91e97d4.d: crates/mpl/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-cd78c483a91e97d4.rmeta: crates/mpl/tests/properties.rs Cargo.toml
+
+crates/mpl/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dade2ceb21c5f1b3.d: crates/am/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-dade2ceb21c5f1b3.rmeta: crates/am/tests/properties.rs
+
+crates/am/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dba499d979ed4d8c.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-dba499d979ed4d8c: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ebad1f76d134e8d0.d: crates/switch/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-ebad1f76d134e8d0.rmeta: crates/switch/tests/properties.rs
+
+crates/switch/tests/properties.rs:

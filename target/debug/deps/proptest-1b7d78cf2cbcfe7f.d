@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-1b7d78cf2cbcfe7f.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-1b7d78cf2cbcfe7f: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol-9b82334b092c3b73.d: crates/am/tests/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol-9b82334b092c3b73.rmeta: crates/am/tests/protocol.rs Cargo.toml
+
+crates/am/tests/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol-bd618463d8573f24.d: crates/am/tests/protocol.rs
+
+/root/repo/target/debug/deps/libprotocol-bd618463d8573f24.rmeta: crates/am/tests/protocol.rs
+
+crates/am/tests/protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol-beeac9c5753d0a7c.d: crates/am/tests/protocol.rs
+
+/root/repo/target/debug/deps/protocol-beeac9c5753d0a7c: crates/am/tests/protocol.rs
+
+crates/am/tests/protocol.rs:

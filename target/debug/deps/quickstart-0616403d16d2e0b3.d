@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-0616403d16d2e0b3.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/debug/deps/libquickstart-0616403d16d2e0b3.rmeta: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

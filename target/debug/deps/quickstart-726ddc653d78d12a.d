@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-726ddc653d78d12a.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/debug/deps/libquickstart-726ddc653d78d12a.rmeta: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

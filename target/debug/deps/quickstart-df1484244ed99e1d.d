@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-df1484244ed99e1d.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-df1484244ed99e1d: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-580851d1721c2d83.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-580851d1721c2d83.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-b69c3cd31f37bca2.d: crates/bench/src/bin/repro-all.rs
+
+/root/repo/target/debug/deps/repro_all-b69c3cd31f37bca2: crates/bench/src/bin/repro-all.rs
+
+crates/bench/src/bin/repro-all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-c23ed4401a302782.d: crates/bench/src/bin/repro-all.rs
+
+/root/repo/target/debug/deps/librepro_all-c23ed4401a302782.rmeta: crates/bench/src/bin/repro-all.rs
+
+crates/bench/src/bin/repro-all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-e55a77d6e80f9c79.d: crates/bench/src/bin/repro-all.rs
+
+/root/repo/target/debug/deps/librepro_all-e55a77d6e80f9c79.rmeta: crates/bench/src/bin/repro-all.rs
+
+crates/bench/src/bin/repro-all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_adapter-3eb10d0865e21131.d: crates/adapter/src/lib.rs crates/adapter/src/config.rs crates/adapter/src/host.rs crates/adapter/src/unit.rs crates/adapter/src/world.rs
+
+/root/repo/target/debug/deps/libsp_adapter-3eb10d0865e21131.rmeta: crates/adapter/src/lib.rs crates/adapter/src/config.rs crates/adapter/src/host.rs crates/adapter/src/unit.rs crates/adapter/src/world.rs
+
+crates/adapter/src/lib.rs:
+crates/adapter/src/config.rs:
+crates/adapter/src/host.rs:
+crates/adapter/src/unit.rs:
+crates/adapter/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_adapter-7899e32f8df54c49.d: crates/adapter/src/lib.rs crates/adapter/src/config.rs crates/adapter/src/host.rs crates/adapter/src/unit.rs crates/adapter/src/world.rs
+
+/root/repo/target/debug/deps/libsp_adapter-7899e32f8df54c49.rmeta: crates/adapter/src/lib.rs crates/adapter/src/config.rs crates/adapter/src/host.rs crates/adapter/src/unit.rs crates/adapter/src/world.rs
+
+crates/adapter/src/lib.rs:
+crates/adapter/src/config.rs:
+crates/adapter/src/host.rs:
+crates/adapter/src/unit.rs:
+crates/adapter/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_adapter-c992ef029ecb4bd9.d: crates/adapter/src/lib.rs crates/adapter/src/config.rs crates/adapter/src/host.rs crates/adapter/src/unit.rs crates/adapter/src/world.rs
+
+/root/repo/target/debug/deps/sp_adapter-c992ef029ecb4bd9: crates/adapter/src/lib.rs crates/adapter/src/config.rs crates/adapter/src/host.rs crates/adapter/src/unit.rs crates/adapter/src/world.rs
+
+crates/adapter/src/lib.rs:
+crates/adapter/src/config.rs:
+crates/adapter/src/host.rs:
+crates/adapter/src/unit.rs:
+crates/adapter/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sp_adapter-cdd08d6afad8304b.d: crates/adapter/src/lib.rs crates/adapter/src/config.rs crates/adapter/src/host.rs crates/adapter/src/unit.rs crates/adapter/src/world.rs
+
+/root/repo/target/debug/deps/libsp_adapter-cdd08d6afad8304b.rlib: crates/adapter/src/lib.rs crates/adapter/src/config.rs crates/adapter/src/host.rs crates/adapter/src/unit.rs crates/adapter/src/world.rs
+
+/root/repo/target/debug/deps/libsp_adapter-cdd08d6afad8304b.rmeta: crates/adapter/src/lib.rs crates/adapter/src/config.rs crates/adapter/src/host.rs crates/adapter/src/unit.rs crates/adapter/src/world.rs
+
+crates/adapter/src/lib.rs:
+crates/adapter/src/config.rs:
+crates/adapter/src/host.rs:
+crates/adapter/src/unit.rs:
+crates/adapter/src/world.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sp_am-2dc48f7180d883c8.d: crates/am/src/lib.rs crates/am/src/api.rs crates/am/src/channel.rs crates/am/src/config.rs crates/am/src/machine.rs crates/am/src/mem.rs crates/am/src/port.rs crates/am/src/stats.rs crates/am/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_am-2dc48f7180d883c8.rmeta: crates/am/src/lib.rs crates/am/src/api.rs crates/am/src/channel.rs crates/am/src/config.rs crates/am/src/machine.rs crates/am/src/mem.rs crates/am/src/port.rs crates/am/src/stats.rs crates/am/src/wire.rs Cargo.toml
+
+crates/am/src/lib.rs:
+crates/am/src/api.rs:
+crates/am/src/channel.rs:
+crates/am/src/config.rs:
+crates/am/src/machine.rs:
+crates/am/src/mem.rs:
+crates/am/src/port.rs:
+crates/am/src/stats.rs:
+crates/am/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

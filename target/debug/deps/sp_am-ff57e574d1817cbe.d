@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sp_am-ff57e574d1817cbe.d: crates/am/src/lib.rs crates/am/src/api.rs crates/am/src/channel.rs crates/am/src/config.rs crates/am/src/machine.rs crates/am/src/mem.rs crates/am/src/port.rs crates/am/src/stats.rs crates/am/src/wire.rs
+
+/root/repo/target/debug/deps/libsp_am-ff57e574d1817cbe.rmeta: crates/am/src/lib.rs crates/am/src/api.rs crates/am/src/channel.rs crates/am/src/config.rs crates/am/src/machine.rs crates/am/src/mem.rs crates/am/src/port.rs crates/am/src/stats.rs crates/am/src/wire.rs
+
+crates/am/src/lib.rs:
+crates/am/src/api.rs:
+crates/am/src/channel.rs:
+crates/am/src/config.rs:
+crates/am/src/machine.rs:
+crates/am/src/mem.rs:
+crates/am/src/port.rs:
+crates/am/src/stats.rs:
+crates/am/src/wire.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sp_bench-730cf43294d4ba2e.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fmt.rs crates/bench/src/micro.rs crates/bench/src/mpi_exp.rs crates/bench/src/nas_exp.rs crates/bench/src/splitc_exp.rs
+
+/root/repo/target/debug/deps/sp_bench-730cf43294d4ba2e: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fmt.rs crates/bench/src/micro.rs crates/bench/src/mpi_exp.rs crates/bench/src/nas_exp.rs crates/bench/src/splitc_exp.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/mpi_exp.rs:
+crates/bench/src/nas_exp.rs:
+crates/bench/src/splitc_exp.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sp_bench-969432de642c4a64.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fmt.rs crates/bench/src/micro.rs crates/bench/src/mpi_exp.rs crates/bench/src/nas_exp.rs crates/bench/src/splitc_exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_bench-969432de642c4a64.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fmt.rs crates/bench/src/micro.rs crates/bench/src/mpi_exp.rs crates/bench/src/nas_exp.rs crates/bench/src/splitc_exp.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/mpi_exp.rs:
+crates/bench/src/nas_exp.rs:
+crates/bench/src/splitc_exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

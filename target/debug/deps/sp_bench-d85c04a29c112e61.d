@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sp_bench-d85c04a29c112e61.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fmt.rs crates/bench/src/micro.rs crates/bench/src/mpi_exp.rs crates/bench/src/nas_exp.rs crates/bench/src/splitc_exp.rs
+
+/root/repo/target/debug/deps/libsp_bench-d85c04a29c112e61.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fmt.rs crates/bench/src/micro.rs crates/bench/src/mpi_exp.rs crates/bench/src/nas_exp.rs crates/bench/src/splitc_exp.rs
+
+/root/repo/target/debug/deps/libsp_bench-d85c04a29c112e61.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fmt.rs crates/bench/src/micro.rs crates/bench/src/mpi_exp.rs crates/bench/src/nas_exp.rs crates/bench/src/splitc_exp.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/mpi_exp.rs:
+crates/bench/src/nas_exp.rs:
+crates/bench/src/splitc_exp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_examples-25a3751890492c3c.d: examples/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_examples-25a3751890492c3c.rmeta: examples/src/lib.rs Cargo.toml
+
+examples/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sp_examples-538b1f915483f90b.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libsp_examples-538b1f915483f90b.rlib: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libsp_examples-538b1f915483f90b.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_examples-8d36881bbf243269.d: examples/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_examples-8d36881bbf243269.rmeta: examples/src/lib.rs Cargo.toml
+
+examples/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

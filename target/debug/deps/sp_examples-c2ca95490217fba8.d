@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_examples-c2ca95490217fba8.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/sp_examples-c2ca95490217fba8: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_examples-d4dcde0616fa42d2.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libsp_examples-d4dcde0616fa42d2.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_examples-f0b6b3f5a3e697e1.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libsp_examples-f0b6b3f5a3e697e1.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

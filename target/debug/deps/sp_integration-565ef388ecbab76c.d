@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_integration-565ef388ecbab76c.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_integration-565ef388ecbab76c.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

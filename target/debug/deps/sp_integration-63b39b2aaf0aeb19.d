@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sp_integration-63b39b2aaf0aeb19.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libsp_integration-63b39b2aaf0aeb19.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libsp_integration-63b39b2aaf0aeb19.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_integration-7d0df3e8bc4ca7cc.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libsp_integration-7d0df3e8bc4ca7cc.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

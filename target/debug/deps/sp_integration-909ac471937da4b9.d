@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_integration-909ac471937da4b9.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libsp_integration-909ac471937da4b9.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

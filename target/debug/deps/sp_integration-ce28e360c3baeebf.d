@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_integration-ce28e360c3baeebf.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/sp_integration-ce28e360c3baeebf: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_logp-427b0aa356ce8b52.d: crates/logp/src/lib.rs
+
+/root/repo/target/debug/deps/libsp_logp-427b0aa356ce8b52.rmeta: crates/logp/src/lib.rs
+
+crates/logp/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_logp-43b9a118c8a5d7f1.d: crates/logp/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_logp-43b9a118c8a5d7f1.rmeta: crates/logp/src/lib.rs Cargo.toml
+
+crates/logp/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

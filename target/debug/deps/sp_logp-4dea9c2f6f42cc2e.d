@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sp_logp-4dea9c2f6f42cc2e.d: crates/logp/src/lib.rs
+
+/root/repo/target/debug/deps/libsp_logp-4dea9c2f6f42cc2e.rlib: crates/logp/src/lib.rs
+
+/root/repo/target/debug/deps/libsp_logp-4dea9c2f6f42cc2e.rmeta: crates/logp/src/lib.rs
+
+crates/logp/src/lib.rs:

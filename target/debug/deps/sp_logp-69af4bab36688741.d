@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_logp-69af4bab36688741.d: crates/logp/src/lib.rs
+
+/root/repo/target/debug/deps/libsp_logp-69af4bab36688741.rmeta: crates/logp/src/lib.rs
+
+crates/logp/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_logp-7d6defa83005527c.d: crates/logp/src/lib.rs
+
+/root/repo/target/debug/deps/sp_logp-7d6defa83005527c: crates/logp/src/lib.rs
+
+crates/logp/src/lib.rs:

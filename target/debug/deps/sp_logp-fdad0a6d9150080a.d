@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_logp-fdad0a6d9150080a.d: crates/logp/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_logp-fdad0a6d9150080a.rmeta: crates/logp/src/lib.rs Cargo.toml
+
+crates/logp/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

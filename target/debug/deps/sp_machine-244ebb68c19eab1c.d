@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sp_machine-244ebb68c19eab1c.d: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+/root/repo/target/debug/deps/libsp_machine-244ebb68c19eab1c.rmeta: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cost.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sp_machine-5470c4ffbe83e162.d: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+/root/repo/target/debug/deps/libsp_machine-5470c4ffbe83e162.rlib: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+/root/repo/target/debug/deps/libsp_machine-5470c4ffbe83e162.rmeta: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cost.rs:

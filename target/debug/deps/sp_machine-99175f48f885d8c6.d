@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sp_machine-99175f48f885d8c6.d: crates/machine/src/lib.rs crates/machine/src/cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_machine-99175f48f885d8c6.rmeta: crates/machine/src/lib.rs crates/machine/src/cost.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sp_machine-a62622e51aba04f8.d: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+/root/repo/target/debug/deps/sp_machine-a62622e51aba04f8: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cost.rs:

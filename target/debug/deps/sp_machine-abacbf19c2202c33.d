@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sp_machine-abacbf19c2202c33.d: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+/root/repo/target/debug/deps/libsp_machine-abacbf19c2202c33.rmeta: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cost.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sp_machine-d5209ab140869f5d.d: crates/machine/src/lib.rs crates/machine/src/cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_machine-d5209ab140869f5d.rmeta: crates/machine/src/lib.rs crates/machine/src/cost.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

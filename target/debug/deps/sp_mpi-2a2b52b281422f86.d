@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_mpi-2a2b52b281422f86.d: crates/mpi/src/lib.rs crates/mpi/src/iface.rs crates/mpi/src/mpiam.rs crates/mpi/src/mpif.rs crates/mpi/src/runner.rs
+
+/root/repo/target/debug/deps/sp_mpi-2a2b52b281422f86: crates/mpi/src/lib.rs crates/mpi/src/iface.rs crates/mpi/src/mpiam.rs crates/mpi/src/mpif.rs crates/mpi/src/runner.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/iface.rs:
+crates/mpi/src/mpiam.rs:
+crates/mpi/src/mpif.rs:
+crates/mpi/src/runner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sp_mpi-79d83981ed58c9df.d: crates/mpi/src/lib.rs crates/mpi/src/iface.rs crates/mpi/src/mpiam.rs crates/mpi/src/mpif.rs crates/mpi/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_mpi-79d83981ed58c9df.rmeta: crates/mpi/src/lib.rs crates/mpi/src/iface.rs crates/mpi/src/mpiam.rs crates/mpi/src/mpif.rs crates/mpi/src/runner.rs Cargo.toml
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/iface.rs:
+crates/mpi/src/mpiam.rs:
+crates/mpi/src/mpif.rs:
+crates/mpi/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_mpi-e8a6f0a7acca0855.d: crates/mpi/src/lib.rs crates/mpi/src/iface.rs crates/mpi/src/mpiam.rs crates/mpi/src/mpif.rs crates/mpi/src/runner.rs
+
+/root/repo/target/debug/deps/libsp_mpi-e8a6f0a7acca0855.rmeta: crates/mpi/src/lib.rs crates/mpi/src/iface.rs crates/mpi/src/mpiam.rs crates/mpi/src/mpif.rs crates/mpi/src/runner.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/iface.rs:
+crates/mpi/src/mpiam.rs:
+crates/mpi/src/mpif.rs:
+crates/mpi/src/runner.rs:

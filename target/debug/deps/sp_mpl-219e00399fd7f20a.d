@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sp_mpl-219e00399fd7f20a.d: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_mpl-219e00399fd7f20a.rmeta: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs Cargo.toml
+
+crates/mpl/src/lib.rs:
+crates/mpl/src/config.rs:
+crates/mpl/src/layer.rs:
+crates/mpl/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sp_mpl-6beb2faae8cac926.d: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs
+
+/root/repo/target/debug/deps/libsp_mpl-6beb2faae8cac926.rlib: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs
+
+/root/repo/target/debug/deps/libsp_mpl-6beb2faae8cac926.rmeta: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs
+
+crates/mpl/src/lib.rs:
+crates/mpl/src/config.rs:
+crates/mpl/src/layer.rs:
+crates/mpl/src/wire.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sp_mpl-af50d2826d4111b7.d: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs
+
+/root/repo/target/debug/deps/sp_mpl-af50d2826d4111b7: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs
+
+crates/mpl/src/lib.rs:
+crates/mpl/src/config.rs:
+crates/mpl/src/layer.rs:
+crates/mpl/src/wire.rs:

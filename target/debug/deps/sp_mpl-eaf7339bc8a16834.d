@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sp_mpl-eaf7339bc8a16834.d: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs
+
+/root/repo/target/debug/deps/libsp_mpl-eaf7339bc8a16834.rmeta: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs
+
+crates/mpl/src/lib.rs:
+crates/mpl/src/config.rs:
+crates/mpl/src/layer.rs:
+crates/mpl/src/wire.rs:

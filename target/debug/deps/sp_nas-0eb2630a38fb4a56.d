@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sp_nas-0eb2630a38fb4a56.d: crates/nas/src/lib.rs crates/nas/src/adi.rs crates/nas/src/common.rs crates/nas/src/ft.rs crates/nas/src/lu.rs crates/nas/src/mg.rs
+
+/root/repo/target/debug/deps/libsp_nas-0eb2630a38fb4a56.rlib: crates/nas/src/lib.rs crates/nas/src/adi.rs crates/nas/src/common.rs crates/nas/src/ft.rs crates/nas/src/lu.rs crates/nas/src/mg.rs
+
+/root/repo/target/debug/deps/libsp_nas-0eb2630a38fb4a56.rmeta: crates/nas/src/lib.rs crates/nas/src/adi.rs crates/nas/src/common.rs crates/nas/src/ft.rs crates/nas/src/lu.rs crates/nas/src/mg.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/adi.rs:
+crates/nas/src/common.rs:
+crates/nas/src/ft.rs:
+crates/nas/src/lu.rs:
+crates/nas/src/mg.rs:

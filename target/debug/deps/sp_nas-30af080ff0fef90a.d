@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sp_nas-30af080ff0fef90a.d: crates/nas/src/lib.rs crates/nas/src/adi.rs crates/nas/src/common.rs crates/nas/src/ft.rs crates/nas/src/lu.rs crates/nas/src/mg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_nas-30af080ff0fef90a.rmeta: crates/nas/src/lib.rs crates/nas/src/adi.rs crates/nas/src/common.rs crates/nas/src/ft.rs crates/nas/src/lu.rs crates/nas/src/mg.rs Cargo.toml
+
+crates/nas/src/lib.rs:
+crates/nas/src/adi.rs:
+crates/nas/src/common.rs:
+crates/nas/src/ft.rs:
+crates/nas/src/lu.rs:
+crates/nas/src/mg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sp_nas-e670d4e730e6eed1.d: crates/nas/src/lib.rs crates/nas/src/adi.rs crates/nas/src/common.rs crates/nas/src/ft.rs crates/nas/src/lu.rs crates/nas/src/mg.rs
+
+/root/repo/target/debug/deps/sp_nas-e670d4e730e6eed1: crates/nas/src/lib.rs crates/nas/src/adi.rs crates/nas/src/common.rs crates/nas/src/ft.rs crates/nas/src/lu.rs crates/nas/src/mg.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/adi.rs:
+crates/nas/src/common.rs:
+crates/nas/src/ft.rs:
+crates/nas/src/lu.rs:
+crates/nas/src/mg.rs:

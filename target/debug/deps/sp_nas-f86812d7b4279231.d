@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sp_nas-f86812d7b4279231.d: crates/nas/src/lib.rs crates/nas/src/adi.rs crates/nas/src/common.rs crates/nas/src/ft.rs crates/nas/src/lu.rs crates/nas/src/mg.rs
+
+/root/repo/target/debug/deps/libsp_nas-f86812d7b4279231.rmeta: crates/nas/src/lib.rs crates/nas/src/adi.rs crates/nas/src/common.rs crates/nas/src/ft.rs crates/nas/src/lu.rs crates/nas/src/mg.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/adi.rs:
+crates/nas/src/common.rs:
+crates/nas/src/ft.rs:
+crates/nas/src/lu.rs:
+crates/nas/src/mg.rs:

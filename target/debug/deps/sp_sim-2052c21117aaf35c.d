@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sp_sim-2052c21117aaf35c.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/node.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_sim-2052c21117aaf35c.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/node.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/node.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

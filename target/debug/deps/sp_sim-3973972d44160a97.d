@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_sim-3973972d44160a97.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/node.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libsp_sim-3973972d44160a97.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/node.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/node.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sp_sim-569a86303e1da4b1.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/node.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_sim-569a86303e1da4b1.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/node.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/node.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

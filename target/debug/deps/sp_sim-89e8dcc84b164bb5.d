@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_sim-89e8dcc84b164bb5.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/node.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libsp_sim-89e8dcc84b164bb5.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/node.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/node.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sp_splitc-68a5af455b73fef4.d: crates/splitc/src/lib.rs crates/splitc/src/apps/mod.rs crates/splitc/src/apps/mm.rs crates/splitc/src/apps/radix_sort.rs crates/splitc/src/apps/sample_sort.rs crates/splitc/src/backend/mod.rs crates/splitc/src/backend/am.rs crates/splitc/src/backend/logp.rs crates/splitc/src/backend/mpl.rs crates/splitc/src/gas.rs crates/splitc/src/run.rs crates/splitc/src/util.rs
+
+/root/repo/target/debug/deps/sp_splitc-68a5af455b73fef4: crates/splitc/src/lib.rs crates/splitc/src/apps/mod.rs crates/splitc/src/apps/mm.rs crates/splitc/src/apps/radix_sort.rs crates/splitc/src/apps/sample_sort.rs crates/splitc/src/backend/mod.rs crates/splitc/src/backend/am.rs crates/splitc/src/backend/logp.rs crates/splitc/src/backend/mpl.rs crates/splitc/src/gas.rs crates/splitc/src/run.rs crates/splitc/src/util.rs
+
+crates/splitc/src/lib.rs:
+crates/splitc/src/apps/mod.rs:
+crates/splitc/src/apps/mm.rs:
+crates/splitc/src/apps/radix_sort.rs:
+crates/splitc/src/apps/sample_sort.rs:
+crates/splitc/src/backend/mod.rs:
+crates/splitc/src/backend/am.rs:
+crates/splitc/src/backend/logp.rs:
+crates/splitc/src/backend/mpl.rs:
+crates/splitc/src/gas.rs:
+crates/splitc/src/run.rs:
+crates/splitc/src/util.rs:

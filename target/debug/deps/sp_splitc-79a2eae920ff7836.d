@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/sp_splitc-79a2eae920ff7836.d: crates/splitc/src/lib.rs crates/splitc/src/apps/mod.rs crates/splitc/src/apps/mm.rs crates/splitc/src/apps/radix_sort.rs crates/splitc/src/apps/sample_sort.rs crates/splitc/src/backend/mod.rs crates/splitc/src/backend/am.rs crates/splitc/src/backend/logp.rs crates/splitc/src/backend/mpl.rs crates/splitc/src/gas.rs crates/splitc/src/run.rs crates/splitc/src/util.rs
+
+/root/repo/target/debug/deps/libsp_splitc-79a2eae920ff7836.rlib: crates/splitc/src/lib.rs crates/splitc/src/apps/mod.rs crates/splitc/src/apps/mm.rs crates/splitc/src/apps/radix_sort.rs crates/splitc/src/apps/sample_sort.rs crates/splitc/src/backend/mod.rs crates/splitc/src/backend/am.rs crates/splitc/src/backend/logp.rs crates/splitc/src/backend/mpl.rs crates/splitc/src/gas.rs crates/splitc/src/run.rs crates/splitc/src/util.rs
+
+/root/repo/target/debug/deps/libsp_splitc-79a2eae920ff7836.rmeta: crates/splitc/src/lib.rs crates/splitc/src/apps/mod.rs crates/splitc/src/apps/mm.rs crates/splitc/src/apps/radix_sort.rs crates/splitc/src/apps/sample_sort.rs crates/splitc/src/backend/mod.rs crates/splitc/src/backend/am.rs crates/splitc/src/backend/logp.rs crates/splitc/src/backend/mpl.rs crates/splitc/src/gas.rs crates/splitc/src/run.rs crates/splitc/src/util.rs
+
+crates/splitc/src/lib.rs:
+crates/splitc/src/apps/mod.rs:
+crates/splitc/src/apps/mm.rs:
+crates/splitc/src/apps/radix_sort.rs:
+crates/splitc/src/apps/sample_sort.rs:
+crates/splitc/src/backend/mod.rs:
+crates/splitc/src/backend/am.rs:
+crates/splitc/src/backend/logp.rs:
+crates/splitc/src/backend/mpl.rs:
+crates/splitc/src/gas.rs:
+crates/splitc/src/run.rs:
+crates/splitc/src/util.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/sp_splitc-7d0ffbd579be9918.d: crates/splitc/src/lib.rs crates/splitc/src/apps/mod.rs crates/splitc/src/apps/mm.rs crates/splitc/src/apps/radix_sort.rs crates/splitc/src/apps/sample_sort.rs crates/splitc/src/backend/mod.rs crates/splitc/src/backend/am.rs crates/splitc/src/backend/logp.rs crates/splitc/src/backend/mpl.rs crates/splitc/src/gas.rs crates/splitc/src/run.rs crates/splitc/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_splitc-7d0ffbd579be9918.rmeta: crates/splitc/src/lib.rs crates/splitc/src/apps/mod.rs crates/splitc/src/apps/mm.rs crates/splitc/src/apps/radix_sort.rs crates/splitc/src/apps/sample_sort.rs crates/splitc/src/backend/mod.rs crates/splitc/src/backend/am.rs crates/splitc/src/backend/logp.rs crates/splitc/src/backend/mpl.rs crates/splitc/src/gas.rs crates/splitc/src/run.rs crates/splitc/src/util.rs Cargo.toml
+
+crates/splitc/src/lib.rs:
+crates/splitc/src/apps/mod.rs:
+crates/splitc/src/apps/mm.rs:
+crates/splitc/src/apps/radix_sort.rs:
+crates/splitc/src/apps/sample_sort.rs:
+crates/splitc/src/backend/mod.rs:
+crates/splitc/src/backend/am.rs:
+crates/splitc/src/backend/logp.rs:
+crates/splitc/src/backend/mpl.rs:
+crates/splitc/src/gas.rs:
+crates/splitc/src/run.rs:
+crates/splitc/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_switch-594957cca8c7d6c3.d: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+/root/repo/target/debug/deps/libsp_switch-594957cca8c7d6c3.rlib: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+/root/repo/target/debug/deps/libsp_switch-594957cca8c7d6c3.rmeta: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/fabric.rs:
+crates/switch/src/fault.rs:

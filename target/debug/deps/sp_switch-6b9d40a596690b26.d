@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sp_switch-6b9d40a596690b26.d: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+/root/repo/target/debug/deps/libsp_switch-6b9d40a596690b26.rmeta: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/fabric.rs:
+crates/switch/src/fault.rs:

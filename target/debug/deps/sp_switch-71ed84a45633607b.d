@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sp_switch-71ed84a45633607b.d: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+/root/repo/target/debug/deps/libsp_switch-71ed84a45633607b.rmeta: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/fabric.rs:
+crates/switch/src/fault.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sp_switch-86a8d15944f330f3.d: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_switch-86a8d15944f330f3.rmeta: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs Cargo.toml
+
+crates/switch/src/lib.rs:
+crates/switch/src/fabric.rs:
+crates/switch/src/fault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

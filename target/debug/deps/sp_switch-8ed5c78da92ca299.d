@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sp_switch-8ed5c78da92ca299.d: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+/root/repo/target/debug/deps/sp_switch-8ed5c78da92ca299: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/fabric.rs:
+crates/switch/src/fault.rs:

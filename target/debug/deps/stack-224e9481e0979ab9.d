@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack-224e9481e0979ab9.d: tests/tests/stack.rs
+
+/root/repo/target/debug/deps/stack-224e9481e0979ab9: tests/tests/stack.rs
+
+tests/tests/stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stack-5b8f57d391cd785e.d: tests/tests/stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstack-5b8f57d391cd785e.rmeta: tests/tests/stack.rs Cargo.toml
+
+tests/tests/stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack-8b13e472071eaa18.d: tests/tests/stack.rs
+
+/root/repo/target/debug/deps/libstack-8b13e472071eaa18.rmeta: tests/tests/stack.rs
+
+tests/tests/stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-4bf35f01e05ccd4a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-4bf35f01e05ccd4a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

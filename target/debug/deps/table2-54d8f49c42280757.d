@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-54d8f49c42280757.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-54d8f49c42280757.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

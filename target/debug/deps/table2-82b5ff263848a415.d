@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-82b5ff263848a415.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-82b5ff263848a415.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

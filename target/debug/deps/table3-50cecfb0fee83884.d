@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-50cecfb0fee83884.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-50cecfb0fee83884.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

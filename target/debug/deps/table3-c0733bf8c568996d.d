@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-c0733bf8c568996d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-c0733bf8c568996d.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-fdc3c7dbc8c6463e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-fdc3c7dbc8c6463e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

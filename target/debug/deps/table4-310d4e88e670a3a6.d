@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-310d4e88e670a3a6.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-310d4e88e670a3a6: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

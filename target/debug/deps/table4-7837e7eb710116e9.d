@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-7837e7eb710116e9.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-7837e7eb710116e9.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-788c6436c77e511b.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-788c6436c77e511b.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

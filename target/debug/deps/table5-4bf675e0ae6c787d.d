@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-4bf675e0ae6c787d.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-4bf675e0ae6c787d.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-4eec1e4fa1aadf56.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-4eec1e4fa1aadf56.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-8e01d4147d62c8bb.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-8e01d4147d62c8bb: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-1cdd1158e4384e61.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/libtable6-1cdd1158e4384e61.rmeta: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-5f3976a86be9e2a6.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/libtable6-5f3976a86be9e2a6.rmeta: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

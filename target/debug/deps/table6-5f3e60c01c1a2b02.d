@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-5f3e60c01c1a2b02.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-5f3e60c01c1a2b02: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

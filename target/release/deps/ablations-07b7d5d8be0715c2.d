@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-07b7d5d8be0715c2.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-07b7d5d8be0715c2: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

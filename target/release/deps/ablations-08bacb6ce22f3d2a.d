@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-08bacb6ce22f3d2a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-08bacb6ce22f3d2a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/api_contract-91e2dbaa5c30a57b.d: crates/am/tests/api_contract.rs
+
+/root/repo/target/release/deps/api_contract-91e2dbaa5c30a57b: crates/am/tests/api_contract.rs
+
+crates/am/tests/api_contract.rs:

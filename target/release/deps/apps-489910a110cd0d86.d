@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/apps-489910a110cd0d86.d: crates/splitc/tests/apps.rs
+
+/root/repo/target/release/deps/apps-489910a110cd0d86: crates/splitc/tests/apps.rs
+
+crates/splitc/tests/apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bandwidth-252197f4d543e2c9.d: crates/am/tests/bandwidth.rs
+
+/root/repo/target/release/deps/bandwidth-252197f4d543e2c9: crates/am/tests/bandwidth.rs
+
+crates/am/tests/bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration-e569aef92537f35b.d: crates/am/tests/calibration.rs
+
+/root/repo/target/release/deps/calibration-e569aef92537f35b: crates/am/tests/calibration.rs
+
+crates/am/tests/calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-1a26a034623aa370.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-1a26a034623aa370: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-86b6676258a30b9f.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-86b6676258a30b9f: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-5fa549ff5bbaf946.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-5fa549ff5bbaf946: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-654d52341677a48f.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-654d52341677a48f: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

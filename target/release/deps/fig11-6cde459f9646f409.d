@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-6cde459f9646f409.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-6cde459f9646f409: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

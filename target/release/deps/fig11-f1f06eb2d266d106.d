@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-f1f06eb2d266d106.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-f1f06eb2d266d106: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-4ce3624413baf741.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-4ce3624413baf741: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

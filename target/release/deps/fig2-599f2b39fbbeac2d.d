@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-599f2b39fbbeac2d.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-599f2b39fbbeac2d: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-108f6abfac6fc9d5.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-108f6abfac6fc9d5: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-1495b33ab79606af.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-1495b33ab79606af: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-03568ca475dd0885.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-03568ca475dd0885: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-39f543cfb3879013.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-39f543cfb3879013: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_6-ca3876a84beaf3e0.d: crates/bench/src/bin/fig5-6.rs
+
+/root/repo/target/release/deps/fig5_6-ca3876a84beaf3e0: crates/bench/src/bin/fig5-6.rs
+
+crates/bench/src/bin/fig5-6.rs:

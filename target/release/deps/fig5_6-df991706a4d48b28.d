@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_6-df991706a4d48b28.d: crates/bench/src/bin/fig5-6.rs
+
+/root/repo/target/release/deps/fig5_6-df991706a4d48b28: crates/bench/src/bin/fig5-6.rs
+
+crates/bench/src/bin/fig5-6.rs:

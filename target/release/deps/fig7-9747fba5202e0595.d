@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-9747fba5202e0595.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-9747fba5202e0595: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-aee9c17a6fc20555.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-aee9c17a6fc20555: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

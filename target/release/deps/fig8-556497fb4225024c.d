@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-556497fb4225024c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-556497fb4225024c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

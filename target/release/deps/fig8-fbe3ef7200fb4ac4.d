@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-fbe3ef7200fb4ac4.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-fbe3ef7200fb4ac4: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

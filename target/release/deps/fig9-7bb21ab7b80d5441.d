@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-7bb21ab7b80d5441.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-7bb21ab7b80d5441: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-9993cf8fed70a046.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-9993cf8fed70a046: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

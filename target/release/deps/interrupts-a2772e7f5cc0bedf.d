@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/interrupts-a2772e7f5cc0bedf.d: crates/am/tests/interrupts.rs
+
+/root/repo/target/release/deps/interrupts-a2772e7f5cc0bedf: crates/am/tests/interrupts.rs
+
+crates/am/tests/interrupts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-5219df2fe6d7c588.d: crates/nas/tests/kernels.rs
+
+/root/repo/target/release/deps/kernels-5219df2fe6d7c588: crates/nas/tests/kernels.rs
+
+crates/nas/tests/kernels.rs:

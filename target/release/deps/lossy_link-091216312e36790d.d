@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lossy_link-091216312e36790d.d: examples/src/bin/lossy-link.rs
+
+/root/repo/target/release/deps/lossy_link-091216312e36790d: examples/src/bin/lossy-link.rs
+
+examples/src/bin/lossy-link.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lossy_link-d88ad2753023783b.d: examples/src/bin/lossy-link.rs
+
+/root/repo/target/release/deps/lossy_link-d88ad2753023783b: examples/src/bin/lossy-link.rs
+
+examples/src/bin/lossy-link.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/microbench-822c979b2a24ec76.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/release/deps/microbench-822c979b2a24ec76: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpi-395aec78e8c0c197.d: crates/mpi/tests/mpi.rs
+
+/root/repo/target/release/deps/mpi-395aec78e8c0c197: crates/mpi/tests/mpi.rs
+
+crates/mpi/tests/mpi.rs:

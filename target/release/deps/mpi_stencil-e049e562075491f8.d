@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpi_stencil-e049e562075491f8.d: examples/src/bin/mpi-stencil.rs
+
+/root/repo/target/release/deps/mpi_stencil-e049e562075491f8: examples/src/bin/mpi-stencil.rs
+
+examples/src/bin/mpi-stencil.rs:

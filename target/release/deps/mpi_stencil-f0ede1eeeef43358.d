@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpi_stencil-f0ede1eeeef43358.d: examples/src/bin/mpi-stencil.rs
+
+/root/repo/target/release/deps/mpi_stencil-f0ede1eeeef43358: examples/src/bin/mpi-stencil.rs
+
+examples/src/bin/mpi-stencil.rs:

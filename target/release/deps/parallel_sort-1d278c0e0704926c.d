@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_sort-1d278c0e0704926c.d: examples/src/bin/parallel-sort.rs
+
+/root/repo/target/release/deps/parallel_sort-1d278c0e0704926c: examples/src/bin/parallel-sort.rs
+
+examples/src/bin/parallel-sort.rs:

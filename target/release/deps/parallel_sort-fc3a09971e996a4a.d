@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_sort-fc3a09971e996a4a.d: examples/src/bin/parallel-sort.rs
+
+/root/repo/target/release/deps/parallel_sort-fc3a09971e996a4a: examples/src/bin/parallel-sort.rs
+
+examples/src/bin/parallel-sort.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_get-aec0230d52cdb241.d: crates/bench/src/bin/probe-get.rs
+
+/root/repo/target/release/deps/probe_get-aec0230d52cdb241: crates/bench/src/bin/probe-get.rs
+
+crates/bench/src/bin/probe-get.rs:

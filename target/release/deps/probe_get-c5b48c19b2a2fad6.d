@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_get-c5b48c19b2a2fad6.d: crates/bench/src/bin/probe-get.rs
+
+/root/repo/target/release/deps/probe_get-c5b48c19b2a2fad6: crates/bench/src/bin/probe-get.rs
+
+crates/bench/src/bin/probe-get.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-0d8f5ce965796f41.d: crates/am/tests/properties.rs
+
+/root/repo/target/release/deps/properties-0d8f5ce965796f41: crates/am/tests/properties.rs
+
+crates/am/tests/properties.rs:

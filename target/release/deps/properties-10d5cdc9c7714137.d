@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-10d5cdc9c7714137.d: crates/splitc/tests/properties.rs
+
+/root/repo/target/release/deps/properties-10d5cdc9c7714137: crates/splitc/tests/properties.rs
+
+crates/splitc/tests/properties.rs:

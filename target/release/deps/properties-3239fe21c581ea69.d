@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-3239fe21c581ea69.d: crates/mpl/tests/properties.rs
+
+/root/repo/target/release/deps/properties-3239fe21c581ea69: crates/mpl/tests/properties.rs
+
+crates/mpl/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-5738d75956ea6eef.d: crates/sim/tests/properties.rs
+
+/root/repo/target/release/deps/properties-5738d75956ea6eef: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

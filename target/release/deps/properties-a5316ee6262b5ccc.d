@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-a5316ee6262b5ccc.d: crates/switch/tests/properties.rs
+
+/root/repo/target/release/deps/properties-a5316ee6262b5ccc: crates/switch/tests/properties.rs
+
+crates/switch/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-9d88b4e28ac05fd7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9d88b4e28ac05fd7.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9d88b4e28ac05fd7.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

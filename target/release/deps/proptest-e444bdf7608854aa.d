@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-e444bdf7608854aa.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-e444bdf7608854aa: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol-c4674df2e45c933c.d: crates/am/tests/protocol.rs
+
+/root/repo/target/release/deps/protocol-c4674df2e45c933c: crates/am/tests/protocol.rs
+
+crates/am/tests/protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-c71e3809f51c99ef.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-c71e3809f51c99ef: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-e9adb892358526c2.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-e9adb892358526c2: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-7ccf5873da278d78.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-7ccf5873da278d78: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

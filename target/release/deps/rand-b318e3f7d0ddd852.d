@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b318e3f7d0ddd852.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b318e3f7d0ddd852.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b318e3f7d0ddd852.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

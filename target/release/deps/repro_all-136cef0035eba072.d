@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-136cef0035eba072.d: crates/bench/src/bin/repro-all.rs
+
+/root/repo/target/release/deps/repro_all-136cef0035eba072: crates/bench/src/bin/repro-all.rs
+
+crates/bench/src/bin/repro-all.rs:

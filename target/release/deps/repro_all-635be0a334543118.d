@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-635be0a334543118.d: crates/bench/src/bin/repro-all.rs
+
+/root/repo/target/release/deps/repro_all-635be0a334543118: crates/bench/src/bin/repro-all.rs
+
+crates/bench/src/bin/repro-all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sp_adapter-9785eb7927413ca4.d: crates/adapter/src/lib.rs crates/adapter/src/config.rs crates/adapter/src/host.rs crates/adapter/src/unit.rs crates/adapter/src/world.rs
+
+/root/repo/target/release/deps/sp_adapter-9785eb7927413ca4: crates/adapter/src/lib.rs crates/adapter/src/config.rs crates/adapter/src/host.rs crates/adapter/src/unit.rs crates/adapter/src/world.rs
+
+crates/adapter/src/lib.rs:
+crates/adapter/src/config.rs:
+crates/adapter/src/host.rs:
+crates/adapter/src/unit.rs:
+crates/adapter/src/world.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sp_am-1fffe202b655fc3c.d: crates/am/src/lib.rs crates/am/src/api.rs crates/am/src/channel.rs crates/am/src/config.rs crates/am/src/machine.rs crates/am/src/mem.rs crates/am/src/port.rs crates/am/src/stats.rs crates/am/src/wire.rs
+
+/root/repo/target/release/deps/sp_am-1fffe202b655fc3c: crates/am/src/lib.rs crates/am/src/api.rs crates/am/src/channel.rs crates/am/src/config.rs crates/am/src/machine.rs crates/am/src/mem.rs crates/am/src/port.rs crates/am/src/stats.rs crates/am/src/wire.rs
+
+crates/am/src/lib.rs:
+crates/am/src/api.rs:
+crates/am/src/channel.rs:
+crates/am/src/config.rs:
+crates/am/src/machine.rs:
+crates/am/src/mem.rs:
+crates/am/src/port.rs:
+crates/am/src/stats.rs:
+crates/am/src/wire.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sp_am-72dcc66ed9681b35.d: crates/am/src/lib.rs crates/am/src/api.rs crates/am/src/channel.rs crates/am/src/config.rs crates/am/src/machine.rs crates/am/src/mem.rs crates/am/src/port.rs crates/am/src/stats.rs crates/am/src/wire.rs
+
+/root/repo/target/release/deps/libsp_am-72dcc66ed9681b35.rlib: crates/am/src/lib.rs crates/am/src/api.rs crates/am/src/channel.rs crates/am/src/config.rs crates/am/src/machine.rs crates/am/src/mem.rs crates/am/src/port.rs crates/am/src/stats.rs crates/am/src/wire.rs
+
+/root/repo/target/release/deps/libsp_am-72dcc66ed9681b35.rmeta: crates/am/src/lib.rs crates/am/src/api.rs crates/am/src/channel.rs crates/am/src/config.rs crates/am/src/machine.rs crates/am/src/mem.rs crates/am/src/port.rs crates/am/src/stats.rs crates/am/src/wire.rs
+
+crates/am/src/lib.rs:
+crates/am/src/api.rs:
+crates/am/src/channel.rs:
+crates/am/src/config.rs:
+crates/am/src/machine.rs:
+crates/am/src/mem.rs:
+crates/am/src/port.rs:
+crates/am/src/stats.rs:
+crates/am/src/wire.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sp_bench-2366f22469f27926.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fmt.rs crates/bench/src/micro.rs crates/bench/src/mpi_exp.rs crates/bench/src/nas_exp.rs crates/bench/src/splitc_exp.rs
+
+/root/repo/target/release/deps/sp_bench-2366f22469f27926: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fmt.rs crates/bench/src/micro.rs crates/bench/src/mpi_exp.rs crates/bench/src/nas_exp.rs crates/bench/src/splitc_exp.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/mpi_exp.rs:
+crates/bench/src/nas_exp.rs:
+crates/bench/src/splitc_exp.rs:

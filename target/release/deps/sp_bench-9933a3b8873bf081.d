@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sp_bench-9933a3b8873bf081.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fmt.rs crates/bench/src/micro.rs crates/bench/src/mpi_exp.rs crates/bench/src/nas_exp.rs crates/bench/src/splitc_exp.rs
+
+/root/repo/target/release/deps/libsp_bench-9933a3b8873bf081.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fmt.rs crates/bench/src/micro.rs crates/bench/src/mpi_exp.rs crates/bench/src/nas_exp.rs crates/bench/src/splitc_exp.rs
+
+/root/repo/target/release/deps/libsp_bench-9933a3b8873bf081.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fmt.rs crates/bench/src/micro.rs crates/bench/src/mpi_exp.rs crates/bench/src/nas_exp.rs crates/bench/src/splitc_exp.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/mpi_exp.rs:
+crates/bench/src/nas_exp.rs:
+crates/bench/src/splitc_exp.rs:

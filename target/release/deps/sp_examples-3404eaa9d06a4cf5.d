@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sp_examples-3404eaa9d06a4cf5.d: examples/src/lib.rs
+
+/root/repo/target/release/deps/libsp_examples-3404eaa9d06a4cf5.rlib: examples/src/lib.rs
+
+/root/repo/target/release/deps/libsp_examples-3404eaa9d06a4cf5.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sp_examples-9bd86694e876da58.d: examples/src/lib.rs
+
+/root/repo/target/release/deps/sp_examples-9bd86694e876da58: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sp_integration-756bae2a7a67d086.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libsp_integration-756bae2a7a67d086.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libsp_integration-756bae2a7a67d086.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sp_integration-a35a27b4cd676c23.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/sp_integration-a35a27b4cd676c23: tests/src/lib.rs
+
+tests/src/lib.rs:

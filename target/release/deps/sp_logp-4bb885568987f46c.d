@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sp_logp-4bb885568987f46c.d: crates/logp/src/lib.rs
+
+/root/repo/target/release/deps/sp_logp-4bb885568987f46c: crates/logp/src/lib.rs
+
+crates/logp/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sp_logp-6a45536056c805e4.d: crates/logp/src/lib.rs
+
+/root/repo/target/release/deps/libsp_logp-6a45536056c805e4.rlib: crates/logp/src/lib.rs
+
+/root/repo/target/release/deps/libsp_logp-6a45536056c805e4.rmeta: crates/logp/src/lib.rs
+
+crates/logp/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/sp_machine-64dd4dec99faa4cf.d: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+/root/repo/target/release/deps/sp_machine-64dd4dec99faa4cf: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cost.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sp_machine-67e1aca96cb18a80.d: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+/root/repo/target/release/deps/libsp_machine-67e1aca96cb18a80.rlib: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+/root/repo/target/release/deps/libsp_machine-67e1aca96cb18a80.rmeta: crates/machine/src/lib.rs crates/machine/src/cost.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cost.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sp_mpi-3d0c5df2c923f36d.d: crates/mpi/src/lib.rs crates/mpi/src/iface.rs crates/mpi/src/mpiam.rs crates/mpi/src/mpif.rs crates/mpi/src/runner.rs
+
+/root/repo/target/release/deps/libsp_mpi-3d0c5df2c923f36d.rlib: crates/mpi/src/lib.rs crates/mpi/src/iface.rs crates/mpi/src/mpiam.rs crates/mpi/src/mpif.rs crates/mpi/src/runner.rs
+
+/root/repo/target/release/deps/libsp_mpi-3d0c5df2c923f36d.rmeta: crates/mpi/src/lib.rs crates/mpi/src/iface.rs crates/mpi/src/mpiam.rs crates/mpi/src/mpif.rs crates/mpi/src/runner.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/iface.rs:
+crates/mpi/src/mpiam.rs:
+crates/mpi/src/mpif.rs:
+crates/mpi/src/runner.rs:

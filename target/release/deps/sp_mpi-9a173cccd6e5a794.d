@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sp_mpi-9a173cccd6e5a794.d: crates/mpi/src/lib.rs crates/mpi/src/iface.rs crates/mpi/src/mpiam.rs crates/mpi/src/mpif.rs crates/mpi/src/runner.rs
+
+/root/repo/target/release/deps/sp_mpi-9a173cccd6e5a794: crates/mpi/src/lib.rs crates/mpi/src/iface.rs crates/mpi/src/mpiam.rs crates/mpi/src/mpif.rs crates/mpi/src/runner.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/iface.rs:
+crates/mpi/src/mpiam.rs:
+crates/mpi/src/mpif.rs:
+crates/mpi/src/runner.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sp_mpl-8e621fbd83e54c97.d: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs
+
+/root/repo/target/release/deps/sp_mpl-8e621fbd83e54c97: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs
+
+crates/mpl/src/lib.rs:
+crates/mpl/src/config.rs:
+crates/mpl/src/layer.rs:
+crates/mpl/src/wire.rs:

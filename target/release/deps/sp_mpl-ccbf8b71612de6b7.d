@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sp_mpl-ccbf8b71612de6b7.d: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs
+
+/root/repo/target/release/deps/libsp_mpl-ccbf8b71612de6b7.rlib: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs
+
+/root/repo/target/release/deps/libsp_mpl-ccbf8b71612de6b7.rmeta: crates/mpl/src/lib.rs crates/mpl/src/config.rs crates/mpl/src/layer.rs crates/mpl/src/wire.rs
+
+crates/mpl/src/lib.rs:
+crates/mpl/src/config.rs:
+crates/mpl/src/layer.rs:
+crates/mpl/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sp_nas-77f22616c195fea3.d: crates/nas/src/lib.rs crates/nas/src/adi.rs crates/nas/src/common.rs crates/nas/src/ft.rs crates/nas/src/lu.rs crates/nas/src/mg.rs
+
+/root/repo/target/release/deps/libsp_nas-77f22616c195fea3.rlib: crates/nas/src/lib.rs crates/nas/src/adi.rs crates/nas/src/common.rs crates/nas/src/ft.rs crates/nas/src/lu.rs crates/nas/src/mg.rs
+
+/root/repo/target/release/deps/libsp_nas-77f22616c195fea3.rmeta: crates/nas/src/lib.rs crates/nas/src/adi.rs crates/nas/src/common.rs crates/nas/src/ft.rs crates/nas/src/lu.rs crates/nas/src/mg.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/adi.rs:
+crates/nas/src/common.rs:
+crates/nas/src/ft.rs:
+crates/nas/src/lu.rs:
+crates/nas/src/mg.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sp_sim-43810b4eafc56e24.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/node.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libsp_sim-43810b4eafc56e24.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/node.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libsp_sim-43810b4eafc56e24.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/node.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/node.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/sp_splitc-0ea6673594b6d45b.d: crates/splitc/src/lib.rs crates/splitc/src/apps/mod.rs crates/splitc/src/apps/mm.rs crates/splitc/src/apps/radix_sort.rs crates/splitc/src/apps/sample_sort.rs crates/splitc/src/backend/mod.rs crates/splitc/src/backend/am.rs crates/splitc/src/backend/logp.rs crates/splitc/src/backend/mpl.rs crates/splitc/src/gas.rs crates/splitc/src/run.rs crates/splitc/src/util.rs
+
+/root/repo/target/release/deps/libsp_splitc-0ea6673594b6d45b.rlib: crates/splitc/src/lib.rs crates/splitc/src/apps/mod.rs crates/splitc/src/apps/mm.rs crates/splitc/src/apps/radix_sort.rs crates/splitc/src/apps/sample_sort.rs crates/splitc/src/backend/mod.rs crates/splitc/src/backend/am.rs crates/splitc/src/backend/logp.rs crates/splitc/src/backend/mpl.rs crates/splitc/src/gas.rs crates/splitc/src/run.rs crates/splitc/src/util.rs
+
+/root/repo/target/release/deps/libsp_splitc-0ea6673594b6d45b.rmeta: crates/splitc/src/lib.rs crates/splitc/src/apps/mod.rs crates/splitc/src/apps/mm.rs crates/splitc/src/apps/radix_sort.rs crates/splitc/src/apps/sample_sort.rs crates/splitc/src/backend/mod.rs crates/splitc/src/backend/am.rs crates/splitc/src/backend/logp.rs crates/splitc/src/backend/mpl.rs crates/splitc/src/gas.rs crates/splitc/src/run.rs crates/splitc/src/util.rs
+
+crates/splitc/src/lib.rs:
+crates/splitc/src/apps/mod.rs:
+crates/splitc/src/apps/mm.rs:
+crates/splitc/src/apps/radix_sort.rs:
+crates/splitc/src/apps/sample_sort.rs:
+crates/splitc/src/backend/mod.rs:
+crates/splitc/src/backend/am.rs:
+crates/splitc/src/backend/logp.rs:
+crates/splitc/src/backend/mpl.rs:
+crates/splitc/src/gas.rs:
+crates/splitc/src/run.rs:
+crates/splitc/src/util.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sp_switch-27cb4ff17e9586b1.d: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+/root/repo/target/release/deps/libsp_switch-27cb4ff17e9586b1.rlib: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+/root/repo/target/release/deps/libsp_switch-27cb4ff17e9586b1.rmeta: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/fabric.rs:
+crates/switch/src/fault.rs:

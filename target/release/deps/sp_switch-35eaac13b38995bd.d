@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sp_switch-35eaac13b38995bd.d: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+/root/repo/target/release/deps/sp_switch-35eaac13b38995bd: crates/switch/src/lib.rs crates/switch/src/fabric.rs crates/switch/src/fault.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/fabric.rs:
+crates/switch/src/fault.rs:

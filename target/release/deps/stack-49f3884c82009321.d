@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stack-49f3884c82009321.d: tests/tests/stack.rs
+
+/root/repo/target/release/deps/stack-49f3884c82009321: tests/tests/stack.rs
+
+tests/tests/stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-813f2c3ef8413cb2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-813f2c3ef8413cb2: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

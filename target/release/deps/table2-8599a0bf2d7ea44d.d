@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-8599a0bf2d7ea44d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-8599a0bf2d7ea44d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

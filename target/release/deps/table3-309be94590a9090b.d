@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-309be94590a9090b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-309be94590a9090b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

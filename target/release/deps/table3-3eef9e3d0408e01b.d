@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-3eef9e3d0408e01b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-3eef9e3d0408e01b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

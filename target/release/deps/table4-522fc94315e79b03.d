@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-522fc94315e79b03.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-522fc94315e79b03: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

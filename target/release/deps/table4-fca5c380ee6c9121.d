@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-fca5c380ee6c9121.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-fca5c380ee6c9121: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-b427489b144fbfae.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-b427489b144fbfae: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

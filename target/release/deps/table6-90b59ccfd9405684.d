@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-90b59ccfd9405684.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-90b59ccfd9405684: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

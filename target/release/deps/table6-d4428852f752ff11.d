@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-d4428852f752ff11.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-d4428852f752ff11: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

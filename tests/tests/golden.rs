@@ -1,0 +1,155 @@
+//! Golden determinism test: a fixed-seed, 4-node, lossy-switch AM run must
+//! reproduce an exact `(end_time, events)` pair and world-trace hash —
+//! run-to-run *and* commit-to-commit. Engine optimizations (the zero-handoff
+//! advance fast path, allocation-free hot events) must not move virtual
+//! time by a single nanosecond; if this test fails after an engine change,
+//! the change altered simulation semantics, not just performance.
+//!
+//! To reprint the current values (e.g. after an *intentional* protocol
+//! change): `SP_GOLDEN_PRINT=1 cargo test -p sp-integration golden -- --nocapture`
+
+use sp_adapter::SpConfig;
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr};
+use sp_switch::FaultInjector;
+
+#[derive(Default)]
+struct St {
+    hits: u32,
+    stores: u32,
+}
+
+fn count(env: &mut AmEnv<'_, St>, _args: AmArgs) {
+    env.state.hits += 1;
+}
+
+fn store_done(env: &mut AmEnv<'_, St>, _args: AmArgs) {
+    env.state.stores += 1;
+}
+
+const NODES: usize = 4;
+const SEED: u64 = 0xC0FFEE;
+const LOSS: f64 = 0.02;
+const REQUESTS: u32 = 40;
+const STORE_LEN: usize = 3 * 1024;
+
+/// One full fixed-seed lossy run; returns `(end_time_ns, events, world_hash)`.
+fn golden_run() -> (u64, u64, u64) {
+    let cfg = AmConfig {
+        keepalive_polls: 64,
+        ..AmConfig::default()
+    };
+    let mut m = AmMachine::new(SpConfig::thin(NODES), cfg, SEED);
+    m.configure_world(|w| {
+        w.switch
+            .set_fault_injector(FaultInjector::bernoulli(LOSS, SEED))
+    });
+    for node in 0..NODES {
+        m.mem().alloc(node, STORE_LEN as u32);
+    }
+    for node in 0..NODES {
+        m.spawn(
+            format!("n{node}"),
+            St::default(),
+            move |am: &mut Am<'_, St>| {
+                am.register(count);
+                am.register(store_done);
+                let right = (node + 1) % NODES;
+                am.barrier();
+                // Request stream to the right neighbor, under loss.
+                for i in 0..REQUESTS {
+                    am.request_1(right, 0, i);
+                    if i % 8 == 0 {
+                        am.poll();
+                    }
+                }
+                // Bulk store to the same neighbor: exercises the chunk
+                // protocol + firmware event chains.
+                let data: Vec<u8> = (0..STORE_LEN).map(|i| (i as u8) ^ (node as u8)).collect();
+                am.store(
+                    GlobalPtr {
+                        node: right,
+                        addr: 0,
+                    },
+                    &data,
+                    Some(1),
+                    &[],
+                );
+                // Serve peers until everyone's traffic landed, then drain so
+                // retransmission recovery can finish cluster-wide.
+                am.poll_until(|s| s.hits >= REQUESTS && s.stores >= 1);
+                am.quiesce();
+                am.drain(sp_sim::Dur::ms(5.0));
+            },
+        );
+    }
+    let report = m.run().expect("golden run completes");
+
+    // World-trace hash: FNV-1a over the observable end state — virtual
+    // time, per-adapter counters, switch counters, and every stored byte.
+    let mut h = Fnv::new();
+    h.u64(report.end_time.as_ns());
+    h.u64(report.events);
+    for node in 0..NODES {
+        let a = report.world.adapter_stats(node);
+        h.u64(a.sent);
+        h.u64(a.received);
+        h.u64(a.dropped_overflow);
+        h.u64(a.doorbells);
+        h.u64(a.lazy_pops);
+        h.u64(a.recv_high_water as u64);
+        h.bytes(&report.mem.read_vec(GlobalPtr { node, addr: 0 }, STORE_LEN));
+    }
+    let s = report.world.switch.stats();
+    h.u64(s.delivered);
+    h.u64(s.dropped);
+    h.u64(s.delayed);
+    h.u64(s.wire_bytes);
+    (report.end_time.as_ns(), report.events, h.finish())
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The pinned golden values. An engine perf change must never move these;
+/// a deliberate protocol/cost-model change may — reprint and update with
+/// `SP_GOLDEN_PRINT=1` (and say why in the commit).
+const GOLDEN_END_NS: u64 = 5_586_718;
+const GOLDEN_EVENTS: u64 = 23_485;
+const GOLDEN_HASH: u64 = 0x9C08_1B52_03F0_39E2;
+
+#[test]
+fn golden_lossy_run_is_pinned() {
+    let (end_ns, events, hash) = golden_run();
+    if std::env::var("SP_GOLDEN_PRINT").is_ok_and(|v| v == "1") {
+        println!("golden: end_ns={end_ns} events={events} hash={hash:#018X}");
+    }
+    assert_eq!(end_ns, GOLDEN_END_NS, "virtual end time moved");
+    assert_eq!(events, GOLDEN_EVENTS, "event count moved");
+    assert_eq!(hash, GOLDEN_HASH, "world-trace hash moved");
+}
+
+#[test]
+fn golden_run_repeats_identically() {
+    assert_eq!(
+        golden_run(),
+        golden_run(),
+        "same seed must reproduce bit-identical runs"
+    );
+}

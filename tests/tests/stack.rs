@@ -99,11 +99,16 @@ fn am_beats_mpl_by_forty_percent() {
 /// the AM layer.
 #[test]
 fn splitc_sort_under_am_loss() {
-    let cfg = SampleConfig { keys_per_node: 1024, ..SampleConfig::tiny(false) };
+    let cfg = SampleConfig {
+        keys_per_node: 1024,
+        ..SampleConfig::tiny(false)
+    };
     let (count, checksum) = sample_sort::expected(&cfg, 4);
     // Plain SP AM run, then verify; loss is exercised in the sp-am tests —
     // here we assert the cross-layer result shape.
-    let results = run_spmd(Platform::SpAm, 4, 7, move |g: &mut dyn Gas| sample_sort::run(g, &cfg));
+    let results = run_spmd(Platform::SpAm, 4, 7, move |g: &mut dyn Gas| {
+        sample_sort::run(g, &cfg)
+    });
     let outcomes: Vec<_> = results.iter().map(|(_, o)| *o).collect();
     sp_splitc::apps::verify_sort(&outcomes, count, checksum);
 }
@@ -113,9 +118,15 @@ fn splitc_sort_under_am_loss() {
 #[test]
 fn lossy_store_end_to_end() {
     let len = 6 * 8064usize;
-    let cfg = AmConfig { keepalive_polls: 64, ..AmConfig::default() };
+    let cfg = AmConfig {
+        keepalive_polls: 64,
+        ..AmConfig::default()
+    };
     let mut m = AmMachine::new(SpConfig::thin(2), cfg, 5);
-    m.configure_world(|w| w.switch.set_fault_injector(FaultInjector::bernoulli(0.03, 17)));
+    m.configure_world(|w| {
+        w.switch
+            .set_fault_injector(FaultInjector::bernoulli(0.03, 17))
+    });
     m.mem().alloc(1, len as u32);
     let data: Vec<u8> = (0..len).map(|i| (i % 239) as u8).collect();
     let expect = data.clone();
@@ -130,7 +141,10 @@ fn lossy_store_end_to_end() {
     });
     let report = m.run().unwrap();
     assert!(report.world.switch.stats().dropped > 0);
-    assert_eq!(report.mem.read_vec(GlobalPtr { node: 1, addr: 0 }, len), expect);
+    assert_eq!(
+        report.mem.read_vec(GlobalPtr { node: 1, addr: 0 }, len),
+        expect
+    );
 }
 
 /// An MPI program moving through every protocol regime in one session,
@@ -151,7 +165,7 @@ fn mpi_protocol_tour_agrees_across_impls() {
                 acc += d.iter().map(|&b| b as f64).sum::<f64>();
             }
         }
-        
+
         mpi.allreduce_f64(&[acc], |a, b| a + b)[0]
     };
     let am: Vec<f64> = run_mpi(MpiImpl::AmOptimized, SpConfig::thin(2), 3, tour);
@@ -165,11 +179,16 @@ fn mpi_protocol_tour_agrees_across_impls() {
 /// Wide-node machines (Figures 10/11 hardware) run the full MPI stack too.
 #[test]
 fn wide_nodes_full_stack() {
-    let res = run_mpi(MpiImpl::AmOptimized, SpConfig::wide(4), 7, |mpi: &mut dyn Mpi| {
-        let bufs: Vec<Vec<u8>> = (0..mpi.size()).map(|d| vec![d as u8; 600]).collect();
-        let got = mpi.alltoall(&bufs);
-        got.iter().map(|v| v.len()).sum::<usize>()
-    });
+    let res = run_mpi(
+        MpiImpl::AmOptimized,
+        SpConfig::wide(4),
+        7,
+        |mpi: &mut dyn Mpi| {
+            let bufs: Vec<Vec<u8>> = (0..mpi.size()).map(|d| vec![d as u8; 600]).collect();
+            let got = mpi.alltoall(&bufs);
+            got.iter().map(|v| v.len()).sum::<usize>()
+        },
+    );
     assert!(res.iter().all(|&n| n == 4 * 600));
 }
 
@@ -177,7 +196,10 @@ fn wide_nodes_full_stack() {
 /// the whole tower).
 #[test]
 fn keepalive_statistics_visible() {
-    let cfg = AmConfig { keepalive_polls: 32, ..AmConfig::default() };
+    let cfg = AmConfig {
+        keepalive_polls: 32,
+        ..AmConfig::default()
+    };
     let mut m = AmMachine::new(SpConfig::thin(2), cfg, 3);
     // Drop the only request so the sender must probe.
     m.configure_world(|w| w.switch.set_fault_injector(FaultInjector::drop_at([0])));

@@ -1,0 +1,357 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal wall-clock bench harness exposing the subset of criterion's
+//! API used by `crates/bench/benches/`: `Criterion`, `benchmark_group`,
+//! `Throughput`, `Bencher::iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each `bench_function` warms up briefly, then runs
+//! timed batches until the configured measurement time elapses, and prints
+//! the mean time per iteration plus derived throughput. No statistics
+//! beyond the mean, no HTML reports. Results can also be harvested
+//! programmatically by wrapping `main` (see [`take_results`]).
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+thread_local! {
+    static RESULTS: RefCell<Vec<BenchResult>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` id.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Throughput declared for the group, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// Drain all results recorded on this thread so far.
+pub fn take_results() -> Vec<BenchResult> {
+    RESULTS.with(|r| r.borrow_mut().drain(..).collect())
+}
+
+fn record(result: BenchResult) {
+    RESULTS.with(|r| r.borrow_mut().push(result));
+}
+
+/// Throughput declaration: converts per-iteration time into rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (accepted; batching is per call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup every iteration.
+    PerIteration,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed batches per bench.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the total time budget per bench.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for CLI compatibility; filtering is not implemented.
+    pub fn with_filter<S: Into<String>>(self, _filter: S) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(&id, None, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the number of timed batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Override the time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Measure `f`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(
+            &id,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to bench closures; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called `self.iters` times back-to-back.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration: grow the iteration count until one batch takes ~1/8 of
+    // the budget (or at least a millisecond), so timer overhead vanishes.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let target = (measurement_time / 8).max(Duration::from_millis(1));
+        if b.elapsed >= target || iters >= 1 << 30 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16.0
+        } else {
+            (target.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64 * grow).ceil() as u64).max(iters + 1);
+    };
+    // Measurement: `sample_size` batches inside the remaining budget.
+    let batch_iters = ((measurement_time.as_secs_f64() / sample_size as f64) / per_iter.max(1e-9))
+        .ceil()
+        .max(1.0) as u64;
+    let mut best = f64::INFINITY;
+    let mut sum = 0.0;
+    let started = Instant::now();
+    let mut samples = 0usize;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: batch_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_secs_f64() * 1e9 / batch_iters as f64;
+        best = best.min(ns);
+        sum += ns;
+        samples += 1;
+        if started.elapsed() > measurement_time * 2 {
+            break; // budget blown; keep what we have
+        }
+    }
+    let mean = sum / samples as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10} elem/s", human_rate(n as f64 / (mean / 1e9)))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10}B/s", human_rate(n as f64 / (mean / 1e9)))
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {id:<40} {:>14} ns/iter (best {:>14} ns){rate}",
+        group_digits(mean),
+        group_digits(best)
+    );
+    record(BenchResult {
+        id: id.to_string(),
+        ns_per_iter: mean,
+        throughput,
+    });
+}
+
+fn group_digits(v: f64) -> String {
+    let s = format!("{v:.0}");
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn human_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} k", r / 1e3)
+    } else {
+        format!("{r:.0} ")
+    }
+}
+
+/// Define a bench group: either `criterion_group!(name, target...)` or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        let results = take_results();
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.ns_per_iter > 0.0));
+    }
+}
