@@ -11,6 +11,7 @@ use crate::unit::{FifoFull, WirePacket};
 use crate::world::fw_send_step;
 use crate::SpCtx;
 use sp_sim::Dur;
+use sp_trace::{Kind, Track};
 
 /// Write one packet into the caller's send FIFO (host copy + cache-line
 /// flush are charged), *without* making it visible to the firmware — call
@@ -24,13 +25,26 @@ pub fn write_packet<P: Send + 'static>(
 ) -> Result<(), FifoFull> {
     let src = ctx.id().0;
     let pkt = WirePacket::new(src, dst, payload_bytes, payload);
+    let t0 = ctx.now();
     // One fused world-access + time charge; a full FIFO charges nothing
     // (the caller never touched the hardware).
     ctx.world_then_advance(|w| {
         debug_assert!(dst < w.nodes(), "destination {dst} out of range");
-        let cost = w.cost.memcpy(pkt.wire_bytes) + w.cost.flush(pkt.wire_bytes);
+        let wire_bytes = pkt.wire_bytes;
+        let cost = w.cost.packet_host_cost(wire_bytes);
         match w.adapters[src].push_send(pkt) {
-            Ok(()) => (Ok(()), cost),
+            Ok(()) => {
+                if let Some(t) = &w.tracer {
+                    t.span(
+                        t0.as_ns(),
+                        (t0 + cost).as_ns(),
+                        Track::program(src),
+                        Kind::HostWrite,
+                        wire_bytes as u64,
+                    );
+                }
+                (Ok(()), cost)
+            }
             Err(e) => (Err(e), Dur::ZERO),
         }
     })
@@ -42,7 +56,20 @@ pub fn write_packet<P: Send + 'static>(
 /// optimization of "writing the lengths of several packets at a time".
 pub fn ring_doorbell<P: Send + 'static>(ctx: &mut SpCtx<P>, count: usize) {
     let src = ctx.id().0;
-    let scan = ctx.world_then_advance(|w| (w.cfg.fw_scan_delay, w.cost.pio_write));
+    let t0 = ctx.now();
+    let scan = ctx.world_then_advance(|w| {
+        let cost = w.cost.pio_write;
+        if let Some(t) = &w.tracer {
+            t.span(
+                t0.as_ns(),
+                (t0 + cost).as_ns(),
+                Track::program(src),
+                Kind::HostDoorbell,
+                count as u64,
+            );
+        }
+        (w.cfg.fw_scan_delay, cost)
+    });
     let kick = ctx.world(|w| {
         let a = &mut w.adapters[src];
         let marked = a.mark_ready(count);
@@ -89,20 +116,43 @@ pub fn send_fifo_free<P: Send + 'static>(ctx: &mut SpCtx<P>) -> usize {
 ///   `recv_pop_batch`-th packet — one MicroChannel store for the lazy pop.
 pub fn poll_packet<P: Send + 'static>(ctx: &mut SpCtx<P>) -> Option<WirePacket<P>> {
     let me = ctx.id().0;
+    let t0 = ctx.now();
     ctx.world_then_advance(|w| {
         let pop_batch = w.cfg.recv_pop_batch;
         let empty_check = w.cfg.recv_empty_check;
         let a = &mut w.adapters[me];
+        let track = Track::program(me);
         match a.recv_fifo.pop_front() {
             None => {
                 // Idle moment: flush any pending lazy pops so consumed
                 // entries stop holding FIFO capacity (otherwise a partial
                 // batch could pin a small FIFO at "full" forever).
                 if a.recv_unpopped > 0 {
+                    let flushed = a.recv_unpopped as u64;
                     a.recv_unpopped = 0;
                     a.stats.lazy_pops += 1;
+                    if let Some(t) = &w.tracer {
+                        let mid = t0 + empty_check;
+                        t.span(t0.as_ns(), mid.as_ns(), track, Kind::HostPollEmpty, 0);
+                        t.span(
+                            mid.as_ns(),
+                            (mid + w.cost.pio_write).as_ns(),
+                            track,
+                            Kind::HostLazyPop,
+                            flushed,
+                        );
+                    }
                     (None, empty_check + w.cost.pio_write)
                 } else {
+                    if let Some(t) = &w.tracer {
+                        t.span(
+                            t0.as_ns(),
+                            (t0 + empty_check).as_ns(),
+                            track,
+                            Kind::HostPollEmpty,
+                            0,
+                        );
+                    }
                     (None, empty_check)
                 }
             }
@@ -110,11 +160,33 @@ pub fn poll_packet<P: Send + 'static>(ctx: &mut SpCtx<P>) -> Option<WirePacket<P
                 a.recv_unpopped += 1;
                 // Copy out + flush the entry's *used* lines in preparation
                 // for wrap-around.
-                let mut cost = w.cost.memcpy(pkt.wire_bytes) + w.cost.flush(pkt.wire_bytes);
+                let copy = w.cost.packet_host_cost(pkt.wire_bytes);
+                let mut cost = copy;
+                let mut popped = 0u64;
                 if a.recv_unpopped >= pop_batch {
+                    popped = a.recv_unpopped as u64;
                     a.recv_unpopped = 0;
                     a.stats.lazy_pops += 1;
                     cost += w.cost.pio_write;
+                }
+                if let Some(t) = &w.tracer {
+                    let mid = t0 + copy;
+                    t.span(
+                        t0.as_ns(),
+                        mid.as_ns(),
+                        track,
+                        Kind::HostPollHit,
+                        pkt.wire_bytes as u64,
+                    );
+                    if popped > 0 {
+                        t.span(
+                            mid.as_ns(),
+                            (t0 + cost).as_ns(),
+                            track,
+                            Kind::HostLazyPop,
+                            popped,
+                        );
+                    }
                 }
                 (Some(pkt), cost)
             }

@@ -6,6 +6,7 @@ use crate::unit::{Adapter, AdapterStats, WirePacket};
 use sp_machine::CostModel;
 use sp_sim::EventCtx;
 use sp_switch::{Switch, SwitchConfig, Transit};
+use sp_trace::{Kind, Tracer, Track};
 
 /// Configuration of a whole simulated SP partition.
 #[derive(Debug, Clone)]
@@ -53,6 +54,7 @@ pub struct SpWorld<P: Send + 'static> {
     pub(crate) cfg: AdapterConfig,
     pub(crate) adapters: Vec<Adapter<P>>,
     pub(crate) inflight: InflightSlab<P>,
+    pub(crate) tracer: Option<Tracer>,
 }
 
 /// Parking space for packets crossing the switch: allocation-free `Hot`
@@ -122,7 +124,26 @@ impl<P: Send + 'static> SpWorld<P> {
             cfg: cfg.adapter,
             adapters,
             inflight: InflightSlab::new(),
+            tracer: None,
         }
+    }
+
+    /// Install a trace recorder on the whole machine: host FIFO operations,
+    /// firmware send/receive, deliveries and drops, and (via the embedded
+    /// switch) per-hop transit and link occupancy.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.switch.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed trace recorder, if any.
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.tracer.clone()
+    }
+
+    /// Packets dropped to receive-FIFO overflow, summed over all adapters.
+    pub fn dropped_overflow(&self) -> u64 {
+        self.adapters.iter().map(|a| a.stats.dropped_overflow).sum()
     }
 
     /// Number of nodes in the partition.
@@ -172,7 +193,17 @@ pub(crate) fn fw_send_step<P: Send + 'static>(
             }
             Some(pkt) => {
                 let occupancy = w.cfg.fw_send_per_packet + w.cfg.dma(pkt.wire_bytes);
-                (pkt, now + occupancy)
+                let done = now + occupancy;
+                if let Some(t) = &w.tracer {
+                    t.span(
+                        now.as_ns(),
+                        done.as_ns(),
+                        Track::adapter(node),
+                        Kind::FwSend,
+                        pkt.wire_bytes as u64,
+                    );
+                }
+                (pkt, done)
             }
         }
     };
@@ -204,6 +235,15 @@ pub(crate) fn fw_recv_step<P: Send + 'static>(
         let start = now.max(w.adapters[dst as usize].recv_busy_until);
         let finish = start + w.cfg.fw_recv_per_packet + w.cfg.dma(wire_bytes);
         w.adapters[dst as usize].recv_busy_until = finish;
+        if let Some(t) = &w.tracer {
+            t.span(
+                start.as_ns(),
+                finish.as_ns(),
+                Track::adapter(dst as usize),
+                Kind::FwRecv,
+                wire_bytes as u64,
+            );
+        }
         finish
     };
     e.schedule_hot_at(finish, deliver_step, dst, slot);
@@ -211,8 +251,26 @@ pub(crate) fn fw_recv_step<P: Send + 'static>(
 
 /// Final hop: unpark the slab slot into the destination's receive FIFO.
 fn deliver_step<P: Send + 'static>(e: &mut EventCtx<'_, SpWorld<P>>, dst: u64, slot: u64) {
-    let pkt = e.world().inflight.take(slot);
-    if e.world().adapters[dst as usize].deliver(pkt) {
+    let now = e.now();
+    let accepted = {
+        let w = e.world();
+        let pkt = w.inflight.take(slot);
+        let wire_bytes = pkt.wire_bytes as u64;
+        let dst = dst as usize;
+        let accepted = w.adapters[dst].deliver(pkt);
+        if let Some(t) = &w.tracer {
+            let track = Track::adapter(dst);
+            if accepted {
+                t.instant(now.as_ns(), track, Kind::RecvDeliver, wire_bytes);
+                let occupancy = w.adapters[dst].recv_occupancy() as u64;
+                t.counter(now.as_ns(), track, Kind::RecvOccupancy, occupancy);
+            } else {
+                t.instant(now.as_ns(), track, Kind::RecvDrop, wire_bytes);
+            }
+        }
+        accepted
+    };
+    if accepted {
         // Interrupt line: wake the host if it is sleeping on arrival
         // (a latched signal otherwise; pure-polling layers never park,
         // so this is free for them).

@@ -125,9 +125,10 @@ impl<'c, S> Am<'c, S> {
     pub(crate) fn new(ctx: &'c mut AmCtx, mem: MemPool, cfg: crate::AmConfig, state: S) -> Self {
         let me = ctx.id().0;
         let n = ctx.num_nodes();
+        let tracer = ctx.world(|w| w.tracer());
         Am {
             ctx,
-            port: AmPort::new(me, n, cfg, mem),
+            port: AmPort::new(me, n, cfg, mem, tracer),
             state,
         }
     }
@@ -406,6 +407,26 @@ impl<'c, S> Am<'c, S> {
         let until = self.now() + d;
         while self.now() < until {
             self.port.poll(self.ctx, &mut self.state);
+        }
+    }
+
+    /// [`drain`](Am::drain), but the quiet window *restarts* whenever a
+    /// packet arrives: return only after `d` of continuous silence. A
+    /// fixed-length drain can end while a lossy peer is still
+    /// mid-recovery — its retransmissions then go unacknowledged forever
+    /// and the peer's `quiesce` never terminates. A recovering peer
+    /// retransmits every few keep-alive rounds (microseconds), so any `d`
+    /// well above that cadence makes premature exit require an
+    /// arbitrarily long run of consecutive losses. Arrivals alone gate
+    /// the exit (never this node's own unacknowledged sends — those are
+    /// the *active* side's `quiesce` contract), so a dead peer cannot
+    /// wedge the drain.
+    pub fn drain_quiet(&mut self, d: Dur) {
+        let mut deadline = self.now() + d;
+        while self.now() < deadline {
+            if self.port.poll(self.ctx, &mut self.state) > 0 {
+                deadline = self.now() + d;
+            }
         }
     }
 }

@@ -54,9 +54,6 @@ pub struct AmConfig {
     /// How many packet lengths a bulk sender accumulates per doorbell
     /// (batching the MicroChannel length stores, §2.1).
     pub doorbell_batch: usize,
-    /// Record a chunk-protocol trace (chunk emissions + cumulative acks);
-    /// used to regenerate the paper's Figure 2 and by pipeline tests.
-    pub trace_chunks: bool,
 }
 
 impl Default for AmConfig {
@@ -76,7 +73,6 @@ impl Default for AmConfig {
             bulk_setup_cpu: Dur::us(2.0),
             bulk_per_packet_cpu: Dur::ns(350),
             doorbell_batch: 8,
-            trace_chunks: false,
         }
     }
 }

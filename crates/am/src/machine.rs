@@ -7,6 +7,7 @@ use crate::wire::AmPacket;
 use crate::AmWorld;
 use sp_adapter::SpConfig;
 use sp_sim::{NodeId, Sim, SimError, Time};
+use sp_trace::Tracer;
 
 /// A configured SP machine running Active Messages node programs.
 ///
@@ -40,6 +41,13 @@ pub struct AmReport {
     pub events: u64,
     /// Wall-clock duration of the run.
     pub wall: std::time::Duration,
+    /// Packets dropped to receive-FIFO overflow, summed over all adapters —
+    /// the loss source the AM window/NACK machinery exists to survive.
+    pub dropped_overflow: u64,
+    /// Packets dropped inside the switch fabric (fault injection).
+    pub switch_dropped: u64,
+    /// Duplicate unpark wake-ups coalesced by the engine.
+    pub wakes_coalesced: u64,
     /// The machine's final hardware state (switch/adapter statistics).
     pub world: AmWorld,
     /// The memory pool (inspect transfer results after the run).
@@ -77,6 +85,19 @@ impl AmMachine {
     /// Cap engine events (livelock guard in tests).
     pub fn set_event_budget(&mut self, budget: u64) {
         self.sim.set_event_budget(budget);
+    }
+
+    /// Install a virtual-time trace recorder across the whole stack — the
+    /// engine, the adapters and switch, and every node's protocol engine —
+    /// and return the handle used to snapshot records afterwards. Each node
+    /// gets a ring of `per_node_capacity` records (oldest overwritten on
+    /// overflow). Call any time before [`AmMachine::run`]; node programs
+    /// pick the tracer up from the world when they start.
+    pub fn enable_tracing(&mut self, per_node_capacity: usize) -> Tracer {
+        let tracer = Tracer::new(self.nodes, per_node_capacity);
+        self.sim.set_tracer(tracer.clone());
+        self.sim.world_mut().set_tracer(tracer.clone());
+        tracer
     }
 
     /// The memory pool handle (also available in [`AmReport`]).
@@ -128,6 +149,9 @@ impl AmMachine {
             end_time: report.end_time,
             events: report.events,
             wall: report.wall,
+            dropped_overflow: report.world.dropped_overflow(),
+            switch_dropped: report.world.switch.stats().dropped,
+            wakes_coalesced: report.wakes_coalesced,
             world: report.world,
             mem,
         })

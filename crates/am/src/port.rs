@@ -6,10 +6,11 @@ use crate::api::{AmArgs, AmEnv, BulkHandle, BulkInfo};
 use crate::channel::{BulkTx, RxChan, RxVerdict, SendItem, TxChan};
 use crate::config::AmConfig;
 use crate::mem::MemPool;
-use crate::stats::{AmStats, TraceEvent};
+use crate::stats::AmStats;
 use crate::wire::{AmPacket, Body, Channel, ShortKind};
 use crate::AmCtx;
 use sp_adapter::host;
+use sp_trace::{Kind as TraceKind, Tracer, Track};
 use std::collections::{HashMap, HashSet};
 
 /// Handler table index.
@@ -43,12 +44,18 @@ pub struct AmPort<S> {
     made_progress: bool,
     barrier_hits: u32,
     barrier_go: bool,
-    trace: Vec<TraceEvent>,
+    tracer: Option<Tracer>,
     pub(crate) stats: AmStats,
 }
 
 impl<S> AmPort<S> {
-    pub(crate) fn new(me: usize, n: usize, cfg: AmConfig, mem: MemPool) -> Self {
+    pub(crate) fn new(
+        me: usize,
+        n: usize,
+        cfg: AmConfig,
+        mem: MemPool,
+        tracer: Option<Tracer>,
+    ) -> Self {
         let peers = (0..n)
             .map(|_| Peer {
                 tx: [
@@ -75,8 +82,30 @@ impl<S> AmPort<S> {
             made_progress: false,
             barrier_hits: 0,
             barrier_go: false,
-            trace: Vec::new(),
+            tracer,
             stats: AmStats::default(),
+        }
+    }
+
+    /// Record a protocol-layer span on this node's program track.
+    #[inline]
+    fn t_span(&self, begin: sp_sim::Time, end: sp_sim::Time, kind: TraceKind, arg: u64) {
+        if let Some(t) = &self.tracer {
+            t.span(
+                begin.as_ns(),
+                end.as_ns(),
+                Track::program(self.me),
+                kind,
+                arg,
+            );
+        }
+    }
+
+    /// Record a protocol-layer instant on this node's program track.
+    #[inline]
+    fn t_instant(&self, at: sp_sim::Time, kind: TraceKind, arg: u64) {
+        if let Some(t) = &self.tracer {
+            t.instant(at.as_ns(), Track::program(self.me), kind, arg);
         }
     }
 
@@ -109,11 +138,6 @@ impl<S> AmPort<S> {
         self.cfg.interrupt_cpu
     }
 
-    /// The chunk-protocol trace (empty unless `AmConfig::trace_chunks`).
-    pub fn trace(&self) -> &[TraceEvent] {
-        &self.trace
-    }
-
     pub(crate) fn register(&mut self, f: HandlerFn<S>) -> u16 {
         let id = self.handlers.len() as u16;
         assert!(id < HANDLER_NONE, "handler table full");
@@ -133,7 +157,9 @@ impl<S> AmPort<S> {
         args: [u32; 4],
     ) {
         let words = (nargs as u64).saturating_sub(1);
+        let t0 = ctx.now();
         ctx.advance(self.cfg.request_cpu + self.cfg.per_word_cpu * words);
+        self.t_span(t0, ctx.now(), TraceKind::AmRequest, dst as u64);
         self.stats.requests_sent += 1;
         self.peers[dst].tx[Channel::Request.idx()].push(SendItem::Short {
             kind: ShortKind::User,
@@ -155,7 +181,9 @@ impl<S> AmPort<S> {
         args: [u32; 4],
     ) {
         let words = (nargs as u64).saturating_sub(1);
+        let t0 = ctx.now();
         ctx.advance(self.cfg.reply_cpu + self.cfg.per_word_cpu * words);
+        self.t_span(t0, ctx.now(), TraceKind::AmReply, dst as u64);
         self.stats.replies_sent += 1;
         self.peers[dst].tx[Channel::Reply.idx()].push(SendItem::Short {
             kind: ShortKind::User,
@@ -181,6 +209,7 @@ impl<S> AmPort<S> {
         completion: Option<(u16, [u32; 4])>,
     ) -> BulkHandle {
         ctx.advance(self.cfg.bulk_setup_cpu);
+        self.t_instant(ctx.now(), TraceKind::AmStore, data.len() as u64);
         self.stats.stores += 1;
         let id = self.alloc_bulk_id();
         if data.is_empty() {
@@ -212,6 +241,7 @@ impl<S> AmPort<S> {
         args: [u32; 4],
     ) -> BulkHandle {
         ctx.advance(self.cfg.bulk_setup_cpu);
+        self.t_instant(ctx.now(), TraceKind::AmGet, len as u64);
         self.stats.gets += 1;
         let id = self.alloc_bulk_id();
         if len == 0 {
@@ -264,19 +294,13 @@ impl<S> AmPort<S> {
                 if is_data {
                     ctx.advance(self.cfg.bulk_per_packet_cpu);
                     self.stats.packets_sent += 1;
-                    if self.cfg.trace_chunks {
+                    if self.tracer.is_some() {
                         if let Body::Data { last_of_chunk, .. } = pkt.body {
                             if pkt.offset == 0 {
-                                self.trace.push(TraceEvent::ChunkStart {
-                                    seq: pkt.seq,
-                                    at: ctx.now(),
-                                });
+                                self.t_instant(ctx.now(), TraceKind::AmChunkStart, pkt.seq as u64);
                             }
                             if last_of_chunk {
-                                self.trace.push(TraceEvent::ChunkEnd {
-                                    seq: pkt.seq,
-                                    at: ctx.now(),
-                                });
+                                self.t_instant(ctx.now(), TraceKind::AmChunkEnd, pkt.seq as u64);
                             }
                         }
                     }
@@ -347,12 +371,16 @@ impl<S> AmPort<S> {
     /// Returns the number of packets processed.
     pub(crate) fn poll(&mut self, ctx: &mut AmCtx, state: &mut S) -> usize {
         self.stats.polls += 1;
+        let t0 = ctx.now();
         ctx.advance(self.cfg.poll_cpu);
+        self.t_span(t0, ctx.now(), TraceKind::AmPoll, 0);
         self.made_progress = false;
         let mut processed = 0usize;
         while let Some(wpkt) = host::poll_packet(ctx) {
             processed += 1;
+            let d0 = ctx.now();
             ctx.advance(self.cfg.dispatch_cpu);
+            self.t_span(d0, ctx.now(), TraceKind::AmDispatch, wpkt.src as u64);
             self.handle_packet(ctx, state, wpkt.src, wpkt.payload);
         }
         // Keep-alive: the paper emulates timeouts "by counting the number
@@ -399,14 +427,17 @@ impl<S> AmPort<S> {
     /// if everything actually arrived, or restarts lost traffic otherwise.
     fn keepalive_round(&mut self, ctx: &mut AmCtx) {
         self.stats.keepalive_rounds += 1;
+        let mut probes = 0u64;
         for dst in 0..self.n {
             for chan in Channel::BOTH {
                 if self.peers[dst].tx[chan.idx()].has_unacked() {
                     self.stats.probes_sent += 1;
+                    probes += 1;
                     self.send_control(ctx, dst, chan, Body::Probe);
                 }
             }
         }
+        self.t_instant(ctx.now(), TraceKind::AmKeepalive, probes);
     }
 
     fn handle_packet(&mut self, ctx: &mut AmCtx, state: &mut S, src: usize, pkt: AmPacket) {
@@ -420,6 +451,7 @@ impl<S> AmPort<S> {
                 self.made_progress = true;
                 self.stats.nacks_received += 1;
                 let (completed, rtx) = self.peers[src].tx[chan.idx()].on_nack(seq, offset);
+                self.t_instant(ctx.now(), TraceKind::AmNackIn, rtx as u64);
                 self.stats.packets_retransmitted += rtx as u64;
                 self.finish_bulks(ctx, state, completed);
                 self.pump_peer(ctx, src);
@@ -435,6 +467,7 @@ impl<S> AmPort<S> {
                         offset: eo,
                     },
                 );
+                self.t_instant(ctx.now(), TraceKind::AmNackOut, 0);
                 self.stats.nacks_sent += 1;
             }
             Body::Short {
@@ -574,6 +607,7 @@ impl<S> AmPort<S> {
 
     fn send_nack(&mut self, ctx: &mut AmCtx, dst: usize, chan: Channel) {
         let (es, eo) = self.peers[dst].rx[chan.idx()].expected();
+        self.t_instant(ctx.now(), TraceKind::AmNackOut, 0);
         self.stats.nacks_sent += 1;
         self.send_control(
             ctx,
@@ -590,9 +624,11 @@ impl<S> AmPort<S> {
         let (freed, completed) = self.peers[src].tx[chan.idx()].on_ack(cum);
         if freed > 0 {
             self.made_progress = true;
-            if self.cfg.trace_chunks && chan == Channel::Request {
-                self.trace.push(TraceEvent::AckIn { cum, at: ctx.now() });
-            }
+            self.t_instant(
+                ctx.now(),
+                TraceKind::AmAck,
+                cum as u64 | (chan.idx() as u64) << 32,
+            );
         }
         self.finish_bulks(ctx, state, completed);
     }

@@ -38,31 +38,3 @@ pub struct AmStats {
     /// Keep-alive activations (a probe round for outstanding traffic).
     pub keepalive_rounds: u64,
 }
-
-/// One entry of the chunk-protocol trace (enabled by
-/// [`AmConfig::trace_chunks`](crate::AmConfig)); regenerates the paper's
-/// Figure 2 from measured events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// First packet of chunk `seq` handed to the send FIFO.
-    ChunkStart {
-        /// Chunk sequence number.
-        seq: u32,
-        /// Emission time.
-        at: sp_sim::Time,
-    },
-    /// Last packet of chunk `seq` handed to the send FIFO.
-    ChunkEnd {
-        /// Chunk sequence number.
-        seq: u32,
-        /// Emission time.
-        at: sp_sim::Time,
-    },
-    /// A cumulative acknowledgement arrived ("everything below `cum`").
-    AckIn {
-        /// Cumulative ack value.
-        cum: u32,
-        /// Arrival time.
-        at: sp_sim::Time,
-    },
-}

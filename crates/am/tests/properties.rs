@@ -51,7 +51,7 @@ proptest! {
             am.register(mark_done);
             am.poll_until(|s| s.done);
             // Serve the sender's final-ack recovery before exiting.
-            am.drain(sp_sim::Dur::ms(5.0));
+            am.drain_quiet(sp_sim::Dur::ms(5.0));
         });
         let report = m.run().unwrap();
         prop_assert_eq!(report.mem.read_vec(GlobalPtr { node: 1, addr: 0 }, len), data);
@@ -83,7 +83,7 @@ proptest! {
             am.register(record);
             am.poll_until(|s| s.seen.len() as u32 >= count);
             assert_eq!(am.state().seen, expect, "must be exactly-once, in-order");
-            am.drain(sp_sim::Dur::ms(5.0));
+            am.drain_quiet(sp_sim::Dur::ms(5.0));
         });
         m.run().unwrap();
     }
@@ -109,9 +109,12 @@ proptest! {
             let p = am.alloc(len as u32);
             am.mem().write(p.addr, &data2);
             am.barrier();
-            // Serve the get, then wait until the reply data is fully
-            // acknowledged (the getter drains long enough to cover our
-            // keep-alive recovery rounds).
+            // Serve the get until the getter confirms arrival, then wait
+            // for our reply data to be fully acknowledged. Exiting on
+            // `quiesce` alone is wrong: if the get *request* is lost, our
+            // outbound is already idle and we'd leave the getter
+            // retransmitting at a dead node forever.
+            am.poll_until(|s| s.done);
             am.quiesce();
         });
         m.spawn("getter", St::default(), move |am: &mut Am<'_, St>| {
@@ -119,7 +122,8 @@ proptest! {
             am.barrier();
             let dst = am.alloc(len as u32);
             am.get_blocking(GlobalPtr { node: 0, addr: 0 }, dst.addr, len as u32);
-            am.drain(sp_sim::Dur::ms(5.0));
+            am.request_1(0, 0, 0); // confirm arrival so the holder may exit
+            am.drain_quiet(sp_sim::Dur::ms(5.0));
         });
         let report = m.run().unwrap();
         prop_assert_eq!(report.mem.read_vec(GlobalPtr { node: 1, addr: 0 }, len), data);

@@ -464,18 +464,13 @@ fn stats_reflect_traffic() {
 #[test]
 fn chunk_pipeline_matches_figure_2() {
     // Chunk N+2 may only be transmitted after the ack for chunk N (§2.2,
-    // Figure 2); verify from the protocol trace of a 5-chunk store.
-    use sp_am::TraceEvent;
+    // Figure 2); verify from the measured trace of a 5-chunk store.
+    use sp_trace::{Kind, Track};
     let chunks = 5usize;
     let len = chunks * sp_am::CHUNK_BYTES;
-    let cfg = AmConfig {
-        trace_chunks: true,
-        ..AmConfig::default()
-    };
-    let mut m = AmMachine::new(SpConfig::thin(2), cfg, 7);
+    let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 7);
+    let tracer = m.enable_tracing(1 << 16);
     m.mem().alloc(1, len as u32);
-    let trace = Arc::new(parking_lot::Mutex::new(Vec::new()));
-    let trace2 = trace.clone();
     m.spawn("tx", St::default(), move |am: &mut Am<'_, St>| {
         am.register(bump_flag);
         am.store(
@@ -484,7 +479,6 @@ fn chunk_pipeline_matches_figure_2() {
             Some(0),
             &[1],
         );
-        *trace2.lock() = am.port().trace().to_vec();
     });
     m.spawn("rx", St::default(), |am: &mut Am<'_, St>| {
         am.register(bump_flag);
@@ -492,22 +486,24 @@ fn chunk_pipeline_matches_figure_2() {
     });
     m.run().unwrap();
 
-    let trace = trace.lock();
+    // The sender is node 0; chunk emissions and incoming acks land on its
+    // program track. AmAck packs `cum | channel << 32` (Request = 0).
+    let trace: Vec<_> = tracer
+        .snapshot()
+        .into_iter()
+        .filter(|r| r.track == Track::program(0))
+        .collect();
     let start_of = |seq: u32| {
         trace
             .iter()
-            .find_map(|e| match *e {
-                TraceEvent::ChunkStart { seq: s, at } if s == seq => Some(at),
-                _ => None,
-            })
+            .find_map(|r| (r.kind == Kind::AmChunkStart && r.arg == seq as u64).then_some(r.at))
             .expect("chunk start recorded")
     };
     let ack_covering = |seq: u32| {
         trace
             .iter()
-            .find_map(|e| match *e {
-                TraceEvent::AckIn { cum, at } if cum > seq => Some(at),
-                _ => None,
+            .find_map(|r| {
+                (r.kind == Kind::AmAck && r.arg >> 32 == 0 && r.arg as u32 > seq).then_some(r.at)
             })
             .expect("ack recorded")
     };

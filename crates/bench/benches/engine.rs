@@ -14,7 +14,7 @@
 //! * **packet-stream** — end-to-end adapter traffic (firmware event chains,
 //!   delivery events): exercises the typed allocation-free event path.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, Criterion, Throughput};
 use sp_adapter::{host, SpConfig, SpWorld};
 use sp_sim::{Dur, Sim};
 
@@ -148,4 +148,97 @@ criterion_group! {
     config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(3));
     targets = empty_poll, advance, ping_pong_storm, event_chain, packet_stream
 }
-criterion_main!(benches);
+
+/// Elements processed per second for one result (the events/sec proxy).
+fn elems_per_sec(r: &criterion::BenchResult) -> f64 {
+    let elems = match r.throughput {
+        Some(Throughput::Elements(n)) => n as f64,
+        Some(Throughput::Bytes(n)) => n as f64,
+        None => 1.0,
+    };
+    elems / (r.ns_per_iter / 1e9)
+}
+
+/// Pull `"key": <number>` out of a one-result JSON line (the baseline file
+/// is line-JSON written by this same binary; no JSON dependency needed).
+fn json_number(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E' | ' '))
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn json_string(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Run all workloads, print a summary, optionally write the results as
+/// line-JSON (`SP_BENCH_ENGINE_JSON=<path>`), and optionally compare them
+/// against a previously written baseline (`SP_BENCH_ENGINE_BASELINE=<path>`).
+///
+/// The baseline comparison is a *smoke* check for CI: it fails only when a
+/// workload's throughput collapses below a tenth of the recorded baseline —
+/// an order-of-magnitude regression — so shared-runner noise never trips it.
+fn main() {
+    benches();
+    let results = criterion::take_results();
+    println!("{:<28} {:>14} {:>16}", "workload", "ns/iter", "elems/sec");
+    for r in &results {
+        println!(
+            "{:<28} {:>14.0} {:>16.0}",
+            r.id,
+            r.ns_per_iter,
+            elems_per_sec(r)
+        );
+    }
+
+    if let Ok(path) = std::env::var("SP_BENCH_ENGINE_JSON") {
+        let mut out = String::new();
+        for r in &results {
+            out.push_str(&format!(
+                "{{\"id\":\"{}\",\"ns_per_iter\":{:.1},\"elems_per_sec\":{:.1}}}\n",
+                r.id,
+                r.ns_per_iter,
+                elems_per_sec(r)
+            ));
+        }
+        std::fs::write(&path, out).expect("write SP_BENCH_ENGINE_JSON");
+        println!("\nwrote {path}");
+    }
+
+    if let Ok(path) = std::env::var("SP_BENCH_ENGINE_BASELINE") {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("SP_BENCH_ENGINE_BASELINE={path} is not readable ({e}); pass the path to a committed BENCH_engine.json")
+        });
+        let mut failed = false;
+        println!("\nbaseline comparison ({path}):");
+        for line in baseline.lines().filter(|l| !l.trim().is_empty()) {
+            let (Some(id), Some(base)) =
+                (json_string(line, "id"), json_number(line, "elems_per_sec"))
+            else {
+                panic!("malformed baseline line: {line}");
+            };
+            let Some(cur) = results.iter().find(|r| r.id == id).map(elems_per_sec) else {
+                println!("  {id}: missing from current run (workload removed?)");
+                failed = true;
+                continue;
+            };
+            let ratio = cur / base;
+            let verdict = if ratio < 0.1 {
+                "FAIL (>10x slower)"
+            } else {
+                "ok"
+            };
+            println!("  {id}: {cur:.0} vs baseline {base:.0} ({ratio:.2}x) {verdict}");
+            failed |= ratio < 0.1;
+        }
+        assert!(
+            !failed,
+            "engine throughput collapsed by an order of magnitude vs {path}"
+        );
+    }
+}

@@ -1,11 +1,15 @@
 //! Regenerates Figure 2 (the flow-control protocol diagram) from *measured*
 //! protocol events: the chunk pipeline of a large store — chunk N+2 starts
 //! only after the ACK for chunk N — printed as a timeline.
+//!
+//! The events come from the unified trace recorder ([`sp_trace`]): the AM
+//! layer stamps `AmChunkStart`/`AmChunkEnd` instants as chunks enter the
+//! send FIFO and `AmAck` instants as cumulative acknowledgements free
+//! window slots, all on the sender's program track.
 
-use parking_lot::Mutex;
 use sp_adapter::SpConfig;
-use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr, TraceEvent};
-use std::sync::Arc;
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr};
+use sp_trace::{Kind, Track};
 
 #[derive(Default)]
 struct St {
@@ -19,19 +23,13 @@ fn mark(env: &mut AmEnv<'_, St>, _args: AmArgs) {
 fn main() {
     let chunks = 6usize;
     let len = chunks * sp_am::CHUNK_BYTES;
-    let cfg = AmConfig {
-        trace_chunks: true,
-        ..AmConfig::default()
-    };
-    let mut m = AmMachine::new(SpConfig::thin(2), cfg, 7);
+    let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 7);
+    let tracer = m.enable_tracing(1 << 16);
     m.mem().alloc(1, len as u32);
-    let trace = Arc::new(Mutex::new(Vec::new()));
-    let trace2 = trace.clone();
     m.spawn("sender", St::default(), move |am: &mut Am<'_, St>| {
         let data = vec![0xF1u8; len];
         am.register(mark);
         am.store(GlobalPtr { node: 1, addr: 0 }, &data, Some(0), &[]);
-        *trace2.lock() = am.port().trace().to_vec();
     });
     m.spawn("receiver", St::default(), |am: &mut Am<'_, St>| {
         am.register(mark);
@@ -39,34 +37,45 @@ fn main() {
     });
     m.run().expect("store completes");
 
-    let trace = trace.lock();
+    let us = |ns: u64| ns as f64 / 1_000.0;
     println!("Figure 2: flow-control protocol — measured chunk pipeline");
-    println!("({chunks} chunks of 8064 bytes; sender-side events)\n");
+    println!(
+        "({chunks} chunks of {} bytes; sender-side events)\n",
+        sp_am::CHUNK_BYTES
+    );
     println!("{:>12}  event", "time (us)");
     println!("{}", "-".repeat(60));
     let mut chunk_start = vec![None; chunks + 1];
     let mut acked_through = Vec::new();
-    for ev in trace.iter() {
-        match *ev {
-            TraceEvent::ChunkStart { seq, at } => {
-                chunk_start[seq as usize] = Some(at);
+    for r in tracer
+        .snapshot()
+        .iter()
+        .filter(|r| r.track == Track::program(0))
+    {
+        match r.kind {
+            Kind::AmChunkStart => {
+                chunk_start[r.arg as usize] = Some(r.at);
                 println!(
                     "{:>12.1}  chunk {} -> first packet enters send FIFO",
-                    at.as_us(),
-                    seq + 1
+                    us(r.at),
+                    r.arg + 1
                 );
             }
-            TraceEvent::ChunkEnd { seq, at } => {
+            Kind::AmChunkEnd => {
                 println!(
                     "{:>12.1}  chunk {} fully handed to adapter",
-                    at.as_us(),
-                    seq + 1
+                    us(r.at),
+                    r.arg + 1
                 );
             }
-            TraceEvent::AckIn { cum, at } => {
-                acked_through.push((cum, at));
-                println!("{:>12.1}  <- ack: chunks 1..{} delivered", at.as_us(), cum);
+            // Request-channel acks only (the reply channel carries no data
+            // in this experiment); the low word is the cumulative sequence.
+            Kind::AmAck if r.arg >> 32 == 0 => {
+                let cum = r.arg as u32;
+                acked_through.push((cum, r.at));
+                println!("{:>12.1}  <- ack: chunks 1..{} delivered", us(r.at), cum);
             }
+            _ => {}
         }
     }
     // Verify the Figure 2 invariant: chunk N+2 starts only after the ack

@@ -19,6 +19,7 @@ fn main() {
         "fig11",
         "table6",
         "ablations",
+        "trace-rt",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("bin dir");

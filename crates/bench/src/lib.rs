@@ -17,6 +17,7 @@ pub mod micro;
 pub mod mpi_exp;
 pub mod nas_exp;
 pub mod splitc_exp;
+pub mod trace_rt;
 
 /// Default node count for the point-to-point experiments.
 pub const PAIR: usize = 2;
@@ -31,4 +32,10 @@ pub fn quick() -> bool {
 /// binary so simulator-performance regressions show up in ordinary runs.
 pub fn print_engine_summary() {
     println!("\n[engine] {}", sp_sim::stats::summary());
+    println!(
+        "[engine] drops: {} fifo-overflow, {} switch; wakes coalesced: {}",
+        sp_adapter::gstats::dropped_overflow(),
+        sp_switch::gstats::dropped(),
+        sp_sim::stats::wakes_coalesced(),
+    );
 }

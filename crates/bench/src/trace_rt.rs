@@ -1,0 +1,414 @@
+//! Measured latency breakdown of the one-word AM round trip (§2.3).
+//!
+//! The paper *derives* the 51 µs round trip by attributing costs to the
+//! request/reply software paths, the MicroChannel crossings, the firmware
+//! and the switch. This module reproduces that attribution from
+//! *measurement*: it runs a ping-pong under the unified trace recorder
+//! ([`sp_trace`]), walks the causal chain of spans through one round trip,
+//! and diffs every measured component against the cost-model constant it
+//! should equal. Gaps between consecutive causal spans (firmware scan
+//! delay, the receiver's poll loop catching the arrival) are attributed
+//! explicitly, so the segments sum to the round trip exactly.
+
+use sp_adapter::{AdapterConfig, SpConfig};
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, AmReport};
+use sp_machine::CostModel;
+use sp_switch::SwitchConfig;
+use sp_trace::{Kind, Record, Track};
+
+/// Per-node trace ring capacity used by the round-trip run: small enough
+/// to stay cheap, large enough that a few hundred iterations never wrap.
+pub const RING_CAPACITY: usize = 1 << 16;
+
+#[derive(Default)]
+struct PingState {
+    pings: u32,
+    pongs: u32,
+}
+
+fn pong_handler(env: &mut AmEnv<'_, PingState>, args: AmArgs) {
+    env.state.pings += 1;
+    env.reply_1(args.a[0] as u16, 0);
+}
+
+fn done_handler(env: &mut AmEnv<'_, PingState>, _args: AmArgs) {
+    env.state.pongs += 1;
+}
+
+/// Run `iters` one-word round trips between two thin nodes with tracing
+/// enabled. Each measured iteration is bracketed by a [`Kind::UserSpan`]
+/// on node 0's program track whose `arg` is the iteration index; a warmup
+/// round precedes the first measured one. Returns the merged, time-sorted
+/// trace and the machine report.
+pub fn run_one_word(iters: u32) -> (Vec<Record>, AmReport) {
+    let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 42);
+    let tracer = m.enable_tracing(RING_CAPACITY);
+    let t2 = tracer.clone();
+    m.spawn(
+        "pinger",
+        PingState::default(),
+        move |am: &mut Am<'_, PingState>| {
+            am.register(pong_handler);
+            let done = am.register(done_handler);
+            // Warmup round: populates caches-of-the-model (channel state),
+            // so measured iterations are steady state.
+            am.request_1(1, 0, done as u32);
+            am.poll_until(|s| s.pongs >= 1);
+            for i in 0..iters {
+                let t0 = am.now();
+                am.request_1(1, 0, done as u32);
+                am.poll_until(move |s| s.pongs >= i + 2);
+                t2.span(
+                    t0.as_ns(),
+                    am.now().as_ns(),
+                    Track::program(0),
+                    Kind::UserSpan,
+                    i as u64,
+                );
+            }
+        },
+    );
+    m.spawn(
+        "ponger",
+        PingState::default(),
+        move |am: &mut Am<'_, PingState>| {
+            am.register(pong_handler);
+            am.register(done_handler);
+            am.poll_until(move |s| s.pings > iters);
+        },
+    );
+    let report = m.run().expect("round-trip run completes");
+    (tracer.snapshot(), report)
+}
+
+/// One attributed segment of the round trip: a causal span (or the gap
+/// before one), its measured duration, and — where the segment is a pure
+/// model cost — the constant it must equal.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Human label, e.g. `"reply cpu (n1)"` or `"fw scan delay (n0)"`.
+    pub label: String,
+    /// Measured duration in virtual nanoseconds.
+    pub measured_ns: u64,
+    /// The cost-model value this segment should equal, if it is a modeled
+    /// constant (`None` for scheduling waits like the receiver poll loop).
+    pub expected_ns: Option<u64>,
+}
+
+/// The measured cost attribution of one round trip. Segments are in causal
+/// order and sum to `rtt_ns` exactly.
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// Which measured iteration this is (the `UserSpan` arg).
+    pub iteration: u64,
+    /// End-to-end round trip in virtual nanoseconds.
+    pub rtt_ns: u64,
+    /// The attributed segments, causal order.
+    pub segments: Vec<Segment>,
+}
+
+impl Breakdown {
+    /// Sum of all segment durations (equals `rtt_ns` by construction).
+    pub fn sum_ns(&self) -> u64 {
+        self.segments.iter().map(|s| s.measured_ns).sum()
+    }
+}
+
+/// One step of the causal chain: which record to look for next, how to
+/// label it, and the model cost it should equal given its `arg` (usually
+/// the wire byte count the layer recorded).
+struct Step {
+    kind: Kind,
+    track: Track,
+    label: &'static str,
+    expected: Box<dyn Fn(u64) -> Option<u64>>,
+    gap_label: Option<&'static str>,
+    gap_expected: Option<u64>,
+}
+
+fn chain(
+    cost: &CostModel,
+    am: &AmConfig,
+    adapter: &AdapterConfig,
+    sw: &SwitchConfig,
+    wire: u64,
+) -> Vec<Step> {
+    let cost0 = cost.clone();
+    let cost1 = cost.clone();
+    let cost2 = cost.clone();
+    let ad0 = adapter.clone();
+    let ad1 = adapter.clone();
+    let ad2 = adapter.clone();
+    let ad3 = adapter.clone();
+    let scan = adapter.fw_scan_delay.as_ns();
+    // Uncontended single-hop transit: serialization (for_bytes + packet
+    // gap) plus the fabric hop. `wire` is the one-word packet's measured
+    // wire size (the SwitchHop record's arg carries the destination, so
+    // the byte count comes from the adjacent firmware spans).
+    let hop = (sp_sim::Dur::for_bytes(wire, sw.link_mb_s) + sw.packet_gap + sw.hop_latency).as_ns();
+    let pio = cost.pio_write.as_ns();
+    vec![
+        Step {
+            kind: Kind::AmRequest,
+            track: Track::program(0),
+            label: "request cpu (n0)",
+            expected: Box::new({
+                let d = am.request_cpu.as_ns();
+                move |_| Some(d)
+            }),
+            gap_label: None,
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::HostWrite,
+            track: Track::program(0),
+            label: "fifo write+flush (n0)",
+            expected: Box::new(move |b| Some(cost0.packet_host_cost(b as usize).as_ns())),
+            gap_label: None,
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::HostDoorbell,
+            track: Track::program(0),
+            label: "doorbell pio (n0)",
+            expected: Box::new(move |_| Some(pio)),
+            gap_label: None,
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::FwSend,
+            track: Track::adapter(0),
+            label: "fw send+dma (n0)",
+            expected: Box::new(move |b| {
+                Some((ad0.fw_send_per_packet + ad0.dma(b as usize)).as_ns())
+            }),
+            gap_label: Some("fw scan delay (n0)"),
+            gap_expected: Some(scan),
+        },
+        Step {
+            kind: Kind::SwitchHop,
+            track: Track::switch_inj(0),
+            label: "wire+switch (0->1)",
+            expected: Box::new(move |_| Some(hop)),
+            gap_label: None,
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::FwRecv,
+            track: Track::adapter(1),
+            label: "fw recv+dma (n1)",
+            expected: Box::new(move |b| {
+                Some((ad1.fw_recv_per_packet + ad1.dma(b as usize)).as_ns())
+            }),
+            gap_label: None,
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::HostPollHit,
+            track: Track::program(1),
+            label: "fifo copy-out (n1)",
+            expected: Box::new(move |b| Some(cost1.packet_host_cost(b as usize).as_ns())),
+            gap_label: Some("receiver poll wait (n1)"),
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::AmDispatch,
+            track: Track::program(1),
+            label: "dispatch cpu (n1)",
+            expected: Box::new({
+                let d = am.dispatch_cpu.as_ns();
+                move |_| Some(d)
+            }),
+            gap_label: None,
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::AmReply,
+            track: Track::program(1),
+            label: "reply cpu (n1)",
+            expected: Box::new({
+                let d = am.reply_cpu.as_ns();
+                move |_| Some(d)
+            }),
+            gap_label: None,
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::HostWrite,
+            track: Track::program(1),
+            label: "fifo write+flush (n1)",
+            expected: Box::new(move |b| Some(cost2.packet_host_cost(b as usize).as_ns())),
+            gap_label: None,
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::HostDoorbell,
+            track: Track::program(1),
+            label: "doorbell pio (n1)",
+            expected: Box::new(move |_| Some(pio)),
+            gap_label: None,
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::FwSend,
+            track: Track::adapter(1),
+            label: "fw send+dma (n1)",
+            expected: Box::new(move |b| {
+                Some((ad2.fw_send_per_packet + ad2.dma(b as usize)).as_ns())
+            }),
+            gap_label: Some("fw scan delay (n1)"),
+            gap_expected: Some(scan),
+        },
+        Step {
+            kind: Kind::SwitchHop,
+            track: Track::switch_inj(1),
+            label: "wire+switch (1->0)",
+            expected: Box::new(move |_| Some(hop)),
+            gap_label: None,
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::FwRecv,
+            track: Track::adapter(0),
+            label: "fw recv+dma (n0)",
+            expected: Box::new(move |b| {
+                Some((ad3.fw_recv_per_packet + ad3.dma(b as usize)).as_ns())
+            }),
+            gap_label: None,
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::HostPollHit,
+            track: Track::program(0),
+            label: "fifo copy-out (n0)",
+            expected: Box::new({
+                let c = cost.clone();
+                move |b| Some(c.packet_host_cost(b as usize).as_ns())
+            }),
+            gap_label: Some("sender poll wait (n0)"),
+            gap_expected: None,
+        },
+        Step {
+            kind: Kind::AmDispatch,
+            track: Track::program(0),
+            label: "dispatch cpu (n0)",
+            expected: Box::new({
+                let d = am.dispatch_cpu.as_ns();
+                move |_| Some(d)
+            }),
+            gap_label: None,
+            gap_expected: None,
+        },
+    ]
+}
+
+/// Reconstruct the cost attribution of measured iteration `iteration` from
+/// a trace produced by [`run_one_word`], using the default configuration's
+/// cost constants as the expectations (the same defaults `run_one_word`
+/// simulates with).
+///
+/// Panics if the trace does not contain the expected causal chain — that
+/// means an instrumentation point regressed, which is exactly what the
+/// accompanying tests exist to catch.
+pub fn breakdown(records: &[Record], iteration: u64) -> Breakdown {
+    let cost = CostModel::thin();
+    let amc = AmConfig::default();
+    let adc = AdapterConfig::default();
+    let swc = SwitchConfig::default();
+
+    let window = records
+        .iter()
+        .find(|r| r.kind == Kind::UserSpan && r.arg == iteration)
+        .unwrap_or_else(|| panic!("no UserSpan for iteration {iteration} in trace"));
+    let (begin, end) = (window.at, window.end());
+
+    let wire = records
+        .iter()
+        .find(|r| r.kind == Kind::FwSend && r.at >= begin)
+        .map(|r| r.arg)
+        .expect("one-word trace contains a firmware send");
+    let steps = chain(&cost, &amc, &adc, &swc, wire);
+
+    let mut segments = Vec::new();
+    let mut cursor = begin;
+    for step in &steps {
+        let rec = records
+            .iter()
+            .find(|r| r.kind == step.kind && r.track == step.track && r.at >= cursor && r.at < end)
+            .unwrap_or_else(|| {
+                panic!(
+                    "causal chain broken: no {:?} on {} after {} ns",
+                    step.kind,
+                    step.track.label(),
+                    cursor
+                )
+            });
+        if rec.at > cursor {
+            segments.push(Segment {
+                label: step
+                    .gap_label
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| format!("wait before {}", step.label)),
+                measured_ns: rec.at - cursor,
+                expected_ns: step.gap_expected,
+            });
+        }
+        segments.push(Segment {
+            label: step.label.to_owned(),
+            measured_ns: rec.dur,
+            expected_ns: (step.expected)(rec.arg),
+        });
+        cursor = rec.end();
+    }
+    if end > cursor {
+        segments.push(Segment {
+            label: "poll epilogue + handler (n0)".to_owned(),
+            measured_ns: end - cursor,
+            expected_ns: None,
+        });
+    }
+    Breakdown {
+        iteration,
+        rtt_ns: end - begin,
+        segments,
+    }
+}
+
+impl std::fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "one-word round trip, iteration {}: {:.2} us measured",
+            self.iteration,
+            self.rtt_ns as f64 / 1_000.0
+        )?;
+        writeln!(
+            f,
+            "{:<28} {:>10} {:>10} {:>8}",
+            "segment", "meas (us)", "model (us)", "diff"
+        )?;
+        writeln!(f, "{}", "-".repeat(60))?;
+        for s in &self.segments {
+            let meas = s.measured_ns as f64 / 1_000.0;
+            match s.expected_ns {
+                Some(e) => {
+                    let exp = e as f64 / 1_000.0;
+                    let diff = if e == 0 {
+                        0.0
+                    } else {
+                        (s.measured_ns as f64 - e as f64) / e as f64 * 100.0
+                    };
+                    writeln!(f, "{:<28} {meas:>10.3} {exp:>10.3} {diff:>+7.1}%", s.label)?;
+                }
+                None => writeln!(f, "{:<28} {meas:>10.3} {:>10} {:>8}", s.label, "-", "-")?,
+            }
+        }
+        writeln!(f, "{}", "-".repeat(60))?;
+        writeln!(
+            f,
+            "{:<28} {:>10.3}  (= sum of segments)",
+            "total",
+            self.sum_ns() as f64 / 1_000.0
+        )
+    }
+}

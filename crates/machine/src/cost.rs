@@ -111,6 +111,16 @@ impl CostModel {
         self.memcpy_setup + Dur::for_bytes(bytes as u64, self.memcpy_mb_s)
     }
 
+    /// Host-CPU cost of moving one `bytes`-byte packet across the cache
+    /// boundary to or from an adapter FIFO: the memcpy plus the explicit
+    /// cache-line flush. This is the per-packet host cost on both the send
+    /// side (build FIFO entry) and the receive side (copy entry out), and
+    /// the quantity the measured latency breakdown checks against.
+    #[inline]
+    pub fn packet_host_cost(&self, bytes: usize) -> Dur {
+        self.memcpy(bytes) + self.flush(bytes)
+    }
+
     /// Cost of `cycles` CPU cycles of straight-line work.
     #[inline]
     pub fn cycles(&self, cycles: u64) -> Dur {
@@ -135,6 +145,15 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn packet_host_cost_is_memcpy_plus_flush() {
+        for m in [CostModel::thin(), CostModel::wide()] {
+            for bytes in [0usize, 40, 256] {
+                assert_eq!(m.packet_host_cost(bytes), m.memcpy(bytes) + m.flush(bytes));
+            }
+        }
+    }
 
     #[test]
     fn presets_match_paper_geometry() {

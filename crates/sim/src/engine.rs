@@ -6,6 +6,7 @@ use crate::error::SimError;
 use crate::node::{Baton, NodeCtx, ShutdownToken, WakeReason, Yield};
 use crate::time::{Dur, Time};
 use parking_lot::Mutex;
+use sp_trace::{Kind as TraceKind, Tracer, Track};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -111,6 +112,12 @@ struct NodeMeta {
     state: NState,
     epoch: WakeEpoch,
     signal: bool,
+    /// An unpark Wake for the current epoch is already queued; further
+    /// unparks before it fires coalesce into it instead of pushing
+    /// duplicate (stale-on-arrival) events.
+    unpark_queued: bool,
+    /// Unparks absorbed by an already-queued wake (observability).
+    coalesced: u64,
 }
 
 struct Inner<W: Send + 'static> {
@@ -124,6 +131,9 @@ struct Inner<W: Send + 'static> {
     /// Budget shared with the fast path so a zero-cost spin loop still trips
     /// [`SimError::EventBudgetExhausted`] instead of livelocking.
     budget: u64,
+    /// Trace recorder; `None` (the default) keeps every hook down to a
+    /// single branch so the fast path stays allocation-free.
+    tracer: Option<Tracer>,
 }
 
 /// State shared between the engine thread and node threads. All access is
@@ -138,10 +148,26 @@ fn unpark_inner<W: Send + 'static>(
     nodes: &mut [NodeMeta],
     target: NodeId,
     now: Time,
+    tracer: &Option<Tracer>,
 ) {
     let meta = &mut nodes[target.0];
     match meta.state {
         NState::Parked | NState::SleepInt => {
+            if meta.unpark_queued {
+                // A wake for this epoch is already in flight; pushing another
+                // would only produce a stale event. Coalesce instead.
+                meta.coalesced += 1;
+                if let Some(t) = tracer {
+                    t.counter(
+                        now.as_ns(),
+                        Track::program(target.0),
+                        TraceKind::WakeCoalesced,
+                        meta.coalesced,
+                    );
+                }
+                return;
+            }
+            meta.unpark_queued = true;
             sched.push(
                 now,
                 EvKind::Wake {
@@ -150,6 +176,14 @@ fn unpark_inner<W: Send + 'static>(
                     reason: WakeReason::Unparked,
                 },
             );
+            if let Some(t) = tracer {
+                t.instant(
+                    now.as_ns(),
+                    Track::program(target.0),
+                    TraceKind::NodeUnpark,
+                    0,
+                );
+            }
         }
         NState::Startup | NState::Running | NState::Sleeping => {
             meta.signal = true;
@@ -184,6 +218,15 @@ impl<W: Send + 'static> Shared<W> {
         }
         inner.events += 1;
         debug_assert!(until >= inner.now, "fast advance went backwards");
+        if let Some(t) = &inner.tracer {
+            t.span(
+                inner.now.as_ns(),
+                until.as_ns(),
+                Track::program(id.0),
+                TraceKind::NodeAdvance,
+                1,
+            );
+        }
         inner.now = until;
         true
     }
@@ -211,6 +254,15 @@ impl<W: Send + 'static> Shared<W> {
             && inner.sched.queue.peek().is_none_or(|ev| ev.time > until);
         if fast {
             inner.events += 1;
+            if let Some(t) = &inner.tracer {
+                t.span(
+                    now.as_ns(),
+                    until.as_ns(),
+                    Track::program(id.0),
+                    TraceKind::NodeAdvance,
+                    1,
+                );
+            }
             inner.now = until;
         }
         (r, until, fast)
@@ -231,6 +283,17 @@ impl<W: Send + 'static> Shared<W> {
         let mut inner = self.inner.lock();
         let epoch = inner.nodes[id.0].epoch;
         inner.nodes[id.0].state = NState::Sleeping;
+        if let Some(t) = &inner.tracer {
+            // While a node runs, `inner.now` tracks its local clock, so the
+            // slow-path advance spans `[inner.now, until)`.
+            t.span(
+                inner.now.as_ns(),
+                until.as_ns(),
+                Track::program(id.0),
+                TraceKind::NodeAdvance,
+                0,
+            );
+        }
         inner.sched.push(
             until,
             EvKind::Wake {
@@ -244,6 +307,14 @@ impl<W: Send + 'static> Shared<W> {
     pub(crate) fn note_park(&self, id: NodeId, timeout: Option<Time>) {
         let mut inner = self.inner.lock();
         let epoch = inner.nodes[id.0].epoch;
+        if let Some(t) = &inner.tracer {
+            t.instant(
+                inner.now.as_ns(),
+                Track::program(id.0),
+                TraceKind::NodePark,
+                timeout.is_some() as u64,
+            );
+        }
         match timeout {
             None => inner.nodes[id.0].state = NState::Parked,
             Some(until) => {
@@ -262,7 +333,13 @@ impl<W: Send + 'static> Shared<W> {
 
     pub(crate) fn unpark(&self, target: NodeId, now: Time) {
         let inner = &mut *self.inner.lock();
-        unpark_inner(&mut inner.sched, &mut inner.nodes, target, now);
+        unpark_inner(
+            &mut inner.sched,
+            &mut inner.nodes,
+            target,
+            now,
+            &inner.tracer,
+        );
     }
 
     fn note_done(&self, id: NodeId) {
@@ -279,6 +356,7 @@ pub struct EventCtx<'a, W: Send + 'static> {
     world: &'a mut W,
     sched: &'a mut Sched<W>,
     nodes: &'a mut Vec<NodeMeta>,
+    tracer: &'a Option<Tracer>,
 }
 
 impl<'a, W: Send + 'static> EventCtx<'a, W> {
@@ -286,6 +364,12 @@ impl<'a, W: Send + 'static> EventCtx<'a, W> {
     #[inline]
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// The installed trace recorder, if any (see [`Sim::set_tracer`]).
+    #[inline]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// The simulated hardware state.
@@ -324,7 +408,7 @@ impl<'a, W: Send + 'static> EventCtx<'a, W> {
 
     /// Unpark a node program (see [`NodeCtx::unpark`](crate::NodeCtx::unpark)).
     pub fn unpark(&mut self, target: NodeId) {
-        unpark_inner(self.sched, self.nodes, target, self.now);
+        unpark_inner(self.sched, self.nodes, target, self.now, self.tracer);
     }
 }
 
@@ -336,6 +420,7 @@ pub struct Sim<W: Send + 'static> {
     seed: u64,
     event_budget: u64,
     programs: Vec<(String, Prog<W>)>,
+    tracer: Option<Tracer>,
 }
 
 /// The outcome of a completed simulation.
@@ -347,6 +432,9 @@ pub struct SimReport<W> {
     pub end_time: Time,
     /// Number of events executed (wakes + calls + fast-path advances).
     pub events: u64,
+    /// Unparks absorbed into an already-queued wake instead of producing a
+    /// duplicate (stale) event, summed over all nodes.
+    pub wakes_coalesced: u64,
     /// Wall-clock duration of the run.
     pub wall: std::time::Duration,
 }
@@ -367,11 +455,18 @@ pub mod stats {
     static RUNS: AtomicU64 = AtomicU64::new(0);
     static EVENTS: AtomicU64 = AtomicU64::new(0);
     static WALL_NS: AtomicU64 = AtomicU64::new(0);
+    static COALESCED: AtomicU64 = AtomicU64::new(0);
 
-    pub(crate) fn record(events: u64, wall: std::time::Duration) {
+    pub(crate) fn record(events: u64, coalesced: u64, wall: std::time::Duration) {
         RUNS.fetch_add(1, Ordering::Relaxed);
         EVENTS.fetch_add(events, Ordering::Relaxed);
+        COALESCED.fetch_add(coalesced, Ordering::Relaxed);
         WALL_NS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Unparks coalesced into already-queued wakes since process start.
+    pub fn wakes_coalesced() -> u64 {
+        COALESCED.load(Ordering::Relaxed)
     }
 
     /// Totals since process start: `(runs, events, wall)`.
@@ -407,7 +502,15 @@ impl<W: Send + 'static> Sim<W> {
             seed,
             event_budget: u64::MAX,
             programs: Vec::new(),
+            tracer: None,
         }
+    }
+
+    /// Install a trace recorder: every layer with trace hooks (engine,
+    /// adapter, switch, protocol) records into it for the whole run. Keep a
+    /// clone to read the trace back after [`Sim::run`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Cap the number of events executed; exceeding it aborts the run with
@@ -453,6 +556,8 @@ impl<W: Send + 'static> Sim<W> {
                 state: NState::Startup,
                 epoch: 0,
                 signal: false,
+                unpark_queued: false,
+                coalesced: 0,
             });
             sched.push(
                 Time::ZERO,
@@ -471,6 +576,7 @@ impl<W: Send + 'static> Sim<W> {
                 nodes,
                 events: 0,
                 budget: self.event_budget,
+                tracer: self.tracer.take(),
             }),
         });
 
@@ -531,12 +637,14 @@ impl<W: Send + 'static> Sim<W> {
             .unwrap_or_else(|_| panic!("node threads still hold engine state"))
             .inner
             .into_inner();
+        let wakes_coalesced: u64 = inner.nodes.iter().map(|m| m.coalesced).sum();
         let wall = started.elapsed();
-        stats::record(events, wall);
+        stats::record(events, wakes_coalesced, wall);
         Ok(SimReport {
             world: inner.world,
             end_time,
             events,
+            wakes_coalesced,
             wall,
         })
     }
@@ -574,6 +682,17 @@ impl<W: Send + 'static> Sim<W> {
                     }
                     meta.epoch += 1;
                     meta.state = NState::Running;
+                    // The queued unpark (if any) is consumed by this wake;
+                    // later unparks must queue a fresh event.
+                    meta.unpark_queued = false;
+                    if let Some(t) = &inner.tracer {
+                        t.instant(
+                            ev.time.as_ns(),
+                            Track::program(node.0),
+                            TraceKind::EngineWake,
+                            matches!(reason, WakeReason::Unparked) as u64,
+                        );
+                    }
                     drop(inner);
                     let y = batons[node.0].resume(ev.time, reason);
                     match y {
@@ -596,21 +715,29 @@ impl<W: Send + 'static> Sim<W> {
                 }
                 EvKind::Call(f) => {
                     let inner_ref = &mut *inner;
+                    if let Some(t) = &inner_ref.tracer {
+                        t.instant(ev.time.as_ns(), Track::ENGINE, TraceKind::EngineCall, 0);
+                    }
                     let mut ectx = EventCtx {
                         now: ev.time,
                         world: &mut inner_ref.world,
                         sched: &mut inner_ref.sched,
                         nodes: &mut inner_ref.nodes,
+                        tracer: &inner_ref.tracer,
                     };
                     f(&mut ectx);
                 }
                 EvKind::Hot { f, a, b } => {
                     let inner_ref = &mut *inner;
+                    if let Some(t) = &inner_ref.tracer {
+                        t.instant(ev.time.as_ns(), Track::ENGINE, TraceKind::EngineHot, a);
+                    }
                     let mut ectx = EventCtx {
                         now: ev.time,
                         world: &mut inner_ref.world,
                         sched: &mut inner_ref.sched,
                         nodes: &mut inner_ref.nodes,
+                        tracer: &inner_ref.tracer,
                     };
                     f(&mut ectx, a, b);
                 }
@@ -1010,5 +1137,115 @@ mod tests {
         });
         let report = sim.run().unwrap();
         assert_eq!(report.world, 1);
+        assert_eq!(report.wakes_coalesced, 1, "second unpark must coalesce");
+    }
+
+    #[test]
+    fn unpark_storm_coalesces_to_one_wake() {
+        // Five unparks at the same instant to a parked node: one Wake event
+        // is queued, four are absorbed, and the node still observes exactly
+        // one wakeup (the park/park_timeout semantics are unchanged).
+        let mut sim = Sim::new(0u32, 0);
+        let n = NodeId(0);
+        sim.spawn("target", |ctx| {
+            assert_eq!(ctx.park(), WakeReason::Unparked);
+            assert_eq!(ctx.park_timeout(Dur::us(10.0)), WakeReason::Timeout);
+            ctx.world(|w| *w += 1);
+        });
+        sim.spawn("storm", move |ctx| {
+            ctx.advance(Dur::us(1.0));
+            for _ in 0..5 {
+                ctx.unpark(n);
+            }
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.world, 1);
+        assert_eq!(report.wakes_coalesced, 4);
+    }
+
+    #[test]
+    fn coalesced_wake_does_not_leak_into_next_park() {
+        // After the coalesced wake is consumed, a fresh unpark must queue a
+        // fresh Wake (the queued flag is cleared on consumption).
+        let mut sim = Sim::new(Vec::<&'static str>::new(), 0);
+        let n = NodeId(0);
+        sim.spawn("target", |ctx| {
+            assert_eq!(ctx.park(), WakeReason::Unparked);
+            ctx.world(|w| w.push("first"));
+            assert_eq!(ctx.park(), WakeReason::Unparked);
+            ctx.world(|w| w.push("second"));
+        });
+        sim.spawn("waker", move |ctx| {
+            ctx.advance(Dur::us(1.0));
+            ctx.unpark(n);
+            ctx.unpark(n); // coalesced
+            ctx.advance(Dur::us(5.0));
+            ctx.unpark(n); // must wake the second park
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.world, vec!["first", "second"]);
+        assert_eq!(report.wakes_coalesced, 1);
+    }
+
+    #[test]
+    fn tracer_records_advances_and_wakes() {
+        let tracer = Tracer::new(2, 4096);
+        let mut sim = Sim::new((), 0);
+        sim.set_tracer(tracer.clone());
+        let n = NodeId(0);
+        sim.spawn("sleeper", |ctx| {
+            ctx.advance(Dur::us(2.0));
+            assert_eq!(ctx.park(), WakeReason::Unparked);
+        });
+        sim.spawn("waker", move |ctx| {
+            ctx.advance(Dur::us(5.0));
+            ctx.unpark(n);
+        });
+        sim.run().unwrap();
+        let recs = tracer.snapshot();
+        assert!(!recs.is_empty());
+        let adv: Vec<_> = recs
+            .iter()
+            .filter(|r| r.kind == TraceKind::NodeAdvance && r.track == Track::program(0))
+            .collect();
+        assert_eq!(adv.len(), 1, "one advance on node 0: {adv:?}");
+        assert_eq!(adv[0].at, 0);
+        assert_eq!(adv[0].dur, 2_000);
+        assert!(recs
+            .iter()
+            .any(|r| r.kind == TraceKind::NodeUnpark && r.at == 5_000));
+        assert!(recs
+            .iter()
+            .any(|r| r.kind == TraceKind::NodePark && r.track == Track::program(0)));
+        // Wakes: two startup wakes at t=0 plus the unpark delivery at t=5us.
+        assert!(recs
+            .iter()
+            .any(|r| r.kind == TraceKind::EngineWake && r.at == 5_000 && r.arg == 1));
+    }
+
+    #[test]
+    fn tracing_disabled_changes_nothing() {
+        fn run(trace: bool) -> (Time, u64) {
+            let mut sim = Sim::new(0u64, 42);
+            if trace {
+                sim.set_tracer(Tracer::new(2, 1024));
+            }
+            let n = NodeId(0);
+            sim.spawn("a", |ctx| {
+                for _ in 0..20 {
+                    ctx.advance(Dur::ns(30));
+                }
+                ctx.park();
+            });
+            sim.spawn("b", move |ctx| {
+                for _ in 0..10 {
+                    ctx.advance(Dur::ns(100));
+                }
+                ctx.unpark(n);
+            });
+            let r = sim.run().unwrap();
+            (r.end_time, r.events)
+        }
+        assert_eq!(run(false), run(true), "tracing must not perturb the run");
     }
 }

@@ -2,6 +2,25 @@
 
 use crate::fault::{FaultInjector, FaultKind};
 use sp_sim::{Dur, Time};
+use sp_trace::{Kind, Tracer, Track};
+
+/// Process-global switch counters, cumulative across every [`Switch`] in
+/// this process. Experiment binaries print these so fault-injected (or
+/// accidental) packet loss is visible in every summary line.
+pub mod gstats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+    pub(crate) fn record_drop() {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Packets dropped by any switch fabric since process start.
+    pub fn dropped() -> u64 {
+        DROPPED.load(Ordering::Relaxed)
+    }
+}
 
 /// Switch fabric parameters (paper §1.2).
 #[derive(Debug, Clone)]
@@ -60,6 +79,7 @@ pub struct Switch {
     route_rr: Vec<usize>, // nodes x nodes round-robin counters
     fault: FaultInjector,
     stats: SwitchStats,
+    tracer: Option<Tracer>,
 }
 
 /// Aggregate fabric statistics.
@@ -87,12 +107,19 @@ impl Switch {
             fault: FaultInjector::none(),
             cfg,
             stats: SwitchStats::default(),
+            tracer: None,
         }
     }
 
     /// Replace the fault injector (tests / reliability experiments).
     pub fn set_fault_injector(&mut self, fault: FaultInjector) {
         self.fault = fault;
+    }
+
+    /// Install a trace recorder: each transit records a per-hop span plus
+    /// injection/ejection link-occupancy spans.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Fabric configuration.
@@ -141,35 +168,88 @@ impl Switch {
                 let start = ready.max(self.inj_free[src]);
                 self.inj_free[src] = start + ser;
                 self.stats.dropped += 1;
+                gstats::record_drop();
+                if let Some(t) = &self.tracer {
+                    let end = start + ser;
+                    let track = Track::switch_inj(src);
+                    t.span(
+                        start.as_ns(),
+                        end.as_ns(),
+                        track,
+                        Kind::LinkBusy,
+                        wire_bytes as u64,
+                    );
+                    t.instant(start.as_ns(), track, Kind::SwitchDrop, wire_bytes as u64);
+                }
                 return Transit::Dropped;
             }
             FaultKind::Delay => {
                 self.stats.delayed += 1;
                 let extra = self.cfg.hop_latency * self.cfg.delay_fault_hops;
-                let at = self.deliver(src, dst, ser, ready) + extra;
+                let (start, base) = self.deliver(src, dst, ser, ready);
+                let at = base + extra;
                 self.finish(wire_bytes);
+                if let Some(t) = &self.tracer {
+                    let track = Track::switch_inj(src);
+                    t.instant(start.as_ns(), track, Kind::SwitchDelayed, wire_bytes as u64);
+                    t.span(
+                        start.as_ns(),
+                        at.as_ns(),
+                        track,
+                        Kind::SwitchHop,
+                        dst as u64,
+                    );
+                }
                 return Transit::Delivered { at, route };
             }
             FaultKind::None => {}
         }
 
-        let at = self.deliver(src, dst, ser, ready);
+        let (start, at) = self.deliver(src, dst, ser, ready);
         self.finish(wire_bytes);
+        if let Some(t) = &self.tracer {
+            t.span(
+                start.as_ns(),
+                at.as_ns(),
+                Track::switch_inj(src),
+                Kind::SwitchHop,
+                dst as u64,
+            );
+        }
         Transit::Delivered { at, route }
     }
 
-    fn deliver(&mut self, src: usize, dst: usize, ser: Dur, ready: Time) -> Time {
+    /// Returns `(injection start, delivery time)`.
+    fn deliver(&mut self, src: usize, dst: usize, ser: Dur, ready: Time) -> (Time, Time) {
         let start = ready.max(self.inj_free[src]);
         self.inj_free[src] = start + ser;
+        if let Some(t) = &self.tracer {
+            t.span(
+                start.as_ns(),
+                (start + ser).as_ns(),
+                Track::switch_inj(src),
+                Kind::LinkBusy,
+                0,
+            );
+        }
         if src == dst {
             // Adapter loopback: serialization only, no fabric hop, no
             // ejection-link contention with remote traffic.
-            return start + ser;
+            return (start, start + ser);
         }
         let nominal = start + ser + self.cfg.hop_latency;
         let at = nominal.max(self.ej_free[dst] + ser);
         self.ej_free[dst] = at;
-        at
+        if let Some(t) = &self.tracer {
+            t.span(
+                (at - ser).as_ns(),
+                at.as_ns(),
+                Track::switch_ej(dst),
+                Kind::LinkBusy,
+                0,
+            );
+        }
+        (start, at)
     }
 
     fn finish(&mut self, wire_bytes: usize) {
@@ -320,5 +400,44 @@ mod tests {
         let mut s = sw(2);
         let at = delivered(s.transit(0, 1, 64, Time(1_000_000)));
         assert!(at > Time(1_000_000));
+    }
+
+    #[test]
+    fn tracer_records_hop_and_link_occupancy() {
+        use sp_trace::{Kind, Tracer, Track};
+        let tracer = Tracer::new(2, 256);
+        let mut s = sw(2);
+        s.set_tracer(tracer.clone());
+        let at = delivered(s.transit(0, 1, 256, Time::ZERO));
+        let recs = tracer.snapshot();
+        let hop = recs
+            .iter()
+            .find(|r| r.kind == Kind::SwitchHop)
+            .expect("hop span recorded");
+        assert_eq!(hop.track, Track::switch_inj(0));
+        assert_eq!(hop.at, 0);
+        assert_eq!(hop.dur, at.as_ns());
+        assert_eq!(hop.arg, 1, "arg carries destination");
+        let busy: Vec<_> = recs.iter().filter(|r| r.kind == Kind::LinkBusy).collect();
+        assert_eq!(busy.len(), 2, "injection + ejection occupancy");
+        let ser = s.serialization(256).as_ns();
+        assert!(busy.iter().all(|r| r.dur == ser));
+        assert!(busy.iter().any(|r| r.track == Track::switch_ej(1)));
+    }
+
+    #[test]
+    fn dropped_packets_count_globally_and_trace() {
+        use sp_trace::{Kind, Tracer};
+        let tracer = Tracer::new(2, 64);
+        let before = gstats::dropped();
+        let mut s = sw(2);
+        s.set_tracer(tracer.clone());
+        s.set_fault_injector(FaultInjector::drop_at([0]));
+        assert_eq!(s.transit(0, 1, 256, Time::ZERO), Transit::Dropped);
+        assert_eq!(gstats::dropped(), before + 1);
+        assert!(tracer
+            .snapshot()
+            .iter()
+            .any(|r| r.kind == Kind::SwitchDrop && r.arg == 256));
     }
 }

@@ -31,5 +31,5 @@
 mod fabric;
 mod fault;
 
-pub use fabric::{Switch, SwitchConfig, Transit};
+pub use fabric::{gstats, Switch, SwitchConfig, Transit};
 pub use fault::{FaultInjector, FaultKind};

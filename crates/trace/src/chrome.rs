@@ -1,0 +1,189 @@
+//! Chrome trace-event (Perfetto) JSON export.
+//!
+//! Produces the JSON-array flavour of the Chrome trace-event format, which
+//! `ui.perfetto.dev` and `chrome://tracing` both load directly. Virtual-time
+//! nanoseconds map to the format's microsecond timestamps with three decimal
+//! places, so nanosecond resolution survives the conversion exactly.
+//!
+//! Track mapping: each node becomes one process (`pid = node + 1`) with up
+//! to four named threads — program, adapter, injection link, ejection link —
+//! and the engine's global track becomes process 0. Metadata events name
+//! every process and thread so the Perfetto timeline is self-describing.
+
+use crate::record::{Phase, Record, Track, TrackKind};
+use std::fmt::Write as _;
+
+/// `(pid, tid)` for a track, per the mapping described in the module docs.
+fn ids(track: Track) -> (u32, u32) {
+    match (track.kind(), track.node()) {
+        (TrackKind::Program, Some(n)) => (n as u32 + 1, 1),
+        (TrackKind::Adapter, Some(n)) => (n as u32 + 1, 2),
+        (TrackKind::SwitchInj, Some(n)) => (n as u32 + 1, 3),
+        (TrackKind::SwitchEj, Some(n)) => (n as u32 + 1, 4),
+        _ => (0, 1),
+    }
+}
+
+fn thread_name(track: Track) -> &'static str {
+    match track.kind() {
+        TrackKind::Program => "program",
+        TrackKind::Adapter => "adapter",
+        TrackKind::SwitchInj => "inj link",
+        TrackKind::SwitchEj => "ej link",
+        TrackKind::Engine => "events",
+    }
+}
+
+fn process_name(track: Track) -> String {
+    match track.node() {
+        Some(n) => format!("node {n}"),
+        None => "engine".to_string(),
+    }
+}
+
+/// Nanoseconds to the format's microseconds, exact to 1 ns.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Render `records` (as returned by [`crate::Tracer::snapshot`]) to a Chrome
+/// trace-event JSON array. The output is deterministic: same records, same
+/// bytes.
+pub fn to_chrome_json(records: &[Record]) -> String {
+    let mut out = String::with_capacity(records.len() * 96 + 1024);
+    out.push_str("[\n");
+    let mut first = true;
+    let mut emit = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+
+    // Metadata: name each process/thread once, in first-appearance order.
+    let mut seen: Vec<Track> = Vec::new();
+    let mut seen_pids: Vec<u32> = Vec::new();
+    for r in records {
+        if seen.contains(&r.track) {
+            continue;
+        }
+        seen.push(r.track);
+        let (pid, tid) = ids(r.track);
+        if !seen_pids.contains(&pid) {
+            seen_pids.push(pid);
+            emit(
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    process_name(r.track)
+                ),
+                &mut out,
+            );
+        }
+        emit(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                thread_name(r.track)
+            ),
+            &mut out,
+        );
+    }
+
+    for r in records {
+        let (pid, tid) = ids(r.track);
+        let name = r.kind.name();
+        let mut line = String::with_capacity(96);
+        match r.kind.phase() {
+            Phase::Span => {
+                write!(
+                    line,
+                    "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+                     \"ts\":{},\"dur\":{},\"args\":{{\"arg\":{}}}}}",
+                    us(r.at),
+                    us(r.dur),
+                    r.arg
+                )
+                .unwrap();
+            }
+            Phase::Instant => {
+                write!(
+                    line,
+                    "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\
+                     \"tid\":{tid},\"ts\":{},\"args\":{{\"arg\":{}}}}}",
+                    us(r.at),
+                    r.arg
+                )
+                .unwrap();
+            }
+            Phase::Counter => {
+                write!(
+                    line,
+                    "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\
+                     \"ts\":{},\"args\":{{\"value\":{}}}}}",
+                    us(r.at),
+                    r.arg
+                )
+                .unwrap();
+            }
+        }
+        emit(line, &mut out);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Kind;
+    use crate::Tracer;
+
+    fn sample() -> Vec<Record> {
+        let t = Tracer::new(2, 64);
+        t.span(1_000, 5_300, Track::program(0), Kind::AmRequest, 1);
+        t.span(5_300, 9_000, Track::adapter(0), Kind::FwSend, 256);
+        t.instant(9_000, Track::adapter(1), Kind::RecvDeliver, 256);
+        t.counter(9_000, Track::adapter(1), Kind::RecvOccupancy, 1);
+        t.instant(42, Track::ENGINE, Kind::EngineHot, 0);
+        t.snapshot()
+    }
+
+    #[test]
+    fn emits_valid_json_array() {
+        let json = to_chrome_json(&sample());
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        // Balanced braces and no trailing comma before the close.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn converts_ns_to_us_exactly() {
+        let json = to_chrome_json(&sample());
+        assert!(json.contains("\"ts\":1.000"), "missing 1.000 us ts: {json}");
+        assert!(json.contains("\"dur\":4.300"), "missing 4.300 us dur");
+        assert!(json.contains("\"ts\":0.042"), "sub-us instant lost");
+    }
+
+    #[test]
+    fn names_processes_and_threads() {
+        let json = to_chrome_json(&sample());
+        assert!(json.contains("\"name\":\"node 0\""));
+        assert!(json.contains("\"name\":\"node 1\""));
+        assert!(json.contains("\"name\":\"engine\""));
+        assert!(json.contains("\"name\":\"adapter\""));
+        assert!(json.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn deterministic_bytes() {
+        let a = to_chrome_json(&sample());
+        let b = to_chrome_json(&sample());
+        assert_eq!(a, b);
+    }
+}

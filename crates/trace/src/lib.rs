@@ -1,0 +1,33 @@
+//! `sp-trace`: workspace-wide virtual-time tracing and metrics.
+//!
+//! Every layer of the simulated SP — the discrete-event engine, the TB2
+//! adapter, the switch fabric, and the active-message protocol — records
+//! fixed-size [`Record`]s into a shared [`Tracer`] when one is installed.
+//! Timestamps are virtual-time nanoseconds, so traces are bit-deterministic
+//! across runs and machines.
+//!
+//! Three consumers sit on top of the recorder:
+//!
+//! * [`chrome::to_chrome_json`] renders a trace to the Chrome
+//!   trace-event JSON array format, loadable in `ui.perfetto.dev`.
+//! * [`metrics::Metrics::aggregate`] computes log2 latency histograms,
+//!   instant counts, counter high-water marks, and link utilization.
+//! * `sp-bench`'s `trace_rt` module reconstructs the paper's one-word
+//!   round-trip cost-attribution table from measured spans.
+//!
+//! Overhead contract: components hold an `Option<Tracer>`; when it is
+//! `None` the per-event cost is one branch — no locks, no allocation —
+//! so the engine fast path is unaffected. When tracing is enabled, each
+//! record is one short uncontended mutex acquire into a fixed-capacity
+//! per-node ring buffer (oldest records overwritten, never reallocated).
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod metrics;
+mod record;
+mod ring;
+
+pub use metrics::{Hist, Metrics};
+pub use record::{Kind, Phase, Record, Track, TrackKind};
+pub use ring::Tracer;

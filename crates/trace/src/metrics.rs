@@ -1,0 +1,228 @@
+//! Metrics aggregation over recorded traces: log2-bucketed latency
+//! histograms, counter high-water marks, and per-link utilization.
+
+use crate::record::{Kind, Phase, Record, Track};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A log2-bucketed histogram of nanosecond durations. Bucket `i` holds
+/// values in `[2^(i-1), 2^i)` (bucket 0 holds zero).
+#[derive(Debug, Clone)]
+pub struct Hist {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Hist {
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(63)
+    }
+
+    /// Add one observation (nanoseconds).
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean observation, nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Largest observation, nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all observations, nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile (`0.0..=1.0`),
+    /// nanoseconds. Log2 buckets make this exact to a factor of two.
+    pub fn quantile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+}
+
+/// Aggregated metrics computed from a record slice.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Span-duration histograms keyed by record kind.
+    pub spans: BTreeMap<Kind, Hist>,
+    /// Instant counts keyed by record kind (drops, nacks, ...).
+    pub counts: BTreeMap<Kind, u64>,
+    /// High-water marks of counter records, keyed by `(track, kind)`.
+    pub high_water: BTreeMap<(Track, Kind), u64>,
+    /// Total busy nanoseconds per link track ([`Kind::LinkBusy`] spans).
+    pub link_busy: BTreeMap<Track, u64>,
+    /// Trace window: earliest record start to latest record end, ns.
+    pub window_ns: u64,
+}
+
+impl Metrics {
+    /// Aggregate `records` (any order).
+    pub fn aggregate(records: &[Record]) -> Metrics {
+        let mut m = Metrics::default();
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for r in records {
+            lo = lo.min(r.at);
+            hi = hi.max(r.end());
+            match r.kind.phase() {
+                Phase::Span => {
+                    m.spans.entry(r.kind).or_default().observe(r.dur);
+                    if r.kind == Kind::LinkBusy {
+                        *m.link_busy.entry(r.track).or_insert(0) += r.dur;
+                    }
+                }
+                Phase::Instant => {
+                    *m.counts.entry(r.kind).or_insert(0) += 1;
+                }
+                Phase::Counter => {
+                    let hw = m.high_water.entry((r.track, r.kind)).or_insert(0);
+                    *hw = (*hw).max(r.arg);
+                }
+            }
+        }
+        if hi > lo {
+            m.window_ns = hi - lo;
+        }
+        m
+    }
+
+    /// Utilization of a link track over the trace window, `0.0..=1.0`.
+    pub fn link_utilization(&self, track: Track) -> f64 {
+        if self.window_ns == 0 {
+            return 0.0;
+        }
+        let busy = self.link_busy.get(&track).copied().unwrap_or(0);
+        busy as f64 / self.window_ns as f64
+    }
+}
+
+fn fmt_us(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1_000.0)
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>8} {:>10} {:>10} {:>10}",
+            "span (us)", "count", "mean", "p99", "max"
+        )?;
+        for (kind, h) in &self.spans {
+            writeln!(
+                f,
+                "{:<16} {:>8} {:>10} {:>10} {:>10}",
+                kind.name(),
+                h.count(),
+                fmt_us(h.mean_ns()),
+                fmt_us(h.quantile_ns(0.99)),
+                fmt_us(h.max_ns()),
+            )?;
+        }
+        if !self.counts.is_empty() {
+            writeln!(f, "events:")?;
+            for (kind, n) in &self.counts {
+                writeln!(f, "  {:<20} {n}", kind.name())?;
+            }
+        }
+        for ((track, kind), hw) in &self.high_water {
+            writeln!(f, "high water {} {}: {hw}", track.label(), kind.name())?;
+        }
+        for track in self.link_busy.keys() {
+            writeln!(
+                f,
+                "utilization {}: {:.1}%",
+                track.label(),
+                100.0 * self.link_utilization(*track)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn hist_buckets_powers_of_two() {
+        let mut h = Hist::default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(1000);
+        h.observe(1024);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max_ns(), 1024);
+        assert_eq!(h.mean_ns(), (1 + 1000 + 1024) / 4);
+        // p=1.0 lands in the bucket of the largest value: 1024 is in
+        // [1024, 2048) whose upper bound is 2048.
+        assert_eq!(h.quantile_ns(1.0), 2048);
+        assert_eq!(h.quantile_ns(0.25), 0);
+    }
+
+    #[test]
+    fn aggregates_spans_counts_and_high_water() {
+        let t = Tracer::new(2, 64);
+        t.span(0, 1000, Track::program(0), Kind::AmRequest, 1);
+        t.span(0, 3000, Track::program(0), Kind::AmRequest, 1);
+        t.instant(10, Track::adapter(1), Kind::RecvDrop, 256);
+        t.counter(20, Track::adapter(1), Kind::RecvOccupancy, 5);
+        t.counter(30, Track::adapter(1), Kind::RecvOccupancy, 2);
+        let m = Metrics::aggregate(&t.snapshot());
+        assert_eq!(m.spans[&Kind::AmRequest].count(), 2);
+        assert_eq!(m.spans[&Kind::AmRequest].mean_ns(), 2000);
+        assert_eq!(m.counts[&Kind::RecvDrop], 1);
+        assert_eq!(m.high_water[&(Track::adapter(1), Kind::RecvOccupancy)], 5);
+        assert_eq!(m.window_ns, 3000);
+    }
+
+    #[test]
+    fn link_utilization_from_busy_spans() {
+        let t = Tracer::new(2, 64);
+        t.span(0, 4000, Track::switch_inj(0), Kind::LinkBusy, 256);
+        t.span(6000, 8000, Track::switch_inj(0), Kind::LinkBusy, 256);
+        t.span(0, 8000, Track::program(0), Kind::UserSpan, 0);
+        let m = Metrics::aggregate(&t.snapshot());
+        let u = m.link_utilization(Track::switch_inj(0));
+        assert!((u - 0.75).abs() < 1e-9, "utilization {u}");
+        let display = m.to_string();
+        assert!(display.contains("utilization node 0 inj link: 75.0%"));
+    }
+}

@@ -260,6 +260,15 @@ macro_rules! __proptest_body {
                         )+
                         s
                     };
+                    // Opt-in progress trace: with no shrinking, a *hanging*
+                    // case would otherwise give no clue which inputs wedged
+                    // it — print them up front so a stuck run is diagnosable.
+                    if ::std::env::var("PROPTEST_VERBOSE").is_ok_and(|v| v == "1") {
+                        eprintln!(
+                            "proptest {}: case {case}: {inputs}",
+                            stringify!($name)
+                        );
+                    }
                     let result: ::std::result::Result<(), ::std::string::String> =
                         (move || { $body ::std::result::Result::Ok(()) })();
                     if let ::std::result::Result::Err(message) = result {
