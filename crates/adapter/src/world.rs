@@ -5,31 +5,34 @@ use crate::config::AdapterConfig;
 use crate::unit::{Adapter, AdapterStats, WirePacket};
 use sp_machine::CostModel;
 use sp_sim::EventCtx;
-use sp_switch::{Switch, SwitchConfig, Transit};
+use sp_switch::{Switch, SwitchConfig, Topology, Transit};
 use sp_trace::{Kind, Tracer, Track};
 
 /// Configuration of a whole simulated SP partition.
 #[derive(Debug, Clone)]
 pub struct SpConfig {
-    /// Number of processing nodes.
+    /// Number of processing nodes (must equal `topology.nodes()`).
     pub nodes: usize,
     /// Host cost model (thin or wide nodes).
     pub cost: CostModel,
     /// Switch fabric parameters.
     pub switch: SwitchConfig,
+    /// How the switch frames are arranged and cabled.
+    pub topology: Topology,
     /// Adapter firmware/DMA parameters.
     pub adapter: AdapterConfig,
 }
 
 impl SpConfig {
-    /// A partition of `nodes` thin nodes with default fabric and adapter
-    /// parameters — the configuration of every experiment except the
-    /// wide-node MPI figures.
+    /// A partition of `nodes` thin nodes on a single switch frame with
+    /// default fabric and adapter parameters — the configuration of every
+    /// experiment except the wide-node MPI figures.
     pub fn thin(nodes: usize) -> Self {
         SpConfig {
             nodes,
             cost: CostModel::thin(),
             switch: SwitchConfig::default(),
+            topology: Topology::single_frame(nodes),
             adapter: AdapterConfig::default(),
         }
     }
@@ -40,6 +43,18 @@ impl SpConfig {
         SpConfig {
             cost: CostModel::wide(),
             ..SpConfig::thin(nodes)
+        }
+    }
+
+    /// A thin-node partition of `frames` switch frames with
+    /// `nodes_per_frame` nodes each, cabled all-to-all: cross-frame packets
+    /// pay one extra switch stage and contend for the inter-frame cables.
+    pub fn multi_frame(frames: usize, nodes_per_frame: usize) -> Self {
+        let topology = Topology::multi_frame(frames, nodes_per_frame);
+        SpConfig {
+            nodes: topology.nodes(),
+            topology,
+            ..SpConfig::thin(1)
         }
     }
 }
@@ -114,13 +129,18 @@ impl<P: Send + 'static> std::fmt::Debug for SpWorld<P> {
 impl<P: Send + 'static> SpWorld<P> {
     /// Build the machine.
     pub fn new(cfg: SpConfig) -> Self {
+        assert_eq!(
+            cfg.nodes,
+            cfg.topology.nodes(),
+            "node count disagrees with the topology"
+        );
         let recv_capacity = cfg.adapter.recv_entries_per_node * cfg.nodes.max(1);
         let adapters = (0..cfg.nodes)
             .map(|_| Adapter::new(cfg.adapter.send_entries, recv_capacity))
             .collect();
         SpWorld {
             cost: cfg.cost,
-            switch: Switch::new(cfg.nodes, cfg.switch),
+            switch: Switch::with_topology(cfg.topology, cfg.switch),
             cfg: cfg.adapter,
             adapters,
             inflight: InflightSlab::new(),

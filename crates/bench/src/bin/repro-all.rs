@@ -20,6 +20,7 @@ fn main() {
         "table6",
         "ablations",
         "trace-rt",
+        "topo",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("bin dir");

@@ -1,0 +1,49 @@
+//! Topology sweep: one-word RTT and streaming bandwidth on single-frame
+//! vs multi-frame machines (§1.2), plus the traced latency breakdown of a
+//! cross-frame round trip showing the extra switch stage as its own
+//! `inter-frame hop` segments.
+//!
+//! ```text
+//! cargo run --bin topo
+//! ```
+
+use sp_bench::{quick, topo_exp};
+
+fn main() {
+    let points = topo_exp::run(quick());
+
+    println!("one-word RTT and streaming bandwidth vs topology (node 0 <-> far node)\n");
+    println!(
+        "{:<20} {:>6} {:>6} {:>5} {:>10} {:>14} {:>10}",
+        "machine", "frames", "nodes", "hops", "rtt (us)", "fabric (us)", "bw (MB/s)"
+    );
+    println!("{}", "-".repeat(78));
+    for p in &points {
+        println!(
+            "{:<20} {:>6} {:>6} {:>5} {:>10.2} {:>14.2} {:>10.1}",
+            p.label,
+            p.frames,
+            p.nodes,
+            p.hops,
+            p.rtt_ns as f64 / 1_000.0,
+            p.wire_switch_ns as f64 / 1_000.0,
+            p.store_bw_mb_s,
+        );
+    }
+
+    let single = &points[0];
+    let multi = &points[1];
+    println!(
+        "\ncross-frame fabric premium: {:+.2} us RTT, {:+.2} us of it in switch stages",
+        (multi.rtt_ns as f64 - single.rtt_ns as f64) / 1_000.0,
+        (multi.wire_switch_ns as f64 - single.wire_switch_ns as f64) / 1_000.0,
+    );
+
+    // Full attribution of a cross-frame round trip: the inter-frame hop
+    // shows up as its own pair of segments, each one hop_latency.
+    let (label, cfg, dst) = topo_exp::configs().remove(1);
+    println!("\n==== breakdown: {label} ====");
+    println!("{}", topo_exp::traced_round_trip(&cfg, dst, 4));
+
+    sp_bench::print_engine_summary();
+}

@@ -17,6 +17,7 @@ pub mod micro;
 pub mod mpi_exp;
 pub mod nas_exp;
 pub mod splitc_exp;
+pub mod topo_exp;
 pub mod trace_rt;
 
 /// Default node count for the point-to-point experiments.

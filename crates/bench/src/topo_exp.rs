@@ -1,0 +1,137 @@
+//! Topology sweep (§1.2): the same one-word round trip and streaming
+//! bandwidth measured on a single-frame machine and on multi-frame
+//! machines where the two endpoints sit in different frames.
+//!
+//! A cross-frame path traverses one extra switch stage over an inter-frame
+//! cable, so its round trip grows by exactly `2 * hop_latency` of fabric
+//! time — visible in the trace-based breakdown as the `inter-frame hop`
+//! segments. Streaming bandwidth is latency-insensitive (the pipeline
+//! hides the extra stage), which the sweep also demonstrates.
+
+use crate::trace_rt::{self, Breakdown};
+use parking_lot::Mutex;
+use sp_adapter::SpConfig;
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr};
+use std::sync::Arc;
+
+/// One topology's measurements.
+#[derive(Debug, Clone)]
+pub struct TopoPoint {
+    /// Human label, e.g. `"2 frames x 1 node"`.
+    pub label: String,
+    /// Switch frames in the machine.
+    pub frames: usize,
+    /// Total nodes.
+    pub nodes: usize,
+    /// The ping-pong peer (node 0 is always the pinger).
+    pub dst: usize,
+    /// Switch stages on the `0 -> dst` path.
+    pub hops: usize,
+    /// Measured one-word round trip, ns (steady-state iteration).
+    pub rtt_ns: u64,
+    /// Fabric share of the round trip: serialization + every switch
+    /// stage, both directions (from the trace-based breakdown).
+    pub wire_switch_ns: u64,
+    /// Streaming async-store bandwidth `0 -> dst`, MB/s.
+    pub store_bw_mb_s: f64,
+}
+
+/// The sweep's machine configurations: a single frame, the smallest
+/// machine with a cross-frame pair, and a four-frame machine pinging
+/// corner to corner.
+pub fn configs() -> Vec<(String, SpConfig, usize)> {
+    let four = SpConfig::multi_frame(4, 4);
+    let far = four.nodes - 1;
+    vec![
+        ("1 frame x 2 nodes".to_owned(), SpConfig::thin(2), 1),
+        ("2 frames x 1 node".to_owned(), SpConfig::multi_frame(2, 1), 1),
+        ("4 frames x 4 nodes".to_owned(), four, far),
+    ]
+}
+
+/// Trace one steady-state round trip on `cfg` and return its breakdown.
+pub fn traced_round_trip(cfg: &SpConfig, dst: usize, iters: u32) -> Breakdown {
+    let (records, _) = trace_rt::run_one_word_on(cfg.clone(), dst, iters);
+    trace_rt::breakdown_on(&records, iters as u64 - 1, cfg, dst)
+}
+
+/// Run the whole sweep.
+pub fn run(quick: bool) -> Vec<TopoPoint> {
+    let iters = if quick { 4 } else { 8 };
+    let (n, count) = if quick { (4096, 16) } else { (16384, 64) };
+    configs()
+        .into_iter()
+        .map(|(label, cfg, dst)| {
+            let bd = traced_round_trip(&cfg, dst, iters);
+            let bw = store_bandwidth(cfg.clone(), dst, n, count);
+            TopoPoint {
+                label,
+                frames: cfg.topology.frames(),
+                nodes: cfg.nodes,
+                dst,
+                hops: cfg.topology.hops(0, dst),
+                rtt_ns: bd.rtt_ns,
+                wire_switch_ns: bd.wire_switch_ns(),
+                store_bw_mb_s: bw,
+            }
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct St {
+    done: u32,
+}
+
+fn done_handler(env: &mut AmEnv<'_, St>, _args: AmArgs) {
+    env.state.done += 1;
+}
+
+/// One-way streaming bandwidth (MB/s of payload) of `count` pipelined
+/// `n`-byte async stores from node 0 to node `dst` on `cfg`; uninvolved
+/// nodes only take part in the opening/closing barriers.
+pub fn store_bandwidth(cfg: SpConfig, dst: usize, n: usize, count: u32) -> f64 {
+    let nodes = cfg.nodes;
+    assert!(dst != 0 && dst < nodes);
+    let mut m = AmMachine::new(cfg, AmConfig::default(), 42);
+    let out = Arc::new(Mutex::new(0.0f64));
+    let out2 = out.clone();
+    m.spawn("tx", St::default(), move |am: &mut Am<'_, St>| {
+        am.register(done_handler);
+        let data = vec![0x5Au8; n];
+        am.barrier();
+        let t0 = am.now();
+        let mut handles = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            handles.push(am.store_async(GlobalPtr { node: dst, addr: 0 }, &data, None, &[], None));
+        }
+        for h in handles {
+            am.wait_bulk(h);
+        }
+        *out2.lock() = (count as usize * n) as f64 / (am.now() - t0).as_secs() / 1e6;
+        am.barrier();
+    });
+    for node in 1..nodes {
+        if node == dst {
+            m.spawn("rx", St::default(), move |am: &mut Am<'_, St>| {
+                am.register(done_handler);
+                am.alloc(n as u32); // landing area at addr 0
+                am.barrier();
+                am.barrier();
+            });
+        } else {
+            m.spawn(
+                format!("idle{node}"),
+                St::default(),
+                |am: &mut Am<'_, St>| {
+                    am.register(done_handler);
+                    am.barrier();
+                    am.barrier();
+                },
+            );
+        }
+    }
+    m.run().expect("store-bandwidth run completes");
+    let v = *out.lock();
+    v
+}

@@ -9,12 +9,17 @@
 //! should equal. Gaps between consecutive causal spans (firmware scan
 //! delay, the receiver's poll loop catching the arrival) are attributed
 //! explicitly, so the segments sum to the round trip exactly.
+//!
+//! The chain walk is topology-aware: on a multi-frame machine a
+//! cross-frame round trip has one `SwitchHop` span per switch stage, and
+//! the extra stages appear as their own `inter-frame hop` segments (each
+//! expected to equal exactly one `hop_latency`).
 
 use sp_adapter::{AdapterConfig, SpConfig};
 use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, AmReport};
 use sp_machine::CostModel;
 use sp_switch::SwitchConfig;
-use sp_trace::{Kind, Record, Track};
+use sp_trace::{Kind, Record, Track, TrackKind};
 
 /// Per-node trace ring capacity used by the round-trip run: small enough
 /// to stay cheap, large enough that a few hundred iterations never wrap.
@@ -41,7 +46,19 @@ fn done_handler(env: &mut AmEnv<'_, PingState>, _args: AmArgs) {
 /// round precedes the first measured one. Returns the merged, time-sorted
 /// trace and the machine report.
 pub fn run_one_word(iters: u32) -> (Vec<Record>, AmReport) {
-    let mut m = AmMachine::new(SpConfig::thin(2), AmConfig::default(), 42);
+    run_one_word_on(SpConfig::thin(2), 1, iters)
+}
+
+/// Like [`run_one_word`], but on an arbitrary machine: node 0 pings node
+/// `dst` across whatever topology `cfg` describes; every other node runs
+/// an empty program so the fabric is otherwise quiet.
+pub fn run_one_word_on(cfg: SpConfig, dst: usize, iters: u32) -> (Vec<Record>, AmReport) {
+    assert!(
+        dst != 0 && dst < cfg.nodes,
+        "dst must be a node other than the pinger (node 0)"
+    );
+    let nodes = cfg.nodes;
+    let mut m = AmMachine::new(cfg, AmConfig::default(), 42);
     let tracer = m.enable_tracing(RING_CAPACITY);
     let t2 = tracer.clone();
     m.spawn(
@@ -52,11 +69,11 @@ pub fn run_one_word(iters: u32) -> (Vec<Record>, AmReport) {
             let done = am.register(done_handler);
             // Warmup round: populates caches-of-the-model (channel state),
             // so measured iterations are steady state.
-            am.request_1(1, 0, done as u32);
+            am.request_1(dst, 0, done as u32);
             am.poll_until(|s| s.pongs >= 1);
             for i in 0..iters {
                 let t0 = am.now();
-                am.request_1(1, 0, done as u32);
+                am.request_1(dst, 0, done as u32);
                 am.poll_until(move |s| s.pongs >= i + 2);
                 t2.span(
                     t0.as_ns(),
@@ -68,15 +85,28 @@ pub fn run_one_word(iters: u32) -> (Vec<Record>, AmReport) {
             }
         },
     );
-    m.spawn(
-        "ponger",
-        PingState::default(),
-        move |am: &mut Am<'_, PingState>| {
-            am.register(pong_handler);
-            am.register(done_handler);
-            am.poll_until(move |s| s.pings > iters);
-        },
-    );
+    for node in 1..nodes {
+        if node == dst {
+            m.spawn(
+                "ponger",
+                PingState::default(),
+                move |am: &mut Am<'_, PingState>| {
+                    am.register(pong_handler);
+                    am.register(done_handler);
+                    am.poll_until(move |s| s.pings > iters);
+                },
+            );
+        } else {
+            m.spawn(
+                format!("idle{node}"),
+                PingState::default(),
+                |am: &mut Am<'_, PingState>| {
+                    am.register(pong_handler);
+                    am.register(done_handler);
+                },
+            );
+        }
+    }
     let report = m.run().expect("round-trip run completes");
     (tracer.snapshot(), report)
 }
@@ -112,6 +142,41 @@ impl Breakdown {
     pub fn sum_ns(&self) -> u64 {
         self.segments.iter().map(|s| s.measured_ns).sum()
     }
+
+    /// Total time attributed to the fabric: serialization plus every
+    /// switch stage, both directions. On a multi-frame machine this grows
+    /// by exactly `2 * hop_latency` per extra cross-frame stage.
+    pub fn wire_switch_ns(&self) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| s.label.starts_with("wire+switch") || s.label.starts_with("inter-frame"))
+            .map(|s| s.measured_ns)
+            .sum()
+    }
+}
+
+/// Which trace track a chain step must land on. Cross-frame hops claim a
+/// round-robin cable lane, so their spans land on a *varying* inter-frame
+/// cable track; those steps match any [`TrackKind::SwitchXLink`] track.
+enum TrackSel {
+    Exact(Track),
+    AnyXLink,
+}
+
+impl TrackSel {
+    fn matches(&self, t: Track) -> bool {
+        match self {
+            TrackSel::Exact(x) => *x == t,
+            TrackSel::AnyXLink => t.kind() == TrackKind::SwitchXLink,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            TrackSel::Exact(t) => t.label(),
+            TrackSel::AnyXLink => "any inter-frame cable".to_owned(),
+        }
+    }
 }
 
 /// One step of the causal chain: which record to look for next, how to
@@ -119,11 +184,118 @@ impl Breakdown {
 /// the wire byte count the layer recorded).
 struct Step {
     kind: Kind,
-    track: Track,
-    label: &'static str,
+    track: TrackSel,
+    label: String,
     expected: Box<dyn Fn(u64) -> Option<u64>>,
-    gap_label: Option<&'static str>,
+    gap_label: Option<String>,
     gap_expected: Option<u64>,
+}
+
+impl Step {
+    fn plain(
+        kind: Kind,
+        track: Track,
+        label: String,
+        expected: impl Fn(u64) -> Option<u64> + 'static,
+    ) -> Step {
+        Step {
+            kind,
+            track: TrackSel::Exact(track),
+            label,
+            expected: Box::new(expected),
+            gap_label: None,
+            gap_expected: None,
+        }
+    }
+}
+
+/// One direction of the round trip, from the sender's FIFO write through
+/// the receiver's dispatch: host injection, firmware send, one `SwitchHop`
+/// per switch stage, firmware receive, poll hit, dispatch.
+#[allow(clippy::too_many_arguments)]
+fn one_way(
+    steps: &mut Vec<Step>,
+    cost: &CostModel,
+    am: &AmConfig,
+    adapter: &AdapterConfig,
+    sw: &SwitchConfig,
+    wire: u64,
+    from: usize,
+    to: usize,
+    hops: usize,
+    poll_gap: &str,
+) {
+    let scan = adapter.fw_scan_delay.as_ns();
+    // Uncontended first stage: serialization (for_bytes + packet gap) plus
+    // the fabric hop. `wire` is the one-word packet's measured wire size
+    // (the SwitchHop record's arg carries the destination, so the byte
+    // count comes from the adjacent firmware spans).
+    let first_hop =
+        (sp_sim::Dur::for_bytes(wire, sw.link_mb_s) + sw.packet_gap + sw.hop_latency).as_ns();
+    let extra_hop = sw.hop_latency.as_ns();
+    let pio = cost.pio_write.as_ns();
+
+    let c = cost.clone();
+    steps.push(Step::plain(
+        Kind::HostWrite,
+        Track::program(from),
+        format!("fifo write+flush (n{from})"),
+        move |b| Some(c.packet_host_cost(b as usize).as_ns()),
+    ));
+    steps.push(Step::plain(
+        Kind::HostDoorbell,
+        Track::program(from),
+        format!("doorbell pio (n{from})"),
+        move |_| Some(pio),
+    ));
+    let ad = adapter.clone();
+    steps.push(Step {
+        kind: Kind::FwSend,
+        track: TrackSel::Exact(Track::adapter(from)),
+        label: format!("fw send+dma (n{from})"),
+        expected: Box::new(move |b| Some((ad.fw_send_per_packet + ad.dma(b as usize)).as_ns())),
+        gap_label: Some(format!("fw scan delay (n{from})")),
+        gap_expected: Some(scan),
+    });
+    steps.push(Step::plain(
+        Kind::SwitchHop,
+        Track::switch_inj(from),
+        format!("wire+switch ({from}->{to})"),
+        move |_| Some(first_hop),
+    ));
+    for stage in 1..hops {
+        steps.push(Step {
+            kind: Kind::SwitchHop,
+            track: TrackSel::AnyXLink,
+            label: format!("inter-frame hop {stage} ({from}->{to})"),
+            expected: Box::new(move |_| Some(extra_hop)),
+            gap_label: None,
+            gap_expected: None,
+        });
+    }
+    let ad = adapter.clone();
+    steps.push(Step::plain(
+        Kind::FwRecv,
+        Track::adapter(to),
+        format!("fw recv+dma (n{to})"),
+        move |b| Some((ad.fw_recv_per_packet + ad.dma(b as usize)).as_ns()),
+    ));
+    let c = cost.clone();
+    steps.push(Step {
+        kind: Kind::HostPollHit,
+        track: TrackSel::Exact(Track::program(to)),
+        label: format!("fifo copy-out (n{to})"),
+        expected: Box::new(move |b| Some(c.packet_host_cost(b as usize).as_ns())),
+        gap_label: Some(format!("{poll_gap} (n{to})")),
+        gap_expected: None,
+    });
+    let d = am.dispatch_cpu.as_ns();
+    steps.push(Step::plain(
+        Kind::AmDispatch,
+        Track::program(to),
+        format!("dispatch cpu (n{to})"),
+        move |_| Some(d),
+    ));
 }
 
 fn chain(
@@ -132,174 +304,51 @@ fn chain(
     adapter: &AdapterConfig,
     sw: &SwitchConfig,
     wire: u64,
+    dst: usize,
+    hops: usize,
 ) -> Vec<Step> {
-    let cost0 = cost.clone();
-    let cost1 = cost.clone();
-    let cost2 = cost.clone();
-    let ad0 = adapter.clone();
-    let ad1 = adapter.clone();
-    let ad2 = adapter.clone();
-    let ad3 = adapter.clone();
-    let scan = adapter.fw_scan_delay.as_ns();
-    // Uncontended single-hop transit: serialization (for_bytes + packet
-    // gap) plus the fabric hop. `wire` is the one-word packet's measured
-    // wire size (the SwitchHop record's arg carries the destination, so
-    // the byte count comes from the adjacent firmware spans).
-    let hop = (sp_sim::Dur::for_bytes(wire, sw.link_mb_s) + sw.packet_gap + sw.hop_latency).as_ns();
-    let pio = cost.pio_write.as_ns();
-    vec![
-        Step {
-            kind: Kind::AmRequest,
-            track: Track::program(0),
-            label: "request cpu (n0)",
-            expected: Box::new({
-                let d = am.request_cpu.as_ns();
-                move |_| Some(d)
-            }),
-            gap_label: None,
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::HostWrite,
-            track: Track::program(0),
-            label: "fifo write+flush (n0)",
-            expected: Box::new(move |b| Some(cost0.packet_host_cost(b as usize).as_ns())),
-            gap_label: None,
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::HostDoorbell,
-            track: Track::program(0),
-            label: "doorbell pio (n0)",
-            expected: Box::new(move |_| Some(pio)),
-            gap_label: None,
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::FwSend,
-            track: Track::adapter(0),
-            label: "fw send+dma (n0)",
-            expected: Box::new(move |b| {
-                Some((ad0.fw_send_per_packet + ad0.dma(b as usize)).as_ns())
-            }),
-            gap_label: Some("fw scan delay (n0)"),
-            gap_expected: Some(scan),
-        },
-        Step {
-            kind: Kind::SwitchHop,
-            track: Track::switch_inj(0),
-            label: "wire+switch (0->1)",
-            expected: Box::new(move |_| Some(hop)),
-            gap_label: None,
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::FwRecv,
-            track: Track::adapter(1),
-            label: "fw recv+dma (n1)",
-            expected: Box::new(move |b| {
-                Some((ad1.fw_recv_per_packet + ad1.dma(b as usize)).as_ns())
-            }),
-            gap_label: None,
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::HostPollHit,
-            track: Track::program(1),
-            label: "fifo copy-out (n1)",
-            expected: Box::new(move |b| Some(cost1.packet_host_cost(b as usize).as_ns())),
-            gap_label: Some("receiver poll wait (n1)"),
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::AmDispatch,
-            track: Track::program(1),
-            label: "dispatch cpu (n1)",
-            expected: Box::new({
-                let d = am.dispatch_cpu.as_ns();
-                move |_| Some(d)
-            }),
-            gap_label: None,
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::AmReply,
-            track: Track::program(1),
-            label: "reply cpu (n1)",
-            expected: Box::new({
-                let d = am.reply_cpu.as_ns();
-                move |_| Some(d)
-            }),
-            gap_label: None,
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::HostWrite,
-            track: Track::program(1),
-            label: "fifo write+flush (n1)",
-            expected: Box::new(move |b| Some(cost2.packet_host_cost(b as usize).as_ns())),
-            gap_label: None,
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::HostDoorbell,
-            track: Track::program(1),
-            label: "doorbell pio (n1)",
-            expected: Box::new(move |_| Some(pio)),
-            gap_label: None,
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::FwSend,
-            track: Track::adapter(1),
-            label: "fw send+dma (n1)",
-            expected: Box::new(move |b| {
-                Some((ad2.fw_send_per_packet + ad2.dma(b as usize)).as_ns())
-            }),
-            gap_label: Some("fw scan delay (n1)"),
-            gap_expected: Some(scan),
-        },
-        Step {
-            kind: Kind::SwitchHop,
-            track: Track::switch_inj(1),
-            label: "wire+switch (1->0)",
-            expected: Box::new(move |_| Some(hop)),
-            gap_label: None,
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::FwRecv,
-            track: Track::adapter(0),
-            label: "fw recv+dma (n0)",
-            expected: Box::new(move |b| {
-                Some((ad3.fw_recv_per_packet + ad3.dma(b as usize)).as_ns())
-            }),
-            gap_label: None,
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::HostPollHit,
-            track: Track::program(0),
-            label: "fifo copy-out (n0)",
-            expected: Box::new({
-                let c = cost.clone();
-                move |b| Some(c.packet_host_cost(b as usize).as_ns())
-            }),
-            gap_label: Some("sender poll wait (n0)"),
-            gap_expected: None,
-        },
-        Step {
-            kind: Kind::AmDispatch,
-            track: Track::program(0),
-            label: "dispatch cpu (n0)",
-            expected: Box::new({
-                let d = am.dispatch_cpu.as_ns();
-                move |_| Some(d)
-            }),
-            gap_label: None,
-            gap_expected: None,
-        },
-    ]
+    let mut steps = Vec::new();
+    let d = am.request_cpu.as_ns();
+    steps.push(Step::plain(
+        Kind::AmRequest,
+        Track::program(0),
+        "request cpu (n0)".to_owned(),
+        move |_| Some(d),
+    ));
+    one_way(
+        &mut steps,
+        cost,
+        am,
+        adapter,
+        sw,
+        wire,
+        0,
+        dst,
+        hops,
+        "receiver poll wait",
+    );
+    let d = am.reply_cpu.as_ns();
+    steps.push(Step::plain(
+        Kind::AmReply,
+        Track::program(dst),
+        format!("reply cpu (n{dst})"),
+        move |_| Some(d),
+    ));
+    one_way(
+        &mut steps,
+        cost,
+        am,
+        adapter,
+        sw,
+        wire,
+        dst,
+        0,
+        hops,
+        "sender poll wait",
+    );
+    // The chain stops after the sender-side dispatch; the closing
+    // `done_handler` + poll epilogue is attributed as a trailing segment.
+    steps
 }
 
 /// Reconstruct the cost attribution of measured iteration `iteration` from
@@ -311,10 +360,16 @@ fn chain(
 /// means an instrumentation point regressed, which is exactly what the
 /// accompanying tests exist to catch.
 pub fn breakdown(records: &[Record], iteration: u64) -> Breakdown {
-    let cost = CostModel::thin();
+    breakdown_on(records, iteration, &SpConfig::thin(2), 1)
+}
+
+/// Like [`breakdown`] for a trace produced by [`run_one_word_on`] with the
+/// same `cfg` and `dst`: the chain contains one `SwitchHop` step per
+/// switch stage of the `0 -> dst` path, so on a multi-frame machine the
+/// extra stages are attributed (and checked) individually.
+pub fn breakdown_on(records: &[Record], iteration: u64, cfg: &SpConfig, dst: usize) -> Breakdown {
     let amc = AmConfig::default();
-    let adc = AdapterConfig::default();
-    let swc = SwitchConfig::default();
+    let hops = cfg.topology.hops(0, dst);
 
     let window = records
         .iter()
@@ -327,14 +382,16 @@ pub fn breakdown(records: &[Record], iteration: u64) -> Breakdown {
         .find(|r| r.kind == Kind::FwSend && r.at >= begin)
         .map(|r| r.arg)
         .expect("one-word trace contains a firmware send");
-    let steps = chain(&cost, &amc, &adc, &swc, wire);
+    let steps = chain(&cfg.cost, &amc, &cfg.adapter, &cfg.switch, wire, dst, hops);
 
     let mut segments = Vec::new();
     let mut cursor = begin;
     for step in &steps {
         let rec = records
             .iter()
-            .find(|r| r.kind == step.kind && r.track == step.track && r.at >= cursor && r.at < end)
+            .find(|r| {
+                r.kind == step.kind && step.track.matches(r.track) && r.at >= cursor && r.at < end
+            })
             .unwrap_or_else(|| {
                 panic!(
                     "causal chain broken: no {:?} on {} after {} ns",
@@ -347,14 +404,14 @@ pub fn breakdown(records: &[Record], iteration: u64) -> Breakdown {
             segments.push(Segment {
                 label: step
                     .gap_label
-                    .map(str::to_owned)
+                    .clone()
                     .unwrap_or_else(|| format!("wait before {}", step.label)),
                 measured_ns: rec.at - cursor,
                 expected_ns: step.gap_expected,
             });
         }
         segments.push(Segment {
-            label: step.label.to_owned(),
+            label: step.label.clone(),
             measured_ns: rec.dur,
             expected_ns: (step.expected)(rec.arg),
         });

@@ -1,0 +1,76 @@
+//! Acceptance tests for the multi-frame topology sweep: a cross-frame
+//! round trip is strictly slower than the single-frame one, and the whole
+//! premium inside the fabric segments is exactly the added hop-latency
+//! terms — the trace-based breakdown attributes it, stage by stage.
+
+use sp_adapter::SpConfig;
+use sp_bench::topo_exp;
+use sp_switch::SwitchConfig;
+
+#[test]
+fn cross_frame_round_trip_pays_exactly_the_extra_hops() {
+    let hop = SwitchConfig::default().hop_latency.as_ns();
+    let single = topo_exp::traced_round_trip(&SpConfig::thin(2), 1, 3);
+    let multi = topo_exp::traced_round_trip(&SpConfig::multi_frame(2, 1), 1, 3);
+    // Both breakdowns fully attribute their round trips.
+    assert_eq!(single.sum_ns(), single.rtt_ns);
+    assert_eq!(multi.sum_ns(), multi.rtt_ns);
+    // The cross-frame trip is strictly slower end to end, and the fabric
+    // share of the premium is exactly one extra hop per direction.
+    assert!(
+        multi.rtt_ns > single.rtt_ns,
+        "cross-frame RTT {} ns not above single-frame {} ns",
+        multi.rtt_ns,
+        single.rtt_ns
+    );
+    assert_eq!(
+        multi.wire_switch_ns() - single.wire_switch_ns(),
+        2 * hop,
+        "fabric premium is not 2 * hop_latency"
+    );
+}
+
+#[test]
+fn multi_frame_breakdown_components_match_cost_model() {
+    // Corner-to-corner ping on a 4-frame, 16-node machine: every modeled
+    // segment still reconstructs its cost constant, and the chain contains
+    // exactly one inter-frame stage per direction.
+    let cfg = SpConfig::multi_frame(4, 4);
+    let dst = cfg.nodes - 1;
+    let bd = topo_exp::traced_round_trip(&cfg, dst, 3);
+    assert_eq!(bd.sum_ns(), bd.rtt_ns);
+    for s in &bd.segments {
+        let Some(exp) = s.expected_ns else { continue };
+        let err = (s.measured_ns as f64 - exp as f64).abs() / exp.max(1) as f64;
+        assert!(
+            err <= 0.05,
+            "segment {:?}: measured {} ns vs model {} ns",
+            s.label,
+            s.measured_ns,
+            exp
+        );
+    }
+    let hop = SwitchConfig::default().hop_latency.as_ns();
+    let xframe: Vec<_> = bd
+        .segments
+        .iter()
+        .filter(|s| s.label.starts_with("inter-frame"))
+        .collect();
+    assert_eq!(xframe.len(), 2, "one inter-frame stage per direction");
+    for s in &xframe {
+        assert_eq!(s.measured_ns, hop, "uncontended cable stage {:?}", s.label);
+    }
+}
+
+#[test]
+fn streaming_bandwidth_survives_the_extra_hop() {
+    // Pipelined stores hide per-packet fabric latency: the cross-frame
+    // machine must deliver at least ~95% of the single-frame rate.
+    let single = topo_exp::store_bandwidth(SpConfig::thin(2), 1, 4096, 12);
+    let multi = topo_exp::store_bandwidth(SpConfig::multi_frame(2, 1), 1, 4096, 12);
+    assert!(single > 0.0 && multi > 0.0);
+    assert!(
+        multi >= 0.95 * single,
+        "cross-frame streaming bandwidth collapsed: {multi:.1} vs {single:.1} MB/s"
+    );
+}

@@ -854,6 +854,59 @@ mod tests {
     }
 
     #[test]
+    fn park_timeout_fast_path_observable_in_trace() {
+        // A timed park whose deadline precedes every queued event cannot be
+        // unparked, so it takes the one-lock fast path (NodeAdvance span
+        // with arg=1, no NodePark); one with an event inside the window
+        // falls back to the real park.
+        let tracer = Tracer::new(1, 1024);
+        let mut sim = Sim::new((), 0);
+        sim.set_tracer(tracer.clone());
+        sim.spawn("t", |ctx| {
+            assert_eq!(ctx.park_timeout(Dur::us(3.0)), WakeReason::Timeout);
+            ctx.schedule(Dur::us(1.0), |_e| {});
+            assert_eq!(ctx.park_timeout(Dur::us(3.0)), WakeReason::Timeout);
+            assert_eq!(ctx.now().as_us(), 6.0);
+        });
+        sim.run().unwrap();
+        let recs = tracer.snapshot();
+        let fast: Vec<_> = recs
+            .iter()
+            .filter(|r| r.kind == TraceKind::NodeAdvance && r.arg == 1)
+            .collect();
+        assert_eq!(fast.len(), 1, "first park_timeout fast-paths: {fast:?}");
+        assert_eq!((fast[0].at, fast[0].dur), (0, 3_000));
+        let parks: Vec<_> = recs
+            .iter()
+            .filter(|r| r.kind == TraceKind::NodePark)
+            .collect();
+        assert_eq!(parks.len(), 1, "second park_timeout really parks");
+        assert_eq!(parks[0].at, 3_000);
+    }
+
+    #[test]
+    fn park_timeout_fast_path_matches_advance_accounting() {
+        // An un-unparkable timed park is semantically a timed advance; the
+        // fast path must keep the two identical in both virtual time and
+        // event count (each fast advance stands in for one elided Wake).
+        fn run(use_park: bool) -> (Time, u64) {
+            let mut sim = Sim::new((), 0);
+            sim.spawn("t", move |ctx| {
+                for _ in 0..10 {
+                    if use_park {
+                        assert_eq!(ctx.park_timeout(Dur::us(3.0)), WakeReason::Timeout);
+                    } else {
+                        ctx.advance(Dur::us(3.0));
+                    }
+                }
+            });
+            let r = sim.run().unwrap();
+            (r.end_time, r.events)
+        }
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
     fn unpark_during_sleep_is_latched() {
         let mut sim = Sim::new((), 0);
         let sleeper = NodeId(0);

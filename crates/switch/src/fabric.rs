@@ -1,6 +1,7 @@
 //! The switch fabric timing model.
 
 use crate::fault::{FaultInjector, FaultKind};
+use crate::topology::{HopPath, LinkId, Topology};
 use sp_sim::{Dur, Time};
 use sp_trace::{Kind, Tracer, Track};
 
@@ -25,7 +26,8 @@ pub mod gstats {
 /// Switch fabric parameters (paper §1.2).
 #[derive(Debug, Clone)]
 pub struct SwitchConfig {
-    /// Hardware latency of a fabric traversal (~500 ns).
+    /// Hardware latency of one switch stage (~500 ns). Cross-frame packets
+    /// pay it once per stage crossed.
     pub hop_latency: Dur,
     /// Link bandwidth in MB/s (~40).
     pub link_mb_s: f64,
@@ -68,16 +70,61 @@ pub enum Transit {
     Dropped,
 }
 
-/// The switch fabric: per-node injection/ejection link occupancy plus a
-/// round-robin route counter per (src, dst) pair.
+/// Occupancy of one directed link.
+///
+/// `free` is the instant the link finishes serializing the last normally
+/// claimed packet; a claim's window is `[at - ser, at]`. Packets carrying
+/// an injected *delay* are special: they occupy the link far in the future,
+/// and serializing every successor behind them would destroy the reordering
+/// the fault exists to produce. A delayed claim is therefore recorded as a
+/// `reserved` window instead of moving `free`: successors may overtake it
+/// (reordering preserved) but are bumped past the window if they would
+/// overlap it (occupancy stays serialized).
+#[derive(Debug, Clone, Default)]
+struct LinkState {
+    free: Time,
+    reserved: Vec<(Time, Time)>,
+}
+
+impl LinkState {
+    /// Claim the link for a window ending no earlier than `nominal`, with
+    /// `ser` of serialization. Returns the window end.
+    fn claim(&mut self, nominal: Time, ser: Dur, delayed: bool) -> Time {
+        let mut at = nominal.max(self.free + ser);
+        // Bump past reserved (delayed-packet) windows until disjoint.
+        loop {
+            let mut bumped = false;
+            for &(a, b) in &self.reserved {
+                if at > a && at - ser < b {
+                    at = b + ser;
+                    bumped = true;
+                }
+            }
+            if !bumped {
+                break;
+            }
+        }
+        if delayed {
+            self.reserved.push((at - ser, at));
+        } else {
+            self.free = at;
+            self.reserved.retain(|&(_, b)| b > at);
+        }
+        at
+    }
+}
+
+/// The switch fabric: per-link occupancy over an explicit [`Topology`],
+/// a round-robin route counter per (src, dst) pair, and fault injection
+/// both fabric-wide and pinned to individual links.
 #[derive(Debug)]
 pub struct Switch {
     cfg: SwitchConfig,
-    nodes: usize,
-    inj_free: Vec<Time>,
-    ej_free: Vec<Time>,
+    topo: Topology,
+    links: Vec<LinkState>,
     route_rr: Vec<usize>, // nodes x nodes round-robin counters
     fault: FaultInjector,
+    link_faults: Vec<Option<FaultInjector>>,
     stats: SwitchStats,
     tracer: Option<Tracer>,
 }
@@ -93,17 +140,27 @@ pub struct SwitchStats {
     pub delayed: u64,
     /// Total wire bytes delivered.
     pub wire_bytes: u64,
+    /// Total switch stages crossed by delivered packets (loopback crosses
+    /// none; within a frame one; across frames two).
+    pub hops: u64,
 }
 
 impl Switch {
-    /// A fabric connecting `nodes` nodes.
+    /// A single-frame fabric connecting `nodes` nodes — the classic SP
+    /// rack, and the configuration every golden pin is measured on.
     pub fn new(nodes: usize, cfg: SwitchConfig) -> Self {
+        Switch::with_topology(Topology::single_frame(nodes), cfg)
+    }
+
+    /// A fabric over an explicit topology.
+    pub fn with_topology(topo: Topology, cfg: SwitchConfig) -> Self {
         assert!(cfg.routes_per_pair >= 1, "need at least one route");
+        let nodes = topo.nodes();
         Switch {
-            nodes,
-            inj_free: vec![Time::ZERO; nodes],
-            ej_free: vec![Time::ZERO; nodes],
+            links: vec![LinkState::default(); topo.num_links()],
+            link_faults: (0..topo.num_links()).map(|_| None).collect(),
             route_rr: vec![0; nodes * nodes],
+            topo,
             fault: FaultInjector::none(),
             cfg,
             stats: SwitchStats::default(),
@@ -111,13 +168,26 @@ impl Switch {
         }
     }
 
-    /// Replace the fault injector (tests / reliability experiments).
+    /// Replace the fabric-wide fault injector (tests / reliability
+    /// experiments). It classifies every non-loopback packet once, in
+    /// injection order: drops take effect at the packet's first link,
+    /// delays at its final switch stage.
     pub fn set_fault_injector(&mut self, fault: FaultInjector) {
         self.fault = fault;
     }
 
-    /// Install a trace recorder: each transit records a per-hop span plus
-    /// injection/ejection link-occupancy spans.
+    /// Pin a fault injector to one directed link (see [`Topology::inj_link`],
+    /// [`Topology::ej_link`], [`Topology::cable`]). It classifies only the
+    /// packets that reach that link, in the order they claim it; a drop
+    /// loses the packet as it crosses the link, a delay charges the extra
+    /// latency at that hop. Packets already dropped upstream (by the
+    /// fabric-wide injector or an earlier link) never reach it.
+    pub fn set_link_fault_injector(&mut self, link: LinkId, fault: FaultInjector) {
+        self.link_faults[link as usize] = Some(fault);
+    }
+
+    /// Install a trace recorder: each transit records one span per switch
+    /// stage plus an occupancy span on every link crossed.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = Some(tracer);
     }
@@ -127,6 +197,11 @@ impl Switch {
         &self.cfg
     }
 
+    /// The fabric's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> &SwitchStats {
         &self.stats
@@ -134,7 +209,7 @@ impl Switch {
 
     /// Number of attached nodes.
     pub fn nodes(&self) -> usize {
-        self.nodes
+        self.topo.nodes()
     }
 
     /// Serialization time of `wire_bytes` on one link, including the
@@ -143,113 +218,213 @@ impl Switch {
         Dur::for_bytes(wire_bytes as u64, self.cfg.link_mb_s) + self.cfg.packet_gap
     }
 
+    /// The trace track modeling `link`.
+    fn track(&self, link: LinkId) -> Track {
+        let n = self.topo.nodes();
+        let l = link as usize;
+        if l < n {
+            Track::switch_inj(l)
+        } else if l < 2 * n {
+            Track::switch_ej(l - n)
+        } else {
+            Track::switch_xlink(l - 2 * n)
+        }
+    }
+
+    fn classify_link(&mut self, link: LinkId) -> FaultKind {
+        match &mut self.link_faults[link as usize] {
+            Some(inj) => inj.classify(),
+            None => FaultKind::None,
+        }
+    }
+
+    /// Claim the packet's first link starting no earlier than `ready`,
+    /// trace the occupancy, and return the injection start. `busy_arg`
+    /// follows the recorder's convention: wire bytes when the packet dies
+    /// on this link, 0 otherwise.
+    fn claim_first(&mut self, link: LinkId, ready: Time, ser: Dur, busy_arg: u64) -> Time {
+        let st = &mut self.links[link as usize];
+        let start = ready.max(st.free);
+        st.free = start + ser;
+        if let Some(t) = &self.tracer {
+            t.span(
+                start.as_ns(),
+                (start + ser).as_ns(),
+                self.track(link),
+                Kind::LinkBusy,
+                busy_arg,
+            );
+        }
+        start
+    }
+
+    /// Drop the packet as it leaves on its first link.
+    fn drop_at_first(&mut self, link: LinkId, ready: Time, ser: Dur, wire_bytes: usize) -> Transit {
+        let start = self.claim_first(link, ready, ser, wire_bytes as u64);
+        self.stats.dropped += 1;
+        gstats::record_drop();
+        if let Some(t) = &self.tracer {
+            t.instant(
+                start.as_ns(),
+                self.track(link),
+                Kind::SwitchDrop,
+                wire_bytes as u64,
+            );
+        }
+        Transit::Dropped
+    }
+
     /// Inject a packet of `wire_bytes` from `src` to `dst`, with the first
     /// byte available at the source adapter at `ready`. Returns when (and
     /// whether) the packet reaches the destination adapter.
     ///
     /// Loopback (`src == dst`) still crosses the adapter but not the fabric:
     /// the SP adapter loops self-addressed packets through the MSMU with the
-    /// same serialization and negligible latency.
+    /// same serialization and negligible latency. Because it never enters
+    /// the fabric, no fault injector — fabric-wide or per-link — sees it.
     pub fn transit(&mut self, src: usize, dst: usize, wire_bytes: usize, ready: Time) -> Transit {
-        assert!(src < self.nodes && dst < self.nodes, "node out of range");
+        let n = self.topo.nodes();
+        assert!(src < n && dst < n, "node out of range");
         let ser = self.serialization(wire_bytes);
 
         let route = {
-            let rr = &mut self.route_rr[src * self.nodes + dst];
+            let rr = &mut self.route_rr[src * n + dst];
             let r = *rr;
             *rr = (*rr + 1) % self.cfg.routes_per_pair;
             r
         };
 
+        if src == dst {
+            let link = self.topo.inj_link(src);
+            let start = self.claim_first(link, ready, ser, 0);
+            let at = start + ser;
+            self.finish(wire_bytes);
+            if let Some(t) = &self.tracer {
+                t.span(
+                    start.as_ns(),
+                    at.as_ns(),
+                    self.track(link),
+                    Kind::SwitchHop,
+                    dst as u64,
+                );
+            }
+            return Transit::Delivered { at, route };
+        }
+
+        let path = self.topo.path(src, dst, route);
+
+        // Fabric-wide classification: drop at the first link, delay at the
+        // final stage (a per-link drop upstream short-circuits before the
+        // downstream links' injectors ever see the packet).
+        let mut global_delay = false;
         match self.fault.classify() {
             FaultKind::Drop => {
-                // The packet still occupies the injection link (it left the
-                // source before being lost).
-                let start = ready.max(self.inj_free[src]);
-                self.inj_free[src] = start + ser;
-                self.stats.dropped += 1;
-                gstats::record_drop();
-                if let Some(t) = &self.tracer {
-                    let end = start + ser;
-                    let track = Track::switch_inj(src);
-                    t.span(
-                        start.as_ns(),
-                        end.as_ns(),
-                        track,
-                        Kind::LinkBusy,
-                        wire_bytes as u64,
-                    );
-                    t.instant(start.as_ns(), track, Kind::SwitchDrop, wire_bytes as u64);
-                }
-                return Transit::Dropped;
+                return self.drop_at_first(path.links()[0], ready, ser, wire_bytes);
+            }
+            FaultKind::Delay => global_delay = true,
+            FaultKind::None => {}
+        }
+        match self.classify_link(path.links()[0]) {
+            FaultKind::Drop => {
+                return self.drop_at_first(path.links()[0], ready, ser, wire_bytes);
             }
             FaultKind::Delay => {
-                self.stats.delayed += 1;
-                let extra = self.cfg.hop_latency * self.cfg.delay_fault_hops;
-                let (start, base) = self.deliver(src, dst, ser, ready);
-                let at = base + extra;
-                self.finish(wire_bytes);
-                if let Some(t) = &self.tracer {
-                    let track = Track::switch_inj(src);
-                    t.instant(start.as_ns(), track, Kind::SwitchDelayed, wire_bytes as u64);
-                    t.span(
-                        start.as_ns(),
-                        at.as_ns(),
-                        track,
-                        Kind::SwitchHop,
-                        dst as u64,
-                    );
-                }
-                return Transit::Delivered { at, route };
+                // Charged when the packet crosses the next stage.
+                return self.deliver(path, dst, ser, ready, wire_bytes, global_delay, true, route);
             }
             FaultKind::None => {}
         }
-
-        let (start, at) = self.deliver(src, dst, ser, ready);
-        self.finish(wire_bytes);
-        if let Some(t) = &self.tracer {
-            t.span(
-                start.as_ns(),
-                at.as_ns(),
-                Track::switch_inj(src),
-                Kind::SwitchHop,
-                dst as u64,
-            );
-        }
-        Transit::Delivered { at, route }
+        self.deliver(path, dst, ser, ready, wire_bytes, global_delay, false, route)
     }
 
-    /// Returns `(injection start, delivery time)`.
-    fn deliver(&mut self, src: usize, dst: usize, ser: Dur, ready: Time) -> (Time, Time) {
-        let start = ready.max(self.inj_free[src]);
-        self.inj_free[src] = start + ser;
-        if let Some(t) = &self.tracer {
-            t.span(
-                start.as_ns(),
-                (start + ser).as_ns(),
-                Track::switch_inj(src),
-                Kind::LinkBusy,
-                0,
-            );
+    /// Walk the packet along its path, claiming each link in order. `at_i`
+    /// for stage `i` is `max(at_{i-1} + hop_latency (+ injected extra),
+    /// link-free + ser)`: cut-through forwarding, paced by any contended
+    /// stage. For a single frame this reduces exactly to the historical
+    /// two-endpoint recurrence the golden pins are measured on.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        path: HopPath,
+        dst: usize,
+        ser: Dur,
+        ready: Time,
+        wire_bytes: usize,
+        global_delay: bool,
+        mut pending_delay: bool,
+        route: usize,
+    ) -> Transit {
+        let links = path.links();
+        let last = links.len() - 1;
+        let extra = self.cfg.hop_latency * self.cfg.delay_fault_hops;
+        let start = self.claim_first(links[0], ready, ser, 0);
+        let mut got_delayed = false;
+        let mut hop_start = start;
+        let mut arrival = start + ser;
+        for (i, &link) in links.iter().enumerate().skip(1) {
+            let mut delayed = std::mem::take(&mut pending_delay);
+            match self.classify_link(link) {
+                FaultKind::Drop => {
+                    // The bytes cross this link, then are lost.
+                    let at =
+                        self.links[link as usize].claim(arrival + self.cfg.hop_latency, ser, false);
+                    self.stats.dropped += 1;
+                    gstats::record_drop();
+                    if let Some(t) = &self.tracer {
+                        let track = self.track(link);
+                        t.span(
+                            (at - ser).as_ns(),
+                            at.as_ns(),
+                            track,
+                            Kind::LinkBusy,
+                            wire_bytes as u64,
+                        );
+                        t.instant((at - ser).as_ns(), track, Kind::SwitchDrop, wire_bytes as u64);
+                    }
+                    return Transit::Dropped;
+                }
+                FaultKind::Delay => delayed = true,
+                FaultKind::None => {}
+            }
+            if i == last && global_delay {
+                delayed = true;
+            }
+            got_delayed |= delayed;
+            let mut nominal = arrival + self.cfg.hop_latency;
+            if delayed {
+                nominal += extra;
+            }
+            let at = self.links[link as usize].claim(nominal, ser, delayed);
+            if let Some(t) = &self.tracer {
+                let track = self.track(link);
+                t.span((at - ser).as_ns(), at.as_ns(), track, Kind::LinkBusy, 0);
+                if delayed {
+                    t.instant(
+                        start.as_ns(),
+                        self.track(links[0]),
+                        Kind::SwitchDelayed,
+                        wire_bytes as u64,
+                    );
+                }
+                // One span per switch stage, on the track of the link the
+                // packet entered the stage from; arg is the destination.
+                t.span(
+                    hop_start.as_ns(),
+                    at.as_ns(),
+                    self.track(links[i - 1]),
+                    Kind::SwitchHop,
+                    dst as u64,
+                );
+            }
+            hop_start = at;
+            arrival = at;
         }
-        if src == dst {
-            // Adapter loopback: serialization only, no fabric hop, no
-            // ejection-link contention with remote traffic.
-            return (start, start + ser);
+        if got_delayed {
+            self.stats.delayed += 1;
         }
-        let nominal = start + ser + self.cfg.hop_latency;
-        let at = nominal.max(self.ej_free[dst] + ser);
-        self.ej_free[dst] = at;
-        if let Some(t) = &self.tracer {
-            t.span(
-                (at - ser).as_ns(),
-                at.as_ns(),
-                Track::switch_ej(dst),
-                Kind::LinkBusy,
-                0,
-            );
-        }
-        (start, at)
+        self.finish(wire_bytes);
+        self.stats.hops += last as u64;
+        Transit::Delivered { at: arrival, route }
     }
 
     fn finish(&mut self, wire_bytes: usize) {
@@ -370,6 +545,22 @@ mod tests {
     }
 
     #[test]
+    fn loopback_is_never_classified_by_fault_injection() {
+        // Regression: loopback rides the MSMU, never the fabric, so the
+        // fault injector must neither drop it nor consume a classification
+        // index on it. Pre-fix, the loopback consumed (and was killed by)
+        // drop index 0.
+        let mut s = sw(2);
+        s.set_fault_injector(FaultInjector::drop_at([0]));
+        let at = delivered(s.transit(0, 0, 256, Time::ZERO));
+        assert_eq!(at.as_ns(), 6_400 + 130);
+        assert_eq!(s.stats().dropped, 0);
+        // Index 0 was not consumed by the loopback: the first *fabric*
+        // packet is the one dropped.
+        assert_eq!(s.transit(0, 1, 256, Time::ZERO), Transit::Dropped);
+    }
+
+    #[test]
     fn drop_fault_loses_packet_but_charges_link() {
         let mut s = sw(2);
         s.set_fault_injector(FaultInjector::drop_at([0]));
@@ -393,6 +584,56 @@ mod tests {
         let b = delivered(s.transit(0, 1, 64, Time::ZERO));
         assert!(a > b, "delayed packet must arrive after its successor");
         assert_eq!(s.stats().delayed, 1);
+    }
+
+    #[test]
+    fn delayed_packet_keeps_ejection_occupancy_serialized() {
+        // Regression: the delayed packet's ejection window is [at - ser, at]
+        // at its *delayed* arrival. Pre-fix, `ej_free` was set before the
+        // extra delay was added, so a successor could occupy the ejection
+        // link inside the delayed packet's serialization window.
+        let mut s = Switch::new(
+            2,
+            SwitchConfig {
+                // Small delay: the delayed packet lands between successors
+                // instead of far past them, exposing the overlap.
+                delay_fault_hops: 2,
+                ..SwitchConfig::default()
+            },
+        );
+        let mut inj = FaultInjector::none();
+        inj.delay_indices.insert(0);
+        s.set_fault_injector(inj);
+        let ser = s.serialization(64);
+        let mut arrivals = vec![
+            delivered(s.transit(0, 1, 64, Time::ZERO)),
+            delivered(s.transit(0, 1, 64, Time::ZERO)),
+        ];
+        arrivals.sort();
+        assert!(
+            arrivals[1] - arrivals[0] >= ser,
+            "ejection windows overlap: {arrivals:?} with ser {ser}"
+        );
+        assert_eq!(s.stats().delayed, 1);
+    }
+
+    #[test]
+    fn delayed_reservation_does_not_serialize_faster_successors() {
+        // The huge default delay pushes the packet ~100 us out; successors
+        // must still flow at line rate instead of queueing behind the
+        // reservation.
+        let mut s = sw(2);
+        let mut inj = FaultInjector::none();
+        inj.delay_indices.insert(0);
+        s.set_fault_injector(inj);
+        let slow = delivered(s.transit(0, 1, 64, Time::ZERO));
+        let mut prev = Time::ZERO;
+        for _ in 0..10 {
+            let at = delivered(s.transit(0, 1, 64, Time::ZERO));
+            assert!(at < slow, "successor stuck behind the delay reservation");
+            assert!(at > prev);
+            prev = at;
+        }
     }
 
     #[test]
@@ -439,5 +680,122 @@ mod tests {
             .snapshot()
             .iter()
             .any(|r| r.kind == Kind::SwitchDrop && r.arg == 256));
+    }
+
+    // --- multi-frame topologies ---
+
+    fn cross(frames: usize, per: usize) -> Switch {
+        Switch::with_topology(Topology::multi_frame(frames, per), SwitchConfig::default())
+    }
+
+    #[test]
+    fn cross_frame_transit_pays_one_extra_hop() {
+        let mut single = sw(2);
+        let mut multi = cross(2, 1); // nodes 0 and 1 in different frames
+        let a = delivered(single.transit(0, 1, 256, Time::ZERO));
+        let b = delivered(multi.transit(0, 1, 256, Time::ZERO));
+        assert_eq!(b - a, multi.config().hop_latency);
+        assert_eq!(multi.stats().hops, 2);
+        assert_eq!(single.stats().hops, 1);
+    }
+
+    #[test]
+    fn same_frame_transit_in_multi_frame_machine_is_one_hop() {
+        let mut s = cross(2, 2); // nodes 0,1 | 2,3
+        let at = delivered(s.transit(2, 3, 256, Time::ZERO));
+        assert_eq!(at.as_ns(), 6_400 + 130 + 500);
+        assert_eq!(s.stats().hops, 1);
+    }
+
+    #[test]
+    fn route_diversity_dodges_a_bad_cable() {
+        // Drop everything on cable lane 0 between frames 0 and 1: the first
+        // packet (route 0) dies there, the second (route 1) rides lane 1.
+        let mut s = cross(2, 1);
+        let lane0 = s.topology().cable(0, 1, 0);
+        s.set_link_fault_injector(lane0, {
+            let mut inj = FaultInjector::none();
+            inj.drop_every_nth = Some(1);
+            inj
+        });
+        assert_eq!(s.transit(0, 1, 256, Time::ZERO), Transit::Dropped);
+        assert!(matches!(
+            s.transit(0, 1, 256, Time::ZERO),
+            Transit::Delivered { route: 1, .. }
+        ));
+        assert_eq!(s.stats().dropped, 1);
+        assert_eq!(s.stats().delivered, 1);
+    }
+
+    #[test]
+    fn per_link_delay_is_charged_at_that_hop() {
+        let mut s = cross(2, 1);
+        let lane0 = s.topology().cable(0, 1, 0);
+        let mut inj = FaultInjector::none();
+        inj.delay_indices.insert(0);
+        s.set_link_fault_injector(lane0, inj);
+        let extra = s.config().hop_latency * s.config().delay_fault_hops;
+        let a = delivered(s.transit(0, 1, 64, Time::ZERO)); // lane 0: delayed
+        let mut clean = cross(2, 1);
+        let b = delivered(clean.transit(0, 1, 64, Time::ZERO));
+        assert_eq!(a - b, extra);
+        assert_eq!(s.stats().delayed, 1);
+    }
+
+    #[test]
+    fn per_link_injector_only_sees_reaching_packets() {
+        // An injector on node 1's ejection link sees cross traffic to node
+        // 1 but not traffic between other nodes.
+        let mut s = sw(4);
+        let ej1 = s.topology().ej_link(1);
+        s.set_link_fault_injector(ej1, FaultInjector::drop_at([1]));
+        let _ = delivered(s.transit(2, 3, 64, Time::ZERO)); // not seen
+        let _ = delivered(s.transit(0, 1, 64, Time::ZERO)); // index 0
+        assert_eq!(s.transit(0, 1, 64, Time::ZERO), Transit::Dropped); // index 1
+        assert_eq!(s.stats().dropped, 1);
+    }
+
+    #[test]
+    fn tracer_records_one_span_per_stage_across_frames() {
+        use sp_trace::{Kind, Tracer, Track, TrackKind};
+        let tracer = Tracer::new(2, 256);
+        let mut s = cross(2, 1);
+        s.set_tracer(tracer.clone());
+        let at = delivered(s.transit(0, 1, 256, Time::ZERO));
+        let recs = tracer.snapshot();
+        let hops: Vec<_> = recs.iter().filter(|r| r.kind == Kind::SwitchHop).collect();
+        assert_eq!(hops.len(), 2, "two stages, two spans");
+        assert_eq!(hops[0].track, Track::switch_inj(0));
+        assert_eq!(hops[1].track.kind(), TrackKind::SwitchXLink);
+        assert_eq!(hops[0].end(), hops[1].at, "stages chain causally");
+        assert_eq!(hops[1].end(), at.as_ns());
+        let busy: Vec<_> = recs.iter().filter(|r| r.kind == Kind::LinkBusy).collect();
+        assert_eq!(busy.len(), 3, "inj + cable + ej occupancy");
+        let ser = s.serialization(256).as_ns();
+        assert!(busy.iter().all(|r| r.dur == ser));
+    }
+
+    #[test]
+    fn cable_contention_paces_cross_frame_senders() {
+        // Two frame-0 senders to frame-1 receivers, forced onto one cable
+        // lane: the shared cable paces them like a shared ejection link.
+        let mut s = Switch::with_topology(
+            Topology::MultiFrame {
+                frames: 2,
+                nodes_per_frame: 2,
+                cables_per_pair: 1,
+            },
+            SwitchConfig::default(),
+        );
+        let mut deliveries = Vec::new();
+        for _ in 0..20 {
+            deliveries.push(delivered(s.transit(0, 2, 256, Time::ZERO)));
+            deliveries.push(delivered(s.transit(1, 3, 256, Time::ZERO)));
+        }
+        deliveries.sort();
+        let ser = s.serialization(256);
+        for w in deliveries.windows(2) {
+            assert!(w[1] - w[0] >= ser, "inter-frame cable over-subscribed");
+        }
     }
 }

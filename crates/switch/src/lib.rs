@@ -9,27 +9,36 @@
 //!
 //! ## Timing model
 //!
-//! Wormhole-style: a packet of `w` wire bytes leaving node `s` for node `d`
-//! occupies `s`'s injection link for `w/B` (B = link bandwidth), crosses the
-//! fabric in `L` (hop latency), and then occupies `d`'s ejection link for
-//! `w/B`. Injection links and ejection links are independent resources, so
+//! Wormhole-style over an explicit [`Topology`]: a packet of `w` wire bytes
+//! leaving node `s` for node `d` occupies each directed link on its route —
+//! `s`'s injection link, any inter-frame cables, `d`'s ejection link — for
+//! `w/B` (B = link bandwidth), and pays `L` (hop latency) per switch stage
+//! crossed: one stage within a frame, two across frames. Links are
+//! independent resources, so
 //!
 //! * a single sender is paced at `B` (the paper's 34–35 MB/s of payload once
-//!   the 32-byte packet header is discounted), and
+//!   the 32-byte packet header is discounted),
 //! * `k` senders converging on one receiver share the receiver's ejection
 //!   link — the paper's §4.4 observation that MPICH's naive `MPI_Alltoall`
 //!   ("all processors try to send to the same processor at the same time")
-//!   bottlenecks is exactly this resource.
+//!   bottlenecks is exactly this resource, and
+//! * cross-frame traffic additionally contends for the inter-frame cables,
+//!   which the four per-pair routes spread across four parallel cables.
 //!
-//! Delivery per (src, dst) pair is FIFO (all four routes have equal length
-//! in a real SP partition, and the model's per-link resources are monotone),
-//! which is what lets SP AM promise *ordered* delivery (§4.1). A test-only
-//! reordering fault can be injected to exercise AM's NACK path.
+//! A [`Topology::single_frame`] fabric reproduces the historical single-hop
+//! model byte-for-byte (see the golden pins in the integration tests).
+//! Delivery per (src, dst) pair is FIFO (all routes between a pair have
+//! equal length in a real SP partition, and the model's per-link resources
+//! are monotone), which is what lets SP AM promise *ordered* delivery
+//! (§4.1). A test-only reordering fault can be injected to exercise AM's
+//! NACK path; fault injectors can also be pinned to individual links.
 
 #![warn(missing_docs)]
 
 mod fabric;
 mod fault;
+mod topology;
 
-pub use fabric::{gstats, Switch, SwitchConfig, Transit};
+pub use fabric::{gstats, Switch, SwitchConfig, SwitchStats, Transit};
 pub use fault::{FaultInjector, FaultKind};
+pub use topology::{HopPath, LinkId, Topology, FRAME_PORTS, MAX_PATH_LINKS};

@@ -1,0 +1,299 @@
+//! Switch topologies: which directed links a packet crosses on its way
+//! from one node to another.
+//!
+//! The SP's building block is a 16-port switch frame (paper §1.2). Systems
+//! up to 16 nodes are a single frame: every packet crosses one switch stage,
+//! entering on the source's injection link and leaving on the destination's
+//! ejection link. Larger systems cable frames together; a cross-frame packet
+//! additionally crosses an inter-frame cable, one extra switch stage per
+//! cable. Each (src, dst) pair has `routes_per_pair` distinct routes which
+//! the adapter firmware cycles through; across frames, the route index picks
+//! which of the parallel inter-frame cables the packet rides.
+//!
+//! A [`Topology`] expands `(src, dst, route)` into an explicit [`HopPath`]:
+//! the ordered directed links the packet serializes onto. The fabric charges
+//! occupancy per link, so congestion accrues at intermediate stages too, and
+//! fault injectors can be pinned to any single link.
+
+/// Ports per switch frame on the SP.
+pub const FRAME_PORTS: usize = 16;
+
+/// Upper bound on links in any [`HopPath`] (inj + cable + ej today; room
+/// for a deeper stage).
+pub const MAX_PATH_LINKS: usize = 4;
+
+/// Identifier of one directed fabric link. The numbering is dense per
+/// topology: injection links first (`node`), then ejection links
+/// (`nodes + node`), then inter-frame cables (see [`Topology::cable`]).
+pub type LinkId = u32;
+
+/// How the machine's switch frames are arranged and cabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// One 16-port frame: every pair is one switch stage apart.
+    SingleFrame {
+        /// Attached nodes (≤ [`FRAME_PORTS`]).
+        nodes: usize,
+    },
+    /// `frames` frames of `nodes_per_frame` nodes each, every frame pair
+    /// joined by `cables_per_pair` parallel directed cables (the SP cables
+    /// frames all-to-all up to about five frames; beyond that real systems
+    /// add intermediate switch boards, which this model does not).
+    MultiFrame {
+        /// Number of frames.
+        frames: usize,
+        /// Nodes attached to each frame (≤ [`FRAME_PORTS`]).
+        nodes_per_frame: usize,
+        /// Parallel directed cables between each ordered frame pair.
+        cables_per_pair: usize,
+    },
+}
+
+/// The ordered directed links one packet crosses, allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopPath {
+    links: [LinkId; MAX_PATH_LINKS],
+    len: u8,
+}
+
+impl HopPath {
+    fn new(links: &[LinkId]) -> HopPath {
+        assert!(!links.is_empty() && links.len() <= MAX_PATH_LINKS);
+        let mut buf = [0; MAX_PATH_LINKS];
+        buf[..links.len()].copy_from_slice(links);
+        HopPath {
+            links: buf,
+            len: links.len() as u8,
+        }
+    }
+
+    /// The links in traversal order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links[..self.len as usize]
+    }
+
+    /// Switch stages crossed: one per link after the first (the first link
+    /// only serializes the packet out of the adapter).
+    pub fn hops(&self) -> usize {
+        self.len as usize - 1
+    }
+}
+
+impl Topology {
+    /// A single frame of `nodes` nodes.
+    pub fn single_frame(nodes: usize) -> Topology {
+        assert!(
+            (1..=FRAME_PORTS).contains(&nodes),
+            "a switch frame has {FRAME_PORTS} ports, asked for {nodes}"
+        );
+        Topology::SingleFrame { nodes }
+    }
+
+    /// `frames` frames of `nodes_per_frame` nodes, with four parallel
+    /// cables per ordered frame pair (matching the SP's four routes per
+    /// destination).
+    pub fn multi_frame(frames: usize, nodes_per_frame: usize) -> Topology {
+        assert!(frames >= 1, "need at least one frame");
+        assert!(
+            (1..=FRAME_PORTS).contains(&nodes_per_frame),
+            "a switch frame has {FRAME_PORTS} ports, asked for {nodes_per_frame}"
+        );
+        Topology::MultiFrame {
+            frames,
+            nodes_per_frame,
+            cables_per_pair: 4,
+        }
+    }
+
+    /// Total attached nodes.
+    pub fn nodes(&self) -> usize {
+        match *self {
+            Topology::SingleFrame { nodes } => nodes,
+            Topology::MultiFrame {
+                frames,
+                nodes_per_frame,
+                ..
+            } => frames * nodes_per_frame,
+        }
+    }
+
+    /// Number of frames.
+    pub fn frames(&self) -> usize {
+        match *self {
+            Topology::SingleFrame { .. } => 1,
+            Topology::MultiFrame { frames, .. } => frames,
+        }
+    }
+
+    /// Which frame `node` is attached to.
+    pub fn frame_of(&self, node: usize) -> usize {
+        match *self {
+            Topology::SingleFrame { .. } => 0,
+            Topology::MultiFrame {
+                nodes_per_frame, ..
+            } => node / nodes_per_frame,
+        }
+    }
+
+    /// Total directed links: one injection and one ejection link per node,
+    /// plus all inter-frame cables.
+    pub fn num_links(&self) -> usize {
+        let n = self.nodes();
+        match *self {
+            Topology::SingleFrame { .. } => 2 * n,
+            Topology::MultiFrame {
+                frames,
+                cables_per_pair,
+                ..
+            } => 2 * n + frames * frames * cables_per_pair,
+        }
+    }
+
+    /// `node`'s injection link (adapter into the fabric).
+    pub fn inj_link(&self, node: usize) -> LinkId {
+        assert!(node < self.nodes(), "node out of range");
+        node as LinkId
+    }
+
+    /// `node`'s ejection link (fabric into the adapter).
+    pub fn ej_link(&self, node: usize) -> LinkId {
+        assert!(node < self.nodes(), "node out of range");
+        (self.nodes() + node) as LinkId
+    }
+
+    /// Cable `lane` from frame `from` to frame `to` (multi-frame only).
+    pub fn cable(&self, from: usize, to: usize, lane: usize) -> LinkId {
+        match *self {
+            Topology::SingleFrame { .. } => panic!("single frame has no cables"),
+            Topology::MultiFrame {
+                frames,
+                cables_per_pair,
+                ..
+            } => {
+                assert!(from < frames && to < frames && from != to, "bad frame pair");
+                assert!(lane < cables_per_pair, "cable lane out of range");
+                (2 * self.nodes() + (from * frames + to) * cables_per_pair + lane) as LinkId
+            }
+        }
+    }
+
+    /// The cable index (for [`Track::switch_xlink`]-style numbering) of a
+    /// cable [`LinkId`], or `None` for endpoint links.
+    pub fn cable_index(&self, link: LinkId) -> Option<usize> {
+        let endpoints = 2 * self.nodes();
+        (link as usize >= endpoints).then(|| link as usize - endpoints)
+    }
+
+    /// Switch stages between `src` and `dst` (1 within a frame, 2 across).
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        if self.frame_of(src) == self.frame_of(dst) {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Expand `(src, dst, route)` into the ordered links crossed. `route`
+    /// is the firmware's route index (`0..routes_per_pair`); across frames
+    /// it selects the cable lane, so the four routes ride four distinct
+    /// cables. Loopback never enters the fabric, so `src != dst` here.
+    pub fn path(&self, src: usize, dst: usize, route: usize) -> HopPath {
+        let n = self.nodes();
+        assert!(src < n && dst < n, "node out of range");
+        assert!(src != dst, "loopback does not enter the fabric");
+        let (fs, fd) = (self.frame_of(src), self.frame_of(dst));
+        if fs == fd {
+            return HopPath::new(&[self.inj_link(src), self.ej_link(dst)]);
+        }
+        let lane = match *self {
+            Topology::MultiFrame {
+                cables_per_pair, ..
+            } => route % cables_per_pair,
+            Topology::SingleFrame { .. } => unreachable!(),
+        };
+        HopPath::new(&[
+            self.inj_link(src),
+            self.cable(fs, fd, lane),
+            self.ej_link(dst),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frame_paths_are_one_hop() {
+        let t = Topology::single_frame(4);
+        assert_eq!(t.nodes(), 4);
+        assert_eq!(t.num_links(), 8);
+        let p = t.path(1, 3, 0);
+        assert_eq!(p.links(), &[t.inj_link(1), t.ej_link(3)]);
+        assert_eq!(p.hops(), 1);
+        assert_eq!(t.hops(1, 3), 1);
+    }
+
+    #[test]
+    fn cross_frame_paths_ride_a_cable() {
+        let t = Topology::multi_frame(2, 2); // nodes 0,1 | 2,3
+        assert_eq!(t.nodes(), 4);
+        assert_eq!(t.frame_of(1), 0);
+        assert_eq!(t.frame_of(2), 1);
+        let p = t.path(0, 3, 0);
+        assert_eq!(p.hops(), 2);
+        assert_eq!(
+            p.links(),
+            &[t.inj_link(0), t.cable(0, 1, 0), t.ej_link(3)]
+        );
+        // Same frame stays one hop.
+        assert_eq!(t.path(2, 3, 0).hops(), 1);
+    }
+
+    #[test]
+    fn route_index_selects_the_cable_lane() {
+        let t = Topology::multi_frame(2, 1);
+        let lanes: Vec<LinkId> = (0..5).map(|r| t.path(0, 1, r).links()[1]).collect();
+        assert_eq!(lanes[0], lanes[4], "four lanes cycle");
+        assert_eq!(
+            lanes.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            4,
+            "four routes ride four distinct cables"
+        );
+    }
+
+    #[test]
+    fn link_ids_are_dense_and_disjoint() {
+        let t = Topology::multi_frame(3, 4);
+        let mut seen = std::collections::BTreeSet::new();
+        for n in 0..t.nodes() {
+            assert!(seen.insert(t.inj_link(n)));
+            assert!(seen.insert(t.ej_link(n)));
+        }
+        for a in 0..3 {
+            for b in 0..3 {
+                if a == b {
+                    continue;
+                }
+                for lane in 0..4 {
+                    assert!(seen.insert(t.cable(a, b, lane)));
+                }
+            }
+        }
+        assert!(seen.iter().all(|&l| (l as usize) < t.num_links()));
+        assert_eq!(t.cable_index(t.inj_link(3)), None);
+        assert!(t.cable_index(t.cable(0, 1, 0)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "16 ports")]
+    fn oversized_frame_rejected() {
+        Topology::single_frame(17);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_has_no_path() {
+        Topology::single_frame(2).path(1, 1, 0);
+    }
+}

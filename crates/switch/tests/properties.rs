@@ -1,9 +1,20 @@
 //! Property tests on the fabric model: per-pair FIFO, link conservation,
-//! and fault-injection accounting.
+//! fault-injection accounting, and topology-independent timing laws.
 
 use proptest::prelude::*;
 use sp_sim::Time;
-use sp_switch::{FaultInjector, Switch, SwitchConfig, Transit};
+use sp_switch::{FaultInjector, Switch, SwitchConfig, Topology, Transit};
+
+/// Decode three generated integers into an arbitrary topology — a single
+/// frame or a multi-frame arrangement, both within frame-port limits,
+/// always with ≥ 2 nodes so a non-loopback pair exists.
+fn make_topology(kind: u8, a: usize, b: usize) -> Topology {
+    if kind % 2 == 0 {
+        Topology::single_frame(2 + a % 15)
+    } else {
+        Topology::multi_frame(2 + a % 3, 1 + b % 4)
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
@@ -86,5 +97,59 @@ proptest! {
         let max = *seen.iter().max().unwrap();
         let min = *seen.iter().min().unwrap();
         prop_assert!(max - min <= 1, "route imbalance: {seen:?}");
+    }
+
+    /// On any topology, a fault-free uncontended transit takes exactly
+    /// `serialization + hops * hop_latency` — the wormhole law the latency
+    /// breakdown report decomposes against.
+    #[test]
+    fn uncontended_delivery_is_serialization_plus_hops(
+        kind in any::<u8>(),
+        ta in 0usize..64,
+        tb in 0usize..64,
+        src in 0usize..64,
+        offset in 0usize..64,
+        bytes in 33usize..256,
+    ) {
+        let topo = make_topology(kind, ta, tb);
+        let n = topo.nodes();
+        let src = src % n;
+        let dst = (src + 1 + offset % (n - 1)) % n; // any node but src
+        let hops = topo.hops(src, dst) as u64;
+        let mut sw = Switch::with_topology(topo, SwitchConfig::default());
+        let at = match sw.transit(src, dst, bytes, Time::ZERO) {
+            Transit::Delivered { at, .. } => at,
+            Transit::Dropped => unreachable!("no faults configured"),
+        };
+        let expected = Time::ZERO
+            + sw.serialization(bytes)
+            + sw.config().hop_latency * hops;
+        prop_assert_eq!(at, expected);
+        prop_assert_eq!(sw.stats().hops, hops);
+    }
+
+    /// Route round-robin cycles `0..routes_per_pair` per (src, dst) pair on
+    /// any topology, independent of other pairs' traffic.
+    #[test]
+    fn routes_cycle_on_any_topology(
+        kind in any::<u8>(),
+        ta in 0usize..64,
+        tb in 0usize..64,
+        count in 1usize..40,
+        interleave in 0u8..2,
+    ) {
+        let interleave = interleave == 1;
+        let mut sw = Switch::with_topology(make_topology(kind, ta, tb), SwitchConfig::default());
+        let rpp = sw.config().routes_per_pair;
+        for i in 0..count {
+            if interleave {
+                // Traffic on another pair must not perturb (0, 1)'s cycle.
+                let _ = sw.transit(1, 0, 64, Time::ZERO);
+            }
+            match sw.transit(0, 1, 64, Time::ZERO) {
+                Transit::Delivered { route, .. } => prop_assert_eq!(route, i % rpp),
+                Transit::Dropped => unreachable!("no faults configured"),
+            }
+        }
     }
 }

@@ -13,6 +13,10 @@
 use crate::record::{Phase, Record, Track, TrackKind};
 use std::fmt::Write as _;
 
+/// Process id of the shared fabric process holding inter-frame cable
+/// threads (far above any per-node pid).
+const XLINK_PID: u32 = 1_000_000;
+
 /// `(pid, tid)` for a track, per the mapping described in the module docs.
 fn ids(track: Track) -> (u32, u32) {
     match (track.kind(), track.node()) {
@@ -20,6 +24,9 @@ fn ids(track: Track) -> (u32, u32) {
         (TrackKind::Adapter, Some(n)) => (n as u32 + 1, 2),
         (TrackKind::SwitchInj, Some(n)) => (n as u32 + 1, 3),
         (TrackKind::SwitchEj, Some(n)) => (n as u32 + 1, 4),
+        (TrackKind::SwitchXLink, _) => {
+            (XLINK_PID, track.xlink_index().unwrap_or(0) as u32 + 1)
+        }
         _ => (0, 1),
     }
 }
@@ -30,11 +37,15 @@ fn thread_name(track: Track) -> &'static str {
         TrackKind::Adapter => "adapter",
         TrackKind::SwitchInj => "inj link",
         TrackKind::SwitchEj => "ej link",
+        TrackKind::SwitchXLink => "inter-frame cable",
         TrackKind::Engine => "events",
     }
 }
 
 fn process_name(track: Track) -> String {
+    if track.kind() == TrackKind::SwitchXLink {
+        return "switch fabric".to_string();
+    }
     match track.node() {
         Some(n) => format!("node {n}"),
         None => "engine".to_string(),
@@ -178,6 +189,16 @@ mod tests {
         assert!(json.contains("\"name\":\"engine\""));
         assert!(json.contains("\"name\":\"adapter\""));
         assert!(json.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn xlink_tracks_form_a_fabric_process() {
+        let t = Tracer::new(2, 64);
+        t.span(0, 500, Track::switch_xlink(2), Kind::SwitchHop, 1);
+        let json = to_chrome_json(&t.snapshot());
+        assert!(json.contains("\"name\":\"switch fabric\""));
+        assert!(json.contains("\"name\":\"inter-frame cable\""));
+        assert!(json.contains(&format!("\"pid\":{XLINK_PID},\"tid\":3")));
     }
 
     #[test]

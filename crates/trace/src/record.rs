@@ -194,6 +194,9 @@ pub enum TrackKind {
     SwitchEj,
     /// The discrete-event engine itself (global, not per node).
     Engine,
+    /// An inter-frame cable inside a multi-frame switch fabric (global,
+    /// indexed by cable, not owned by any node).
+    SwitchXLink,
 }
 
 /// A timeline: one per modeled resource. Encoded as a `u32` —
@@ -233,6 +236,11 @@ impl Track {
         Track::node_track(3, node)
     }
 
+    /// Inter-frame cable `index`'s track (multi-frame fabrics only).
+    pub fn switch_xlink(index: usize) -> Track {
+        Track::node_track(5, index)
+    }
+
     /// The resource kind this track models.
     pub fn kind(self) -> TrackKind {
         match self.0 >> 24 {
@@ -240,15 +248,25 @@ impl Track {
             1 => TrackKind::Adapter,
             2 => TrackKind::SwitchInj,
             3 => TrackKind::SwitchEj,
+            5 => TrackKind::SwitchXLink,
             _ => TrackKind::Engine,
         }
     }
 
-    /// The node this track belongs to, or `None` for the engine track.
+    /// The node this track belongs to, or `None` for the engine and
+    /// inter-frame cable tracks (which are global resources).
     pub fn node(self) -> Option<usize> {
         match self.kind() {
-            TrackKind::Engine => None,
+            TrackKind::Engine | TrackKind::SwitchXLink => None,
             _ => Some((self.0 & TRACK_NODE_MAX) as usize),
+        }
+    }
+
+    /// The cable index of an inter-frame cable track, `None` otherwise.
+    pub fn xlink_index(self) -> Option<usize> {
+        match self.kind() {
+            TrackKind::SwitchXLink => Some((self.0 & TRACK_NODE_MAX) as usize),
+            _ => None,
         }
     }
 
@@ -259,6 +277,9 @@ impl Track {
             (TrackKind::Adapter, Some(n)) => format!("node {n} adapter"),
             (TrackKind::SwitchInj, Some(n)) => format!("node {n} inj link"),
             (TrackKind::SwitchEj, Some(n)) => format!("node {n} ej link"),
+            (TrackKind::SwitchXLink, _) => {
+                format!("xlink cable {}", self.0 & TRACK_NODE_MAX)
+            }
             _ => "engine".to_string(),
         }
     }
@@ -301,6 +322,16 @@ mod tests {
         assert_eq!(Track::ENGINE.node(), None);
         assert_eq!(Track::ENGINE.kind(), TrackKind::Engine);
         assert_eq!(Track::switch_inj(0).label(), "node 0 inj link");
+    }
+
+    #[test]
+    fn xlink_track_roundtrip() {
+        let t = Track::switch_xlink(9);
+        assert_eq!(t.kind(), TrackKind::SwitchXLink);
+        assert_eq!(t.node(), None, "cables are not owned by a node");
+        assert_eq!(t.xlink_index(), Some(9));
+        assert_eq!(Track::switch_inj(9).xlink_index(), None);
+        assert_eq!(t.label(), "xlink cable 9");
     }
 
     #[test]

@@ -86,7 +86,8 @@ impl Tracer {
     fn ring_index(&self, track: Track) -> usize {
         let engine = self.shared.rings.len() - 1;
         match track.kind() {
-            TrackKind::Engine => engine,
+            // Inter-frame cables are global resources like the engine.
+            TrackKind::Engine | TrackKind::SwitchXLink => engine,
             _ => track.node().unwrap_or(engine).min(engine - 1),
         }
     }

@@ -136,6 +136,13 @@ impl Fnv {
 /// trace-layer changes in the same commit as this refresh are verified
 /// neutral — the pinned values below are byte-identical with and without
 /// the tracing hooks compiled in.
+///
+/// These pins also encode the single-frame equivalence guarantee of the
+/// topology-aware fabric: `SwitchConfig::default()` on
+/// `Topology::single_frame(n)` (what `SpConfig::thin` builds, and what
+/// this run uses) must reproduce the historical two-endpoint wormhole
+/// recurrence exactly — per-link occupancy, the `park_timeout` fast path,
+/// and the fault-model fixes all leave this run byte-identical.
 const GOLDEN_END_NS: u64 = 6_642_255;
 const GOLDEN_EVENTS: u64 = 36_135;
 const GOLDEN_HASH: u64 = 0xEB6B_8367_9ED3_66C6;
