@@ -54,7 +54,7 @@ pub fn write_packet<P: Send + 'static>(
 /// their lengths into the adapter's packet-length array. One MicroChannel
 /// store is charged regardless of `count` — this is the paper's bulk
 /// optimization of "writing the lengths of several packets at a time".
-pub fn ring_doorbell<P: Send + 'static>(ctx: &mut SpCtx<P>, count: usize) {
+pub fn ring_doorbell<P: Send + Clone + 'static>(ctx: &mut SpCtx<P>, count: usize) {
     let src = ctx.id().0;
     let t0 = ctx.now();
     let scan = ctx.world_then_advance(|w| {
@@ -91,7 +91,7 @@ pub fn ring_doorbell<P: Send + 'static>(ctx: &mut SpCtx<P>, count: usize) {
 }
 
 /// Convenience: write one packet and immediately publish it.
-pub fn send_packet<P: Send + 'static>(
+pub fn send_packet<P: Send + Clone + 'static>(
     ctx: &mut SpCtx<P>,
     dst: usize,
     payload_bytes: usize,

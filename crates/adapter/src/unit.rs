@@ -108,6 +108,8 @@ pub(crate) struct Adapter<P> {
     pub(crate) send_capacity: usize,
     /// Whether a firmware send-scan event chain is currently active.
     pub(crate) fw_send_active: bool,
+    /// Injected send-engine stall: the firmware pops no packet before this.
+    pub(crate) send_stall_until: sp_sim::Time,
     /// When the receive engine finishes its current packet.
     pub(crate) recv_busy_until: sp_sim::Time,
     /// Receive FIFO: packets DMA'd into host memory, not yet read.
@@ -125,6 +127,7 @@ impl<P> Adapter<P> {
             send_fifo: VecDeque::with_capacity(send_capacity),
             send_capacity,
             fw_send_active: false,
+            send_stall_until: sp_sim::Time::ZERO,
             recv_busy_until: sp_sim::Time::ZERO,
             recv_fifo: VecDeque::new(),
             recv_unpopped: 0,

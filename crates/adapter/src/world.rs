@@ -186,6 +186,27 @@ impl<P: Send + 'static> SpWorld<P> {
     pub fn set_recv_capacity(&mut self, node: usize, capacity: usize) {
         self.adapters[node].recv_capacity = capacity;
     }
+
+    /// Stall node `node`'s send engine until `until` (max-combined with any
+    /// existing stall): the firmware pops no send-FIFO entry before then.
+    /// Models a send-DMA or firmware hiccup.
+    pub fn stall_send(&mut self, node: usize, until: sp_sim::Time) {
+        let a = &mut self.adapters[node];
+        a.send_stall_until = a.send_stall_until.max(until);
+    }
+
+    /// Stall node `node`'s receive engine until `until` (max-combined):
+    /// arriving packets queue behind the stall as if the engine were busy.
+    pub fn stall_recv(&mut self, node: usize, until: sp_sim::Time) {
+        let a = &mut self.adapters[node];
+        a.recv_busy_until = a.recv_busy_until.max(until);
+    }
+
+    /// Packets sitting in node `node`'s receive FIFO, delivered but not yet
+    /// read by the host.
+    pub fn recv_backlog(&self, node: usize) -> usize {
+        self.adapters[node].recv_fifo.len()
+    }
 }
 
 /// Firmware send engine: take the head ready packet, spend per-packet
@@ -197,13 +218,20 @@ impl<P: Send + 'static> SpWorld<P> {
 /// (`fn(ctx, u64, u64)`): the node id / FIFO slot ride as the integer
 /// arguments and in-flight packets park in [`InflightSlab`]. The second
 /// argument is unused here.
-pub(crate) fn fw_send_step<P: Send + 'static>(
+pub(crate) fn fw_send_step<P: Send + Clone + 'static>(
     e: &mut EventCtx<'_, SpWorld<P>>,
     node: u64,
     _b: u64,
 ) {
     let node = node as usize;
     let now = e.now();
+    // Injected send-engine stall: hold the chain (without popping) until
+    // the stall expires.
+    let stall = e.world().adapters[node].send_stall_until;
+    if now < stall {
+        e.schedule_hot_at(stall, fw_send_step, node as u64, 0);
+        return;
+    }
     let (pkt, done) = {
         let w = e.world();
         match w.adapters[node].pop_ready() {
@@ -233,7 +261,13 @@ pub(crate) fn fw_send_step<P: Send + 'static>(
         w.adapters[node].stats.sent += 1;
         w.switch.transit(node, dst, pkt.wire_bytes, done)
     };
-    if let Transit::Delivered { at, .. } = transit {
+    if let Transit::Delivered { at, dup_at, .. } = transit {
+        // A fabric-duplicated packet reaches the receive engine twice: the
+        // second, identical copy parks in its own slab slot.
+        if let Some(dup) = dup_at {
+            let slot = e.world().inflight.insert(pkt.clone());
+            e.schedule_hot_at(dup, fw_recv_step, dst as u64, slot);
+        }
         let slot = e.world().inflight.insert(pkt);
         e.schedule_hot_at(at, fw_recv_step, dst as u64, slot);
     }

@@ -87,6 +87,14 @@ impl AmMachine {
         self.sim.set_event_budget(budget);
     }
 
+    /// Schedule a hardware-state mutation at virtual time `at` — the moving
+    /// version of [`AmMachine::configure_world`]. Fault harnesses use this
+    /// to shrink a FIFO or stall an engine mid-run, deterministically, with
+    /// no node program involved.
+    pub fn schedule_world_at(&mut self, at: Time, f: impl FnOnce(&mut AmWorld) + Send + 'static) {
+        self.sim.schedule_call_at(at, move |e| f(e.world()));
+    }
+
     /// Install a virtual-time trace recorder across the whole stack — the
     /// engine, the adapters and switch, and every node's protocol engine —
     /// and return the handle used to snapshot records afterwards. Each node

@@ -6,7 +6,7 @@ use crate::api::{AmArgs, AmEnv, BulkHandle, BulkInfo};
 use crate::channel::{BulkTx, RxChan, RxVerdict, SendItem, TxChan};
 use crate::config::AmConfig;
 use crate::mem::MemPool;
-use crate::stats::AmStats;
+use crate::stats::{gstats, AmStats};
 use crate::wire::{AmPacket, Body, Channel, ShortKind};
 use crate::AmCtx;
 use sp_adapter::host;
@@ -409,14 +409,14 @@ impl<S> AmPort<S> {
 
     /// True when every outbound channel is quiescent (nothing queued,
     /// unacked, or pending retransmission).
-    pub(crate) fn all_idle(&self) -> bool {
+    pub fn all_idle(&self) -> bool {
         self.peers.iter().all(|p| p.tx[0].idle() && p.tx[1].idle())
     }
 
     /// True when every outbound channel has *emitted* everything it was
     /// asked to send (queues and retransmission buffers empty; acks may
     /// still be outstanding).
-    pub(crate) fn all_sent(&self) -> bool {
+    pub fn all_sent(&self) -> bool {
         self.peers
             .iter()
             .all(|p| p.tx.iter().all(|t| t.queue_len() == 0 && t.rtx_len() == 0))
@@ -427,6 +427,7 @@ impl<S> AmPort<S> {
     /// if everything actually arrived, or restarts lost traffic otherwise.
     fn keepalive_round(&mut self, ctx: &mut AmCtx) {
         self.stats.keepalive_rounds += 1;
+        gstats::add_keepalive_rounds(1);
         let mut probes = 0u64;
         for dst in 0..self.n {
             for chan in Channel::BOTH {
@@ -441,22 +442,32 @@ impl<S> AmPort<S> {
     }
 
     fn handle_packet(&mut self, ctx: &mut AmCtx, state: &mut S, src: usize, pkt: AmPacket) {
+        self.stats.packets_received += 1;
         // Piggybacked cumulative ACKs ride on every packet.
         self.process_ack(ctx, state, src, Channel::Request, pkt.ack_req);
         self.process_ack(ctx, state, src, Channel::Reply, pkt.ack_rep);
         let chan = pkt.chan;
         match pkt.body {
-            Body::Ack => {}
+            Body::Ack => {
+                self.stats.controls_received += 1;
+            }
             Body::Nack { seq, offset } => {
                 self.made_progress = true;
+                self.stats.controls_received += 1;
                 self.stats.nacks_received += 1;
+                gstats::add_nacks_received(1);
                 let (completed, rtx) = self.peers[src].tx[chan.idx()].on_nack(seq, offset);
                 self.t_instant(ctx.now(), TraceKind::AmNackIn, rtx as u64);
+                if rtx > 0 {
+                    self.t_instant(ctx.now(), TraceKind::AmRetransmit, rtx as u64);
+                }
                 self.stats.packets_retransmitted += rtx as u64;
+                gstats::add_retransmitted(rtx as u64);
                 self.finish_bulks(ctx, state, completed);
                 self.pump_peer(ctx, src);
             }
             Body::Probe => {
+                self.stats.controls_received += 1;
                 let (es, eo) = self.peers[src].rx[chan.idx()].expected();
                 self.send_control(
                     ctx,
@@ -469,6 +480,7 @@ impl<S> AmPort<S> {
                 );
                 self.t_instant(ctx.now(), TraceKind::AmNackOut, 0);
                 self.stats.nacks_sent += 1;
+                gstats::add_nacks_sent(1);
             }
             Body::Short {
                 kind,
@@ -520,10 +532,14 @@ impl<S> AmPort<S> {
                     }
                     RxVerdict::DupDrop => {
                         self.stats.dup_dropped += 1;
+                        gstats::add_dup_dropped(1);
+                        self.t_instant(ctx.now(), TraceKind::AmDupDrop, pkt.seq as u64);
                         self.explicit_ack(ctx, src, chan);
                     }
                     RxVerdict::OooDrop { nack } => {
                         self.stats.ooo_dropped += 1;
+                        gstats::add_ooo_dropped(1);
+                        self.t_instant(ctx.now(), TraceKind::AmOooDrop, pkt.seq as u64);
                         if nack {
                             self.send_nack(ctx, src, chan);
                         }
@@ -587,10 +603,14 @@ impl<S> AmPort<S> {
                     }
                     RxVerdict::DupDrop => {
                         self.stats.dup_dropped += 1;
+                        gstats::add_dup_dropped(1);
+                        self.t_instant(ctx.now(), TraceKind::AmDupDrop, pkt.seq as u64);
                         self.explicit_ack(ctx, src, chan);
                     }
                     RxVerdict::OooDrop { nack } => {
                         self.stats.ooo_dropped += 1;
+                        gstats::add_ooo_dropped(1);
+                        self.t_instant(ctx.now(), TraceKind::AmOooDrop, pkt.seq as u64);
                         if nack {
                             self.send_nack(ctx, src, chan);
                         }
@@ -609,6 +629,7 @@ impl<S> AmPort<S> {
         let (es, eo) = self.peers[dst].rx[chan.idx()].expected();
         self.t_instant(ctx.now(), TraceKind::AmNackOut, 0);
         self.stats.nacks_sent += 1;
+        gstats::add_nacks_sent(1);
         self.send_control(
             ctx,
             dst,

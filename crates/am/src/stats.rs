@@ -1,5 +1,78 @@
 //! Protocol statistics, exposed for tests and experiments.
 
+/// Process-global reliability counters, cumulative across every AM port in
+/// this process. Experiment binaries print these so retransmissions, NACK
+/// storms, and receiver-side drops are visible in every summary line, not
+/// just inside per-run `AmStats`.
+pub mod gstats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static RETRANSMITTED: AtomicU64 = AtomicU64::new(0);
+    static NACKS_SENT: AtomicU64 = AtomicU64::new(0);
+    static NACKS_RECEIVED: AtomicU64 = AtomicU64::new(0);
+    static DUP_DROPPED: AtomicU64 = AtomicU64::new(0);
+    static OOO_DROPPED: AtomicU64 = AtomicU64::new(0);
+    static KEEPALIVE_ROUNDS: AtomicU64 = AtomicU64::new(0);
+
+    pub(crate) fn add_retransmitted(n: u64) {
+        RETRANSMITTED.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_nacks_sent(n: u64) {
+        NACKS_SENT.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_nacks_received(n: u64) {
+        NACKS_RECEIVED.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_dup_dropped(n: u64) {
+        DUP_DROPPED.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_ooo_dropped(n: u64) {
+        OOO_DROPPED.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_keepalive_rounds(n: u64) {
+        KEEPALIVE_ROUNDS.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Packets retransmitted (go-back-N) since process start.
+    pub fn retransmitted() -> u64 {
+        RETRANSMITTED.load(Ordering::Relaxed)
+    }
+    /// NACKs sent since process start.
+    pub fn nacks_sent() -> u64 {
+        NACKS_SENT.load(Ordering::Relaxed)
+    }
+    /// NACKs received since process start.
+    pub fn nacks_received() -> u64 {
+        NACKS_RECEIVED.load(Ordering::Relaxed)
+    }
+    /// Duplicates dropped by receivers since process start.
+    pub fn dup_dropped() -> u64 {
+        DUP_DROPPED.load(Ordering::Relaxed)
+    }
+    /// Out-of-order packets dropped by receivers since process start.
+    pub fn ooo_dropped() -> u64 {
+        OOO_DROPPED.load(Ordering::Relaxed)
+    }
+    /// Keep-alive probe rounds since process start.
+    pub fn keepalive_rounds() -> u64 {
+        KEEPALIVE_ROUNDS.load(Ordering::Relaxed)
+    }
+
+    /// One-line summary of the process-global reliability counters, in the
+    /// style of the `[engine]` summary.
+    pub fn summary() -> String {
+        format!(
+            "rtx {} | nacks {}/{} (out/in) | dup-drop {} | ooo-drop {} | keepalive {}",
+            retransmitted(),
+            nacks_sent(),
+            nacks_received(),
+            dup_dropped(),
+            ooo_dropped(),
+            keepalive_rounds(),
+        )
+    }
+}
+
 /// Counters kept by each node's [`AmPort`](crate::AmPort).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AmStats {
@@ -17,6 +90,12 @@ pub struct AmStats {
     pub packets_sent: u64,
     /// Packets retransmitted (go-back-N).
     pub packets_retransmitted: u64,
+    /// AM packets of any kind popped from the receive FIFO. Balances exactly
+    /// against the dispositions: `shorts_delivered + data_packets_delivered
+    /// + dup_dropped + ooo_dropped + controls_received`.
+    pub packets_received: u64,
+    /// Pure control packets received (ACK, NACK, keep-alive probe).
+    pub controls_received: u64,
     /// Short messages delivered to handlers.
     pub shorts_delivered: u64,
     /// Bulk data packets whose bytes were written to memory.

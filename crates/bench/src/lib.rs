@@ -34,9 +34,11 @@ pub fn quick() -> bool {
 pub fn print_engine_summary() {
     println!("\n[engine] {}", sp_sim::stats::summary());
     println!(
-        "[engine] drops: {} fifo-overflow, {} switch; wakes coalesced: {}",
+        "[engine] drops: {} fifo-overflow, {} switch ({} duplicated); wakes coalesced: {}",
         sp_adapter::gstats::dropped_overflow(),
         sp_switch::gstats::dropped(),
+        sp_switch::gstats::duplicated(),
         sp_sim::stats::wakes_coalesced(),
     );
+    println!("[reliability] {}", sp_am::gstats::summary());
 }

@@ -44,7 +44,11 @@ pub fn configs() -> Vec<(String, SpConfig, usize)> {
     let far = four.nodes - 1;
     vec![
         ("1 frame x 2 nodes".to_owned(), SpConfig::thin(2), 1),
-        ("2 frames x 1 node".to_owned(), SpConfig::multi_frame(2, 1), 1),
+        (
+            "2 frames x 1 node".to_owned(),
+            SpConfig::multi_frame(2, 1),
+            1,
+        ),
         ("4 frames x 4 nodes".to_owned(), four, far),
     ]
 }

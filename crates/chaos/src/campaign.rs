@@ -1,0 +1,241 @@
+//! The campaign runner: N seeded random schedules per workload, invariant
+//! checks after each, automatic shrinking of failures to minimal
+//! reproducers, and exactly re-executable replay files.
+
+use crate::invariant::{check, report, Violation};
+use crate::run::{run, run_traced, RunOutcome};
+use crate::schedule::{FaultEvent, Schedule, Workload};
+use crate::shrink::shrink;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A schedule execution judged against the invariants.
+pub struct Judged {
+    /// What the run observed.
+    pub outcome: RunOutcome,
+    /// Invariant violations (empty = pass).
+    pub violations: Vec<Violation>,
+    /// The deterministic report (see [`crate::invariant::report`]).
+    pub report: String,
+}
+
+/// Run one schedule and judge it.
+pub fn judge(s: &Schedule) -> Judged {
+    let outcome = run(s);
+    let violations = check(&outcome);
+    let rep = report(&outcome, &violations);
+    Judged {
+        outcome,
+        violations,
+        report: rep,
+    }
+}
+
+/// A campaign failure, shrunk and packaged for replay.
+pub struct Failure {
+    /// The schedule the campaign generated.
+    pub original: Schedule,
+    /// Its 1-minimal shrink (same violations still present).
+    pub shrunk: Schedule,
+    /// Report of the shrunk run, violations included.
+    pub report: String,
+    /// Replay file text: the shrunk schedule plus the expected report
+    /// embedded as `#= ` comment lines (see [`replay`]).
+    pub repro: String,
+    /// Chrome trace JSON of the shrunk failing run.
+    pub chrome_json: String,
+}
+
+/// Result of a whole campaign.
+pub struct CampaignResult {
+    /// Schedules executed (excluding shrink retries).
+    pub runs: usize,
+    /// Failures found, shrunk, and packaged.
+    pub failures: Vec<Failure>,
+}
+
+/// Run `per_workload` seeded random schedules for each workload in
+/// `workloads`, shrinking every failure to a minimal reproducer.
+/// `progress` is called once per schedule with (schedule, violation count).
+pub fn run_campaign(
+    per_workload: usize,
+    base_seed: u64,
+    workloads: &[Workload],
+    mut progress: impl FnMut(&Schedule, usize),
+) -> CampaignResult {
+    let mut result = CampaignResult {
+        runs: 0,
+        failures: Vec::new(),
+    };
+    for &w in workloads {
+        for i in 0..per_workload {
+            let s = random_schedule(w, base_seed.wrapping_add(i as u64));
+            let judged = judge(&s);
+            result.runs += 1;
+            progress(&s, judged.violations.len());
+            if !judged.violations.is_empty() {
+                result.failures.push(package_failure(s));
+            }
+        }
+    }
+    result
+}
+
+/// Shrink a failing schedule and build its replay artifacts.
+pub fn package_failure(original: Schedule) -> Failure {
+    let shrunk = shrink(&original, |cand| !judge(cand).violations.is_empty());
+    let judged = judge(&shrunk);
+    let traced = run_traced(&shrunk);
+    Failure {
+        original,
+        repro: repro_text(&shrunk, &judged.report),
+        report: judged.report,
+        chrome_json: traced.chrome_json.unwrap_or_default(),
+        shrunk,
+    }
+}
+
+/// Prefix of embedded expected-report lines inside a replay file.
+pub const EXPECT_PREFIX: &str = "#= ";
+
+/// Render a replay file: the schedule in its canonical text form plus the
+/// expected report embedded as comments the parser ignores.
+pub fn repro_text(shrunk: &Schedule, report: &str) -> String {
+    let mut t = String::from(
+        "# chaos reproducer (auto-shrunk minimal failing schedule)\n\
+         # replay with: cargo run -p sp-chaos --bin chaos -- replay <this file>\n",
+    );
+    t.push_str(&shrunk.format());
+    t.push_str("# expected report:\n");
+    for line in report.lines() {
+        t.push_str(EXPECT_PREFIX);
+        t.push_str(line);
+        t.push('\n');
+    }
+    t
+}
+
+/// Extract the expected report embedded in a replay file, if any.
+pub fn embedded_report(text: &str) -> Option<String> {
+    let mut r = String::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(EXPECT_PREFIX) {
+            r.push_str(rest);
+            r.push('\n');
+        }
+    }
+    (!r.is_empty()).then_some(r)
+}
+
+/// Outcome of replaying a schedule or reproducer file.
+pub struct Replay {
+    /// The schedule that was replayed.
+    pub schedule: Schedule,
+    /// The report this execution produced.
+    pub report: String,
+    /// The report the file said to expect, if it embedded one.
+    pub expected: Option<String>,
+}
+
+impl Replay {
+    /// `Some(true)` if the replay matched the embedded expectation
+    /// byte-for-byte, `Some(false)` on mismatch, `None` if the file
+    /// embedded no expectation.
+    pub fn matches(&self) -> Option<bool> {
+        self.expected.as_ref().map(|e| *e == self.report)
+    }
+}
+
+/// Re-execute a schedule or reproducer file and judge it. Deterministic:
+/// replaying a reproducer reproduces the identical violation — same
+/// virtual times, same counters, same report bytes.
+pub fn replay(text: &str) -> Result<Replay, String> {
+    let schedule = Schedule::parse(text)?;
+    let judged = judge(&schedule);
+    Ok(Replay {
+        schedule,
+        report: judged.report,
+        expected: embedded_report(text),
+    })
+}
+
+/// Deterministically generate the `i`-th random schedule for a workload.
+/// Faults land in the first ~8 ms; the tail is lossless by construction
+/// (index faults are finite, windows close, stalls and pauses end), and
+/// keep-alive is always on — so every generated schedule must pass.
+pub fn random_schedule(w: Workload, seed: u64) -> Schedule {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ w as u64);
+    let mut s = Schedule::new(w);
+    s.seed = seed;
+    s.keepalive_polls = [32, 64, 128][rng.gen_range(0..3usize)];
+    s.msgs = match w {
+        Workload::PingPong | Workload::Streaming => rng.gen_range(6..20),
+        _ => rng.gen_range(3..7),
+    };
+    const HORIZON: u64 = 8_000_000;
+    let window = |rng: &mut SmallRng| {
+        let from = rng.gen_range(0..HORIZON / 2);
+        let until = from + rng.gen_range(100_000..HORIZON / 2);
+        (from, until)
+    };
+    for _ in 0..rng.gen_range(1..=5u32) {
+        let p = rng.gen_range(1..=25u32) as f64 / 100.0;
+        let node = rng.gen_range(0..s.nodes);
+        let at_ns = rng.gen_range(0..HORIZON / 2);
+        let ev = match rng.gen_range(0..10u32) {
+            0 => FaultEvent::DropIndex(rng.gen_range(0..120)),
+            1 => FaultEvent::DupIndex(rng.gen_range(0..120)),
+            2 => FaultEvent::DelayIndex(rng.gen_range(0..120)),
+            3 => {
+                let (from_ns, until_ns) = window(&mut rng);
+                FaultEvent::DropWindow {
+                    p,
+                    from_ns,
+                    until_ns,
+                }
+            }
+            4 => {
+                let (from_ns, until_ns) = window(&mut rng);
+                FaultEvent::DupWindow {
+                    p,
+                    from_ns,
+                    until_ns,
+                }
+            }
+            5 => {
+                let (from_ns, until_ns) = window(&mut rng);
+                FaultEvent::DelayWindow {
+                    p,
+                    from_ns,
+                    until_ns,
+                }
+            }
+            6 => {
+                let (from_ns, until_ns) = window(&mut rng);
+                FaultEvent::FifoShrink {
+                    node,
+                    capacity: rng.gen_range(2..8),
+                    from_ns,
+                    until_ns,
+                }
+            }
+            7 => FaultEvent::SendStall {
+                node,
+                at_ns,
+                dur_ns: rng.gen_range(50_000..1_000_000),
+            },
+            8 => FaultEvent::RecvStall {
+                node,
+                at_ns,
+                dur_ns: rng.gen_range(50_000..1_000_000),
+            },
+            _ => FaultEvent::Pause {
+                node,
+                at_ns,
+                dur_ns: rng.gen_range(100_000..2_000_000),
+            },
+        };
+        s.events.push(ev);
+    }
+    s
+}

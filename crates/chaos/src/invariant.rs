@@ -1,0 +1,240 @@
+//! The invariants every schedule execution must satisfy after its lossless
+//! tail, and the deterministic report a run is judged (and replayed) by.
+
+use crate::run::RunOutcome;
+use crate::schedule::Workload;
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+/// One invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: &'static str,
+    /// What exactly happened (ids, nodes, counters).
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(kind: &'static str, detail: String) -> Violation {
+        Violation { kind, detail }
+    }
+}
+
+/// Check every invariant against a completed run:
+///
+/// * **exactly-once** — no delivery stream observes the same id twice;
+/// * **ordered** — every stream's ids are strictly increasing (SP AM
+///   promises ordered delivery per channel);
+/// * **no-corruption** — workload-level payload verification passed;
+/// * **completeness** — everything the sender's protocol accepted was
+///   delivered (per workload, from the protocol's own counters);
+/// * **quiescence** — after the lossless tail every node emitted all
+///   accepted sends, no receive FIFO holds unread packets, and (when
+///   keep-alive is enabled, which is the only configuration that *can*
+///   clear ack residue) every channel is fully idle;
+/// * **conservation** — packets are neither created nor destroyed
+///   unaccounted, at each AM port, across the adapters, and in the fabric;
+/// * **aborted** — the run exhausted its event budget (reported alone,
+///   since hardware state is lost).
+pub fn check(out: &RunOutcome) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if let Some(e) = &out.aborted {
+        v.push(Violation::new("aborted", e.clone()));
+        return v;
+    }
+    let s = &out.schedule;
+
+    for (name, ids) in &out.streams {
+        let mut seen = BTreeSet::new();
+        for &id in ids {
+            if !seen.insert(id) {
+                v.push(Violation::new(
+                    "duplicate-delivery",
+                    format!("{name}: id {id} delivered twice"),
+                ));
+            }
+        }
+        if let Some(w) = ids.windows(2).find(|w| w[1] <= w[0]) {
+            v.push(Violation::new(
+                "out-of-order",
+                format!("{name}: id {} delivered after id {}", w[1], w[0]),
+            ));
+        }
+    }
+
+    for m in &out.mismatches {
+        v.push(Violation::new("data-mismatch", m.clone()));
+    }
+
+    let len = |name: &str| -> u64 {
+        out.streams
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, ids)| ids.len() as u64)
+    };
+    let node = |i: usize| out.nodes.iter().find(|n| n.node == i);
+    fn incomplete(v: &mut Vec<Violation>, what: &str, got: u64, want: u64) {
+        if got != want {
+            v.push(Violation::new(
+                "incomplete-delivery",
+                format!("{what}: {got} delivered, {want} accepted for send"),
+            ));
+        }
+    }
+    match s.workload {
+        Workload::PingPong => {
+            if let (Some(n0), Some(n1)) = (node(0), node(1)) {
+                incomplete(&mut v, "n1:req", len("n1:req"), n0.stats.requests_sent);
+                incomplete(&mut v, "n0:rep", len("n0:rep"), n1.stats.replies_sent);
+            }
+        }
+        Workload::Streaming => {
+            if let Some(n0) = node(0) {
+                incomplete(&mut v, "n1:req", len("n1:req"), n0.stats.requests_sent);
+            }
+        }
+        Workload::SplitcRoundtrips | Workload::MpiExchange => {
+            let stream = if s.workload == Workload::SplitcRoundtrips {
+                "rt"
+            } else {
+                "xch"
+            };
+            for n in &out.nodes {
+                let peer_exists =
+                    s.workload == Workload::MpiExchange || (n.node ^ 1) < out.nodes.len();
+                if peer_exists {
+                    let name = format!("n{}:{stream}", n.node);
+                    incomplete(&mut v, &name, len(&name), s.msgs);
+                }
+            }
+        }
+    }
+
+    for n in &out.nodes {
+        if !n.all_sent {
+            v.push(Violation::new(
+                "stuck-send",
+                format!("node {}: unsent traffic after tail: {}", n.node, n.residue),
+            ));
+        }
+        if s.keepalive_polls != 0 && !n.all_idle {
+            v.push(Violation::new(
+                "no-quiescence",
+                format!(
+                    "node {}: channels not idle after tail: {}",
+                    n.node, n.residue
+                ),
+            ));
+        }
+    }
+    for (i, b) in out.backlog.iter().enumerate() {
+        if *b > 0 {
+            v.push(Violation::new(
+                "recv-backlog",
+                format!("node {i}: {b} packets unread in receive FIFO"),
+            ));
+        }
+    }
+
+    let mut am_received = 0;
+    for n in &out.nodes {
+        let st = &n.stats;
+        am_received += st.packets_received;
+        let disp = st.shorts_delivered
+            + st.data_packets_delivered
+            + st.dup_dropped
+            + st.ooo_dropped
+            + st.controls_received;
+        if st.packets_received != disp {
+            v.push(Violation::new(
+                "conservation",
+                format!(
+                    "node {}: {} packets received != {} dispositions",
+                    n.node, st.packets_received, disp
+                ),
+            ));
+        }
+    }
+    let fabric_out = out.switch.delivered + out.switch.duplicated;
+    if out.adapter_received + out.dropped_overflow != fabric_out {
+        v.push(Violation::new(
+            "conservation",
+            format!(
+                "adapters received {} + overflow {} != fabric delivered {}",
+                out.adapter_received, out.dropped_overflow, fabric_out
+            ),
+        ));
+    }
+    let backlog: u64 = out.backlog.iter().map(|&b| b as u64).sum();
+    if am_received + backlog != out.adapter_received {
+        v.push(Violation::new(
+            "conservation",
+            format!(
+                "AM ports received {am_received} + backlog {backlog} != adapters received {}",
+                out.adapter_received
+            ),
+        ));
+    }
+    v
+}
+
+/// Format the run as a deterministic multi-line report: only virtual-time
+/// and counter state, so re-executing the same schedule yields the same
+/// bytes. This is what reproducer files embed and replays are compared to.
+pub fn report(out: &RunOutcome, violations: &[Violation]) -> String {
+    let s = &out.schedule;
+    let mut r = String::new();
+    let _ = writeln!(
+        r,
+        "workload {} nodes {} seed {} msgs {} keepalive_polls {}",
+        s.workload.name(),
+        s.nodes,
+        s.seed,
+        s.msgs,
+        s.keepalive_polls
+    );
+    if let Some(e) = &out.aborted {
+        let _ = writeln!(r, "aborted {e}");
+    } else {
+        let _ = writeln!(r, "end_ns {}", out.end_ns);
+        for n in &out.nodes {
+            let st = &n.stats;
+            let _ = writeln!(
+                r,
+                "node{}: end_ns {} sent {} rtx {} recvd {} shorts {} data {} dup {} ooo {} nacks {}/{} eacks {} probes {} ka {} idle {} all_sent {} backlog {}",
+                n.node,
+                n.end_ns,
+                st.packets_sent,
+                st.packets_retransmitted,
+                st.packets_received,
+                st.shorts_delivered,
+                st.data_packets_delivered,
+                st.dup_dropped,
+                st.ooo_dropped,
+                st.nacks_sent,
+                st.nacks_received,
+                st.explicit_acks_sent,
+                st.probes_sent,
+                st.keepalive_rounds,
+                n.all_idle,
+                n.all_sent,
+                out.backlog.get(n.node).copied().unwrap_or(0)
+            );
+        }
+        let sw = &out.switch;
+        let _ = writeln!(
+            r,
+            "switch: delivered {} dropped {} delayed {} duplicated {} overflow {}",
+            sw.delivered, sw.dropped, sw.delayed, sw.duplicated, out.dropped_overflow
+        );
+        for (name, ids) in &out.streams {
+            let _ = writeln!(r, "stream {name}: {} ids", ids.len());
+        }
+    }
+    let _ = writeln!(r, "violations {}", violations.len());
+    for viol in violations {
+        let _ = writeln!(r, "V {}: {}", viol.kind, viol.detail);
+    }
+    r
+}

@@ -1,0 +1,573 @@
+//! Executing one [`Schedule`]: build the machine, install the faults, run
+//! the workload, and collect everything the invariant checker needs.
+
+use crate::schedule::{FaultEvent, Schedule, Workload};
+use parking_lot::Mutex;
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, AmStats, GlobalPtr};
+use sp_mpi::{Mpi, MpiAm, MpiAmConfig, MpiSt};
+use sp_sim::{Dur, Time};
+use sp_splitc::backend::am::{AmGas, SplitcSt};
+use sp_splitc::Gas;
+use sp_switch::{FaultInjector, FaultKind, FaultWindow, SwitchStats};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Engine-event ceiling per run: a livelock guard so schedules that wedge
+/// the protocol (e.g. keep-alive disabled plus a tail drop under a
+/// blocking workload) abort deterministically instead of hanging.
+pub const EVENT_BUDGET: u64 = 5_000_000;
+
+/// Per-node end-of-run snapshot, recorded by the node program itself just
+/// before it exits.
+#[derive(Debug, Clone)]
+pub struct NodeEnd {
+    /// Node id.
+    pub node: usize,
+    /// Virtual time the program exited.
+    pub end_ns: u64,
+    /// All outbound channels fully quiescent (nothing unacked).
+    pub all_idle: bool,
+    /// All accepted sends emitted (acks may be outstanding).
+    pub all_sent: bool,
+    /// Protocol counters.
+    pub stats: AmStats,
+    /// Channel-state residue (empty when idle) — names the stuck channel.
+    pub residue: String,
+}
+
+/// Everything observable about one schedule execution. Contains only
+/// virtual-time and counter state, so two executions of the same schedule
+/// produce identical outcomes (and identical formatted reports).
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The schedule that ran.
+    pub schedule: Schedule,
+    /// Final virtual time of the whole simulation.
+    pub end_ns: u64,
+    /// Per-node snapshots, ordered by node id.
+    pub nodes: Vec<NodeEnd>,
+    /// Named delivery streams in arrival order (sorted by name): ids
+    /// observed by handlers / verified round-trips.
+    pub streams: Vec<(String, Vec<u64>)>,
+    /// Workload-level data corruption reports (wrong value read back).
+    pub mismatches: Vec<String>,
+    /// Switch fabric statistics.
+    pub switch: SwitchStats,
+    /// Receive-FIFO overflow drops, summed over adapters.
+    pub dropped_overflow: u64,
+    /// Per-node receive-FIFO backlog at end of run.
+    pub backlog: Vec<usize>,
+    /// Packets delivered into receive FIFOs, summed over adapters.
+    pub adapter_received: u64,
+    /// Set when the run aborted (event budget exhausted): the simulation's
+    /// deterministic error string. Hardware state is lost on abort.
+    pub aborted: Option<String>,
+    /// Chrome trace JSON of the run (only when requested).
+    pub chrome_json: Option<String>,
+}
+
+#[derive(Default)]
+struct Probe {
+    streams: BTreeMap<String, Vec<u64>>,
+    mismatches: Vec<String>,
+    ends: BTreeMap<usize, NodeEnd>,
+}
+
+type SharedProbe = Arc<Mutex<Probe>>;
+
+/// Per-node program state for the AM-level workloads.
+struct ChaosSt {
+    probe: SharedProbe,
+    got: u64,
+    pauses: Vec<(Time, Dur)>,
+    pause_next: usize,
+}
+
+/// Execute `schedule` and collect the outcome.
+pub fn run(schedule: &Schedule) -> RunOutcome {
+    run_inner(schedule, false)
+}
+
+/// Execute `schedule` with tracing enabled and attach the Chrome trace.
+/// Tracing is virtual-time-invariant, so the outcome is otherwise
+/// identical to [`run`].
+pub fn run_traced(schedule: &Schedule) -> RunOutcome {
+    run_inner(schedule, true)
+}
+
+fn run_inner(s: &Schedule, trace: bool) -> RunOutcome {
+    let nodes = s.nodes.max(2);
+    let sp = sp_adapter::SpConfig::thin(nodes);
+    let cost = sp.cost.clone();
+    let am_cfg = AmConfig {
+        keepalive_polls: if s.keepalive_polls == 0 {
+            u32::MAX
+        } else {
+            s.keepalive_polls
+        },
+        ..AmConfig::default()
+    };
+    let mut m = AmMachine::new(sp, am_cfg, s.seed);
+    install_faults(&mut m, s, nodes);
+    m.set_event_budget(EVENT_BUDGET);
+    let tracer = if trace {
+        Some(m.enable_tracing(1 << 14))
+    } else {
+        None
+    };
+
+    let probe: SharedProbe = Arc::new(Mutex::new(Probe::default()));
+    let pauses = collect_pauses(s, nodes);
+    match s.workload {
+        Workload::PingPong => spawn_pingpong(&mut m, s, nodes, &probe, &pauses),
+        Workload::Streaming => spawn_streaming(&mut m, s, nodes, &probe, &pauses),
+        Workload::SplitcRoundtrips => spawn_splitc(&mut m, s, nodes, &probe, &pauses),
+        Workload::MpiExchange => spawn_mpi(&mut m, s, nodes, &probe, &pauses, cost),
+    }
+
+    let result = m.run();
+    let p = match Arc::try_unwrap(probe) {
+        Ok(m) => m.into_inner(),
+        // Abort paths can leave program threads holding clones; fall back
+        // to draining a locked snapshot.
+        Err(arc) => std::mem::take(&mut *arc.lock()),
+    };
+    let mut out = RunOutcome {
+        schedule: s.clone(),
+        end_ns: 0,
+        nodes: p.ends.into_values().collect(),
+        streams: p.streams.into_iter().collect(),
+        mismatches: p.mismatches,
+        switch: SwitchStats::default(),
+        dropped_overflow: 0,
+        backlog: vec![0; nodes],
+        adapter_received: 0,
+        aborted: None,
+        chrome_json: None,
+    };
+    match result {
+        Ok(report) => {
+            out.end_ns = report.end_time.as_ns();
+            out.switch = report.world.switch.stats().clone();
+            out.dropped_overflow = report.dropped_overflow;
+            out.backlog = (0..nodes).map(|n| report.world.recv_backlog(n)).collect();
+            out.adapter_received = (0..nodes)
+                .map(|n| report.world.adapter_stats(n).received)
+                .sum();
+        }
+        Err(e) => out.aborted = Some(format!("{e:?}")),
+    }
+    if let Some(t) = tracer {
+        out.chrome_json = Some(sp_trace::chrome::to_chrome_json(&t.snapshot()));
+    }
+    out
+}
+
+/// Build the fabric injector and the scheduled hardware mutations.
+fn install_faults(m: &mut AmMachine, s: &Schedule, nodes: usize) {
+    let mut inj = FaultInjector::with_seed(s.seed);
+    for ev in &s.events {
+        match *ev {
+            FaultEvent::DropIndex(i) => {
+                inj.drop_indices.insert(i);
+            }
+            FaultEvent::DupIndex(i) => {
+                inj.dup_indices.insert(i);
+            }
+            FaultEvent::DelayIndex(i) => {
+                inj.delay_indices.insert(i);
+            }
+            FaultEvent::DropWindow {
+                p,
+                from_ns,
+                until_ns,
+            } => inj.windows.push(FaultWindow {
+                from: Time(from_ns),
+                until: Time(until_ns),
+                kind: FaultKind::Drop,
+                probability: p,
+            }),
+            FaultEvent::DupWindow {
+                p,
+                from_ns,
+                until_ns,
+            } => inj.windows.push(FaultWindow {
+                from: Time(from_ns),
+                until: Time(until_ns),
+                kind: FaultKind::Duplicate,
+                probability: p,
+            }),
+            FaultEvent::DelayWindow {
+                p,
+                from_ns,
+                until_ns,
+            } => inj.windows.push(FaultWindow {
+                from: Time(from_ns),
+                until: Time(until_ns),
+                kind: FaultKind::Delay,
+                probability: p,
+            }),
+            _ => {}
+        }
+    }
+    m.configure_world(move |w| w.switch.set_fault_injector(inj));
+    for ev in &s.events {
+        match *ev {
+            FaultEvent::FifoShrink {
+                node,
+                capacity,
+                from_ns,
+                until_ns,
+            } if node < nodes => {
+                m.schedule_world_at(Time(from_ns), move |w| w.set_recv_capacity(node, capacity));
+                m.schedule_world_at(Time(until_ns), move |w| {
+                    let cap = w.adapter_config().recv_entries_per_node * w.nodes();
+                    w.set_recv_capacity(node, cap);
+                });
+            }
+            FaultEvent::SendStall {
+                node,
+                at_ns,
+                dur_ns,
+            } if node < nodes => {
+                m.schedule_world_at(Time(at_ns), move |w| {
+                    w.stall_send(node, Time(at_ns + dur_ns));
+                });
+            }
+            FaultEvent::RecvStall {
+                node,
+                at_ns,
+                dur_ns,
+            } if node < nodes => {
+                m.schedule_world_at(Time(at_ns), move |w| {
+                    w.stall_recv(node, Time(at_ns + dur_ns));
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Per-node program pauses, sorted by start time.
+fn collect_pauses(s: &Schedule, nodes: usize) -> Vec<Vec<(Time, Dur)>> {
+    let mut pauses = vec![Vec::new(); nodes];
+    for ev in &s.events {
+        if let FaultEvent::Pause {
+            node,
+            at_ns,
+            dur_ns,
+        } = *ev
+        {
+            if node < nodes {
+                pauses[node].push((Time(at_ns), Dur(dur_ns)));
+            }
+        }
+    }
+    for p in &mut pauses {
+        p.sort_by_key(|(at, _)| *at);
+    }
+    pauses
+}
+
+impl ChaosSt {
+    fn new(probe: SharedProbe, pauses: Vec<(Time, Dur)>) -> ChaosSt {
+        ChaosSt {
+            probe,
+            got: 0,
+            pauses,
+            pause_next: 0,
+        }
+    }
+}
+
+/// Take any due program pause: the node stops polling for the pause
+/// length, which the peer observes as silence (keep-alive territory).
+fn take_pause(am: &mut Am<'_, ChaosSt>) {
+    loop {
+        let now = am.now();
+        let st = am.state();
+        match st.pauses.get(st.pause_next) {
+            Some(&(at, dur)) if now >= at => {
+                am.state_mut().pause_next += 1;
+                am.work(dur);
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Lossless-tail drain + end-of-run snapshot, shared by every workload:
+/// keep polling until a quiet window passes with no arrivals, then give
+/// keep-alive a bounded chance to clear unacked residue, then record the
+/// node's final protocol state into the probe.
+fn settle<S>(
+    am: &mut Am<'_, S>,
+    tail: Dur,
+    probe: &SharedProbe,
+    mut hook: impl FnMut(&mut Am<'_, S>),
+) {
+    let hard = am.now() + tail * 8;
+    let mut quiet_until = am.now() + tail;
+    while am.now() < quiet_until && am.now() < hard {
+        hook(am);
+        if am.poll() > 0 {
+            quiet_until = am.now() + tail;
+        }
+    }
+    let idle_by = am.now() + tail * 4;
+    while !am.port().all_idle() && am.now() < idle_by {
+        hook(am);
+        am.poll();
+    }
+    let end = NodeEnd {
+        node: am.node(),
+        end_ns: am.now().as_ns(),
+        all_idle: am.port().all_idle(),
+        all_sent: am.port().all_sent(),
+        stats: am.stats().clone(),
+        residue: am.port().debug_state(),
+    };
+    probe.lock().ends.insert(end.node, end);
+}
+
+// ----- pingpong / streaming handlers (GAM table, same on every node) ----
+
+/// Request handler: record arrival, bounce the id back.
+fn h_pingpong_req(env: &mut AmEnv<'_, ChaosSt>, args: AmArgs) {
+    let me = env.node();
+    env.state.got += 1;
+    env.state
+        .probe
+        .lock()
+        .stream(format!("n{me}:req"))
+        .push(args.a[0] as u64);
+    env.reply_2(args.a[1] as u16, args.a[0], 0);
+}
+
+/// Reply handler: record the bounced id.
+fn h_pingpong_rep(env: &mut AmEnv<'_, ChaosSt>, args: AmArgs) {
+    let me = env.node();
+    env.state.got += 1;
+    env.state
+        .probe
+        .lock()
+        .stream(format!("n{me}:rep"))
+        .push(args.a[0] as u64);
+}
+
+/// One-way sink handler: record arrival, no reply.
+fn h_sink(env: &mut AmEnv<'_, ChaosSt>, args: AmArgs) {
+    let me = env.node();
+    env.state.got += 1;
+    env.state
+        .probe
+        .lock()
+        .stream(format!("n{me}:req"))
+        .push(args.a[0] as u64);
+}
+
+impl Probe {
+    fn stream(&mut self, name: String) -> &mut Vec<u64> {
+        self.streams.entry(name).or_default()
+    }
+}
+
+fn spawn_pingpong(
+    m: &mut AmMachine,
+    s: &Schedule,
+    nodes: usize,
+    probe: &SharedProbe,
+    pauses: &[Vec<(Time, Dur)>],
+) {
+    let (msgs, deadline, tail) = (s.msgs, Time(s.deadline_ns), Dur(s.tail_quiet_ns));
+    for (node, node_pauses) in pauses.iter().enumerate().take(nodes) {
+        let st = ChaosSt::new(probe.clone(), node_pauses.clone());
+        let probe = probe.clone();
+        m.spawn(format!("pp{node}"), st, move |am| {
+            let req_h = am.register(h_pingpong_req);
+            let rep_h = am.register(h_pingpong_rep);
+            if node == 0 {
+                for i in 0..msgs {
+                    am.request_2(1, req_h, i as u32, rep_h as u32);
+                    while am.state().got <= i && am.now() < deadline {
+                        take_pause(am);
+                        am.poll();
+                    }
+                    if am.state().got <= i {
+                        break; // reply never came before the deadline
+                    }
+                }
+            } else if node == 1 {
+                while am.state().got < msgs && am.now() < deadline {
+                    take_pause(am);
+                    am.poll();
+                }
+            }
+            settle(am, tail, &probe, take_pause);
+        });
+    }
+}
+
+fn spawn_streaming(
+    m: &mut AmMachine,
+    s: &Schedule,
+    nodes: usize,
+    probe: &SharedProbe,
+    pauses: &[Vec<(Time, Dur)>],
+) {
+    let (msgs, deadline, tail) = (s.msgs, Time(s.deadline_ns), Dur(s.tail_quiet_ns));
+    for (node, node_pauses) in pauses.iter().enumerate().take(nodes) {
+        let st = ChaosSt::new(probe.clone(), node_pauses.clone());
+        let probe = probe.clone();
+        m.spawn(format!("st{node}"), st, move |am| {
+            let sink_h = am.register(h_sink);
+            if node == 0 {
+                for i in 0..msgs {
+                    if am.now() >= deadline {
+                        break;
+                    }
+                    take_pause(am);
+                    am.request_2(1, sink_h, i as u32, 0);
+                }
+            } else if node == 1 {
+                while am.state().got < msgs && am.now() < deadline {
+                    take_pause(am);
+                    am.poll();
+                }
+            }
+            settle(am, tail, &probe, take_pause);
+        });
+    }
+}
+
+fn spawn_splitc(
+    m: &mut AmMachine,
+    s: &Schedule,
+    nodes: usize,
+    probe: &SharedProbe,
+    pauses: &[Vec<(Time, Dur)>],
+) {
+    let (msgs, deadline, tail) = (s.msgs, Time(s.deadline_ns), Dur(s.tail_quiet_ns));
+    for node in 0..nodes {
+        let probe = probe.clone();
+        let pauses = pauses[node].clone();
+        m.spawn(format!("sc{node}"), SplitcSt::default(), move |am| {
+            {
+                let mut gas = AmGas::new(am);
+                gas.barrier();
+                // SPMD symmetric heap: every node allocates in the same
+                // order, so `cell` has the same address machine-wide.
+                let cell = gas.alloc(4);
+                let peer = node ^ 1;
+                let mut pause_next = 0;
+                for i in 0..msgs {
+                    while let Some(&(at, dur)) = pauses.get(pause_next) {
+                        if gas.now() < at {
+                            break;
+                        }
+                        pause_next += 1;
+                        gas.work(dur);
+                    }
+                    if gas.now() >= deadline || peer >= nodes {
+                        break;
+                    }
+                    // Only this node writes the peer's cell, so the value
+                    // read back must be the value just written.
+                    let v = ((node as u32) << 16) | i as u32;
+                    gas.write_u32(
+                        GlobalPtr {
+                            node: peer,
+                            addr: cell.addr,
+                        },
+                        v,
+                    );
+                    let r = gas.read_u32(GlobalPtr {
+                        node: peer,
+                        addr: cell.addr,
+                    });
+                    let mut p = probe.lock();
+                    if r == v {
+                        p.stream(format!("n{node}:rt")).push(i);
+                    } else {
+                        p.mismatches
+                            .push(format!("splitc n{node} rt {i}: read {r:#x} want {v:#x}"));
+                    }
+                }
+            }
+            settle(am, tail, &probe, |_| {});
+        });
+    }
+}
+
+fn spawn_mpi(
+    m: &mut AmMachine,
+    s: &Schedule,
+    nodes: usize,
+    probe: &SharedProbe,
+    pauses: &[Vec<(Time, Dur)>],
+    cost: sp_machine::CostModel,
+) {
+    let (msgs, deadline, tail) = (s.msgs, Time(s.deadline_ns), Dur(s.tail_quiet_ns));
+    let cfg = MpiAmConfig::optimized();
+    for node in 0..nodes {
+        let probe = probe.clone();
+        let pauses = pauses[node].clone();
+        let st = MpiSt::new(&cfg, node, nodes, &cost);
+        let cfg = cfg.clone();
+        m.spawn(format!("mx{node}"), st, move |am| {
+            {
+                let mut mpi = MpiAm::new(am, cfg);
+                let right = (node + 1) % nodes;
+                let left = (node + nodes - 1) % nodes;
+                let mut pause_next = 0;
+                for round in 0..msgs {
+                    while let Some(&(at, dur)) = pauses.get(pause_next) {
+                        if mpi.now() < at {
+                            break;
+                        }
+                        pause_next += 1;
+                        mpi.work(dur);
+                    }
+                    if mpi.now() >= deadline {
+                        break;
+                    }
+                    let out = exchange_payload(node, round);
+                    let rs = mpi.isend(&out, right, round as i32);
+                    let rr = mpi.irecv(Some(left), Some(round as i32));
+                    while !mpi.test(rr) && mpi.now() < deadline {
+                        mpi.progress();
+                    }
+                    if !mpi.test(rr) {
+                        break; // deadline: leave the round incomplete
+                    }
+                    let (data, status) = mpi.wait(rr).expect("tested complete");
+                    let mut p = probe.lock();
+                    if data == exchange_payload(left, round) && status.source == left {
+                        p.stream(format!("n{node}:xch")).push(round);
+                    } else {
+                        p.mismatches.push(format!(
+                            "mpi n{node} round {round}: bad payload from {}",
+                            status.source
+                        ));
+                    }
+                    drop(p);
+                    while !mpi.test(rs) && mpi.now() < deadline {
+                        mpi.progress();
+                    }
+                    if mpi.test(rs) {
+                        mpi.wait(rs);
+                    }
+                }
+            }
+            settle(am, tail, &probe, |_| {});
+        });
+    }
+}
+
+/// The byte pattern rank `src` sends in `round` (verifiable at the
+/// receiver without shared state).
+fn exchange_payload(src: usize, round: u64) -> Vec<u8> {
+    (0..96u64)
+        .map(|i| (src as u64 ^ round.wrapping_mul(31) ^ i) as u8)
+        .collect()
+}

@@ -1,0 +1,506 @@
+//! Serializable fault schedules — the unit of input to the chaos harness.
+//!
+//! A [`Schedule`] names a workload, its parameters, and an ordered list of
+//! [`FaultEvent`]s pinned to virtual-time windows or global packet indices.
+//! Schedules round-trip exactly through a plain-text format so a failing
+//! run can be written to disk and re-executed byte-for-byte:
+//!
+//! ```text
+//! workload pingpong
+//! nodes 2
+//! seed 42
+//! msgs 8
+//! keepalive_polls 64
+//! deadline_ns 50000000
+//! tail_quiet_ns 2000000
+//! drop index 7
+//! dup p 0.1 from 0 until 2000000
+//! fifo_shrink node 1 capacity 4 from 0 until 1000000
+//! send_stall node 0 at 100000 dur 500000
+//! pause node 1 at 200000 dur 1000000
+//! ```
+//!
+//! Lines starting with `#` are comments. All times are virtual nanoseconds.
+
+use std::fmt;
+
+/// The workload a schedule runs its faults under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Node 0 sends `msgs` sequential request/reply round-trips to node 1.
+    PingPong,
+    /// Node 0 streams `msgs` one-way requests at node 1.
+    Streaming,
+    /// Both nodes perform `msgs` Split-C `write_u32`/`read_u32` round-trips
+    /// against the peer's memory, verifying each value read back.
+    SplitcRoundtrips,
+    /// A ring of nodes exchanges `msgs` tagged MPI messages, verifying
+    /// payload contents each round.
+    MpiExchange,
+}
+
+impl Workload {
+    /// Every workload, in campaign order.
+    pub const ALL: [Workload; 4] = [
+        Workload::PingPong,
+        Workload::Streaming,
+        Workload::SplitcRoundtrips,
+        Workload::MpiExchange,
+    ];
+
+    /// The name used in schedule files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::PingPong => "pingpong",
+            Workload::Streaming => "streaming",
+            Workload::SplitcRoundtrips => "splitc",
+            Workload::MpiExchange => "mpi",
+        }
+    }
+
+    /// Inverse of [`Workload::name`].
+    pub fn parse(s: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.name() == s)
+    }
+
+    /// Node count the workload runs on by default.
+    pub fn default_nodes(self) -> usize {
+        match self {
+            Workload::MpiExchange => 4,
+            _ => 2,
+        }
+    }
+}
+
+/// One fault, pinned to a packet index, a virtual-time window, or a
+/// virtual-time instant. Index-based events select packets by their global
+/// fabric-injection index (0-based, in injection order); window events hit
+/// packets probabilistically while the window `[from, until)` is open.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Drop the packet with this global injection index.
+    DropIndex(u64),
+    /// Duplicate the packet with this global injection index.
+    DupIndex(u64),
+    /// Delay (reorder) the packet with this global injection index.
+    DelayIndex(u64),
+    /// Drop packets with probability `p` while the window is open.
+    DropWindow {
+        /// Per-packet selection probability.
+        p: f64,
+        /// Window opens (inclusive), virtual ns.
+        from_ns: u64,
+        /// Window closes (exclusive), virtual ns.
+        until_ns: u64,
+    },
+    /// Duplicate packets with probability `p` while the window is open.
+    DupWindow {
+        /// Per-packet selection probability.
+        p: f64,
+        /// Window opens (inclusive), virtual ns.
+        from_ns: u64,
+        /// Window closes (exclusive), virtual ns.
+        until_ns: u64,
+    },
+    /// Delay packets with probability `p` while the window is open.
+    DelayWindow {
+        /// Per-packet selection probability.
+        p: f64,
+        /// Window opens (inclusive), virtual ns.
+        from_ns: u64,
+        /// Window closes (exclusive), virtual ns.
+        until_ns: u64,
+    },
+    /// Shrink a node's receive FIFO to `capacity` entries over a window
+    /// (restored to the configured size at `until_ns`).
+    FifoShrink {
+        /// Node whose FIFO shrinks.
+        node: usize,
+        /// Shrunk capacity, in entries.
+        capacity: usize,
+        /// Shrink takes effect (virtual ns).
+        from_ns: u64,
+        /// Capacity is restored (virtual ns).
+        until_ns: u64,
+    },
+    /// Stall a node's send DMA engine: the firmware pops no send-FIFO entry
+    /// between `at` and `at + dur`.
+    SendStall {
+        /// Node whose send engine stalls.
+        node: usize,
+        /// Stall starts (virtual ns).
+        at_ns: u64,
+        /// Stall length (ns).
+        dur_ns: u64,
+    },
+    /// Stall a node's receive firmware: arrivals queue behind the stall.
+    RecvStall {
+        /// Node whose receive engine stalls.
+        node: usize,
+        /// Stall starts (virtual ns).
+        at_ns: u64,
+        /// Stall length (ns).
+        dur_ns: u64,
+    },
+    /// Pause a node's *program* (it stops polling), keepalive-visible from
+    /// the peer's side. Applied at the first poll-loop iteration at or
+    /// after `at`.
+    Pause {
+        /// Node whose program pauses.
+        node: usize,
+        /// Pause starts (virtual ns).
+        at_ns: u64,
+        /// Pause length (ns).
+        dur_ns: u64,
+    },
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultEvent::DropIndex(i) => write!(f, "drop index {i}"),
+            FaultEvent::DupIndex(i) => write!(f, "dup index {i}"),
+            FaultEvent::DelayIndex(i) => write!(f, "delay index {i}"),
+            FaultEvent::DropWindow {
+                p,
+                from_ns,
+                until_ns,
+            } => {
+                write!(f, "drop p {p} from {from_ns} until {until_ns}")
+            }
+            FaultEvent::DupWindow {
+                p,
+                from_ns,
+                until_ns,
+            } => {
+                write!(f, "dup p {p} from {from_ns} until {until_ns}")
+            }
+            FaultEvent::DelayWindow {
+                p,
+                from_ns,
+                until_ns,
+            } => {
+                write!(f, "delay p {p} from {from_ns} until {until_ns}")
+            }
+            FaultEvent::FifoShrink {
+                node,
+                capacity,
+                from_ns,
+                until_ns,
+            } => {
+                write!(
+                    f,
+                    "fifo_shrink node {node} capacity {capacity} from {from_ns} until {until_ns}"
+                )
+            }
+            FaultEvent::SendStall {
+                node,
+                at_ns,
+                dur_ns,
+            } => {
+                write!(f, "send_stall node {node} at {at_ns} dur {dur_ns}")
+            }
+            FaultEvent::RecvStall {
+                node,
+                at_ns,
+                dur_ns,
+            } => {
+                write!(f, "recv_stall node {node} at {at_ns} dur {dur_ns}")
+            }
+            FaultEvent::Pause {
+                node,
+                at_ns,
+                dur_ns,
+            } => {
+                write!(f, "pause node {node} at {at_ns} dur {dur_ns}")
+            }
+        }
+    }
+}
+
+/// A complete chaos-run description: workload, parameters, faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Workload to run the faults under.
+    pub workload: Workload,
+    /// Machine size (clamped up to the workload's minimum at run time).
+    pub nodes: usize,
+    /// Seed for the fault injector's stochastic selectors.
+    pub seed: u64,
+    /// Workload message count.
+    pub msgs: u64,
+    /// AM keep-alive threshold in unsuccessful polls; `0` disables
+    /// keep-alive entirely (maps to `u32::MAX` in [`sp_am::AmConfig`]).
+    pub keepalive_polls: u32,
+    /// Per-wait virtual-time deadline: blocking loops give up at this
+    /// absolute virtual time instead of hanging forever.
+    pub deadline_ns: u64,
+    /// Quiet-window length for the lossless-tail drain each node runs
+    /// after its workload loop.
+    pub tail_quiet_ns: u64,
+    /// The faults, applied in order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl Schedule {
+    /// A schedule with no faults and default parameters for `workload`.
+    pub fn new(workload: Workload) -> Schedule {
+        Schedule {
+            workload,
+            nodes: workload.default_nodes(),
+            seed: 1,
+            msgs: 8,
+            keepalive_polls: 64,
+            deadline_ns: 50_000_000,
+            tail_quiet_ns: 2_000_000,
+            events: Vec::new(),
+        }
+    }
+
+    /// Render the canonical text form (inverse of [`Schedule::parse`]).
+    pub fn format(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "workload {}", self.workload.name());
+        let _ = writeln!(s, "nodes {}", self.nodes);
+        let _ = writeln!(s, "seed {}", self.seed);
+        let _ = writeln!(s, "msgs {}", self.msgs);
+        let _ = writeln!(s, "keepalive_polls {}", self.keepalive_polls);
+        let _ = writeln!(s, "deadline_ns {}", self.deadline_ns);
+        let _ = writeln!(s, "tail_quiet_ns {}", self.tail_quiet_ns);
+        for ev in &self.events {
+            let _ = writeln!(s, "{ev}");
+        }
+        s
+    }
+
+    /// Parse the text form. Header lines may appear in any order; event
+    /// lines keep their order. Lines starting with `#` are ignored.
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        let mut sched: Option<Schedule> = None;
+        let mut header: Vec<(String, u64)> = Vec::new();
+        let mut events = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |m: &str| format!("line {}: {m}: {line:?}", lineno + 1);
+            let tok: Vec<&str> = line.split_whitespace().collect();
+            match tok[0] {
+                "workload" => {
+                    let name = tok.get(1).ok_or_else(|| err("missing workload name"))?;
+                    let w = Workload::parse(name).ok_or_else(|| err("unknown workload"))?;
+                    sched = Some(Schedule::new(w));
+                }
+                "nodes" | "seed" | "msgs" | "keepalive_polls" | "deadline_ns" | "tail_quiet_ns" => {
+                    let v = parse_u64(tok.get(1).copied()).ok_or_else(|| err("bad value"))?;
+                    header.push((tok[0].to_string(), v));
+                }
+                "drop" | "dup" | "delay" => {
+                    events.push(parse_fault(&tok).ok_or_else(|| err("bad fault event"))?);
+                }
+                "fifo_shrink" => {
+                    let f = parse_fields(&tok[1..], &["node", "capacity", "from", "until"])
+                        .ok_or_else(|| err("bad fifo_shrink event"))?;
+                    events.push(FaultEvent::FifoShrink {
+                        node: f[0] as usize,
+                        capacity: f[1] as usize,
+                        from_ns: f[2],
+                        until_ns: f[3],
+                    });
+                }
+                "send_stall" | "recv_stall" | "pause" => {
+                    let f = parse_fields(&tok[1..], &["node", "at", "dur"])
+                        .ok_or_else(|| err("bad stall/pause event"))?;
+                    let (node, at_ns, dur_ns) = (f[0] as usize, f[1], f[2]);
+                    events.push(match tok[0] {
+                        "send_stall" => FaultEvent::SendStall {
+                            node,
+                            at_ns,
+                            dur_ns,
+                        },
+                        "recv_stall" => FaultEvent::RecvStall {
+                            node,
+                            at_ns,
+                            dur_ns,
+                        },
+                        _ => FaultEvent::Pause {
+                            node,
+                            at_ns,
+                            dur_ns,
+                        },
+                    });
+                }
+                _ => return Err(err("unknown directive")),
+            }
+        }
+        let mut sched = sched.ok_or("missing `workload` line".to_string())?;
+        for (key, v) in header {
+            match key.as_str() {
+                "nodes" => sched.nodes = v as usize,
+                "seed" => sched.seed = v,
+                "msgs" => sched.msgs = v,
+                "keepalive_polls" => sched.keepalive_polls = v as u32,
+                "deadline_ns" => sched.deadline_ns = v,
+                "tail_quiet_ns" => sched.tail_quiet_ns = v,
+                _ => unreachable!(),
+            }
+        }
+        sched.events = events;
+        Ok(sched)
+    }
+}
+
+fn parse_u64(tok: Option<&str>) -> Option<u64> {
+    tok?.parse().ok()
+}
+
+/// Parse `<label0> <v0> <label1> <v1> …` checking each label.
+fn parse_fields(tok: &[&str], labels: &[&str]) -> Option<Vec<u64>> {
+    if tok.len() != labels.len() * 2 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(labels.len());
+    for (i, label) in labels.iter().enumerate() {
+        if tok[2 * i] != *label {
+            return None;
+        }
+        out.push(tok[2 * i + 1].parse().ok()?);
+    }
+    Some(out)
+}
+
+/// Parse `drop|dup|delay index N` or `drop|dup|delay p P from A until B`.
+fn parse_fault(tok: &[&str]) -> Option<FaultEvent> {
+    match *tok.get(1)? {
+        "index" => {
+            let i: u64 = tok.get(2)?.parse().ok()?;
+            if tok.len() != 3 {
+                return None;
+            }
+            Some(match tok[0] {
+                "drop" => FaultEvent::DropIndex(i),
+                "dup" => FaultEvent::DupIndex(i),
+                _ => FaultEvent::DelayIndex(i),
+            })
+        }
+        "p" => {
+            if tok.len() != 7 || tok[3] != "from" || tok[5] != "until" {
+                return None;
+            }
+            let p: f64 = tok.get(2)?.parse().ok()?;
+            if !(0.0..=1.0).contains(&p) {
+                return None;
+            }
+            let from_ns: u64 = tok[4].parse().ok()?;
+            let until_ns: u64 = tok[6].parse().ok()?;
+            Some(match tok[0] {
+                "drop" => FaultEvent::DropWindow {
+                    p,
+                    from_ns,
+                    until_ns,
+                },
+                "dup" => FaultEvent::DupWindow {
+                    p,
+                    from_ns,
+                    until_ns,
+                },
+                _ => FaultEvent::DelayWindow {
+                    p,
+                    from_ns,
+                    until_ns,
+                },
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        let mut s = Schedule::new(Workload::PingPong);
+        s.seed = 42;
+        s.msgs = 4;
+        s.keepalive_polls = 0;
+        s.events = vec![
+            FaultEvent::DropIndex(7),
+            FaultEvent::DupWindow {
+                p: 0.125,
+                from_ns: 0,
+                until_ns: 2_000_000,
+            },
+            FaultEvent::DelayIndex(3),
+            FaultEvent::FifoShrink {
+                node: 1,
+                capacity: 4,
+                from_ns: 10,
+                until_ns: 1_000_000,
+            },
+            FaultEvent::SendStall {
+                node: 0,
+                at_ns: 100_000,
+                dur_ns: 500_000,
+            },
+            FaultEvent::RecvStall {
+                node: 1,
+                at_ns: 5,
+                dur_ns: 6,
+            },
+            FaultEvent::Pause {
+                node: 1,
+                at_ns: 200_000,
+                dur_ns: 1_000_000,
+            },
+            FaultEvent::DropWindow {
+                p: 1.0,
+                from_ns: 3,
+                until_ns: 9,
+            },
+        ];
+        s
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let s = sample();
+        let text = s.format();
+        let back = Schedule::parse(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.format(), text);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = format!("# repro\n\n{}\n# trailing\n", sample().format());
+        assert_eq!(Schedule::parse(&text).unwrap(), sample());
+    }
+
+    #[test]
+    fn header_lines_override_defaults_in_any_order() {
+        let s = Schedule::parse("msgs 3\nworkload mpi\nseed 9\n").unwrap();
+        assert_eq!(s.workload, Workload::MpiExchange);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.msgs, 3);
+        assert_eq!(s.seed, 9);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Schedule::parse("").is_err());
+        assert!(Schedule::parse("workload nope").is_err());
+        assert!(Schedule::parse("workload pingpong\nfrobnicate 3").is_err());
+        assert!(Schedule::parse("workload pingpong\ndrop p 1.5 from 0 until 9").is_err());
+        assert!(Schedule::parse("workload pingpong\ndrop index").is_err());
+    }
+
+    #[test]
+    fn workload_names_round_trip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::parse(w.name()), Some(w));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Greedy 1-minimal shrinking of a failing schedule.
+
+use crate::schedule::Schedule;
+
+/// Shrink `base` (known to satisfy `fails`) to a schedule from which no
+/// single fault event can be removed without the failure disappearing.
+///
+/// Greedy delta-debugging over the event list: repeatedly try removing
+/// each event; whenever the failure persists without it, keep the smaller
+/// schedule and restart. Deterministic — `fails` is assumed to be a pure
+/// function of the schedule (which [`crate::run::run`] guarantees).
+pub fn shrink(base: &Schedule, mut fails: impl FnMut(&Schedule) -> bool) -> Schedule {
+    let mut cur = base.clone();
+    'outer: loop {
+        for i in 0..cur.events.len() {
+            let mut cand = cur.clone();
+            cand.events.remove(i);
+            if fails(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        return cur;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultEvent, Workload};
+
+    #[test]
+    fn removes_every_irrelevant_event() {
+        let mut s = Schedule::new(Workload::PingPong);
+        s.events = vec![
+            FaultEvent::DelayIndex(1),
+            FaultEvent::DropIndex(7),
+            FaultEvent::DupIndex(3),
+            FaultEvent::DropIndex(9),
+        ];
+        // "Fails" whenever index 7 is still dropped.
+        let min = shrink(&s, |c| c.events.contains(&FaultEvent::DropIndex(7)));
+        assert_eq!(min.events, vec![FaultEvent::DropIndex(7)]);
+    }
+
+    #[test]
+    fn keeps_conjunctions_1_minimal() {
+        let mut s = Schedule::new(Workload::Streaming);
+        s.events = vec![
+            FaultEvent::DropIndex(1),
+            FaultEvent::DelayIndex(2),
+            FaultEvent::DropIndex(3),
+        ];
+        // Needs *both* drops to fail.
+        let min = shrink(&s, |c| {
+            c.events.contains(&FaultEvent::DropIndex(1))
+                && c.events.contains(&FaultEvent::DropIndex(3))
+        });
+        assert_eq!(
+            min.events,
+            vec![FaultEvent::DropIndex(1), FaultEvent::DropIndex(3)]
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! The harness's central property: **any** finite fault schedule with a
+//! lossless tail (and keep-alive enabled — the only configuration that can
+//! clear ack residue) ends in quiescence with exactly-once, in-order
+//! delivery and conserved packet counts. Failures are shrunk to a minimal
+//! reproducer before being reported.
+
+use proptest::prelude::*;
+use sp_chaos::{judge, package_failure, random_schedule, Workload};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lossless_tail_schedules_quiesce_exactly_once(seed in any::<u64>(), w in 0usize..4) {
+        // `random_schedule` generates finite faults only (index faults,
+        // closing windows, bounded stalls/pauses) with keep-alive on.
+        let s = random_schedule(Workload::ALL[w], seed);
+        let judged = judge(&s);
+        if !judged.violations.is_empty() {
+            let f = package_failure(s);
+            return Err(format!(
+                "invariants violated: {:?}\nminimal reproducer:\n{}",
+                judged.violations, f.repro
+            ));
+        }
+    }
+}

@@ -420,6 +420,7 @@ pub struct Sim<W: Send + 'static> {
     seed: u64,
     event_budget: u64,
     programs: Vec<(String, Prog<W>)>,
+    initial: Vec<(Time, EvKind<W>)>,
     tracer: Option<Tracer>,
 }
 
@@ -502,6 +503,7 @@ impl<W: Send + 'static> Sim<W> {
             seed,
             event_budget: u64::MAX,
             programs: Vec::new(),
+            initial: Vec::new(),
             tracer: None,
         }
     }
@@ -523,6 +525,18 @@ impl<W: Send + 'static> Sim<W> {
     /// fault injectors).
     pub fn world_mut(&mut self) -> &mut W {
         self.world.as_mut().expect("world present before run")
+    }
+
+    /// Schedule an event to run at virtual time `at`, before the run starts.
+    /// Fault harnesses use this to mutate the world mid-run at precise
+    /// virtual instants (shrink a FIFO, stall an engine) without involving
+    /// any node program.
+    pub fn schedule_call_at(
+        &mut self,
+        at: Time,
+        f: impl FnOnce(&mut EventCtx<'_, W>) + Send + 'static,
+    ) {
+        self.initial.push((at, EvKind::call(f)));
     }
 
     /// Register a node program. Nodes are numbered densely in spawn order
@@ -549,6 +563,9 @@ impl<W: Send + 'static> Sim<W> {
             queue: BinaryHeap::new(),
             seq: 0,
         };
+        for (at, kind) in self.initial.drain(..) {
+            sched.push(at, kind);
+        }
         let mut nodes = Vec::with_capacity(num_nodes);
         for (i, (name, _)) in programs.iter().enumerate() {
             nodes.push(NodeMeta {

@@ -12,14 +12,24 @@ pub mod gstats {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     static DROPPED: AtomicU64 = AtomicU64::new(0);
+    static DUPLICATED: AtomicU64 = AtomicU64::new(0);
 
     pub(crate) fn record_drop() {
         DROPPED.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_dup() {
+        DUPLICATED.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Packets dropped by any switch fabric since process start.
     pub fn dropped() -> u64 {
         DROPPED.load(Ordering::Relaxed)
+    }
+
+    /// Extra packet copies created by any switch fabric since process start.
+    pub fn duplicated() -> u64 {
+        DUPLICATED.load(Ordering::Relaxed)
     }
 }
 
@@ -41,6 +51,9 @@ pub struct SwitchConfig {
     /// Extra delay applied to packets classified [`FaultKind::Delay`],
     /// expressed as a multiple of `hop_latency`.
     pub delay_fault_hops: u64,
+    /// How far behind the original the second copy of a packet classified
+    /// [`FaultKind::Duplicate`] arrives, as a multiple of `hop_latency`.
+    pub dup_fault_hops: u64,
 }
 
 impl Default for SwitchConfig {
@@ -51,6 +64,7 @@ impl Default for SwitchConfig {
             packet_gap: Dur::ns(130),
             routes_per_pair: 4,
             delay_fault_hops: 200,
+            dup_fault_hops: 50,
         }
     }
 }
@@ -65,6 +79,9 @@ pub enum Transit {
         at: Time,
         /// Route index used (`0..routes_per_pair`), round-robin per pair.
         route: usize,
+        /// If the packet was classified [`FaultKind::Duplicate`], the
+        /// instant a second, identical copy also reaches the destination.
+        dup_at: Option<Time>,
     },
     /// Lost in transit (fault injection only — the real fabric is lossless).
     Dropped,
@@ -138,6 +155,9 @@ pub struct SwitchStats {
     pub dropped: u64,
     /// Packets delivered late due to an injected delay fault.
     pub delayed: u64,
+    /// Extra packet copies created by an injected duplicate fault (each is
+    /// a second delivery of a packet already counted in `delivered`).
+    pub duplicated: u64,
     /// Total wire bytes delivered.
     pub wire_bytes: u64,
     /// Total switch stages crossed by delivered packets (loopback crosses
@@ -231,9 +251,9 @@ impl Switch {
         }
     }
 
-    fn classify_link(&mut self, link: LinkId) -> FaultKind {
+    fn classify_link(&mut self, link: LinkId, at: Time) -> FaultKind {
         match &mut self.link_faults[link as usize] {
-            Some(inj) => inj.classify(),
+            Some(inj) => inj.classify_at(at),
             None => FaultKind::None,
         }
     }
@@ -308,33 +328,51 @@ impl Switch {
                     dst as u64,
                 );
             }
-            return Transit::Delivered { at, route };
+            return Transit::Delivered {
+                at,
+                route,
+                dup_at: None,
+            };
         }
 
         let path = self.topo.path(src, dst, route);
 
         // Fabric-wide classification: drop at the first link, delay at the
-        // final stage (a per-link drop upstream short-circuits before the
-        // downstream links' injectors ever see the packet).
+        // final stage, duplicate as a second ejection (a per-link drop
+        // upstream short-circuits before the downstream links' injectors
+        // ever see the packet). Time windows are evaluated at the instant
+        // the packet enters the fabric.
         let mut global_delay = false;
-        match self.fault.classify() {
+        let mut want_dup = false;
+        match self.fault.classify_at(ready) {
             FaultKind::Drop => {
                 return self.drop_at_first(path.links()[0], ready, ser, wire_bytes);
             }
+            FaultKind::Duplicate => want_dup = true,
             FaultKind::Delay => global_delay = true,
             FaultKind::None => {}
         }
-        match self.classify_link(path.links()[0]) {
+        let mut pending_delay = false;
+        match self.classify_link(path.links()[0], ready) {
             FaultKind::Drop => {
                 return self.drop_at_first(path.links()[0], ready, ser, wire_bytes);
             }
-            FaultKind::Delay => {
-                // Charged when the packet crosses the next stage.
-                return self.deliver(path, dst, ser, ready, wire_bytes, global_delay, true, route);
-            }
+            FaultKind::Duplicate => want_dup = true,
+            // Charged when the packet crosses the next stage.
+            FaultKind::Delay => pending_delay = true,
             FaultKind::None => {}
         }
-        self.deliver(path, dst, ser, ready, wire_bytes, global_delay, false, route)
+        self.deliver(
+            path,
+            dst,
+            ser,
+            ready,
+            wire_bytes,
+            global_delay,
+            pending_delay,
+            want_dup,
+            route,
+        )
     }
 
     /// Walk the packet along its path, claiming each link in order. `at_i`
@@ -352,6 +390,7 @@ impl Switch {
         wire_bytes: usize,
         global_delay: bool,
         mut pending_delay: bool,
+        mut want_dup: bool,
         route: usize,
     ) -> Transit {
         let links = path.links();
@@ -363,7 +402,7 @@ impl Switch {
         let mut arrival = start + ser;
         for (i, &link) in links.iter().enumerate().skip(1) {
             let mut delayed = std::mem::take(&mut pending_delay);
-            match self.classify_link(link) {
+            match self.classify_link(link, arrival) {
                 FaultKind::Drop => {
                     // The bytes cross this link, then are lost.
                     let at =
@@ -379,10 +418,16 @@ impl Switch {
                             Kind::LinkBusy,
                             wire_bytes as u64,
                         );
-                        t.instant((at - ser).as_ns(), track, Kind::SwitchDrop, wire_bytes as u64);
+                        t.instant(
+                            (at - ser).as_ns(),
+                            track,
+                            Kind::SwitchDrop,
+                            wire_bytes as u64,
+                        );
                     }
                     return Transit::Dropped;
                 }
+                FaultKind::Duplicate => want_dup = true,
                 FaultKind::Delay => delayed = true,
                 FaultKind::None => {}
             }
@@ -424,7 +469,31 @@ impl Switch {
         }
         self.finish(wire_bytes);
         self.stats.hops += last as u64;
-        Transit::Delivered { at: arrival, route }
+
+        // A duplicate is modeled as a stale copy surviving in the fabric and
+        // ejecting later: a second claim on the final link, recorded as a
+        // reserved window (like a delayed packet) so well-behaved successors
+        // are not serialized behind the far-future copy.
+        let mut dup_at = None;
+        if want_dup {
+            let link = links[last];
+            let nominal = arrival + self.cfg.hop_latency * self.cfg.dup_fault_hops;
+            let at = self.links[link as usize].claim(nominal, ser, true);
+            self.stats.duplicated += 1;
+            self.stats.wire_bytes += wire_bytes as u64;
+            gstats::record_dup();
+            if let Some(t) = &self.tracer {
+                let track = self.track(link);
+                t.span((at - ser).as_ns(), at.as_ns(), track, Kind::LinkBusy, 0);
+                t.instant(arrival.as_ns(), track, Kind::SwitchDup, wire_bytes as u64);
+            }
+            dup_at = Some(at);
+        }
+        Transit::Delivered {
+            at: arrival,
+            route,
+            dup_at,
+        }
     }
 
     fn finish(&mut self, wire_bytes: usize) {
@@ -680,6 +749,93 @@ mod tests {
             .snapshot()
             .iter()
             .any(|r| r.kind == Kind::SwitchDrop && r.arg == 256));
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        let mut s = sw(2);
+        s.set_fault_injector(FaultInjector::dup_at([0]));
+        let t = s.transit(0, 1, 256, Time::ZERO);
+        let Transit::Delivered {
+            at,
+            dup_at: Some(dup),
+            ..
+        } = t
+        else {
+            panic!("expected duplicated delivery, got {t:?}");
+        };
+        assert_eq!(dup, at + s.config().hop_latency * s.config().dup_fault_hops);
+        assert_eq!(s.stats().delivered, 1);
+        assert_eq!(s.stats().duplicated, 1);
+        assert_eq!(s.stats().dropped, 0);
+    }
+
+    #[test]
+    fn duplicate_copy_does_not_stall_successors() {
+        // The second copy holds a far-future reservation on the ejection
+        // link; packets sent meanwhile must flow at line rate ahead of it.
+        let mut s = sw(2);
+        s.set_fault_injector(FaultInjector::dup_at([0]));
+        let Transit::Delivered {
+            dup_at: Some(dup), ..
+        } = s.transit(0, 1, 64, Time::ZERO)
+        else {
+            panic!("expected duplicate");
+        };
+        let mut prev = Time::ZERO;
+        for _ in 0..10 {
+            let at = delivered(s.transit(0, 1, 64, Time::ZERO));
+            assert!(at < dup, "successor queued behind the duplicate copy");
+            assert!(at > prev);
+            prev = at;
+        }
+    }
+
+    #[test]
+    fn duplicated_packets_count_globally_and_trace() {
+        use sp_trace::{Kind, Tracer};
+        let tracer = Tracer::new(2, 64);
+        let before = gstats::duplicated();
+        let mut s = sw(2);
+        s.set_tracer(tracer.clone());
+        s.set_fault_injector(FaultInjector::dup_at([0]));
+        let t = s.transit(0, 1, 256, Time::ZERO);
+        assert!(matches!(
+            t,
+            Transit::Delivered {
+                dup_at: Some(_),
+                ..
+            }
+        ));
+        assert_eq!(gstats::duplicated(), before + 1);
+        assert!(tracer
+            .snapshot()
+            .iter()
+            .any(|r| r.kind == Kind::SwitchDup && r.arg == 256));
+    }
+
+    #[test]
+    fn window_faults_hit_only_packets_entering_in_window() {
+        use crate::fault::FaultWindow;
+        let mut s = sw(2);
+        let mut inj = FaultInjector::none();
+        inj.windows.push(FaultWindow {
+            from: Time(10_000),
+            until: Time(20_000),
+            kind: FaultKind::Drop,
+            probability: 1.0,
+        });
+        s.set_fault_injector(inj);
+        assert!(matches!(
+            s.transit(0, 1, 64, Time::ZERO),
+            Transit::Delivered { .. }
+        ));
+        assert_eq!(s.transit(0, 1, 64, Time(15_000)), Transit::Dropped);
+        assert!(matches!(
+            s.transit(0, 1, 64, Time(25_000)),
+            Transit::Delivered { .. }
+        ));
+        assert_eq!(s.stats().dropped, 1);
     }
 
     // --- multi-frame topologies ---

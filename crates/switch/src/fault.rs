@@ -2,11 +2,12 @@
 //!
 //! The real SP switch is lossless; SP AM's flow control exists because the
 //! *receive FIFO* can overflow (§2.2). Tests additionally need to force
-//! losses, duplicate-free reordering, and bursts at precise points, so the
+//! losses, duplicates, reordering, and bursts at precise points, so the
 //! switch accepts an injector consulted once per packet.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sp_sim::Time;
 use std::collections::BTreeSet;
 
 /// What to do with a packet selected by the injector.
@@ -20,9 +21,53 @@ pub enum FaultKind {
     /// to push it behind its successors and exercise the out-of-order NACK
     /// path.
     Delay,
+    /// Deliver twice: the normal copy on time, a second copy after a delay
+    /// (models a stale copy surviving in the fabric — e.g. a retried cable
+    /// transfer whose first attempt actually arrived). Exercises the
+    /// receiver's duplicate-drop / re-ACK path against *fabric-level*
+    /// duplicates, not just retransmit-induced ones.
+    Duplicate,
 }
 
-/// Per-packet fault plan. All selectors compose; `Drop` wins over `Delay`.
+impl FaultKind {
+    /// Composition precedence when several selectors hit the same packet:
+    /// `Drop` beats `Duplicate` beats `Delay` beats `None`.
+    fn rank(self) -> u8 {
+        match self {
+            FaultKind::Drop => 3,
+            FaultKind::Duplicate => 2,
+            FaultKind::Delay => 1,
+            FaultKind::None => 0,
+        }
+    }
+
+    fn stronger(self, other: FaultKind) -> FaultKind {
+        if other.rank() > self.rank() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// A fault rule active over a virtual-time window `[from, until)`: packets
+/// classified while the window is open are hit with `probability` (1.0 =
+/// every packet). Windows compose with the index-based selectors under the
+/// usual precedence (`Drop` > `Duplicate` > `Delay`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// Window opens (inclusive), in virtual time.
+    pub from: Time,
+    /// Window closes (exclusive), in virtual time.
+    pub until: Time,
+    /// The fault applied to selected packets.
+    pub kind: FaultKind,
+    /// Per-packet selection probability while the window is open.
+    pub probability: f64,
+}
+
+/// Per-packet fault plan. All selectors compose; see [`FaultKind::rank`]
+/// for precedence when several hit the same packet.
 #[derive(Debug)]
 pub struct FaultInjector {
     /// Drop every packet whose global index (0-based, in injection order)
@@ -30,10 +75,21 @@ pub struct FaultInjector {
     pub drop_every_nth: Option<u64>,
     /// Drop with this probability (deterministic RNG).
     pub drop_probability: f64,
+    /// Duplicate with this probability (deterministic RNG).
+    pub dup_probability: f64,
+    /// Delay with this probability (deterministic RNG).
+    pub delay_probability: f64,
     /// Explicit global packet indices to drop.
     pub drop_indices: BTreeSet<u64>,
+    /// Explicit global packet indices to duplicate.
+    pub dup_indices: BTreeSet<u64>,
     /// Explicit global packet indices to delay (reorder).
     pub delay_indices: BTreeSet<u64>,
+    /// Time-windowed fault rules (see [`FaultWindow`]). Only meaningful on
+    /// classification paths that know the packet's time
+    /// ([`FaultInjector::classify_at`]); `classify()` evaluates them at
+    /// `Time::ZERO`.
+    pub windows: Vec<FaultWindow>,
     /// Inject faults only among the first `stop_after` packets (if `Some`):
     /// tests use this to bound the lossy phase so graceful shutdown runs
     /// over a lossless tail.
@@ -48,14 +104,18 @@ impl FaultInjector {
         Self::with_seed(0)
     }
 
-    /// An injector with a specific RNG seed (only relevant when
-    /// `drop_probability > 0`).
+    /// An injector with a specific RNG seed (only relevant when one of the
+    /// probabilistic selectors is non-zero).
     pub fn with_seed(seed: u64) -> Self {
         FaultInjector {
             drop_every_nth: None,
             drop_probability: 0.0,
+            dup_probability: 0.0,
+            delay_probability: 0.0,
             drop_indices: BTreeSet::new(),
+            dup_indices: BTreeSet::new(),
             delay_indices: BTreeSet::new(),
+            windows: Vec::new(),
             stop_after: None,
             rng: SmallRng::seed_from_u64(seed),
             next_index: 0,
@@ -78,39 +138,75 @@ impl FaultInjector {
         inj
     }
 
+    /// An injector duplicating exactly the packets with the given global
+    /// injection indices.
+    pub fn dup_at(indices: impl IntoIterator<Item = u64>) -> Self {
+        let mut inj = Self::with_seed(0);
+        inj.dup_indices = indices.into_iter().collect();
+        inj
+    }
+
     /// Total number of packets classified so far.
     pub fn packets_seen(&self) -> u64 {
         self.next_index
     }
 
-    /// Classify the next packet. Called exactly once per injected packet,
-    /// in injection order, so explicit indices are meaningful.
+    /// Classify the next packet without time context: time windows are
+    /// evaluated at `Time::ZERO` (i.e. only windows opening at zero apply).
     pub fn classify(&mut self) -> FaultKind {
+        self.classify_at(Time::ZERO)
+    }
+
+    /// Classify the next packet, known to enter the fabric at `now`.
+    /// Called exactly once per injected packet, in injection order, so
+    /// explicit indices are meaningful.
+    ///
+    /// Every stochastic selector draws from the RNG exactly once per packet,
+    /// regardless of `stop_after`, of whether its window is open, or of
+    /// whether an earlier selector already matched — so bounded and
+    /// unbounded runs (and runs differing only in one explicit index) see
+    /// identical random streams past the point of divergence.
+    pub fn classify_at(&mut self, now: Time) -> FaultKind {
         let idx = self.next_index;
         self.next_index += 1;
-        if self.stop_after.is_some_and(|n| idx >= n) {
-            // Keep the RNG stream advancing so runs with/without the bound
-            // stay comparable up to the cut-off.
-            if self.drop_probability > 0.0 {
-                let _ = self.rng.gen_bool(self.drop_probability);
+
+        let p_drop = self.drop_probability > 0.0 && self.rng.gen_bool(self.drop_probability);
+        let p_dup = self.dup_probability > 0.0 && self.rng.gen_bool(self.dup_probability);
+        let p_delay = self.delay_probability > 0.0 && self.rng.gen_bool(self.delay_probability);
+        let mut windowed = FaultKind::None;
+        for i in 0..self.windows.len() {
+            let w = self.windows[i];
+            let hit = if w.probability >= 1.0 {
+                true
+            } else {
+                // Drawn even while the window is closed: uniform stream.
+                w.probability > 0.0 && self.rng.gen_bool(w.probability)
+            };
+            if hit && now >= w.from && now < w.until {
+                windowed = windowed.stronger(w.kind);
             }
+        }
+
+        if self.stop_after.is_some_and(|n| idx >= n) {
             return FaultKind::None;
         }
-        if self.drop_indices.contains(&idx) {
-            return FaultKind::Drop;
+
+        let mut kind = windowed;
+        if self.drop_indices.contains(&idx) || p_drop {
+            kind = kind.stronger(FaultKind::Drop);
         }
         if let Some(n) = self.drop_every_nth {
             if n > 0 && idx.is_multiple_of(n) {
-                return FaultKind::Drop;
+                kind = kind.stronger(FaultKind::Drop);
             }
         }
-        if self.drop_probability > 0.0 && self.rng.gen_bool(self.drop_probability) {
-            return FaultKind::Drop;
+        if self.dup_indices.contains(&idx) || p_dup {
+            kind = kind.stronger(FaultKind::Duplicate);
         }
-        if self.delay_indices.contains(&idx) {
-            return FaultKind::Delay;
+        if self.delay_indices.contains(&idx) || p_delay {
+            kind = kind.stronger(FaultKind::Delay);
         }
-        FaultKind::None
+        kind
     }
 }
 
@@ -164,5 +260,69 @@ mod tests {
         inj.delay_indices.insert(1);
         assert_eq!(inj.classify(), FaultKind::None);
         assert_eq!(inj.classify(), FaultKind::Delay);
+    }
+
+    #[test]
+    fn duplicate_classification() {
+        let mut inj = FaultInjector::dup_at([1]);
+        assert_eq!(inj.classify(), FaultKind::None);
+        assert_eq!(inj.classify(), FaultKind::Duplicate);
+    }
+
+    #[test]
+    fn drop_wins_over_duplicate_and_delay() {
+        let mut inj = FaultInjector::drop_at([0]);
+        inj.dup_indices.insert(0);
+        inj.delay_indices.insert(1);
+        inj.dup_indices.insert(1);
+        assert_eq!(inj.classify(), FaultKind::Drop);
+        assert_eq!(inj.classify(), FaultKind::Duplicate, "dup beats delay");
+    }
+
+    #[test]
+    fn windows_apply_only_inside_their_time_range() {
+        let mut inj = FaultInjector::none();
+        inj.windows.push(FaultWindow {
+            from: Time(1_000),
+            until: Time(2_000),
+            kind: FaultKind::Drop,
+            probability: 1.0,
+        });
+        assert_eq!(inj.classify_at(Time(999)), FaultKind::None);
+        assert_eq!(inj.classify_at(Time(1_000)), FaultKind::Drop);
+        assert_eq!(inj.classify_at(Time(1_999)), FaultKind::Drop);
+        assert_eq!(inj.classify_at(Time(2_000)), FaultKind::None);
+    }
+
+    /// Regression (uniform stream advance): an explicit index match must
+    /// not skip the Bernoulli draw, or runs differing in one pinned index
+    /// see divergent random streams ever after.
+    #[test]
+    fn explicit_index_does_not_shift_bernoulli_stream() {
+        let mut plain = FaultInjector::bernoulli(0.3, 7);
+        let mut pinned = FaultInjector::bernoulli(0.3, 7);
+        pinned.drop_indices.insert(0);
+        let a: Vec<_> = (0..100).map(|_| plain.classify()).collect();
+        let b: Vec<_> = (0..100).map(|_| pinned.classify()).collect();
+        assert_eq!(a[1..], b[1..], "streams diverge after a pinned index");
+    }
+
+    /// Regression (uniform stream advance): `stop_after` must advance every
+    /// stochastic selector past the bound, not just `drop_probability`.
+    #[test]
+    fn stop_after_advances_all_stochastic_selectors() {
+        let mk = |stop| {
+            let mut inj = FaultInjector::with_seed(11);
+            inj.dup_probability = 0.25;
+            inj.delay_probability = 0.25;
+            inj.stop_after = stop;
+            inj
+        };
+        let mut unbounded = mk(None);
+        let mut bounded = mk(Some(10));
+        let a: Vec<_> = (0..50).map(|_| unbounded.classify()).collect();
+        let b: Vec<_> = (0..50).map(|_| bounded.classify()).collect();
+        assert_eq!(a[..10], b[..10], "bounded run diverged before the bound");
+        assert!(b[10..].iter().all(|k| *k == FaultKind::None));
     }
 }

@@ -40,5 +40,5 @@ mod fault;
 mod topology;
 
 pub use fabric::{gstats, Switch, SwitchConfig, SwitchStats, Transit};
-pub use fault::{FaultInjector, FaultKind};
+pub use fault::{FaultInjector, FaultKind, FaultWindow};
 pub use topology::{HopPath, LinkId, Topology, FRAME_PORTS, MAX_PATH_LINKS};

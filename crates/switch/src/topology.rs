@@ -242,10 +242,7 @@ mod tests {
         assert_eq!(t.frame_of(2), 1);
         let p = t.path(0, 3, 0);
         assert_eq!(p.hops(), 2);
-        assert_eq!(
-            p.links(),
-            &[t.inj_link(0), t.cable(0, 1, 0), t.ej_link(3)]
-        );
+        assert_eq!(p.links(), &[t.inj_link(0), t.cable(0, 1, 0), t.ej_link(3)]);
         // Same frame stays one hop.
         assert_eq!(t.path(2, 3, 0).hops(), 1);
     }
@@ -256,7 +253,10 @@ mod tests {
         let lanes: Vec<LinkId> = (0..5).map(|r| t.path(0, 1, r).links()[1]).collect();
         assert_eq!(lanes[0], lanes[4], "four lanes cycle");
         assert_eq!(
-            lanes.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            lanes
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
             4,
             "four routes ride four distinct cables"
         );

@@ -9,7 +9,7 @@ use sp_switch::{FaultInjector, Switch, SwitchConfig, Topology, Transit};
 /// frame or a multi-frame arrangement, both within frame-port limits,
 /// always with ≥ 2 nodes so a non-loopback pair exists.
 fn make_topology(kind: u8, a: usize, b: usize) -> Topology {
-    if kind % 2 == 0 {
+    if kind.is_multiple_of(2) {
         Topology::single_frame(2 + a % 15)
     } else {
         Topology::multi_frame(2 + a % 3, 1 + b % 4)

@@ -24,9 +24,7 @@ fn ids(track: Track) -> (u32, u32) {
         (TrackKind::Adapter, Some(n)) => (n as u32 + 1, 2),
         (TrackKind::SwitchInj, Some(n)) => (n as u32 + 1, 3),
         (TrackKind::SwitchEj, Some(n)) => (n as u32 + 1, 4),
-        (TrackKind::SwitchXLink, _) => {
-            (XLINK_PID, track.xlink_index().unwrap_or(0) as u32 + 1)
-        }
+        (TrackKind::SwitchXLink, _) => (XLINK_PID, track.xlink_index().unwrap_or(0) as u32 + 1),
         _ => (0, 1),
     }
 }

@@ -79,6 +79,9 @@ pub enum Kind {
     SwitchDrop,
     /// The fabric delayed a packet (fault injection). `arg` is wire bytes.
     SwitchDelayed,
+    /// The fabric duplicated a packet (fault injection): a second copy will
+    /// reach the destination later. `arg` is wire bytes.
+    SwitchDup,
 
     // --- active messages ---
     /// CPU cost of composing and enqueuing a request. `arg` is the
@@ -105,6 +108,14 @@ pub enum Kind {
     AmProbe,
     /// An idle keep-alive round fired (all peers probed).
     AmKeepalive,
+    /// The receiver dropped a duplicate sequenced packet and re-ACKed.
+    /// `arg` is the duplicate's sequence number.
+    AmDupDrop,
+    /// The receiver dropped an out-of-order sequenced packet. `arg` is the
+    /// offending packet's sequence number.
+    AmOooDrop,
+    /// Go-back-N retransmission: `arg` packets re-entered the wire queue.
+    AmRetransmit,
     /// First packet of a bulk-transfer chunk entered the send FIFO. `arg`
     /// is the chunk's starting sequence number.
     AmChunkStart,
@@ -162,6 +173,7 @@ impl Kind {
             LinkBusy => "link-busy",
             SwitchDrop => "switch-drop",
             SwitchDelayed => "switch-delayed",
+            SwitchDup => "switch-dup",
             AmRequest => "am-request",
             AmReply => "am-reply",
             AmPoll => "am-poll",
@@ -171,6 +183,9 @@ impl Kind {
             AmNackOut => "am-nack-out",
             AmProbe => "am-probe",
             AmKeepalive => "am-keepalive",
+            AmDupDrop => "am-dup-drop",
+            AmOooDrop => "am-ooo-drop",
+            AmRetransmit => "am-retransmit",
             AmChunkStart => "chunk-start",
             AmChunkEnd => "chunk-end",
             AmStore => "am-store",
