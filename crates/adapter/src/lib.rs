@@ -46,6 +46,10 @@ pub use unit::{
 };
 pub use world::{SpConfig, SpWorld};
 
+// Downstream crates configure the fabric through `SpConfig.switch`; re-export
+// the routing policy so they need not depend on `sp-switch` directly.
+pub use sp_switch::RoutePolicy;
+
 /// The world type every SP-machine simulation uses, parameterized by the
 /// protocol's wire payload.
 pub type SpCtx<P> = sp_sim::NodeCtx<SpWorld<P>>;

@@ -57,6 +57,13 @@ impl SpConfig {
             ..SpConfig::thin(1)
         }
     }
+
+    /// The same partition with the given switch routing policy (builder
+    /// style): `SpConfig::multi_frame(2, 4).routed(RoutePolicy::Adaptive)`.
+    pub fn routed(mut self, policy: sp_switch::RoutePolicy) -> Self {
+        self.switch.route_policy = policy;
+        self
+    }
 }
 
 /// World state of an SP-machine simulation with protocol payload `P`.

@@ -1,4 +1,8 @@
-//! Regenerates Table 6: NAS kernels on 16 thin nodes, MPI-F vs MPI-AM.
+//! Regenerates Table 6: NAS kernels on 16 thin nodes, MPI-F vs MPI-AM,
+//! then sweeps the problem classes (reduced / S / W) on MPI-AM to exercise
+//! the fast-pathed engine on the scaled-up grids, reporting virtual time
+//! and per-run engine throughput. `SP_BENCH_QUICK=1` keeps only the
+//! reduced class.
 
 fn main() {
     let ranks = 16;
@@ -22,5 +26,27 @@ fn main() {
     println!("\nexpected shape (paper): MPI-AM close to MPI-F on every kernel; FT pays for");
     println!("MPICH's generic Alltoall (convergent schedule); both implementations compute");
     println!("identical numerics.");
+
+    let quick = sp_bench::quick();
+    let points = sp_bench::nas_exp::class_sweep(ranks, quick);
+    println!(
+        "\nClass sweep: MPI-AM on {ranks} thin nodes{}\n",
+        if quick { " (quick: reduced only)" } else { "" }
+    );
+    println!(
+        "{:>10}  {:>8}  {:>11}  {:>12}  {:>12}",
+        "Benchmark", "class", "virtual", "events", "events/sec"
+    );
+    println!("{}", "-".repeat(62));
+    for p in points {
+        println!(
+            "{:>10}  {:>8}  {:>10.3}s  {:>12}  {:>12.0}",
+            p.kernel.name(),
+            p.class.name(),
+            p.virtual_s,
+            p.events,
+            p.events_per_sec
+        );
+    }
     sp_bench::print_engine_summary();
 }

@@ -1,13 +1,21 @@
 //! Topology sweep: one-word RTT and streaming bandwidth on single-frame
 //! vs multi-frame machines (§1.2), plus the traced latency breakdown of a
 //! cross-frame round trip showing the extra switch stage as its own
-//! `inter-frame hop` segments.
+//! `inter-frame hop` segments, plus the hot-spot congestion experiment
+//! comparing the round-robin and adaptive routing policies.
 //!
 //! ```text
 //! cargo run --bin topo
 //! ```
+//!
+//! Set `SP_BENCH_TOPO_JSON=<path>` to write the congestion metrics as JSON
+//! lines, and `SP_BENCH_TOPO_BASELINE=<path>` to compare against a saved
+//! baseline (CI fails the run only on an order-of-magnitude regression,
+//! mirroring `SP_BENCH_ENGINE_BASELINE`).
 
+use sp_bench::topo_exp::CongestionPoint;
 use sp_bench::{quick, topo_exp};
+use std::io::Write;
 
 fn main() {
     let points = topo_exp::run(quick());
@@ -45,5 +53,121 @@ fn main() {
     println!("\n==== breakdown: {label} ====");
     println!("{}", topo_exp::traced_round_trip(&cfg, dst, 4));
 
+    // Hot-spot congestion: k frame-0 senders hammer one frame pair, under
+    // both routing policies.
+    let (rr, ad) = topo_exp::congestion(quick());
+    println!(
+        "==== hot-spot congestion: {} senders x 1 frame pair ====\n",
+        rr.senders
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>12} {:>8}",
+        "policy", "samples", "p50 (us)", "p99 (us)", "max (us)", "lane spread", "dodges"
+    );
+    println!("{}", "-".repeat(76));
+    for p in [&rr, &ad] {
+        println!(
+            "{:<12} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>12.3} {:>8}",
+            p.policy,
+            p.samples,
+            p.rtt_p50_ns as f64 / 1_000.0,
+            p.rtt_p99_ns as f64 / 1_000.0,
+            p.rtt_max_ns as f64 / 1_000.0,
+            p.lane_spread,
+            p.adaptive_picks,
+        );
+    }
+    println!(
+        "\nadaptive vs round-robin: p99 {:+.1}%, lane spread {:+.1}%",
+        (ad.rtt_p99_ns as f64 / rr.rtt_p99_ns as f64 - 1.0) * 100.0,
+        (ad.lane_spread / rr.lane_spread - 1.0) * 100.0,
+    );
+
+    let metrics = collect_metrics(&rr, &ad);
+    if let Ok(path) = std::env::var("SP_BENCH_TOPO_JSON") {
+        write_json(&path, &metrics);
+        println!("wrote {} metrics to {path}", metrics.len());
+    }
+    if let Ok(path) = std::env::var("SP_BENCH_TOPO_BASELINE") {
+        if !compare_baseline(&path, &metrics) {
+            std::process::exit(1);
+        }
+    }
+
     sp_bench::print_engine_summary();
+}
+
+/// The congestion metrics that go into `BENCH_topo.json`. All are
+/// lower-is-better, so the baseline comparison fails on a 10x increase.
+fn collect_metrics(rr: &CongestionPoint, ad: &CongestionPoint) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for p in [rr, ad] {
+        out.push((format!("topo/{}-p50-rtt-ns", p.policy), p.rtt_p50_ns as f64));
+        out.push((format!("topo/{}-p99-rtt-ns", p.policy), p.rtt_p99_ns as f64));
+        out.push((format!("topo/{}-lane-spread", p.policy), p.lane_spread));
+    }
+    out
+}
+
+fn write_json(path: &str, metrics: &[(String, f64)]) {
+    let mut f = std::fs::File::create(path).expect("create SP_BENCH_TOPO_JSON file");
+    for (id, value) in metrics {
+        writeln!(f, "{{\"id\":\"{id}\",\"value\":{value:.3}}}").expect("write metric");
+    }
+}
+
+/// Pull `"key":<number>` out of a JSON line (hand-rolled, like the engine
+/// bench: the workspace has no JSON dependency).
+fn json_number(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pull `"key":"<string>"` out of a JSON line.
+fn json_string<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Compare against a saved baseline. Only an order-of-magnitude regression
+/// (metric grew 10x; all topo metrics are lower-is-better) fails the run —
+/// same guardrail philosophy as `SP_BENCH_ENGINE_BASELINE`.
+fn compare_baseline(path: &str, metrics: &[(String, f64)]) -> bool {
+    let base = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("\nno topo baseline at {path} ({e}); skipping comparison");
+            return true;
+        }
+    };
+    println!("\ncomparison vs baseline {path} (fail = metric grew 10x):");
+    let mut ok = true;
+    for line in base.lines().filter(|l| !l.trim().is_empty()) {
+        let (Some(id), Some(old)) = (json_string(line, "id"), json_number(line, "value")) else {
+            continue;
+        };
+        let Some((_, cur)) = metrics.iter().find(|(i, _)| i == id) else {
+            println!("  {id:<28} missing from current run");
+            continue;
+        };
+        let ratio = if old > 0.0 { cur / old } else { 1.0 };
+        let verdict = if ratio > 10.0 {
+            ok = false;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!("  {id:<28} base {old:>12.1}  cur {cur:>12.1}  x{ratio:<6.2} {verdict}");
+    }
+    if !ok {
+        println!("topo congestion metrics regressed by more than an order of magnitude");
+    }
+    ok
 }

@@ -1,7 +1,9 @@
-//! Table 6: NAS kernels on 16 thin nodes, MPI-F vs MPI-AM.
+//! Table 6: NAS kernels on 16 thin nodes, MPI-F vs MPI-AM — plus the
+//! scaled-up class sweep that exercises the fast-pathed engine on
+//! S/W-sized grids (ROADMAP: "scale the NAS grids back up").
 
 use sp_mpi::runner::MpiImpl;
-use sp_nas::{run_kernel, Kernel};
+use sp_nas::{run_kernel, run_kernel_class, Kernel, NasClass};
 
 /// One Table 6 row.
 #[derive(Debug, Clone)]
@@ -32,4 +34,49 @@ pub fn table6(ranks: usize) -> Vec<NasRow> {
             }
         })
         .collect()
+}
+
+/// One kernel at one problem class: virtual time plus the engine's actual
+/// event count and wall-clock rate for that single run.
+#[derive(Debug, Clone)]
+pub struct ClassPoint {
+    /// Benchmark.
+    pub kernel: Kernel,
+    /// Problem class.
+    pub class: NasClass,
+    /// MPI-AM virtual time (seconds).
+    pub virtual_s: f64,
+    /// Engine events executed by this run.
+    pub events: u64,
+    /// Wall-clock engine rate for this run (events/second).
+    pub events_per_sec: f64,
+}
+
+/// The class sweep: every kernel at every class on MPI-AM, with per-run
+/// engine throughput measured by deltaing the process-wide engine stats
+/// around each run. `quick` limits the sweep to the reduced class.
+pub fn class_sweep(ranks: usize, quick: bool) -> Vec<ClassPoint> {
+    let classes: &[NasClass] = if quick {
+        &[NasClass::Reduced]
+    } else {
+        &NasClass::all()
+    };
+    let mut out = Vec::new();
+    for &class in classes {
+        for kernel in Kernel::all() {
+            let (_, ev0, wall0) = sp_sim::stats::snapshot();
+            let r = run_kernel_class(kernel, MpiImpl::AmOptimized, ranks, 5, class);
+            let (_, ev1, wall1) = sp_sim::stats::snapshot();
+            let events = ev1 - ev0;
+            let wall = (wall1 - wall0).as_secs_f64();
+            out.push(ClassPoint {
+                kernel,
+                class,
+                virtual_s: r.time.as_secs(),
+                events,
+                events_per_sec: events as f64 / wall.max(1e-9),
+            });
+        }
+    }
+    out
 }

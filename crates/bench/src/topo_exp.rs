@@ -10,8 +10,10 @@
 
 use crate::trace_rt::{self, Breakdown};
 use parking_lot::Mutex;
-use sp_adapter::SpConfig;
+use sp_adapter::{RoutePolicy, SpConfig};
 use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr};
+use sp_trace::{Kind, Record, Track, TrackKind};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One topology's measurements.
@@ -80,6 +82,232 @@ pub fn run(quick: bool) -> Vec<TopoPoint> {
             }
         })
         .collect()
+}
+
+/// One routing policy's result under the hot-spot congestion workload:
+/// frame-0 senders hammer one frame pair — a bulk streamer keeps the
+/// shared inter-frame cables occupied with back-to-back 256-byte packets
+/// while the remaining frame-0 nodes each ping-pong a distinct frame-1
+/// peer and measure their round trips. A round-robin pinger lands behind
+/// a bulk packet's serialization whenever its blind lane choice collides;
+/// an adaptive pinger steers onto an idle lane.
+#[derive(Debug, Clone)]
+pub struct CongestionPoint {
+    /// Policy label, `"round-robin"` or `"adaptive"`.
+    pub policy: &'static str,
+    /// Concurrent frame-0 senders (1 bulk streamer + the pingers).
+    pub senders: usize,
+    /// Measured round trips across all pingers (after one warmup each).
+    pub samples: usize,
+    /// Median round trip, ns.
+    pub rtt_p50_ns: u64,
+    /// 99th-percentile round trip, ns.
+    pub rtt_p99_ns: u64,
+    /// Worst round trip, ns.
+    pub rtt_max_ns: u64,
+    /// Link-utilization spread across the frame pair's cable lanes: the
+    /// mean over fine virtual-time bins of `(busiest lane - idlest lane)`
+    /// busy time, as a fraction of the bin width. 0 = perfectly balanced.
+    pub lane_spread: f64,
+    /// How many packets the adaptive policy steered off the round-robin
+    /// candidate (always 0 under `RoundRobin`).
+    pub adaptive_picks: u64,
+}
+
+/// Run the hot-spot congestion experiment under both policies.
+pub fn congestion(quick: bool) -> (CongestionPoint, CongestionPoint) {
+    let iters = if quick { 12 } else { 32 };
+    (
+        congestion_run(RoutePolicy::RoundRobin, 8, iters),
+        congestion_run(RoutePolicy::Adaptive, 8, iters),
+    )
+}
+
+/// One congestion run on a 2-frame machine of `k` nodes per frame: frame-0
+/// node 0 streams pipelined bulk stores at frame-1 node `k` (keeping the
+/// shared cables occupied for the whole measurement), while frame-0 nodes
+/// `1..k` each measure `iters` one-word round trips to a distinct frame-1
+/// peer.
+pub fn congestion_run(policy: RoutePolicy, k: usize, iters: u32) -> CongestionPoint {
+    assert!(k >= 2, "need a streamer and at least one pinger");
+    let cfg = SpConfig::multi_frame(2, k).routed(policy);
+    let mut m = AmMachine::new(cfg.clone(), AmConfig::default(), 7);
+    let tracer = m.enable_tracing(1 << 16);
+    // Enough bulk volume to outlast the pingers: ~60 us per round trip at
+    // ~30 MB/s of stream throughput, with generous margin.
+    let store_bytes = 4096usize;
+    let stores = (iters as usize * 2).max(16);
+    m.spawn("bulk-tx", Ping::default(), move |am: &mut Am<'_, Ping>| {
+        am.register(pong_handler);
+        am.register(pong_done_handler);
+        let data = vec![0xA5u8; store_bytes];
+        am.barrier();
+        let mut handles = Vec::with_capacity(stores);
+        for _ in 0..stores {
+            handles.push(am.store_async(GlobalPtr { node: k, addr: 0 }, &data, None, &[], None));
+        }
+        for h in handles {
+            am.wait_bulk(h);
+        }
+        am.barrier();
+    });
+    for i in 1..k {
+        let peer = k + i;
+        let t = tracer.clone();
+        m.spawn(
+            format!("tx{i}"),
+            Ping::default(),
+            move |am: &mut Am<'_, Ping>| {
+                am.register(pong_handler);
+                let done = am.register(pong_done_handler);
+                am.barrier();
+                // Round 0 is warmup (channel state, route counters settle).
+                for it in 0..=iters {
+                    let t0 = am.now();
+                    am.request_1(peer, 0, done as u32);
+                    am.poll_until(move |s| s.pongs > it);
+                    if it > 0 {
+                        t.span(
+                            t0.as_ns(),
+                            am.now().as_ns(),
+                            Track::program(i),
+                            Kind::UserSpan,
+                            it as u64 - 1,
+                        );
+                    }
+                }
+                am.barrier();
+            },
+        );
+    }
+    m.spawn("bulk-rx", Ping::default(), move |am: &mut Am<'_, Ping>| {
+        am.register(pong_handler);
+        am.register(pong_done_handler);
+        am.alloc(store_bytes as u32); // landing area at addr 0
+        am.barrier();
+        am.barrier(); // polls for the incoming stores while parked here
+    });
+    for i in 1..k {
+        m.spawn(
+            format!("rx{i}"),
+            Ping::default(),
+            move |am: &mut Am<'_, Ping>| {
+                am.register(pong_handler);
+                am.register(pong_done_handler);
+                am.barrier();
+                am.poll_until(move |s| s.pings > iters);
+                am.barrier();
+            },
+        );
+    }
+    m.run().expect("congestion run completes");
+    let records = tracer.snapshot();
+
+    let mut rtts: Vec<u64> = records
+        .iter()
+        .filter(|r| r.kind == Kind::UserSpan)
+        .map(|r| r.dur)
+        .collect();
+    rtts.sort_unstable();
+    assert!(!rtts.is_empty(), "no measured bursts in trace");
+    let pct = |p: usize| rtts[(rtts.len() - 1) * p / 100];
+    CongestionPoint {
+        policy: match policy {
+            RoutePolicy::RoundRobin => "round-robin",
+            RoutePolicy::Adaptive => "adaptive",
+        },
+        senders: k,
+        samples: rtts.len(),
+        rtt_p50_ns: pct(50),
+        rtt_p99_ns: pct(99),
+        rtt_max_ns: *rtts.last().unwrap(),
+        // Bin width ~2x a bulk packet's serialization: wide enough to see a
+        // round-robin collision (two packets queued back-to-back on one
+        // lane while the others idle), narrow enough that the imbalance is
+        // not averaged away over the whole run.
+        lane_spread: lane_spread(&records, &cfg, 25_000),
+        adaptive_picks: records
+            .iter()
+            .filter(|r| r.kind == Kind::RouteAdaptive)
+            .count() as u64,
+    }
+}
+
+/// Link-utilization spread across the inter-frame cable lanes: bin the
+/// cables' `LinkBusy` occupancy into `bin_ns`-wide virtual-time bins and
+/// average, over the bins where any cable was busy, the busiest-minus-
+/// idlest lane difference as a fraction of the bin width. Round-robin's
+/// phase collisions pile bursts onto one lane while others idle, which
+/// coarse per-lane byte totals would hide but fine bins expose.
+fn lane_spread(records: &[Record], cfg: &SpConfig, bin_ns: u64) -> f64 {
+    let topo = &cfg.topology;
+    let cpp = match *topo {
+        sp_switch::Topology::MultiFrame {
+            cables_per_pair, ..
+        } => cables_per_pair,
+        sp_switch::Topology::SingleFrame { .. } => return 0.0,
+    };
+    let mut lanes: Vec<usize> = Vec::new();
+    for from in 0..topo.frames() {
+        for to in 0..topo.frames() {
+            if from == to {
+                continue;
+            }
+            for lane in 0..cpp {
+                lanes.push(
+                    topo.cable_index(topo.cable(from, to, lane))
+                        .expect("cables have a cable index"),
+                );
+            }
+        }
+    }
+    let mut busy: BTreeMap<u64, BTreeMap<usize, u64>> = BTreeMap::new();
+    for r in records {
+        if r.kind != Kind::LinkBusy || r.track.kind() != TrackKind::SwitchXLink {
+            continue;
+        }
+        let lane = r.track.xlink_index().expect("xlink track has an index");
+        let (mut at, end) = (r.at, r.end());
+        while at < end {
+            let bin = at / bin_ns;
+            let upto = end.min((bin + 1) * bin_ns);
+            *busy.entry(bin).or_default().entry(lane).or_default() += upto - at;
+            at = upto;
+        }
+    }
+    if busy.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for per_lane in busy.values() {
+        let max = lanes
+            .iter()
+            .map(|l| *per_lane.get(l).unwrap_or(&0))
+            .max()
+            .unwrap_or(0);
+        let min = lanes
+            .iter()
+            .map(|l| *per_lane.get(l).unwrap_or(&0))
+            .min()
+            .unwrap_or(0);
+        total += (max - min) as f64 / bin_ns as f64;
+    }
+    total / busy.len() as f64
+}
+
+#[derive(Default)]
+struct Ping {
+    pings: u32,
+    pongs: u32,
+}
+
+fn pong_handler(env: &mut AmEnv<'_, Ping>, args: AmArgs) {
+    env.state.pings += 1;
+    env.reply_1(args.a[0] as u16, 0);
+}
+
+fn pong_done_handler(env: &mut AmEnv<'_, Ping>, _args: AmArgs) {
+    env.state.pongs += 1;
 }
 
 #[derive(Default)]

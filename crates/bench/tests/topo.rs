@@ -3,7 +3,7 @@
 //! premium inside the fabric segments is exactly the added hop-latency
 //! terms — the trace-based breakdown attributes it, stage by stage.
 
-use sp_adapter::SpConfig;
+use sp_adapter::{RoutePolicy, SpConfig};
 use sp_bench::topo_exp;
 use sp_switch::SwitchConfig;
 
@@ -60,6 +60,47 @@ fn multi_frame_breakdown_components_match_cost_model() {
     for s in &xframe {
         assert_eq!(s.measured_ns, hop, "uncontended cable stage {:?}", s.label);
     }
+}
+
+#[test]
+fn breakdown_chain_holds_under_adaptive_routing() {
+    // The causal chain walk matches cross-frame hops on *any* cable track,
+    // so it must reconstruct the round trip unchanged when the adaptive
+    // policy steers packets across lanes — and with the fabric otherwise
+    // quiet, the adaptive round trip must equal the round-robin one.
+    let rr = topo_exp::traced_round_trip(&SpConfig::multi_frame(2, 1), 1, 3);
+    let ad = topo_exp::traced_round_trip(
+        &SpConfig::multi_frame(2, 1).routed(RoutePolicy::Adaptive),
+        1,
+        3,
+    );
+    assert_eq!(ad.sum_ns(), ad.rtt_ns);
+    assert_eq!(
+        ad.rtt_ns, rr.rtt_ns,
+        "uncontended adaptive round trip differs from round-robin"
+    );
+}
+
+#[test]
+fn adaptive_beats_round_robin_under_hot_spot_congestion() {
+    // The PR's acceptance experiment: with a bulk stream hammering one
+    // frame pair, adaptive pingers dodge the occupied cable lanes. The
+    // simulator is deterministic, so strict inequalities are stable.
+    let (rr, ad) = topo_exp::congestion(true);
+    assert_eq!(rr.adaptive_picks, 0, "round-robin never dodges");
+    assert!(ad.adaptive_picks > 0, "adaptive run recorded no dodges");
+    assert!(
+        ad.rtt_p99_ns < rr.rtt_p99_ns,
+        "adaptive p99 {} ns not below round-robin {} ns",
+        ad.rtt_p99_ns,
+        rr.rtt_p99_ns
+    );
+    assert!(
+        ad.lane_spread < rr.lane_spread,
+        "adaptive lane spread {:.3} not tighter than round-robin {:.3}",
+        ad.lane_spread,
+        rr.lane_spread
+    );
 }
 
 #[test]

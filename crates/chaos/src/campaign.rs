@@ -160,14 +160,31 @@ pub fn replay(text: &str) -> Result<Replay, String> {
 }
 
 /// Deterministically generate the `i`-th random schedule for a workload.
-/// Faults land in the first ~8 ms; the tail is lossless by construction
-/// (index faults are finite, windows close, stalls and pauses end), and
-/// keep-alive is always on — so every generated schedule must pass.
+/// Faults land in the first ~8 ms; the tail is recoverable by construction
+/// (index faults are finite, windows close, stalls and pauses end, and a
+/// killed cable always leaves three live lanes for retransmissions), and
+/// keep-alive is always on — so every generated schedule must pass. Half
+/// the schedules run on a two-frame machine, under either routing policy,
+/// sometimes with one cable of the frame pair severed.
 pub fn random_schedule(w: Workload, seed: u64) -> Schedule {
     let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ w as u64);
     let mut s = Schedule::new(w);
     s.seed = seed;
     s.keepalive_polls = [32, 64, 128][rng.gen_range(0..3usize)];
+    if rng.gen_range(0..2u32) == 1 {
+        s.frames = 2;
+        if rng.gen_range(0..2u32) == 1 {
+            s.route_policy = sp_switch::RoutePolicy::Adaptive;
+        }
+        if rng.gen_range(0..4u32) == 0 {
+            let from = rng.gen_range(0..2usize);
+            s.events.push(FaultEvent::CableKill {
+                from,
+                to: 1 - from,
+                lane: rng.gen_range(0..4),
+            });
+        }
+    }
     s.msgs = match w {
         Workload::PingPong | Workload::Streaming => rng.gen_range(6..20),
         _ => rng.gen_range(3..7),

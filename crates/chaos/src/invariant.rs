@@ -2,7 +2,8 @@
 //! tail, and the deterministic report a run is judged (and replayed) by.
 
 use crate::run::RunOutcome;
-use crate::schedule::Workload;
+use crate::schedule::{policy_name, Workload};
+use sp_switch::RoutePolicy;
 use std::collections::BTreeSet;
 use std::fmt::Write;
 
@@ -194,6 +195,16 @@ pub fn report(out: &RunOutcome, violations: &[Violation]) -> String {
         s.msgs,
         s.keepalive_polls
     );
+    // Topology line only for multi-frame (or non-default policy) runs, so
+    // every pre-topology pinned report keeps its exact bytes.
+    if s.frames > 1 || s.route_policy != RoutePolicy::RoundRobin {
+        let _ = writeln!(
+            r,
+            "topology frames {} route_policy {}",
+            s.frames,
+            policy_name(s.route_policy)
+        );
+    }
     if let Some(e) = &out.aborted {
         let _ = writeln!(r, "aborted {e}");
     } else {

@@ -7,9 +7,12 @@
 //!
 //! 1. **Fault schedules** ([`Schedule`]) — serializable plain-text
 //!    compositions of link drops/delays/duplicates, receive-FIFO
-//!    shrinkage, send-DMA and receive-firmware stalls, and
-//!    keepalive-visible node pauses, pinned to virtual-time windows or
-//!    global packet indices.
+//!    shrinkage, send-DMA and receive-firmware stalls,
+//!    keepalive-visible node pauses, and (on multi-frame machines)
+//!    permanently severed inter-frame cable lanes, pinned to virtual-time
+//!    windows or global packet indices. Schedules pick the machine
+//!    topology (`frames`) and fabric routing policy (`route_policy`), so
+//!    campaigns cover adaptive occupancy-aware routing too.
 //! 2. **Campaign runner** ([`run_campaign`]) — executes workloads
 //!    (request/reply pingpong, one-way streaming, Split-C round-trips,
 //!    MPI ring exchange) under N seeded random schedules and checks the
@@ -39,4 +42,5 @@ pub use campaign::{
 };
 pub use invariant::{check, report, Violation};
 pub use run::{run, run_traced, NodeEnd, RunOutcome, EVENT_BUDGET};
-pub use schedule::{FaultEvent, Schedule, Workload};
+pub use schedule::{parse_policy, policy_name, FaultEvent, Schedule, Workload};
+pub use sp_switch::RoutePolicy;

@@ -8,7 +8,7 @@ use sp_mpi::{Mpi, MpiAm, MpiAmConfig, MpiSt};
 use sp_sim::{Dur, Time};
 use sp_splitc::backend::am::{AmGas, SplitcSt};
 use sp_splitc::Gas;
-use sp_switch::{FaultInjector, FaultKind, FaultWindow, SwitchStats};
+use sp_switch::{FaultInjector, FaultKind, FaultWindow, SwitchStats, Topology};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -97,7 +97,20 @@ pub fn run_traced(schedule: &Schedule) -> RunOutcome {
 
 fn run_inner(s: &Schedule, trace: bool) -> RunOutcome {
     let nodes = s.nodes.max(2);
-    let sp = sp_adapter::SpConfig::thin(nodes);
+    // Multi-frame schedules spread the nodes over `frames` frames (rounded
+    // up to keep frames equal-sized) and run under the schedule's routing
+    // policy; `frames 1` is the classic single-frame machine where the
+    // policy has nothing to choose between.
+    let frames = s.frames.max(1);
+    let (nodes, sp) = if frames > 1 {
+        let per = nodes.div_ceil(frames);
+        (
+            frames * per,
+            sp_adapter::SpConfig::multi_frame(frames, per).routed(s.route_policy),
+        )
+    } else {
+        (nodes, sp_adapter::SpConfig::thin(nodes))
+    };
     let cost = sp.cost.clone();
     let am_cfg = AmConfig {
         keepalive_polls: if s.keepalive_polls == 0 {
@@ -210,7 +223,37 @@ fn install_faults(m: &mut AmMachine, s: &Schedule, nodes: usize) {
             _ => {}
         }
     }
-    m.configure_world(move |w| w.switch.set_fault_injector(inj));
+    // Cable kills become per-link injectors that drop every packet routed
+    // onto the severed lane, for the whole run. Out-of-range pairs (and any
+    // kill on a single-frame machine, which has no cables) are ignored.
+    let kills: Vec<(usize, usize, usize)> = s
+        .events
+        .iter()
+        .filter_map(|ev| match *ev {
+            FaultEvent::CableKill { from, to, lane } => Some((from, to, lane)),
+            _ => None,
+        })
+        .collect();
+    m.configure_world(move |w| {
+        w.switch.set_fault_injector(inj);
+        for &(from, to, lane) in &kills {
+            let Topology::MultiFrame {
+                frames,
+                cables_per_pair,
+                ..
+            } = *w.switch.topology()
+            else {
+                continue;
+            };
+            if from == to || from >= frames || to >= frames || lane >= cables_per_pair {
+                continue;
+            }
+            let link = w.switch.topology().cable(from, to, lane);
+            let mut dead = FaultInjector::none();
+            dead.drop_every_nth = Some(1);
+            w.switch.set_link_fault_injector(link, dead);
+        }
+    });
     for ev in &s.events {
         match *ev {
             FaultEvent::FifoShrink {

@@ -20,8 +20,21 @@
 //! pause node 1 at 200000 dur 1000000
 //! ```
 //!
+//! Multi-frame machines add two more header directives and one event:
+//!
+//! ```text
+//! frames 2
+//! route_policy adaptive
+//! cable_kill from 0 to 1 lane 2
+//! ```
+//!
+//! Both headers serialize only when they differ from the single-frame
+//! round-robin default, so every pre-topology schedule file (and every
+//! pinned reproducer report) keeps its exact bytes.
+//!
 //! Lines starting with `#` are comments. All times are virtual nanoseconds.
 
+use sp_switch::RoutePolicy;
 use std::fmt;
 
 /// The workload a schedule runs its faults under.
@@ -153,6 +166,19 @@ pub enum FaultEvent {
         /// Pause length (ns).
         dur_ns: u64,
     },
+    /// Permanently sever one cable lane of a frame pair: every packet
+    /// routed onto it is dropped, for the whole run. Directional (only the
+    /// `from -> to` cable dies); ignored on single-frame machines or when
+    /// the pair/lane is out of range. With four lanes per pair the
+    /// reliability layer must route retransmissions around the dead cable.
+    CableKill {
+        /// Source frame of the severed cable.
+        from: usize,
+        /// Destination frame of the severed cable.
+        to: usize,
+        /// Which of the parallel cable lanes dies.
+        lane: usize,
+    },
 }
 
 impl fmt::Display for FaultEvent {
@@ -214,7 +240,27 @@ impl fmt::Display for FaultEvent {
             } => {
                 write!(f, "pause node {node} at {at_ns} dur {dur_ns}")
             }
+            FaultEvent::CableKill { from, to, lane } => {
+                write!(f, "cable_kill from {from} to {to} lane {lane}")
+            }
         }
+    }
+}
+
+/// The name a routing policy carries in schedule files and reports.
+pub fn policy_name(p: RoutePolicy) -> &'static str {
+    match p {
+        RoutePolicy::RoundRobin => "round_robin",
+        RoutePolicy::Adaptive => "adaptive",
+    }
+}
+
+/// Inverse of [`policy_name`].
+pub fn parse_policy(s: &str) -> Option<RoutePolicy> {
+    match s {
+        "round_robin" => Some(RoutePolicy::RoundRobin),
+        "adaptive" => Some(RoutePolicy::Adaptive),
+        _ => None,
     }
 }
 
@@ -238,6 +284,13 @@ pub struct Schedule {
     /// Quiet-window length for the lossless-tail drain each node runs
     /// after its workload loop.
     pub tail_quiet_ns: u64,
+    /// Switch frames. `1` (the default) is the classic single-frame
+    /// machine; larger values spread `nodes` across
+    /// `Topology::multi_frame(frames, ceil(nodes / frames))`.
+    pub frames: usize,
+    /// Fabric routing policy. Only observable on multi-frame machines,
+    /// where the candidate routes ride distinct cables.
+    pub route_policy: RoutePolicy,
     /// The faults, applied in order.
     pub events: Vec<FaultEvent>,
 }
@@ -253,6 +306,8 @@ impl Schedule {
             keepalive_polls: 64,
             deadline_ns: 50_000_000,
             tail_quiet_ns: 2_000_000,
+            frames: 1,
+            route_policy: RoutePolicy::RoundRobin,
             events: Vec::new(),
         }
     }
@@ -268,6 +323,14 @@ impl Schedule {
         let _ = writeln!(s, "keepalive_polls {}", self.keepalive_polls);
         let _ = writeln!(s, "deadline_ns {}", self.deadline_ns);
         let _ = writeln!(s, "tail_quiet_ns {}", self.tail_quiet_ns);
+        // Topology headers only when non-default: single-frame schedule
+        // files written before multi-frame support keep their exact bytes.
+        if self.frames > 1 {
+            let _ = writeln!(s, "frames {}", self.frames);
+        }
+        if self.route_policy != RoutePolicy::RoundRobin {
+            let _ = writeln!(s, "route_policy {}", policy_name(self.route_policy));
+        }
         for ev in &self.events {
             let _ = writeln!(s, "{ev}");
         }
@@ -279,6 +342,7 @@ impl Schedule {
     pub fn parse(text: &str) -> Result<Schedule, String> {
         let mut sched: Option<Schedule> = None;
         let mut header: Vec<(String, u64)> = Vec::new();
+        let mut policy: Option<RoutePolicy> = None;
         let mut events = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -293,9 +357,14 @@ impl Schedule {
                     let w = Workload::parse(name).ok_or_else(|| err("unknown workload"))?;
                     sched = Some(Schedule::new(w));
                 }
-                "nodes" | "seed" | "msgs" | "keepalive_polls" | "deadline_ns" | "tail_quiet_ns" => {
+                "nodes" | "seed" | "msgs" | "keepalive_polls" | "deadline_ns" | "tail_quiet_ns"
+                | "frames" => {
                     let v = parse_u64(tok.get(1).copied()).ok_or_else(|| err("bad value"))?;
                     header.push((tok[0].to_string(), v));
+                }
+                "route_policy" => {
+                    let name = tok.get(1).ok_or_else(|| err("missing route policy"))?;
+                    policy = Some(parse_policy(name).ok_or_else(|| err("unknown route policy"))?);
                 }
                 "drop" | "dup" | "delay" => {
                     events.push(parse_fault(&tok).ok_or_else(|| err("bad fault event"))?);
@@ -308,6 +377,15 @@ impl Schedule {
                         capacity: f[1] as usize,
                         from_ns: f[2],
                         until_ns: f[3],
+                    });
+                }
+                "cable_kill" => {
+                    let f = parse_fields(&tok[1..], &["from", "to", "lane"])
+                        .ok_or_else(|| err("bad cable_kill event"))?;
+                    events.push(FaultEvent::CableKill {
+                        from: f[0] as usize,
+                        to: f[1] as usize,
+                        lane: f[2] as usize,
                     });
                 }
                 "send_stall" | "recv_stall" | "pause" => {
@@ -344,8 +422,12 @@ impl Schedule {
                 "keepalive_polls" => sched.keepalive_polls = v as u32,
                 "deadline_ns" => sched.deadline_ns = v,
                 "tail_quiet_ns" => sched.tail_quiet_ns = v,
+                "frames" => sched.frames = (v as usize).max(1),
                 _ => unreachable!(),
             }
+        }
+        if let Some(p) = policy {
+            sched.route_policy = p;
         }
         sched.events = events;
         Ok(sched)
@@ -489,12 +571,45 @@ mod tests {
     }
 
     #[test]
+    fn topology_headers_and_cable_kills_round_trip() {
+        let mut s = sample();
+        s.frames = 2;
+        s.route_policy = RoutePolicy::Adaptive;
+        s.events.push(FaultEvent::CableKill {
+            from: 0,
+            to: 1,
+            lane: 2,
+        });
+        let text = s.format();
+        assert!(text.contains("frames 2\n"));
+        assert!(text.contains("route_policy adaptive\n"));
+        assert!(text.contains("cable_kill from 0 to 1 lane 2\n"));
+        let back = Schedule::parse(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.format(), text);
+    }
+
+    #[test]
+    fn default_topology_serializes_to_the_pre_topology_bytes() {
+        // Single-frame round-robin schedules must not mention the topology
+        // at all: exactly the 7 historical header lines plus the events.
+        let s = sample();
+        let text = s.format();
+        assert!(!text.contains("frames"));
+        assert!(!text.contains("route_policy"));
+        let headers = text.lines().take_while(|l| !l.starts_with("drop")).count();
+        assert_eq!(headers, 7);
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(Schedule::parse("").is_err());
         assert!(Schedule::parse("workload nope").is_err());
         assert!(Schedule::parse("workload pingpong\nfrobnicate 3").is_err());
         assert!(Schedule::parse("workload pingpong\ndrop p 1.5 from 0 until 9").is_err());
         assert!(Schedule::parse("workload pingpong\ndrop index").is_err());
+        assert!(Schedule::parse("workload pingpong\nroute_policy hottest").is_err());
+        assert!(Schedule::parse("workload pingpong\ncable_kill from 0 to 1").is_err());
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! identical violation byte-for-byte; random campaigns stay green; and the
 //! shipped schedules behave as pinned.
 
-use sp_chaos::{judge, package_failure, replay, run_campaign, FaultEvent, Schedule, Workload};
+use sp_chaos::{
+    judge, package_failure, replay, run_campaign, FaultEvent, RoutePolicy, Schedule, Workload,
+};
 
 /// Keep-alive disabled plus a drop of the final reply packet (index
 /// `2*msgs - 1` of the strictly alternating pingpong stream): the one loss
@@ -89,6 +91,102 @@ fn fabric_duplicates_surface_in_outcome_counters() {
     assert_eq!(j.outcome.switch.duplicated, 2);
     let dup_dropped: u64 = j.outcome.nodes.iter().map(|n| n.stats.dup_dropped).sum();
     assert_eq!(dup_dropped, 2, "each fabric dup must hit a DupDrop re-ACK");
+}
+
+#[test]
+fn multi_frame_adaptive_campaign_survives_drop_and_delay_windows() {
+    // Every workload on a two-frame machine under adaptive routing, with
+    // probabilistic loss and reordering over the first 3 ms: exactly-once
+    // and quiescence must hold exactly as on the single-frame machine.
+    for w in Workload::ALL {
+        let mut s = Schedule::new(w);
+        s.frames = 2;
+        s.route_policy = RoutePolicy::Adaptive;
+        s.events = vec![
+            FaultEvent::DropWindow {
+                p: 0.15,
+                from_ns: 0,
+                until_ns: 3_000_000,
+            },
+            FaultEvent::DelayWindow {
+                p: 0.15,
+                from_ns: 0,
+                until_ns: 3_000_000,
+            },
+        ];
+        let j = judge(&s);
+        assert!(
+            j.violations.is_empty(),
+            "{} under adaptive multi-frame faults: {:?}",
+            w.name(),
+            j.violations
+        );
+        assert!(
+            j.report.contains("topology frames 2 route_policy adaptive"),
+            "report must name the topology:\n{}",
+            j.report
+        );
+    }
+}
+
+#[test]
+fn killing_one_cable_of_a_frame_pair_still_quiesces() {
+    // Sever one of the four cable lanes between the frames, permanently.
+    // Retransmissions rotate (round-robin) or steer (adaptive) onto the
+    // three live lanes, so the run must still reach full quiescence.
+    for policy in [RoutePolicy::RoundRobin, RoutePolicy::Adaptive] {
+        let mut s = Schedule::new(Workload::PingPong);
+        s.frames = 2; // two nodes, one per frame: all traffic is cross-frame
+        s.route_policy = policy;
+        s.events = vec![FaultEvent::CableKill {
+            from: 0,
+            to: 1,
+            lane: 0,
+        }];
+        let j = judge(&s);
+        assert!(
+            j.violations.is_empty(),
+            "{policy:?} with a dead cable: {:?}",
+            j.violations
+        );
+        assert!(
+            j.outcome.switch.dropped > 0,
+            "{policy:?}: the severed lane never saw a packet"
+        );
+    }
+}
+
+#[test]
+fn topology_aware_failing_schedule_shrinks_to_one_event() {
+    // Same kill shot as the single-frame demo (keep-alive off plus a drop
+    // of the final reply), but on a three-frame adaptive machine, padded
+    // with two topology-aware decoys: a cable kill on a frame pair that
+    // carries no traffic, and a recoverable delay. The shrinker must strip
+    // both and the reproducer must replay byte-for-byte, topology included.
+    let mut s = Schedule::new(Workload::PingPong);
+    s.frames = 3; // node 2 is idle, so the 0<->2 cables carry nothing
+    s.route_policy = RoutePolicy::Adaptive;
+    s.msgs = 4;
+    s.keepalive_polls = 0;
+    s.events = vec![
+        FaultEvent::CableKill {
+            from: 0,
+            to: 2,
+            lane: 1,
+        },
+        FaultEvent::DropIndex(7),
+        FaultEvent::DelayIndex(1),
+    ];
+    let f = package_failure(s);
+    assert_eq!(
+        f.shrunk.events,
+        vec![FaultEvent::DropIndex(7)],
+        "decoy cable kill and delay must shrink away"
+    );
+    assert!(f.repro.contains("frames 3\n"));
+    assert!(f.repro.contains("route_policy adaptive\n"));
+    let rep = replay(&f.repro).expect("reproducer must parse");
+    assert_eq!(rep.matches(), Some(true), "replay drifted:\n{}", rep.report);
 }
 
 #[test]

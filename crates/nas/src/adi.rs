@@ -8,7 +8,7 @@
 //! which is why the paper's Table 6 shows SP more sensitive to per-message
 //! overhead than BT.
 
-use crate::common::{charge_flops, field_init, grid2, pack, unpack, NasResult};
+use crate::common::{charge_flops, field_init, grid2, pack, unpack, NasClass, NasResult};
 use sp_mpi::Mpi;
 
 struct AdiParams {
@@ -25,13 +25,18 @@ struct AdiParams {
 }
 
 /// BT: block faces, fewer iterations, heavy per-cell work.
-pub fn run_bt(mpi: &mut dyn Mpi) -> NasResult {
+pub fn run_bt(mpi: &mut dyn Mpi, class: NasClass) -> NasResult {
+    let (n, iters) = match class {
+        NasClass::Reduced => (12, 8),
+        NasClass::S => (12, 24),
+        NasClass::W => (18, 48),
+    };
     run_adi(
         mpi,
         &AdiParams {
-            n: 12,
+            n,
             face_vars: 5,
-            iters: 8,
+            iters,
             flops_per_cell: 100,
             seed: 11,
         },
@@ -39,13 +44,18 @@ pub fn run_bt(mpi: &mut dyn Mpi) -> NasResult {
 }
 
 /// SP: scalar faces, more iterations, lighter per-cell work.
-pub fn run_sp(mpi: &mut dyn Mpi) -> NasResult {
+pub fn run_sp(mpi: &mut dyn Mpi, class: NasClass) -> NasResult {
+    let (n, iters) = match class {
+        NasClass::Reduced => (12, 22),
+        NasClass::S => (12, 66),
+        NasClass::W => (18, 120),
+    };
     run_adi(
         mpi,
         &AdiParams {
-            n: 12,
+            n,
             face_vars: 1,
-            iters: 22,
+            iters,
             flops_per_cell: 40,
             seed: 13,
         },

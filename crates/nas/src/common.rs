@@ -36,6 +36,42 @@ impl Kernel {
     }
 }
 
+/// Problem class: per-rank grid sizes and iteration counts.
+///
+/// `Reduced` is the scaled-down simulation class every test runs by
+/// default (small enough that the whole Table 6 sweep fits in a smoke
+/// run). `S` keeps the reduced grids but runs NPB-representative
+/// iteration counts; `W` also grows the per-rank grids (and, for FT and
+/// MG, the global transform/V-cycle depth) toward the NPB 2.0 Class W
+/// communication scale. EXPERIMENTS.md records the exact per-class
+/// parameters next to the measured virtual times and engine rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NasClass {
+    /// Scaled-down simulation class (the test-time default).
+    #[default]
+    Reduced,
+    /// Class-S-sized: reduced grids, NPB-representative iteration counts.
+    S,
+    /// Class-W-sized: larger grids and deeper transforms.
+    W,
+}
+
+impl NasClass {
+    /// Class name as printed in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NasClass::Reduced => "reduced",
+            NasClass::S => "S",
+            NasClass::W => "W",
+        }
+    }
+
+    /// All classes, smallest first.
+    pub fn all() -> [NasClass; 3] {
+        [NasClass::Reduced, NasClass::S, NasClass::W]
+    }
+}
+
 /// One kernel run's outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NasResult {

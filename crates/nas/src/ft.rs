@@ -2,13 +2,8 @@
 //! performance the paper traces to the quality of the all-to-all schedule
 //! (generic MPICH on MPI-AM vs. tuned on MPI-F, §4.4).
 
-use crate::common::{charge_flops, field_init, NasResult};
+use crate::common::{charge_flops, field_init, NasClass, NasResult};
 use sp_mpi::Mpi;
-
-const NX: usize = 64;
-const NY: usize = 64;
-const NZ: usize = 32;
-const ITERS: usize = 3;
 
 /// In-place radix-2 complex FFT over `(re, im)` pairs.
 fn fft(re: &mut [f64], im: &mut [f64]) {
@@ -60,16 +55,24 @@ fn fft_flops(n: usize) -> u64 {
 }
 
 /// Run FT on this rank.
-pub fn run(mpi: &mut dyn Mpi) -> NasResult {
+pub fn run(mpi: &mut dyn Mpi, class: NasClass) -> NasResult {
+    // Transform dimensions (all powers of two) and evolution steps. The
+    // reduced grid is the test default; S is the true NPB Class S 64^3
+    // grid, W the true Class W 128x128x32.
+    let (nx, ny, nz, iters) = match class {
+        NasClass::Reduced => (64, 64, 32, 3),
+        NasClass::S => (64, 64, 64, 6),
+        NasClass::W => (128, 128, 32, 6),
+    };
     let p = mpi.size();
     let me = mpi.rank();
-    assert_eq!(NZ % p, 0, "NZ must divide over ranks");
-    assert_eq!(NY % p, 0, "NY must divide over ranks");
-    let local_nz = NZ / p; // z-planes held before the transpose
-    let local_ny = NY / p; // y-pencils held after the transpose
+    assert_eq!(nz % p, 0, "NZ must divide over ranks");
+    assert_eq!(ny % p, 0, "NY must divide over ranks");
+    let local_nz = nz / p; // z-planes held before the transpose
+    let local_ny = ny / p; // y-pencils held after the transpose
 
     // Layout A: u[z][y][x] for my z-planes.
-    let cells = NX * NY * local_nz;
+    let cells = nx * ny * local_nz;
     let mut ure: Vec<f64> = (0..cells).map(|i| field_init(29, me * cells + i)).collect();
     let mut uim: Vec<f64> = (0..cells).map(|i| field_init(31, me * cells + i)).collect();
 
@@ -77,39 +80,39 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
     let t0 = mpi.now();
     let mut checksum = 0.0f64;
 
-    for _it in 0..ITERS {
+    for _it in 0..iters {
         // FFT along x for every (z, y) line, then along y via strided
         // gather (local work).
         for z in 0..local_nz {
-            for y in 0..NY {
-                let base = (z * NY + y) * NX;
-                fft(&mut ure[base..base + NX], &mut uim[base..base + NX]);
+            for y in 0..ny {
+                let base = (z * ny + y) * nx;
+                fft(&mut ure[base..base + nx], &mut uim[base..base + nx]);
             }
         }
-        charge_flops(mpi, (local_nz * NY) as u64 * fft_flops(NX));
+        charge_flops(mpi, (local_nz * ny) as u64 * fft_flops(nx));
         for z in 0..local_nz {
-            for x in 0..NX {
-                let mut lre: Vec<f64> = (0..NY).map(|y| ure[(z * NY + y) * NX + x]).collect();
-                let mut lim: Vec<f64> = (0..NY).map(|y| uim[(z * NY + y) * NX + x]).collect();
+            for x in 0..nx {
+                let mut lre: Vec<f64> = (0..ny).map(|y| ure[(z * ny + y) * nx + x]).collect();
+                let mut lim: Vec<f64> = (0..ny).map(|y| uim[(z * ny + y) * nx + x]).collect();
                 fft(&mut lre, &mut lim);
-                for y in 0..NY {
-                    ure[(z * NY + y) * NX + x] = lre[y];
-                    uim[(z * NY + y) * NX + x] = lim[y];
+                for y in 0..ny {
+                    ure[(z * ny + y) * nx + x] = lre[y];
+                    uim[(z * ny + y) * nx + x] = lim[y];
                 }
             }
         }
-        charge_flops(mpi, (local_nz * NX) as u64 * fft_flops(NY));
+        charge_flops(mpi, (local_nz * nx) as u64 * fft_flops(ny));
 
         // Transpose z<->y via all-to-all: destination d gets my z-planes of
         // its y-slab (y in [d*local_ny, (d+1)*local_ny)).
         let bufs: Vec<Vec<u8>> = (0..p)
             .map(|d| {
-                let mut b = Vec::with_capacity(local_nz * local_ny * NX * 16);
+                let mut b = Vec::with_capacity(local_nz * local_ny * nx * 16);
                 for z in 0..local_nz {
                     for y in d * local_ny..(d + 1) * local_ny {
-                        for x in 0..NX {
-                            b.extend_from_slice(&ure[(z * NY + y) * NX + x].to_le_bytes());
-                            b.extend_from_slice(&uim[(z * NY + y) * NX + x].to_le_bytes());
+                        for x in 0..nx {
+                            b.extend_from_slice(&ure[(z * ny + y) * nx + x].to_le_bytes());
+                            b.extend_from_slice(&uim[(z * ny + y) * nx + x].to_le_bytes());
                         }
                     }
                 }
@@ -118,21 +121,21 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
             .collect();
         let got = mpi.alltoall(&bufs);
         // Layout B: v[y][z][x] for my y-slab, z now full depth.
-        let mut vre = vec![0.0f64; local_ny * NZ * NX];
-        let mut vim = vec![0.0f64; local_ny * NZ * NX];
+        let mut vre = vec![0.0f64; local_ny * nz * nx];
+        let mut vim = vec![0.0f64; local_ny * nz * nx];
         for (src, block) in got.iter().enumerate() {
             // Block holds src's local_nz z-planes of my y-slab.
             let mut off = 0usize;
             for zz in 0..local_nz {
                 let z = src * local_nz + zz;
                 for yy in 0..local_ny {
-                    for x in 0..NX {
+                    for x in 0..nx {
                         let re = f64::from_le_bytes(block[off..off + 8].try_into().expect("8"));
                         let im =
                             f64::from_le_bytes(block[off + 8..off + 16].try_into().expect("8"));
                         off += 16;
-                        vre[(yy * NZ + z) * NX + x] = re;
-                        vim[(yy * NZ + z) * NX + x] = im;
+                        vre[(yy * nz + z) * nx + x] = re;
+                        vim[(yy * nz + z) * nx + x] = im;
                     }
                 }
             }
@@ -140,29 +143,29 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
 
         // FFT along z, evolve (phase damp), accumulate the checksum.
         for yy in 0..local_ny {
-            for x in 0..NX {
-                let mut lre: Vec<f64> = (0..NZ).map(|z| vre[(yy * NZ + z) * NX + x]).collect();
-                let mut lim: Vec<f64> = (0..NZ).map(|z| vim[(yy * NZ + z) * NX + x]).collect();
+            for x in 0..nx {
+                let mut lre: Vec<f64> = (0..nz).map(|z| vre[(yy * nz + z) * nx + x]).collect();
+                let mut lim: Vec<f64> = (0..nz).map(|z| vim[(yy * nz + z) * nx + x]).collect();
                 fft(&mut lre, &mut lim);
-                for z in 0..NZ {
-                    vre[(yy * NZ + z) * NX + x] = lre[z] * 0.9;
-                    vim[(yy * NZ + z) * NX + x] = lim[z] * 0.9;
+                for z in 0..nz {
+                    vre[(yy * nz + z) * nx + x] = lre[z] * 0.9;
+                    vim[(yy * nz + z) * nx + x] = lim[z] * 0.9;
                 }
             }
         }
-        charge_flops(mpi, (local_ny * NX) as u64 * fft_flops(NZ));
+        charge_flops(mpi, (local_ny * nx) as u64 * fft_flops(nz));
         checksum += vre.iter().step_by(97).map(|v| v.abs()).sum::<f64>()
             + vim.iter().step_by(89).map(|v| v.abs()).sum::<f64>();
 
         // Transpose back so the next iteration starts from layout A.
         let back: Vec<Vec<u8>> = (0..p)
             .map(|d| {
-                let mut b = Vec::with_capacity(local_ny * local_nz * NX * 16);
+                let mut b = Vec::with_capacity(local_ny * local_nz * nx * 16);
                 for yy in 0..local_ny {
                     for z in d * local_nz..(d + 1) * local_nz {
-                        for x in 0..NX {
-                            b.extend_from_slice(&vre[(yy * NZ + z) * NX + x].to_le_bytes());
-                            b.extend_from_slice(&vim[(yy * NZ + z) * NX + x].to_le_bytes());
+                        for x in 0..nx {
+                            b.extend_from_slice(&vre[(yy * nz + z) * nx + x].to_le_bytes());
+                            b.extend_from_slice(&vim[(yy * nz + z) * nx + x].to_le_bytes());
                         }
                     }
                 }
@@ -175,13 +178,13 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
             for yy in 0..local_ny {
                 let y = src * local_ny + yy;
                 for zz in 0..local_nz {
-                    for x in 0..NX {
+                    for x in 0..nx {
                         let re = f64::from_le_bytes(block[off..off + 8].try_into().expect("8"));
                         let im =
                             f64::from_le_bytes(block[off + 8..off + 16].try_into().expect("8"));
                         off += 16;
-                        ure[(zz * NY + y) * NX + x] = re;
-                        uim[(zz * NY + y) * NX + x] = im;
+                        ure[(zz * ny + y) * nx + x] = re;
+                        uim[(zz * ny + y) * nx + x] = im;
                     }
                 }
             }

@@ -22,6 +22,9 @@
 //!
 //! Run a kernel with [`run_kernel`]; each returns a [`NasResult`] with the
 //! timed section's virtual duration and a deterministic residual checksum.
+//! [`run_kernel_class`] scales the grids and iteration counts up through
+//! [`NasClass::S`] and [`NasClass::W`]; the reduced class stays the
+//! test-time default.
 
 #![warn(missing_docs)]
 
@@ -31,20 +34,32 @@ mod ft;
 mod lu;
 mod mg;
 
-pub use common::{Kernel, NasResult};
+pub use common::{Kernel, NasClass, NasResult};
 
 use sp_adapter::SpConfig;
 use sp_mpi::runner::{run_mpi, MpiImpl};
 
-/// Run `kernel` on `ranks` ranks of `imp`; returns the slowest rank's
-/// timed duration and the global residual checksum.
+/// Run `kernel` at the reduced (test-time default) class. See
+/// [`run_kernel_class`] for the scaled-up S/W-sized grids.
 pub fn run_kernel(kernel: Kernel, imp: MpiImpl, ranks: usize, seed: u64) -> NasResult {
+    run_kernel_class(kernel, imp, ranks, seed, NasClass::Reduced)
+}
+
+/// Run `kernel` on `ranks` ranks of `imp` at problem `class`; returns the
+/// slowest rank's timed duration and the global residual checksum.
+pub fn run_kernel_class(
+    kernel: Kernel,
+    imp: MpiImpl,
+    ranks: usize,
+    seed: u64,
+    class: NasClass,
+) -> NasResult {
     let results = run_mpi(imp, SpConfig::thin(ranks), seed, move |mpi| match kernel {
-        Kernel::Bt => adi::run_bt(mpi),
-        Kernel::Sp => adi::run_sp(mpi),
-        Kernel::Lu => lu::run(mpi),
-        Kernel::Mg => mg::run(mpi),
-        Kernel::Ft => ft::run(mpi),
+        Kernel::Bt => adi::run_bt(mpi, class),
+        Kernel::Sp => adi::run_sp(mpi, class),
+        Kernel::Lu => lu::run(mpi, class),
+        Kernel::Mg => mg::run(mpi, class),
+        Kernel::Ft => ft::run(mpi, class),
     });
     let time = results.iter().map(|r| r.time).max().expect("ranks > 0");
     let checksum = results[0].checksum;

@@ -5,12 +5,9 @@
 //! every level — message sizes shrink 4× per level, so MG mixes medium and
 //! tiny messages.
 
-use crate::common::{charge_flops, field_init, pack, unpack, NasResult};
+use crate::common::{charge_flops, field_init, pack, unpack, NasClass, NasResult};
 use sp_mpi::Mpi;
 
-const N0: usize = 16; // finest local grid per dimension
-const LEVELS: usize = 4; // 16, 8, 4, 2
-const ITERS: usize = 4;
 const FLOPS_PER_POINT: u64 = 7; // relax + residual + transfer operators
 
 const TAG_DIM: [i32; 3] = [300, 301, 302];
@@ -40,7 +37,13 @@ fn grid3(p: usize) -> (usize, usize, usize) {
 }
 
 /// Run MG on this rank.
-pub fn run(mpi: &mut dyn Mpi) -> NasResult {
+pub fn run(mpi: &mut dyn Mpi, class: NasClass) -> NasResult {
+    // (finest local grid per dimension, grid levels, V-cycles)
+    let (n0, num_levels, iters) = match class {
+        NasClass::Reduced => (16, 4, 4), // 16, 8, 4, 2
+        NasClass::S => (16, 4, 12),
+        NasClass::W => (32, 5, 16), // 32, 16, 8, 4, 2
+    };
     let size = mpi.size();
     let me = mpi.rank();
     let (px, py, pz) = grid3(size);
@@ -49,13 +52,13 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
     let rank_of = |x: usize, y: usize, z: usize| (z * py + y) * px + x;
 
     // One field per level.
-    let mut levels: Vec<Vec<f64>> = (0..LEVELS)
+    let mut levels: Vec<Vec<f64>> = (0..num_levels)
         .map(|l| {
-            let n = N0 >> l;
+            let n = n0 >> l;
             (0..n * n * n)
                 .map(|i| {
                     if l == 0 {
-                        field_init(23, me * N0 * N0 * N0 + i)
+                        field_init(23, me * n0 * n0 * n0 + i)
                     } else {
                         0.0
                     }
@@ -67,13 +70,13 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
     mpi.barrier();
     let t0 = mpi.now();
 
-    for _it in 0..ITERS {
+    for _it in 0..iters {
         // Down-cycle: relax + restrict.
-        for l in 0..LEVELS {
-            let n = N0 >> l;
+        for l in 0..num_levels {
+            let n = n0 >> l;
             halo_relax(mpi, &mut levels[l], n, (mx, my, mz), (px, py, pz), &rank_of);
             charge_flops(mpi, (n * n * n) as u64 * FLOPS_PER_POINT);
-            if l + 1 < LEVELS {
+            if l + 1 < num_levels {
                 let (fine, coarse) = {
                     let (a, b) = levels.split_at_mut(l + 1);
                     (&a[l], &mut b[0])
@@ -82,8 +85,8 @@ pub fn run(mpi: &mut dyn Mpi) -> NasResult {
             }
         }
         // Up-cycle: interpolate + relax.
-        for l in (0..LEVELS - 1).rev() {
-            let n = N0 >> l;
+        for l in (0..num_levels - 1).rev() {
+            let n = n0 >> l;
             let (fine, coarse) = {
                 let (a, b) = levels.split_at_mut(l + 1);
                 (&mut a[l], &b[0])

@@ -33,6 +33,24 @@ pub mod gstats {
     }
 }
 
+/// How the fabric picks among the `routes_per_pair` candidate routes for
+/// each packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// The TB2 firmware's behaviour (paper §1.2): cycle through the routes
+    /// `0, 1, ..., routes_per_pair - 1` per (src, dst) pair, blind to link
+    /// occupancy. Every golden pin is measured under this policy.
+    #[default]
+    RoundRobin,
+    /// Occupancy-aware: pick the candidate route whose first contended link
+    /// (the first link along the path still busy at the decision instant)
+    /// frees earliest. Ties break in round-robin order starting from the
+    /// pair's counter, so zero contention degrades to exactly the
+    /// round-robin sequence — the paper-faithful behaviour is the
+    /// degenerate case.
+    Adaptive,
+}
+
 /// Switch fabric parameters (paper §1.2).
 #[derive(Debug, Clone)]
 pub struct SwitchConfig {
@@ -54,6 +72,8 @@ pub struct SwitchConfig {
     /// How far behind the original the second copy of a packet classified
     /// [`FaultKind::Duplicate`] arrives, as a multiple of `hop_latency`.
     pub dup_fault_hops: u64,
+    /// Route selection among the candidate routes (see [`RoutePolicy`]).
+    pub route_policy: RoutePolicy,
 }
 
 impl Default for SwitchConfig {
@@ -65,6 +85,7 @@ impl Default for SwitchConfig {
             routes_per_pair: 4,
             delay_fault_hops: 200,
             dup_fault_hops: 50,
+            route_policy: RoutePolicy::RoundRobin,
         }
     }
 }
@@ -251,6 +272,70 @@ impl Switch {
         }
     }
 
+    /// The adaptive policy's metric for one candidate route: the `free`
+    /// time of the first link along `(src, dst, route)`'s path that is
+    /// still busy at `ready`, or [`Time::ZERO`] when every link is idle.
+    /// Lower is better; equal keys are indistinguishable to the policy.
+    /// Public so the routing-invariant property tests can check the
+    /// policy's choice against every candidate at decision time.
+    pub fn contention_key(&self, src: usize, dst: usize, route: usize, ready: Time) -> Time {
+        let path = self.topo.path(src, dst, route);
+        for &link in path.links() {
+            let free = self.links[link as usize].free;
+            if free > ready {
+                return free;
+            }
+        }
+        Time::ZERO
+    }
+
+    /// Pick the route for one packet and advance the pair's round-robin
+    /// counter past the choice. `RoundRobin` consumes the counter as-is
+    /// (the historical behaviour, byte-identical to the pre-policy code);
+    /// `Adaptive` scans the candidates in round-robin order starting at
+    /// the counter and keeps only strict improvements of the contention
+    /// key, so ties — including the zero-contention case — reproduce the
+    /// round-robin sequence exactly. Loopback never enters the fabric and
+    /// always takes the plain counter under either policy.
+    fn select_route(&mut self, src: usize, dst: usize, ready: Time) -> usize {
+        let n = self.topo.nodes();
+        let rpp = self.cfg.routes_per_pair;
+        let rr = self.route_rr[src * n + dst];
+        let route = if src == dst || self.cfg.route_policy == RoutePolicy::RoundRobin {
+            rr
+        } else {
+            let mut best = rr;
+            let mut best_key = self.contention_key(src, dst, best, ready);
+            for k in 1..rpp {
+                let cand = (rr + k) % rpp;
+                let key = self.contention_key(src, dst, cand, ready);
+                if key < best_key {
+                    best = cand;
+                    best_key = key;
+                }
+            }
+            if best != rr {
+                if let Some(t) = &self.tracer {
+                    // A strict improvement implies the candidate paths
+                    // differ, i.e. a cross-frame pair, so links()[1] is the
+                    // chosen cable: its track names the lane dodged onto,
+                    // and the arg carries the occupancy delta dodged (ns).
+                    let dodged = self.contention_key(src, dst, rr, ready) - best_key;
+                    let cable = self.topo.path(src, dst, best).links()[1];
+                    t.instant(
+                        ready.as_ns(),
+                        self.track(cable),
+                        Kind::RouteAdaptive,
+                        dodged.as_ns(),
+                    );
+                }
+            }
+            best
+        };
+        self.route_rr[src * n + dst] = (route + 1) % rpp;
+        route
+    }
+
     fn classify_link(&mut self, link: LinkId, at: Time) -> FaultKind {
         match &mut self.link_faults[link as usize] {
             Some(inj) => inj.classify_at(at),
@@ -307,12 +392,7 @@ impl Switch {
         assert!(src < n && dst < n, "node out of range");
         let ser = self.serialization(wire_bytes);
 
-        let route = {
-            let rr = &mut self.route_rr[src * n + dst];
-            let r = *rr;
-            *rr = (*rr + 1) % self.cfg.routes_per_pair;
-            r
-        };
+        let route = self.select_route(src, dst, ready);
 
         if src == dst {
             let link = self.topo.inj_link(src);
@@ -929,6 +1009,105 @@ mod tests {
         assert_eq!(busy.len(), 3, "inj + cable + ej occupancy");
         let ser = s.serialization(256).as_ns();
         assert!(busy.iter().all(|r| r.dur == ser));
+    }
+
+    fn adaptive(frames: usize, per: usize) -> Switch {
+        Switch::with_topology(
+            Topology::multi_frame(frames, per),
+            SwitchConfig {
+                route_policy: RoutePolicy::Adaptive,
+                ..SwitchConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn adaptive_dodges_a_busy_cable() {
+        // Node 0 -> 2 occupies cable lane 0; node 1 -> 3 decides while that
+        // lane is still busy and must steer onto an idle lane — the next one
+        // in round-robin order.
+        let mut s = adaptive(2, 2);
+        let _ = delivered(s.transit(0, 2, 256, Time::ZERO));
+        match s.transit(1, 3, 256, Time::ZERO) {
+            Transit::Delivered { route, .. } => assert_eq!(route, 1),
+            t => panic!("unexpected {t:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_without_contention_is_round_robin() {
+        // Idle fabric at every decision instant: the adaptive policy must
+        // reproduce the paper's round-robin sequence exactly.
+        let mut s = adaptive(2, 1);
+        for i in 0..12 {
+            let ready = Time(i as u64 * 1_000_000); // 1 ms apart: all idle
+            match s.transit(0, 1, 64, ready) {
+                Transit::Delivered { route, .. } => assert_eq!(route, i % 4),
+                t => panic!("unexpected {t:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_same_frame_pairs_keep_the_rr_sequence() {
+        // Same-frame candidate paths are identical, so the contention keys
+        // always tie and the tie-break preserves round-robin even under load.
+        let mut s = adaptive(2, 2);
+        for i in 0..8 {
+            match s.transit(2, 3, 256, Time::ZERO) {
+                Transit::Delivered { route, .. } => assert_eq!(route, i % 4),
+                t => panic!("unexpected {t:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_pick_traces_the_dodged_occupancy() {
+        use sp_trace::{Kind, Tracer};
+        let tracer = Tracer::new(2, 256);
+        let mut s = adaptive(2, 2);
+        s.set_tracer(tracer.clone());
+        let key0 = {
+            let _ = delivered(s.transit(0, 2, 256, Time::ZERO));
+            s.contention_key(1, 3, 0, Time::ZERO)
+        };
+        let _ = delivered(s.transit(1, 3, 256, Time::ZERO));
+        let recs = tracer.snapshot();
+        let pick = recs
+            .iter()
+            .find(|r| r.kind == Kind::RouteAdaptive)
+            .expect("adaptive pick recorded");
+        assert_eq!(
+            pick.track,
+            s.track(s.topology().cable(0, 1, 1)),
+            "recorded on the chosen cable's track"
+        );
+        assert_eq!(pick.arg, key0.as_ns(), "arg is the occupancy dodged");
+    }
+
+    #[test]
+    fn adaptive_relieves_a_hot_cable_pair() {
+        // Many senders hammer one frame pair on a single decision instant;
+        // under round-robin consecutive senders pile onto the same lane
+        // sequence, while adaptive spreads onto whichever lane frees first.
+        // Adaptive must never finish later.
+        let finish = |policy: RoutePolicy| {
+            let mut s = Switch::with_topology(
+                Topology::multi_frame(2, 4),
+                SwitchConfig {
+                    route_policy: policy,
+                    ..SwitchConfig::default()
+                },
+            );
+            let mut last = Time::ZERO;
+            for i in 0..32 {
+                let src = i % 4;
+                let dst = 4 + (i + 1) % 4;
+                last = last.max(delivered(s.transit(src, dst, 256, Time::ZERO)));
+            }
+            last
+        };
+        assert!(finish(RoutePolicy::Adaptive) <= finish(RoutePolicy::RoundRobin));
     }
 
     #[test]

@@ -3,7 +3,16 @@
 
 use proptest::prelude::*;
 use sp_sim::Time;
-use sp_switch::{FaultInjector, Switch, SwitchConfig, Topology, Transit};
+use sp_switch::{FaultInjector, RoutePolicy, Switch, SwitchConfig, Topology, Transit};
+
+/// Decode a generated bit into a routing policy.
+fn make_policy(adaptive: bool) -> RoutePolicy {
+    if adaptive {
+        RoutePolicy::Adaptive
+    } else {
+        RoutePolicy::RoundRobin
+    }
+}
 
 /// Decode three generated integers into an arbitrary topology — a single
 /// frame or a multi-frame arrangement, both within frame-port limits,
@@ -110,13 +119,18 @@ proptest! {
         src in 0usize..64,
         offset in 0usize..64,
         bytes in 33usize..256,
+        adaptive in any::<bool>(),
     ) {
         let topo = make_topology(kind, ta, tb);
         let n = topo.nodes();
         let src = src % n;
         let dst = (src + 1 + offset % (n - 1)) % n; // any node but src
         let hops = topo.hops(src, dst) as u64;
-        let mut sw = Switch::with_topology(topo, SwitchConfig::default());
+        let cfg = SwitchConfig {
+            route_policy: make_policy(adaptive),
+            ..SwitchConfig::default()
+        };
+        let mut sw = Switch::with_topology(topo, cfg);
         let at = match sw.transit(src, dst, bytes, Time::ZERO) {
             Transit::Delivered { at, .. } => at,
             Transit::Dropped => unreachable!("no faults configured"),
@@ -147,6 +161,69 @@ proptest! {
                 let _ = sw.transit(1, 0, 64, Time::ZERO);
             }
             match sw.transit(0, 1, 64, Time::ZERO) {
+                Transit::Delivered { route, .. } => prop_assert_eq!(route, i % rpp),
+                Transit::Dropped => unreachable!("no faults configured"),
+            }
+        }
+    }
+
+    /// The adaptive policy never selects a candidate route whose
+    /// contention key (first-contended-link `free` time) is strictly worse
+    /// than another candidate's at decision time — i.e. the chosen route
+    /// always attains the minimum key over all candidates.
+    #[test]
+    fn adaptive_never_picks_a_strictly_busier_candidate(
+        ta in 0usize..64,
+        tb in 0usize..64,
+        packets in prop::collection::vec((0usize..64, 0usize..64, 33usize..256, 0u64..40_000), 1..150),
+    ) {
+        let topo = make_topology(1, ta, tb); // multi-frame only
+        let n = topo.nodes();
+        let cfg = SwitchConfig {
+            route_policy: RoutePolicy::Adaptive,
+            ..SwitchConfig::default()
+        };
+        let rpp = cfg.routes_per_pair;
+        let mut sw = Switch::with_topology(topo, cfg);
+        for (src, offset, bytes, ready_ns) in packets {
+            let src = src % n;
+            let dst = (src + 1 + offset % (n - 1)) % n;
+            let ready = Time(ready_ns);
+            let keys: Vec<Time> =
+                (0..rpp).map(|r| sw.contention_key(src, dst, r, ready)).collect();
+            match sw.transit(src, dst, bytes, ready) {
+                Transit::Delivered { route, .. } => {
+                    let min = *keys.iter().min().unwrap();
+                    prop_assert_eq!(
+                        keys[route], min,
+                        "picked route {} (key {:?}) over keys {:?}",
+                        route, keys[route], keys
+                    );
+                }
+                Transit::Dropped => unreachable!("no faults configured"),
+            }
+        }
+    }
+
+    /// With zero contention at every decision instant, `Adaptive` degrades
+    /// to exactly the round-robin sequence `0, 1, 2, 3, ...` per pair.
+    #[test]
+    fn adaptive_without_contention_is_exactly_round_robin(
+        kind in any::<u8>(),
+        ta in 0usize..64,
+        tb in 0usize..64,
+        count in 1usize..40,
+    ) {
+        let cfg = SwitchConfig {
+            route_policy: RoutePolicy::Adaptive,
+            ..SwitchConfig::default()
+        };
+        let rpp = cfg.routes_per_pair;
+        let mut sw = Switch::with_topology(make_topology(kind, ta, tb), cfg);
+        for i in 0..count {
+            // Decisions spaced 1 ms apart: every link is idle again.
+            let ready = Time(i as u64 * 1_000_000);
+            match sw.transit(0, 1, 64, ready) {
                 Transit::Delivered { route, .. } => prop_assert_eq!(route, i % rpp),
                 Transit::Dropped => unreachable!("no faults configured"),
             }

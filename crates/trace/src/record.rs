@@ -82,6 +82,11 @@ pub enum Kind {
     /// The fabric duplicated a packet (fault injection): a second copy will
     /// reach the destination later. `arg` is wire bytes.
     SwitchDup,
+    /// The adaptive route policy steered a packet off the round-robin
+    /// candidate, recorded on the chosen cable's track. `arg` is the
+    /// occupancy delta dodged: how much later (ns) the round-robin
+    /// candidate's first contended link would have freed.
+    RouteAdaptive,
 
     // --- active messages ---
     /// CPU cost of composing and enqueuing a request. `arg` is the
@@ -174,6 +179,7 @@ impl Kind {
             SwitchDrop => "switch-drop",
             SwitchDelayed => "switch-delayed",
             SwitchDup => "switch-dup",
+            RouteAdaptive => "route-adaptive",
             AmRequest => "am-request",
             AmReply => "am-reply",
             AmPoll => "am-poll",

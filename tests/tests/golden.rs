@@ -8,8 +8,8 @@
 //! To reprint the current values (e.g. after an *intentional* protocol
 //! change): `SP_GOLDEN_PRINT=1 cargo test -p sp-integration golden -- --nocapture`
 
-use sp_adapter::SpConfig;
-use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr};
+use sp_adapter::{RoutePolicy, SpConfig};
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, AmStats, GlobalPtr};
 use sp_switch::FaultInjector;
 
 #[derive(Default)]
@@ -107,6 +107,101 @@ fn golden_run() -> (u64, u64, u64) {
     (report.end_time.as_ns(), report.events, h.finish())
 }
 
+/// The multi-frame sibling of [`golden_run`]: the same fixed-seed lossy
+/// workload on a 2-frame machine under the *adaptive* routing policy, so
+/// the occupancy-aware route choice itself is pinned. The hash extends the
+/// single-frame one with each node's final [`AmStats`] — any change to how
+/// adaptive selection feeds back into protocol behaviour (retransmissions,
+/// NACKs, delivery counts) moves it.
+fn golden_run_multi_adaptive() -> (u64, u64, u64) {
+    let cfg = AmConfig {
+        keepalive_polls: 64,
+        ..AmConfig::default()
+    };
+    let sp = SpConfig::multi_frame(2, 2).routed(RoutePolicy::Adaptive);
+    let mut m = AmMachine::new(sp, cfg, SEED);
+    m.configure_world(|w| {
+        w.switch
+            .set_fault_injector(FaultInjector::bernoulli(LOSS, SEED))
+    });
+    for node in 0..NODES {
+        m.mem().alloc(node, STORE_LEN as u32);
+    }
+    let stats: std::sync::Arc<std::sync::Mutex<Vec<(usize, AmStats)>>> = Default::default();
+    for node in 0..NODES {
+        let stats = stats.clone();
+        m.spawn(
+            format!("n{node}"),
+            St::default(),
+            move |am: &mut Am<'_, St>| {
+                am.register(count);
+                am.register(store_done);
+                let right = (node + 1) % NODES; // 1->2 and 3->0 cross frames
+                am.barrier();
+                for i in 0..REQUESTS {
+                    am.request_1(right, 0, i);
+                    if i % 8 == 0 {
+                        am.poll();
+                    }
+                }
+                let data: Vec<u8> = (0..STORE_LEN).map(|i| (i as u8) ^ (node as u8)).collect();
+                am.store(
+                    GlobalPtr {
+                        node: right,
+                        addr: 0,
+                    },
+                    &data,
+                    Some(1),
+                    &[],
+                );
+                am.poll_until(|s| s.hits >= REQUESTS && s.stores >= 1);
+                am.quiesce();
+                am.drain(sp_sim::Dur::ms(5.0));
+                stats.lock().unwrap().push((node, am.stats().clone()));
+            },
+        );
+    }
+    let report = m.run().expect("multi-frame adaptive golden run completes");
+
+    let mut h = Fnv::new();
+    h.u64(report.end_time.as_ns());
+    h.u64(report.events);
+    for node in 0..NODES {
+        let a = report.world.adapter_stats(node);
+        h.u64(a.sent);
+        h.u64(a.received);
+        h.u64(a.dropped_overflow);
+        h.u64(a.doorbells);
+        h.u64(a.lazy_pops);
+        h.u64(a.recv_high_water as u64);
+        h.bytes(&report.mem.read_vec(GlobalPtr { node, addr: 0 }, STORE_LEN));
+    }
+    let s = report.world.switch.stats();
+    h.u64(s.delivered);
+    h.u64(s.dropped);
+    h.u64(s.delayed);
+    h.u64(s.wire_bytes);
+    h.u64(s.hops);
+    let mut stats = stats.lock().unwrap().clone();
+    stats.sort_by_key(|(node, _)| *node);
+    for (node, st) in &stats {
+        h.u64(*node as u64);
+        h.u64(st.requests_sent);
+        h.u64(st.replies_sent);
+        h.u64(st.packets_sent);
+        h.u64(st.packets_retransmitted);
+        h.u64(st.packets_received);
+        h.u64(st.shorts_delivered);
+        h.u64(st.data_packets_delivered);
+        h.u64(st.bulk_bytes_delivered);
+        h.u64(st.dup_dropped);
+        h.u64(st.ooo_dropped);
+        h.u64(st.nacks_sent);
+        h.u64(st.nacks_received);
+    }
+    (report.end_time.as_ns(), report.events, h.finish())
+}
+
 struct Fnv(u64);
 
 impl Fnv {
@@ -156,6 +251,34 @@ fn golden_lossy_run_is_pinned() {
     assert_eq!(end_ns, GOLDEN_END_NS, "virtual end time moved");
     assert_eq!(events, GOLDEN_EVENTS, "event count moved");
     assert_eq!(hash, GOLDEN_HASH, "world-trace hash moved");
+}
+
+/// Pins for the multi-frame adaptive sibling run (same reprint protocol:
+/// `SP_GOLDEN_PRINT=1`). These fence the first change where link-occupancy
+/// bookkeeping feeds back into routing decisions: any later tweak to the
+/// contention metric or tie-break moves these values, deliberately.
+const GOLDEN_MF_END_NS: u64 = 6_016_060;
+const GOLDEN_MF_EVENTS: u64 = 34_802;
+const GOLDEN_MF_HASH: u64 = 0xE2D8_FCBA_9C7E_FA87;
+
+#[test]
+fn golden_multi_frame_adaptive_run_is_pinned() {
+    let (end_ns, events, hash) = golden_run_multi_adaptive();
+    if std::env::var("SP_GOLDEN_PRINT").is_ok_and(|v| v == "1") {
+        println!("golden-mf-adaptive: end_ns={end_ns} events={events} hash={hash:#018X}");
+    }
+    assert_eq!(end_ns, GOLDEN_MF_END_NS, "virtual end time moved");
+    assert_eq!(events, GOLDEN_MF_EVENTS, "event count moved");
+    assert_eq!(hash, GOLDEN_MF_HASH, "world-trace + AmStats hash moved");
+}
+
+#[test]
+fn golden_multi_frame_adaptive_run_repeats_identically() {
+    assert_eq!(
+        golden_run_multi_adaptive(),
+        golden_run_multi_adaptive(),
+        "same seed must reproduce bit-identical runs"
+    );
 }
 
 #[test]
