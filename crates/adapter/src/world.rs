@@ -4,8 +4,8 @@
 use crate::config::AdapterConfig;
 use crate::unit::{Adapter, AdapterStats, WirePacket};
 use sp_machine::CostModel;
-use sp_sim::EventCtx;
-use sp_switch::{Switch, SwitchConfig, Topology, Transit};
+use sp_sim::{Dur, EventCtx, ShardMsg, Shardable, Time};
+use sp_switch::{RoutePolicy, Switch, SwitchConfig, Topology, Transit};
 use sp_trace::{Kind, Tracer, Track};
 
 /// Configuration of a whole simulated SP partition.
@@ -21,6 +21,10 @@ pub struct SpConfig {
     pub topology: Topology,
     /// Adapter firmware/DMA parameters.
     pub adapter: AdapterConfig,
+    /// Number of engine shards to run the simulation on (1 = the classic
+    /// serial engine; >= 2 selects [`sp_sim::Sim::run_parallel`], which
+    /// requires a single-frame, fault-free, round-robin-routed partition).
+    pub parallel: usize,
 }
 
 impl SpConfig {
@@ -34,6 +38,7 @@ impl SpConfig {
             switch: SwitchConfig::default(),
             topology: Topology::single_frame(nodes),
             adapter: AdapterConfig::default(),
+            parallel: 1,
         }
     }
 
@@ -64,6 +69,15 @@ impl SpConfig {
         self.switch.route_policy = policy;
         self
     }
+
+    /// The same partition simulated on `shards` engine shards (builder
+    /// style): `SpConfig::thin(8).parallel(4)`. `1` keeps the serial
+    /// engine; see [`SpConfig::parallel`] for the restrictions `>= 2`
+    /// imposes.
+    pub fn parallel(mut self, shards: usize) -> Self {
+        self.parallel = shards;
+        self
+    }
 }
 
 /// World state of an SP-machine simulation with protocol payload `P`.
@@ -77,6 +91,39 @@ pub struct SpWorld<P: Send + 'static> {
     pub(crate) adapters: Vec<Adapter<P>>,
     pub(crate) inflight: InflightSlab<P>,
     pub(crate) tracer: Option<Tracer>,
+    /// Present when this world is one shard of a parallel run (see
+    /// [`Shardable`] below); `None` on the serial engine, keeping the
+    /// classic path byte-identical to the golden pins.
+    pub(crate) shard: Option<SpShard<P>>,
+}
+
+/// Per-shard state of a parallel [`SpWorld`]: the shard's identity, the
+/// node→shard ownership map, the precomputed conservative lookahead, and
+/// the outbox of packets bound for other shards.
+pub(crate) struct SpShard<P: Send + 'static> {
+    pub(crate) id: usize,
+    pub(crate) owner: Vec<usize>,
+    pub(crate) lookahead: Dur,
+    pub(crate) outbox: Vec<ShardMsg<SpMsg<P>>>,
+}
+
+/// A packet crossing shards: phase 1 (injection-link claim) already ran on
+/// the source shard's fabric; the destination shard finishes the transit
+/// with an ejection-link claim at `nominal` (see [`Switch::eject_phase`]).
+pub struct SpMsg<P> {
+    pub(crate) pkt: WirePacket<P>,
+    pub(crate) nominal: Time,
+}
+
+impl<P> std::fmt::Debug for SpMsg<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpMsg")
+            .field("src", &self.pkt.src)
+            .field("dst", &self.pkt.dst)
+            .field("wire_bytes", &self.pkt.wire_bytes)
+            .field("nominal", &self.nominal)
+            .finish()
+    }
 }
 
 /// Parking space for packets crossing the switch: allocation-free `Hot`
@@ -152,6 +199,7 @@ impl<P: Send + 'static> SpWorld<P> {
             adapters,
             inflight: InflightSlab::new(),
             tracer: None,
+            shard: None,
         }
     }
 
@@ -263,22 +311,105 @@ pub(crate) fn fw_send_step<P: Send + Clone + 'static>(
         }
     };
     let dst = pkt.dst;
-    let transit = {
+    // Sharded mode splits every non-loopback transit in two: the injection
+    // link is claimed here on the source shard, and the destination shard
+    // finishes the ejection exactly one lookahead later (a sync event, so
+    // the counted-event stream stays identical to the serial engine).
+    // Loopback never leaves the shard and keeps the serial path.
+    enum Routed {
+        Deliver {
+            slot: u64,
+            at: Time,
+            dup: Option<(u64, Time)>,
+        },
+        Dropped,
+        LocalEject {
+            slot: u64,
+            ts: Time,
+            nominal: Time,
+        },
+        RemoteEject,
+    }
+    let routed = {
         let w = e.world();
         w.adapters[node].stats.sent += 1;
-        w.switch.transit(node, dst, pkt.wire_bytes, done)
-    };
-    if let Transit::Delivered { at, dup_at, .. } = transit {
-        // A fabric-duplicated packet reaches the receive engine twice: the
-        // second, identical copy parks in its own slab slot.
-        if let Some(dup) = dup_at {
-            let slot = e.world().inflight.insert(pkt.clone());
-            e.schedule_hot_at(dup, fw_recv_step, dst as u64, slot);
+        let sharded = match &w.shard {
+            Some(sh) if dst != node => Some((now + sh.lookahead, sh.id, sh.owner[dst])),
+            _ => None,
+        };
+        match sharded {
+            Some((ts, my_shard, dst_shard)) => {
+                let (_, nominal) = w.switch.inject_phase(node, dst, pkt.wire_bytes, done);
+                if dst_shard == my_shard {
+                    let slot = w.inflight.insert(pkt);
+                    Routed::LocalEject { slot, ts, nominal }
+                } else {
+                    let msg = SpMsg { pkt, nominal };
+                    let sh = w.shard.as_mut().expect("sharded implies shard");
+                    sh.outbox.push(ShardMsg { ts, dst_shard, msg });
+                    Routed::RemoteEject
+                }
+            }
+            None => match w.switch.transit(node, dst, pkt.wire_bytes, done) {
+                Transit::Delivered { at, dup_at, .. } => {
+                    // A fabric-duplicated packet reaches the receive engine
+                    // twice: the second, identical copy parks in its own
+                    // slab slot.
+                    let dup = dup_at.map(|d| (w.inflight.insert(pkt.clone()), d));
+                    let slot = w.inflight.insert(pkt);
+                    Routed::Deliver { slot, at, dup }
+                }
+                Transit::Dropped => Routed::Dropped,
+            },
         }
-        let slot = e.world().inflight.insert(pkt);
-        e.schedule_hot_at(at, fw_recv_step, dst as u64, slot);
+    };
+    match routed {
+        Routed::Deliver { slot, at, dup } => {
+            if let Some((dup_slot, dup_at)) = dup {
+                e.schedule_hot_at(dup_at, fw_recv_step, dst as u64, dup_slot);
+            }
+            e.schedule_hot_at(at, fw_recv_step, dst as u64, slot);
+        }
+        Routed::Dropped => {}
+        Routed::LocalEject { slot, ts, nominal } => {
+            e.schedule_sync_hot_at(ts, eject_step, slot, nominal.as_ns());
+        }
+        Routed::RemoteEject => {}
     }
     e.schedule_hot_at(done, fw_send_step, node as u64, 0);
+}
+
+/// Phase 2 of a sharded transit, running on the *destination* shard as a
+/// sync event: claim the ejection link at `nominal` and chain into the
+/// (counted) firmware receive step — so the counted-event stream matches
+/// the serial engine event for event.
+fn eject_step<P: Send + Clone + 'static>(
+    e: &mut EventCtx<'_, SpWorld<P>>,
+    slot: u64,
+    nominal_ns: u64,
+) {
+    eject_and_recv(e, slot, Time(nominal_ns));
+}
+
+/// Shared tail of phase 2 (local [`eject_step`] and cross-shard
+/// [`Shardable::apply_msg`]): finish the switch transit and schedule the
+/// firmware receive at the delivery instant. The claim depends only on
+/// `nominal` and the ejection link's occupancy — not on the instant this
+/// event executes — so running it one lookahead after injection reproduces
+/// the serial claim exactly as long as per-link claim order is preserved.
+fn eject_and_recv<P: Send + 'static>(e: &mut EventCtx<'_, SpWorld<P>>, slot: u64, nominal: Time) {
+    let (dst, at) = {
+        let w = e.world();
+        let pkt = w.inflight.get(slot);
+        let (src, dst, wire_bytes) = (pkt.src, pkt.dst, pkt.wire_bytes);
+        let ser = w.switch.serialization(wire_bytes);
+        let hop_start = nominal - w.switch.config().hop_latency - ser;
+        let at = w
+            .switch
+            .eject_phase(src, dst, wire_bytes, nominal, hop_start);
+        (dst, at)
+    };
+    e.schedule_hot_at(at, fw_recv_step, dst as u64, slot);
 }
 
 /// Firmware receive engine: per-packet processing + DMA into the host-memory
@@ -336,5 +467,125 @@ fn deliver_step<P: Send + 'static>(e: &mut EventCtx<'_, SpWorld<P>>, dst: u64, s
         // (a latched signal otherwise; pure-polling layers never park,
         // so this is free for them).
         e.unpark(sp_sim::NodeId(dst as usize));
+    }
+}
+
+/// Sharding the SP machine for the conservative-parallel engine.
+///
+/// The conservative lookahead is the minimum virtual-time distance between
+/// a source-shard event and its earliest possible effect on another shard.
+/// The only cross-shard channel is a packet transit, whose ejection-link
+/// claim happens at `nominal >= send_event_time + fw_send_per_packet +
+/// dma(wire) + serialization(wire) + hop_latency`; with `serialization =
+/// for_bytes(wire) + packet_gap` and `dma, for_bytes > 0`, the bound
+/// `fw_send_per_packet + packet_gap + hop_latency` (≈ 4.63 µs at default
+/// calibration) is strictly below every nominal — so phase 2 scheduled at
+/// exactly `send_event_time + lookahead` both satisfies the engine's
+/// conservative-advancement contract and still precedes the delivery
+/// instant it computes.
+///
+/// Per-ejection-link claim order is what makes the two-phase transit
+/// reproduce the serial fabric: phase-2 timestamps are the send-event
+/// times shifted by the constant lookahead, so claims replay in the serial
+/// engine's event order (ties between *different* source nodes landing on
+/// the same destination in the same nanosecond are resolved by shard
+/// deposit order instead of global event sequence — the equivalence suite
+/// pins real workloads to rule this out where it matters).
+impl<P: Send + Clone + 'static> Shardable for SpWorld<P> {
+    type Msg = SpMsg<P>;
+
+    fn lookahead(&self) -> Dur {
+        self.cfg.fw_send_per_packet
+            + self.switch.config().packet_gap
+            + self.switch.config().hop_latency
+    }
+
+    fn split(self, num_shards: usize, owner: &[usize]) -> Vec<Self> {
+        let topo = self.switch.topology().clone();
+        assert_eq!(
+            topo.frames(),
+            1,
+            "parallel SpWorld requires a single-frame topology \
+             (cross-frame cables would couple shards below the lookahead)"
+        );
+        assert_eq!(
+            self.switch.config().route_policy,
+            RoutePolicy::RoundRobin,
+            "parallel SpWorld requires round-robin routing \
+             (adaptive routing reads link occupancy across shards)"
+        );
+        assert!(
+            self.switch.fault_free(),
+            "parallel SpWorld requires a fault-free fabric \
+             (per-shard injectors would classify disjoint packet substreams)"
+        );
+        let nodes = self.adapters.len();
+        let recv_capacity = self.cfg.recv_entries_per_node * nodes.max(1);
+        let lookahead = Shardable::lookahead(&self);
+        let mut shards: Vec<SpWorld<P>> = (0..num_shards)
+            .map(|sid| {
+                let mut switch = Switch::with_topology(topo.clone(), self.switch.config().clone());
+                if let Some(t) = &self.tracer {
+                    switch.set_tracer(t.clone());
+                }
+                SpWorld {
+                    cost: self.cost.clone(),
+                    switch,
+                    cfg: self.cfg.clone(),
+                    // Full-length vector so node indexing works everywhere;
+                    // only owned slots (overwritten below) are ever touched.
+                    adapters: (0..nodes)
+                        .map(|_| Adapter::new(self.cfg.send_entries, recv_capacity))
+                        .collect(),
+                    inflight: InflightSlab::new(),
+                    tracer: self.tracer.clone(),
+                    shard: Some(SpShard {
+                        id: sid,
+                        owner: owner.to_vec(),
+                        lookahead,
+                        outbox: Vec::new(),
+                    }),
+                }
+            })
+            .collect();
+        // Move each node's (possibly pre-configured: shrunken FIFO,
+        // injected stall) adapter onto its owner shard.
+        for (i, adapter) in self.adapters.into_iter().enumerate() {
+            shards[owner[i]].adapters[i] = adapter;
+        }
+        shards
+    }
+
+    fn merge(parts: Vec<Self>) -> Self {
+        let mut parts = parts.into_iter();
+        let mut base = parts.next().expect("at least one shard");
+        let owner = base
+            .shard
+            .take()
+            .expect("shard 0 carries the owner map")
+            .owner;
+        for (sid, mut part) in parts.enumerate() {
+            let sid = sid + 1;
+            part.shard = None;
+            base.switch.absorb_stats(part.switch.stats());
+            for (i, adapter) in part.adapters.into_iter().enumerate() {
+                if owner[i] == sid {
+                    base.adapters[i] = adapter;
+                }
+            }
+        }
+        base
+    }
+
+    fn apply_msg(e: &mut EventCtx<'_, Self>, msg: SpMsg<P>) {
+        let slot = e.world().inflight.insert(msg.pkt);
+        eject_and_recv(e, slot, msg.nominal);
+    }
+
+    fn take_messages(&mut self) -> Vec<ShardMsg<SpMsg<P>>> {
+        match &mut self.shard {
+            Some(sh) => std::mem::take(&mut sh.outbox),
+            None => Vec::new(),
+        }
     }
 }

@@ -6,7 +6,7 @@ use crate::mem::MemPool;
 use crate::wire::AmPacket;
 use crate::AmWorld;
 use sp_adapter::SpConfig;
-use sp_sim::{NodeId, Sim, SimError, Time};
+use sp_sim::{NodeId, ShardReport, Sim, SimError, Time};
 use sp_trace::Tracer;
 
 /// A configured SP machine running Active Messages node programs.
@@ -30,6 +30,7 @@ pub struct AmMachine {
     cfg: AmConfig,
     nodes: usize,
     spawned: usize,
+    parallel: usize,
 }
 
 /// Result of a completed AM simulation.
@@ -48,6 +49,13 @@ pub struct AmReport {
     pub switch_dropped: u64,
     /// Duplicate unpark wake-ups coalesced by the engine.
     pub wakes_coalesced: u64,
+    /// Per-shard engine breakdown (empty on a serial run).
+    pub shards: Vec<ShardReport>,
+    /// Synchronization (inter-shard hand-off) events, not counted in
+    /// `events` — the parallel engine's overhead stream.
+    pub sync_events: u64,
+    /// Conservative lookahead windows the parallel run advanced through.
+    pub windows: u64,
     /// The machine's final hardware state (switch/adapter statistics).
     pub world: AmWorld,
     /// The memory pool (inspect transfer results after the run).
@@ -65,6 +73,7 @@ impl AmMachine {
     /// Build a machine over `sp` hardware with `am` protocol parameters.
     pub fn new(sp: SpConfig, am: AmConfig, seed: u64) -> Self {
         let nodes = sp.nodes;
+        let parallel = sp.parallel;
         let world: AmWorld = sp_adapter::SpWorld::<AmPacket>::new(sp);
         AmMachine {
             sim: Sim::new(world, seed),
@@ -72,6 +81,7 @@ impl AmMachine {
             cfg: am,
             nodes,
             spawned: 0,
+            parallel,
         }
     }
 
@@ -148,11 +158,18 @@ impl AmMachine {
         }
     }
 
-    /// Run to completion.
+    /// Run to completion — on the serial engine, or sharded across
+    /// [`SpConfig::parallel`] conservative-parallel shards when that is
+    /// `>= 2` (note [`AmMachine::schedule_world_at`] is serial-only: the
+    /// sharded engine rejects externally scheduled world events).
     pub fn run(self) -> Result<AmReport, SimError> {
         assert_eq!(self.spawned, self.nodes, "every node needs a program");
         let mem = self.mem;
-        let report = self.sim.run()?;
+        let report = if self.parallel >= 2 {
+            self.sim.run_parallel(self.parallel)?
+        } else {
+            self.sim.run()?
+        };
         Ok(AmReport {
             end_time: report.end_time,
             events: report.events,
@@ -160,6 +177,9 @@ impl AmMachine {
             dropped_overflow: report.world.dropped_overflow(),
             switch_dropped: report.world.switch.stats().dropped,
             wakes_coalesced: report.wakes_coalesced,
+            shards: report.shards,
+            sync_events: report.sync_events,
+            windows: report.windows,
             world: report.world,
             mem,
         })

@@ -13,6 +13,12 @@
 //! * **event-chain** — engine-side events rescheduling themselves.
 //! * **packet-stream** — end-to-end adapter traffic (firmware event chains,
 //!   delivery events): exercises the typed allocation-free event path.
+//! * **parallel-ping-pong-storm** — the storm on the sharded
+//!   conservative-parallel engine (`run_parallel(4)`): pairs land on
+//!   distinct shards and rendezvous concurrently.
+//! * **parallel-packet-stream** — the adapter stream on `run_parallel(2)`:
+//!   tx and rx on separate shards, every packet an inter-shard hand-off
+//!   through lookahead windows (the worst case for the window barrier).
 
 use criterion::{criterion_group, Criterion, Throughput};
 use sp_adapter::{host, SpConfig, SpWorld};
@@ -143,10 +149,72 @@ fn packet_stream(c: &mut Criterion) {
     g.finish();
 }
 
+/// The ping-pong storm on the sharded engine: 4 pairs on 4 shards. Pairs
+/// never talk across the cut, so this measures pure intra-shard
+/// parallelism (single unbounded window) against the serial storm.
+fn parallel_ping_pong_storm(c: &mut Criterion) {
+    const PAIRS: usize = 4;
+    const ROUNDS: u64 = 250;
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(PAIRS as u64 * ROUNDS));
+    g.bench_function("parallel-ping-pong-storm-4x250", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new((), 1);
+            for p in 0..PAIRS {
+                let sleeper = sp_sim::NodeId(2 * p);
+                sim.spawn(format!("sleeper{p}"), move |ctx| {
+                    for _ in 0..ROUNDS {
+                        ctx.park();
+                    }
+                });
+                sim.spawn(format!("waker{p}"), move |ctx| {
+                    for _ in 0..ROUNDS {
+                        ctx.advance(Dur::ns(100));
+                        ctx.unpark(sleeper);
+                        ctx.advance(Dur::ns(50));
+                    }
+                });
+            }
+            sim.run_parallel(4).unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// The adapter packet stream on the sharded engine: tx and rx on separate
+/// shards, so all 500 packets cross the cut as timestamped inter-shard
+/// messages through conservative lookahead windows.
+fn parallel_packet_stream(c: &mut Criterion) {
+    const PACKETS: u32 = 500;
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(PACKETS as u64));
+    g.bench_function("parallel-packet-stream-2x500", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(SpWorld::<u32>::new(SpConfig::thin(2)), 1);
+            sim.spawn("tx", |ctx| {
+                for i in 0..PACKETS {
+                    while host::send_fifo_free(ctx) == 0 {
+                        ctx.advance(Dur::us(1.0));
+                    }
+                    host::send_packet(ctx, 1, 64, i).unwrap();
+                }
+            });
+            sim.spawn("rx", |ctx| {
+                for _ in 0..PACKETS {
+                    let _ = host::spin_recv(ctx, Dur::ns(300));
+                }
+            });
+            sim.run_parallel(2).unwrap()
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(3));
-    targets = empty_poll, advance, ping_pong_storm, event_chain, packet_stream
+    targets = empty_poll, advance, ping_pong_storm, event_chain, packet_stream,
+        parallel_ping_pong_storm, parallel_packet_stream
 }
 
 /// Elements processed per second for one result (the events/sec proxy).
@@ -194,6 +262,17 @@ fn main() {
             r.ns_per_iter,
             elems_per_sec(r)
         );
+    }
+
+    // Sharded-engine speedup over the serial twin of each parallel workload.
+    for (par, ser) in [
+        ("parallel-ping-pong-storm-4x250", "ping-pong-storm-4x250"),
+        ("parallel-packet-stream-2x500", "packet-stream-2x500"),
+    ] {
+        let find = |id: &str| results.iter().find(|r| r.id == id).map(elems_per_sec);
+        if let (Some(p), Some(s)) = (find(par), find(ser)) {
+            println!("{par}: {:.2}x vs serial", p / s);
+        }
     }
 
     if let Ok(path) = std::env::var("SP_BENCH_ENGINE_JSON") {

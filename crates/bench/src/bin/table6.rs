@@ -48,5 +48,79 @@ fn main() {
             p.events_per_sec
         );
     }
+
+    let wides = sp_bench::nas_exp::wide_sweep(ranks, quick);
+    println!(
+        "\nWide-node sweep: MPI-AM on {ranks} thin vs wide nodes{}\n",
+        if quick { " (quick: reduced only)" } else { "" }
+    );
+    println!(
+        "{:>10}  {:>8}  {:>6}  {:>11}  {:>8}  {:>8}",
+        "Benchmark", "class", "nodes", "virtual", "comp", "comm"
+    );
+    println!("{}", "-".repeat(62));
+    for p in &wides {
+        println!(
+            "{:>10}  {:>8}  {:>6}  {:>10.3}s  {:>7.1}%  {:>7.1}%",
+            p.kernel.name(),
+            p.class.name(),
+            p.flavour,
+            p.virtual_s,
+            p.comp_frac * 100.0,
+            p.comm_frac * 100.0,
+        );
+    }
+    println!("\nexpected shape: the compute charge is the same Power2 rate on both flavours,");
+    println!("so wide nodes (faster memcpy and PIO) shrink the comm share and total time.");
+
+    parallel_engine_check(ranks);
     sp_bench::print_engine_summary();
+}
+
+/// Validate the sharded engine against the serial one on a real kernel:
+/// MG (reduced class) on MPI-AM, serial vs 4 conservative-parallel shards,
+/// with the per-shard breakdown from the run report. Any divergence in
+/// virtual time, event count, or the observable-state hash is a bug.
+fn parallel_engine_check(ranks: usize) {
+    use sp_mpi::runner::MpiImpl;
+    use sp_nas::{Kernel, NasClass};
+
+    let run = |shards: usize| {
+        sp_nas::run_kernel_on(
+            Kernel::Mg,
+            MpiImpl::AmOptimized,
+            sp_adapter::SpConfig::thin(ranks).parallel(shards),
+            5,
+            NasClass::Reduced,
+        )
+    };
+    let (rs, serial) = run(1);
+    let (rp, parallel) = run(4);
+    println!("\nParallel engine check: MG reduced, serial vs 4 shards\n");
+    println!(
+        "  serial:   {:>9.3}s  {:>9} events  hash {:016x}",
+        rs.time.as_secs(),
+        serial.events,
+        serial.report_hash
+    );
+    println!(
+        "  parallel: {:>9.3}s  {:>9} events  hash {:016x}  ({} windows, {} sync events)",
+        rp.time.as_secs(),
+        parallel.events,
+        parallel.report_hash,
+        parallel.windows,
+        parallel.sync_events
+    );
+    for s in &parallel.shards {
+        println!(
+            "    shard {}: {} nodes, {} events, {} sync",
+            s.shard, s.nodes, s.events, s.sync_events
+        );
+    }
+    assert_eq!(
+        (serial.end_ns, serial.events, serial.report_hash),
+        (parallel.end_ns, parallel.events, parallel.report_hash),
+        "parallel MG run diverged from serial"
+    );
+    println!("  verdict: identical end time, event count, and report hash");
 }

@@ -83,7 +83,46 @@ fn main() {
         (ad.lane_spread / rr.lane_spread - 1.0) * 100.0,
     );
 
-    let metrics = collect_metrics(&rr, &ad);
+    // Fault latency: the same machine, but cable lane 0 dies mid-run.
+    let (frr, fad) = topo_exp::fault_latency(quick());
+    println!(
+        "\n==== fault latency: cable lane 0 killed at {} us ====\n",
+        topo_exp::FAULT_KILL_AT_NS as f64 / 1_000.0
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>9}",
+        "policy", "samples", "p50 (us)", "p99 (us)", "max (us)", "dropped"
+    );
+    println!("{}", "-".repeat(64));
+    for p in [&frr, &fad] {
+        println!(
+            "{:<12} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>9}",
+            p.policy,
+            p.samples_after,
+            p.rtt_p50_ns as f64 / 1_000.0,
+            p.rtt_p99_ns as f64 / 1_000.0,
+            p.rtt_max_ns as f64 / 1_000.0,
+            p.dropped,
+        );
+    }
+    println!(
+        "\nadaptive vs round-robin with a dead cable: p99 {:+.1}%, drops {:+.1}%",
+        (fad.rtt_p99_ns as f64 / frr.rtt_p99_ns as f64 - 1.0) * 100.0,
+        (fad.dropped as f64 / frr.dropped as f64 - 1.0) * 100.0,
+    );
+
+    let mut metrics = collect_metrics(&rr, &ad);
+    for p in [&frr, &fad] {
+        metrics.push((
+            format!("topo/fault-{}-p50-rtt-ns", p.policy),
+            p.rtt_p50_ns as f64,
+        ));
+        metrics.push((
+            format!("topo/fault-{}-p99-rtt-ns", p.policy),
+            p.rtt_p99_ns as f64,
+        ));
+        metrics.push((format!("topo/fault-{}-dropped", p.policy), p.dropped as f64));
+    }
     if let Ok(path) = std::env::var("SP_BENCH_TOPO_JSON") {
         write_json(&path, &metrics);
         println!("wrote {} metrics to {path}", metrics.len());

@@ -41,4 +41,7 @@ pub fn print_engine_summary() {
         sp_sim::stats::wakes_coalesced(),
     );
     println!("[reliability] {}", sp_am::gstats::summary());
+    if let Some(par) = sp_sim::stats::parallel_summary() {
+        println!("[parallel] {par}");
+    }
 }

@@ -2,8 +2,10 @@
 //! scaled-up class sweep that exercises the fast-pathed engine on
 //! S/W-sized grids (ROADMAP: "scale the NAS grids back up").
 
+use sp_adapter::SpConfig;
 use sp_mpi::runner::MpiImpl;
-use sp_nas::{run_kernel, run_kernel_class, Kernel, NasClass};
+use sp_nas::{run_kernel, run_kernel_class, run_kernel_on, Kernel, NasClass, CHARGED_COMP_NS};
+use std::sync::atomic::Ordering;
 
 /// One Table 6 row.
 #[derive(Debug, Clone)]
@@ -50,6 +52,65 @@ pub struct ClassPoint {
     pub events: u64,
     /// Wall-clock engine rate for this run (events/second).
     pub events_per_sec: f64,
+}
+
+/// One kernel × class run on one node flavour, split into communication
+/// and computation time.
+#[derive(Debug, Clone)]
+pub struct WidePoint {
+    /// Benchmark.
+    pub kernel: Kernel,
+    /// Problem class.
+    pub class: NasClass,
+    /// Node flavour ("thin" or "wide").
+    pub flavour: &'static str,
+    /// MPI-AM virtual time (seconds).
+    pub virtual_s: f64,
+    /// Fraction of aggregate rank-time spent in charged computation.
+    pub comp_frac: f64,
+    /// Fraction spent outside charged computation: messaging, protocol
+    /// and fabric costs plus any wait/imbalance.
+    pub comm_frac: f64,
+}
+
+/// The wide-node sweep: each kernel at Class S and W (quick: the reduced
+/// class only) on MPI-AM, on thin vs wide nodes. NAS flops are charged at
+/// the fixed sustained Power2 rate regardless of node flavour, so the
+/// per-run delta of [`CHARGED_COMP_NS`] is the same on both; what moves
+/// is the communication side, which prices through the wide CostModel's
+/// faster memory system and I/O bus. The comm fraction is
+/// `1 - comp_ns / (ranks * end_ns)` — everything that is not charged
+/// computation, including wait time, counted against aggregate rank-time.
+pub fn wide_sweep(ranks: usize, quick: bool) -> Vec<WidePoint> {
+    let classes: &[NasClass] = if quick {
+        &[NasClass::Reduced]
+    } else {
+        &[NasClass::S, NasClass::W]
+    };
+    let mut out = Vec::new();
+    for &class in classes {
+        for kernel in Kernel::all() {
+            for (flavour, sp) in [
+                ("thin", SpConfig::thin(ranks)),
+                ("wide", SpConfig::wide(ranks)),
+            ] {
+                let comp0 = CHARGED_COMP_NS.load(Ordering::Relaxed);
+                let (r, run) = run_kernel_on(kernel, MpiImpl::AmOptimized, sp, 5, class);
+                let comp_ns = CHARGED_COMP_NS.load(Ordering::Relaxed) - comp0;
+                let agg_ns = (ranks as u64 * run.end_ns).max(1);
+                let comp_frac = comp_ns as f64 / agg_ns as f64;
+                out.push(WidePoint {
+                    kernel,
+                    class,
+                    flavour,
+                    virtual_s: r.time.as_secs(),
+                    comp_frac,
+                    comm_frac: 1.0 - comp_frac,
+                });
+            }
+        }
+    }
+    out
 }
 
 /// The class sweep: every kernel at every class on MPI-AM, with per-run

@@ -129,6 +129,53 @@ pub fn congestion(quick: bool) -> (CongestionPoint, CongestionPoint) {
 /// `1..k` each measure `iters` one-word round trips to a distinct frame-1
 /// peer.
 pub fn congestion_run(policy: RoutePolicy, k: usize, iters: u32) -> CongestionPoint {
+    let (m, tracer, cfg) = hotspot_machine(policy, k, iters);
+    m.run().expect("congestion run completes");
+    let records = tracer.snapshot();
+
+    let mut rtts: Vec<u64> = records
+        .iter()
+        .filter(|r| r.kind == Kind::UserSpan)
+        .map(|r| r.dur)
+        .collect();
+    rtts.sort_unstable();
+    assert!(!rtts.is_empty(), "no measured bursts in trace");
+    let pct = |p: usize| rtts[(rtts.len() - 1) * p / 100];
+    CongestionPoint {
+        policy: policy_label(policy),
+        senders: k,
+        samples: rtts.len(),
+        rtt_p50_ns: pct(50),
+        rtt_p99_ns: pct(99),
+        rtt_max_ns: *rtts.last().unwrap(),
+        // Bin width ~2x a bulk packet's serialization: wide enough to see a
+        // round-robin collision (two packets queued back-to-back on one
+        // lane while the others idle), narrow enough that the imbalance is
+        // not averaged away over the whole run.
+        lane_spread: lane_spread(&records, &cfg, 25_000),
+        adaptive_picks: records
+            .iter()
+            .filter(|r| r.kind == Kind::RouteAdaptive)
+            .count() as u64,
+    }
+}
+
+fn policy_label(policy: RoutePolicy) -> &'static str {
+    match policy {
+        RoutePolicy::RoundRobin => "round-robin",
+        RoutePolicy::Adaptive => "adaptive",
+    }
+}
+
+/// Build (but do not run) the hot-spot machine shared by the congestion
+/// and fault-latency experiments: a 2-frame machine of `k` nodes per
+/// frame, one bulk streamer plus `k - 1` pingers measuring `iters`
+/// round trips each (round 0 is warmup).
+fn hotspot_machine(
+    policy: RoutePolicy,
+    k: usize,
+    iters: u32,
+) -> (AmMachine, sp_trace::Tracer, SpConfig) {
     assert!(k >= 2, "need a streamer and at least one pinger");
     let cfg = SpConfig::multi_frame(2, k).routed(policy);
     let mut m = AmMachine::new(cfg.clone(), AmConfig::default(), 7);
@@ -200,36 +247,157 @@ pub fn congestion_run(policy: RoutePolicy, k: usize, iters: u32) -> CongestionPo
             },
         );
     }
-    m.run().expect("congestion run completes");
+    (m, tracer, cfg)
+}
+
+/// One routing policy's result under the fault-latency workload: pingers
+/// ping-pong across the frame pair while lane 0 of its cable bundle dies
+/// mid-run ([`FAULT_KILL_AT_NS`], both directions, every packet on it
+/// dropped). Round-robin stays fault-blind — a quarter of its sends keep
+/// riding the dead lane, and each loss costs a keepalive round before the
+/// NACK restarts it on the next lane — while the adaptive policy masks
+/// severed links out of route selection (the fault daemon's route-table
+/// regeneration) and keeps its round trips clean.
+#[derive(Debug, Clone)]
+pub struct FaultPoint {
+    /// Policy label, `"round-robin"` or `"adaptive"`.
+    pub policy: &'static str,
+    /// Round trips measured after the cable died.
+    pub samples_after: usize,
+    /// Median post-kill round trip, ns.
+    pub rtt_p50_ns: u64,
+    /// 99th-percentile post-kill round trip, ns.
+    pub rtt_p99_ns: u64,
+    /// Worst post-kill round trip, ns.
+    pub rtt_max_ns: u64,
+    /// Packets the fabric dropped over the whole run (all on the dead
+    /// lane: the workload is otherwise loss-free).
+    pub dropped: u64,
+}
+
+/// Virtual time at which the fault-latency experiment kills the cable:
+/// past the start-up barrier and the warmup round (together roughly two
+/// cross-frame round trips), well before the measured rounds end.
+pub const FAULT_KILL_AT_NS: u64 = 150_000;
+
+/// Run the fault-latency experiment under both policies.
+pub fn fault_latency(quick: bool) -> (FaultPoint, FaultPoint) {
+    let iters = if quick { 12 } else { 32 };
+    (
+        fault_run(RoutePolicy::RoundRobin, 8, iters),
+        fault_run(RoutePolicy::Adaptive, 8, iters),
+    )
+}
+
+/// Build (but do not run) the fault-latency machine: a 2-frame machine of
+/// `k` nodes per frame where every frame-0 node `i` measures `iters`
+/// one-word round trips against frame-1 peer `k + i`, all across the
+/// shared cable bundle.
+///
+/// Deliberately no bulk stream (unlike [`hotspot_machine`]): recovery from
+/// the dead lane is the measurement, and single-packet exchanges keep the
+/// go-back-N retransmission bursts short. A burst whose counter advance is
+/// a multiple of the lane count re-rides the dead lane on every
+/// round-robin retransmission — a phase-locked near-livelock that drains
+/// one packet per NACK cycle. Timeouts are chaos-campaign-sized
+/// (`keepalive_polls: 64` against the 4096 default) so a lost packet is
+/// probed after roughly a round trip of idle polls instead of the probe
+/// latency dominating every sample.
+fn fault_machine(
+    policy: RoutePolicy,
+    k: usize,
+    iters: u32,
+) -> (AmMachine, sp_trace::Tracer, SpConfig) {
+    let cfg = SpConfig::multi_frame(2, k).routed(policy);
+    let am_cfg = AmConfig {
+        keepalive_polls: 64,
+        ..AmConfig::default()
+    };
+    let mut m = AmMachine::new(cfg.clone(), am_cfg, 7);
+    let tracer = m.enable_tracing(1 << 16);
+    for i in 0..k {
+        let peer = k + i;
+        let t = tracer.clone();
+        m.spawn(
+            format!("tx{i}"),
+            Ping::default(),
+            move |am: &mut Am<'_, Ping>| {
+                am.register(pong_handler);
+                let done = am.register(pong_done_handler);
+                am.barrier();
+                // Round 0 is warmup (channel state, route counters settle).
+                for it in 0..=iters {
+                    let t0 = am.now();
+                    am.request_1(peer, 0, done as u32);
+                    am.poll_until(move |s| s.pongs > it);
+                    if it > 0 {
+                        t.span(
+                            t0.as_ns(),
+                            am.now().as_ns(),
+                            Track::program(i),
+                            Kind::UserSpan,
+                            it as u64 - 1,
+                        );
+                    }
+                }
+                // Graceful shutdown, not a barrier: a barrier master parked
+                // with a full receive FIFO drops a stuck peer's
+                // retransmissions without ever waking (the arrival that
+                // would wake it is the drop), wedging the run. Quiesce acks
+                // everything outbound, then serve peers' recovery rounds
+                // until the fabric has been quiet for a while.
+                am.quiesce();
+                am.drain_quiet(sp_sim::Dur::ms(0.5));
+            },
+        );
+    }
+    for i in 0..k {
+        m.spawn(
+            format!("rx{i}"),
+            Ping::default(),
+            move |am: &mut Am<'_, Ping>| {
+                am.register(pong_handler);
+                am.register(pong_done_handler);
+                am.barrier();
+                am.poll_until(move |s| s.pings > iters);
+                am.quiesce();
+                am.drain_quiet(sp_sim::Dur::ms(0.5));
+            },
+        );
+    }
+    (m, tracer, cfg)
+}
+
+/// One fault-latency run: the pinger machine with a `cable_kill` of
+/// lane 0 (both directions) scheduled at [`FAULT_KILL_AT_NS`].
+pub fn fault_run(policy: RoutePolicy, k: usize, iters: u32) -> FaultPoint {
+    let (mut m, tracer, _cfg) = fault_machine(policy, k, iters);
+    m.schedule_world_at(sp_sim::Time(FAULT_KILL_AT_NS), |w| {
+        for (from, to) in [(0usize, 1usize), (1, 0)] {
+            let link = w.switch.topology().cable(from, to, 0);
+            let mut dead = sp_switch::FaultInjector::none();
+            dead.drop_every_nth = Some(1);
+            w.switch.set_link_fault_injector(link, dead);
+        }
+    });
+    let report = m.run().expect("fault-latency run completes");
     let records = tracer.snapshot();
 
     let mut rtts: Vec<u64> = records
         .iter()
-        .filter(|r| r.kind == Kind::UserSpan)
+        .filter(|r| r.kind == Kind::UserSpan && r.at >= FAULT_KILL_AT_NS)
         .map(|r| r.dur)
         .collect();
     rtts.sort_unstable();
-    assert!(!rtts.is_empty(), "no measured bursts in trace");
+    assert!(!rtts.is_empty(), "no post-kill round trips in trace");
     let pct = |p: usize| rtts[(rtts.len() - 1) * p / 100];
-    CongestionPoint {
-        policy: match policy {
-            RoutePolicy::RoundRobin => "round-robin",
-            RoutePolicy::Adaptive => "adaptive",
-        },
-        senders: k,
-        samples: rtts.len(),
+    FaultPoint {
+        policy: policy_label(policy),
+        samples_after: rtts.len(),
         rtt_p50_ns: pct(50),
         rtt_p99_ns: pct(99),
         rtt_max_ns: *rtts.last().unwrap(),
-        // Bin width ~2x a bulk packet's serialization: wide enough to see a
-        // round-robin collision (two packets queued back-to-back on one
-        // lane while the others idle), narrow enough that the imbalance is
-        // not averaged away over the whole run.
-        lane_spread: lane_spread(&records, &cfg, 25_000),
-        adaptive_picks: records
-            .iter()
-            .filter(|r| r.kind == Kind::RouteAdaptive)
-            .count() as u64,
+        dropped: report.world.switch.stats().dropped,
     }
 }
 

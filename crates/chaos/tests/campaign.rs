@@ -132,8 +132,10 @@ fn multi_frame_adaptive_campaign_survives_drop_and_delay_windows() {
 #[test]
 fn killing_one_cable_of_a_frame_pair_still_quiesces() {
     // Sever one of the four cable lanes between the frames, permanently.
-    // Retransmissions rotate (round-robin) or steer (adaptive) onto the
-    // three live lanes, so the run must still reach full quiescence.
+    // Fault-blind round-robin keeps feeding it packets and must recover
+    // them by retransmission onto the three live lanes; fault-aware
+    // adaptive masks the dead lane out of selection entirely and loses
+    // nothing. Either way the run must reach full quiescence.
     for policy in [RoutePolicy::RoundRobin, RoutePolicy::Adaptive] {
         let mut s = Schedule::new(Workload::PingPong);
         s.frames = 2; // two nodes, one per frame: all traffic is cross-frame
@@ -149,10 +151,16 @@ fn killing_one_cable_of_a_frame_pair_still_quiesces() {
             "{policy:?} with a dead cable: {:?}",
             j.violations
         );
-        assert!(
-            j.outcome.switch.dropped > 0,
-            "{policy:?}: the severed lane never saw a packet"
-        );
+        match policy {
+            RoutePolicy::RoundRobin => assert!(
+                j.outcome.switch.dropped > 0,
+                "round-robin: the severed lane never saw a packet"
+            ),
+            RoutePolicy::Adaptive => assert_eq!(
+                j.outcome.switch.dropped, 0,
+                "adaptive: a dead lane must be masked out of selection"
+            ),
+        }
     }
 }
 

@@ -46,6 +46,55 @@ impl MpiImpl {
     }
 }
 
+/// Machine-level outcome of an MPI run, beyond the per-rank results: the
+/// engine observables the serial-vs-parallel equivalence checks compare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpiRunReport {
+    /// Final virtual time, ns.
+    pub end_ns: u64,
+    /// Counted engine events executed.
+    pub events: u64,
+    /// FNV-1a over `(end, events, per-node adapter stats, switch stats)` —
+    /// the same observable-state construction the golden pins use. Two runs
+    /// with equal hashes moved every packet identically.
+    pub report_hash: u64,
+    /// Per-shard engine breakdown (empty on a serial run).
+    pub shards: Vec<sp_sim::ShardReport>,
+    /// Inter-shard synchronization events (0 on a serial run).
+    pub sync_events: u64,
+    /// Conservative lookahead windows (0 on a serial run).
+    pub windows: u64,
+}
+
+/// FNV-1a over the observable end state of any `SpWorld`-backed machine.
+fn world_hash<P: Send + 'static>(end_ns: u64, events: u64, w: &sp_adapter::SpWorld<P>) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(end_ns);
+    mix(events);
+    for node in 0..w.nodes() {
+        let a = w.adapter_stats(node);
+        mix(a.sent);
+        mix(a.received);
+        mix(a.dropped_overflow);
+        mix(a.doorbells);
+        mix(a.lazy_pops);
+        mix(a.recv_high_water as u64);
+    }
+    let s = w.switch.stats();
+    mix(s.delivered);
+    mix(s.dropped);
+    mix(s.wire_bytes);
+    mix(s.hops);
+    h
+}
+
 /// Run `app` SPMD over `nodes` ranks of `imp` on the given SP hardware
 /// (thin or wide nodes); returns each rank's result.
 pub fn run_mpi<R: Send + 'static>(
@@ -54,9 +103,22 @@ pub fn run_mpi<R: Send + 'static>(
     seed: u64,
     app: impl Fn(&mut dyn Mpi) -> R + Send + Sync + Clone + 'static,
 ) -> Vec<R> {
+    run_mpi_report(imp, sp, seed, app).0
+}
+
+/// [`run_mpi`], additionally returning the [`MpiRunReport`] — end time,
+/// event count, world hash, and the parallel engine's shard breakdown.
+/// `sp.parallel >= 2` runs the machine on the sharded conservative engine.
+pub fn run_mpi_report<R: Send + 'static>(
+    imp: MpiImpl,
+    sp: SpConfig,
+    seed: u64,
+    app: impl Fn(&mut dyn Mpi) -> R + Send + Sync + Clone + 'static,
+) -> (Vec<R>, MpiRunReport) {
     let nodes = sp.nodes;
     let results: Arc<Mutex<Vec<Option<R>>>> =
         Arc::new(Mutex::new((0..nodes).map(|_| None).collect()));
+    let run;
     match imp {
         MpiImpl::AmUnoptimized | MpiImpl::AmOptimized | MpiImpl::AmTuned => {
             let cfg = match imp {
@@ -80,7 +142,16 @@ pub fn run_mpi<R: Send + 'static>(
                     results.lock()[node] = Some(r);
                 });
             }
-            m.run().expect("MPI-AM run completes");
+            let r = m.run().expect("MPI-AM run completes");
+            let end_ns = r.end_time.as_ns();
+            run = MpiRunReport {
+                end_ns,
+                events: r.events,
+                report_hash: world_hash(end_ns, r.events, &r.world),
+                shards: r.shards,
+                sync_events: r.sync_events,
+                windows: r.windows,
+            };
         }
         MpiImpl::MpiF => {
             let cfg = MpiFConfig::default();
@@ -95,12 +166,21 @@ pub fn run_mpi<R: Send + 'static>(
                     results.lock()[node] = Some(r);
                 });
             }
-            m.run().expect("MPI-F run completes");
+            let r = m.run().expect("MPI-F run completes");
+            let end_ns = r.end_time.as_ns();
+            run = MpiRunReport {
+                end_ns,
+                events: r.events,
+                report_hash: world_hash(end_ns, r.events, &r.world),
+                shards: r.shards,
+                sync_events: r.sync_events,
+                windows: r.windows,
+            };
         }
     }
     let mut out = Vec::with_capacity(nodes);
     for slot in results.lock().iter_mut() {
         out.push(slot.take().expect("every rank produced a result"));
     }
-    out
+    (out, run)
 }

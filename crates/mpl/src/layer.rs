@@ -357,12 +357,21 @@ pub struct MplMachine {
     cfg: MplConfig,
     nodes: usize,
     spawned: usize,
+    parallel: usize,
 }
 
 /// Result of an MPL run.
 pub struct MplReport {
     /// Final virtual time.
     pub end_time: Time,
+    /// Engine events executed.
+    pub events: u64,
+    /// Per-shard engine breakdown (empty on a serial run).
+    pub shards: Vec<sp_sim::ShardReport>,
+    /// Inter-shard synchronization events (0 on a serial run).
+    pub sync_events: u64,
+    /// Conservative lookahead windows (0 on a serial run).
+    pub windows: u64,
     /// Final hardware state.
     pub world: MplWorld,
 }
@@ -371,11 +380,13 @@ impl MplMachine {
     /// Build an MPL machine.
     pub fn new(sp: SpConfig, cfg: MplConfig, seed: u64) -> Self {
         let nodes = sp.nodes;
+        let parallel = sp.parallel;
         MplMachine {
             sim: Sim::new(MplWorld::new(sp), seed),
             cfg,
             nodes,
             spawned: 0,
+            parallel,
         }
     }
 
@@ -400,12 +411,21 @@ impl MplMachine {
         })
     }
 
-    /// Run to completion.
+    /// Run to completion — sharded across [`SpConfig::parallel`]
+    /// conservative-parallel shards when that is `>= 2`.
     pub fn run(self) -> Result<MplReport, SimError> {
         assert_eq!(self.spawned, self.nodes, "every node needs a program");
-        let report = self.sim.run()?;
+        let report = if self.parallel >= 2 {
+            self.sim.run_parallel(self.parallel)?
+        } else {
+            self.sim.run()?
+        };
         Ok(MplReport {
             end_time: report.end_time,
+            events: report.events,
+            shards: report.shards,
+            sync_events: report.sync_events,
+            windows: report.windows,
             world: report.world,
         })
     }

@@ -34,10 +34,10 @@ mod ft;
 mod lu;
 mod mg;
 
-pub use common::{Kernel, NasClass, NasResult};
+pub use common::{Kernel, NasClass, NasResult, CHARGED_COMP_NS};
 
 use sp_adapter::SpConfig;
-use sp_mpi::runner::{run_mpi, MpiImpl};
+use sp_mpi::runner::{run_mpi_report, MpiImpl, MpiRunReport};
 
 /// Run `kernel` at the reduced (test-time default) class. See
 /// [`run_kernel_class`] for the scaled-up S/W-sized grids.
@@ -54,13 +54,30 @@ pub fn run_kernel_class(
     seed: u64,
     class: NasClass,
 ) -> NasResult {
-    let results = run_mpi(imp, SpConfig::thin(ranks), seed, move |mpi| match kernel {
+    run_kernel_on(kernel, imp, SpConfig::thin(ranks), seed, class).0
+}
+
+/// Run `kernel` at `class` on explicit SP hardware — a wide-node partition
+/// (`SpConfig::wide`), or a sharded engine (`SpConfig::thin(n).parallel(k)`)
+/// — and additionally return the machine-level [`MpiRunReport`] (end time,
+/// event count, world hash, shard breakdown) the serial-vs-parallel
+/// equivalence checks compare.
+pub fn run_kernel_on(
+    kernel: Kernel,
+    imp: MpiImpl,
+    sp: SpConfig,
+    seed: u64,
+    class: NasClass,
+) -> (NasResult, MpiRunReport) {
+    let ranks = sp.nodes;
+    let (results, run) = run_mpi_report(imp, sp, seed, move |mpi| match kernel {
         Kernel::Bt => adi::run_bt(mpi, class),
         Kernel::Sp => adi::run_sp(mpi, class),
         Kernel::Lu => lu::run(mpi, class),
         Kernel::Mg => mg::run(mpi, class),
         Kernel::Ft => ft::run(mpi, class),
     });
+    assert_eq!(results.len(), ranks);
     let time = results.iter().map(|r| r.time).max().expect("ranks > 0");
     let checksum = results[0].checksum;
     for r in &results {
@@ -69,5 +86,5 @@ pub fn run_kernel_class(
             "ranks disagree on the residual"
         );
     }
-    NasResult { time, checksum }
+    (NasResult { time, checksum }, run)
 }

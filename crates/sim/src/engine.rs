@@ -47,18 +47,36 @@ pub(crate) enum EvKind<W: Send + 'static> {
     /// heap entry. Used by recurring hardware events (firmware steps, packet
     /// delivery) on the hot path.
     Hot { f: HotFn<W>, a: u64, b: u64 },
+    /// Parallel-mode sibling of [`EvKind::Call`]: an inter-shard message
+    /// applied as an event on the destination shard. Executes identically to
+    /// `Call` but is charged to `sync_events` instead of `events`, so a
+    /// parallel run reports the same `events` as its serial twin and the
+    /// synchronization overhead stays separately observable.
+    SyncCall(EventFn<W>),
+    /// Parallel-mode sibling of [`EvKind::Hot`] (see [`EvKind::SyncCall`]).
+    SyncHot { f: HotFn<W>, a: u64, b: u64 },
 }
 
 impl<W: Send + 'static> EvKind<W> {
     pub(crate) fn call(f: impl FnOnce(&mut EventCtx<'_, W>) + Send + 'static) -> Self {
         EvKind::Call(Box::new(f))
     }
+
+    pub(crate) fn sync_call(f: impl FnOnce(&mut EventCtx<'_, W>) + Send + 'static) -> Self {
+        EvKind::SyncCall(Box::new(f))
+    }
+
+    /// True for the parallel-mode synchronization variants (charged to
+    /// `sync_events`, not `events`).
+    pub(crate) fn is_sync(&self) -> bool {
+        matches!(self, EvKind::SyncCall(_) | EvKind::SyncHot { .. })
+    }
 }
 
-struct Ev<W: Send + 'static> {
-    time: Time,
-    seq: u64,
-    kind: EvKind<W>,
+pub(crate) struct Ev<W: Send + 'static> {
+    pub(crate) time: Time,
+    pub(crate) seq: u64,
+    pub(crate) kind: EvKind<W>,
 }
 
 impl<W: Send + 'static> PartialEq for Ev<W> {
@@ -90,15 +108,36 @@ pub(crate) struct Sched<W: Send + 'static> {
 }
 
 impl<W: Send + 'static> Sched<W> {
-    fn push(&mut self, time: Time, kind: EvKind<W>) {
+    pub(crate) fn push(&mut self, time: Time, kind: EvKind<W>) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Ev { time, seq, kind });
     }
+
+    pub(crate) fn new() -> Self {
+        Sched {
+            queue: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Earliest pending event time, if any.
+    pub(crate) fn peek_time(&self) -> Option<Time> {
+        self.queue.peek().map(|ev| ev.time)
+    }
+
+    /// Pop the earliest event if it falls strictly before `horizon`.
+    pub(crate) fn pop_before(&mut self, horizon: Time) -> Option<Ev<W>> {
+        if self.queue.peek().is_some_and(|ev| ev.time < horizon) {
+            self.queue.pop()
+        } else {
+            None
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NState {
+pub(crate) enum NState {
     Startup,
     Running,
     Sleeping,
@@ -107,49 +146,93 @@ enum NState {
     Done,
 }
 
-struct NodeMeta {
-    name: String,
-    state: NState,
-    epoch: WakeEpoch,
-    signal: bool,
+pub(crate) struct NodeMeta {
+    pub(crate) name: String,
+    pub(crate) state: NState,
+    pub(crate) epoch: WakeEpoch,
+    pub(crate) signal: bool,
     /// An unpark Wake for the current epoch is already queued; further
     /// unparks before it fires coalesce into it instead of pushing
     /// duplicate (stale-on-arrival) events.
-    unpark_queued: bool,
+    pub(crate) unpark_queued: bool,
     /// Unparks absorbed by an already-queued wake (observability).
-    coalesced: u64,
+    pub(crate) coalesced: u64,
 }
 
-struct Inner<W: Send + 'static> {
-    world: W,
-    now: Time,
-    sched: Sched<W>,
-    nodes: Vec<NodeMeta>,
+impl NodeMeta {
+    pub(crate) fn new(name: String) -> NodeMeta {
+        NodeMeta {
+            name,
+            state: NState::Startup,
+            epoch: 0,
+            signal: false,
+            unpark_queued: false,
+            coalesced: 0,
+        }
+    }
+}
+
+/// Shard-local bookkeeping hung off [`Inner`] when it is one shard of a
+/// parallel run (`None` in serial runs).
+pub(crate) struct ShardSlot {
+    /// This shard's index.
+    pub(crate) id: usize,
+    /// Node→shard ownership map shared by all shards.
+    pub(crate) owner: Arc<Vec<usize>>,
+    /// Unparks aimed at nodes owned by other shards, deferred to the next
+    /// window barrier (timestamped with the local clock at call time).
+    pub(crate) remote_unparks: Vec<(NodeId, Time)>,
+}
+
+pub(crate) struct Inner<W: Send + 'static> {
+    pub(crate) world: W,
+    pub(crate) now: Time,
+    pub(crate) sched: Sched<W>,
+    pub(crate) nodes: Vec<NodeMeta>,
     /// Events executed so far — engine-loop pops *and* fast-path advances
     /// (each fast advance stands in for exactly one elided Wake event).
-    events: u64,
+    pub(crate) events: u64,
+    /// Parallel-mode synchronization events executed (inter-shard message
+    /// deliveries). Kept out of `events` so serial and parallel runs of the
+    /// same config report identical `events`; the budget covers the sum.
+    pub(crate) sync_events: u64,
     /// Budget shared with the fast path so a zero-cost spin loop still trips
     /// [`SimError::EventBudgetExhausted`] instead of livelocking.
-    budget: u64,
+    pub(crate) budget: u64,
+    /// Conservative-advance horizon: node fast paths may not move virtual
+    /// time to or past it, and the parallel drive loop only pops events
+    /// strictly before it. `Time::MAX` in serial runs (no constraint).
+    pub(crate) horizon: Time,
+    /// Present iff this `Inner` is one shard of a parallel run.
+    pub(crate) shard: Option<ShardSlot>,
     /// Trace recorder; `None` (the default) keeps every hook down to a
     /// single branch so the fast path stays allocation-free.
-    tracer: Option<Tracer>,
+    pub(crate) tracer: Option<Tracer>,
 }
 
 /// State shared between the engine thread and node threads. All access is
 /// serialized both by the mutex and, more fundamentally, by the baton
 /// discipline (only one thread executes at a time).
 pub(crate) struct Shared<W: Send + 'static> {
-    inner: Mutex<Inner<W>>,
+    pub(crate) inner: Mutex<Inner<W>>,
 }
 
-fn unpark_inner<W: Send + 'static>(
+pub(crate) fn unpark_inner<W: Send + 'static>(
     sched: &mut Sched<W>,
     nodes: &mut [NodeMeta],
+    shard: &mut Option<ShardSlot>,
     target: NodeId,
     now: Time,
     tracer: &Option<Tracer>,
 ) {
+    if let Some(s) = shard {
+        if s.owner[target.0] != s.id {
+            // Cross-shard unpark: defer to the window barrier, which applies
+            // it on the owning shard at `max(now, that shard's clock)`.
+            s.remote_unparks.push((target, now));
+            return;
+        }
+    }
     let meta = &mut nodes[target.0];
     match meta.state {
         NState::Parked | NState::SleepInt => {
@@ -211,7 +294,8 @@ impl<W: Send + 'static> Shared<W> {
     pub(crate) fn try_fast_advance(&self, id: NodeId, until: Time) -> bool {
         let mut inner = self.inner.lock();
         if inner.nodes[id.0].signal
-            || inner.events >= inner.budget
+            || until >= inner.horizon
+            || inner.events + inner.sync_events >= inner.budget
             || inner.sched.queue.peek().is_some_and(|ev| ev.time <= until)
         {
             return false;
@@ -250,7 +334,8 @@ impl<W: Send + 'static> Shared<W> {
             return (r, until, true);
         }
         let fast = !inner.nodes[id.0].signal
-            && inner.events < inner.budget
+            && until < inner.horizon
+            && inner.events + inner.sync_events < inner.budget
             && inner.sched.queue.peek().is_none_or(|ev| ev.time > until);
         if fast {
             inner.events += 1;
@@ -336,13 +421,14 @@ impl<W: Send + 'static> Shared<W> {
         unpark_inner(
             &mut inner.sched,
             &mut inner.nodes,
+            &mut inner.shard,
             target,
             now,
             &inner.tracer,
         );
     }
 
-    fn note_done(&self, id: NodeId) {
+    pub(crate) fn note_done(&self, id: NodeId) {
         self.inner.lock().nodes[id.0].state = NState::Done;
     }
 }
@@ -356,6 +442,7 @@ pub struct EventCtx<'a, W: Send + 'static> {
     world: &'a mut W,
     sched: &'a mut Sched<W>,
     nodes: &'a mut Vec<NodeMeta>,
+    shard: &'a mut Option<ShardSlot>,
     tracer: &'a Option<Tracer>,
 }
 
@@ -406,22 +493,112 @@ impl<'a, W: Send + 'static> EventCtx<'a, W> {
         self.sched.push(at, EvKind::Hot { f, a, b });
     }
 
+    /// Schedule an allocation-free *synchronization* event at absolute time
+    /// `at` (clamped to now): executes exactly like
+    /// [`EventCtx::schedule_hot_at`] but is charged to the run's
+    /// `sync_events` counter instead of `events`. Parallel-mode world models
+    /// use this for the local leg of a lookahead-shifted hand-off so the
+    /// shift stays invisible in the serial-comparable event count.
+    pub fn schedule_sync_hot_at(&mut self, at: Time, f: HotFn<W>, a: u64, b: u64) {
+        let at = at.max(self.now);
+        self.sched.push(at, EvKind::SyncHot { f, a, b });
+    }
+
     /// Unpark a node program (see [`NodeCtx::unpark`](crate::NodeCtx::unpark)).
     pub fn unpark(&mut self, target: NodeId) {
-        unpark_inner(self.sched, self.nodes, target, self.now, self.tracer);
+        unpark_inner(
+            self.sched,
+            self.nodes,
+            self.shard,
+            target,
+            self.now,
+            self.tracer,
+        );
     }
 }
 
-type Prog<W> = Box<dyn FnOnce(&mut NodeCtx<W>) + Send + 'static>;
+/// Barrier-replayed cross-shard unpark (see `SyncCore::barrier` in the
+/// parallel module). If a wake for `target` is already in flight on this
+/// shard, re-queue behind it (same time, later sequence number) so this
+/// unpark lands only after the target consumed the earlier wake — the
+/// serial interleaving always runs the target between two of its unparks.
+/// Coalescing here (the right behavior for racing *local* unparks) would
+/// lose a wake the serial run delivers and deadlock the target.
+pub(crate) fn replay_unpark<W: Send + 'static>(e: &mut EventCtx<'_, W>, target: NodeId) {
+    let meta = &e.nodes[target.0];
+    let wake_in_flight =
+        matches!(meta.state, NState::Parked | NState::SleepInt) && meta.unpark_queued;
+    if wake_in_flight {
+        e.sched
+            .push(e.now, EvKind::sync_call(move |e| replay_unpark(e, target)));
+    } else {
+        e.unpark(target);
+    }
+}
+
+/// Execute a non-`Wake` event against `inner` at virtual time `at`. Shared
+/// between the serial event loop and the parallel shard drive loop so both
+/// trace and dispatch identically.
+pub(crate) fn exec_event<W: Send + 'static>(inner: &mut Inner<W>, at: Time, kind: EvKind<W>) {
+    match kind {
+        EvKind::Call(f) | EvKind::SyncCall(f) => {
+            if let Some(t) = &inner.tracer {
+                t.instant(at.as_ns(), Track::ENGINE, TraceKind::EngineCall, 0);
+            }
+            let mut ectx = EventCtx {
+                now: at,
+                world: &mut inner.world,
+                sched: &mut inner.sched,
+                nodes: &mut inner.nodes,
+                shard: &mut inner.shard,
+                tracer: &inner.tracer,
+            };
+            f(&mut ectx);
+        }
+        EvKind::Hot { f, a, b } | EvKind::SyncHot { f, a, b } => {
+            if let Some(t) = &inner.tracer {
+                t.instant(at.as_ns(), Track::ENGINE, TraceKind::EngineHot, a);
+            }
+            let mut ectx = EventCtx {
+                now: at,
+                world: &mut inner.world,
+                sched: &mut inner.sched,
+                nodes: &mut inner.nodes,
+                shard: &mut inner.shard,
+                tracer: &inner.tracer,
+            };
+            f(&mut ectx, a, b);
+        }
+        EvKind::Wake { .. } => unreachable!("wake events are handled by the caller"),
+    }
+}
+
+pub(crate) type Prog<W> = Box<dyn FnOnce(&mut NodeCtx<W>) + Send + 'static>;
 
 /// A configured simulation: world state plus node programs, ready to run.
 pub struct Sim<W: Send + 'static> {
-    world: Option<W>,
-    seed: u64,
-    event_budget: u64,
-    programs: Vec<(String, Prog<W>)>,
-    initial: Vec<(Time, EvKind<W>)>,
-    tracer: Option<Tracer>,
+    pub(crate) world: Option<W>,
+    pub(crate) seed: u64,
+    pub(crate) event_budget: u64,
+    pub(crate) programs: Vec<(String, Prog<W>)>,
+    pub(crate) initial: Vec<(Time, EvKind<W>)>,
+    pub(crate) tracer: Option<Tracer>,
+}
+
+/// Per-shard slice of a parallel run's accounting (see
+/// [`SimReport::shards`]). Empty in serial runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index (`0..num_shards`).
+    pub shard: usize,
+    /// Node programs owned by this shard.
+    pub nodes: usize,
+    /// Serial-comparable events this shard executed (wakes + calls +
+    /// fast-path advances).
+    pub events: u64,
+    /// Synchronization events this shard executed (inter-shard message
+    /// deliveries) — pure parallel-mode overhead.
+    pub sync_events: u64,
 }
 
 /// The outcome of a completed simulation.
@@ -436,6 +613,18 @@ pub struct SimReport<W> {
     /// Unparks absorbed into an already-queued wake instead of producing a
     /// duplicate (stale) event, summed over all nodes.
     pub wakes_coalesced: u64,
+    /// Per-shard accounting of a parallel run; empty for serial runs.
+    pub shards: Vec<ShardReport>,
+    /// Total synchronization events (inter-shard message deliveries) across
+    /// all shards. Zero for serial runs; the null-message overhead of a
+    /// parallel run is `sync_events + windows` relative to its serial twin.
+    pub sync_events: u64,
+    /// Conservative lookahead windows (barrier rounds) the parallel run
+    /// used. Zero for serial runs.
+    pub windows: u64,
+    /// Unparks that crossed a shard boundary and were applied at a window
+    /// barrier. Zero for serial runs.
+    pub cross_unparks: u64,
     /// Wall-clock duration of the run.
     pub wall: std::time::Duration,
 }
@@ -457,6 +646,10 @@ pub mod stats {
     static EVENTS: AtomicU64 = AtomicU64::new(0);
     static WALL_NS: AtomicU64 = AtomicU64::new(0);
     static COALESCED: AtomicU64 = AtomicU64::new(0);
+    static PARALLEL_RUNS: AtomicU64 = AtomicU64::new(0);
+    static PARALLEL_SHARDS: AtomicU64 = AtomicU64::new(0);
+    static SYNC_EVENTS: AtomicU64 = AtomicU64::new(0);
+    static WINDOWS: AtomicU64 = AtomicU64::new(0);
 
     pub(crate) fn record(events: u64, coalesced: u64, wall: std::time::Duration) {
         RUNS.fetch_add(1, Ordering::Relaxed);
@@ -465,9 +658,40 @@ pub mod stats {
         WALL_NS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_parallel(shards: u64, sync_events: u64, windows: u64) {
+        PARALLEL_RUNS.fetch_add(1, Ordering::Relaxed);
+        PARALLEL_SHARDS.fetch_add(shards, Ordering::Relaxed);
+        SYNC_EVENTS.fetch_add(sync_events, Ordering::Relaxed);
+        WINDOWS.fetch_add(windows, Ordering::Relaxed);
+    }
+
     /// Unparks coalesced into already-queued wakes since process start.
     pub fn wakes_coalesced() -> u64 {
         COALESCED.load(Ordering::Relaxed)
+    }
+
+    /// Parallel-run totals since process start:
+    /// `(parallel_runs, shards, sync_events, windows)`. All zero when every
+    /// run so far was serial.
+    pub fn parallel_snapshot() -> (u64, u64, u64, u64) {
+        (
+            PARALLEL_RUNS.load(Ordering::Relaxed),
+            PARALLEL_SHARDS.load(Ordering::Relaxed),
+            SYNC_EVENTS.load(Ordering::Relaxed),
+            WINDOWS.load(Ordering::Relaxed),
+        )
+    }
+
+    /// One-line human summary of [`parallel_snapshot`], or `None` when no
+    /// parallel run has completed (so serial-only binaries stay quiet).
+    pub fn parallel_summary() -> Option<String> {
+        let (runs, shards, sync, windows) = parallel_snapshot();
+        if runs == 0 {
+            return None;
+        }
+        Some(format!(
+            "{runs} parallel runs ({shards} shards): {sync} sync events, {windows} windows"
+        ))
     }
 
     /// Totals since process start: `(runs, events, wall)`.
@@ -559,23 +783,13 @@ impl<W: Send + 'static> Sim<W> {
         let programs = std::mem::take(&mut self.programs);
         let num_nodes = programs.len();
 
-        let mut sched = Sched {
-            queue: BinaryHeap::new(),
-            seq: 0,
-        };
+        let mut sched = Sched::new();
         for (at, kind) in self.initial.drain(..) {
             sched.push(at, kind);
         }
         let mut nodes = Vec::with_capacity(num_nodes);
         for (i, (name, _)) in programs.iter().enumerate() {
-            nodes.push(NodeMeta {
-                name: name.clone(),
-                state: NState::Startup,
-                epoch: 0,
-                signal: false,
-                unpark_queued: false,
-                coalesced: 0,
-            });
+            nodes.push(NodeMeta::new(name.clone()));
             sched.push(
                 Time::ZERO,
                 EvKind::Wake {
@@ -592,7 +806,10 @@ impl<W: Send + 'static> Sim<W> {
                 sched,
                 nodes,
                 events: 0,
+                sync_events: 0,
                 budget: self.event_budget,
+                horizon: Time::MAX,
+                shard: None,
                 tracer: self.tracer.take(),
             }),
         });
@@ -662,6 +879,10 @@ impl<W: Send + 'static> Sim<W> {
             end_time,
             events,
             wakes_coalesced,
+            shards: Vec::new(),
+            sync_events: 0,
+            windows: 0,
+            cross_unparks: 0,
             wall,
         })
     }
@@ -675,7 +896,7 @@ impl<W: Send + 'static> Sim<W> {
                 None => break,
             };
             inner.events += 1;
-            if inner.events > inner.budget {
+            if inner.events + inner.sync_events > inner.budget {
                 let (at, budget) = (inner.now, inner.budget);
                 drop(inner);
                 return Err(SimError::EventBudgetExhausted { at, budget });
@@ -730,34 +951,7 @@ impl<W: Send + 'static> Sim<W> {
                     }
                     inner = shared.inner.lock();
                 }
-                EvKind::Call(f) => {
-                    let inner_ref = &mut *inner;
-                    if let Some(t) = &inner_ref.tracer {
-                        t.instant(ev.time.as_ns(), Track::ENGINE, TraceKind::EngineCall, 0);
-                    }
-                    let mut ectx = EventCtx {
-                        now: ev.time,
-                        world: &mut inner_ref.world,
-                        sched: &mut inner_ref.sched,
-                        nodes: &mut inner_ref.nodes,
-                        tracer: &inner_ref.tracer,
-                    };
-                    f(&mut ectx);
-                }
-                EvKind::Hot { f, a, b } => {
-                    let inner_ref = &mut *inner;
-                    if let Some(t) = &inner_ref.tracer {
-                        t.instant(ev.time.as_ns(), Track::ENGINE, TraceKind::EngineHot, a);
-                    }
-                    let mut ectx = EventCtx {
-                        now: ev.time,
-                        world: &mut inner_ref.world,
-                        sched: &mut inner_ref.sched,
-                        nodes: &mut inner_ref.nodes,
-                        tracer: &inner_ref.tracer,
-                    };
-                    f(&mut ectx, a, b);
-                }
+                kind => exec_event(&mut inner, ev.time, kind),
             }
         }
 

@@ -43,14 +43,19 @@
 mod engine;
 mod error;
 mod node;
+mod parallel;
 mod time;
 
-pub use engine::{stats, EventCtx, HotFn, NodeId, Sim, SimReport};
+pub use engine::{stats, EventCtx, HotFn, NodeId, ShardReport, Sim, SimReport};
 pub use error::SimError;
 pub use node::{NodeCtx, WakeReason};
+pub use parallel::{ShardMsg, Shardable};
 pub use time::{Dur, Time};
 
 /// Convenience prelude for downstream crates.
 pub mod prelude {
-    pub use crate::{Dur, EventCtx, NodeCtx, NodeId, Sim, SimError, SimReport, Time, WakeReason};
+    pub use crate::{
+        Dur, EventCtx, NodeCtx, NodeId, ShardMsg, ShardReport, Shardable, Sim, SimError, SimReport,
+        Time, WakeReason,
+    };
 }

@@ -104,6 +104,27 @@ impl Baton {
         self.cv.notify_one();
     }
 
+    /// Parallel-mode: grant the baton to a node *without* blocking for its
+    /// yield (the granting thread is another node thread that continues as
+    /// the shard's driver or goes to sleep itself). The target must be idle.
+    pub(crate) fn grant(&self, at: Time, reason: WakeReason) {
+        let mut slot = self.slot.lock();
+        debug_assert!(matches!(*slot, Slot::Idle), "grant: baton not idle");
+        *slot = Slot::Run { at, reason };
+        self.cv.notify_one();
+    }
+
+    /// Parallel-mode: give the baton back without publishing a yield (the
+    /// yield was already consumed by the shard drive loop). Only replaces a
+    /// `Run`; a concurrent teardown `Exit` is preserved so the thread still
+    /// unwinds at its next wait.
+    pub(crate) fn release(&self) {
+        let mut slot = self.slot.lock();
+        if matches!(*slot, Slot::Run { .. }) {
+            *slot = Slot::Idle;
+        }
+    }
+
     /// Node side: wait for the first `Run` grant (program start).
     pub(crate) fn wait_for_start(&self) -> (Time, WakeReason) {
         self.wait_for_run()
@@ -132,7 +153,7 @@ impl Baton {
         self.cv.notify_one();
     }
 
-    fn wait_for_run(&self) -> (Time, WakeReason) {
+    pub(crate) fn wait_for_run(&self) -> (Time, WakeReason) {
         let mut slot = self.slot.lock();
         loop {
             match &*slot {
@@ -152,6 +173,30 @@ impl Baton {
     }
 }
 
+/// What one step of a parallel shard's drive loop produced.
+pub(crate) enum Drive {
+    /// The driving node's own wake came up while it was driving: it resumes
+    /// running directly, with zero baton hand-offs.
+    SelfRun(Time, WakeReason),
+    /// The baton was granted to some other node (or the shard went idle at a
+    /// window barrier and another thread now drives); the caller must wait
+    /// for its own next `Run` grant.
+    Handed,
+    /// The run is over (finished or failed); the caller must wait on its
+    /// baton for the teardown `Exit`.
+    Shutdown,
+}
+
+/// Parallel-mode hook: lets a yielding node thread *keep executing the shard
+/// event loop* instead of handing off to a dedicated engine thread. Erased
+/// to a trait object so [`NodeCtx`] stays `W: Send` while the concrete
+/// driver requires the world to be shardable.
+pub(crate) trait ShardDriver<W: Send + 'static>: Send + Sync {
+    /// Drive the owning shard until `me` (when given) is woken — returning
+    /// [`Drive::SelfRun`] — or the baton moves elsewhere.
+    fn drive(&self, me: Option<NodeId>) -> Drive;
+}
+
 /// Handle through which a node program interacts with the simulation.
 ///
 /// A `NodeCtx` is handed (by mutable reference) to the node program closure.
@@ -165,6 +210,9 @@ pub struct NodeCtx<W: Send + 'static> {
     pub(crate) shared: Arc<Shared<W>>,
     pub(crate) baton: Arc<Baton>,
     pub(crate) rng: SmallRng,
+    /// Set only in parallel runs: yields become "release the baton and keep
+    /// driving the shard" instead of a hand-off to the engine thread.
+    pub(crate) driver: Option<Arc<dyn ShardDriver<W>>>,
 }
 
 impl<W: Send + 'static> NodeCtx<W> {
@@ -184,6 +232,25 @@ impl<W: Send + 'static> NodeCtx<W> {
             shared,
             baton,
             rng: SmallRng::seed_from_u64(node_seed),
+            driver: None,
+        }
+    }
+
+    /// Yield to whatever runs this node's shard. Serial: publish the yield
+    /// and block for the engine thread (two context switches). Parallel:
+    /// release the baton and *become* the shard's driver — if this node's
+    /// own wake surfaces while driving, it resumes with zero switches.
+    fn yield_to_engine(&mut self, y: Yield) -> (Time, WakeReason) {
+        match &self.driver {
+            None => self.baton.yield_and_wait(y),
+            Some(driver) => {
+                let driver = driver.clone();
+                self.baton.release();
+                match driver.drive(Some(self.id)) {
+                    Drive::SelfRun(t, reason) => (t, reason),
+                    Drive::Handed | Drive::Shutdown => self.baton.wait_for_run(),
+                }
+            }
         }
     }
 
@@ -228,7 +295,7 @@ impl<W: Send + 'static> NodeCtx<W> {
             return;
         }
         self.shared.note_sleep(self.id, until);
-        let (t, _) = self.baton.yield_and_wait(Yield::Sleep { until });
+        let (t, _) = self.yield_to_engine(Yield::Sleep { until });
         debug_assert_eq!(t, until);
         self.now = t;
     }
@@ -245,7 +312,7 @@ impl<W: Send + 'static> NodeCtx<W> {
             return r;
         }
         self.shared.note_sleep(self.id, until);
-        let (t, _) = self.baton.yield_and_wait(Yield::Sleep { until });
+        let (t, _) = self.yield_to_engine(Yield::Sleep { until });
         debug_assert_eq!(t, until);
         self.now = t;
         r
@@ -259,7 +326,7 @@ impl<W: Send + 'static> NodeCtx<W> {
             return WakeReason::Unparked;
         }
         self.shared.note_park(self.id, None);
-        let (t, reason) = self.baton.yield_and_wait(Yield::Park);
+        let (t, reason) = self.yield_to_engine(Yield::Park);
         self.now = t;
         reason
     }
@@ -284,7 +351,7 @@ impl<W: Send + 'static> NodeCtx<W> {
             return WakeReason::Timeout;
         }
         self.shared.note_park(self.id, Some(until));
-        let (t, reason) = self.baton.yield_and_wait(Yield::ParkTimeout { until });
+        let (t, reason) = self.yield_to_engine(Yield::ParkTimeout { until });
         self.now = t;
         reason
     }

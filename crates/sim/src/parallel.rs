@@ -1,0 +1,904 @@
+//! Sharded conservative-parallel execution: [`Sim::run_parallel`].
+//!
+//! ## Model
+//!
+//! Nodes are partitioned into `num_shards` *shards* by a block map
+//! (`owner[i] = i * num_shards / num_nodes`). Each shard owns a private
+//! event heap, local clock, and world slice (see [`Shardable::split`]); the
+//! existing zero-handoff fast advance remains the intra-shard hot path.
+//! Shards advance conservatively in *lookahead windows*: with `M` the
+//! global minimum pending-event time and `L` the world's lookahead
+//! ([`Shardable::lookahead`] — for the SP world, the minimum latency any
+//! cross-node interaction must incur), every shard may freely execute
+//! events and fast-advance node clocks strictly below the horizon
+//! `M + L`. Anything a shard does inside the window can only affect other
+//! shards at or after the horizon, so no shard can receive a message "from
+//! the past" — the classic null-message/conservative PDES argument, with
+//! the per-window barrier standing in for per-link null messages.
+//!
+//! Cross-shard interactions are timestamped [`ShardMsg`]s: generated inside
+//! a window, collected at the next barrier ([`Shardable::take_messages`]),
+//! and applied on the destination shard as `sync` events
+//! ([`Shardable::apply_msg`]) ordered by `(timestamp, source shard)`.
+//! Sync events are charged to a separate `sync_events` counter so a
+//! parallel run reports the *same* `events` as its serial twin and the
+//! synchronization overhead stays observable ([`SimReport::sync_events`],
+//! [`SimReport::windows`]).
+//!
+//! ## Who drives a shard?
+//!
+//! There is no per-shard engine thread. The node threads of a shard pass a
+//! *driving* role cooperatively: whenever a node yields (sleep/park), it
+//! releases its baton and becomes the shard's driver, popping events and
+//! granting batons until either its own wake surfaces (it resumes with zero
+//! context switches — [`Drive::SelfRun`]) or it grants another node and
+//! parks itself. This keeps the single-runner-per-shard discipline that
+//! makes world access data-race-free, while cutting the two context
+//! switches per yield that the serial engine thread costs.
+//!
+//! ## Determinism
+//!
+//! Within a shard, execution is the serial engine verbatim: events in
+//! `(time, seq)` order. Across shards, every hand-off is timestamped and
+//! applied in `(timestamp, source shard)` order at a barrier whose placement
+//! depends only on virtual time — never on OS scheduling. Runs are therefore
+//! reproducible for a fixed `(config, seed, num_shards)`, and for workloads
+//! whose cross-shard interactions are the world's own hand-offs (packets),
+//! end time, event count, and world state match the serial run exactly —
+//! see `tests/parallel.rs` and the proptest equivalence suite.
+
+use crate::engine::{
+    exec_event, stats, EvKind, EventCtx, Inner, NState, NodeId, NodeMeta, Sched, ShardReport,
+    ShardSlot, Shared, Sim, SimReport,
+};
+use crate::error::SimError;
+use crate::node::{Baton, Drive, NodeCtx, ShardDriver, ShutdownToken, WakeReason};
+use crate::time::{Dur, Time};
+use parking_lot::{Condvar, Mutex};
+use sp_trace::{Kind as TraceKind, Track};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A timestamped inter-shard message produced by a world slice during a
+/// lookahead window (see [`Shardable::take_messages`]).
+pub struct ShardMsg<M> {
+    /// Virtual time at which the message takes effect on the destination
+    /// shard. Must be at least the producing shard's horizon (i.e. at least
+    /// `lookahead` past the generating event) — this is what makes the
+    /// conservative window sound.
+    pub ts: Time,
+    /// Destination shard index (`owner[dst_node]`).
+    pub dst_shard: usize,
+    /// World-defined payload.
+    pub msg: M,
+}
+
+/// A world that can be partitioned across conservative-parallel shards.
+///
+/// `split` carves the world into per-shard slices before the run; during
+/// the run each slice buffers outbound [`ShardMsg`]s which the barrier
+/// collects (`take_messages`) and applies on the destination slice
+/// (`apply_msg`); `merge` reassembles the final world for the report.
+pub trait Shardable: Send + Sized + 'static {
+    /// Inter-shard message payload.
+    type Msg: Send + 'static;
+
+    /// The minimum virtual-time latency of any cross-shard interaction:
+    /// no event a shard executes at time `t` may affect another shard
+    /// before `t + lookahead()`. Must be positive; `Dur(u64::MAX)` means
+    /// shards never interact through the world.
+    fn lookahead(&self) -> Dur;
+
+    /// Partition into `num_shards` slices; `owner[node] == shard` gives the
+    /// node partition. Slice `s` must answer world access for exactly the
+    /// nodes it owns.
+    fn split(self, num_shards: usize, owner: &[usize]) -> Vec<Self>;
+
+    /// Reassemble the final world from the slices (in shard order).
+    fn merge(parts: Vec<Self>) -> Self;
+
+    /// Apply one inbound message on the destination shard, as an engine
+    /// event at the message timestamp.
+    fn apply_msg(e: &mut EventCtx<'_, Self>, msg: Self::Msg);
+
+    /// Drain this slice's outbound message buffer (called at each barrier).
+    fn take_messages(&mut self) -> Vec<ShardMsg<Self::Msg>>;
+}
+
+/// The trivial world shards into nothing: no cross-shard interactions, so
+/// the lookahead is unbounded and a parallel run needs exactly one window.
+/// Used by engine-only workloads (benchmarks, tests) whose nodes interact
+/// purely through park/unpark within their own shard.
+impl Shardable for () {
+    type Msg = ();
+    fn lookahead(&self) -> Dur {
+        Dur(u64::MAX)
+    }
+    fn split(self, num_shards: usize, _owner: &[usize]) -> Vec<()> {
+        vec![(); num_shards]
+    }
+    fn merge(_parts: Vec<()>) {}
+    fn apply_msg(_e: &mut EventCtx<'_, ()>, _msg: ()) {}
+    fn take_messages(&mut self) -> Vec<ShardMsg<()>> {
+        Vec::new()
+    }
+}
+
+/// Barrier / completion state shared by all shards of one parallel run.
+struct GState<W: Shardable> {
+    /// Per-destination-shard inbound messages: `(src_shard, ts, msg)`.
+    inbox: Vec<Vec<(usize, Time, W::Msg)>>,
+    /// Per-destination-shard deferred cross-shard unparks:
+    /// `(target, ts, src_shard)`.
+    unparks: Vec<Vec<(NodeId, Time, usize)>>,
+    /// Each shard's earliest pending event time as of its latest barrier
+    /// arrival (`None` = queue drained).
+    next: Vec<Option<Time>>,
+    /// Drivers arrived at the current barrier round.
+    arrived: usize,
+    /// Barrier generation counter.
+    round: u64,
+    /// Completed lookahead windows.
+    windows: u64,
+    /// Cross-shard unparks applied at barriers.
+    cross_unparks: u64,
+    /// All queues drained (clean completion).
+    finished: bool,
+    /// First error raised by any shard (budget, panic).
+    failed: Option<SimError>,
+    /// Run must stop (finished or failed).
+    stop: bool,
+}
+
+/// Everything the shard drive loops share: the per-shard engines, every
+/// node's baton, the ownership map, and the barrier.
+struct SyncCore<W: Shardable> {
+    shards: Vec<Arc<Shared<W>>>,
+    batons: Vec<Arc<Baton>>,
+    owner: Arc<Vec<usize>>,
+    lookahead: Dur,
+    num_shards: usize,
+    state: Mutex<GState<W>>,
+    cv: Condvar,
+    /// Mirror of `GState::stop` readable without the state lock (drive
+    /// loops hold their shard lock and must not take the state lock).
+    stopped: AtomicBool,
+    tracer: Option<sp_trace::Tracer>,
+}
+
+impl<W: Shardable> SyncCore<W> {
+    /// Record a fatal error and release everyone. Callers must not hold any
+    /// shard's inner lock.
+    fn fail(&self, err: SimError) {
+        let mut st = self.state.lock();
+        if st.failed.is_none() {
+            st.failed = Some(err);
+        }
+        st.stop = true;
+        self.stopped.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Arrive at the window barrier with this shard's outbound traffic and
+    /// next-event time. Returns `true` to continue into the next window,
+    /// `false` when the run is over (finished or failed).
+    fn barrier(
+        &self,
+        sid: usize,
+        msgs: Vec<ShardMsg<W::Msg>>,
+        unparks: Vec<(NodeId, Time)>,
+        next: Option<Time>,
+    ) -> bool {
+        let mut st = self.state.lock();
+        if st.stop {
+            return false;
+        }
+        for m in msgs {
+            debug_assert!(m.dst_shard < self.num_shards);
+            st.inbox[m.dst_shard].push((sid, m.ts, m.msg));
+        }
+        for (node, t) in unparks {
+            st.unparks[self.owner[node.0]].push((node, t, sid));
+        }
+        st.next[sid] = next;
+        st.arrived += 1;
+        if st.arrived < self.num_shards {
+            let round = st.round;
+            while st.round == round && !st.stop {
+                self.cv.wait(&mut st);
+            }
+            return !st.stop;
+        }
+
+        // Last arriver: deliver inboxes, recompute each receiver's next
+        // event, advance the horizon. Locking a shard's inner here is safe:
+        // every driver is at this barrier (in `cv.wait`, without its inner).
+        st.arrived = 0;
+        for dst in 0..self.num_shards {
+            let mut msgs = std::mem::take(&mut st.inbox[dst]);
+            let mut unparks = std::mem::take(&mut st.unparks[dst]);
+            if msgs.is_empty() && unparks.is_empty() {
+                continue;
+            }
+            // Deterministic application order, independent of which shard
+            // arrived when: by timestamp, then source shard (stable sort
+            // preserves each source's own generation order).
+            msgs.sort_by_key(|(src, ts, _)| (*ts, *src));
+            unparks.sort_by_key(|(node, t, src)| (*t, *src, node.0));
+            let inner = &mut *self.shards[dst].inner.lock();
+            for (_src, ts, msg) in msgs {
+                let at = ts.max(inner.now);
+                inner
+                    .sched
+                    .push(at, EvKind::sync_call(move |e| W::apply_msg(e, msg)));
+            }
+            for (node, t, _src) in unparks {
+                st.cross_unparks += 1;
+                // Replay the unpark as a sync event at its own timestamp
+                // rather than applying it here directly: two unparks of the
+                // same target in one window must each wake it (the target
+                // consumes the first wake before the second lands, exactly
+                // as in the serial interleaving). Direct back-to-back
+                // application would wrongly coalesce the second; see
+                // `replay_unpark` for the in-flight-wake requeue.
+                let at = t.max(inner.now);
+                inner.sched.push(
+                    at,
+                    EvKind::sync_call(move |e| crate::engine::replay_unpark(e, node)),
+                );
+            }
+            st.next[dst] = inner.sched.peek_time();
+        }
+
+        let m = st.next.iter().copied().flatten().min();
+        match m {
+            None => {
+                // Every queue drained and no traffic in flight: done.
+                st.finished = true;
+                st.stop = true;
+                self.stopped.store(true, Ordering::Release);
+                st.round += 1;
+                self.cv.notify_all();
+                false
+            }
+            Some(m) => {
+                let horizon = m.saturating_add(self.lookahead);
+                for s in &self.shards {
+                    s.inner.lock().horizon = horizon;
+                }
+                st.windows += 1;
+                st.round += 1;
+                if let Some(t) = &self.tracer {
+                    t.instant(m.as_ns(), Track::ENGINE, TraceKind::ShardBarrier, st.round);
+                }
+                self.cv.notify_all();
+                true
+            }
+        }
+    }
+
+    /// One shard's event loop: pop-and-execute below the horizon, grant
+    /// batons to woken nodes, arrive at the barrier when the window is
+    /// exhausted. Returns when the baton moved to another node
+    /// ([`Drive::Handed`]), the caller's own wake surfaced
+    /// ([`Drive::SelfRun`]), or the run ended ([`Drive::Shutdown`]).
+    fn drive(&self, sid: usize, me: Option<NodeId>) -> Drive {
+        let shared = &self.shards[sid];
+        loop {
+            if self.stopped.load(Ordering::Acquire) {
+                return Drive::Shutdown;
+            }
+            let mut inner = shared.inner.lock();
+            let horizon = inner.horizon;
+            let Some(ev) = inner.sched.pop_before(horizon) else {
+                // Window exhausted: flush outbound traffic and synchronize.
+                let msgs = inner.world.take_messages();
+                let unparks = match &mut inner.shard {
+                    Some(s) => std::mem::take(&mut s.remote_unparks),
+                    None => Vec::new(),
+                };
+                let next = inner.sched.peek_time();
+                drop(inner);
+                if self.barrier(sid, msgs, unparks, next) {
+                    continue;
+                }
+                return Drive::Shutdown;
+            };
+            if ev.kind.is_sync() {
+                inner.sync_events += 1;
+            } else {
+                inner.events += 1;
+            }
+            if inner.events + inner.sync_events > inner.budget {
+                let (at, budget) = (inner.now, inner.budget);
+                drop(inner);
+                self.fail(SimError::EventBudgetExhausted { at, budget });
+                return Drive::Shutdown;
+            }
+            debug_assert!(ev.time >= inner.now, "shard queue went backwards");
+            inner.now = ev.time;
+            match ev.kind {
+                EvKind::Wake {
+                    node,
+                    epoch,
+                    reason,
+                } => {
+                    let meta = &mut inner.nodes[node.0];
+                    let runnable = meta.epoch == epoch
+                        && matches!(
+                            meta.state,
+                            NState::Startup | NState::Sleeping | NState::Parked | NState::SleepInt
+                        );
+                    if !runnable {
+                        continue; // stale wake (still counted, as in serial)
+                    }
+                    meta.epoch += 1;
+                    meta.state = NState::Running;
+                    meta.unpark_queued = false;
+                    if let Some(t) = &inner.tracer {
+                        t.instant(
+                            ev.time.as_ns(),
+                            Track::program(node.0),
+                            TraceKind::EngineWake,
+                            matches!(reason, WakeReason::Unparked) as u64,
+                        );
+                    }
+                    drop(inner);
+                    if me == Some(node) {
+                        // The driver's own wake: resume in place, zero
+                        // hand-offs (the parallel twin of the serial
+                        // fast-advance elision).
+                        return Drive::SelfRun(ev.time, reason);
+                    }
+                    self.batons[node.0].grant(ev.time, reason);
+                    return Drive::Handed;
+                }
+                kind => exec_event(&mut inner, ev.time, kind),
+            }
+        }
+    }
+}
+
+/// Adapter from one shard of a [`SyncCore`] to the [`ShardDriver`] hook a
+/// [`NodeCtx`] calls on yield.
+struct ShardRt<W: Shardable> {
+    id: usize,
+    core: Arc<SyncCore<W>>,
+}
+
+impl<W: Shardable> ShardDriver<W> for ShardRt<W> {
+    fn drive(&self, me: Option<NodeId>) -> Drive {
+        self.core.drive(self.id, me)
+    }
+}
+
+impl<W: Shardable> Sim<W> {
+    /// Run to completion on `num_shards` OS threads' worth of shards using
+    /// conservative lookahead-window synchronization. `run_parallel(1)` is
+    /// exactly [`Sim::run`]; for supported workloads, larger shard counts
+    /// produce the same end time, event count, and final world state (see
+    /// the module docs for the argument and its limits).
+    ///
+    /// Restrictions (asserted): no pre-scheduled calls
+    /// ([`Sim::schedule_call_at`] implies mid-run global mutation the
+    /// window model cannot order), and `num_shards` is clamped to the node
+    /// count. The default per-shard event budget is shared-by-value: each
+    /// shard gets the full [`Sim::set_event_budget`] value.
+    pub fn run_parallel(mut self, num_shards: usize) -> Result<SimReport<W>, SimError> {
+        assert!(num_shards >= 1, "need at least one shard");
+        let num_nodes = self.programs.len();
+        let num_shards = num_shards.min(num_nodes.max(1));
+        if num_shards <= 1 {
+            return self.run();
+        }
+        assert!(
+            self.initial.is_empty(),
+            "run_parallel does not support schedule_call_at; use Sim::run"
+        );
+        let started = std::time::Instant::now();
+        let world = self.world.take().expect("world present");
+        let programs = std::mem::take(&mut self.programs);
+        let lookahead = world.lookahead();
+        assert!(lookahead > Dur::ZERO, "lookahead must be positive");
+
+        // Block partition: contiguous node ranges, every shard non-empty
+        // (owner is surjective for num_shards <= num_nodes).
+        let owner: Arc<Vec<usize>> =
+            Arc::new((0..num_nodes).map(|i| i * num_shards / num_nodes).collect());
+        let tracer = self.tracer.take();
+        let worlds = world.split(num_shards, &owner);
+        assert_eq!(
+            worlds.len(),
+            num_shards,
+            "split must produce one world per shard"
+        );
+
+        let mut shards: Vec<Arc<Shared<W>>> = Vec::with_capacity(num_shards);
+        for (sid, w) in worlds.into_iter().enumerate() {
+            let mut sched = Sched::new();
+            let mut nodes = Vec::with_capacity(num_nodes);
+            for (i, (name, _)) in programs.iter().enumerate() {
+                // Full-length meta vector (indexed by global NodeId); only
+                // owned nodes get startup wakes or ever change state here.
+                nodes.push(NodeMeta::new(name.clone()));
+                if owner[i] == sid {
+                    sched.push(
+                        Time::ZERO,
+                        EvKind::Wake {
+                            node: NodeId(i),
+                            epoch: 0,
+                            reason: WakeReason::Timeout,
+                        },
+                    );
+                }
+            }
+            shards.push(Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    world: w,
+                    now: Time::ZERO,
+                    sched,
+                    nodes,
+                    events: 0,
+                    sync_events: 0,
+                    budget: self.event_budget,
+                    // Zero horizon: nothing may run until the first barrier
+                    // establishes the first window.
+                    horizon: Time::ZERO,
+                    shard: Some(ShardSlot {
+                        id: sid,
+                        owner: owner.clone(),
+                        remote_unparks: Vec::new(),
+                    }),
+                    tracer: tracer.clone(),
+                }),
+            }));
+        }
+
+        let batons: Vec<Arc<Baton>> = (0..num_nodes).map(|_| Baton::new()).collect();
+        let core = Arc::new(SyncCore {
+            shards,
+            batons: batons.clone(),
+            owner: owner.clone(),
+            lookahead,
+            num_shards,
+            state: Mutex::new(GState {
+                inbox: (0..num_shards).map(|_| Vec::new()).collect(),
+                unparks: (0..num_shards).map(|_| Vec::new()).collect(),
+                next: vec![None; num_shards],
+                arrived: 0,
+                round: 0,
+                windows: 0,
+                cross_unparks: 0,
+                finished: false,
+                failed: None,
+                stop: false,
+            }),
+            cv: Condvar::new(),
+            stopped: AtomicBool::new(false),
+            tracer,
+        });
+
+        let mut handles = Vec::with_capacity(num_nodes);
+        for (i, (name, program)) in programs.into_iter().enumerate() {
+            let sid = owner[i];
+            let shared = core.shards[sid].clone();
+            let baton = batons[i].clone();
+            let seed = self.seed;
+            let core = core.clone();
+            let thread_name = format!("sp-sim-node-{i}-{name}");
+            let handle = std::thread::Builder::new()
+                .name(thread_name)
+                .spawn(move || {
+                    let rt: Arc<dyn ShardDriver<W>> = Arc::new(ShardRt {
+                        id: sid,
+                        core: core.clone(),
+                    });
+                    let mut ctx =
+                        NodeCtx::new(NodeId(i), num_nodes, seed, shared.clone(), baton.clone());
+                    ctx.driver = Some(rt.clone());
+                    let (t0, _) = baton.wait_for_start();
+                    ctx.now = t0;
+                    match catch_unwind(AssertUnwindSafe(|| program(&mut ctx))) {
+                        Ok(()) => {
+                            shared.note_done(NodeId(i));
+                            baton.release();
+                            // Stay on as the shard's driver: its queue may
+                            // still hold events, and drained shards must
+                            // keep answering barriers (and executing any
+                            // late inbound messages) until the run ends.
+                            rt.drive(None);
+                        }
+                        Err(payload) => {
+                            if payload.is::<ShutdownToken>() {
+                                return; // orderly teardown
+                            }
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                            shared.note_done(NodeId(i));
+                            core.fail(SimError::NodePanicked {
+                                node: name,
+                                message: msg,
+                            });
+                        }
+                    }
+                })
+                .expect("spawn node thread");
+            handles.push(handle);
+        }
+
+        // One short-lived bootstrap driver per shard: arrives at the
+        // initial barrier (horizon starts at zero), then pops the first
+        // startup wake and hands the driving role to the node threads.
+        let mut boot = Vec::with_capacity(num_shards);
+        for sid in 0..num_shards {
+            let core = core.clone();
+            boot.push(
+                std::thread::Builder::new()
+                    .name(format!("sp-sim-shard-{sid}"))
+                    .spawn(move || {
+                        core.drive(sid, None);
+                    })
+                    .expect("spawn shard bootstrap thread"),
+            );
+        }
+
+        // Wait for completion (clean or failed).
+        {
+            let mut st = core.state.lock();
+            while !st.stop {
+                core.cv.wait(&mut st);
+            }
+        }
+        // Unwind every node thread still blocked on (or about to block on)
+        // its baton; running nodes observe `Exit` at their next yield
+        // (release() preserves it).
+        for baton in &batons {
+            baton.exit();
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        for handle in boot {
+            let _ = handle.join();
+        }
+
+        let core = Arc::try_unwrap(core)
+            .unwrap_or_else(|_| panic!("shard threads still hold engine state"));
+        let st = core.state.into_inner();
+        let inners: Vec<Inner<W>> = core
+            .shards
+            .into_iter()
+            .map(|s| {
+                Arc::try_unwrap(s)
+                    .unwrap_or_else(|_| panic!("node threads still hold shard state"))
+                    .inner
+                    .into_inner()
+            })
+            .collect();
+
+        if let Some(err) = st.failed {
+            return Err(err);
+        }
+        let mut end_time = Time::ZERO;
+        let mut stuck: Vec<String> = Vec::new();
+        let mut shard_reports = Vec::with_capacity(num_shards);
+        let mut events = 0u64;
+        let mut sync_events = 0u64;
+        let mut wakes_coalesced = 0u64;
+        for (sid, inner) in inners.iter().enumerate() {
+            end_time = end_time.max(inner.now);
+            let mut nodes_owned = 0usize;
+            for (i, meta) in inner.nodes.iter().enumerate() {
+                if owner[i] != sid {
+                    continue;
+                }
+                nodes_owned += 1;
+                wakes_coalesced += meta.coalesced;
+                if meta.state != NState::Done {
+                    stuck.push(meta.name.clone());
+                }
+            }
+            shard_reports.push(ShardReport {
+                shard: sid,
+                nodes: nodes_owned,
+                events: inner.events,
+                sync_events: inner.sync_events,
+            });
+            events += inner.events;
+            sync_events += inner.sync_events;
+        }
+        if !stuck.is_empty() {
+            debug_assert!(st.finished);
+            return Err(SimError::Deadlock {
+                at: end_time,
+                parked: stuck,
+            });
+        }
+        let world = W::merge(inners.into_iter().map(|i| i.world).collect());
+        let wall = started.elapsed();
+        stats::record(events, wakes_coalesced, wall);
+        stats::record_parallel(num_shards as u64, sync_events, st.windows);
+        Ok(SimReport {
+            world,
+            end_time,
+            events,
+            wakes_coalesced,
+            shards: shard_reports,
+            sync_events,
+            windows: st.windows,
+            cross_unparks: st.cross_unparks,
+            wall,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dur, Sim, WakeReason};
+
+    /// Serial/parallel twin runs of an N-pair ping-pong storm (pure engine
+    /// workload on the unit world: park/unpark within each pair).
+    fn pingpong(pairs: usize, rounds: usize, shards: usize) -> (Time, u64) {
+        let mut sim = Sim::new((), 7);
+        for p in 0..pairs {
+            let a = NodeId(2 * p);
+            let b = NodeId(2 * p + 1);
+            sim.spawn(format!("sleeper{p}"), move |ctx| {
+                for _ in 0..rounds {
+                    assert_eq!(ctx.park(), WakeReason::Unparked);
+                    ctx.unpark(b);
+                }
+            });
+            sim.spawn(format!("waker{p}"), move |ctx| {
+                for _ in 0..rounds {
+                    ctx.advance(Dur::ns(100));
+                    ctx.unpark(a);
+                    assert_eq!(ctx.park(), WakeReason::Unparked);
+                    ctx.advance(Dur::ns(50));
+                }
+            });
+        }
+        let r = if shards <= 1 {
+            sim.run().unwrap()
+        } else {
+            sim.run_parallel(shards).unwrap()
+        };
+        (r.end_time, r.events)
+    }
+
+    #[test]
+    fn parallel_pingpong_matches_serial() {
+        let serial = pingpong(4, 50, 1);
+        for shards in [2, 4] {
+            assert_eq!(pingpong(4, 50, shards), serial, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn parallel_shard_count_clamps_to_node_count() {
+        // More shards than nodes degrades gracefully (clamped, not panic).
+        assert_eq!(pingpong(2, 10, 16), pingpong(2, 10, 1));
+    }
+
+    #[test]
+    fn parallel_repeats_identically() {
+        let a = pingpong(3, 40, 3);
+        let b = pingpong(3, 40, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_reports_shards() {
+        let mut sim = Sim::new((), 0);
+        for i in 0..4 {
+            sim.spawn(format!("n{i}"), |ctx| {
+                for _ in 0..10 {
+                    ctx.advance(Dur::ns(10));
+                }
+            });
+        }
+        let r = sim.run_parallel(2).unwrap();
+        assert_eq!(r.shards.len(), 2);
+        assert_eq!(r.shards.iter().map(|s| s.nodes).sum::<usize>(), 4);
+        assert_eq!(r.shards.iter().map(|s| s.events).sum::<u64>(), r.events);
+        // Unit world: no cross-shard traffic, single unbounded window.
+        assert_eq!(r.sync_events, 0);
+        assert_eq!(r.cross_unparks, 0);
+    }
+
+    #[test]
+    fn parallel_deadlock_is_detected() {
+        let mut sim = Sim::new((), 0);
+        sim.spawn("stuck-a", |ctx| {
+            ctx.park();
+        });
+        sim.spawn("ok-b", |ctx| ctx.advance(Dur::ns(5)));
+        match sim.run_parallel(2) {
+            Err(SimError::Deadlock { parked, .. }) => {
+                assert_eq!(parked, vec!["stuck-a".to_string()])
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_budget_exhaustion_is_reported() {
+        let mut sim = Sim::new((), 0);
+        sim.set_event_budget(200);
+        sim.spawn("spin-a", |ctx| loop {
+            ctx.advance(Dur::ns(1));
+        });
+        sim.spawn("spin-b", |ctx| loop {
+            ctx.advance(Dur::ns(1));
+        });
+        match sim.run_parallel(2) {
+            Err(SimError::EventBudgetExhausted { budget, .. }) => assert_eq!(budget, 200),
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_node_panic_is_reported() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut sim = Sim::new((), 0);
+        sim.spawn("bad", |ctx| {
+            ctx.advance(Dur::ns(1));
+            panic!("boom");
+        });
+        sim.spawn("good", |ctx| {
+            for _ in 0..100 {
+                ctx.advance(Dur::ns(1));
+            }
+        });
+        let out = sim.run_parallel(2);
+        std::panic::set_hook(prev);
+        match out {
+            Err(SimError::NodePanicked { node, message }) => {
+                assert_eq!(node, "bad");
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected node panic, got {other:?}"),
+        }
+    }
+
+    /// A shardable world with real cross-shard traffic: each shard holds a
+    /// per-node mailbox count; nodes "send" increments to the next node with
+    /// a fixed virtual latency. Exercises messages, windows, and merge.
+    struct Mailboxes {
+        counts: Vec<u64>,
+        shard: Option<(usize, Arc<Vec<usize>>)>,
+        outbox: Vec<ShardMsg<usize>>,
+    }
+
+    const MAIL_LAT: u64 = 1_000;
+
+    impl Mailboxes {
+        fn new(n: usize) -> Mailboxes {
+            Mailboxes {
+                counts: vec![0; n],
+                shard: None,
+                outbox: Vec::new(),
+            }
+        }
+        /// Post an increment to `dst`, landing `MAIL_LAT` ns from `now`.
+        /// Serial: the landing is one counted Hot event at `ts`. Parallel:
+        /// a sync-counted relay (local `SyncHot` or inter-shard message)
+        /// carries the hand-off to `ts`, then re-schedules the same counted
+        /// landing event — so `events` stays identical to serial and only
+        /// `sync_events` grows.
+        fn post(e: &mut EventCtx<'_, Mailboxes>, dst: u64, _b: u64) {
+            let dst = dst as usize;
+            let ts = e.now() + Dur::ns(MAIL_LAT);
+            match e.world().shard.clone() {
+                None => e.schedule_hot_at(ts, Mailboxes::land, dst as u64, 0),
+                Some((sid, owner)) if owner[dst] == sid => {
+                    e.schedule_sync_hot_at(ts, Mailboxes::relay, dst as u64, 0)
+                }
+                Some((_, owner)) => {
+                    let dst_shard = owner[dst];
+                    e.world().outbox.push(ShardMsg {
+                        ts,
+                        dst_shard,
+                        msg: dst,
+                    });
+                }
+            }
+        }
+        fn relay(e: &mut EventCtx<'_, Mailboxes>, dst: u64, _b: u64) {
+            e.schedule_hot_at(e.now(), Mailboxes::land, dst, 0);
+        }
+        fn land(e: &mut EventCtx<'_, Mailboxes>, dst: u64, _b: u64) {
+            e.world().counts[dst as usize] += 1;
+        }
+    }
+
+    impl Shardable for Mailboxes {
+        type Msg = usize;
+        fn lookahead(&self) -> Dur {
+            Dur::ns(MAIL_LAT)
+        }
+        fn split(self, num_shards: usize, owner: &[usize]) -> Vec<Mailboxes> {
+            let owner: Arc<Vec<usize>> = Arc::new(owner.to_vec());
+            (0..num_shards)
+                .map(|sid| Mailboxes {
+                    counts: vec![0; self.counts.len()],
+                    shard: Some((sid, owner.clone())),
+                    outbox: Vec::new(),
+                })
+                .collect()
+        }
+        fn merge(parts: Vec<Mailboxes>) -> Mailboxes {
+            let mut out = Mailboxes::new(parts[0].counts.len());
+            for p in parts {
+                for (i, c) in p.counts.iter().enumerate() {
+                    out.counts[i] += c;
+                }
+            }
+            out
+        }
+        fn apply_msg(e: &mut EventCtx<'_, Mailboxes>, dst: usize) {
+            // Hand-off leg on the destination shard, at the message ts:
+            // re-schedules the same counted landing event serial runs.
+            Mailboxes::relay(e, dst as u64, 0);
+        }
+        fn take_messages(&mut self) -> Vec<ShardMsg<usize>> {
+            std::mem::take(&mut self.outbox)
+        }
+    }
+
+    fn mailbox_run(nodes: usize, sends: usize, shards: usize) -> (Time, u64, Vec<u64>) {
+        let mut sim = Sim::new(Mailboxes::new(nodes), 3);
+        for i in 0..nodes {
+            let dst = (i + 1) % nodes;
+            sim.spawn(format!("m{i}"), move |ctx| {
+                for _ in 0..sends {
+                    ctx.advance(Dur::ns(250));
+                    ctx.schedule_hot(Dur::ZERO, Mailboxes::post, dst as u64, 0);
+                }
+                // Drain long enough for the last increment to land.
+                ctx.advance(Dur::ns(MAIL_LAT * 2));
+            });
+        }
+        // `post` routes through a Hot event whose `a` argument is the dst.
+        let r = if shards <= 1 {
+            sim.run().unwrap()
+        } else {
+            sim.run_parallel(shards).unwrap()
+        };
+        (r.end_time, r.events, r.world.counts)
+    }
+
+    #[test]
+    fn cross_shard_messages_match_serial() {
+        let serial = mailbox_run(4, 20, 1);
+        assert_eq!(serial.2.iter().sum::<u64>(), 80);
+        for shards in [2, 4] {
+            assert_eq!(mailbox_run(4, 20, shards), serial, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn cross_shard_run_reports_windows_and_sync_events() {
+        let mut sim = Sim::new(Mailboxes::new(4), 3);
+        for i in 0..4 {
+            let dst = (i + 1) % 4;
+            sim.spawn(format!("m{i}"), move |ctx| {
+                for _ in 0..10 {
+                    ctx.advance(Dur::ns(250));
+                    ctx.schedule_hot(Dur::ZERO, Mailboxes::post, dst as u64, 0);
+                }
+                ctx.advance(Dur::ns(MAIL_LAT * 2));
+            });
+        }
+        let r = sim.run_parallel(2).unwrap();
+        assert!(r.windows > 0, "bounded lookahead must use windows");
+        assert!(r.sync_events > 0, "ring traffic crosses the shard cut");
+        assert_eq!(r.world.counts.iter().sum::<u64>(), 40);
+    }
+}

@@ -91,6 +91,15 @@ impl Time {
     /// Simulation start.
     pub const ZERO: Time = Time(0);
 
+    /// The far end of virtual time (used as an "unbounded" horizon).
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Saturating addition of a span (sticks at [`Time::MAX`]).
+    #[inline]
+    pub fn saturating_add(self, rhs: Dur) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
     /// This instant as nanoseconds since simulation start.
     #[inline]
     pub const fn as_ns(self) -> u64 {

@@ -1,0 +1,55 @@
+//! Regression: cross-shard unparks deferred to a window barrier must each
+//! deliver a wake, even when several target the same node in one window.
+//!
+//! The original barrier applied deferred unparks back-to-back with the
+//! local unpark primitive; the second of two unparks for a still-parked
+//! node coalesced against the first's in-flight wake — a wake the serial
+//! interleaving delivers (the target always runs in between) — and the
+//! target deadlocked. The barrier now replays each unpark as a sync event
+//! at its own timestamp, requeuing behind any in-flight wake
+//! (`replay_unpark`). This sweep covers the original failing shapes:
+//! a pair split across shards (pairs=1, shards=2) and a split pair whose
+//! shard clock ran ahead via intra-shard neighbors (pairs=3, shards=2).
+
+use sp_sim::{Dur, NodeId, Sim};
+
+fn pingpong(pairs: usize, rounds: u64, shards: usize) -> (u64, u64) {
+    let mut sim = Sim::new((), 1);
+    for p in 0..pairs {
+        let sleeper = NodeId(2 * p);
+        sim.spawn(format!("sleeper{p}"), move |ctx| {
+            for _ in 0..rounds {
+                ctx.park();
+            }
+        });
+        sim.spawn(format!("waker{p}"), move |ctx| {
+            for _ in 0..rounds {
+                ctx.advance(Dur::ns(100));
+                ctx.unpark(sleeper);
+                ctx.advance(Dur::ns(50));
+            }
+        });
+    }
+    let report = if shards <= 1 {
+        sim.run().unwrap()
+    } else {
+        sim.run_parallel(shards).unwrap()
+    };
+    (report.end_time.as_ns(), report.events)
+}
+
+#[test]
+fn repeated_cross_shard_unparks_all_wake() {
+    for pairs in 1..4usize {
+        for rounds in 1..40u64 {
+            let serial = pingpong(pairs, rounds, 1);
+            for shards in [2usize, 4] {
+                assert_eq!(
+                    pingpong(pairs, rounds, shards),
+                    serial,
+                    "pairs={pairs} rounds={rounds} shards={shards}"
+                );
+            }
+        }
+    }
+}

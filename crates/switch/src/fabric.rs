@@ -289,12 +289,31 @@ impl Switch {
         Time::ZERO
     }
 
+    /// Route-selection key for the adaptive policy: the contention key,
+    /// except that a path through a severed link (an injector that drops
+    /// every packet, [`FaultInjector::lane_dead`]) is unusable and sorts
+    /// behind every live route — the SP fault daemon's route-table mask
+    /// around a failed cable. With every candidate dead the keys tie and
+    /// selection degenerates to the round-robin counter.
+    fn route_key(&self, src: usize, dst: usize, route: usize, ready: Time) -> Time {
+        let path = self.topo.path(src, dst, route);
+        let dead = path.links().iter().any(|&link| {
+            self.link_faults[link as usize]
+                .as_ref()
+                .is_some_and(|inj| inj.lane_dead())
+        });
+        if dead {
+            return Time::MAX;
+        }
+        self.contention_key(src, dst, route, ready)
+    }
+
     /// Pick the route for one packet and advance the pair's round-robin
     /// counter past the choice. `RoundRobin` consumes the counter as-is
     /// (the historical behaviour, byte-identical to the pre-policy code);
     /// `Adaptive` scans the candidates in round-robin order starting at
-    /// the counter and keeps only strict improvements of the contention
-    /// key, so ties — including the zero-contention case — reproduce the
+    /// the counter and keeps only strict improvements of the route key,
+    /// so ties — including the zero-contention case — reproduce the
     /// round-robin sequence exactly. Loopback never enters the fabric and
     /// always takes the plain counter under either policy.
     fn select_route(&mut self, src: usize, dst: usize, ready: Time) -> usize {
@@ -305,10 +324,10 @@ impl Switch {
             rr
         } else {
             let mut best = rr;
-            let mut best_key = self.contention_key(src, dst, best, ready);
+            let mut best_key = self.route_key(src, dst, best, ready);
             for k in 1..rpp {
                 let cand = (rr + k) % rpp;
-                let key = self.contention_key(src, dst, cand, ready);
+                let key = self.route_key(src, dst, cand, ready);
                 if key < best_key {
                     best = cand;
                     best_key = key;
@@ -319,14 +338,18 @@ impl Switch {
                     // A strict improvement implies the candidate paths
                     // differ, i.e. a cross-frame pair, so links()[1] is the
                     // chosen cable: its track names the lane dodged onto,
-                    // and the arg carries the occupancy delta dodged (ns).
-                    let dodged = self.contention_key(src, dst, rr, ready) - best_key;
+                    // and the arg carries the occupancy delta dodged (ns,
+                    // saturated when the incumbent lane was dead).
+                    let dodged = self
+                        .route_key(src, dst, rr, ready)
+                        .as_ns()
+                        .saturating_sub(best_key.as_ns());
                     let cable = self.topo.path(src, dst, best).links()[1];
                     t.instant(
                         ready.as_ns(),
                         self.track(cable),
                         Kind::RouteAdaptive,
-                        dodged.as_ns(),
+                        dodged,
                     );
                 }
             }
@@ -453,6 +476,91 @@ impl Switch {
             want_dup,
             route,
         )
+    }
+
+    /// `true` when neither the fabric-wide injector nor any per-link
+    /// injector can fault a packet. The sharded parallel fabric requires
+    /// this: each shard owns an independent `Switch` clone, so per-shard
+    /// injectors would classify disjoint packet substreams and diverge
+    /// from the serial run.
+    pub fn fault_free(&self) -> bool {
+        self.fault.is_noop() && self.link_faults.iter().flatten().all(|f| f.is_noop())
+    }
+
+    /// Fold another fabric's statistics into this one. The parallel engine
+    /// runs one `Switch` per shard and merges them at the end so the
+    /// reported totals match a serial run.
+    pub fn absorb_stats(&mut self, other: &SwitchStats) {
+        self.stats.delivered += other.delivered;
+        self.stats.dropped += other.dropped;
+        self.stats.delayed += other.delayed;
+        self.stats.duplicated += other.duplicated;
+        self.stats.wire_bytes += other.wire_bytes;
+        self.stats.hops += other.hops;
+    }
+
+    /// Phase 1 of a sharded two-phase transit: claim the packet's injection
+    /// link on the *source* shard's fabric. Single-frame, fault-free,
+    /// non-loopback only — exactly the regime [`Switch::fault_free`] plus
+    /// the parallel split's topology assertions guarantee. Mirrors
+    /// [`Switch::deliver`] up to (but excluding) the ejection-link claim:
+    /// route selection consumes the pair's round-robin counter, the
+    /// injection link is claimed and traced, and the delivery counters are
+    /// charged. Returns `(hop_start, nominal)` where `hop_start` is the
+    /// injection start and `nominal = hop_start + ser + hop_latency` is the
+    /// earliest the last byte can reach the ejection link — the inputs
+    /// [`Switch::eject_phase`] needs on the destination shard.
+    pub fn inject_phase(
+        &mut self,
+        src: usize,
+        dst: usize,
+        wire_bytes: usize,
+        ready: Time,
+    ) -> (Time, Time) {
+        let n = self.topo.nodes();
+        assert!(src < n && dst < n, "node out of range");
+        assert_ne!(src, dst, "loopback never enters the fabric");
+        debug_assert!(self.fault_free(), "two-phase transit requires no faults");
+        let ser = self.serialization(wire_bytes);
+        let route = self.select_route(src, dst, ready);
+        let path = self.topo.path(src, dst, route);
+        debug_assert_eq!(path.links().len(), 2, "two-phase transit is single-frame");
+        let start = self.claim_first(path.links()[0], ready, ser, 0);
+        self.finish(wire_bytes);
+        self.stats.hops += 1;
+        (start, start + ser + self.cfg.hop_latency)
+    }
+
+    /// Phase 2 of a sharded two-phase transit: claim the packet's ejection
+    /// link on the *destination* shard's fabric. `nominal` and `hop_start`
+    /// come from the source shard's [`Switch::inject_phase`]. Mirrors the
+    /// final loop iteration of [`Switch::deliver`]: the ejection link is
+    /// claimed at `max(nominal, free + ser)` and the occupancy plus the
+    /// switch-stage span are traced. Returns the instant the last byte
+    /// reaches the destination adapter.
+    pub fn eject_phase(
+        &mut self,
+        src: usize,
+        dst: usize,
+        wire_bytes: usize,
+        nominal: Time,
+        hop_start: Time,
+    ) -> Time {
+        let ser = self.serialization(wire_bytes);
+        let link = self.topo.ej_link(dst);
+        let at = self.links[link as usize].claim(nominal, ser, false);
+        if let Some(t) = &self.tracer {
+            let track = self.track(link);
+            t.span((at - ser).as_ns(), at.as_ns(), track, Kind::LinkBusy, 0);
+            t.span(
+                hop_start.as_ns(),
+                at.as_ns(),
+                self.track(self.topo.inj_link(src)),
+                Kind::SwitchHop,
+                dst as u64,
+            );
+        }
+        at
     }
 
     /// Walk the packet along its path, claiming each link in order. `at_i`
@@ -595,6 +703,78 @@ mod tests {
             Transit::Delivered { at, .. } => at,
             Transit::Dropped => panic!("unexpected drop"),
         }
+    }
+
+    /// The sharded two-phase transit must reproduce the serial fabric
+    /// exactly: same arrival instants, same stats, same route rotation.
+    #[test]
+    fn two_phase_matches_serial_transit() {
+        let mut serial = sw(4);
+        let mut phased = sw(4);
+        // Converging senders + varied sizes exercise both the injection
+        // and the shared-ejection contention paths.
+        let sends = [
+            (0usize, 1usize, 256usize, 0u64),
+            (2, 1, 64, 100),
+            (0, 1, 256, 200),
+            (3, 2, 128, 300),
+            (1, 0, 256, 400),
+            (2, 1, 512, 500),
+        ];
+        for &(src, dst, bytes, ns) in &sends {
+            let ready = Time(ns);
+            let want = delivered(serial.transit(src, dst, bytes, ready));
+            let (hop_start, nominal) = phased.inject_phase(src, dst, bytes, ready);
+            let got = phased.eject_phase(src, dst, bytes, nominal, hop_start);
+            assert_eq!(got, want, "{src}->{dst} {bytes}B @ {ns}");
+        }
+        assert_eq!(phased.stats(), serial.stats());
+        assert_eq!(serial.route_rr, phased.route_rr);
+    }
+
+    /// Eject-phase claims may arrive out of nominal order across source
+    /// shards; the link still serializes them like the serial fabric.
+    #[test]
+    fn eject_phase_orders_by_claim_not_nominal() {
+        let mut s = sw(3);
+        let (h0, n0) = s.inject_phase(0, 2, 256, Time::ZERO);
+        let (h1, n1) = s.inject_phase(1, 2, 256, Time::ZERO);
+        assert_eq!(n0, n1, "independent injection links, same nominal");
+        // Claim in the opposite order the packets were injected.
+        let a = s.eject_phase(1, 2, 256, n1, h1);
+        let b = s.eject_phase(0, 2, 256, n0, h0);
+        assert_eq!(a, n1);
+        assert_eq!(b - a, s.serialization(256), "second claim is paced");
+    }
+
+    #[test]
+    fn fault_free_detects_injectors() {
+        let mut s = sw(2);
+        assert!(s.fault_free());
+        s.set_fault_injector(FaultInjector::with_seed(3));
+        assert!(s.fault_free(), "a no-op injector is still fault-free");
+        s.set_fault_injector(FaultInjector::drop_at([5]));
+        assert!(!s.fault_free());
+        let mut s = sw(2);
+        let link = s.topology().ej_link(1);
+        s.set_link_fault_injector(link, FaultInjector::none());
+        assert!(s.fault_free());
+        s.set_link_fault_injector(link, FaultInjector::bernoulli(0.1, 1));
+        assert!(!s.fault_free());
+    }
+
+    #[test]
+    fn absorb_stats_sums_counters() {
+        let mut a = sw(2);
+        let mut b = sw(2);
+        delivered(a.transit(0, 1, 256, Time::ZERO));
+        delivered(b.transit(0, 1, 64, Time::ZERO));
+        delivered(b.transit(1, 0, 64, Time::ZERO));
+        let b_stats = b.stats().clone();
+        a.absorb_stats(&b_stats);
+        assert_eq!(a.stats().delivered, 3);
+        assert_eq!(a.stats().wire_bytes, 256 + 64 + 64);
+        assert_eq!(a.stats().hops, 3);
     }
 
     #[test]
@@ -961,6 +1141,35 @@ mod tests {
         ));
         assert_eq!(s.stats().dropped, 1);
         assert_eq!(s.stats().delivered, 1);
+    }
+
+    #[test]
+    fn adaptive_masks_a_dead_cable_out_of_selection() {
+        // Same dead lane 0, but under the adaptive policy: the route key of
+        // any path through the severed cable saturates, so every packet
+        // dodges onto a live lane and nothing is ever dropped — while the
+        // fault-blind round-robin policy (previous test) feeds it packets.
+        let mut s = Switch::with_topology(
+            Topology::multi_frame(2, 1),
+            SwitchConfig {
+                route_policy: RoutePolicy::Adaptive,
+                ..Default::default()
+            },
+        );
+        let lane0 = s.topology().cable(0, 1, 0);
+        s.set_link_fault_injector(lane0, {
+            let mut inj = FaultInjector::none();
+            inj.drop_every_nth = Some(1);
+            inj
+        });
+        for _ in 0..12 {
+            match s.transit(0, 1, 256, Time::ZERO) {
+                Transit::Delivered { route, .. } => assert_ne!(route, 0, "dead lane selected"),
+                Transit::Dropped => panic!("adaptive policy routed onto the dead lane"),
+            }
+        }
+        assert_eq!(s.stats().dropped, 0);
+        assert_eq!(s.stats().delivered, 12);
     }
 
     #[test]

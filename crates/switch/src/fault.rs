@@ -151,6 +151,33 @@ impl FaultInjector {
         self.next_index
     }
 
+    /// `true` when no selector can ever fault a packet: classification is
+    /// provably [`FaultKind::None`] for every packet at every time. The
+    /// parallel (sharded) fabric requires this — per-shard injectors would
+    /// see disjoint packet substreams and diverge from the serial run.
+    pub fn is_noop(&self) -> bool {
+        self.drop_every_nth.is_none_or(|n| n == 0)
+            && self.drop_probability == 0.0
+            && self.dup_probability == 0.0
+            && self.delay_probability == 0.0
+            && self.drop_indices.is_empty()
+            && self.dup_indices.is_empty()
+            && self.delay_indices.is_empty()
+            && self
+                .windows
+                .iter()
+                .all(|w| w.kind == FaultKind::None || w.probability == 0.0 || w.until <= w.from)
+    }
+
+    /// `true` when every packet is dropped unconditionally: the link is,
+    /// for routing purposes, severed. The adaptive route policy masks such
+    /// links out of selection — modeling the SP fault daemon regenerating
+    /// route tables around a failed cable — while round-robin stays
+    /// fault-blind and keeps paying retransmissions on the dead lane.
+    pub fn lane_dead(&self) -> bool {
+        self.drop_every_nth == Some(1) || self.drop_probability >= 1.0
+    }
+
     /// Classify the next packet without time context: time windows are
     /// evaluated at `Time::ZERO` (i.e. only windows opening at zero apply).
     pub fn classify(&mut self) -> FaultKind {

@@ -38,6 +38,10 @@ pub enum Kind {
     /// Cumulative count of unparks coalesced into an already-queued wake
     /// for this node (the storm-coalescing optimisation made observable).
     WakeCoalesced,
+    /// A parallel run completed a conservative lookahead window: all shards
+    /// reached the barrier and the horizon advanced. `arg` is the barrier
+    /// round number.
+    ShardBarrier,
 
     // --- host <-> adapter (MicroChannel side) ---
     /// Host CPU built a send-FIFO entry: memcpy + cache-line flush.
@@ -164,6 +168,7 @@ impl Kind {
             NodePark => "park",
             NodeUnpark => "unpark",
             WakeCoalesced => "wakes-coalesced",
+            ShardBarrier => "shard-barrier",
             HostWrite => "host-write",
             HostDoorbell => "doorbell",
             HostPollHit => "poll-hit",

@@ -1,0 +1,390 @@
+//! Serial ≡ parallel equivalence suite for the sharded conservative-parallel
+//! engine (`Sim::run_parallel` / `SpConfig::parallel`).
+//!
+//! The parallel engine's contract is *exact* agreement with the serial
+//! engine: same final virtual time, same counted-event total, and the same
+//! observable world state (hashed FNV-1a over per-adapter and switch
+//! counters, the way the golden pins do). Each test runs one workload
+//! serially, then on 2 and 4 shards, and compares the full tuple.
+//!
+//! Note every workload here is loss-free: the sharded fabric asserts a
+//! fault-free switch (per-shard injectors would classify disjoint packet
+//! substreams and diverge from the serial run by construction).
+
+use proptest::prelude::*;
+use sp_adapter::{host, SpConfig, SpWorld};
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine};
+use sp_mpi::runner::MpiImpl;
+use sp_nas::{run_kernel_on, Kernel, NasClass};
+use sp_sim::{Dur, NodeId, Sim, SimReport};
+
+/// FNV-1a, the same construction the golden pins use.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `(end_ns, events, world_hash)` for a finished `SpWorld` run — the same
+/// observables the golden pins hash, minus protocol memory.
+fn sp_fingerprint<P: Send + 'static>(report: &SimReport<SpWorld<P>>) -> (u64, u64, u64) {
+    let mut h = Fnv::new();
+    h.u64(report.end_time.as_ns());
+    h.u64(report.events);
+    for node in 0..report.world.nodes() {
+        let a = report.world.adapter_stats(node);
+        h.u64(a.sent);
+        h.u64(a.received);
+        h.u64(a.dropped_overflow);
+        h.u64(a.doorbells);
+        h.u64(a.lazy_pops);
+        h.u64(a.recv_high_water as u64);
+    }
+    let s = report.world.switch.stats();
+    h.u64(s.delivered);
+    h.u64(s.dropped);
+    h.u64(s.wire_bytes);
+    h.u64(s.hops);
+    (report.end_time.as_ns(), report.events, h.finish())
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: the ping-pong storm (the bench workload), world = ().
+// ---------------------------------------------------------------------------
+
+fn pingpong_storm(pairs: usize, rounds: u64, shards: usize) -> (u64, u64) {
+    let mut sim = Sim::new((), 1);
+    for p in 0..pairs {
+        let sleeper = NodeId(2 * p);
+        sim.spawn(format!("sleeper{p}"), move |ctx| {
+            for _ in 0..rounds {
+                ctx.park();
+            }
+        });
+        sim.spawn(format!("waker{p}"), move |ctx| {
+            for _ in 0..rounds {
+                ctx.advance(Dur::ns(100));
+                ctx.unpark(sleeper);
+                ctx.advance(Dur::ns(50));
+            }
+        });
+    }
+    let report = if shards <= 1 {
+        sim.run().unwrap()
+    } else {
+        sim.run_parallel(shards).unwrap()
+    };
+    (report.end_time.as_ns(), report.events)
+}
+
+#[test]
+fn pingpong_storm_parallel_matches_serial() {
+    let serial = pingpong_storm(4, 250, 1);
+    for shards in [2, 4] {
+        assert_eq!(
+            pingpong_storm(4, 250, shards),
+            serial,
+            "{shards} shards diverged"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapter-level: the packet-stream bench workload, cross-shard traffic.
+// ---------------------------------------------------------------------------
+
+fn packet_stream(streams: usize, packets: u32, shards: usize) -> (u64, u64, u64) {
+    let nodes = 2 * streams;
+    let mut sim = Sim::new(SpWorld::<u32>::new(SpConfig::thin(nodes)), 1);
+    for s in 0..streams {
+        let rx_node = 2 * s + 1;
+        sim.spawn(format!("tx{s}"), move |ctx| {
+            for i in 0..packets {
+                while host::send_fifo_free(ctx) == 0 {
+                    ctx.advance(Dur::us(1.0));
+                }
+                host::send_packet(ctx, rx_node, 64, i).unwrap();
+            }
+        });
+        sim.spawn(format!("rx{s}"), move |ctx| {
+            for _ in 0..packets {
+                let _ = host::spin_recv(ctx, Dur::ns(300));
+            }
+        });
+    }
+    let report = if shards <= 1 {
+        sim.run().unwrap()
+    } else {
+        sim.run_parallel(shards).unwrap()
+    };
+    sp_fingerprint(&report)
+}
+
+#[test]
+fn packet_stream_parallel_matches_serial() {
+    // With 2 streams (4 nodes) and 2 shards, tx0/rx0 share a shard
+    // (intra-shard two-phase) while on 4 shards every hop crosses shards.
+    let serial = packet_stream(2, 500, 1);
+    for shards in [2, 4] {
+        assert_eq!(
+            packet_stream(2, 500, shards),
+            serial,
+            "{shards} shards diverged"
+        );
+    }
+}
+
+#[test]
+fn packet_stream_cross_shard_pair_matches_serial() {
+    // 2 nodes / 2 shards: *every* packet is an inter-shard message.
+    let serial = packet_stream(1, 500, 1);
+    assert_eq!(packet_stream(1, 500, 2), serial);
+}
+
+// ---------------------------------------------------------------------------
+// AM-protocol-level: loss-free request/reply + barrier workload.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct St {
+    hits: u32,
+}
+
+fn count(env: &mut AmEnv<'_, St>, _args: AmArgs) {
+    env.state.hits += 1;
+}
+
+/// A loss-free AM run: request storm to the right neighbor, then quiesce.
+/// Returns the golden-style fingerprint (end, events, world hash).
+fn am_ring(nodes: usize, requests: u32, shards: usize) -> (u64, u64, u64) {
+    let sp = SpConfig::thin(nodes).parallel(shards);
+    let cfg = AmConfig {
+        keepalive_polls: 64,
+        ..AmConfig::default()
+    };
+    let mut m = AmMachine::new(sp, cfg, 0xBEEF);
+    for node in 0..nodes {
+        m.spawn(
+            format!("n{node}"),
+            St::default(),
+            move |am: &mut Am<'_, St>| {
+                am.register(count);
+                let right = (node + 1) % nodes;
+                am.barrier();
+                for i in 0..requests {
+                    am.request_1(right, 0, i);
+                    if i % 8 == 0 {
+                        am.poll();
+                    }
+                }
+                am.poll_until(|s| s.hits >= requests);
+                am.quiesce();
+                am.drain(sp_sim::Dur::ms(1.0));
+            },
+        );
+    }
+    let report = m.run().expect("am ring completes");
+    let mut h = Fnv::new();
+    h.u64(report.end_time.as_ns());
+    h.u64(report.events);
+    for node in 0..nodes {
+        let a = report.world.adapter_stats(node);
+        h.u64(a.sent);
+        h.u64(a.received);
+        h.u64(a.dropped_overflow);
+        h.u64(a.doorbells);
+        h.u64(a.lazy_pops);
+        h.u64(a.recv_high_water as u64);
+    }
+    let s = report.world.switch.stats();
+    h.u64(s.delivered);
+    h.u64(s.wire_bytes);
+    h.u64(s.hops);
+    (report.end_time.as_ns(), report.events, h.finish())
+}
+
+#[test]
+fn am_ring_parallel_matches_serial() {
+    let serial = am_ring(4, 40, 1);
+    for shards in [2, 4] {
+        assert_eq!(am_ring(4, 40, shards), serial, "{shards} shards diverged");
+    }
+}
+
+/// Stress the inter-shard channel hand-off ordering: a small cross-shard
+/// workload repeated many times must produce one identical fingerprint —
+/// any OS-scheduling-dependent barrier/deposit ordering shows up here as a
+/// flaky mismatch.
+#[test]
+fn cross_shard_handoff_ordering_is_stable() {
+    let serial = packet_stream(1, 60, 1);
+    for round in 0..25 {
+        assert_eq!(
+            packet_stream(1, 60, 2),
+            serial,
+            "round {round} diverged from serial"
+        );
+    }
+    let serial = am_ring(4, 12, 1);
+    for round in 0..10 {
+        assert_eq!(
+            am_ring(4, 12, 4),
+            serial,
+            "AM round {round} diverged from serial"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NAS-kernel-level: a full MPI application through the sharded engine.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nas_mg_parallel_matches_serial() {
+    let run = |shards: usize| {
+        run_kernel_on(
+            Kernel::Mg,
+            MpiImpl::AmOptimized,
+            SpConfig::thin(4).parallel(shards),
+            11,
+            NasClass::Reduced,
+        )
+    };
+    let (serial_res, serial_run) = run(1);
+    for shards in [2, 4] {
+        let (res, rep) = run(shards);
+        assert_eq!(res.time, serial_res.time, "{shards} shards: timed section");
+        assert_eq!(
+            res.checksum.to_bits(),
+            serial_res.checksum.to_bits(),
+            "{shards} shards: residual"
+        );
+        assert_eq!(rep.end_ns, serial_run.end_ns, "{shards} shards: end time");
+        assert_eq!(rep.events, serial_run.events, "{shards} shards: events");
+        assert_eq!(
+            rep.report_hash, serial_run.report_hash,
+            "{shards} shards: world hash"
+        );
+        assert_eq!(rep.shards.len(), shards);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: random ping-pong / streaming configurations stay equivalent.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        .. ProptestConfig::default()
+    })]
+
+    /// Random park/unpark ping-pong configurations: any pair count, round
+    /// count, and charge pattern must agree between 1, 2, and 4 shards.
+    #[test]
+    fn prop_pingpong_configs_equivalent(
+        pairs in 1usize..4,
+        rounds in 1u64..40,
+    ) {
+        let serial = pingpong_storm(pairs, rounds, 1);
+        for shards in [2usize, 4] {
+            prop_assert_eq!(pingpong_storm(pairs, rounds, shards), serial);
+        }
+    }
+
+    /// Random streaming configurations: stream count, packet count, and
+    /// payload size must agree between 1, 2, and 4 shards — full
+    /// fingerprint including per-adapter and switch counters.
+    #[test]
+    fn prop_streaming_configs_equivalent(
+        streams in 1usize..3,
+        packets in 1u32..60,
+        payload in 1usize..224,
+    ) {
+        let serial = stream_with_payload(streams, packets, payload, 1);
+        for shards in [2usize, 4] {
+            prop_assert_eq!(
+                stream_with_payload(streams, packets, payload, shards),
+                serial
+            );
+        }
+    }
+}
+
+/// `packet_stream` with a configurable payload size (proptest driver).
+fn stream_with_payload(
+    streams: usize,
+    packets: u32,
+    payload: usize,
+    shards: usize,
+) -> (u64, u64, u64) {
+    let nodes = 2 * streams;
+    let mut sim = Sim::new(SpWorld::<u32>::new(SpConfig::thin(nodes)), 1);
+    for s in 0..streams {
+        let rx_node = 2 * s + 1;
+        sim.spawn(format!("tx{s}"), move |ctx| {
+            for i in 0..packets {
+                while host::send_fifo_free(ctx) == 0 {
+                    ctx.advance(Dur::us(1.0));
+                }
+                host::send_packet(ctx, rx_node, payload, i).unwrap();
+            }
+        });
+        sim.spawn(format!("rx{s}"), move |ctx| {
+            for _ in 0..packets {
+                let _ = host::spin_recv(ctx, Dur::ns(300));
+            }
+        });
+    }
+    let report = if shards <= 1 {
+        sim.run().unwrap()
+    } else {
+        sim.run_parallel(shards).unwrap()
+    };
+    sp_fingerprint(&report)
+}
+
+#[test]
+fn parallel_report_surfaces_shard_breakdown() {
+    let nodes = 4;
+    let sp = SpConfig::thin(nodes).parallel(2);
+    let mut m = AmMachine::new(sp, AmConfig::default(), 7);
+    for node in 0..nodes {
+        m.spawn(
+            format!("n{node}"),
+            St::default(),
+            move |am: &mut Am<'_, St>| {
+                am.register(count);
+                let right = (node + 1) % nodes;
+                am.barrier();
+                am.request_1(right, 0, 1);
+                am.poll_until(|s| s.hits >= 1);
+                am.quiesce();
+                am.drain(sp_sim::Dur::ms(1.0));
+            },
+        );
+    }
+    let report = m.run().unwrap();
+    assert_eq!(report.shards.len(), 2);
+    assert_eq!(report.shards.iter().map(|s| s.nodes).sum::<usize>(), nodes);
+    assert_eq!(
+        report.shards.iter().map(|s| s.events).sum::<u64>(),
+        report.events
+    );
+    assert!(report.windows > 0, "a sharded run advances through windows");
+    assert!(
+        report.sync_events > 0,
+        "cross-shard packets ride sync events"
+    );
+}
