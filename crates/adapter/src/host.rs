@@ -187,6 +187,15 @@ pub fn poll_packet<P: Send + 'static>(ctx: &mut SpCtx<P>) -> Option<WirePacket<P
                             popped,
                         );
                     }
+                    // Drain-side occupancy sample: deliveries record the
+                    // rising edge, pops record the falling edge, so the
+                    // FIFO-depth gauge sees both directions.
+                    t.counter(
+                        t0.as_ns(),
+                        Track::adapter(me),
+                        Kind::RecvOccupancy,
+                        a.recv_fifo.len() as u64,
+                    );
                 }
                 (Some(pkt), cost)
             }

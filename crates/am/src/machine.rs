@@ -6,7 +6,7 @@ use crate::mem::MemPool;
 use crate::wire::AmPacket;
 use crate::AmWorld;
 use sp_adapter::SpConfig;
-use sp_sim::{NodeId, ShardReport, Sim, SimError, Time};
+use sp_sim::{NodeId, ShardProfile, ShardReport, Sim, SimError, Time};
 use sp_trace::Tracer;
 
 /// A configured SP machine running Active Messages node programs.
@@ -56,6 +56,9 @@ pub struct AmReport {
     pub sync_events: u64,
     /// Conservative lookahead windows the parallel run advanced through.
     pub windows: u64,
+    /// PDES profile of a parallel run (window utilization, imbalance,
+    /// sync overhead); `None` on a serial run.
+    pub profile: Option<ShardProfile>,
     /// The machine's final hardware state (switch/adapter statistics).
     pub world: AmWorld,
     /// The memory pool (inspect transfer results after the run).
@@ -113,9 +116,17 @@ impl AmMachine {
     /// pick the tracer up from the world when they start.
     pub fn enable_tracing(&mut self, per_node_capacity: usize) -> Tracer {
         let tracer = Tracer::new(self.nodes, per_node_capacity);
-        self.sim.set_tracer(tracer.clone());
-        self.sim.world_mut().set_tracer(tracer.clone());
+        self.install_tracer(tracer.clone());
         tracer
+    }
+
+    /// Install an existing trace recorder (e.g. a flight recorder's
+    /// bounded ring) across the whole stack. Prefer
+    /// [`AmMachine::enable_tracing`] unless the recorder outlives the
+    /// machine, as a crash dump's must.
+    pub fn install_tracer(&mut self, tracer: Tracer) {
+        self.sim.set_tracer(tracer.clone());
+        self.sim.world_mut().set_tracer(tracer);
     }
 
     /// The memory pool handle (also available in [`AmReport`]).
@@ -180,6 +191,7 @@ impl AmMachine {
             shards: report.shards,
             sync_events: report.sync_events,
             windows: report.windows,
+            profile: report.profile,
             world: report.world,
             mem,
         })

@@ -6,6 +6,14 @@
 
 fn main() {
     let ranks = 16;
+    // `table6 --parallel` runs only the parallel engine check, with the
+    // per-shard profile and a Perfetto trace of the 4-shard run — the
+    // shard-telemetry smoke path, skipping the full table regeneration.
+    if std::env::args().any(|a| a == "--parallel") {
+        parallel_engine_check(ranks, true);
+        sp_bench::print_engine_summary();
+        return;
+    }
     let rows = sp_bench::nas_exp::table6(ranks);
     println!("Table 6: NAS kernel run times on {ranks} thin nodes (scaled class, seconds)\n");
     println!(
@@ -73,7 +81,7 @@ fn main() {
     println!("\nexpected shape: the compute charge is the same Power2 rate on both flavours,");
     println!("so wide nodes (faster memcpy and PIO) shrink the comm share and total time.");
 
-    parallel_engine_check(ranks);
+    parallel_engine_check(ranks, false);
     sp_bench::print_engine_summary();
 }
 
@@ -81,7 +89,9 @@ fn main() {
 /// MG (reduced class) on MPI-AM, serial vs 4 conservative-parallel shards,
 /// with the per-shard breakdown from the run report. Any divergence in
 /// virtual time, event count, or the observable-state hash is a bug.
-fn parallel_engine_check(ranks: usize) {
+/// With `export`, the 4-shard run also writes a Perfetto trace (per-shard
+/// tracks with lookahead-window and barrier-wait spans) next to the cwd.
+fn parallel_engine_check(ranks: usize, export: bool) {
     use sp_mpi::runner::MpiImpl;
     use sp_nas::{Kernel, NasClass};
 
@@ -95,7 +105,13 @@ fn parallel_engine_check(ranks: usize) {
         )
     };
     let (rs, serial) = run(1);
+    if export {
+        std::env::set_var("SP_TRACE_OUT", "table6-mg-4shard.trace.json");
+    }
     let (rp, parallel) = run(4);
+    if export {
+        std::env::remove_var("SP_TRACE_OUT");
+    }
     println!("\nParallel engine check: MG reduced, serial vs 4 shards\n");
     println!(
         "  serial:   {:>9.3}s  {:>9} events  hash {:016x}",
@@ -116,6 +132,22 @@ fn parallel_engine_check(ranks: usize) {
             "    shard {}: {} nodes, {} events, {} sync",
             s.shard, s.nodes, s.events, s.sync_events
         );
+    }
+    if let Some(p) = &sp_sim::stats::last_parallel_profile() {
+        println!(
+            "\n  shard profile ({} windows, {} ns of windowed virtual time):",
+            p.windows, p.window_ns
+        );
+        for s in 0..p.num_shards() {
+            println!(
+                "    shard {s}: {:>5.1}% window utilization, busy {:>9} ns, active in {}/{} windows",
+                p.window_utilization(s) * 100.0,
+                p.busy_ns[s],
+                p.active_windows[s],
+                p.windows,
+            );
+        }
+        println!("  {}", p.summary());
     }
     assert_eq!(
         (serial.end_ns, serial.events, serial.report_hash),

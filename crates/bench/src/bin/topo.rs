@@ -61,27 +61,43 @@ fn main() {
         rr.senders
     );
     println!(
-        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>12} {:>8}",
-        "policy", "samples", "p50 (us)", "p99 (us)", "max (us)", "lane spread", "dodges"
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>12} {:>8}",
+        "policy",
+        "samples",
+        "p50 (us)",
+        "p99 (us)",
+        "p999 (us)",
+        "max (us)",
+        "lane spread",
+        "dodges"
     );
-    println!("{}", "-".repeat(76));
+    println!("{}", "-".repeat(88));
     for p in [&rr, &ad] {
         println!(
-            "{:<12} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>12.3} {:>8}",
+            "{:<12} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>12.3} {:>8}",
             p.policy,
             p.samples,
             p.rtt_p50_ns as f64 / 1_000.0,
             p.rtt_p99_ns as f64 / 1_000.0,
+            p.rtt_p999_ns as f64 / 1_000.0,
             p.rtt_max_ns as f64 / 1_000.0,
             p.lane_spread,
             p.adaptive_picks,
         );
+        report_truncation(p.policy, p.trace_dropped);
     }
     println!(
         "\nadaptive vs round-robin: p99 {:+.1}%, lane spread {:+.1}%",
         (ad.rtt_p99_ns as f64 / rr.rtt_p99_ns as f64 - 1.0) * 100.0,
         (ad.lane_spread / rr.lane_spread - 1.0) * 100.0,
     );
+
+    // Virtual-time gauges from the sampler: how the congestion builds and
+    // where the adaptive policy spreads it.
+    for p in [&rr, &ad] {
+        println!("\ngauges over virtual time ({}, 25 us bins):", p.policy);
+        print_sparklines(&p.series);
+    }
 
     // Fault latency: the same machine, but cable lane 0 dies mid-run.
     let (frr, fad) = topo_exp::fault_latency(quick());
@@ -90,20 +106,35 @@ fn main() {
         topo_exp::FAULT_KILL_AT_NS as f64 / 1_000.0
     );
     println!(
-        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>9}",
-        "policy", "samples", "p50 (us)", "p99 (us)", "max (us)", "dropped"
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "policy", "samples", "p50 (us)", "p99 (us)", "p999 (us)", "max (us)", "dropped"
     );
-    println!("{}", "-".repeat(64));
+    println!("{}", "-".repeat(76));
     for p in [&frr, &fad] {
         println!(
-            "{:<12} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>9}",
+            "{:<12} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>9}",
             p.policy,
             p.samples_after,
             p.rtt_p50_ns as f64 / 1_000.0,
             p.rtt_p99_ns as f64 / 1_000.0,
+            p.rtt_p999_ns as f64 / 1_000.0,
             p.rtt_max_ns as f64 / 1_000.0,
             p.dropped,
         );
+        report_truncation(p.policy, p.trace_dropped);
+    }
+    // Recovery visualised: the cumulative retransmit counter climbs in
+    // bursts after the kill under round-robin, and stays flat (so the
+    // sampler emits no series) under adaptive routing.
+    for p in [&frr, &fad] {
+        if let Some(retx) = p.series.get("retransmits (cum)") {
+            println!(
+                "\nretransmits over virtual time ({}): {}  (total {})",
+                p.policy,
+                retx.sparkline(),
+                retx.max()
+            );
+        }
     }
     println!(
         "\nadaptive vs round-robin with a dead cable: p99 {:+.1}%, drops {:+.1}%",
@@ -127,6 +158,10 @@ fn main() {
         write_json(&path, &metrics);
         println!("wrote {} metrics to {path}", metrics.len());
     }
+    if let Ok(path) = std::env::var("SP_BENCH_TOPO_SERIES") {
+        std::fs::write(&path, ad.series.to_json()).expect("write SP_BENCH_TOPO_SERIES file");
+        println!("wrote adaptive congestion gauge series to {path}");
+    }
     if let Ok(path) = std::env::var("SP_BENCH_TOPO_BASELINE") {
         if !compare_baseline(&path, &metrics) {
             std::process::exit(1);
@@ -134,6 +169,27 @@ fn main() {
     }
 
     sp_bench::print_engine_summary();
+}
+
+/// Flag ring overflow next to the table it would silently skew.
+fn report_truncation(policy: &str, dropped: u64) {
+    if dropped > 0 {
+        println!("  ({policy}: trace truncated, {dropped} records lost to ring overflow)");
+    }
+}
+
+/// Print the headline gauge sparklines of a sampled run: the shared-cable
+/// busy percentages and the aggregate in-flight packet count. Per-node
+/// FIFO-depth gauges stay in the JSON export — sixteen near-identical
+/// lines add nothing to a terminal summary.
+fn print_sparklines(series: &sp_trace::TimeSeries) {
+    for s in series.series.iter() {
+        let keep = s.name.contains("xlink") || s.name == "in-flight packets";
+        if !keep {
+            continue;
+        }
+        println!("  {:<24} {}  (max {})", s.name, s.sparkline(), s.max());
+    }
 }
 
 /// The congestion metrics that go into `BENCH_topo.json`. All are

@@ -29,11 +29,12 @@ fn main() {
     }
     assert!(iters >= 1, "--iters must be at least 1");
 
-    let (records, report) = trace_rt::run_one_word(iters);
+    let (records, report, dropped) = trace_rt::run_one_word(iters);
     println!(
-        "traced {} one-word round trips: {} records, {} engine events\n",
+        "traced {} one-word round trips: {} records ({} lost to ring overflow), {} engine events\n",
         iters,
         records.len(),
+        dropped,
         report.events
     );
 
@@ -41,7 +42,7 @@ fn main() {
     let bd = trace_rt::breakdown(&records, iters as u64 - 1);
     println!("{bd}");
 
-    println!("\n{}", Metrics::aggregate(&records));
+    println!("\n{}", Metrics::aggregate_with_dropped(&records, dropped));
 
     let json = chrome::to_chrome_json(&records);
     if let Some(dir) = std::path::Path::new(&out).parent() {

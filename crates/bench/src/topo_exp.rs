@@ -12,7 +12,7 @@ use crate::trace_rt::{self, Breakdown};
 use parking_lot::Mutex;
 use sp_adapter::{RoutePolicy, SpConfig};
 use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr};
-use sp_trace::{Kind, Record, Track, TrackKind};
+use sp_trace::{Digest, Kind, Record, TimeSeries, Track, TrackKind};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -57,7 +57,7 @@ pub fn configs() -> Vec<(String, SpConfig, usize)> {
 
 /// Trace one steady-state round trip on `cfg` and return its breakdown.
 pub fn traced_round_trip(cfg: &SpConfig, dst: usize, iters: u32) -> Breakdown {
-    let (records, _) = trace_rt::run_one_word_on(cfg.clone(), dst, iters);
+    let (records, _, _) = trace_rt::run_one_word_on(cfg.clone(), dst, iters);
     trace_rt::breakdown_on(&records, iters as u64 - 1, cfg, dst)
 }
 
@@ -99,12 +99,20 @@ pub struct CongestionPoint {
     pub senders: usize,
     /// Measured round trips across all pingers (after one warmup each).
     pub samples: usize,
-    /// Median round trip, ns.
+    /// Median round trip, ns (streaming-digest estimate, ≤0.5% rel error).
     pub rtt_p50_ns: u64,
     /// 99th-percentile round trip, ns.
     pub rtt_p99_ns: u64,
-    /// Worst round trip, ns.
+    /// 99.9th-percentile round trip, ns.
+    pub rtt_p999_ns: u64,
+    /// Worst round trip, ns (exact: the digest clamps to observed max).
     pub rtt_max_ns: u64,
+    /// Trace records lost to ring overflow (0 means the percentiles and
+    /// gauges below saw every event).
+    pub trace_dropped: u64,
+    /// Virtual-time gauge series sampled from the trace (link busy %,
+    /// recv-FIFO depth, in-flight packets, retransmits).
+    pub series: TimeSeries,
     /// Link-utilization spread across the frame pair's cable lanes: the
     /// mean over fine virtual-time bins of `(busiest lane - idlest lane)`
     /// busy time, as a fraction of the bin width. 0 = perfectly balanced.
@@ -133,21 +141,21 @@ pub fn congestion_run(policy: RoutePolicy, k: usize, iters: u32) -> CongestionPo
     m.run().expect("congestion run completes");
     let records = tracer.snapshot();
 
-    let mut rtts: Vec<u64> = records
-        .iter()
-        .filter(|r| r.kind == Kind::UserSpan)
-        .map(|r| r.dur)
-        .collect();
-    rtts.sort_unstable();
-    assert!(!rtts.is_empty(), "no measured bursts in trace");
-    let pct = |p: usize| rtts[(rtts.len() - 1) * p / 100];
+    let mut rtts = Digest::new();
+    for r in records.iter().filter(|r| r.kind == Kind::UserSpan) {
+        rtts.observe(r.dur);
+    }
+    assert!(rtts.count() > 0, "no measured bursts in trace");
     CongestionPoint {
         policy: policy_label(policy),
         senders: k,
-        samples: rtts.len(),
-        rtt_p50_ns: pct(50),
-        rtt_p99_ns: pct(99),
-        rtt_max_ns: *rtts.last().unwrap(),
+        samples: rtts.count() as usize,
+        rtt_p50_ns: rtts.quantile_ns(0.50),
+        rtt_p99_ns: rtts.quantile_ns(0.99),
+        rtt_p999_ns: rtts.quantile_ns(0.999),
+        rtt_max_ns: rtts.max_ns(),
+        trace_dropped: tracer.dropped(),
+        series: TimeSeries::sample(&records, 25_000),
         // Bin width ~2x a bulk packet's serialization: wide enough to see a
         // round-robin collision (two packets queued back-to-back on one
         // lane while the others idle), narrow enough that the imbalance is
@@ -264,15 +272,22 @@ pub struct FaultPoint {
     pub policy: &'static str,
     /// Round trips measured after the cable died.
     pub samples_after: usize,
-    /// Median post-kill round trip, ns.
+    /// Median post-kill round trip, ns (streaming-digest estimate).
     pub rtt_p50_ns: u64,
     /// 99th-percentile post-kill round trip, ns.
     pub rtt_p99_ns: u64,
-    /// Worst post-kill round trip, ns.
+    /// 99.9th-percentile post-kill round trip, ns.
+    pub rtt_p999_ns: u64,
+    /// Worst post-kill round trip, ns (exact).
     pub rtt_max_ns: u64,
     /// Packets the fabric dropped over the whole run (all on the dead
     /// lane: the workload is otherwise loss-free).
     pub dropped: u64,
+    /// Trace records lost to ring overflow.
+    pub trace_dropped: u64,
+    /// Virtual-time gauge series sampled from the trace — the retransmit
+    /// counter shows the recovery bursts after the lane dies.
+    pub series: TimeSeries,
 }
 
 /// Virtual time at which the fault-latency experiment kills the cable:
@@ -383,21 +398,24 @@ pub fn fault_run(policy: RoutePolicy, k: usize, iters: u32) -> FaultPoint {
     let report = m.run().expect("fault-latency run completes");
     let records = tracer.snapshot();
 
-    let mut rtts: Vec<u64> = records
+    let mut rtts = Digest::new();
+    for r in records
         .iter()
         .filter(|r| r.kind == Kind::UserSpan && r.at >= FAULT_KILL_AT_NS)
-        .map(|r| r.dur)
-        .collect();
-    rtts.sort_unstable();
-    assert!(!rtts.is_empty(), "no post-kill round trips in trace");
-    let pct = |p: usize| rtts[(rtts.len() - 1) * p / 100];
+    {
+        rtts.observe(r.dur);
+    }
+    assert!(rtts.count() > 0, "no post-kill round trips in trace");
     FaultPoint {
         policy: policy_label(policy),
-        samples_after: rtts.len(),
-        rtt_p50_ns: pct(50),
-        rtt_p99_ns: pct(99),
-        rtt_max_ns: *rtts.last().unwrap(),
+        samples_after: rtts.count() as usize,
+        rtt_p50_ns: rtts.quantile_ns(0.50),
+        rtt_p99_ns: rtts.quantile_ns(0.99),
+        rtt_p999_ns: rtts.quantile_ns(0.999),
+        rtt_max_ns: rtts.max_ns(),
         dropped: report.world.switch.stats().dropped,
+        trace_dropped: tracer.dropped(),
+        series: TimeSeries::sample(&records, 25_000),
     }
 }
 

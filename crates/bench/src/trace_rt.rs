@@ -44,15 +44,17 @@ fn done_handler(env: &mut AmEnv<'_, PingState>, _args: AmArgs) {
 /// enabled. Each measured iteration is bracketed by a [`Kind::UserSpan`]
 /// on node 0's program track whose `arg` is the iteration index; a warmup
 /// round precedes the first measured one. Returns the merged, time-sorted
-/// trace and the machine report.
-pub fn run_one_word(iters: u32) -> (Vec<Record>, AmReport) {
+/// trace, the machine report, and the count of records lost to ring
+/// overflow (non-zero means the breakdown below is working from a
+/// truncated trace).
+pub fn run_one_word(iters: u32) -> (Vec<Record>, AmReport, u64) {
     run_one_word_on(SpConfig::thin(2), 1, iters)
 }
 
 /// Like [`run_one_word`], but on an arbitrary machine: node 0 pings node
 /// `dst` across whatever topology `cfg` describes; every other node runs
 /// an empty program so the fabric is otherwise quiet.
-pub fn run_one_word_on(cfg: SpConfig, dst: usize, iters: u32) -> (Vec<Record>, AmReport) {
+pub fn run_one_word_on(cfg: SpConfig, dst: usize, iters: u32) -> (Vec<Record>, AmReport, u64) {
     assert!(
         dst != 0 && dst < cfg.nodes,
         "dst must be a node other than the pinger (node 0)"
@@ -108,7 +110,8 @@ pub fn run_one_word_on(cfg: SpConfig, dst: usize, iters: u32) -> (Vec<Record>, A
         }
     }
     let report = m.run().expect("round-trip run completes");
-    (tracer.snapshot(), report)
+    let dropped = tracer.dropped();
+    (tracer.snapshot(), report, dropped)
 }
 
 /// One attributed segment of the round trip: a causal span (or the gap

@@ -12,8 +12,8 @@ const ITERS: u32 = 4;
 /// simulator determinism as seen through the observability layer.
 #[test]
 fn trace_is_deterministic_across_runs() {
-    let (a, _) = trace_rt::run_one_word(ITERS);
-    let (b, _) = trace_rt::run_one_word(ITERS);
+    let (a, _, _) = trace_rt::run_one_word(ITERS);
+    let (b, _, _) = trace_rt::run_one_word(ITERS);
     assert_eq!(a.len(), b.len(), "record counts differ between runs");
     assert_eq!(a, b, "trace records differ between runs");
     assert_eq!(
@@ -27,7 +27,7 @@ fn trace_is_deterministic_across_runs() {
 /// to the reported RTT *exactly* (the chain-walk attributes every gap).
 #[test]
 fn breakdown_sums_to_round_trip() {
-    let (records, _) = trace_rt::run_one_word(ITERS);
+    let (records, _, _) = trace_rt::run_one_word(ITERS);
     for iter in 0..ITERS as u64 {
         let bd = trace_rt::breakdown(&records, iter);
         assert_eq!(
@@ -44,7 +44,7 @@ fn breakdown_sums_to_round_trip() {
 /// practice the virtual-time measurement is exact).
 #[test]
 fn breakdown_components_match_cost_model() {
-    let (records, _) = trace_rt::run_one_word(ITERS);
+    let (records, _, _) = trace_rt::run_one_word(ITERS);
     let bd = trace_rt::breakdown(&records, ITERS as u64 - 1);
     let mut modeled = 0;
     for s in &bd.segments {
@@ -72,7 +72,7 @@ fn breakdown_components_match_cost_model() {
 /// timestamps.
 #[test]
 fn chrome_export_is_valid_trace_event_json() {
-    let (records, _) = trace_rt::run_one_word(2);
+    let (records, _, _) = trace_rt::run_one_word(2);
     let json = chrome::to_chrome_json(&records);
     assert!(json.starts_with("[\n") && json.trim_end().ends_with(']'));
     // Every phase present, plus metadata naming at least one track.
@@ -106,7 +106,7 @@ fn chrome_export_is_valid_trace_event_json() {
 /// recorded on the receiving adapters' tracks.
 #[test]
 fn metrics_cover_protocol_and_adapter_layers() {
-    let (records, _) = trace_rt::run_one_word(ITERS);
+    let (records, _, _) = trace_rt::run_one_word(ITERS);
     let m = Metrics::aggregate(&records);
     // Warmup + measured iterations each send one request.
     let req = m.spans.get(&Kind::AmRequest).expect("AmRequest histogram");

@@ -89,15 +89,19 @@ fn campaign(args: &[String]) -> ExitCode {
         let base = format!("chaos-repro-{}-{}", f.shrunk.workload.name(), f.shrunk.seed);
         let sched_path = out_dir.join(format!("{base}.sched"));
         let trace_path = out_dir.join(format!("{base}.trace.json"));
+        let flight_path = out_dir.join(format!("{base}.flight.json"));
         std::fs::write(&sched_path, &f.repro).unwrap_or_else(|e| die(&format!("write: {e}")));
         std::fs::write(&trace_path, &f.chrome_json).unwrap_or_else(|e| die(&format!("write: {e}")));
+        std::fs::write(&flight_path, &f.flight_json)
+            .unwrap_or_else(|e| die(&format!("write: {e}")));
         println!(
-            "[chaos] FAILURE {}: {} events shrunk to {}; repro {} trace {}",
+            "[chaos] FAILURE {}: {} events shrunk to {}; repro {} trace {} flight {}",
             f.shrunk.workload.name(),
             f.original.events.len(),
             f.shrunk.events.len(),
             sched_path.display(),
-            trace_path.display()
+            trace_path.display(),
+            flight_path.display()
         );
         print!("{}", f.report);
     }
@@ -137,6 +141,15 @@ fn replay(args: &[String]) -> ExitCode {
         Some(false) => {
             eprintln!("[chaos] REPLAY MISMATCH: run differs from embedded expectation");
             eprintln!("--- expected ---\n{}", rep.expected.unwrap());
+            // Dump the mismatching run's tail so the divergence can be
+            // inspected without re-running under full tracing.
+            let flight_path = format!("{file}.flight.json");
+            std::fs::write(
+                &flight_path,
+                sp_chaos::run(&rep.schedule).flight.dump_json(),
+            )
+            .unwrap_or_else(|e| die(&format!("write {flight_path}: {e}")));
+            eprintln!("[chaos] flight dump written to {flight_path}");
             ExitCode::from(3)
         }
         None => ExitCode::SUCCESS,

@@ -44,6 +44,10 @@ pub struct Failure {
     pub repro: String,
     /// Chrome trace JSON of the shrunk failing run.
     pub chrome_json: String,
+    /// Flight-recorder dump: the last virtual-time slice of the shrunk
+    /// failing run as Perfetto JSON, straight from the always-on bounded
+    /// recorder (available even when full tracing was never requested).
+    pub flight_json: String,
 }
 
 /// Result of a whole campaign.
@@ -91,6 +95,7 @@ pub fn package_failure(original: Schedule) -> Failure {
         repro: repro_text(&shrunk, &judged.report),
         report: judged.report,
         chrome_json: traced.chrome_json.unwrap_or_default(),
+        flight_json: judged.outcome.flight.dump_json(),
         shrunk,
     }
 }

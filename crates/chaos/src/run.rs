@@ -64,6 +64,12 @@ pub struct RunOutcome {
     pub aborted: Option<String>,
     /// Chrome trace JSON of the run (only when requested).
     pub chrome_json: Option<String>,
+    /// Always-on bounded flight recorder: holds the tail of the run's
+    /// trace so a failing schedule can dump its last virtual-time slice
+    /// ([`sp_trace::FlightRecorder::dump_json`]) without re-running.
+    /// Recording is virtual-time-only, so outcomes (and the invariant
+    /// report) are byte-identical with or without it.
+    pub flight: sp_trace::FlightRecorder,
 }
 
 #[derive(Default)]
@@ -128,6 +134,20 @@ fn run_inner(s: &Schedule, trace: bool) -> RunOutcome {
     } else {
         None
     };
+    // Always-on flight recorder. A full-trace run shares the big rings;
+    // otherwise a small bounded ring (2k records/node) is installed, which
+    // only ever holds the tail of the run — exactly what a crash dump needs.
+    let flight = match &tracer {
+        Some(t) => {
+            sp_trace::FlightRecorder::from_tracer(t.clone(), sp_trace::flight::DEFAULT_WINDOW_NS)
+        }
+        None => {
+            let f =
+                sp_trace::FlightRecorder::new(nodes, 1 << 11, sp_trace::flight::DEFAULT_WINDOW_NS);
+            m.install_tracer(f.tracer());
+            f
+        }
+    };
 
     let probe: SharedProbe = Arc::new(Mutex::new(Probe::default()));
     let pauses = collect_pauses(s, nodes);
@@ -157,6 +177,7 @@ fn run_inner(s: &Schedule, trace: bool) -> RunOutcome {
         adapter_received: 0,
         aborted: None,
         chrome_json: None,
+        flight,
     };
     match result {
         Ok(report) => {

@@ -64,6 +64,10 @@ pub struct MpiRunReport {
     pub sync_events: u64,
     /// Conservative lookahead windows (0 on a serial run).
     pub windows: u64,
+    /// PDES profile of a parallel run (window utilization, imbalance,
+    /// sync overhead); `None` on a serial run. Integer-valued fields keep
+    /// the report `Eq`-comparable for the equivalence checks.
+    pub profile: Option<sp_sim::ShardProfile>,
 }
 
 /// FNV-1a over the observable end state of any `SpWorld`-backed machine.
@@ -142,7 +146,21 @@ pub fn run_mpi_report<R: Send + 'static>(
                     results.lock()[node] = Some(r);
                 });
             }
+            // `SP_TRACE_OUT=<path>` captures a full Perfetto trace of
+            // this run (AM machines only): per-node tracks, and per-shard
+            // window/wait tracks when the parallel engine is active.
+            let trace_out = std::env::var("SP_TRACE_OUT").ok();
+            let tracer = trace_out.as_ref().map(|_| m.enable_tracing(1 << 16));
             let r = m.run().expect("MPI-AM run completes");
+            if let (Some(path), Some(t)) = (trace_out, tracer) {
+                let json = sp_trace::chrome::to_chrome_json(&t.snapshot());
+                std::fs::write(&path, json).expect("write SP_TRACE_OUT trace");
+                println!(
+                    "[trace] wrote {path} ({} records, {} dropped to ring overflow)",
+                    t.len(),
+                    t.dropped()
+                );
+            }
             let end_ns = r.end_time.as_ns();
             run = MpiRunReport {
                 end_ns,
@@ -151,6 +169,7 @@ pub fn run_mpi_report<R: Send + 'static>(
                 shards: r.shards,
                 sync_events: r.sync_events,
                 windows: r.windows,
+                profile: r.profile,
             };
         }
         MpiImpl::MpiF => {
@@ -175,6 +194,7 @@ pub fn run_mpi_report<R: Send + 'static>(
                 shards: r.shards,
                 sync_events: r.sync_events,
                 windows: r.windows,
+                profile: r.profile,
             };
         }
     }

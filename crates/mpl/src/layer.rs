@@ -372,6 +372,8 @@ pub struct MplReport {
     pub sync_events: u64,
     /// Conservative lookahead windows (0 on a serial run).
     pub windows: u64,
+    /// PDES profile of a parallel run; `None` on a serial run.
+    pub profile: Option<sp_sim::ShardProfile>,
     /// Final hardware state.
     pub world: MplWorld,
 }
@@ -426,6 +428,7 @@ impl MplMachine {
             shards: report.shards,
             sync_events: report.sync_events,
             windows: report.windows,
+            profile: report.profile,
             world: report.world,
         })
     }

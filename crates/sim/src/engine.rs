@@ -134,6 +134,11 @@ impl<W: Send + 'static> Sched<W> {
             None
         }
     }
+
+    /// Pending events (heap depth), for telemetry gauges.
+    pub(crate) fn len(&self) -> usize {
+        self.queue.len()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -601,6 +606,108 @@ pub struct ShardReport {
     pub sync_events: u64,
 }
 
+/// PDES profile of a parallel run: how well the conservative lookahead
+/// windows were used, and how evenly the load spread across shards.
+///
+/// All stored fields are integers (virtual nanoseconds and counts) so the
+/// profile is `Eq`-comparable and bit-deterministic; percentages and ratios
+/// are derived on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardProfile {
+    /// Conservative lookahead windows (barrier rounds) the run used.
+    pub windows: u64,
+    /// Total windowed virtual time: the sum of every window's width, ns.
+    /// (Unbounded-lookahead windows are measured to the latest shard's
+    /// arrival clock instead of the infinite horizon.)
+    pub window_ns: u64,
+    /// Per-shard busy time: virtual ns from each window's start to the
+    /// shard's local clock at barrier arrival, summed over windows.
+    pub busy_ns: Vec<u64>,
+    /// Per-shard serial-comparable events.
+    pub events: Vec<u64>,
+    /// Per-shard synchronization events (cross-shard deliveries).
+    pub sync_events: Vec<u64>,
+    /// Per-shard count of windows in which the shard executed at least one
+    /// event (the rest were pure barrier waits).
+    pub active_windows: Vec<u64>,
+}
+
+impl ShardProfile {
+    /// Number of shards profiled.
+    pub fn num_shards(&self) -> usize {
+        self.busy_ns.len()
+    }
+
+    /// Fraction of the total windowed time shard `s` spent busy,
+    /// `0.0..=1.0`.
+    pub fn window_utilization(&self, s: usize) -> f64 {
+        if self.window_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns[s] as f64 / self.window_ns as f64
+    }
+
+    /// Max-over-mean ratio of per-shard event counts (1.0 = perfectly
+    /// balanced).
+    pub fn event_imbalance(&self) -> f64 {
+        imbalance(&self.events)
+    }
+
+    /// Max-over-mean ratio of per-shard busy time.
+    pub fn time_imbalance(&self) -> f64 {
+        imbalance(&self.busy_ns)
+    }
+
+    /// Synchronization events as a fraction of all executed events,
+    /// `0.0..=1.0` — the pure parallel-mode overhead.
+    pub fn sync_ratio(&self) -> f64 {
+        let events: u64 = self.events.iter().sum();
+        let sync: u64 = self.sync_events.iter().sum();
+        if events + sync == 0 {
+            return 0.0;
+        }
+        sync as f64 / (events + sync) as f64
+    }
+
+    /// The shard with the most busy time — the one gating every barrier.
+    pub fn critical_shard(&self) -> usize {
+        self.busy_ns
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &b)| (b, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Compact one-line rendering, e.g.
+    /// `util [93 91 88 90]%, events [1200 1180 1210 1190], imbalance 1.01x ev / 1.03x time, sync 2.1%, critical shard 0`.
+    pub fn summary(&self) -> String {
+        let utils: Vec<String> = (0..self.num_shards())
+            .map(|s| format!("{:.0}", 100.0 * self.window_utilization(s)))
+            .collect();
+        let events: Vec<String> = self.events.iter().map(|e| e.to_string()).collect();
+        format!(
+            "util [{}]%, events [{}], imbalance {:.2}x ev / {:.2}x time, sync {:.1}%, critical shard {}",
+            utils.join(" "),
+            events.join(" "),
+            self.event_imbalance(),
+            self.time_imbalance(),
+            100.0 * self.sync_ratio(),
+            self.critical_shard(),
+        )
+    }
+}
+
+/// Max-over-mean of a count vector; 1.0 when empty or all-zero.
+fn imbalance(v: &[u64]) -> f64 {
+    let sum: u64 = v.iter().sum();
+    if v.is_empty() || sum == 0 {
+        return 1.0;
+    }
+    let mean = sum as f64 / v.len() as f64;
+    *v.iter().max().unwrap() as f64 / mean
+}
+
 /// The outcome of a completed simulation.
 #[derive(Debug)]
 pub struct SimReport<W> {
@@ -625,6 +732,9 @@ pub struct SimReport<W> {
     /// Unparks that crossed a shard boundary and were applied at a window
     /// barrier. Zero for serial runs.
     pub cross_unparks: u64,
+    /// PDES profile of a parallel run (window utilization, load imbalance,
+    /// sync overhead). `None` for serial runs.
+    pub profile: Option<ShardProfile>,
     /// Wall-clock duration of the run.
     pub wall: std::time::Duration,
 }
@@ -640,6 +750,8 @@ impl<W> SimReport<W> {
 /// process. Experiment binaries print these so engine-performance
 /// regressions are visible next to the virtual-time results.
 pub mod stats {
+    use super::ShardProfile;
+    use parking_lot::Mutex;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     static RUNS: AtomicU64 = AtomicU64::new(0);
@@ -650,6 +762,7 @@ pub mod stats {
     static PARALLEL_SHARDS: AtomicU64 = AtomicU64::new(0);
     static SYNC_EVENTS: AtomicU64 = AtomicU64::new(0);
     static WINDOWS: AtomicU64 = AtomicU64::new(0);
+    static LAST_PROFILE: Mutex<Option<ShardProfile>> = Mutex::new(None);
 
     pub(crate) fn record(events: u64, coalesced: u64, wall: std::time::Duration) {
         RUNS.fetch_add(1, Ordering::Relaxed);
@@ -663,6 +776,16 @@ pub mod stats {
         PARALLEL_SHARDS.fetch_add(shards, Ordering::Relaxed);
         SYNC_EVENTS.fetch_add(sync_events, Ordering::Relaxed);
         WINDOWS.fetch_add(windows, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_profile(p: &ShardProfile) {
+        *LAST_PROFILE.lock() = Some(p.clone());
+    }
+
+    /// Per-shard PDES profile of the most recent parallel run in this
+    /// process, or `None` when every run so far was serial.
+    pub fn last_parallel_profile() -> Option<ShardProfile> {
+        LAST_PROFILE.lock().clone()
     }
 
     /// Unparks coalesced into already-queued wakes since process start.
@@ -682,16 +805,22 @@ pub mod stats {
         )
     }
 
-    /// One-line human summary of [`parallel_snapshot`], or `None` when no
-    /// parallel run has completed (so serial-only binaries stay quiet).
+    /// One-line human summary of [`parallel_snapshot`] plus the most
+    /// recent run's per-shard event counts and window-utilization
+    /// percentages, or `None` when no parallel run has completed (so
+    /// serial-only binaries stay quiet).
     pub fn parallel_summary() -> Option<String> {
         let (runs, shards, sync, windows) = parallel_snapshot();
         if runs == 0 {
             return None;
         }
-        Some(format!(
+        let mut line = format!(
             "{runs} parallel runs ({shards} shards): {sync} sync events, {windows} windows"
-        ))
+        );
+        if let Some(p) = last_parallel_profile() {
+            line.push_str(&format!("; last run: {}", p.summary()));
+        }
+        Some(line)
     }
 
     /// Totals since process start: `(runs, events, wall)`.
@@ -883,6 +1012,7 @@ impl<W: Send + 'static> Sim<W> {
             sync_events: 0,
             windows: 0,
             cross_unparks: 0,
+            profile: None,
             wall,
         })
     }

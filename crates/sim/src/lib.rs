@@ -46,7 +46,7 @@ mod node;
 mod parallel;
 mod time;
 
-pub use engine::{stats, EventCtx, HotFn, NodeId, ShardReport, Sim, SimReport};
+pub use engine::{stats, EventCtx, HotFn, NodeId, ShardProfile, ShardReport, Sim, SimReport};
 pub use error::SimError;
 pub use node::{NodeCtx, WakeReason};
 pub use parallel::{ShardMsg, Shardable};

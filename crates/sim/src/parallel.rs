@@ -48,8 +48,8 @@
 //! see `tests/parallel.rs` and the proptest equivalence suite.
 
 use crate::engine::{
-    exec_event, stats, EvKind, EventCtx, Inner, NState, NodeId, NodeMeta, Sched, ShardReport,
-    ShardSlot, Shared, Sim, SimReport,
+    exec_event, stats, EvKind, EventCtx, Inner, NState, NodeId, NodeMeta, Sched, ShardProfile,
+    ShardReport, ShardSlot, Shared, Sim, SimReport,
 };
 use crate::error::SimError;
 use crate::node::{Baton, Drive, NodeCtx, ShardDriver, ShutdownToken, WakeReason};
@@ -125,6 +125,29 @@ impl Shardable for () {
     }
 }
 
+/// One shard's state snapshot taken at barrier arrival, used to profile
+/// the window that just ended. All virtual-time quantities, so profiles
+/// are deterministic.
+#[derive(Clone, Copy)]
+struct Arrive {
+    /// The shard's local clock when it exhausted the window.
+    now: Time,
+    /// Cumulative executed events (serial-comparable + sync).
+    counts: u64,
+    /// Event-heap depth at arrival.
+    heap: usize,
+}
+
+impl Default for Arrive {
+    fn default() -> Self {
+        Arrive {
+            now: Time::ZERO,
+            counts: 0,
+            heap: 0,
+        }
+    }
+}
+
 /// Barrier / completion state shared by all shards of one parallel run.
 struct GState<W: Shardable> {
     /// Per-destination-shard inbound messages: `(src_shard, ts, msg)`.
@@ -143,6 +166,21 @@ struct GState<W: Shardable> {
     windows: u64,
     /// Cross-shard unparks applied at barriers.
     cross_unparks: u64,
+    /// Start of the window currently open (the barrier's minimum
+    /// next-event time `M`). Equal to `window_horizon` before round 1.
+    window_start: Time,
+    /// Horizon of the window currently open (`M + lookahead`).
+    window_horizon: Time,
+    /// Per-shard snapshot from each shard's latest barrier arrival.
+    arrive: Vec<Arrive>,
+    /// Per-shard busy virtual time accumulated across closed windows.
+    busy_ns: Vec<u64>,
+    /// Per-shard count of closed windows with at least one executed event.
+    active_windows: Vec<u64>,
+    /// Per-shard cumulative event count at the previously closed window.
+    prev_counts: Vec<u64>,
+    /// Sum of closed windows' widths, virtual ns.
+    window_ns: u64,
     /// All queues drained (clean completion).
     finished: bool,
     /// First error raised by any shard (budget, panic).
@@ -180,15 +218,64 @@ impl<W: Shardable> SyncCore<W> {
         self.cv.notify_all();
     }
 
-    /// Arrive at the window barrier with this shard's outbound traffic and
-    /// next-event time. Returns `true` to continue into the next window,
-    /// `false` when the run is over (finished or failed).
+    /// Close out the window that just ended (all shards arrived): charge
+    /// each shard's busy time and activity, accumulate the window's width,
+    /// and emit the per-shard window/wait spans and heap-depth gauges.
+    /// No-op before the first real window (round 0's bootstrap barrier).
+    fn finalize_window(&self, st: &mut GState<W>) {
+        let start = st.window_start;
+        let horizon = st.window_horizon;
+        if horizon <= start {
+            return;
+        }
+        // An unbounded window (`Dur(u64::MAX)` lookahead: shards never
+        // interact) is measured to the latest shard's arrival clock, not
+        // the infinite horizon.
+        let max_now = st.arrive.iter().map(|a| a.now).max().unwrap_or(start);
+        let end = if horizon == Time::MAX {
+            max_now.max(start)
+        } else {
+            horizon
+        };
+        let width = end.as_ns().saturating_sub(start.as_ns());
+        st.window_ns = st.window_ns.saturating_add(width);
+        for sid in 0..self.num_shards {
+            let a = st.arrive[sid];
+            let busy = a.now.as_ns().saturating_sub(start.as_ns()).min(width);
+            st.busy_ns[sid] += busy;
+            let delta = a.counts.saturating_sub(st.prev_counts[sid]);
+            if delta > 0 {
+                st.active_windows[sid] += 1;
+            }
+            st.prev_counts[sid] = a.counts;
+            if let Some(t) = &self.tracer {
+                let track = Track::shard(sid);
+                let s0 = start.as_ns();
+                t.span(s0, s0 + busy, track, TraceKind::ShardWindow, delta);
+                if busy < width {
+                    t.span(s0 + busy, s0 + width, track, TraceKind::ShardWait, st.round);
+                }
+                t.counter(
+                    a.now.as_ns(),
+                    track,
+                    TraceKind::ShardHeapDepth,
+                    a.heap as u64,
+                );
+            }
+        }
+    }
+
+    /// Arrive at the window barrier with this shard's outbound traffic,
+    /// next-event time, and profiling snapshot. Returns `true` to continue
+    /// into the next window, `false` when the run is over (finished or
+    /// failed).
     fn barrier(
         &self,
         sid: usize,
         msgs: Vec<ShardMsg<W::Msg>>,
         unparks: Vec<(NodeId, Time)>,
         next: Option<Time>,
+        arrive: Arrive,
     ) -> bool {
         let mut st = self.state.lock();
         if st.stop {
@@ -202,6 +289,7 @@ impl<W: Shardable> SyncCore<W> {
             st.unparks[self.owner[node.0]].push((node, t, sid));
         }
         st.next[sid] = next;
+        st.arrive[sid] = arrive;
         st.arrived += 1;
         if st.arrived < self.num_shards {
             let round = st.round;
@@ -211,10 +299,12 @@ impl<W: Shardable> SyncCore<W> {
             return !st.stop;
         }
 
-        // Last arriver: deliver inboxes, recompute each receiver's next
-        // event, advance the horizon. Locking a shard's inner here is safe:
-        // every driver is at this barrier (in `cv.wait`, without its inner).
+        // Last arriver: close out the window's profile, deliver inboxes,
+        // recompute each receiver's next event, advance the horizon.
+        // Locking a shard's inner here is safe: every driver is at this
+        // barrier (in `cv.wait`, without its inner).
         st.arrived = 0;
+        self.finalize_window(&mut st);
         for dst in 0..self.num_shards {
             let mut msgs = std::mem::take(&mut st.inbox[dst]);
             let mut unparks = std::mem::take(&mut st.unparks[dst]);
@@ -267,6 +357,8 @@ impl<W: Shardable> SyncCore<W> {
                 for s in &self.shards {
                     s.inner.lock().horizon = horizon;
                 }
+                st.window_start = m;
+                st.window_horizon = horizon;
                 st.windows += 1;
                 st.round += 1;
                 if let Some(t) = &self.tracer {
@@ -299,14 +391,27 @@ impl<W: Shardable> SyncCore<W> {
                     None => Vec::new(),
                 };
                 let next = inner.sched.peek_time();
+                let arrive = Arrive {
+                    now: inner.now,
+                    counts: inner.events + inner.sync_events,
+                    heap: inner.sched.len(),
+                };
                 drop(inner);
-                if self.barrier(sid, msgs, unparks, next) {
+                if self.barrier(sid, msgs, unparks, next, arrive) {
                     continue;
                 }
                 return Drive::Shutdown;
             };
             if ev.kind.is_sync() {
                 inner.sync_events += 1;
+                if let Some(t) = &inner.tracer {
+                    t.instant(
+                        ev.time.as_ns(),
+                        Track::shard(sid),
+                        TraceKind::ShardSyncApply,
+                        ev.time.as_ns(),
+                    );
+                }
             } else {
                 inner.events += 1;
             }
@@ -470,6 +575,13 @@ impl<W: Shardable> Sim<W> {
                 round: 0,
                 windows: 0,
                 cross_unparks: 0,
+                window_start: Time::ZERO,
+                window_horizon: Time::ZERO,
+                arrive: vec![Arrive::default(); num_shards],
+                busy_ns: vec![0; num_shards],
+                active_windows: vec![0; num_shards],
+                prev_counts: vec![0; num_shards],
+                window_ns: 0,
                 finished: false,
                 failed: None,
                 stop: false,
@@ -622,6 +734,15 @@ impl<W: Shardable> Sim<W> {
         let wall = started.elapsed();
         stats::record(events, wakes_coalesced, wall);
         stats::record_parallel(num_shards as u64, sync_events, st.windows);
+        let profile = ShardProfile {
+            windows: st.windows,
+            window_ns: st.window_ns,
+            busy_ns: st.busy_ns,
+            events: shard_reports.iter().map(|s| s.events).collect(),
+            sync_events: shard_reports.iter().map(|s| s.sync_events).collect(),
+            active_windows: st.active_windows,
+        };
+        stats::record_profile(&profile);
         Ok(SimReport {
             world,
             end_time,
@@ -631,6 +752,7 @@ impl<W: Shardable> Sim<W> {
             sync_events,
             windows: st.windows,
             cross_unparks: st.cross_unparks,
+            profile: Some(profile),
             wall,
         })
     }

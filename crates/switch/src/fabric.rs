@@ -373,12 +373,17 @@ impl Switch {
     fn claim_first(&mut self, link: LinkId, ready: Time, ser: Dur, busy_arg: u64) -> Time {
         let st = &mut self.links[link as usize];
         let start = ready.max(st.free);
+        // Queueing delay the packet eats waiting for the link — sampled at
+        // injection so the backlog gauge tracks contention as it builds.
+        let backlog = start.as_ns() - ready.as_ns();
         st.free = start + ser;
         if let Some(t) = &self.tracer {
+            let track = self.track(link);
+            t.counter(ready.as_ns(), track, Kind::LinkBacklog, backlog);
             t.span(
                 start.as_ns(),
                 (start + ser).as_ns(),
-                self.track(link),
+                track,
                 Kind::LinkBusy,
                 busy_arg,
             );

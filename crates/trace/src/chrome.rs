@@ -18,6 +18,8 @@ use std::fmt::Write as _;
 const XLINK_PID: u32 = 1_000_000;
 
 /// `(pid, tid)` for a track, per the mapping described in the module docs.
+/// Shard tracks are threads of the engine process (pid 0), one tid per
+/// shard above the engine's own event thread.
 fn ids(track: Track) -> (u32, u32) {
     match (track.kind(), track.node()) {
         (TrackKind::Program, Some(n)) => (n as u32 + 1, 1),
@@ -25,18 +27,20 @@ fn ids(track: Track) -> (u32, u32) {
         (TrackKind::SwitchInj, Some(n)) => (n as u32 + 1, 3),
         (TrackKind::SwitchEj, Some(n)) => (n as u32 + 1, 4),
         (TrackKind::SwitchXLink, _) => (XLINK_PID, track.xlink_index().unwrap_or(0) as u32 + 1),
+        (TrackKind::Shard, _) => (0, track.shard_index().unwrap_or(0) as u32 + 2),
         _ => (0, 1),
     }
 }
 
-fn thread_name(track: Track) -> &'static str {
+fn thread_name(track: Track) -> String {
     match track.kind() {
-        TrackKind::Program => "program",
-        TrackKind::Adapter => "adapter",
-        TrackKind::SwitchInj => "inj link",
-        TrackKind::SwitchEj => "ej link",
-        TrackKind::SwitchXLink => "inter-frame cable",
-        TrackKind::Engine => "events",
+        TrackKind::Program => "program".to_string(),
+        TrackKind::Adapter => "adapter".to_string(),
+        TrackKind::SwitchInj => "inj link".to_string(),
+        TrackKind::SwitchEj => "ej link".to_string(),
+        TrackKind::SwitchXLink => "inter-frame cable".to_string(),
+        TrackKind::Shard => track.label(),
+        TrackKind::Engine => "events".to_string(),
     }
 }
 
@@ -197,6 +201,20 @@ mod tests {
         assert!(json.contains("\"name\":\"switch fabric\""));
         assert!(json.contains("\"name\":\"inter-frame cable\""));
         assert!(json.contains(&format!("\"pid\":{XLINK_PID},\"tid\":3")));
+    }
+
+    #[test]
+    fn shard_tracks_are_engine_threads() {
+        let t = Tracer::new(2, 64);
+        t.span(0, 10_000, Track::shard(0), Kind::ShardWindow, 42);
+        t.span(10_000, 12_000, Track::shard(1), Kind::ShardWait, 1);
+        let json = to_chrome_json(&t.snapshot());
+        assert!(json.contains("\"name\":\"shard 0\""));
+        assert!(json.contains("\"name\":\"shard 1\""));
+        assert!(json.contains("\"pid\":0,\"tid\":2"));
+        assert!(json.contains("\"pid\":0,\"tid\":3"));
+        assert!(json.contains("\"name\":\"shard-window\""));
+        assert!(json.contains("\"name\":\"shard-wait\""));
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Flight recorder: a bounded, always-on trace ring that can dump the last
+//! slice of virtual time as a Perfetto trace after a failure.
+//!
+//! The recorder is just a small [`Tracer`] (overwrite-oldest rings already
+//! bound memory) plus a tail-window dump policy. It is cheap enough to
+//! leave on for every chaos run: recording is virtual-time-only and never
+//! perturbs the simulation, so a run with the recorder installed produces
+//! byte-identical reports to one without.
+
+use crate::chrome::to_chrome_json;
+use crate::record::Record;
+use crate::ring::Tracer;
+
+/// Default tail window dumped after a failure: the last 2 ms of virtual
+/// time, comfortably more than one retransmission timeout.
+pub const DEFAULT_WINDOW_NS: u64 = 2_000_000;
+
+/// A bounded always-on recorder with a tail-window dump.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    tracer: Tracer,
+    window_ns: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder for `nodes` nodes with `per_node_capacity` records per
+    /// ring, dumping the last `window_ns` of virtual time on demand.
+    pub fn new(nodes: usize, per_node_capacity: usize, window_ns: u64) -> FlightRecorder {
+        FlightRecorder::from_tracer(Tracer::new(nodes, per_node_capacity), window_ns)
+    }
+
+    /// Wrap an existing tracer (e.g. a full-trace run that also wants
+    /// tail dumps).
+    pub fn from_tracer(tracer: Tracer, window_ns: u64) -> FlightRecorder {
+        FlightRecorder { tracer, window_ns }
+    }
+
+    /// The underlying tracer handle, for installing into an engine.
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    /// Records lost to ring overflow (expected in steady state: the rings
+    /// only ever hold the tail).
+    pub fn dropped(&self) -> u64 {
+        self.tracer.dropped()
+    }
+
+    /// The dump's tail window, virtual nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// The records inside the tail window, sorted.
+    pub fn tail(&self) -> Vec<Record> {
+        let recs = self.tracer.snapshot();
+        let last = recs.iter().map(|r| r.end()).max().unwrap_or(0);
+        let cutoff = last.saturating_sub(self.window_ns);
+        recs.into_iter().filter(|r| r.end() >= cutoff).collect()
+    }
+
+    /// Dump the tail window as a Chrome/Perfetto trace JSON string.
+    pub fn dump_json(&self) -> String {
+        to_chrome_json(&self.tail())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Kind, Track};
+
+    #[test]
+    fn dump_keeps_only_the_tail_window() {
+        let fr = FlightRecorder::new(1, 1024, 1_000);
+        let t = fr.tracer();
+        t.instant(0, Track::program(0), Kind::UserMark, 1);
+        t.instant(5_000, Track::program(0), Kind::UserMark, 2);
+        t.instant(5_800, Track::program(0), Kind::UserMark, 3);
+        let tail = fr.tail();
+        assert_eq!(
+            tail.iter().map(|r| r.arg).collect::<Vec<_>>(),
+            [2, 3],
+            "records older than the window must be excluded"
+        );
+        let json = fr.dump_json();
+        assert!(json.contains("user-mark"));
+        assert!(!json.contains("\"ts\":0.000"));
+    }
+
+    #[test]
+    fn bounded_memory_under_sustained_load() {
+        let fr = FlightRecorder::new(2, 64, 10_000);
+        let t = fr.tracer();
+        for i in 0..10_000u64 {
+            t.instant(i, Track::program((i % 2) as usize), Kind::UserMark, i);
+        }
+        assert!(t.len() <= 3 * 64, "rings must stay bounded");
+        assert!(fr.dropped() > 0, "steady-state overflow is expected");
+        let tail = fr.tail();
+        assert!(!tail.is_empty());
+        assert_eq!(tail.len(), t.len(), "window wider than rings keeps all");
+    }
+
+    #[test]
+    fn empty_recorder_dumps_empty_trace() {
+        let fr = FlightRecorder::new(1, 16, 1_000);
+        assert!(fr.tail().is_empty());
+        assert!(fr.dump_json().starts_with("[\n"));
+    }
+}

@@ -90,9 +90,21 @@ pub struct Metrics {
     pub link_busy: BTreeMap<Track, u64>,
     /// Trace window: earliest record start to latest record end, ns.
     pub window_ns: u64,
+    /// Records lost to ring overflow before the snapshot was taken
+    /// (see [`crate::Tracer::dropped`]). Non-zero means the aggregates
+    /// below describe a truncated trace, not the whole run.
+    pub dropped_records: u64,
 }
 
 impl Metrics {
+    /// Aggregate `records` plus the recorder's ring-overflow count, so a
+    /// truncated trace can't masquerade as a complete one.
+    pub fn aggregate_with_dropped(records: &[Record], dropped_records: u64) -> Metrics {
+        let mut m = Metrics::aggregate(records);
+        m.dropped_records = dropped_records;
+        m
+    }
+
     /// Aggregate `records` (any order).
     pub fn aggregate(records: &[Record]) -> Metrics {
         let mut m = Metrics::default();
@@ -172,6 +184,13 @@ impl fmt::Display for Metrics {
                 100.0 * self.link_utilization(*track)
             )?;
         }
+        if self.dropped_records > 0 {
+            writeln!(
+                f,
+                "WARNING: trace truncated, {} records lost to ring overflow",
+                self.dropped_records
+            )?;
+        }
         Ok(())
     }
 }
@@ -224,5 +243,18 @@ mod tests {
         assert!((u - 0.75).abs() < 1e-9, "utilization {u}");
         let display = m.to_string();
         assert!(display.contains("utilization node 0 inj link: 75.0%"));
+    }
+
+    #[test]
+    fn dropped_records_surface_in_display() {
+        let t = Tracer::new(1, 2);
+        for i in 0..5u64 {
+            t.instant(i, Track::program(0), Kind::UserMark, i);
+        }
+        let m = Metrics::aggregate_with_dropped(&t.snapshot(), t.dropped());
+        assert_eq!(m.dropped_records, 3);
+        assert!(m.to_string().contains("3 records lost to ring overflow"));
+        let clean = Metrics::aggregate(&t.snapshot());
+        assert!(!clean.to_string().contains("ring overflow"));
     }
 }

@@ -42,6 +42,19 @@ pub enum Kind {
     /// reached the barrier and the horizon advanced. `arg` is the barrier
     /// round number.
     ShardBarrier,
+    /// The active portion of one lookahead window on one shard: window
+    /// start to the shard's local clock at barrier arrival. `arg` is the
+    /// number of events the shard executed inside the window.
+    ShardWindow,
+    /// The idle tail of one lookahead window on one shard: the shard's
+    /// local clock at barrier arrival to the window horizon (time spent
+    /// waiting for slower shards). `arg` is the barrier round number.
+    ShardWait,
+    /// A cross-shard sync event was applied on the destination shard.
+    /// `arg` is the event's scheduled virtual time.
+    ShardSyncApply,
+    /// A shard's event-heap depth sampled at barrier arrival.
+    ShardHeapDepth,
 
     // --- host <-> adapter (MicroChannel side) ---
     /// Host CPU built a send-FIFO entry: memcpy + cache-line flush.
@@ -91,6 +104,9 @@ pub enum Kind {
     /// occupancy delta dodged: how much later (ns) the round-robin
     /// candidate's first contended link would have freed.
     RouteAdaptive,
+    /// Backlog on a fabric link sampled when a packet was scheduled onto
+    /// it: nanoseconds until the link frees, measured at injection time.
+    LinkBacklog,
 
     // --- active messages ---
     /// CPU cost of composing and enqueuing a request. `arg` is the
@@ -151,8 +167,8 @@ impl Kind {
         match self {
             NodeAdvance | HostWrite | HostDoorbell | HostPollHit | HostPollEmpty | HostLazyPop
             | FwSend | FwRecv | SwitchHop | LinkBusy | AmRequest | AmReply | AmPoll
-            | AmDispatch | UserSpan => Phase::Span,
-            RecvOccupancy | WakeCoalesced => Phase::Counter,
+            | AmDispatch | UserSpan | ShardWindow | ShardWait => Phase::Span,
+            RecvOccupancy | WakeCoalesced | ShardHeapDepth | LinkBacklog => Phase::Counter,
             _ => Phase::Instant,
         }
     }
@@ -169,6 +185,10 @@ impl Kind {
             NodeUnpark => "unpark",
             WakeCoalesced => "wakes-coalesced",
             ShardBarrier => "shard-barrier",
+            ShardWindow => "shard-window",
+            ShardWait => "shard-wait",
+            ShardSyncApply => "shard-sync-apply",
+            ShardHeapDepth => "shard-heap",
             HostWrite => "host-write",
             HostDoorbell => "doorbell",
             HostPollHit => "poll-hit",
@@ -185,6 +205,7 @@ impl Kind {
             SwitchDelayed => "switch-delayed",
             SwitchDup => "switch-dup",
             RouteAdaptive => "route-adaptive",
+            LinkBacklog => "link-backlog",
             AmRequest => "am-request",
             AmReply => "am-reply",
             AmPoll => "am-poll",
@@ -223,6 +244,9 @@ pub enum TrackKind {
     /// An inter-frame cable inside a multi-frame switch fabric (global,
     /// indexed by cable, not owned by any node).
     SwitchXLink,
+    /// One shard of the conservative-parallel engine (global, indexed by
+    /// shard, not owned by any node).
+    Shard,
 }
 
 /// A timeline: one per modeled resource. Encoded as a `u32` —
@@ -267,6 +291,11 @@ impl Track {
         Track::node_track(5, index)
     }
 
+    /// Shard `index`'s track (conservative-parallel runs only).
+    pub fn shard(index: usize) -> Track {
+        Track::node_track(6, index)
+    }
+
     /// The resource kind this track models.
     pub fn kind(self) -> TrackKind {
         match self.0 >> 24 {
@@ -275,15 +304,16 @@ impl Track {
             2 => TrackKind::SwitchInj,
             3 => TrackKind::SwitchEj,
             5 => TrackKind::SwitchXLink,
+            6 => TrackKind::Shard,
             _ => TrackKind::Engine,
         }
     }
 
-    /// The node this track belongs to, or `None` for the engine and
-    /// inter-frame cable tracks (which are global resources).
+    /// The node this track belongs to, or `None` for the engine,
+    /// inter-frame cable, and shard tracks (which are global resources).
     pub fn node(self) -> Option<usize> {
         match self.kind() {
-            TrackKind::Engine | TrackKind::SwitchXLink => None,
+            TrackKind::Engine | TrackKind::SwitchXLink | TrackKind::Shard => None,
             _ => Some((self.0 & TRACK_NODE_MAX) as usize),
         }
     }
@@ -292,6 +322,14 @@ impl Track {
     pub fn xlink_index(self) -> Option<usize> {
         match self.kind() {
             TrackKind::SwitchXLink => Some((self.0 & TRACK_NODE_MAX) as usize),
+            _ => None,
+        }
+    }
+
+    /// The shard index of a shard track, `None` otherwise.
+    pub fn shard_index(self) -> Option<usize> {
+        match self.kind() {
+            TrackKind::Shard => Some((self.0 & TRACK_NODE_MAX) as usize),
             _ => None,
         }
     }
@@ -306,6 +344,7 @@ impl Track {
             (TrackKind::SwitchXLink, _) => {
                 format!("xlink cable {}", self.0 & TRACK_NODE_MAX)
             }
+            (TrackKind::Shard, _) => format!("shard {}", self.0 & TRACK_NODE_MAX),
             _ => "engine".to_string(),
         }
     }
@@ -366,5 +405,20 @@ mod tests {
         assert_eq!(Kind::RecvDrop.phase(), Phase::Instant);
         assert_eq!(Kind::RecvOccupancy.phase(), Phase::Counter);
         assert_eq!(Kind::WakeCoalesced.phase(), Phase::Counter);
+        assert_eq!(Kind::ShardWindow.phase(), Phase::Span);
+        assert_eq!(Kind::ShardWait.phase(), Phase::Span);
+        assert_eq!(Kind::ShardSyncApply.phase(), Phase::Instant);
+        assert_eq!(Kind::ShardHeapDepth.phase(), Phase::Counter);
+        assert_eq!(Kind::LinkBacklog.phase(), Phase::Counter);
+    }
+
+    #[test]
+    fn shard_track_roundtrip() {
+        let t = Track::shard(3);
+        assert_eq!(t.kind(), TrackKind::Shard);
+        assert_eq!(t.node(), None, "shards are not owned by a node");
+        assert_eq!(t.shard_index(), Some(3));
+        assert_eq!(Track::program(3).shard_index(), None);
+        assert_eq!(t.label(), "shard 3");
     }
 }

@@ -86,8 +86,9 @@ impl Tracer {
     fn ring_index(&self, track: Track) -> usize {
         let engine = self.shared.rings.len() - 1;
         match track.kind() {
-            // Inter-frame cables are global resources like the engine.
-            TrackKind::Engine | TrackKind::SwitchXLink => engine,
+            // Inter-frame cables and shards are global resources like the
+            // engine.
+            TrackKind::Engine | TrackKind::SwitchXLink | TrackKind::Shard => engine,
             _ => track.node().unwrap_or(engine).min(engine - 1),
         }
     }

@@ -1,0 +1,156 @@
+//! Golden disabled-tracing suite: instrumentation must be free when it is
+//! not observed.
+//!
+//! The telemetry layer's contract is that recording is *virtual-time-only*:
+//! installing a tracer (or the chaos flight recorder, which is just a small
+//! tracer) must not change a run's final virtual time, its counted-event
+//! total, or the observable world state — serially or on shards. These
+//! tests run the same loss-free AM workload with the hooks merely compiled
+//! in (no tracer installed) and with a tracer enabled, and require the
+//! golden-style fingerprint to match exactly, while also requiring the
+//! enabled run to have actually recorded something (so a silently dead
+//! tracer can't fake a pass).
+
+use sp_adapter::SpConfig;
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine};
+use sp_sim::ShardProfile;
+
+/// FNV-1a, the same construction the golden pins use.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Default)]
+struct St {
+    hits: u32,
+}
+
+fn count(env: &mut AmEnv<'_, St>, _args: AmArgs) {
+    env.state.hits += 1;
+}
+
+struct RunResult {
+    fingerprint: (u64, u64, u64),
+    profile: Option<ShardProfile>,
+    records: usize,
+}
+
+/// The loss-free AM ring (request storm to the right neighbor, then
+/// quiesce), with or without a tracer installed.
+fn am_ring(nodes: usize, requests: u32, shards: usize, trace: bool) -> RunResult {
+    let sp = SpConfig::thin(nodes).parallel(shards);
+    let cfg = AmConfig {
+        keepalive_polls: 64,
+        ..AmConfig::default()
+    };
+    let mut m = AmMachine::new(sp, cfg, 0xBEEF);
+    let tracer = trace.then(|| m.enable_tracing(1 << 12));
+    for node in 0..nodes {
+        m.spawn(
+            format!("n{node}"),
+            St::default(),
+            move |am: &mut Am<'_, St>| {
+                am.register(count);
+                let right = (node + 1) % nodes;
+                am.barrier();
+                for i in 0..requests {
+                    am.request_1(right, 0, i);
+                    if i % 8 == 0 {
+                        am.poll();
+                    }
+                }
+                am.poll_until(|s| s.hits >= requests);
+                am.quiesce();
+                am.drain(sp_sim::Dur::ms(1.0));
+            },
+        );
+    }
+    let report = m.run().expect("am ring completes");
+    let mut h = Fnv::new();
+    h.u64(report.end_time.as_ns());
+    h.u64(report.events);
+    for node in 0..nodes {
+        let a = report.world.adapter_stats(node);
+        h.u64(a.sent);
+        h.u64(a.received);
+        h.u64(a.dropped_overflow);
+        h.u64(a.doorbells);
+        h.u64(a.lazy_pops);
+        h.u64(a.recv_high_water as u64);
+    }
+    let s = report.world.switch.stats();
+    h.u64(s.delivered);
+    h.u64(s.wire_bytes);
+    h.u64(s.hops);
+    RunResult {
+        fingerprint: (report.end_time.as_ns(), report.events, h.finish()),
+        profile: report.profile,
+        records: tracer.map_or(0, |t| t.snapshot().len()),
+    }
+}
+
+#[test]
+fn tracing_is_invisible_serially() {
+    let off = am_ring(4, 40, 1, false);
+    let on = am_ring(4, 40, 1, true);
+    assert!(on.records > 0, "enabled tracer recorded nothing");
+    assert_eq!(
+        on.fingerprint, off.fingerprint,
+        "installing a tracer changed a serial run"
+    );
+}
+
+#[test]
+fn tracing_is_invisible_on_four_shards() {
+    let off = am_ring(4, 40, 4, false);
+    let on = am_ring(4, 40, 4, true);
+    assert!(on.records > 0, "enabled tracer recorded nothing");
+    assert_eq!(
+        on.fingerprint, off.fingerprint,
+        "installing a tracer changed a 4-shard run"
+    );
+    // Sharding itself must stay invisible too (the parallel suite pins
+    // this; repeated here because these runs carry the profiling hooks).
+    assert_eq!(
+        off.fingerprint,
+        am_ring(4, 40, 1, false).fingerprint,
+        "4-shard run diverged from serial"
+    );
+}
+
+#[test]
+fn shard_profile_is_collected_and_sane() {
+    let on = am_ring(4, 40, 4, true);
+    let p = on.profile.expect("parallel run collects a shard profile");
+    assert_eq!(p.num_shards(), 4);
+    assert!(p.windows > 0, "no lookahead windows profiled");
+    for s in 0..p.num_shards() {
+        let u = p.window_utilization(s);
+        assert!((0.0..=1.0).contains(&u), "shard {s} utilization {u}");
+        assert!(
+            p.active_windows[s] <= p.windows,
+            "shard {s} active in more windows than exist"
+        );
+    }
+    assert!(p.critical_shard() < p.num_shards());
+    assert!(p.sync_ratio() > 0.0, "ring traffic must cross shards");
+    // Profiled per-shard event totals agree with the engine's counters.
+    let ev: u64 = p.events.iter().sum();
+    let sync: u64 = p.sync_events.iter().sum();
+    assert!(ev > 0 && sync > 0);
+    // Serial runs carry no profile.
+    assert!(am_ring(4, 40, 1, false).profile.is_none());
+}
