@@ -86,7 +86,8 @@ pub fn ring_doorbell<P: Send + Clone + 'static>(ctx: &mut SpCtx<P>, count: usize
         }
     });
     if kick {
-        ctx.schedule_hot(scan, fw_send_step, src as u64, 0);
+        let gen = ctx.now().as_ns();
+        ctx.schedule_hot(scan, fw_send_step, src as u64, gen);
     }
 }
 

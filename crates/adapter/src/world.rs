@@ -5,7 +5,7 @@ use crate::config::AdapterConfig;
 use crate::unit::{Adapter, AdapterStats, WirePacket};
 use sp_machine::CostModel;
 use sp_sim::{Dur, EventCtx, ShardMsg, Shardable, Time};
-use sp_switch::{RoutePolicy, Switch, SwitchConfig, Topology, Transit};
+use sp_switch::{LinkId, RoutePolicy, StagedTransit, Switch, SwitchConfig, Topology, Transit};
 use sp_trace::{Kind, Tracer, Track};
 
 /// Configuration of a whole simulated SP partition.
@@ -22,8 +22,11 @@ pub struct SpConfig {
     /// Adapter firmware/DMA parameters.
     pub adapter: AdapterConfig,
     /// Number of engine shards to run the simulation on (1 = the classic
-    /// serial engine; >= 2 selects [`sp_sim::Sim::run_parallel`], which
-    /// requires a single-frame, fault-free, round-robin-routed partition).
+    /// serial engine; >= 2 selects [`sp_sim::Sim::run_parallel`]).
+    /// Multi-frame topologies, fault injection, and pre-scheduled world
+    /// events all run sharded with results bit-identical to serial; the
+    /// one remaining restriction is round-robin routing (the adaptive
+    /// policy reads link occupancy across shards).
     pub parallel: usize,
 }
 
@@ -98,30 +101,78 @@ pub struct SpWorld<P: Send + 'static> {
 }
 
 /// Per-shard state of a parallel [`SpWorld`]: the shard's identity, the
-/// node→shard ownership map, the precomputed conservative lookahead, and
-/// the outbox of packets bound for other shards.
+/// node→shard ownership map, the precomputed conservative lookahead (which
+/// is also the per-stage timestamp shift), the staging mode, and the
+/// outbox of packets bound for other shards.
 pub(crate) struct SpShard<P: Send + 'static> {
-    pub(crate) id: usize,
     pub(crate) owner: Vec<usize>,
     pub(crate) lookahead: Dur,
+    pub(crate) mode: ShardMode,
     pub(crate) outbox: Vec<ShardMsg<SpMsg<P>>>,
 }
 
-/// A packet crossing shards: phase 1 (injection-link claim) already ran on
-/// the source shard's fabric; the destination shard finishes the transit
-/// with an ejection-link claim at `nominal` (see [`Switch::eject_phase`]).
-pub struct SpMsg<P> {
-    pub(crate) pkt: WirePacket<P>,
-    pub(crate) nominal: Time,
+/// How the sharded fabric stages a transit (see the [`Shardable`] impl's
+/// docs for the lookahead derivation of each mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShardMode {
+    /// Single frame, no fabric-wide injector: the origin classifies (its
+    /// injection-link injector lives on the source shard) and claims the
+    /// injection link; one message hop later the destination shard
+    /// finishes at the ejection link.
+    TwoPhase,
+    /// Multi-frame topology and/or a live fabric-wide injector: the origin
+    /// only claims the injection link; the fabric shard
+    /// ([`FABRIC_SHARD`]) owns the fabric-wide injector, every
+    /// injection-link injector, and the cables, so it classifies those
+    /// streams — and claims any cable stage — in serial order; the
+    /// destination shard finishes at the ejection link two hops later.
+    Pipelined,
+}
+
+/// The shard that runs the pipelined mode's fabric stage. Any fixed shard
+/// works (the stage only needs *one* owner for the fabric-wide injector,
+/// the injection-link injectors, and the cables); shard 0 always exists.
+pub(crate) const FABRIC_SHARD: usize = 0;
+
+/// A packet advancing through the sharded fabric's staged pipeline. The
+/// carried [`StagedTransit`] holds the original (unshifted) fabric
+/// timestamps and accumulated fault verdicts, so every stage classifies
+/// and claims with inputs bit-identical to the serial walk no matter which
+/// shard executes it.
+pub enum SpMsg<P> {
+    /// Final stage, on the shard owning the destination node: classify and
+    /// claim the ejection link, then chain into firmware receive.
+    Eject {
+        /// The in-flight packet.
+        pkt: WirePacket<P>,
+        /// Carried fabric state (see [`Switch::eject_phase`]).
+        t: StagedTransit,
+    },
+    /// Pipelined middle stage, on the fabric shard: fabric-wide and
+    /// injection-link classification plus the cable stage of a cross-frame
+    /// path (see [`Switch::fabric_phase`]).
+    Fabric {
+        /// The in-flight packet.
+        pkt: WirePacket<P>,
+        /// Carried fabric state.
+        t: StagedTransit,
+        /// The generating send event's ordering stamp, re-used as the
+        /// forwarded ejection message's [`ShardMsg::seq`].
+        gen: u64,
+    },
 }
 
 impl<P> std::fmt::Debug for SpMsg<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SpMsg")
-            .field("src", &self.pkt.src)
-            .field("dst", &self.pkt.dst)
-            .field("wire_bytes", &self.pkt.wire_bytes)
-            .field("nominal", &self.nominal)
+        let (stage, pkt, t) = match self {
+            SpMsg::Eject { pkt, t } => ("Eject", pkt, t),
+            SpMsg::Fabric { pkt, t, .. } => ("Fabric", pkt, t),
+        };
+        f.debug_struct(stage)
+            .field("src", &pkt.src)
+            .field("dst", &pkt.dst)
+            .field("wire_bytes", &pkt.wire_bytes)
+            .field("arrival", &t.arrival)
             .finish()
     }
 }
@@ -262,6 +313,15 @@ impl<P: Send + 'static> SpWorld<P> {
     pub fn recv_backlog(&self, node: usize) -> usize {
         self.adapters[node].recv_fifo.len()
     }
+
+    /// Whether a parallel split of this world takes the pipelined staging
+    /// (three stages through the fabric shard) instead of the two-phase
+    /// staging. Multi-frame topologies need the fabric shard for cable
+    /// claims; a live fabric-wide injector needs it so one shard
+    /// classifies the whole packet stream in serial order.
+    fn pipelined_split(&self) -> bool {
+        self.switch.topology().frames() > 1 || !self.switch.global_fault_is_noop()
+    }
 }
 
 /// Firmware send engine: take the head ready packet, spend per-packet
@@ -272,11 +332,14 @@ impl<P: Send + 'static> SpWorld<P> {
 /// This and the chains it feeds are allocation-free `Hot` events
 /// (`fn(ctx, u64, u64)`): the node id / FIFO slot ride as the integer
 /// arguments and in-flight packets park in [`InflightSlab`]. The second
-/// argument is unused here.
+/// argument, `gen`, is the instant this event was *scheduled* (as ns):
+/// the order the serial engine assigns event sequence numbers, which the
+/// sharded mode stamps into outbound [`ShardMsg::seq`] so same-nanosecond
+/// sends from different shards claim shared links in serial order.
 pub(crate) fn fw_send_step<P: Send + Clone + 'static>(
     e: &mut EventCtx<'_, SpWorld<P>>,
     node: u64,
-    _b: u64,
+    gen: u64,
 ) {
     let node = node as usize;
     let now = e.now();
@@ -284,7 +347,7 @@ pub(crate) fn fw_send_step<P: Send + Clone + 'static>(
     // the stall expires.
     let stall = e.world().adapters[node].send_stall_until;
     if now < stall {
-        e.schedule_hot_at(stall, fw_send_step, node as u64, 0);
+        e.schedule_hot_at(stall, fw_send_step, node as u64, now.as_ns());
         return;
     }
     let (pkt, done) = {
@@ -311,11 +374,16 @@ pub(crate) fn fw_send_step<P: Send + Clone + 'static>(
         }
     };
     let dst = pkt.dst;
-    // Sharded mode splits every non-loopback transit in two: the injection
-    // link is claimed here on the source shard, and the destination shard
-    // finishes the ejection exactly one lookahead later (a sync event, so
-    // the counted-event stream stays identical to the serial engine).
-    // Loopback never leaves the shard and keeps the serial path.
+    // Sharded mode stages every non-loopback transit through the outbox:
+    // the injection link is claimed here on the source shard, and the
+    // remaining stages — the pipelined mode's fabric stage, then the
+    // ejection-link claim on the destination's owner — each run exactly
+    // one lookahead later as barrier-applied sync events, so the counted
+    // event stream stays identical to the serial engine. Every eject
+    // (same-shard destinations included) rides the outbox so the barrier's
+    // `(ts, seq)` sort orders all claims of a shared link the way the
+    // serial event queue would. Loopback never enters the fabric and keeps
+    // the serial path.
     enum Routed {
         Deliver {
             slot: u64,
@@ -323,31 +391,39 @@ pub(crate) fn fw_send_step<P: Send + Clone + 'static>(
             dup: Option<(u64, Time)>,
         },
         Dropped,
-        LocalEject {
-            slot: u64,
-            ts: Time,
-            nominal: Time,
-        },
-        RemoteEject,
+        Staged,
     }
     let routed = {
         let w = e.world();
         w.adapters[node].stats.sent += 1;
         let sharded = match &w.shard {
-            Some(sh) if dst != node => Some((now + sh.lookahead, sh.id, sh.owner[dst])),
+            Some(sh) if dst != node => Some((now + sh.lookahead, sh.mode)),
             _ => None,
         };
         match sharded {
-            Some((ts, my_shard, dst_shard)) => {
-                let (_, nominal) = w.switch.inject_phase(node, dst, pkt.wire_bytes, done);
-                if dst_shard == my_shard {
-                    let slot = w.inflight.insert(pkt);
-                    Routed::LocalEject { slot, ts, nominal }
-                } else {
-                    let msg = SpMsg { pkt, nominal };
-                    let sh = w.shard.as_mut().expect("sharded implies shard");
-                    sh.outbox.push(ShardMsg { ts, dst_shard, msg });
-                    Routed::RemoteEject
+            Some((ts, mode)) => {
+                let classify = mode == ShardMode::TwoPhase;
+                match w
+                    .switch
+                    .origin_phase(node, dst, pkt.wire_bytes, done, classify)
+                {
+                    // Dropped crossing the injection link (two-phase mode
+                    // classifies it here, on the owning shard).
+                    None => Routed::Dropped,
+                    Some(t) => {
+                        let sh = w.shard.as_mut().expect("sharded implies shard");
+                        let (dst_shard, msg) = match mode {
+                            ShardMode::TwoPhase => (sh.owner[dst], SpMsg::Eject { pkt, t }),
+                            ShardMode::Pipelined => (FABRIC_SHARD, SpMsg::Fabric { pkt, t, gen }),
+                        };
+                        sh.outbox.push(ShardMsg {
+                            ts,
+                            seq: gen,
+                            dst_shard,
+                            msg,
+                        });
+                        Routed::Staged
+                    }
                 }
             }
             None => match w.switch.transit(node, dst, pkt.wire_bytes, done) {
@@ -370,46 +446,41 @@ pub(crate) fn fw_send_step<P: Send + Clone + 'static>(
             }
             e.schedule_hot_at(at, fw_recv_step, dst as u64, slot);
         }
-        Routed::Dropped => {}
-        Routed::LocalEject { slot, ts, nominal } => {
-            e.schedule_sync_hot_at(ts, eject_step, slot, nominal.as_ns());
-        }
-        Routed::RemoteEject => {}
+        Routed::Dropped | Routed::Staged => {}
     }
-    e.schedule_hot_at(done, fw_send_step, node as u64, 0);
+    e.schedule_hot_at(done, fw_send_step, node as u64, now.as_ns());
 }
 
-/// Phase 2 of a sharded transit, running on the *destination* shard as a
-/// sync event: claim the ejection link at `nominal` and chain into the
-/// (counted) firmware receive step — so the counted-event stream matches
-/// the serial engine event for event.
-fn eject_step<P: Send + Clone + 'static>(
+/// Final stage of a staged transit, applied on the destination shard as a
+/// barrier sync event: classify and claim the ejection link with the
+/// carried serial-time inputs, then chain into the (counted) firmware
+/// receive step. The claim depends only on the carried [`StagedTransit`]
+/// and the ejection link's occupancy — not on the instant this event
+/// executes — so running it a constant shift after injection reproduces
+/// the serial claim exactly, as long as per-link claim order is preserved
+/// (which the barrier's `(ts, seq)` sort guarantees).
+fn eject_and_recv<P: Send + Clone + 'static>(
     e: &mut EventCtx<'_, SpWorld<P>>,
-    slot: u64,
-    nominal_ns: u64,
+    pkt: WirePacket<P>,
+    t: StagedTransit,
 ) {
-    eject_and_recv(e, slot, Time(nominal_ns));
-}
-
-/// Shared tail of phase 2 (local [`eject_step`] and cross-shard
-/// [`Shardable::apply_msg`]): finish the switch transit and schedule the
-/// firmware receive at the delivery instant. The claim depends only on
-/// `nominal` and the ejection link's occupancy — not on the instant this
-/// event executes — so running it one lookahead after injection reproduces
-/// the serial claim exactly as long as per-link claim order is preserved.
-fn eject_and_recv<P: Send + 'static>(e: &mut EventCtx<'_, SpWorld<P>>, slot: u64, nominal: Time) {
-    let (dst, at) = {
+    let dst = t.dst as u64;
+    let (slot, at, dup) = {
         let w = e.world();
-        let pkt = w.inflight.get(slot);
-        let (src, dst, wire_bytes) = (pkt.src, pkt.dst, pkt.wire_bytes);
-        let ser = w.switch.serialization(wire_bytes);
-        let hop_start = nominal - w.switch.config().hop_latency - ser;
-        let at = w
-            .switch
-            .eject_phase(src, dst, wire_bytes, nominal, hop_start);
-        (dst, at)
+        match w.switch.eject_phase(t) {
+            // Dropped crossing the ejection link.
+            None => return,
+            Some((at, dup_at)) => {
+                let dup = dup_at.map(|d| (w.inflight.insert(pkt.clone()), d));
+                let slot = w.inflight.insert(pkt);
+                (slot, at, dup)
+            }
+        }
     };
-    e.schedule_hot_at(at, fw_recv_step, dst as u64, slot);
+    if let Some((dup_slot, dup_at)) = dup {
+        e.schedule_hot_at(dup_at, fw_recv_step, dst, dup_slot);
+    }
+    e.schedule_hot_at(at, fw_recv_step, dst, slot);
 }
 
 /// Firmware receive engine: per-packet processing + DMA into the host-memory
@@ -474,83 +545,145 @@ fn deliver_step<P: Send + 'static>(e: &mut EventCtx<'_, SpWorld<P>>, dst: u64, s
 ///
 /// The conservative lookahead is the minimum virtual-time distance between
 /// a source-shard event and its earliest possible effect on another shard.
-/// The only cross-shard channel is a packet transit, whose ejection-link
-/// claim happens at `nominal >= send_event_time + fw_send_per_packet +
-/// dma(wire) + serialization(wire) + hop_latency`; with `serialization =
-/// for_bytes(wire) + packet_gap` and `dma, for_bytes > 0`, the bound
-/// `fw_send_per_packet + packet_gap + hop_latency` (≈ 4.63 µs at default
-/// calibration) is strictly below every nominal — so phase 2 scheduled at
-/// exactly `send_event_time + lookahead` both satisfies the engine's
-/// conservative-advancement contract and still precedes the delivery
-/// instant it computes.
+/// The only cross-shard channel is a packet transit, staged through the
+/// outbox in one of two shapes chosen at [`Shardable::split`] time:
 ///
-/// Per-ejection-link claim order is what makes the two-phase transit
-/// reproduce the serial fabric: phase-2 timestamps are the send-event
-/// times shifted by the constant lookahead, so claims replay in the serial
-/// engine's event order (ties between *different* source nodes landing on
-/// the same destination in the same nanosecond are resolved by shard
-/// deposit order instead of global event sequence — the equivalence suite
-/// pins real workloads to rule this out where it matters).
+/// * **Two-phase** (single frame, no fabric-wide injector): the origin
+///   classifies (its injection-link injector lives on the source shard)
+///   and claims the injection link; one message hop later the
+///   destination's owner classifies and claims the ejection link. That
+///   claim lands at `nominal >= send_event_time + fw_send_per_packet +
+///   dma(wire) + serialization(wire) + hop_latency`; with `serialization
+///   = for_bytes(wire) + packet_gap` and `dma, for_bytes > 0`, the bound
+///   `L = fw_send_per_packet + packet_gap + hop_latency` (≈ 4.63 µs at
+///   default calibration) is strictly below every nominal — so the eject
+///   stage at exactly `send_event_time + L` satisfies the engine's
+///   conservative-advancement contract and still precedes the delivery
+///   instant it computes.
+/// * **Pipelined** (multi-frame topology and/or a live fabric-wide
+///   injector): two message hops — origin (injection-link claim only) →
+///   fabric shard (fabric-wide + injection-link classification, plus the
+///   cable stage of a cross-frame path) → destination owner (ejection).
+///   Each hop shifts the stage timestamp by the declared lookahead
+///   `W = L / 2`, so the eject stage lands at `send_event_time + 2W <=
+///   send_event_time + L`, still strictly below every delivery instant;
+///   the fabric stage at `send_event_time + W` precedes its cable claim
+///   by the same argument. Concentrating the fabric-wide injector, all
+///   injection-link injectors, and the cables on one shard keeps each
+///   injector's classification stream — and each cable's claim order —
+///   identical to serial, including the serial coupling where a
+///   fabric-wide drop skips the injection link's own classification.
+///
+/// Claims and classifications replay in the serial engine's event order
+/// because every stage of a per-link stream carries the same constant
+/// shift, and the barrier applies messages in `(ts, seq)` order where
+/// `seq` is the generating send event's *scheduling* instant — the order
+/// the serial engine assigns event sequence numbers. Same-nanosecond
+/// sends from different shards therefore claim shared links exactly as
+/// serial does; the only residual tie (two sends scheduled at the same
+/// instant *and* firing at the same instant) falls back to source-shard
+/// order.
 impl<P: Send + Clone + 'static> Shardable for SpWorld<P> {
     type Msg = SpMsg<P>;
 
     fn lookahead(&self) -> Dur {
-        self.cfg.fw_send_per_packet
+        let l = self.cfg.fw_send_per_packet
             + self.switch.config().packet_gap
-            + self.switch.config().hop_latency
+            + self.switch.config().hop_latency;
+        if self.pipelined_split() {
+            Dur(l.as_ns() / 2)
+        } else {
+            l
+        }
     }
 
     fn split(self, num_shards: usize, owner: &[usize]) -> Vec<Self> {
         let topo = self.switch.topology().clone();
-        assert_eq!(
-            topo.frames(),
-            1,
-            "parallel SpWorld requires a single-frame topology \
-             (cross-frame cables would couple shards below the lookahead)"
-        );
         assert_eq!(
             self.switch.config().route_policy,
             RoutePolicy::RoundRobin,
             "parallel SpWorld requires round-robin routing \
              (adaptive routing reads link occupancy across shards)"
         );
-        assert!(
-            self.switch.fault_free(),
-            "parallel SpWorld requires a fault-free fabric \
-             (per-shard injectors would classify disjoint packet substreams)"
-        );
-        let nodes = self.adapters.len();
-        let recv_capacity = self.cfg.recv_entries_per_node * nodes.max(1);
+        let mode = if self.pipelined_split() {
+            ShardMode::Pipelined
+        } else {
+            ShardMode::TwoPhase
+        };
         let lookahead = Shardable::lookahead(&self);
+        assert!(
+            lookahead > Dur::ZERO,
+            "degenerate calibration: staged-transit lookahead is zero"
+        );
+        let mut base = self;
+        let (global_fault, link_faults) = base.switch.take_fault_injectors();
+        let nodes = base.adapters.len();
+        let recv_capacity = base.cfg.recv_entries_per_node * nodes.max(1);
         let mut shards: Vec<SpWorld<P>> = (0..num_shards)
-            .map(|sid| {
-                let mut switch = Switch::with_topology(topo.clone(), self.switch.config().clone());
-                if let Some(t) = &self.tracer {
+            .map(|_sid| {
+                let mut switch = Switch::with_topology(topo.clone(), base.switch.config().clone());
+                if let Some(t) = &base.tracer {
                     switch.set_tracer(t.clone());
                 }
+                if mode == ShardMode::TwoPhase {
+                    // The two-phase pipeline never consults the fabric-wide
+                    // injector; a mid-run install must fail loudly instead
+                    // of silently diverging from serial.
+                    switch.seal_global_fault();
+                }
                 SpWorld {
-                    cost: self.cost.clone(),
+                    cost: base.cost.clone(),
                     switch,
-                    cfg: self.cfg.clone(),
+                    cfg: base.cfg.clone(),
                     // Full-length vector so node indexing works everywhere;
                     // only owned slots (overwritten below) are ever touched.
                     adapters: (0..nodes)
-                        .map(|_| Adapter::new(self.cfg.send_entries, recv_capacity))
+                        .map(|_| Adapter::new(base.cfg.send_entries, recv_capacity))
                         .collect(),
                     inflight: InflightSlab::new(),
-                    tracer: self.tracer.clone(),
+                    tracer: base.tracer.clone(),
                     shard: Some(SpShard {
-                        id: sid,
                         owner: owner.to_vec(),
                         lookahead,
+                        mode,
                         outbox: Vec::new(),
                     }),
                 }
             })
             .collect();
+        // Re-home each fault injector onto the one shard that classifies
+        // the corresponding packet stream, so every injector sees the
+        // complete stream in serial order. (Injectors installed *mid-run*
+        // via a broadcast world event land on every shard's fabric copy;
+        // only the owning shard's copy ever classifies, so those work the
+        // same way.)
+        if mode == ShardMode::Pipelined {
+            shards[FABRIC_SHARD].switch.set_fault_injector(global_fault);
+        }
+        for (link, inj) in link_faults.into_iter().enumerate() {
+            let Some(inj) = inj else { continue };
+            let sid = if link < nodes {
+                // Injection link of node `link`: classified at the origin
+                // (two-phase) or at the fabric stage (pipelined).
+                match mode {
+                    ShardMode::TwoPhase => owner[link],
+                    ShardMode::Pipelined => FABRIC_SHARD,
+                }
+            } else if link < 2 * nodes {
+                // Ejection link of node `link - nodes`: always classified
+                // on the destination's owner.
+                owner[link - nodes]
+            } else {
+                // Cross-frame cable: only the fabric stage touches it.
+                FABRIC_SHARD
+            };
+            shards[sid]
+                .switch
+                .set_link_fault_injector(link as LinkId, inj);
+        }
         // Move each node's (possibly pre-configured: shrunken FIFO,
         // injected stall) adapter onto its owner shard.
-        for (i, adapter) in self.adapters.into_iter().enumerate() {
+        for (i, adapter) in base.adapters.into_iter().enumerate() {
             shards[owner[i]].adapters[i] = adapter;
         }
         shards
@@ -578,8 +711,24 @@ impl<P: Send + Clone + 'static> Shardable for SpWorld<P> {
     }
 
     fn apply_msg(e: &mut EventCtx<'_, Self>, msg: SpMsg<P>) {
-        let slot = e.world().inflight.insert(msg.pkt);
-        eject_and_recv(e, slot, msg.nominal);
+        match msg {
+            SpMsg::Eject { pkt, t } => eject_and_recv(e, pkt, t),
+            SpMsg::Fabric { pkt, t, gen } => {
+                let now = e.now();
+                let w = e.world();
+                if let Some(t2) = w.switch.fabric_phase(t) {
+                    let sh = w.shard.as_mut().expect("fabric stage runs sharded");
+                    let ts = now + sh.lookahead;
+                    let dst_shard = sh.owner[t2.dst];
+                    sh.outbox.push(ShardMsg {
+                        ts,
+                        seq: gen,
+                        dst_shard,
+                        msg: SpMsg::Eject { pkt, t: t2 },
+                    });
+                }
+            }
+        }
     }
 
     fn take_messages(&mut self) -> Vec<ShardMsg<SpMsg<P>>> {

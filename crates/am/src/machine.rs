@@ -51,6 +51,9 @@ pub struct AmReport {
     pub wakes_coalesced: u64,
     /// Per-shard engine breakdown (empty on a serial run).
     pub shards: Vec<ShardReport>,
+    /// Shards requested via [`SpConfig::parallel`] before clamping to the
+    /// node count; compare with `shards.len()` to detect a clamp.
+    pub shards_requested: usize,
     /// Synchronization (inter-shard hand-off) events, not counted in
     /// `events` — the parallel engine's overhead stream.
     pub sync_events: u64,
@@ -103,8 +106,15 @@ impl AmMachine {
     /// Schedule a hardware-state mutation at virtual time `at` — the moving
     /// version of [`AmMachine::configure_world`]. Fault harnesses use this
     /// to shrink a FIFO or stall an engine mid-run, deterministically, with
-    /// no node program involved.
-    pub fn schedule_world_at(&mut self, at: Time, f: impl FnOnce(&mut AmWorld) + Send + 'static) {
+    /// no node program involved. Under a sharded run the call is broadcast:
+    /// every shard executes `f` against its own world copy at `at`, so the
+    /// closure must be `Fn` (re-runnable) and only mutate state each shard
+    /// owns a consistent view of (fault injectors, FIFO capacities, …).
+    pub fn schedule_world_at(
+        &mut self,
+        at: Time,
+        f: impl Fn(&mut AmWorld) + Send + Sync + 'static,
+    ) {
         self.sim.schedule_call_at(at, move |e| f(e.world()));
     }
 
@@ -171,8 +181,10 @@ impl AmMachine {
 
     /// Run to completion — on the serial engine, or sharded across
     /// [`SpConfig::parallel`] conservative-parallel shards when that is
-    /// `>= 2` (note [`AmMachine::schedule_world_at`] is serial-only: the
-    /// sharded engine rejects externally scheduled world events).
+    /// `>= 2`. Multi-frame topologies, fault injection, and
+    /// [`AmMachine::schedule_world_at`] all replay identically under any
+    /// shard count; adaptive routing is the one remaining serial-only
+    /// feature.
     pub fn run(self) -> Result<AmReport, SimError> {
         assert_eq!(self.spawned, self.nodes, "every node needs a program");
         let mem = self.mem;
@@ -189,6 +201,7 @@ impl AmMachine {
             switch_dropped: report.world.switch.stats().dropped,
             wakes_coalesced: report.wakes_coalesced,
             shards: report.shards,
+            shards_requested: report.shards_requested,
             sync_events: report.sync_events,
             windows: report.windows,
             profile: report.profile,

@@ -322,8 +322,16 @@ fn fault_machine(
     policy: RoutePolicy,
     k: usize,
     iters: u32,
+    shards: usize,
 ) -> (AmMachine, sp_trace::Tracer, SpConfig) {
-    let cfg = SpConfig::multi_frame(2, k).routed(policy);
+    // Adaptive routing is the sharded engine's one remaining serial-only
+    // feature; fall back rather than panic in the split.
+    let shards = if policy == RoutePolicy::Adaptive {
+        1
+    } else {
+        shards
+    };
+    let cfg = SpConfig::multi_frame(2, k).routed(policy).parallel(shards);
     let am_cfg = AmConfig {
         keepalive_polls: 64,
         ..AmConfig::default()
@@ -386,7 +394,17 @@ fn fault_machine(
 /// One fault-latency run: the pinger machine with a `cable_kill` of
 /// lane 0 (both directions) scheduled at [`FAULT_KILL_AT_NS`].
 pub fn fault_run(policy: RoutePolicy, k: usize, iters: u32) -> FaultPoint {
-    let (mut m, tracer, _cfg) = fault_machine(policy, k, iters);
+    fault_run_sharded(policy, k, iters, 1)
+}
+
+/// [`fault_run`] on the conservative-parallel engine: the same dead-cable
+/// experiment sharded `shards` ways. The mid-run cable kill is broadcast
+/// to every shard and the per-link injectors classify at the cables'
+/// owning shard, so the measured round trips, drops, and digests are
+/// identical to the serial run for any shard count (adaptive-routing runs
+/// fall back to serial).
+pub fn fault_run_sharded(policy: RoutePolicy, k: usize, iters: u32, shards: usize) -> FaultPoint {
+    let (mut m, tracer, _cfg) = fault_machine(policy, k, iters, shards);
     m.schedule_world_at(sp_sim::Time(FAULT_KILL_AT_NS), |w| {
         for (from, to) in [(0usize, 1usize), (1, 0)] {
             let link = w.switch.topology().cable(from, to, 0);

@@ -1,8 +1,8 @@
 //! `chaos` — run fault-injection campaigns and replay reproducers.
 //!
 //! ```text
-//! chaos campaign [--per-workload N] [--seed S] [--workload NAME]... [--out DIR]
-//! chaos replay FILE [--trace OUT.json]
+//! chaos campaign [--per-workload N] [--seed S] [--workload NAME]... [--out DIR] [--parallel N]
+//! chaos replay FILE [--trace OUT.json] [--parallel N]
 //! ```
 //!
 //! `campaign` runs N seeded random schedules per workload; any invariant
@@ -12,6 +12,11 @@
 //! `replay` re-executes a schedule (or reproducer) file and prints its
 //! report; if the file embeds an expected report (`#= ` lines), the replay
 //! is compared byte-for-byte and mismatches exit 3.
+//!
+//! `--parallel N` runs each schedule sharded across N conservative-parallel
+//! engine shards. Outcomes and reports are byte-identical to serial runs,
+//! so reproducers recorded serially replay cleanly under `--parallel` and
+//! vice versa (adaptive-routing schedules fall back to serial).
 
 use sp_chaos::Workload;
 use std::path::PathBuf;
@@ -23,8 +28,8 @@ fn main() -> ExitCode {
         Some("campaign") => campaign(&args[1..]),
         Some("replay") => replay(&args[1..]),
         _ => {
-            eprintln!("usage: chaos campaign [--per-workload N] [--seed S] [--workload NAME]... [--out DIR]");
-            eprintln!("       chaos replay FILE [--trace OUT.json]");
+            eprintln!("usage: chaos campaign [--per-workload N] [--seed S] [--workload NAME]... [--out DIR] [--parallel N]");
+            eprintln!("       chaos replay FILE [--trace OUT.json] [--parallel N]");
             ExitCode::FAILURE
         }
     }
@@ -35,6 +40,7 @@ fn campaign(args: &[String]) -> ExitCode {
     let mut seed = 1u64;
     let mut workloads = Vec::new();
     let mut out_dir = PathBuf::from("chaos-out");
+    let mut parallel = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -56,25 +62,36 @@ fn campaign(args: &[String]) -> ExitCode {
                 );
             }
             "--out" => out_dir = PathBuf::from(val("--out")),
+            "--parallel" => {
+                parallel = val("--parallel")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --parallel"))
+            }
             _ => die(&format!("unknown flag {a}")),
         }
     }
     if workloads.is_empty() {
         workloads = Workload::ALL.to_vec();
     }
-    let result = sp_chaos::run_campaign(per_workload, seed, &workloads, |s, violations| {
-        println!(
-            "[chaos] {} seed {} ({} events): {}",
-            s.workload.name(),
-            s.seed,
-            s.events.len(),
-            if violations == 0 {
-                "ok".into()
-            } else {
-                format!("{violations} VIOLATIONS")
-            }
-        );
-    });
+    let result = sp_chaos::run_campaign_sharded(
+        per_workload,
+        seed,
+        &workloads,
+        parallel,
+        |s, violations| {
+            println!(
+                "[chaos] {} seed {} ({} events): {}",
+                s.workload.name(),
+                s.seed,
+                s.events.len(),
+                if violations == 0 {
+                    "ok".into()
+                } else {
+                    format!("{violations} VIOLATIONS")
+                }
+            );
+        },
+    );
     println!(
         "[chaos] {} runs, {} failures",
         result.runs,
@@ -111,6 +128,7 @@ fn campaign(args: &[String]) -> ExitCode {
 fn replay(args: &[String]) -> ExitCode {
     let mut file = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut parallel = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -119,13 +137,21 @@ fn replay(args: &[String]) -> ExitCode {
                     it.next().unwrap_or_else(|| die("--trace needs a value")),
                 ))
             }
+            "--parallel" => {
+                parallel = it
+                    .next()
+                    .unwrap_or_else(|| die("--parallel needs a value"))
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --parallel"))
+            }
             _ if file.is_none() => file = Some(a.clone()),
             _ => die(&format!("unexpected argument {a}")),
         }
     }
     let file = file.unwrap_or_else(|| die("replay needs a schedule file"));
     let text = std::fs::read_to_string(&file).unwrap_or_else(|e| die(&format!("read {file}: {e}")));
-    let rep = sp_chaos::replay(&text).unwrap_or_else(|e| die(&format!("parse {file}: {e}")));
+    let rep = sp_chaos::replay_sharded(&text, parallel)
+        .unwrap_or_else(|e| die(&format!("parse {file}: {e}")));
     print!("{}", rep.report);
     if let Some(out) = trace_out {
         let traced = sp_chaos::run_traced(&rep.schedule);

@@ -3,7 +3,7 @@
 //! reproducers, and exactly re-executable replay files.
 
 use crate::invariant::{check, report, Violation};
-use crate::run::{run, run_traced, RunOutcome};
+use crate::run::{run_sharded, run_traced, RunOutcome};
 use crate::schedule::{FaultEvent, Schedule, Workload};
 use crate::shrink::shrink;
 use rand::rngs::SmallRng;
@@ -21,7 +21,14 @@ pub struct Judged {
 
 /// Run one schedule and judge it.
 pub fn judge(s: &Schedule) -> Judged {
-    let outcome = run(s);
+    judge_sharded(s, 1)
+}
+
+/// Run one schedule across `shards` conservative-parallel shards and
+/// judge it. Outcomes and reports are byte-identical to [`judge`] for
+/// any shard count (adaptive-routing schedules fall back to serial).
+pub fn judge_sharded(s: &Schedule, shards: usize) -> Judged {
+    let outcome = run_sharded(s, shards);
     let violations = check(&outcome);
     let rep = report(&outcome, &violations);
     Judged {
@@ -65,6 +72,20 @@ pub fn run_campaign(
     per_workload: usize,
     base_seed: u64,
     workloads: &[Workload],
+    progress: impl FnMut(&Schedule, usize),
+) -> CampaignResult {
+    run_campaign_sharded(per_workload, base_seed, workloads, 1, progress)
+}
+
+/// [`run_campaign`], with each schedule executed across `shards`
+/// conservative-parallel shards. Judgements are identical to a serial
+/// campaign for any shard count; shrinking of failures always happens
+/// serially (the reproducer replays identically either way).
+pub fn run_campaign_sharded(
+    per_workload: usize,
+    base_seed: u64,
+    workloads: &[Workload],
+    shards: usize,
     mut progress: impl FnMut(&Schedule, usize),
 ) -> CampaignResult {
     let mut result = CampaignResult {
@@ -74,7 +95,7 @@ pub fn run_campaign(
     for &w in workloads {
         for i in 0..per_workload {
             let s = random_schedule(w, base_seed.wrapping_add(i as u64));
-            let judged = judge(&s);
+            let judged = judge_sharded(&s, shards);
             result.runs += 1;
             progress(&s, judged.violations.len());
             if !judged.violations.is_empty() {
@@ -155,8 +176,16 @@ impl Replay {
 /// replaying a reproducer reproduces the identical violation — same
 /// virtual times, same counters, same report bytes.
 pub fn replay(text: &str) -> Result<Replay, String> {
+    replay_sharded(text, 1)
+}
+
+/// [`replay`], executed across `shards` conservative-parallel shards.
+/// Replay determinism holds across shard counts: a reproducer recorded
+/// from a serial run matches byte-for-byte when replayed sharded (and
+/// vice versa).
+pub fn replay_sharded(text: &str, shards: usize) -> Result<Replay, String> {
     let schedule = Schedule::parse(text)?;
-    let judged = judge(&schedule);
+    let judged = judge_sharded(&schedule, shards);
     Ok(Replay {
         schedule,
         report: judged.report,

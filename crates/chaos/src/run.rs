@@ -8,7 +8,7 @@ use sp_mpi::{Mpi, MpiAm, MpiAmConfig, MpiSt};
 use sp_sim::{Dur, Time};
 use sp_splitc::backend::am::{AmGas, SplitcSt};
 use sp_splitc::Gas;
-use sp_switch::{FaultInjector, FaultKind, FaultWindow, SwitchStats, Topology};
+use sp_switch::{FaultInjector, FaultKind, FaultWindow, RoutePolicy, SwitchStats, Topology};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -91,17 +91,28 @@ struct ChaosSt {
 
 /// Execute `schedule` and collect the outcome.
 pub fn run(schedule: &Schedule) -> RunOutcome {
-    run_inner(schedule, false)
+    run_inner(schedule, false, 1)
+}
+
+/// Execute `schedule` sharded across `shards` conservative-parallel
+/// engine shards. Outcomes (and the formatted invariant report) are
+/// byte-identical to the serial [`run`] for any shard count — fault
+/// classification happens at each packet's owning shard, so chaos
+/// schedules replay identically. The one exception is adaptive routing,
+/// which the sharded engine does not support: such schedules silently
+/// fall back to a serial run.
+pub fn run_sharded(schedule: &Schedule, shards: usize) -> RunOutcome {
+    run_inner(schedule, false, shards)
 }
 
 /// Execute `schedule` with tracing enabled and attach the Chrome trace.
 /// Tracing is virtual-time-invariant, so the outcome is otherwise
 /// identical to [`run`].
 pub fn run_traced(schedule: &Schedule) -> RunOutcome {
-    run_inner(schedule, true)
+    run_inner(schedule, true, 1)
 }
 
-fn run_inner(s: &Schedule, trace: bool) -> RunOutcome {
+fn run_inner(s: &Schedule, trace: bool, shards: usize) -> RunOutcome {
     let nodes = s.nodes.max(2);
     // Multi-frame schedules spread the nodes over `frames` frames (rounded
     // up to keep frames equal-sized) and run under the schedule's routing
@@ -117,6 +128,14 @@ fn run_inner(s: &Schedule, trace: bool) -> RunOutcome {
     } else {
         (nodes, sp_adapter::SpConfig::thin(nodes))
     };
+    // Adaptive routing is the one remaining serial-only feature of the
+    // sharded engine; schedules exercising it fall back to serial.
+    let shards = if s.route_policy == RoutePolicy::Adaptive {
+        1
+    } else {
+        shards
+    };
+    let sp = sp.parallel(shards);
     let cost = sp.cost.clone();
     let am_cfg = AmConfig {
         keepalive_polls: if s.keepalive_polls == 0 {

@@ -187,6 +187,53 @@ pub(crate) struct ShardSlot {
     /// Unparks aimed at nodes owned by other shards, deferred to the next
     /// window barrier (timestamped with the local clock at call time).
     pub(crate) remote_unparks: Vec<(NodeId, Time)>,
+    /// True while a broadcast world event (a [`Sim::schedule_call_at`]
+    /// replica, pre-loaded into every shard) is executing. In that mode
+    /// unparks aimed at non-owned nodes are dropped — the owning shard's own
+    /// replica delivers them — and follow-up events the closure schedules
+    /// inherit broadcast mode (counted on shard 0, sync elsewhere) so the
+    /// run-wide `events` total matches the serial twin.
+    pub(crate) broadcast: bool,
+}
+
+/// Run-wide event budget shared by every shard of a parallel run. Counts
+/// only serial-comparable events (wakes, calls, fast-path advances) — never
+/// `sync_events`, which are pure parallel overhead — so a parallel run trips
+/// [`SimError::EventBudgetExhausted`] at the same event count as its serial
+/// twin instead of `num_shards`× later.
+pub(crate) struct GlobalBudget {
+    pub(crate) limit: u64,
+    pub(crate) used: std::sync::atomic::AtomicU64,
+}
+
+impl GlobalBudget {
+    pub(crate) fn new(limit: u64) -> Self {
+        GlobalBudget {
+            limit,
+            used: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Charge one event; `false` once the budget is exceeded. The caller on
+    /// this path is about to fail the run, so the overshoot is not undone.
+    pub(crate) fn charge(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        self.used.fetch_add(1, Ordering::Relaxed) < self.limit
+    }
+
+    /// Charge one event if the budget allows, undoing the reservation and
+    /// returning `false` otherwise. Fast paths use this: a refusal falls
+    /// back to a real scheduled event, which then trips the budget on the
+    /// slow path with identical accounting.
+    pub(crate) fn try_charge(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        if self.used.fetch_add(1, Ordering::Relaxed) < self.limit {
+            true
+        } else {
+            self.used.fetch_sub(1, Ordering::Relaxed);
+            false
+        }
+    }
 }
 
 pub(crate) struct Inner<W: Send + 'static> {
@@ -204,6 +251,10 @@ pub(crate) struct Inner<W: Send + 'static> {
     /// Budget shared with the fast path so a zero-cost spin loop still trips
     /// [`SimError::EventBudgetExhausted`] instead of livelocking.
     pub(crate) budget: u64,
+    /// Run-wide budget of a parallel run, shared by all shards (`None` in
+    /// serial runs, where `budget` alone governs). Charged for
+    /// serial-comparable events only.
+    pub(crate) global_budget: Option<Arc<GlobalBudget>>,
     /// Conservative-advance horizon: node fast paths may not move virtual
     /// time to or past it, and the parallel drive loop only pops events
     /// strictly before it. `Time::MAX` in serial runs (no constraint).
@@ -232,6 +283,12 @@ pub(crate) fn unpark_inner<W: Send + 'static>(
 ) {
     if let Some(s) = shard {
         if s.owner[target.0] != s.id {
+            if s.broadcast {
+                // Broadcast world events run as a replica on every shard;
+                // the owner's replica unparks this node locally, so a
+                // cross-shard deferral here would deliver it twice.
+                return;
+            }
             // Cross-shard unpark: defer to the window barrier, which applies
             // it on the owning shard at `max(now, that shard's clock)`.
             s.remote_unparks.push((target, now));
@@ -305,6 +362,11 @@ impl<W: Send + 'static> Shared<W> {
         {
             return false;
         }
+        if let Some(g) = &inner.global_budget {
+            if !g.try_charge() {
+                return false;
+            }
+        }
         inner.events += 1;
         debug_assert!(until >= inner.now, "fast advance went backwards");
         if let Some(t) = &inner.tracer {
@@ -338,10 +400,15 @@ impl<W: Send + 'static> Shared<W> {
             // Nothing to charge: never yields, never counts an event.
             return (r, until, true);
         }
-        let fast = !inner.nodes[id.0].signal
+        let mut fast = !inner.nodes[id.0].signal
             && until < inner.horizon
             && inner.events + inner.sync_events < inner.budget
             && inner.sched.queue.peek().is_none_or(|ev| ev.time > until);
+        if fast {
+            if let Some(g) = &inner.global_budget {
+                fast = g.try_charge();
+            }
+        }
         if fast {
             inner.events += 1;
             if let Some(t) = &inner.tracer {
@@ -470,15 +537,43 @@ impl<'a, W: Send + 'static> EventCtx<'a, W> {
         self.world
     }
 
+    /// `Some(is_primary_shard)` while the currently-executing event is a
+    /// broadcast world-event replica (see [`ShardSlot::broadcast`]); `None`
+    /// otherwise. Shard 0 is the primary: its replica's events count as
+    /// ordinary `events`, every other shard's as `sync_events`.
+    fn in_broadcast(&self) -> Option<bool> {
+        self.shard
+            .as_ref()
+            .filter(|s| s.broadcast)
+            .map(|s| s.id == 0)
+    }
+
+    /// Push a closure event, wrapping it for broadcast inheritance when the
+    /// current event is itself a broadcast replica.
+    fn push_call(&mut self, at: Time, f: impl FnOnce(&mut EventCtx<'_, W>) + Send + 'static) {
+        match self.in_broadcast() {
+            None => self.sched.push(at, EvKind::call(f)),
+            Some(primary) => {
+                let g = move |e: &mut EventCtx<'_, W>| broadcast_exec(e, f);
+                let kind = if primary {
+                    EvKind::call(g)
+                } else {
+                    EvKind::sync_call(g)
+                };
+                self.sched.push(at, kind);
+            }
+        }
+    }
+
     /// Schedule a follow-up event `after` from now.
     pub fn schedule(&mut self, after: Dur, f: impl FnOnce(&mut EventCtx<'_, W>) + Send + 'static) {
-        self.sched.push(self.now + after, EvKind::call(f));
+        self.push_call(self.now + after, f);
     }
 
     /// Schedule a follow-up event at absolute time `at` (clamped to now).
     pub fn schedule_at(&mut self, at: Time, f: impl FnOnce(&mut EventCtx<'_, W>) + Send + 'static) {
         let at = at.max(self.now);
-        self.sched.push(at, EvKind::call(f));
+        self.push_call(at, f);
     }
 
     /// Schedule an allocation-free event `after` from now: a plain `fn`
@@ -488,14 +583,26 @@ impl<'a, W: Send + 'static> EventCtx<'a, W> {
     /// from the hot path; anything larger than two words parks in world
     /// state (e.g. a packet slab) and travels as a slot index.
     pub fn schedule_hot(&mut self, after: Dur, f: HotFn<W>, a: u64, b: u64) {
-        self.sched.push(self.now + after, EvKind::Hot { f, a, b });
+        let at = self.now + after;
+        if self.in_broadcast().is_some() {
+            // Broadcast follow-ups need the closure wrapper for mode
+            // inheritance; broadcast events are rare, so the allocation is
+            // irrelevant here.
+            self.push_call(at, move |e| f(e, a, b));
+        } else {
+            self.sched.push(at, EvKind::Hot { f, a, b });
+        }
     }
 
     /// Schedule an allocation-free event at absolute time `at` (clamped to
     /// now). See [`EventCtx::schedule_hot`].
     pub fn schedule_hot_at(&mut self, at: Time, f: HotFn<W>, a: u64, b: u64) {
         let at = at.max(self.now);
-        self.sched.push(at, EvKind::Hot { f, a, b });
+        if self.in_broadcast().is_some() {
+            self.push_call(at, move |e| f(e, a, b));
+        } else {
+            self.sched.push(at, EvKind::Hot { f, a, b });
+        }
     }
 
     /// Schedule an allocation-free *synchronization* event at absolute time
@@ -538,6 +645,40 @@ pub(crate) fn replay_unpark<W: Send + 'static>(e: &mut EventCtx<'_, W>, target: 
             .push(e.now, EvKind::sync_call(move |e| replay_unpark(e, target)));
     } else {
         e.unpark(target);
+    }
+}
+
+/// Run `f` with the shard's broadcast flag raised (restoring it after), so
+/// unpark suppression and follow-up wrapping apply for the closure's whole
+/// execution. No-op marker in serial runs (no shard slot).
+pub(crate) fn broadcast_exec<W: Send + 'static>(
+    e: &mut EventCtx<'_, W>,
+    f: impl FnOnce(&mut EventCtx<'_, W>),
+) {
+    let prev = match e.shard.as_mut() {
+        Some(s) => std::mem::replace(&mut s.broadcast, true),
+        None => false,
+    };
+    f(e);
+    if let Some(s) = e.shard.as_mut() {
+        s.broadcast = prev;
+    }
+}
+
+/// Shared pre-run world event (see [`Sim::schedule_call_at`]): stored as a
+/// cloneable `Arc<dyn Fn>` so `run_parallel` can pre-load a replica into
+/// every shard's queue.
+pub(crate) type InitialFn<W> = Arc<dyn Fn(&mut EventCtx<'_, W>) + Send + Sync + 'static>;
+
+/// Build the event kind for one shard's replica of a broadcast world event:
+/// counted on the primary shard, a sync event elsewhere, broadcast-wrapped
+/// on both.
+pub(crate) fn broadcast_kind<W: Send + 'static>(f: InitialFn<W>, primary: bool) -> EvKind<W> {
+    let g = move |e: &mut EventCtx<'_, W>| broadcast_exec(e, |e| f(e));
+    if primary {
+        EvKind::call(g)
+    } else {
+        EvKind::sync_call(g)
     }
 }
 
@@ -586,7 +727,7 @@ pub struct Sim<W: Send + 'static> {
     pub(crate) seed: u64,
     pub(crate) event_budget: u64,
     pub(crate) programs: Vec<(String, Prog<W>)>,
-    pub(crate) initial: Vec<(Time, EvKind<W>)>,
+    pub(crate) initial: Vec<(Time, InitialFn<W>)>,
     pub(crate) tracer: Option<Tracer>,
 }
 
@@ -722,6 +863,11 @@ pub struct SimReport<W> {
     pub wakes_coalesced: u64,
     /// Per-shard accounting of a parallel run; empty for serial runs.
     pub shards: Vec<ShardReport>,
+    /// Shard count the caller asked [`Sim::run_parallel`] for, before the
+    /// clamp to the node count. Zero for serial runs; when it differs from
+    /// `shards.len()` the profile describes fewer shards than requested
+    /// (flagged in the `[parallel]` stats summary line).
+    pub shards_requested: usize,
     /// Total synchronization events (inter-shard message deliveries) across
     /// all shards. Zero for serial runs; the null-message overhead of a
     /// parallel run is `sync_events + windows` relative to its serial twin.
@@ -762,6 +908,8 @@ pub mod stats {
     static PARALLEL_SHARDS: AtomicU64 = AtomicU64::new(0);
     static SYNC_EVENTS: AtomicU64 = AtomicU64::new(0);
     static WINDOWS: AtomicU64 = AtomicU64::new(0);
+    static CLAMPED_RUNS: AtomicU64 = AtomicU64::new(0);
+    static LAST_CLAMP: Mutex<Option<(u64, u64)>> = Mutex::new(None);
     static LAST_PROFILE: Mutex<Option<ShardProfile>> = Mutex::new(None);
 
     pub(crate) fn record(events: u64, coalesced: u64, wall: std::time::Duration) {
@@ -771,11 +919,15 @@ pub mod stats {
         WALL_NS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_parallel(shards: u64, sync_events: u64, windows: u64) {
+    pub(crate) fn record_parallel(requested: u64, shards: u64, sync_events: u64, windows: u64) {
         PARALLEL_RUNS.fetch_add(1, Ordering::Relaxed);
         PARALLEL_SHARDS.fetch_add(shards, Ordering::Relaxed);
         SYNC_EVENTS.fetch_add(sync_events, Ordering::Relaxed);
         WINDOWS.fetch_add(windows, Ordering::Relaxed);
+        if requested > shards {
+            CLAMPED_RUNS.fetch_add(1, Ordering::Relaxed);
+            *LAST_CLAMP.lock() = Some((requested, shards));
+        }
     }
 
     pub(crate) fn record_profile(p: &ShardProfile) {
@@ -819,6 +971,15 @@ pub mod stats {
         );
         if let Some(p) = last_parallel_profile() {
             line.push_str(&format!("; last run: {}", p.summary()));
+        }
+        let clamped = CLAMPED_RUNS.load(Ordering::Relaxed);
+        if clamped > 0 {
+            if let Some((req, eff)) = *LAST_CLAMP.lock() {
+                line.push_str(&format!(
+                    "; WARNING: {clamped} run(s) clamped below the requested shard count \
+                     (last: {req} requested -> {eff} effective)"
+                ));
+            }
         }
         Some(line)
     }
@@ -884,12 +1045,18 @@ impl<W: Send + 'static> Sim<W> {
     /// Fault harnesses use this to mutate the world mid-run at precise
     /// virtual instants (shrink a FIFO, stall an engine) without involving
     /// any node program.
+    ///
+    /// The closure must be `Fn` (not `FnOnce`): in a parallel run it is
+    /// broadcast to every shard and executes once per shard against that
+    /// shard's world copy, at exactly virtual time `at`, so sharded worlds
+    /// observe the mutation identically to the serial run. Only shard 0's
+    /// replica counts toward `events`; the others are `sync_events`.
     pub fn schedule_call_at(
         &mut self,
         at: Time,
-        f: impl FnOnce(&mut EventCtx<'_, W>) + Send + 'static,
+        f: impl Fn(&mut EventCtx<'_, W>) + Send + Sync + 'static,
     ) {
-        self.initial.push((at, EvKind::call(f)));
+        self.initial.push((at, Arc::new(f)));
     }
 
     /// Register a node program. Nodes are numbered densely in spawn order
@@ -913,8 +1080,8 @@ impl<W: Send + 'static> Sim<W> {
         let num_nodes = programs.len();
 
         let mut sched = Sched::new();
-        for (at, kind) in self.initial.drain(..) {
-            sched.push(at, kind);
+        for (at, f) in self.initial.drain(..) {
+            sched.push(at, EvKind::call(move |e: &mut EventCtx<'_, W>| f(e)));
         }
         let mut nodes = Vec::with_capacity(num_nodes);
         for (i, (name, _)) in programs.iter().enumerate() {
@@ -937,6 +1104,7 @@ impl<W: Send + 'static> Sim<W> {
                 events: 0,
                 sync_events: 0,
                 budget: self.event_budget,
+                global_budget: None,
                 horizon: Time::MAX,
                 shard: None,
                 tracer: self.tracer.take(),
@@ -1009,6 +1177,7 @@ impl<W: Send + 'static> Sim<W> {
             events,
             wakes_coalesced,
             shards: Vec::new(),
+            shards_requested: 0,
             sync_events: 0,
             windows: 0,
             cross_unparks: 0,

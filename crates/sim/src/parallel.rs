@@ -19,7 +19,9 @@
 //! Cross-shard interactions are timestamped [`ShardMsg`]s: generated inside
 //! a window, collected at the next barrier ([`Shardable::take_messages`]),
 //! and applied on the destination shard as `sync` events
-//! ([`Shardable::apply_msg`]) ordered by `(timestamp, source shard)`.
+//! ([`Shardable::apply_msg`]) ordered by `(timestamp, source sequence,
+//! source shard)` — the world-provided sequence stamp reproduces the serial
+//! run's same-nanosecond event order across shards.
 //! Sync events are charged to a separate `sync_events` counter so a
 //! parallel run reports the *same* `events` as its serial twin and the
 //! synchronization overhead stays observable ([`SimReport::sync_events`],
@@ -40,8 +42,9 @@
 //!
 //! Within a shard, execution is the serial engine verbatim: events in
 //! `(time, seq)` order. Across shards, every hand-off is timestamped and
-//! applied in `(timestamp, source shard)` order at a barrier whose placement
-//! depends only on virtual time — never on OS scheduling. Runs are therefore
+//! applied in `(timestamp, source sequence, source shard)` order at a
+//! barrier whose placement depends only on virtual time — never on OS
+//! scheduling. Runs are therefore
 //! reproducible for a fixed `(config, seed, num_shards)`, and for workloads
 //! whose cross-shard interactions are the world's own hand-offs (packets),
 //! end time, event count, and world state match the serial run exactly —
@@ -68,6 +71,14 @@ pub struct ShardMsg<M> {
     /// `lookahead` past the generating event) — this is what makes the
     /// conservative window sound.
     pub ts: Time,
+    /// Source-event ordering stamp: messages landing on one destination
+    /// shard at the same `ts` are applied in ascending `seq` (then source
+    /// shard) order. Worlds should stamp this with a quantity that orders
+    /// generating events the way the serial run's event sequence does — the
+    /// SP world uses the virtual time the generating event was scheduled —
+    /// so same-nanosecond cross-shard ties resolve identically to serial
+    /// instead of by shard deposit order.
+    pub seq: u64,
     /// Destination shard index (`owner[dst_node]`).
     pub dst_shard: usize,
     /// World-defined payload.
@@ -148,10 +159,13 @@ impl Default for Arrive {
     }
 }
 
+/// Inbound cross-shard message: `(src_shard, ts, seq, msg)`.
+type Inbound<W> = (usize, Time, u64, <W as Shardable>::Msg);
+
 /// Barrier / completion state shared by all shards of one parallel run.
 struct GState<W: Shardable> {
-    /// Per-destination-shard inbound messages: `(src_shard, ts, msg)`.
-    inbox: Vec<Vec<(usize, Time, W::Msg)>>,
+    /// Per-destination-shard inbound messages.
+    inbox: Vec<Vec<Inbound<W>>>,
     /// Per-destination-shard deferred cross-shard unparks:
     /// `(target, ts, src_shard)`.
     unparks: Vec<Vec<(NodeId, Time, usize)>>,
@@ -283,7 +297,7 @@ impl<W: Shardable> SyncCore<W> {
         }
         for m in msgs {
             debug_assert!(m.dst_shard < self.num_shards);
-            st.inbox[m.dst_shard].push((sid, m.ts, m.msg));
+            st.inbox[m.dst_shard].push((sid, m.ts, m.seq, m.msg));
         }
         for (node, t) in unparks {
             st.unparks[self.owner[node.0]].push((node, t, sid));
@@ -312,12 +326,15 @@ impl<W: Shardable> SyncCore<W> {
                 continue;
             }
             // Deterministic application order, independent of which shard
-            // arrived when: by timestamp, then source shard (stable sort
-            // preserves each source's own generation order).
-            msgs.sort_by_key(|(src, ts, _)| (*ts, *src));
+            // arrived when: by timestamp, then the world's source-event
+            // sequence stamp (reproducing the serial run's same-nanosecond
+            // event order), then source shard as a final total-order
+            // tie-break (stable sort preserves each source's own
+            // generation order).
+            msgs.sort_by_key(|(src, ts, seq, _)| (*ts, *seq, *src));
             unparks.sort_by_key(|(node, t, src)| (*t, *src, node.0));
             let inner = &mut *self.shards[dst].inner.lock();
-            for (_src, ts, msg) in msgs {
+            for (_src, ts, _seq, msg) in msgs {
                 let at = ts.max(inner.now);
                 inner
                     .sched
@@ -414,12 +431,25 @@ impl<W: Shardable> SyncCore<W> {
                 }
             } else {
                 inner.events += 1;
-            }
-            if inner.events + inner.sync_events > inner.budget {
-                let (at, budget) = (inner.now, inner.budget);
-                drop(inner);
-                self.fail(SimError::EventBudgetExhausted { at, budget });
-                return Drive::Shutdown;
+                // The event budget is one run-wide atomic shared by every
+                // shard and charged for serial-comparable events only, so a
+                // parallel run trips at the same global event count as its
+                // serial twin (not `num_shards`× later). The reported `at`
+                // is the window horizon — deterministic for a fixed shard
+                // count, where the tripping shard's local clock is not.
+                if let Some(g) = &inner.global_budget {
+                    if !g.charge() {
+                        let at = if horizon == Time::MAX {
+                            inner.now
+                        } else {
+                            horizon
+                        };
+                        let budget = g.limit;
+                        drop(inner);
+                        self.fail(SimError::EventBudgetExhausted { at, budget });
+                        return Drive::Shutdown;
+                    }
+                }
             }
             debug_assert!(ev.time >= inner.now, "shard queue went backwards");
             inner.now = ev.time;
@@ -485,22 +515,26 @@ impl<W: Shardable> Sim<W> {
     /// produce the same end time, event count, and final world state (see
     /// the module docs for the argument and its limits).
     ///
-    /// Restrictions (asserted): no pre-scheduled calls
-    /// ([`Sim::schedule_call_at`] implies mid-run global mutation the
-    /// window model cannot order), and `num_shards` is clamped to the node
-    /// count. The default per-shard event budget is shared-by-value: each
-    /// shard gets the full [`Sim::set_event_budget`] value.
+    /// Pre-scheduled world events ([`Sim::schedule_call_at`]) are broadcast:
+    /// every shard pre-loads a replica and executes it against its own world
+    /// slice at exactly the scheduled time (shard 0's replica counts toward
+    /// `events`, the rest are `sync_events`). `num_shards` is clamped to the
+    /// node count; the requested value is recorded in
+    /// [`SimReport::shards_requested`] and a clamp is flagged in the
+    /// `[parallel]` stats summary. The event budget
+    /// ([`Sim::set_event_budget`]) is one run-wide atomic shared by all
+    /// shards, charged for serial-comparable events only, so serial and
+    /// parallel runs trip `EventBudgetExhausted` at the same event count.
     pub fn run_parallel(mut self, num_shards: usize) -> Result<SimReport<W>, SimError> {
         assert!(num_shards >= 1, "need at least one shard");
+        let requested_shards = num_shards;
         let num_nodes = self.programs.len();
         let num_shards = num_shards.min(num_nodes.max(1));
         if num_shards <= 1 {
-            return self.run();
+            let mut rep = self.run()?;
+            rep.shards_requested = requested_shards;
+            return Ok(rep);
         }
-        assert!(
-            self.initial.is_empty(),
-            "run_parallel does not support schedule_call_at; use Sim::run"
-        );
         let started = std::time::Instant::now();
         let world = self.world.take().expect("world present");
         let programs = std::mem::take(&mut self.programs);
@@ -519,9 +553,17 @@ impl<W: Shardable> Sim<W> {
             "split must produce one world per shard"
         );
 
+        let global_budget = Arc::new(crate::engine::GlobalBudget::new(self.event_budget));
+        let initial = std::mem::take(&mut self.initial);
         let mut shards: Vec<Arc<Shared<W>>> = Vec::with_capacity(num_shards);
         for (sid, w) in worlds.into_iter().enumerate() {
             let mut sched = Sched::new();
+            // Broadcast world events: every shard pre-loads a replica so each
+            // world slice observes the mutation at exactly the scheduled
+            // time; only shard 0's replica is a counted event.
+            for (at, f) in &initial {
+                sched.push(*at, crate::engine::broadcast_kind(f.clone(), sid == 0));
+            }
             let mut nodes = Vec::with_capacity(num_nodes);
             for (i, (name, _)) in programs.iter().enumerate() {
                 // Full-length meta vector (indexed by global NodeId); only
@@ -546,7 +588,11 @@ impl<W: Shardable> Sim<W> {
                     nodes,
                     events: 0,
                     sync_events: 0,
-                    budget: self.event_budget,
+                    // The run-wide atomic `global_budget` is the only event
+                    // cap in parallel mode; the per-shard field would trip
+                    // each shard independently at the full budget.
+                    budget: u64::MAX,
+                    global_budget: Some(global_budget.clone()),
                     // Zero horizon: nothing may run until the first barrier
                     // establishes the first window.
                     horizon: Time::ZERO,
@@ -554,6 +600,7 @@ impl<W: Shardable> Sim<W> {
                         id: sid,
                         owner: owner.clone(),
                         remote_unparks: Vec::new(),
+                        broadcast: false,
                     }),
                     tracer: tracer.clone(),
                 }),
@@ -733,7 +780,12 @@ impl<W: Shardable> Sim<W> {
         let world = W::merge(inners.into_iter().map(|i| i.world).collect());
         let wall = started.elapsed();
         stats::record(events, wakes_coalesced, wall);
-        stats::record_parallel(num_shards as u64, sync_events, st.windows);
+        stats::record_parallel(
+            requested_shards as u64,
+            num_shards as u64,
+            sync_events,
+            st.windows,
+        );
         let profile = ShardProfile {
             windows: st.windows,
             window_ns: st.window_ns,
@@ -749,6 +801,7 @@ impl<W: Shardable> Sim<W> {
             events,
             wakes_coalesced,
             shards: shard_reports,
+            shards_requested: requested_shards,
             sync_events,
             windows: st.windows,
             cross_unparks: st.cross_unparks,
@@ -924,8 +977,10 @@ mod tests {
                 }
                 Some((_, owner)) => {
                     let dst_shard = owner[dst];
+                    let seq = e.now().as_ns();
                     e.world().outbox.push(ShardMsg {
                         ts,
+                        seq,
                         dst_shard,
                         msg: dst,
                     });
@@ -1002,6 +1057,159 @@ mod tests {
         assert_eq!(serial.2.iter().sum::<u64>(), 80);
         for shards in [2, 4] {
             assert_eq!(mailbox_run(4, 20, shards), serial, "shards={shards}");
+        }
+    }
+
+    /// A shardable world that logs the order cross-shard messages are
+    /// applied in: the deterministic-tie-break probe. Each message is a
+    /// marker appended to the destination shard's log.
+    struct OrderLog {
+        log: Vec<u64>,
+        shard: Option<(usize, Arc<Vec<usize>>)>,
+        outbox: Vec<ShardMsg<u64>>,
+        nodes: usize,
+    }
+
+    impl OrderLog {
+        /// Send `marker` to node 0, landing at absolute time `ts_ns`.
+        /// `seq` is the posting time, exactly as real worlds stamp it.
+        fn post(e: &mut EventCtx<'_, OrderLog>, marker: u64, ts_ns: u64) {
+            let ts = Time(ts_ns);
+            let seq = e.now().as_ns();
+            match e.world().shard.clone() {
+                None => e.schedule_hot_at(ts, OrderLog::land, marker, 0),
+                Some((sid, owner)) if owner[0] == sid => {
+                    e.schedule_sync_hot_at(ts, OrderLog::land, marker, 0)
+                }
+                Some((_, owner)) => {
+                    let dst_shard = owner[0];
+                    e.world().outbox.push(ShardMsg {
+                        ts,
+                        seq,
+                        dst_shard,
+                        msg: marker,
+                    });
+                }
+            }
+        }
+        fn land(e: &mut EventCtx<'_, OrderLog>, marker: u64, _b: u64) {
+            e.world().log.push(marker);
+        }
+    }
+
+    impl Shardable for OrderLog {
+        type Msg = u64;
+        fn lookahead(&self) -> Dur {
+            Dur::ns(800)
+        }
+        fn split(self, num_shards: usize, owner: &[usize]) -> Vec<OrderLog> {
+            let owner: Arc<Vec<usize>> = Arc::new(owner.to_vec());
+            (0..num_shards)
+                .map(|sid| OrderLog {
+                    log: Vec::new(),
+                    shard: Some((sid, owner.clone())),
+                    outbox: Vec::new(),
+                    nodes: self.nodes,
+                })
+                .collect()
+        }
+        fn merge(parts: Vec<OrderLog>) -> OrderLog {
+            let nodes = parts[0].nodes;
+            let mut log = Vec::new();
+            for p in parts {
+                log.extend(p.log);
+            }
+            OrderLog {
+                log,
+                shard: None,
+                outbox: Vec::new(),
+                nodes,
+            }
+        }
+        fn apply_msg(e: &mut EventCtx<'_, OrderLog>, marker: u64) {
+            OrderLog::land(e, marker, 0);
+        }
+        fn take_messages(&mut self) -> Vec<ShardMsg<u64>> {
+            std::mem::take(&mut self.outbox)
+        }
+    }
+
+    fn tie_break_run(shards: usize) -> Vec<u64> {
+        let mut sim = Sim::new(
+            OrderLog {
+                log: Vec::new(),
+                shard: None,
+                outbox: Vec::new(),
+                nodes: 3,
+            },
+            0,
+        );
+        // Node 0 (shard 0) receives; it just outlives the landings.
+        sim.spawn("rx", |ctx| ctx.advance(Dur::ns(2_000)));
+        // Node 1 (shard 1) posts *later* (seq 200) — but from the lower
+        // shard. Node 2 (shard 2) posts *earlier* (seq 100) from the
+        // higher shard. Both land at t=1000 on node 0. Serial executes
+        // the landings in posting order: marker 2 then marker 1. A
+        // barrier that tie-breaks equal timestamps by source shard
+        // instead of by the carried posting sequence inverts them.
+        sim.spawn("late-low-shard", |ctx| {
+            ctx.advance(Dur::ns(200));
+            ctx.schedule_hot(Dur::ZERO, OrderLog::post, 1, 1_000);
+            ctx.advance(Dur::ns(1_800));
+        });
+        sim.spawn("early-high-shard", |ctx| {
+            ctx.advance(Dur::ns(100));
+            ctx.schedule_hot(Dur::ZERO, OrderLog::post, 2, 1_000);
+            ctx.advance(Dur::ns(1_900));
+        });
+        let r = if shards <= 1 {
+            sim.run().unwrap()
+        } else {
+            sim.run_parallel(shards).unwrap()
+        };
+        r.world.log
+    }
+
+    /// Regression: two cross-shard messages with the *same* destination
+    /// timestamp must apply in posting order (the carried `seq`), not in
+    /// source-shard order. Before `ShardMsg` carried `seq`, the barrier
+    /// sorted `(ts, src_shard)` and this test's parallel log came out
+    /// `[1, 2]` against the serial `[2, 1]`.
+    #[test]
+    fn equal_timestamp_messages_apply_in_posting_order() {
+        let serial = tie_break_run(1);
+        assert_eq!(serial, vec![2, 1], "serial executes in posting order");
+        assert_eq!(tie_break_run(3), serial, "sharded tie-break diverged");
+    }
+
+    /// Regression: serial and parallel runs share one global event budget
+    /// and report the same pinned budget value when they trip it. Before
+    /// the shared `GlobalBudget`, each shard carried its own copy of the
+    /// budget and a sharded run could execute up to `shards *` budget
+    /// events before any shard tripped.
+    #[test]
+    fn budget_error_pins_same_value_serial_and_parallel() {
+        let run = |shards: usize| {
+            let mut sim = Sim::new((), 0);
+            sim.set_event_budget(300);
+            for i in 0..4 {
+                sim.spawn(format!("spin{i}"), |ctx| loop {
+                    ctx.advance(Dur::ns(1));
+                });
+            }
+            if shards <= 1 {
+                sim.run()
+            } else {
+                sim.run_parallel(shards)
+            }
+        };
+        let budget_of = |r: Result<SimReport<()>, SimError>| match r {
+            Err(SimError::EventBudgetExhausted { budget, .. }) => budget,
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        };
+        assert_eq!(budget_of(run(1)), 300);
+        for shards in [2, 4] {
+            assert_eq!(budget_of(run(shards)), 300, "shards={shards}");
         }
     }
 

@@ -165,6 +165,10 @@ pub struct Switch {
     link_faults: Vec<Option<FaultInjector>>,
     stats: SwitchStats,
     tracer: Option<Tracer>,
+    /// Set on shards running the two-phase (non-pipelined) staged transit,
+    /// which never consults the fabric-wide injector: installing one mid-run
+    /// would silently diverge from serial, so it panics instead.
+    global_fault_sealed: bool,
 }
 
 /// Aggregate fabric statistics.
@@ -184,6 +188,41 @@ pub struct SwitchStats {
     /// Total switch stages crossed by delivered packets (loopback crosses
     /// none; within a frame one; across frames two).
     pub hops: u64,
+}
+
+/// A staged transit in flight between pipeline stages of the sharded
+/// fabric. Carries everything [`Switch::deliver`] keeps on the stack —
+/// the original (unshifted) fabric timestamps plus the fault verdicts
+/// accumulated so far — so each stage classifies and claims with inputs
+/// bit-identical to the serial walk, no matter which shard runs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagedTransit {
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Bytes on the wire.
+    pub wire_bytes: usize,
+    /// Instant the packet entered the fabric; fault windows key off this.
+    pub ready: Time,
+    /// Route chosen at the origin (consumed the pair's round-robin counter).
+    pub route: usize,
+    /// Injection-link claim start — anchors delay/drop trace instants.
+    pub origin_start: Time,
+    /// Claim end of the previous stage's link; start of the next hop span.
+    pub hop_start: Time,
+    /// Last-byte arrival at the next stage's link.
+    pub arrival: Time,
+    /// Switch stages the packet will have crossed when delivered.
+    pub hops: u64,
+    /// Delay verdict from the previous link, charged at the next stage.
+    pub pending_delay: bool,
+    /// Fabric-wide delay verdict, charged at the final stage.
+    pub global_delay: bool,
+    /// The packet was delayed at some earlier stage.
+    pub got_delayed: bool,
+    /// Some injector asked for a duplicate ejection.
+    pub want_dup: bool,
 }
 
 impl Switch {
@@ -206,6 +245,7 @@ impl Switch {
             cfg,
             stats: SwitchStats::default(),
             tracer: None,
+            global_fault_sealed: false,
         }
     }
 
@@ -214,7 +254,41 @@ impl Switch {
     /// injection order: drops take effect at the packet's first link,
     /// delays at its final switch stage.
     pub fn set_fault_injector(&mut self, fault: FaultInjector) {
+        assert!(
+            !self.global_fault_sealed || fault.is_noop(),
+            "fabric-wide fault injector installed mid-run on a two-phase \
+             parallel shard: the two-phase staged transit never consults it, \
+             so the run would silently diverge from serial. Install the \
+             injector before the run starts (the parallel split then routes \
+             every packet through the fabric stage), or run serially."
+        );
         self.fault = fault;
+    }
+
+    /// Forbid installing a non-noop fabric-wide injector from here on.
+    /// The parallel split calls this on shards running the two-phase staged
+    /// transit, which skips fabric-wide classification entirely.
+    pub fn seal_global_fault(&mut self) {
+        self.global_fault_sealed = true;
+    }
+
+    /// `true` when the fabric-wide injector cannot fault a packet. The
+    /// parallel split uses this to pick the staged-transit mode: a live
+    /// fabric-wide injector forces every packet through the fabric stage
+    /// so one shard classifies the whole stream in serial order.
+    pub fn global_fault_is_noop(&self) -> bool {
+        self.fault.is_noop()
+    }
+
+    /// Remove and return every fault injector — the fabric-wide one and the
+    /// per-link ones — leaving this fabric fault-free. The parallel split
+    /// uses this to re-home each injector onto the one shard that classifies
+    /// the corresponding packet stream.
+    pub fn take_fault_injectors(&mut self) -> (FaultInjector, Vec<Option<FaultInjector>>) {
+        let global = std::mem::replace(&mut self.fault, FaultInjector::none());
+        let links = std::mem::take(&mut self.link_faults);
+        self.link_faults = (0..self.topo.num_links()).map(|_| None).collect();
+        (global, links)
     }
 
     /// Pin a fault injector to one directed link (see [`Topology::inj_link`],
@@ -504,68 +578,247 @@ impl Switch {
         self.stats.hops += other.hops;
     }
 
-    /// Phase 1 of a sharded two-phase transit: claim the packet's injection
-    /// link on the *source* shard's fabric. Single-frame, fault-free,
-    /// non-loopback only — exactly the regime [`Switch::fault_free`] plus
-    /// the parallel split's topology assertions guarantee. Mirrors
-    /// [`Switch::deliver`] up to (but excluding) the ejection-link claim:
-    /// route selection consumes the pair's round-robin counter, the
-    /// injection link is claimed and traced, and the delivery counters are
-    /// charged. Returns `(hop_start, nominal)` where `hop_start` is the
-    /// injection start and `nominal = hop_start + ser + hop_latency` is the
-    /// earliest the last byte can reach the ejection link — the inputs
-    /// [`Switch::eject_phase`] needs on the destination shard.
-    pub fn inject_phase(
+    /// Stage 1 of a sharded staged transit: claim the packet's injection
+    /// link on the *source* shard's fabric. Non-loopback only. Mirrors
+    /// [`Switch::transit`] up to (but excluding) the downstream links:
+    /// route selection consumes the pair's round-robin counter and the
+    /// injection link is claimed and traced. With `classify` set (the
+    /// two-phase mode, where the fabric-wide injector is sealed no-op and
+    /// the injection link's injector lives on the source shard) the
+    /// injection link's injector classifies the packet here, exactly as
+    /// serial does when the fabric-wide verdict is `None`; a drop charges
+    /// this shard's counters and returns `None`. With `classify` unset
+    /// (the pipelined mode) classification is deferred to the fabric stage
+    /// on the shard owning every injection-side injector. Delivery
+    /// counters are charged at the ejection stage, not here.
+    pub fn origin_phase(
         &mut self,
         src: usize,
         dst: usize,
         wire_bytes: usize,
         ready: Time,
-    ) -> (Time, Time) {
+        classify: bool,
+    ) -> Option<StagedTransit> {
         let n = self.topo.nodes();
         assert!(src < n && dst < n, "node out of range");
         assert_ne!(src, dst, "loopback never enters the fabric");
-        debug_assert!(self.fault_free(), "two-phase transit requires no faults");
         let ser = self.serialization(wire_bytes);
         let route = self.select_route(src, dst, ready);
-        let path = self.topo.path(src, dst, route);
-        debug_assert_eq!(path.links().len(), 2, "two-phase transit is single-frame");
-        let start = self.claim_first(path.links()[0], ready, ser, 0);
-        self.finish(wire_bytes);
-        self.stats.hops += 1;
-        (start, start + ser + self.cfg.hop_latency)
+        let link = self.topo.inj_link(src);
+        let mut t = StagedTransit {
+            src,
+            dst,
+            wire_bytes,
+            ready,
+            route,
+            origin_start: Time::ZERO,
+            hop_start: Time::ZERO,
+            arrival: Time::ZERO,
+            hops: 1,
+            pending_delay: false,
+            global_delay: false,
+            got_delayed: false,
+            want_dup: false,
+        };
+        if classify {
+            debug_assert!(
+                self.fault.is_noop(),
+                "two-phase origin classification requires a no-op fabric-wide injector"
+            );
+            match self.classify_link(link, ready) {
+                FaultKind::Drop => {
+                    self.drop_at_first(link, ready, ser, wire_bytes);
+                    return None;
+                }
+                FaultKind::Duplicate => t.want_dup = true,
+                FaultKind::Delay => t.pending_delay = true,
+                FaultKind::None => {}
+            }
+        }
+        let start = self.claim_first(link, ready, ser, 0);
+        t.origin_start = start;
+        t.hop_start = start;
+        t.arrival = start + ser;
+        Some(t)
     }
 
-    /// Phase 2 of a sharded two-phase transit: claim the packet's ejection
-    /// link on the *destination* shard's fabric. `nominal` and `hop_start`
-    /// come from the source shard's [`Switch::inject_phase`]. Mirrors the
-    /// final loop iteration of [`Switch::deliver`]: the ejection link is
-    /// claimed at `max(nominal, free + ser)` and the occupancy plus the
-    /// switch-stage span are traced. Returns the instant the last byte
-    /// reaches the destination adapter.
-    pub fn eject_phase(
+    /// The pipelined mode's fabric stage, run on the one shard owning the
+    /// fabric-wide injector, every injection-link injector, and the
+    /// cross-frame cables. Classification replicates [`Switch::transit`]'s
+    /// serial coupling — the fabric-wide verdict first, and a fabric-wide
+    /// drop returns before the injection link's own injector ever sees the
+    /// packet — then, for a cross-frame path, walks the cable stage
+    /// (classify + claim) exactly like one iteration of the serial
+    /// delivery loop. Returns `None` when the packet drops here (charged
+    /// to this shard's counters). The injection link itself was already
+    /// claimed at the origin with a busy arg of 0; when the verdict turns
+    /// out to be a drop, the occupancy trace therefore shows 0 instead of
+    /// the serial wire-byte arg — timings and stats are unaffected.
+    pub fn fabric_phase(&mut self, mut t: StagedTransit) -> Option<StagedTransit> {
+        let inj = self.topo.inj_link(t.src);
+        let mut dropped = false;
+        match self.fault.classify_at(t.ready) {
+            FaultKind::Drop => dropped = true,
+            FaultKind::Duplicate => t.want_dup = true,
+            FaultKind::Delay => t.global_delay = true,
+            FaultKind::None => {}
+        }
+        if !dropped {
+            match self.classify_link(inj, t.ready) {
+                FaultKind::Drop => dropped = true,
+                FaultKind::Duplicate => t.want_dup = true,
+                FaultKind::Delay => t.pending_delay = true,
+                FaultKind::None => {}
+            }
+        }
+        if dropped {
+            self.stats.dropped += 1;
+            gstats::record_drop();
+            if let Some(tr) = &self.tracer {
+                tr.instant(
+                    t.origin_start.as_ns(),
+                    self.track(inj),
+                    Kind::SwitchDrop,
+                    t.wire_bytes as u64,
+                );
+            }
+            return None;
+        }
+        let path = self.topo.path(t.src, t.dst, t.route);
+        let links = path.links();
+        if links.len() == 2 {
+            // Same-frame: the next (and final) stage is the ejection link.
+            return Some(t);
+        }
+        debug_assert_eq!(links.len(), 3, "paths are at most inj-cable-ej");
+        if self.staged_hop(&mut t, links[1], inj, false) {
+            t.hops = 2;
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    /// Final stage of a sharded staged transit: classify and claim the
+    /// packet's ejection link on the *destination* shard's fabric, then
+    /// charge the delivery counters. Mirrors the final iteration of
+    /// [`Switch::deliver`] — a pending or fabric-wide delay lands here, a
+    /// drop loses the packet after it crossed the link, and a duplicate
+    /// verdict ejects a stale second copy. Returns `None` on a drop, else
+    /// `(at, dup_at)`: the instant(s) the last byte reaches the
+    /// destination adapter.
+    pub fn eject_phase(&mut self, mut t: StagedTransit) -> Option<(Time, Option<Time>)> {
+        let ser = self.serialization(t.wire_bytes);
+        let link = self.topo.ej_link(t.dst);
+        let prev = if t.hops >= 2 {
+            self.topo.path(t.src, t.dst, t.route).links()[1]
+        } else {
+            self.topo.inj_link(t.src)
+        };
+        if !self.staged_hop(&mut t, link, prev, true) {
+            return None;
+        }
+        if t.got_delayed {
+            self.stats.delayed += 1;
+        }
+        self.finish(t.wire_bytes);
+        self.stats.hops += t.hops;
+        let mut dup_at = None;
+        if t.want_dup {
+            let nominal = t.arrival + self.cfg.hop_latency * self.cfg.dup_fault_hops;
+            let at = self.links[link as usize].claim(nominal, ser, true);
+            self.stats.duplicated += 1;
+            self.stats.wire_bytes += t.wire_bytes as u64;
+            gstats::record_dup();
+            if let Some(tr) = &self.tracer {
+                let track = self.track(link);
+                tr.span((at - ser).as_ns(), at.as_ns(), track, Kind::LinkBusy, 0);
+                tr.instant(
+                    t.arrival.as_ns(),
+                    track,
+                    Kind::SwitchDup,
+                    t.wire_bytes as u64,
+                );
+            }
+            dup_at = Some(at);
+        }
+        Some((t.arrival, dup_at))
+    }
+
+    /// One downstream stage of a staged transit — the body of
+    /// [`Switch::deliver`]'s walk for a single link, operating on carried
+    /// state instead of loop locals. Returns `false` when the packet drops
+    /// crossing `link`.
+    fn staged_hop(
         &mut self,
-        src: usize,
-        dst: usize,
-        wire_bytes: usize,
-        nominal: Time,
-        hop_start: Time,
-    ) -> Time {
-        let ser = self.serialization(wire_bytes);
-        let link = self.topo.ej_link(dst);
-        let at = self.links[link as usize].claim(nominal, ser, false);
-        if let Some(t) = &self.tracer {
+        t: &mut StagedTransit,
+        link: LinkId,
+        prev_link: LinkId,
+        is_last: bool,
+    ) -> bool {
+        let ser = self.serialization(t.wire_bytes);
+        let extra = self.cfg.hop_latency * self.cfg.delay_fault_hops;
+        let mut delayed = std::mem::take(&mut t.pending_delay);
+        match self.classify_link(link, t.arrival) {
+            FaultKind::Drop => {
+                // The bytes cross this link, then are lost.
+                let at =
+                    self.links[link as usize].claim(t.arrival + self.cfg.hop_latency, ser, false);
+                self.stats.dropped += 1;
+                gstats::record_drop();
+                if let Some(tr) = &self.tracer {
+                    let track = self.track(link);
+                    tr.span(
+                        (at - ser).as_ns(),
+                        at.as_ns(),
+                        track,
+                        Kind::LinkBusy,
+                        t.wire_bytes as u64,
+                    );
+                    tr.instant(
+                        (at - ser).as_ns(),
+                        track,
+                        Kind::SwitchDrop,
+                        t.wire_bytes as u64,
+                    );
+                }
+                return false;
+            }
+            FaultKind::Duplicate => t.want_dup = true,
+            FaultKind::Delay => delayed = true,
+            FaultKind::None => {}
+        }
+        if is_last && t.global_delay {
+            delayed = true;
+        }
+        t.got_delayed |= delayed;
+        let mut nominal = t.arrival + self.cfg.hop_latency;
+        if delayed {
+            nominal += extra;
+        }
+        let at = self.links[link as usize].claim(nominal, ser, delayed);
+        if let Some(tr) = &self.tracer {
             let track = self.track(link);
-            t.span((at - ser).as_ns(), at.as_ns(), track, Kind::LinkBusy, 0);
-            t.span(
-                hop_start.as_ns(),
+            tr.span((at - ser).as_ns(), at.as_ns(), track, Kind::LinkBusy, 0);
+            if delayed {
+                tr.instant(
+                    t.origin_start.as_ns(),
+                    self.track(self.topo.inj_link(t.src)),
+                    Kind::SwitchDelayed,
+                    t.wire_bytes as u64,
+                );
+            }
+            tr.span(
+                t.hop_start.as_ns(),
                 at.as_ns(),
-                self.track(self.topo.inj_link(src)),
+                self.track(prev_link),
                 Kind::SwitchHop,
-                dst as u64,
+                t.dst as u64,
             );
         }
-        at
+        t.hop_start = at;
+        t.arrival = at;
+        true
     }
 
     /// Walk the packet along its path, claiming each link in order. `at_i`
@@ -729,9 +982,12 @@ mod tests {
         for &(src, dst, bytes, ns) in &sends {
             let ready = Time(ns);
             let want = delivered(serial.transit(src, dst, bytes, ready));
-            let (hop_start, nominal) = phased.inject_phase(src, dst, bytes, ready);
-            let got = phased.eject_phase(src, dst, bytes, nominal, hop_start);
+            let t = phased
+                .origin_phase(src, dst, bytes, ready, true)
+                .expect("fault-free origin never drops");
+            let (got, dup) = phased.eject_phase(t).expect("fault-free eject never drops");
             assert_eq!(got, want, "{src}->{dst} {bytes}B @ {ns}");
+            assert_eq!(dup, None);
         }
         assert_eq!(phased.stats(), serial.stats());
         assert_eq!(serial.route_rr, phased.route_rr);
@@ -742,14 +998,151 @@ mod tests {
     #[test]
     fn eject_phase_orders_by_claim_not_nominal() {
         let mut s = sw(3);
-        let (h0, n0) = s.inject_phase(0, 2, 256, Time::ZERO);
-        let (h1, n1) = s.inject_phase(1, 2, 256, Time::ZERO);
-        assert_eq!(n0, n1, "independent injection links, same nominal");
+        let t0 = s.origin_phase(0, 2, 256, Time::ZERO, true).unwrap();
+        let t1 = s.origin_phase(1, 2, 256, Time::ZERO, true).unwrap();
+        assert_eq!(
+            t0.arrival, t1.arrival,
+            "independent injection links, same arrival"
+        );
         // Claim in the opposite order the packets were injected.
-        let a = s.eject_phase(1, 2, 256, n1, h1);
-        let b = s.eject_phase(0, 2, 256, n0, h0);
-        assert_eq!(a, n1);
+        let (a, _) = s.eject_phase(t1).unwrap();
+        let (b, _) = s.eject_phase(t0).unwrap();
+        assert_eq!(a, t1.arrival + s.config().hop_latency);
         assert_eq!(b - a, s.serialization(256), "second claim is paced");
+    }
+
+    /// The two-phase mode with per-link injectors (origin classifies the
+    /// injection link, eject classifies the ejection link) must replicate
+    /// serial drops, dups, and delays packet for packet.
+    #[test]
+    fn two_phase_with_link_faults_matches_serial() {
+        let mk = || {
+            let mut s = sw(3);
+            let inj0 = s.topology().inj_link(0);
+            let mut f = FaultInjector::none();
+            f.drop_indices.insert(1);
+            f.dup_indices.insert(2);
+            f.delay_indices.insert(3);
+            s.set_link_fault_injector(inj0, f);
+            let ej2 = s.topology().ej_link(2);
+            s.set_link_fault_injector(ej2, FaultInjector::drop_at([0]));
+            s
+        };
+        let mut serial = mk();
+        let mut staged = mk();
+        let sends = [
+            (0usize, 2usize, 256usize, 0u64),
+            (0, 2, 64, 100),
+            (0, 1, 256, 200),
+            (0, 1, 128, 300),
+            (1, 2, 256, 400),
+            (0, 2, 512, 500),
+        ];
+        for &(src, dst, bytes, ns) in &sends {
+            let ready = Time(ns);
+            let want = serial.transit(src, dst, bytes, ready);
+            let got = staged
+                .origin_phase(src, dst, bytes, ready, true)
+                .and_then(|t| staged.eject_phase(t));
+            match (want, got) {
+                (Transit::Delivered { at, dup_at, .. }, Some((gat, gdup))) => {
+                    assert_eq!(gat, at, "{src}->{dst} {bytes}B @ {ns}");
+                    assert_eq!(gdup, dup_at, "{src}->{dst} {bytes}B @ {ns}");
+                }
+                (Transit::Dropped, None) => {}
+                (w, g) => panic!("{src}->{dst} @ {ns}: serial {w:?} vs staged {g:?}"),
+            }
+        }
+        assert_eq!(staged.stats(), serial.stats());
+        assert_eq!(serial.route_rr, staged.route_rr);
+    }
+
+    /// The pipelined mode (origin → fabric → eject) must replicate the
+    /// serial fabric across frames under fabric-wide and per-link faults,
+    /// including the serial coupling where a fabric-wide drop skips the
+    /// injection link's own classification.
+    #[test]
+    fn staged_pipeline_matches_serial_with_faults() {
+        let mk = || {
+            let mut s = cross(2, 2); // nodes 0,1 | 2,3
+            let mut g = FaultInjector::with_seed(9);
+            g.drop_indices.insert(2);
+            g.dup_indices.insert(4);
+            g.delay_indices.insert(5);
+            s.set_fault_injector(g);
+            let ej3 = s.topology().ej_link(3);
+            s.set_link_fault_injector(ej3, FaultInjector::drop_at([1]));
+            let inj0 = s.topology().inj_link(0);
+            let mut d = FaultInjector::none();
+            d.delay_indices.insert(0);
+            s.set_link_fault_injector(inj0, d);
+            // Exercises the drop-skips-classification coupling: node 1's
+            // first packet is globally dropped, so this injector must see
+            // its *second* packet as index 0.
+            let inj1 = s.topology().inj_link(1);
+            s.set_link_fault_injector(inj1, FaultInjector::dup_at([0]));
+            let cable = s.topology().cable(0, 1, 2);
+            s.set_link_fault_injector(cable, FaultInjector::drop_at([0]));
+            s
+        };
+        let mut serial = mk();
+        let mut staged = mk();
+        let sends = [
+            (0usize, 2usize, 256usize, 0u64), // inj0 delays its packet 0
+            (0, 3, 64, 100),                  // clean cross-frame
+            (1, 3, 256, 200),                 // global drop (its index 2)
+            (0, 2, 256, 300),                 // clean cross-frame
+            (2, 3, 128, 400),                 // same frame; dropped at ej3
+            (1, 2, 256, 500),                 // inj1 dup + global delay
+            (3, 0, 512, 600),                 // clean cross-frame
+            (0, 2, 256, 700),                 // route 2: dropped at the cable
+        ];
+        for &(src, dst, bytes, ns) in &sends {
+            let ready = Time(ns);
+            let want = serial.transit(src, dst, bytes, ready);
+            let got = staged
+                .origin_phase(src, dst, bytes, ready, false)
+                .and_then(|t| staged.fabric_phase(t))
+                .and_then(|t| staged.eject_phase(t));
+            match (want, got) {
+                (Transit::Delivered { at, dup_at, .. }, Some((gat, gdup))) => {
+                    assert_eq!(gat, at, "{src}->{dst} {bytes}B @ {ns}");
+                    assert_eq!(gdup, dup_at, "{src}->{dst} {bytes}B @ {ns}");
+                }
+                (Transit::Dropped, None) => {}
+                (w, g) => panic!("{src}->{dst} @ {ns}: serial {w:?} vs staged {g:?}"),
+            }
+        }
+        assert_eq!(staged.stats(), serial.stats());
+        assert_eq!(serial.route_rr, staged.route_rr);
+    }
+
+    #[test]
+    fn sealed_global_fault_still_accepts_noop_installs() {
+        let mut s = sw(2);
+        s.seal_global_fault();
+        s.set_fault_injector(FaultInjector::with_seed(3)); // noop: fine
+    }
+
+    #[test]
+    #[should_panic(expected = "fabric-wide fault injector installed mid-run")]
+    fn sealed_global_fault_rejects_live_install() {
+        let mut s = sw(2);
+        s.seal_global_fault();
+        s.set_fault_injector(FaultInjector::drop_at([0]));
+    }
+
+    #[test]
+    fn take_fault_injectors_leaves_fabric_fault_free() {
+        let mut s = sw(2);
+        s.set_fault_injector(FaultInjector::drop_at([0]));
+        let link = s.topology().ej_link(1);
+        s.set_link_fault_injector(link, FaultInjector::drop_at([1]));
+        let (global, links) = s.take_fault_injectors();
+        assert!(!global.is_noop());
+        assert_eq!(links.len(), s.topology().num_links());
+        assert!(links[link as usize].as_ref().is_some_and(|f| !f.is_noop()));
+        assert!(s.fault_free());
     }
 
     #[test]

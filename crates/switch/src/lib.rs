@@ -39,6 +39,6 @@ mod fabric;
 mod fault;
 mod topology;
 
-pub use fabric::{gstats, RoutePolicy, Switch, SwitchConfig, SwitchStats, Transit};
+pub use fabric::{gstats, RoutePolicy, StagedTransit, Switch, SwitchConfig, SwitchStats, Transit};
 pub use fault::{FaultInjector, FaultKind, FaultWindow};
 pub use topology::{HopPath, LinkId, Topology, FRAME_PORTS, MAX_PATH_LINKS};

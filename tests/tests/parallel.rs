@@ -7,16 +7,21 @@
 //! counters, the way the golden pins do). Each test runs one workload
 //! serially, then on 2 and 4 shards, and compares the full tuple.
 //!
-//! Note every workload here is loss-free: the sharded fabric asserts a
-//! fault-free switch (per-shard injectors would classify disjoint packet
-//! substreams and diverge from the serial run by construction).
+//! Coverage spans the once-restricted territory: multi-frame topologies
+//! (the staged fabric pipeline with halved lookahead), fault injection
+//! (global and per-link injectors classify at each packet's owning shard,
+//! so seeded chaos schedules replay identically), and pre-scheduled world
+//! events ([`sp_am::AmMachine::schedule_world_at`] broadcasts, driving the
+//! mid-run dead-cable experiment). Adaptive routing is the one remaining
+//! serial-only feature.
 
 use proptest::prelude::*;
 use sp_adapter::{host, SpConfig, SpWorld};
 use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine};
 use sp_mpi::runner::MpiImpl;
 use sp_nas::{run_kernel_on, Kernel, NasClass};
-use sp_sim::{Dur, NodeId, Sim, SimReport};
+use sp_sim::{Dur, NodeId, Sim, SimReport, Time};
+use sp_switch::FaultInjector;
 
 /// FNV-1a, the same construction the golden pins use.
 struct Fnv(u64);
@@ -168,12 +173,28 @@ fn count(env: &mut AmEnv<'_, St>, _args: AmArgs) {
 /// A loss-free AM run: request storm to the right neighbor, then quiesce.
 /// Returns the golden-style fingerprint (end, events, world hash).
 fn am_ring(nodes: usize, requests: u32, shards: usize) -> (u64, u64, u64) {
-    let sp = SpConfig::thin(nodes).parallel(shards);
+    am_ring_on(SpConfig::thin(nodes), requests, shards, |_| {})
+}
+
+/// [`am_ring`] on an arbitrary topology, with a pre-run machine hook for
+/// fault installation ([`AmMachine::configure_world`] /
+/// [`AmMachine::schedule_world_at`]). The fingerprint additionally covers
+/// the fault counters (dropped / delayed / duplicated), so a shard-count-
+/// dependent fault classification shows up as a hash mismatch.
+fn am_ring_on(
+    sp: SpConfig,
+    requests: u32,
+    shards: usize,
+    setup: impl FnOnce(&mut AmMachine),
+) -> (u64, u64, u64) {
+    let nodes = sp.nodes;
+    let sp = sp.parallel(shards);
     let cfg = AmConfig {
         keepalive_polls: 64,
         ..AmConfig::default()
     };
     let mut m = AmMachine::new(sp, cfg, 0xBEEF);
+    setup(&mut m);
     for node in 0..nodes {
         m.spawn(
             format!("n{node}"),
@@ -211,6 +232,9 @@ fn am_ring(nodes: usize, requests: u32, shards: usize) -> (u64, u64, u64) {
     h.u64(s.delivered);
     h.u64(s.wire_bytes);
     h.u64(s.hops);
+    h.u64(s.dropped);
+    h.u64(s.delayed);
+    h.u64(s.duplicated);
     (report.end_time.as_ns(), report.events, h.finish())
 }
 
@@ -220,6 +244,213 @@ fn am_ring_parallel_matches_serial() {
     for shards in [2, 4] {
         assert_eq!(am_ring(4, 40, shards), serial, "{shards} shards diverged");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-frame topologies: the staged fabric pipeline under sharding.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn multi_frame_am_ring_parallel_matches_serial() {
+    // 2 frames x 2 nodes: the ring 0→1→2→3→0 alternates same-frame hops
+    // (2-link paths) and cross-frame hops (3-link paths over the shared
+    // cable bundle), so per-packet claims interleave on every link class.
+    let cfg = || SpConfig::multi_frame(2, 2);
+    let serial = am_ring_on(cfg(), 24, 1, |_| {});
+    for shards in [2, 4] {
+        assert_eq!(
+            am_ring_on(cfg(), 24, shards, |_| {}),
+            serial,
+            "{shards} shards diverged on 2x2 frames"
+        );
+    }
+    // 4 frames x 1 node: every packet is cross-frame.
+    let cfg = || SpConfig::multi_frame(4, 1);
+    let serial = am_ring_on(cfg(), 16, 1, |_| {});
+    for shards in [2, 4] {
+        assert_eq!(
+            am_ring_on(cfg(), 16, shards, |_| {}),
+            serial,
+            "{shards} shards diverged on 4x1 frames"
+        );
+    }
+}
+
+#[test]
+fn multi_frame_packet_stream_parallel_matches_serial() {
+    // Raw adapter-level streams across a frame pair: nodes 0,1 (frame 0)
+    // stream to 2,3 (frame 1), sharing the inter-frame cable bundle.
+    let run = |shards: usize| {
+        let mut sim = Sim::new(SpWorld::<u32>::new(SpConfig::multi_frame(2, 2)), 1);
+        for s in 0..2usize {
+            let rx_node = s + 2;
+            sim.spawn(format!("tx{s}"), move |ctx| {
+                for i in 0..300u32 {
+                    while host::send_fifo_free(ctx) == 0 {
+                        ctx.advance(Dur::us(1.0));
+                    }
+                    host::send_packet(ctx, rx_node, 64, i).unwrap();
+                }
+            });
+        }
+        for s in 0..2usize {
+            sim.spawn(format!("rx{s}"), move |ctx| {
+                for _ in 0..300u32 {
+                    let _ = host::spin_recv(ctx, Dur::ns(300));
+                }
+            });
+        }
+        let report = if shards <= 1 {
+            sim.run().unwrap()
+        } else {
+            sim.run_parallel(shards).unwrap()
+        };
+        sp_fingerprint(&report)
+    };
+    let serial = run(1);
+    for shards in [2, 4] {
+        assert_eq!(run(shards), serial, "{shards} shards diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: injectors classify at each packet's owning shard.
+// ---------------------------------------------------------------------------
+
+/// Installs a seeded global injector (drop/dup/delay indices plus a
+/// Bernoulli drop window) and a per-link drop on node 0's injection link.
+/// The AM protocol retransmits through all of it, so the run completes;
+/// the fingerprint covers every fault counter.
+fn install_chaos_faults(m: &mut AmMachine) {
+    m.configure_world(|w| {
+        let mut inj = FaultInjector::with_seed(0xFA117);
+        inj.drop_indices.insert(3);
+        inj.dup_indices.insert(5);
+        inj.delay_indices.insert(7);
+        inj.drop_probability = 0.05;
+        w.switch.set_fault_injector(inj);
+        let mut link = FaultInjector::none();
+        link.drop_every_nth = Some(9);
+        w.switch.set_link_fault_injector(0, link);
+    });
+}
+
+#[test]
+fn faulted_am_ring_parallel_matches_serial() {
+    // Single frame (but a live global injector forces the staged pipeline
+    // under sharding) …
+    let serial = am_ring_on(SpConfig::thin(4), 24, 1, install_chaos_faults);
+    for shards in [2, 4] {
+        assert_eq!(
+            am_ring_on(SpConfig::thin(4), 24, shards, install_chaos_faults),
+            serial,
+            "{shards} shards diverged under faults (single frame)"
+        );
+    }
+    // … and across a frame pair, where cable stages classify too.
+    let serial = am_ring_on(SpConfig::multi_frame(2, 2), 16, 1, install_chaos_faults);
+    for shards in [2, 4] {
+        assert_eq!(
+            am_ring_on(
+                SpConfig::multi_frame(2, 2),
+                16,
+                shards,
+                install_chaos_faults
+            ),
+            serial,
+            "{shards} shards diverged under faults (2 frames)"
+        );
+    }
+}
+
+/// Seeded chaos schedules end-to-end: the full campaign machinery (random
+/// fault schedules, invariant checks, formatted reports) must produce
+/// byte-identical reports under sharding. This sweeps every fault class
+/// the generator emits — index faults, probabilistic windows, FIFO
+/// shrinks, send/recv stalls, pauses, and mid-run cable kills — on both
+/// single- and two-frame machines.
+#[test]
+fn chaos_schedules_parallel_match_serial() {
+    use sp_chaos::{judge, judge_sharded, random_schedule, Workload};
+    for w in [Workload::PingPong, Workload::MpiExchange] {
+        for seed in 0..4u64 {
+            let s = random_schedule(w, 7_000 + seed);
+            let serial = judge(&s);
+            for shards in [2usize, 4] {
+                let sharded = judge_sharded(&s, shards);
+                assert_eq!(
+                    serial.report, sharded.report,
+                    "workload {w:?} seed {} diverged at {shards} shards",
+                    s.seed
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-scheduled world events: the dead-cable experiment under sharding.
+// ---------------------------------------------------------------------------
+
+/// Kills cable lane 0 of the frame pair (both directions) at 150 us —
+/// the `topo` fault-latency experiment's world event, scheduled through
+/// [`AmMachine::schedule_world_at`] and broadcast to every shard.
+fn kill_cable_mid_run(m: &mut AmMachine) {
+    m.schedule_world_at(Time(150_000), |w| {
+        for (from, to) in [(0usize, 1usize), (1, 0)] {
+            let link = w.switch.topology().cable(from, to, 0);
+            let mut dead = FaultInjector::none();
+            dead.drop_every_nth = Some(1);
+            w.switch.set_link_fault_injector(link, dead);
+        }
+    });
+}
+
+#[test]
+fn world_event_cable_kill_parallel_matches_serial() {
+    let cfg = || SpConfig::multi_frame(2, 2);
+    let serial = am_ring_on(cfg(), 24, 1, kill_cable_mid_run);
+    assert_ne!(
+        serial,
+        am_ring_on(cfg(), 24, 1, |_| {}),
+        "the cable kill must actually change the run"
+    );
+    for shards in [2, 4] {
+        assert_eq!(
+            am_ring_on(cfg(), 24, shards, kill_cable_mid_run),
+            serial,
+            "{shards} shards diverged with a mid-run cable kill"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-count clamping is reported, not silent.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn clamped_shard_count_is_recorded_in_report() {
+    let nodes = 4;
+    let sp = SpConfig::thin(nodes).parallel(8); // more shards than nodes
+    let mut m = AmMachine::new(sp, AmConfig::default(), 7);
+    for node in 0..nodes {
+        m.spawn(
+            format!("n{node}"),
+            St::default(),
+            move |am: &mut Am<'_, St>| {
+                am.register(count);
+                let right = (node + 1) % nodes;
+                am.barrier();
+                am.request_1(right, 0, 1);
+                am.poll_until(|s| s.hits >= 1);
+                am.quiesce();
+                am.drain(sp_sim::Dur::ms(1.0));
+            },
+        );
+    }
+    let report = m.run().unwrap();
+    assert_eq!(report.shards_requested, 8, "requested count is recorded");
+    assert_eq!(report.shards.len(), nodes, "effective count is clamped");
 }
 
 /// Stress the inter-shard channel hand-off ordering: a small cross-shard
