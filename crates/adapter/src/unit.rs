@@ -91,6 +91,10 @@ pub struct AdapterStats {
     pub lazy_pops: u64,
     /// High-water mark of receive FIFO occupancy.
     pub recv_high_water: usize,
+    /// Written-but-unsent send-FIFO entries lost to a crash wipe.
+    pub wiped_send: u64,
+    /// Delivered-but-unread receive-FIFO entries lost to a crash wipe.
+    pub wiped_recv: u64,
 }
 
 /// Send-FIFO entry state: written by the host, made ready by a doorbell.

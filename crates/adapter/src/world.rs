@@ -314,6 +314,27 @@ impl<P: Send + 'static> SpWorld<P> {
         self.adapters[node].recv_fifo.len()
     }
 
+    /// Crash-wipe node `node`'s adapter: written-but-unsent send-FIFO
+    /// entries and delivered-but-unread receive-FIFO entries are lost, as
+    /// the hardware queues of a crashed host would be. Returns `(send
+    /// entries lost, recv entries lost)`; both are also accumulated on
+    /// [`AdapterStats::wiped_send`]/[`AdapterStats::wiped_recv`]. Strictly
+    /// node-local state, so the operation is shard-safe: each shard owns
+    /// its nodes' adapters. Packets already in flight through the switch
+    /// are *not* wiped — they arrive at the restarted node and are the
+    /// protocol layer's (epoch check's) problem.
+    pub fn wipe_node(&mut self, node: usize) -> (u64, u64) {
+        let a = &mut self.adapters[node];
+        let send_lost = a.send_fifo.len() as u64;
+        let recv_lost = a.recv_fifo.len() as u64;
+        a.send_fifo.clear();
+        a.recv_fifo.clear();
+        a.recv_unpopped = 0;
+        a.stats.wiped_send += send_lost;
+        a.stats.wiped_recv += recv_lost;
+        (send_lost, recv_lost)
+    }
+
     /// Whether a parallel split of this world takes the pipelined staging
     /// (three stages through the fabric shard) instead of the two-phase
     /// staging. Multi-frame topologies need the fabric shard for cable

@@ -429,4 +429,35 @@ impl<'c, S> Am<'c, S> {
             }
         }
     }
+
+    /// Crash this node and restart it after `down` of virtual time.
+    ///
+    /// The protocol loses *all* state — windows, sequence spaces,
+    /// retransmit buffers, pending bulk completions, selective-repeat
+    /// buffers — and the adapter's send and receive FIFOs are wiped, as a
+    /// real crashed host's hardware queues would be. The node's
+    /// incarnation epoch is bumped so the survivors' epoch checks can tell
+    /// the dead incarnation's still-in-flight packets from the new one's.
+    /// While down the node does not poll: peers' traffic piles up, goes
+    /// stale, or is lost; anything that arrived during the outage is wiped
+    /// again at restart. Registered handlers and the application state `S`
+    /// survive (the restarted program begins with them in place — workload
+    /// code that wants a cold start resets `S` itself).
+    ///
+    /// Everything here is node-local and driven by the program's own
+    /// schedule, so crash/restart chaos schedules replay byte-identically
+    /// at any shard count.
+    pub fn crash_restart(&mut self, down: Dur) {
+        let me = self.port.node();
+        self.ctx.world(|w| {
+            w.wipe_node(me);
+        });
+        self.port.crash_reset(self.ctx);
+        self.ctx.advance(down);
+        // The outage window's arrivals died with the old incarnation too.
+        self.ctx.world(|w| {
+            w.wipe_node(me);
+        });
+        self.port.note_restart(self.ctx);
+    }
 }

@@ -6,9 +6,104 @@
 //! unit- and property-tested without a simulator; `port.rs` wires them to
 //! the adapter.
 
+use crate::config::ReliabilityConfig;
 use crate::wire::{AmPacket, Body, Channel, ShortKind};
 use sp_adapter::MAX_PAYLOAD;
-use std::collections::VecDeque;
+use sp_sim::Time;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Jacobson/Karels round-trip estimator feeding the adaptive
+/// retransmission timeout. Pure integer arithmetic in virtual nanoseconds
+/// (the classic fixed-point update with the /8 and /4 gains), so it is
+/// bit-deterministic across platforms and shard counts.
+#[derive(Debug, Default)]
+pub(crate) struct RttEstimator {
+    srtt_ns: u64,
+    rttvar_ns: u64,
+    samples: u64,
+    /// Current exponential-backoff doublings applied to the RTO.
+    backoff: u32,
+    /// High-water mark of `backoff` over the channel's lifetime.
+    backoff_hwm: u32,
+}
+
+impl RttEstimator {
+    /// Fold in one RTT sample (never from a retransmitted packet — Karn's
+    /// rule is enforced by the caller via [`Saved::rtx`]).
+    pub(crate) fn sample(&mut self, s_ns: u64) {
+        if self.samples == 0 {
+            self.srtt_ns = s_ns;
+            self.rttvar_ns = s_ns / 2;
+        } else {
+            let diff = self.srtt_ns.abs_diff(s_ns);
+            self.rttvar_ns = (3 * self.rttvar_ns + diff) / 4;
+            self.srtt_ns = (7 * self.srtt_ns + s_ns) / 8;
+        }
+        self.samples += 1;
+    }
+
+    /// Current retransmission timeout: `SRTT + max(g, 4·RTTVAR)`, clamped
+    /// to `[min_rto, max_rto]`, then backed off. Before the first sample
+    /// the conservative initial timeout is `8 × min_rto` (clamped).
+    pub(crate) fn rto_ns(&self, rel: &ReliabilityConfig) -> u64 {
+        let base = if self.samples == 0 {
+            (rel.min_rto_ns * 8).min(rel.max_rto_ns)
+        } else {
+            (self.srtt_ns + rel.granularity_ns.max(4 * self.rttvar_ns))
+                .clamp(rel.min_rto_ns, rel.max_rto_ns)
+        };
+        base.saturating_shl(self.backoff).min(rel.max_rto_ns)
+    }
+
+    /// Double the timeout after an expiry (capped at `backoff_cap`).
+    pub(crate) fn back_off(&mut self, rel: &ReliabilityConfig) {
+        self.backoff = (self.backoff + 1).min(rel.backoff_cap);
+        self.backoff_hwm = self.backoff_hwm.max(self.backoff);
+    }
+
+    /// New cumulative progress: the network is moving again.
+    pub(crate) fn reset_backoff(&mut self) {
+        self.backoff = 0;
+    }
+
+    #[allow(dead_code)] // diagnostics + tests
+    pub(crate) fn srtt_ns(&self) -> u64 {
+        self.srtt_ns
+    }
+
+    #[allow(dead_code)] // diagnostics + tests
+    pub(crate) fn rttvar_ns(&self) -> u64 {
+        self.rttvar_ns
+    }
+
+    #[allow(dead_code)] // diagnostics + tests
+    pub(crate) fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    pub(crate) fn backoff_hwm(&self) -> u32 {
+        self.backoff_hwm
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping (a capped backoff
+/// can still push a large RTO past 63 bits in pathological configs).
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if shift >= 64 {
+            return u64::MAX;
+        }
+        if self.leading_zeros() < shift {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}
 
 /// A queued outbound bulk transfer.
 #[derive(Debug)]
@@ -109,6 +204,11 @@ struct Saved {
     seq: u32,
     offset: u32,
     pkt: AmPacket,
+    /// When the *original* transmission was emitted (RTT sample base).
+    sent_at: Time,
+    /// Ever retransmitted? Karn's rule: such packets never produce RTT
+    /// samples (the ack is ambiguous between transmissions).
+    rtx: bool,
 }
 
 /// Sender half of one reliable channel.
@@ -127,15 +227,38 @@ pub(crate) struct TxChan {
     /// (bulk id, sequence number of its final chunk): completion fires when
     /// the cumulative ack passes the final seq.
     bulk_finals: VecDeque<(u32, u32)>,
+    /// Reliability mode (legacy go-back-N when default).
+    rel: ReliabilityConfig,
+    /// RTT/RTO estimator (only consulted when `rel.adaptive_rto`).
+    est: RttEstimator,
+    /// When the retransmission timer was last (re)armed: first send while
+    /// nothing was outstanding, cumulative progress, or an RTO expiry.
+    rto_armed_at: Time,
+    /// Sequences the peer has selectively acknowledged (fully held out of
+    /// order); never retransmitted, pruned on cumulative advance.
+    sacked: BTreeSet<u32>,
+    /// Sequences already retransmitted in the current SACK round (pruned on
+    /// cumulative advance) — each gap retransmits at most once per round.
+    sack_rtxed: BTreeSet<u32>,
 }
 
 impl TxChan {
     #[cfg(test)]
     pub(crate) fn new(chan: Channel, window: u32) -> Self {
-        Self::with_chunk(chan, window, crate::wire::CHUNK_PACKETS as u32)
+        Self::with_chunk(
+            chan,
+            window,
+            crate::wire::CHUNK_PACKETS as u32,
+            ReliabilityConfig::default(),
+        )
     }
 
-    pub(crate) fn with_chunk(chan: Channel, window: u32, chunk_packets: u32) -> Self {
+    pub(crate) fn with_chunk(
+        chan: Channel,
+        window: u32,
+        chunk_packets: u32,
+        rel: ReliabilityConfig,
+    ) -> Self {
         assert!(window >= chunk_packets, "window smaller than a chunk");
         assert!(chunk_packets >= 1, "chunk must hold at least one packet");
         TxChan {
@@ -148,6 +271,11 @@ impl TxChan {
             unacked: VecDeque::new(),
             rtx: VecDeque::new(),
             bulk_finals: VecDeque::new(),
+            rel,
+            est: RttEstimator::default(),
+            rto_armed_at: Time::ZERO,
+            sacked: BTreeSet::new(),
+            sack_rtxed: BTreeSet::new(),
         }
     }
 
@@ -181,13 +309,15 @@ impl TxChan {
     /// Build the next packet to put on the wire, or `None` if the window
     /// (or queue) doesn't allow one. Retransmissions go first; then the
     /// current chunk must finish before anything else; then queued items.
-    /// The caller stamps the piggybacked ACK fields.
-    pub(crate) fn try_emit(&mut self) -> Option<AmPacket> {
+    /// The caller stamps the piggybacked ACK fields. `now` timestamps fresh
+    /// transmissions for the RTT estimator (ignored in legacy mode).
+    pub(crate) fn try_emit(&mut self, now: Time) -> Option<AmPacket> {
         if let Some(pkt) = self.rtx.pop_front() {
             return Some(pkt);
         }
+        let arm = self.unacked.is_empty();
         let item = self.queue.front_mut()?;
-        match item {
+        let emitted = match item {
             SendItem::Short {
                 kind,
                 handler,
@@ -203,6 +333,10 @@ impl TxChan {
                     offset: 0,
                     ack_req: 0,
                     ack_rep: 0,
+                    src_epoch: 0,
+                    dst_epoch: 0,
+                    sack_req: 0,
+                    sack_rep: 0,
                     body: Body::Short {
                         kind: *kind,
                         handler: *handler,
@@ -214,6 +348,8 @@ impl TxChan {
                     seq: self.next_seq,
                     offset: 0,
                     pkt: pkt.clone(),
+                    sent_at: now,
+                    rtx: false,
                 });
                 self.next_seq += 1;
                 self.in_flight += 1;
@@ -242,6 +378,10 @@ impl TxChan {
                     offset,
                     ack_req: 0,
                     ack_rep: 0,
+                    src_epoch: 0,
+                    dst_epoch: 0,
+                    sack_req: 0,
+                    sack_rep: 0,
                     body: Body::Data {
                         addr: bulk.dst_addr + off as u32,
                         len: len as u16,
@@ -259,6 +399,8 @@ impl TxChan {
                     seq: self.next_seq,
                     offset,
                     pkt: pkt.clone(),
+                    sent_at: now,
+                    rtx: false,
                 });
                 self.in_flight += 1;
                 bulk.sent += len;
@@ -275,16 +417,26 @@ impl TxChan {
                 }
                 Some(pkt)
             }
+        };
+        if arm && emitted.is_some() {
+            self.rto_armed_at = now;
         }
+        emitted
     }
 
     /// Process a cumulative acknowledgement ("everything below `cum` was
-    /// received in order"). Returns `(packets freed, ids of bulk transfers
-    /// whose final chunk this ack covers)`.
-    pub(crate) fn on_ack(&mut self, cum: u32) -> (u32, Vec<u32>) {
+    /// received in order") arriving at `now`. Returns `(packets freed, ids
+    /// of bulk transfers whose final chunk this ack covers)`. Freed packets
+    /// that were never retransmitted feed the RTT estimator (Karn's rule);
+    /// any cumulative progress resets the exponential backoff and re-arms
+    /// the retransmission timer.
+    pub(crate) fn on_ack(&mut self, cum: u32, now: Time) -> (u32, Vec<u32>) {
         let mut freed = 0u32;
         while self.unacked.front().is_some_and(|s| s.seq < cum) {
-            self.unacked.pop_front();
+            let s = self.unacked.pop_front().expect("front checked");
+            if self.rel.adaptive_rto && !s.rtx {
+                self.est.sample((now - s.sent_at).as_ns());
+            }
             self.in_flight -= 1;
             freed += 1;
         }
@@ -294,22 +446,178 @@ impl TxChan {
         while self.bulk_finals.front().is_some_and(|&(_, fs)| fs < cum) {
             completed.push(self.bulk_finals.pop_front().expect("front checked").0);
         }
+        if freed > 0 {
+            self.est.reset_backoff();
+            self.rto_armed_at = now;
+            // A cumulative advance starts a fresh SACK round.
+            self.sacked.retain(|&s| s >= cum);
+            self.sack_rtxed.clear();
+        }
         (freed, completed)
     }
 
     /// Process a NACK: cumulative-ack everything below `seq`, then queue
     /// go-back-N retransmission of every saved packet from (`seq`,
-    /// `offset`) onward. Returns completed bulk ids (from the implied ack)
-    /// and the number of packets queued for retransmission.
-    pub(crate) fn on_nack(&mut self, seq: u32, offset: u32) -> (Vec<u32>, usize) {
-        let (_, completed) = self.on_ack(seq);
+    /// `offset`) onward — skipping sequences the peer has selectively
+    /// acknowledged, so SACK mode never resends what the receiver already
+    /// holds. Returns completed bulk ids (from the implied ack) and the
+    /// number of packets queued for retransmission.
+    pub(crate) fn on_nack(&mut self, seq: u32, offset: u32, now: Time) -> (Vec<u32>, usize) {
+        let (_, completed) = self.on_ack(seq, now);
         self.rtx.clear();
-        for saved in &self.unacked {
-            if (saved.seq, saved.offset) >= (seq, offset) {
+        for saved in &mut self.unacked {
+            if (saved.seq, saved.offset) >= (seq, offset) && !self.sacked.contains(&saved.seq) {
+                saved.rtx = true;
                 self.rtx.push_back(saved.pkt.clone());
             }
         }
         (completed, self.rtx.len())
+    }
+
+    /// Process a piggybacked SACK bitmap (bit `i` set ⇒ the peer fully
+    /// holds sequence `cum + 1 + i` out of order). Queues a selective
+    /// retransmission of every *gap* sequence below the highest sacked one,
+    /// at most once per SACK round (rounds end on cumulative advance).
+    /// Returns the number of packets queued. No-op unless `rel.sack`.
+    pub(crate) fn on_sack(&mut self, cum: u32, bitmap: u64) -> usize {
+        if !self.rel.sack || bitmap == 0 {
+            return 0;
+        }
+        let mut highest = cum;
+        for i in 0..64u32 {
+            if bitmap & (1u64 << i) != 0 {
+                let seq = cum + 1 + i;
+                self.sacked.insert(seq);
+                highest = highest.max(seq);
+            }
+        }
+        // Sacked copies waiting in the go-back-N queue are moot now.
+        let sacked = &self.sacked;
+        self.rtx.retain(|p| !sacked.contains(&p.seq));
+        let mut queued = 0;
+        for saved in &mut self.unacked {
+            if saved.seq >= highest {
+                break;
+            }
+            // The first gap is `cum` itself — the cumulative point is
+            // stuck at the missing sequence.
+            if saved.seq >= cum
+                && !self.sacked.contains(&saved.seq)
+                && !self.sack_rtxed.contains(&saved.seq)
+            {
+                saved.rtx = true;
+                self.rtx.push_back(saved.pkt.clone());
+                queued += 1;
+            }
+        }
+        for saved in &self.unacked {
+            if saved.seq >= cum && saved.seq < highest && !self.sacked.contains(&saved.seq) {
+                self.sack_rtxed.insert(saved.seq);
+            }
+        }
+        queued
+    }
+
+    /// Check the adaptive retransmission timer at `now`: if traffic has
+    /// been outstanding for a full RTO with no progress, queue a
+    /// retransmission of the oldest unacked sequence (every saved packet
+    /// sharing it — one short or one chunk), double the backoff, and
+    /// re-arm. Returns the number of packets queued (0 = timer not
+    /// expired, not armed, or legacy mode).
+    pub(crate) fn maybe_rto(&mut self, now: Time) -> usize {
+        if !self.rel.adaptive_rto || self.unacked.is_empty() || !self.rtx.is_empty() {
+            return 0;
+        }
+        let deadline = self.rto_armed_at + sp_sim::Dur::ns(self.est.rto_ns(&self.rel));
+        if now < deadline {
+            return 0;
+        }
+        let first_seq = self.unacked.front().expect("nonempty").seq;
+        let mut queued = 0;
+        for saved in &mut self.unacked {
+            if saved.seq != first_seq {
+                break;
+            }
+            saved.rtx = true;
+            self.rtx.push_back(saved.pkt.clone());
+            queued += 1;
+        }
+        self.est.back_off(&self.rel);
+        self.rto_armed_at = now;
+        queued
+    }
+
+    /// The RTT estimator (stats surfacing).
+    pub(crate) fn estimator(&self) -> &RttEstimator {
+        &self.est
+    }
+
+    /// Rebuild this channel for a freshly-restarted peer incarnation:
+    /// every saved-but-unacked packet (and whatever is still queued) is
+    /// reassigned consecutive sequence numbers starting from 0, as if it
+    /// had never been sent — the new incarnation's receive state expects a
+    /// fresh sequence space. Returns the number of packets queued for
+    /// (re)transmission.
+    pub(crate) fn reincarnate(&mut self, now: Time) -> usize {
+        self.rtx.clear();
+        self.sacked.clear();
+        self.sack_rtxed.clear();
+        // A chunk caught mid-emission must restart whole: its already-sent
+        // packets and its remainder have to share one sequence number, and
+        // the remainder has not been built yet. Rewind the bulk to the
+        // chunk boundary and forget the partial chunk's saved packets (they
+        // all carry the old, never-completed `next_seq`).
+        let partial_seq = match self.queue.front_mut() {
+            Some(SendItem::Bulk(bulk)) if bulk.mid_chunk() => {
+                bulk.sent -= bulk.chunk_sent as usize * MAX_PAYLOAD;
+                bulk.chunk_sent = 0;
+                Some(self.next_seq)
+            }
+            _ => None,
+        };
+        let saved: Vec<Saved> = self
+            .unacked
+            .drain(..)
+            .filter(|s| Some(s.seq) != partial_seq)
+            .collect();
+        self.in_flight = 0;
+        self.next_seq = 0;
+        let mut old_finals: VecDeque<(u32, u32)> = std::mem::take(&mut self.bulk_finals);
+        let mut seq_map: Vec<(u32, u32)> = Vec::new(); // (old seq, new seq)
+        let mut prev_old: Option<u32> = None;
+        for mut s in saved {
+            let new_seq = match prev_old {
+                Some(po) if po == s.seq => self.next_seq - 1,
+                _ => {
+                    let ns = self.next_seq;
+                    // A mid-chunk tail keeps sharing one (new) sequence;
+                    // allocate the next seq when the old one changes.
+                    self.next_seq += 1;
+                    seq_map.push((s.seq, ns));
+                    ns
+                }
+            };
+            prev_old = Some(s.seq);
+            s.pkt.seq = new_seq;
+            s.seq = new_seq;
+            s.rtx = true; // ambiguous timing: never sample (Karn)
+            self.in_flight += 1;
+            self.rtx.push_back(s.pkt.clone());
+            self.unacked.push_back(s);
+        }
+        for (id, fs) in old_finals.drain(..) {
+            if let Some(&(_, ns)) = seq_map.iter().find(|&&(os, _)| os == fs) {
+                self.bulk_finals.push_back((id, ns));
+            } else {
+                // Final chunk was already acked by the dead incarnation but
+                // the completion never fired; it completes immediately once
+                // the new incarnation acks seq 0 — pin it to the first seq.
+                self.bulk_finals.push_back((id, 0));
+            }
+        }
+        self.est.reset_backoff();
+        self.rto_armed_at = now;
+        self.rtx.len()
     }
 
     /// Highest sequence number sent so far plus one (what a fully caught-up
@@ -349,6 +657,9 @@ pub(crate) struct RxChan {
     unacked_packets: u32,
     ack_threshold: u32,
     nack_outstanding: bool,
+    /// Sequences fully held out of order (SACK mode only): the source of
+    /// the piggybacked SACK bitmap. Pruned as the cumulative point passes.
+    held: BTreeSet<u32>,
 }
 
 impl RxChan {
@@ -360,7 +671,38 @@ impl RxChan {
             unacked_packets: 0,
             ack_threshold,
             nack_outstanding: false,
+            held: BTreeSet::new(),
         }
+    }
+
+    /// Record that sequence `seq` is fully buffered out of order (all its
+    /// packets held); it will appear in [`RxChan::sack_bits`] until the
+    /// cumulative point reaches it.
+    pub(crate) fn hold(&mut self, seq: u32) {
+        if seq > self.expected_seq {
+            self.held.insert(seq);
+        }
+    }
+
+    /// Is `seq` marked fully held?
+    pub(crate) fn holds(&self, seq: u32) -> bool {
+        self.held.contains(&seq)
+    }
+
+    /// The piggybacked SACK bitmap: bit `i` ⇒ sequence
+    /// `cum_ack + 1 + i` fully held. All-zero when nothing is buffered
+    /// (and always in legacy mode, where `hold` is never called).
+    pub(crate) fn sack_bits(&self) -> u64 {
+        let mut bits = 0u64;
+        for &s in &self.held {
+            if s > self.expected_seq {
+                let i = s - self.expected_seq - 1;
+                if i < 64 {
+                    bits |= 1u64 << i;
+                }
+            }
+        }
+        bits
     }
 
     /// Next expected sequence number — the cumulative ACK value this side
@@ -399,6 +741,7 @@ impl RxChan {
                 if advances_seq {
                     self.expected_seq += 1;
                     self.expected_offset = 0;
+                    self.held.remove(&seq);
                 } else {
                     self.expected_offset += 1;
                 }
@@ -437,11 +780,11 @@ mod tests {
         let mut t = tx(72);
         t.push(short_item(1));
         t.push(short_item(2));
-        let a = t.try_emit().unwrap();
-        let b = t.try_emit().unwrap();
+        let a = t.try_emit(Time::ZERO).unwrap();
+        let b = t.try_emit(Time::ZERO).unwrap();
         assert_eq!((a.seq, b.seq), (0, 1));
         assert_eq!(t.in_flight(), 2);
-        assert!(t.try_emit().is_none(), "queue drained");
+        assert!(t.try_emit(Time::ZERO).is_none(), "queue drained");
     }
 
     #[test]
@@ -451,13 +794,13 @@ mod tests {
             t.push(short_item(i));
         }
         for _ in 0..CHUNK_PACKETS {
-            assert!(t.try_emit().is_some());
+            assert!(t.try_emit(Time::ZERO).is_some());
         }
-        assert!(t.try_emit().is_none(), "window full");
+        assert!(t.try_emit(Time::ZERO).is_none(), "window full");
         // Ack one packet; exactly one more may go.
-        assert!(t.on_ack(1).1.is_empty());
-        assert!(t.try_emit().is_some());
-        assert!(t.try_emit().is_none());
+        assert!(t.on_ack(1, Time::ZERO).1.is_empty());
+        assert!(t.try_emit(Time::ZERO).is_some());
+        assert!(t.try_emit(Time::ZERO).is_none());
     }
 
     #[test]
@@ -473,7 +816,7 @@ mod tests {
         )));
         let mut seqs = Vec::new();
         let mut offsets = Vec::new();
-        while let Some(p) = t.try_emit() {
+        while let Some(p) = t.try_emit(Time::ZERO) {
             seqs.push(p.seq);
             offsets.push(p.offset);
         }
@@ -497,13 +840,13 @@ mod tests {
             data.into(),
         )));
         let mut n = 0;
-        while t.try_emit().is_some() {
+        while t.try_emit(Time::ZERO).is_some() {
             n += 1;
         }
         assert_eq!(n, 2 * CHUNK_PACKETS, "exactly two chunks admitted");
-        t.on_ack(1); // first chunk acked
+        t.on_ack(1, Time::ZERO); // first chunk acked
         let mut m = 0;
-        while t.try_emit().is_some() {
+        while t.try_emit(Time::ZERO).is_some() {
             m += 1;
         }
         assert_eq!(m, CHUNK_PACKETS, "third chunk flows after first ack");
@@ -521,9 +864,9 @@ mod tests {
             [0; 4],
             data.into(),
         )));
-        let a = t.try_emit().unwrap();
-        let b = t.try_emit().unwrap();
-        assert!(t.try_emit().is_none());
+        let a = t.try_emit(Time::ZERO).unwrap();
+        let b = t.try_emit(Time::ZERO).unwrap();
+        assert!(t.try_emit(Time::ZERO).is_none());
         match (&a.body, &b.body) {
             (
                 Body::Data {
@@ -545,9 +888,9 @@ mod tests {
             }
             other => panic!("unexpected bodies {other:?}"),
         }
-        assert!(t.on_ack(0).1.is_empty());
+        assert!(t.on_ack(0, Time::ZERO).1.is_empty());
         assert_eq!(
-            t.on_ack(1),
+            t.on_ack(1, Time::ZERO),
             (2, vec![9]),
             "final ack completes the bulk and frees both packets"
         );
@@ -561,13 +904,15 @@ mod tests {
         for i in 0..5 {
             t.push(short_item(i));
         }
-        let sent: Vec<AmPacket> = std::iter::from_fn(|| t.try_emit()).collect();
+        let sent: Vec<AmPacket> = std::iter::from_fn(|| t.try_emit(Time::ZERO)).collect();
         assert_eq!(sent.len(), 5);
         // Receiver saw 0,1 then lost 2: NACK(expected=2).
-        let (completed, rtx) = t.on_nack(2, 0);
+        let (completed, rtx) = t.on_nack(2, 0, Time::ZERO);
         assert!(completed.is_empty());
         assert_eq!(rtx, 3, "packets 2,3,4 retransmit");
-        let r: Vec<u32> = std::iter::from_fn(|| t.try_emit()).map(|p| p.seq).collect();
+        let r: Vec<u32> = std::iter::from_fn(|| t.try_emit(Time::ZERO))
+            .map(|p| p.seq)
+            .collect();
         assert_eq!(r, vec![2, 3, 4]);
         assert_eq!(t.in_flight(), 3, "retransmits reuse their window slots");
     }
@@ -583,10 +928,10 @@ mod tests {
             [0; 4],
             data.into(),
         )));
-        while t.try_emit().is_some() {}
-        let (_, rtx) = t.on_nack(0, 10);
+        while t.try_emit(Time::ZERO).is_some() {}
+        let (_, rtx) = t.on_nack(0, 10, Time::ZERO);
         assert_eq!(rtx, CHUNK_PACKETS - 10);
-        let first = t.try_emit().unwrap();
+        let first = t.try_emit(Time::ZERO).unwrap();
         assert_eq!((first.seq, first.offset), (0, 10));
     }
 
@@ -596,10 +941,12 @@ mod tests {
         for i in 0..3 {
             t.push(short_item(i));
         }
-        while t.try_emit().is_some() {}
-        t.on_nack(0, 0); // retransmit everything
-        t.on_ack(2); // but 0,1 arrive fine after all
-        let r: Vec<u32> = std::iter::from_fn(|| t.try_emit()).map(|p| p.seq).collect();
+        while t.try_emit(Time::ZERO).is_some() {}
+        t.on_nack(0, 0, Time::ZERO); // retransmit everything
+        t.on_ack(2, Time::ZERO); // but 0,1 arrive fine after all
+        let r: Vec<u32> = std::iter::from_fn(|| t.try_emit(Time::ZERO))
+            .map(|p| p.seq)
+            .collect();
         assert_eq!(r, vec![2], "only the still-unacked packet retransmits");
     }
 
@@ -609,11 +956,13 @@ mod tests {
         for i in 0..4 {
             t.push(short_item(i));
         }
-        while t.try_emit().is_some() {}
-        t.on_nack(1, 0);
-        let (_, rtx2) = t.on_nack(1, 0);
+        while t.try_emit(Time::ZERO).is_some() {}
+        t.on_nack(1, 0, Time::ZERO);
+        let (_, rtx2) = t.on_nack(1, 0, Time::ZERO);
         assert_eq!(rtx2, 3, "rtx queue rebuilt, not doubled");
-        let r: Vec<u32> = std::iter::from_fn(|| t.try_emit()).map(|p| p.seq).collect();
+        let r: Vec<u32> = std::iter::from_fn(|| t.try_emit(Time::ZERO))
+            .map(|p| p.seq)
+            .collect();
         assert_eq!(r, vec![1, 2, 3]);
     }
 
@@ -696,6 +1045,244 @@ mod tests {
         );
     }
 
+    fn adaptive() -> ReliabilityConfig {
+        ReliabilityConfig::adaptive()
+    }
+
+    /// The instant `ns` nanoseconds after simulation start.
+    fn at(ns: u64) -> Time {
+        Time::ZERO + sp_sim::Dur::ns(ns)
+    }
+
+    fn tx_adaptive(window: u32) -> TxChan {
+        TxChan::with_chunk(Channel::Request, window, CHUNK_PACKETS as u32, adaptive())
+    }
+
+    #[test]
+    fn estimator_follows_jacobson_updates() {
+        let mut e = RttEstimator::default();
+        e.sample(80_000);
+        assert_eq!(e.srtt_ns(), 80_000, "first sample seeds SRTT");
+        assert_eq!(e.rttvar_ns(), 40_000, "first sample seeds RTTVAR at s/2");
+        e.sample(80_000);
+        assert_eq!(e.srtt_ns(), 80_000, "steady samples keep SRTT");
+        assert_eq!(e.rttvar_ns(), 30_000, "variance decays by 3/4 per sample");
+        e.sample(160_000);
+        assert_eq!(e.srtt_ns(), 90_000, "SRTT moves by 1/8 of the error");
+        assert_eq!(e.rttvar_ns(), 42_500, "variance absorbs 1/4 of |err|");
+        assert_eq!(e.samples(), 3);
+    }
+
+    #[test]
+    fn rto_clamps_and_backs_off() {
+        let rel = adaptive();
+        let mut e = RttEstimator::default();
+        // Before any sample: conservative 8 x min_rto.
+        assert_eq!(e.rto_ns(&rel), 8 * rel.min_rto_ns);
+        e.sample(100_000);
+        // SRTT + max(g, 4*RTTVAR) = 100_000 + 200_000.
+        assert_eq!(e.rto_ns(&rel), 300_000);
+        e.back_off(&rel);
+        assert_eq!(e.rto_ns(&rel), 600_000, "one expiry doubles the RTO");
+        for _ in 0..20 {
+            e.back_off(&rel);
+        }
+        assert_eq!(
+            e.rto_ns(&rel),
+            rel.max_rto_ns,
+            "backoff saturates at the cap / max clamp"
+        );
+        assert_eq!(e.backoff_hwm(), rel.backoff_cap);
+        e.reset_backoff();
+        assert_eq!(e.rto_ns(&rel), 300_000, "progress resets the backoff");
+        assert_eq!(e.backoff_hwm(), rel.backoff_cap, "high water survives");
+        // Tiny samples clamp up to min_rto.
+        let mut tiny = RttEstimator::default();
+        tiny.sample(10);
+        assert_eq!(tiny.rto_ns(&rel), rel.min_rto_ns);
+    }
+
+    #[test]
+    fn karns_rule_skips_retransmitted_samples() {
+        let mut t = tx_adaptive(72);
+        for i in 0..3 {
+            t.push(short_item(i));
+        }
+        while t.try_emit(Time::ZERO).is_some() {}
+        // A NACK at seq 2 implies an ack of 0..2 (two clean samples) and
+        // marks packet 2 as a retransmission.
+        let (_, rtx) = t.on_nack(2, 0, at(50_000));
+        assert_eq!(rtx, 1);
+        assert_eq!(t.estimator().samples(), 2, "clean packets sample on ack");
+        assert_eq!(t.estimator().srtt_ns(), 50_000);
+        while t.try_emit(at(60_000)).is_some() {}
+        t.on_ack(3, at(1_000_000));
+        assert_eq!(t.estimator().samples(), 2, "Karn: ambiguous ack, no sample");
+        assert_eq!(t.estimator().srtt_ns(), 50_000, "estimate untouched");
+        assert!(t.idle());
+    }
+
+    #[test]
+    fn rto_expiry_retransmits_oldest_and_backs_off() {
+        let mut t = tx_adaptive(72);
+        for i in 0..3 {
+            t.push(short_item(i));
+        }
+        while t.try_emit(Time::ZERO).is_some() {}
+        let rto = 8 * adaptive().min_rto_ns; // no samples yet
+        assert_eq!(t.maybe_rto(at(rto - 1)), 0, "timer not yet expired");
+        assert_eq!(t.maybe_rto(at(rto)), 1, "oldest sequence retransmits");
+        let p = t.try_emit(at(rto)).unwrap();
+        assert_eq!(p.seq, 0, "RTO resends the window head, not everything");
+        // Re-armed with doubled RTO: the next check must wait 2x from the
+        // expiry instant.
+        assert_eq!(t.maybe_rto(at(rto + 2 * rto - 1)), 0);
+        assert_eq!(t.maybe_rto(at(rto + 2 * rto)), 1);
+        let _ = t.try_emit(at(3 * rto));
+        // Progress clears the backoff.
+        t.on_ack(3, at(3 * rto));
+        assert!(t.idle());
+        assert_eq!(t.maybe_rto(at(100 * rto)), 0, "nothing outstanding");
+    }
+
+    #[test]
+    fn legacy_mode_never_arms_the_timer() {
+        let mut t = tx(72);
+        t.push(short_item(1));
+        let _ = t.try_emit(Time::ZERO);
+        assert_eq!(t.maybe_rto(at(u64::MAX / 2)), 0);
+    }
+
+    /// Regression (pre-fix this failed): once the receiver reports a
+    /// sequence as selectively held, neither a SACK round nor a subsequent
+    /// go-back-N NACK may retransmit it.
+    #[test]
+    fn sack_never_resends_what_the_receiver_holds() {
+        let mut t = tx_adaptive(72);
+        for i in 0..6 {
+            t.push(short_item(i));
+        }
+        while t.try_emit(Time::ZERO).is_some() {}
+        // Receiver got 0, lost 1 and 3, holds 2, 4, 5: cum=1,
+        // bitmap bits for cum+1+i => seqs 2,4,5 are bits 0,2,3.
+        t.on_ack(1, at(1_000));
+        let queued = t.on_sack(1, 0b1101);
+        assert_eq!(queued, 2, "only the gaps (1 and 3) retransmit");
+        let seqs: Vec<u32> = std::iter::from_fn(|| t.try_emit(at(2_000)))
+            .map(|p| p.seq)
+            .collect();
+        assert_eq!(seqs, vec![1, 3]);
+        // The same bitmap again: this round already resent the gaps.
+        assert_eq!(t.on_sack(1, 0b1101), 0, "one retransmit per gap per round");
+        // A go-back-N NACK (e.g. a keep-alive answer) must also skip the
+        // held sequences.
+        let (_, rtx) = t.on_nack(1, 0, at(3_000));
+        assert_eq!(rtx, 2, "NACK resends 1 and 3 only, never 2/4/5");
+        let seqs: Vec<u32> = std::iter::from_fn(|| t.try_emit(at(4_000)))
+            .map(|p| p.seq)
+            .collect();
+        assert_eq!(seqs, vec![1, 3]);
+        // Cumulative progress past the held run clears the bookkeeping.
+        let (freed, _) = t.on_ack(6, at(5_000));
+        assert_eq!(freed, 5, "the five still-unacked packets free");
+        assert!(t.idle());
+    }
+
+    #[test]
+    fn sack_ignored_in_legacy_mode() {
+        let mut t = tx(72);
+        for i in 0..4 {
+            t.push(short_item(i));
+        }
+        while t.try_emit(Time::ZERO).is_some() {}
+        assert_eq!(t.on_sack(0, 0b110), 0, "legacy mode ignores SACK bitmaps");
+        let (_, rtx) = t.on_nack(1, 0, Time::ZERO);
+        assert_eq!(rtx, 3, "go-back-N untouched by the ignored bitmap");
+    }
+
+    #[test]
+    fn rx_holds_feed_the_sack_bitmap() {
+        let mut r = RxChan::new(72, 18);
+        assert_eq!(
+            r.accept(0, 0, true),
+            RxVerdict::Deliver { force_ack: false }
+        );
+        // 1 lost; 2 and 4 arrive whole out of order.
+        r.hold(2);
+        r.hold(4);
+        assert!(r.holds(2) && r.holds(4) && !r.holds(3));
+        // cum=1: bit i => seq 2+i, so seqs 2,4 are bits 0 and 2.
+        assert_eq!(r.sack_bits(), 0b101);
+        // Holding at or below the expected sequence is a no-op.
+        r.hold(1);
+        assert_eq!(r.sack_bits(), 0b101);
+        // The gap fills: delivery walks through the held run.
+        assert_eq!(
+            r.accept(1, 0, true),
+            RxVerdict::Deliver { force_ack: false }
+        );
+        assert_eq!(
+            r.accept(2, 0, true),
+            RxVerdict::Deliver { force_ack: false }
+        );
+        assert_eq!(r.sack_bits(), 0b1, "seq 4 re-bases against cum=3");
+    }
+
+    #[test]
+    fn reincarnate_renumbers_and_replays_everything() {
+        let mut t = tx(72);
+        for i in 0..3 {
+            t.push(short_item(i));
+        }
+        while t.try_emit(Time::ZERO).is_some() {}
+        t.on_ack(1, Time::ZERO); // packet 0 acked by the old incarnation
+        let rtx = t.reincarnate(at(1_000));
+        assert_eq!(rtx, 2, "both unacked packets replay");
+        let seqs: Vec<u32> = std::iter::from_fn(|| t.try_emit(at(2_000)))
+            .map(|p| p.seq)
+            .collect();
+        assert_eq!(seqs, vec![0, 1], "fresh sequence space from zero");
+        assert_eq!(t.next_seq(), 2);
+        let (freed, _) = t.on_ack(2, at(3_000));
+        assert_eq!(freed, 2);
+        assert_eq!(
+            t.estimator().samples(),
+            0,
+            "replayed packets are Karn-ambiguous: no samples"
+        );
+        assert!(t.idle());
+    }
+
+    #[test]
+    fn reincarnate_mid_chunk_restarts_the_chunk_whole() {
+        let mut t = tx(72);
+        let data = vec![7u8; CHUNK_BYTES_TEST];
+        t.push(SendItem::Bulk(BulkTx::new(
+            3,
+            0,
+            u16::MAX,
+            [0; 4],
+            data.into(),
+        )));
+        // Emit only half the chunk, then the peer reincarnates.
+        for _ in 0..CHUNK_PACKETS / 2 {
+            assert!(t.try_emit(Time::ZERO).is_some());
+        }
+        let rtx = t.reincarnate(at(500));
+        assert_eq!(rtx, 0, "the partial chunk is forgotten, not replayed");
+        let pkts: Vec<AmPacket> = std::iter::from_fn(|| t.try_emit(at(600))).collect();
+        assert_eq!(pkts.len(), CHUNK_PACKETS, "chunk re-emits whole");
+        assert!(pkts.iter().all(|p| p.seq == 0), "one shared fresh seq");
+        assert_eq!(
+            pkts.iter().map(|p| p.offset).collect::<Vec<_>>(),
+            (0..CHUNK_PACKETS as u32).collect::<Vec<_>>()
+        );
+        // The final ack must still complete the bulk under its new seq.
+        let (_, completed) = t.on_ack(1, at(1_000));
+        assert_eq!(completed, vec![3]);
+        assert!(t.idle());
+    }
+
     #[test]
     fn shorts_wait_behind_bulk_fifo_order() {
         let mut t = tx(72);
@@ -708,7 +1295,7 @@ mod tests {
             data.into(),
         )));
         t.push(short_item(42));
-        let kinds: Vec<bool> = std::iter::from_fn(|| t.try_emit())
+        let kinds: Vec<bool> = std::iter::from_fn(|| t.try_emit(Time::ZERO))
             .map(|p| matches!(p.body, Body::Data { .. }))
             .collect();
         assert_eq!(kinds, vec![true, true, false], "bulk first, then the short");
@@ -755,7 +1342,7 @@ mod model_tests {
                 prop_assert!(rounds < 10_000, "no progress after {rounds} rounds");
                 let mut got_any = false;
                 let mut nacked = false;
-                while let Some(pkt) = tx.try_emit() {
+                while let Some(pkt) = tx.try_emit(Time::ZERO) {
                     if rng.gen_bool(loss_millis as f64 / 1000.0) {
                         continue; // lost on the wire
                     }
@@ -771,7 +1358,7 @@ mod model_tests {
                             if nack && !nacked {
                                 nacked = true;
                                 let (s, o) = rx.expected();
-                                tx.on_nack(s, o);
+                                tx.on_nack(s, o, Time::ZERO);
                             }
                         }
                     }
@@ -779,18 +1366,17 @@ mod model_tests {
                 // End-of-round feedback (the keep-alive/ACK path, itself
                 // lossless here — the sim-level tests cover lossy acks).
                 if got_any {
-                    let (completed, _) = (tx.on_ack(rx.cum_ack()), ());
-                    let _ = completed;
+                    tx.on_ack(rx.cum_ack(), Time::ZERO);
                     rx.acked();
                 } else if tx.has_unacked() {
                     // Keep-alive probe: receiver answers with its state.
                     let (s, o) = rx.expected();
-                    tx.on_nack(s, o);
+                    tx.on_nack(s, o, Time::ZERO);
                 }
             }
             let expect: Vec<u16> = (0..n_msgs).collect();
             prop_assert_eq!(delivered, expect);
-            prop_assert!(tx.on_ack(rx.cum_ack()).1.is_empty());
+            prop_assert!(tx.on_ack(rx.cum_ack(), Time::ZERO).1.is_empty());
             prop_assert!(tx.idle(), "sender should be quiescent");
         }
 
@@ -813,7 +1399,7 @@ mod model_tests {
                 prop_assert!(rounds < 20_000, "no progress");
                 let mut progressed = false;
                 let mut nacked = false;
-                while let Some(pkt) = tx.try_emit() {
+                while let Some(pkt) = tx.try_emit(Time::ZERO) {
                     if rng.gen_bool(loss_millis as f64 / 1000.0) {
                         continue;
                     }
@@ -832,17 +1418,17 @@ mod model_tests {
                                 if nack && !nacked {
                                     nacked = true;
                                     let (s, o) = rx.expected();
-                                    tx.on_nack(s, o);
+                                    tx.on_nack(s, o, Time::ZERO);
                                 }
                             }
                         }
                     }
                 }
-                tx.on_ack(rx.cum_ack());
+                tx.on_ack(rx.cum_ack(), Time::ZERO);
                 rx.acked();
                 if !progressed && !done && tx.has_unacked() {
                     let (s, o) = rx.expected();
-                    tx.on_nack(s, o);
+                    tx.on_nack(s, o, Time::ZERO);
                 }
             }
             prop_assert_eq!(assembled, data);

@@ -2,6 +2,110 @@
 
 use sp_sim::Dur;
 
+/// Reliability-layer mode switches and timer parameters.
+///
+/// The default is the paper's protocol exactly — go-back-N retransmission
+/// driven by NACKs and poll-counting keep-alives, no retransmission timer,
+/// no selective repeat — so every golden pin and pre-reliability chaos
+/// reproducer stays byte-identical. The adaptive extensions layer on top:
+///
+/// * `adaptive_rto` arms a per-channel retransmission timeout fed by a
+///   Jacobson-style SRTT/RTTVAR estimator (Karn's rule: retransmitted
+///   packets never produce samples), with exponential backoff capped at
+///   `backoff_cap` doublings;
+/// * `sack` switches the receiver to selective repeat: out-of-order
+///   packets are buffered instead of dropped, a SACK bitmap piggybacks on
+///   ACKs, and the sender retransmits only the gap sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Enable the RTT-estimated retransmission timeout.
+    pub adaptive_rto: bool,
+    /// Enable selective repeat (SACK bitmap + out-of-order buffering);
+    /// go-back-N remains the fallback whenever this is off.
+    pub sack: bool,
+    /// Lower clamp on the computed RTO, virtual ns.
+    pub min_rto_ns: u64,
+    /// Upper clamp on the (backed-off) RTO, virtual ns.
+    pub max_rto_ns: u64,
+    /// Timer granularity `g` in `RTO = SRTT + max(g, 4·RTTVAR)`, ns.
+    pub granularity_ns: u64,
+    /// Maximum exponential-backoff doublings after repeated expiries.
+    pub backoff_cap: u32,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            adaptive_rto: false,
+            sack: false,
+            min_rto_ns: 50_000,
+            max_rto_ns: 4_000_000,
+            granularity_ns: 10_000,
+            backoff_cap: 6,
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// Both adaptive extensions on, default timer parameters.
+    pub fn adaptive() -> Self {
+        ReliabilityConfig {
+            adaptive_rto: true,
+            sack: true,
+            ..ReliabilityConfig::default()
+        }
+    }
+
+    /// `true` when this is exactly the legacy paper protocol.
+    pub fn is_legacy(&self) -> bool {
+        *self == ReliabilityConfig::default()
+    }
+
+    /// Canonical single-line text form (inverse of
+    /// [`ReliabilityConfig::parse_fields`]); the form embedded in chaos
+    /// schedule files and hashed into replay reports.
+    pub fn format_fields(&self) -> String {
+        format!(
+            "adaptive_rto {} sack {} min_rto_ns {} max_rto_ns {} granularity_ns {} backoff_cap {}",
+            self.adaptive_rto as u32,
+            self.sack as u32,
+            self.min_rto_ns,
+            self.max_rto_ns,
+            self.granularity_ns,
+            self.backoff_cap,
+        )
+    }
+
+    /// Parse the `format_fields` form from already-split label/value pairs
+    /// (`[v_adaptive, v_sack, v_min, v_max, v_gran, v_cap]`).
+    pub fn from_values(v: &[u64]) -> Option<ReliabilityConfig> {
+        if v.len() != 6 || v[0] > 1 || v[1] > 1 {
+            return None;
+        }
+        Some(ReliabilityConfig {
+            adaptive_rto: v[0] == 1,
+            sack: v[1] == 1,
+            min_rto_ns: v[2],
+            max_rto_ns: v[3],
+            granularity_ns: v[4],
+            backoff_cap: v[5] as u32,
+        })
+    }
+
+    /// FNV-1a hash of the canonical text form. Embedded in chaos replay
+    /// reports so a schedule replayed under a *different* reliability
+    /// configuration fails the byte-compare loudly instead of silently
+    /// diverging.
+    pub fn hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.format_fields().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
 /// SP AM protocol parameters and software costs.
 ///
 /// Protocol constants are the paper's (§2.2); software costs are calibrated
@@ -54,6 +158,9 @@ pub struct AmConfig {
     /// How many packet lengths a bulk sender accumulates per doorbell
     /// (batching the MicroChannel length stores, §2.1).
     pub doorbell_batch: usize,
+    /// Reliability-layer mode (legacy go-back-N by default; see
+    /// [`ReliabilityConfig`]).
+    pub reliability: ReliabilityConfig,
 }
 
 impl Default for AmConfig {
@@ -73,6 +180,7 @@ impl Default for AmConfig {
             bulk_setup_cpu: Dur::us(2.0),
             bulk_per_packet_cpu: Dur::ns(350),
             doorbell_batch: 8,
+            reliability: ReliabilityConfig::default(),
         }
     }
 }
@@ -105,5 +213,49 @@ mod tests {
         let c = AmConfig::default();
         assert_eq!(c.ack_threshold(1), 1);
         assert_eq!(c.ack_threshold(3), 1);
+    }
+
+    #[test]
+    fn reliability_default_is_legacy() {
+        assert!(ReliabilityConfig::default().is_legacy());
+        assert!(!ReliabilityConfig::adaptive().is_legacy());
+        assert!(AmConfig::default().reliability.is_legacy());
+    }
+
+    #[test]
+    fn reliability_fields_round_trip() {
+        for r in [
+            ReliabilityConfig::default(),
+            ReliabilityConfig::adaptive(),
+            ReliabilityConfig {
+                adaptive_rto: true,
+                sack: false,
+                min_rto_ns: 7,
+                max_rto_ns: 9_000_000,
+                granularity_ns: 1,
+                backoff_cap: 11,
+            },
+        ] {
+            let text = r.format_fields();
+            let vals: Vec<u64> = text
+                .split_whitespace()
+                .skip(1)
+                .step_by(2)
+                .map(|v| v.parse().unwrap())
+                .collect();
+            assert_eq!(ReliabilityConfig::from_values(&vals), Some(r));
+        }
+    }
+
+    #[test]
+    fn reliability_hash_separates_configs() {
+        let legacy = ReliabilityConfig::default().hash();
+        let adaptive = ReliabilityConfig::adaptive().hash();
+        assert_ne!(legacy, adaptive);
+        let mut tweaked = ReliabilityConfig::adaptive();
+        tweaked.min_rto_ns += 1;
+        assert_ne!(adaptive, tweaked.hash());
+        // Stable across calls (pure function of the fields).
+        assert_eq!(legacy, ReliabilityConfig::default().hash());
     }
 }

@@ -88,7 +88,7 @@ mod stats;
 mod wire;
 
 pub use api::{Am, AmArgs, AmEnv, BulkHandle, HandlerId};
-pub use config::AmConfig;
+pub use config::{AmConfig, ReliabilityConfig};
 pub use machine::{AmMachine, AmReport};
 pub use mem::{GlobalPtr, Mem, MemPool};
 pub use port::AmPort;

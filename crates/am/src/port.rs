@@ -11,7 +11,7 @@ use crate::wire::{AmPacket, Body, Channel, ShortKind};
 use crate::AmCtx;
 use sp_adapter::host;
 use sp_trace::{Kind as TraceKind, Tracer, Track};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Handler table index.
 pub(crate) const HANDLER_NONE: u16 = u16::MAX;
@@ -44,6 +44,20 @@ pub struct AmPort<S> {
     made_progress: bool,
     barrier_hits: u32,
     barrier_go: bool,
+    /// This node's incarnation epoch: bumped on every crash/restart so the
+    /// survivors can tell the old incarnation's in-flight packets from the
+    /// new one's. 0 forever on the legacy (no-crash) protocol.
+    my_epoch: u32,
+    /// Latest incarnation epoch observed from each peer.
+    peer_epochs: Vec<u32>,
+    /// Selective-repeat buffers, one per (peer, channel): out-of-order
+    /// packets held keyed by (seq, offset) until the gap below them fills.
+    /// Only populated in SACK mode; a `BTreeMap` so drain order (and the
+    /// derived SACK bitmap) is deterministic.
+    ooo_buf: Vec<[BTreeMap<(u32, u32), AmPacket>; 2]>,
+    /// Set between a restart and the first delivered packet of the new
+    /// incarnation (recovery-time measurement).
+    restarted_at: Option<sp_sim::Time>,
     tracer: Option<Tracer>,
     pub(crate) stats: AmStats,
 }
@@ -59,8 +73,18 @@ impl<S> AmPort<S> {
         let peers = (0..n)
             .map(|_| Peer {
                 tx: [
-                    TxChan::with_chunk(Channel::Request, cfg.window_request, cfg.chunk_packets),
-                    TxChan::with_chunk(Channel::Reply, cfg.window_reply, cfg.chunk_packets),
+                    TxChan::with_chunk(
+                        Channel::Request,
+                        cfg.window_request,
+                        cfg.chunk_packets,
+                        cfg.reliability,
+                    ),
+                    TxChan::with_chunk(
+                        Channel::Reply,
+                        cfg.window_reply,
+                        cfg.chunk_packets,
+                        cfg.reliability,
+                    ),
                 ],
                 rx: [
                     RxChan::new(cfg.window_request, cfg.ack_threshold(cfg.window_request)),
@@ -82,9 +106,32 @@ impl<S> AmPort<S> {
             made_progress: false,
             barrier_hits: 0,
             barrier_go: false,
+            my_epoch: 0,
+            peer_epochs: vec![0; n],
+            ooo_buf: (0..n).map(|_| [BTreeMap::new(), BTreeMap::new()]).collect(),
+            restarted_at: None,
             tracer,
             stats: AmStats::default(),
         }
+    }
+
+    /// A fresh receive channel for `chan` (construction and crash/epoch
+    /// resets share the window/threshold arithmetic).
+    fn fresh_rx(&self, chan: Channel) -> RxChan {
+        let window = match chan {
+            Channel::Request => self.cfg.window_request,
+            Channel::Reply => self.cfg.window_reply,
+        };
+        RxChan::new(window, self.cfg.ack_threshold(window))
+    }
+
+    /// A fresh send channel for `chan` (crash resets).
+    fn fresh_tx(&self, chan: Channel) -> TxChan {
+        let window = match chan {
+            Channel::Request => self.cfg.window_request,
+            Channel::Reply => self.cfg.window_reply,
+        };
+        TxChan::with_chunk(chan, window, self.cfg.chunk_packets, self.cfg.reliability)
     }
 
     /// Record a protocol-layer span on this node's program track.
@@ -287,7 +334,8 @@ impl<S> AmPort<S> {
                 if free == 0 {
                     break;
                 }
-                let Some(mut pkt) = self.peers[dst].tx[chan.idx()].try_emit() else {
+                let now = ctx.now();
+                let Some(mut pkt) = self.peers[dst].tx[chan.idx()].try_emit(now) else {
                     break;
                 };
                 let is_data = matches!(pkt.body, Body::Data { .. });
@@ -332,12 +380,20 @@ impl<S> AmPort<S> {
         }
     }
 
-    /// Stamp the piggybacked cumulative ACKs and note that the peer is now
-    /// fully acknowledged.
+    /// Stamp the piggybacked cumulative ACKs (plus, in the adaptive modes,
+    /// the SACK bitmaps and incarnation epochs) and note that the peer is
+    /// now fully acknowledged. In legacy mode the extra fields stay zero,
+    /// keeping every pre-reliability run byte-identical.
     fn stamp_acks(&mut self, dst: usize, pkt: &mut AmPacket) {
         let peer = &mut self.peers[dst];
         pkt.ack_req = peer.rx[Channel::Request.idx()].cum_ack();
         pkt.ack_rep = peer.rx[Channel::Reply.idx()].cum_ack();
+        if self.cfg.reliability.sack {
+            pkt.sack_req = peer.rx[Channel::Request.idx()].sack_bits();
+            pkt.sack_rep = peer.rx[Channel::Reply.idx()].sack_bits();
+        }
+        pkt.src_epoch = self.my_epoch;
+        pkt.dst_epoch = self.peer_epochs[dst];
         peer.rx[0].acked();
         peer.rx[1].acked();
     }
@@ -352,6 +408,10 @@ impl<S> AmPort<S> {
             offset: 0,
             ack_req: 0,
             ack_rep: 0,
+            src_epoch: 0,
+            dst_epoch: 0,
+            sack_req: 0,
+            sack_rep: 0,
             body,
         };
         self.stamp_acks(dst, &mut pkt);
@@ -397,8 +457,32 @@ impl<S> AmPort<S> {
                 self.keepalive_round(ctx);
             }
         }
+        if self.cfg.reliability.adaptive_rto {
+            self.rto_sweep(ctx);
+        }
         self.pump_all(ctx);
         processed
+    }
+
+    /// Check every channel's adaptive retransmission timer: an expiry
+    /// queues a retransmission of the oldest unacked sequence and doubles
+    /// the channel's backoff (see [`TxChan::maybe_rto`]).
+    fn rto_sweep(&mut self, ctx: &mut AmCtx) {
+        let now = ctx.now();
+        for dst in 0..self.n {
+            for chan in Channel::BOTH {
+                let rtx = self.peers[dst].tx[chan.idx()].maybe_rto(now);
+                if rtx > 0 {
+                    self.stats.packets_retransmitted += rtx as u64;
+                    self.stats.rtx_timeout += rtx as u64;
+                    gstats::add_retransmitted(rtx as u64);
+                    gstats::add_rtx_timeout(rtx as u64);
+                    let hwm = self.peers[dst].tx[chan.idx()].estimator().backoff_hwm();
+                    self.stats.backoff_hwm = self.stats.backoff_hwm.max(hwm as u64);
+                    self.t_instant(now, TraceKind::AmRtoRtx, rtx as u64);
+                }
+            }
+        }
     }
 
     fn any_unacked(&self) -> bool {
@@ -443,32 +527,69 @@ impl<S> AmPort<S> {
 
     fn handle_packet(&mut self, ctx: &mut AmCtx, state: &mut S, src: usize, pkt: AmPacket) {
         self.stats.packets_received += 1;
-        // Piggybacked cumulative ACKs ride on every packet.
+        // Incarnation-epoch checks come before *any* ack or sequence
+        // processing: state carried by a dead incarnation's packet must
+        // never touch the live channels. Legacy runs carry all-zero epochs
+        // and skip straight through.
+        if pkt.src_epoch < self.peer_epochs[src] {
+            // From a dead incarnation of the peer: drop on the floor.
+            self.stats.stale_dropped += 1;
+            gstats::add_stale_dropped(1);
+            self.t_instant(ctx.now(), TraceKind::AmStaleDrop, pkt.src_epoch as u64);
+            return;
+        }
+        if pkt.src_epoch > self.peer_epochs[src] {
+            // The peer restarted: adopt its new incarnation before
+            // processing the packet that announced it.
+            self.adopt_epoch(ctx, src, pkt.src_epoch);
+        }
+        if pkt.dst_epoch < self.my_epoch {
+            // Addressed to a dead incarnation of *this* node — the sender
+            // has not heard about the restart yet. Drop, and advertise the
+            // current epoch back (the ACK carries `src_epoch = my_epoch`)
+            // so the sender adopts and replays.
+            self.stats.stale_dropped += 1;
+            gstats::add_stale_dropped(1);
+            self.t_instant(ctx.now(), TraceKind::AmStaleDrop, pkt.dst_epoch as u64);
+            self.explicit_ack(ctx, src, pkt.chan);
+            return;
+        }
+        // Piggybacked cumulative ACKs (and SACK bitmaps) ride on every
+        // packet.
         self.process_ack(ctx, state, src, Channel::Request, pkt.ack_req);
         self.process_ack(ctx, state, src, Channel::Reply, pkt.ack_rep);
+        self.process_sack(ctx, src, Channel::Request, pkt.ack_req, pkt.sack_req);
+        self.process_sack(ctx, src, Channel::Reply, pkt.ack_rep, pkt.sack_rep);
         let chan = pkt.chan;
         match pkt.body {
             Body::Ack => {
                 self.stats.controls_received += 1;
             }
-            Body::Nack { seq, offset } => {
+            Body::Nack { seq, offset, probe } => {
                 self.made_progress = true;
                 self.stats.controls_received += 1;
                 self.stats.nacks_received += 1;
                 gstats::add_nacks_received(1);
-                let (completed, rtx) = self.peers[src].tx[chan.idx()].on_nack(seq, offset);
+                let (completed, rtx) =
+                    self.peers[src].tx[chan.idx()].on_nack(seq, offset, ctx.now());
                 self.t_instant(ctx.now(), TraceKind::AmNackIn, rtx as u64);
                 if rtx > 0 {
                     self.t_instant(ctx.now(), TraceKind::AmRetransmit, rtx as u64);
                 }
                 self.stats.packets_retransmitted += rtx as u64;
                 gstats::add_retransmitted(rtx as u64);
+                if probe && rtx > 0 {
+                    self.stats.rtx_keepalive += rtx as u64;
+                    gstats::add_rtx_keepalive(rtx as u64);
+                }
                 self.finish_bulks(ctx, state, completed);
                 self.pump_peer(ctx, src);
             }
             Body::Probe => {
                 self.stats.controls_received += 1;
                 let (es, eo) = self.peers[src].rx[chan.idx()].expected();
+                // The probe answer is flagged so the sender attributes any
+                // resulting retransmissions to the keep-alive path.
                 self.send_control(
                     ctx,
                     src,
@@ -476,80 +597,126 @@ impl<S> AmPort<S> {
                     Body::Nack {
                         seq: es,
                         offset: eo,
+                        probe: true,
                     },
                 );
                 self.t_instant(ctx.now(), TraceKind::AmNackOut, 0);
                 self.stats.nacks_sent += 1;
                 gstats::add_nacks_sent(1);
             }
+            Body::Short { .. } | Body::Data { .. } => {
+                self.handle_sequenced(ctx, state, src, pkt);
+            }
+        }
+    }
+
+    /// Does this packet advance the sequence number (shorts and chunk-final
+    /// data packets do; mid-chunk packets advance only the offset)?
+    fn advances_seq(pkt: &AmPacket) -> bool {
+        match &pkt.body {
+            Body::Short { .. } => true,
+            Body::Data { last_of_chunk, .. } => *last_of_chunk,
+            _ => unreachable!("control packets are not sequenced"),
+        }
+    }
+
+    /// Run one sequenced (short or data) packet through the receive window:
+    /// deliver in-order arrivals (then drain anything the advance released
+    /// from the selective-repeat buffer), re-ACK duplicates, and handle
+    /// gaps — go-back-N NACK in legacy mode, buffer-and-SACK otherwise.
+    fn handle_sequenced(&mut self, ctx: &mut AmCtx, state: &mut S, src: usize, pkt: AmPacket) {
+        let chan = pkt.chan;
+        let advances = Self::advances_seq(&pkt);
+        let verdict = self.peers[src].rx[chan.idx()].accept(pkt.seq, pkt.offset, advances);
+        match verdict {
+            RxVerdict::Deliver { force_ack } => {
+                self.deliver_sequenced(ctx, state, src, pkt, force_ack);
+                self.drain_held(ctx, state, src, chan);
+            }
+            RxVerdict::DupDrop => {
+                self.stats.dup_dropped += 1;
+                gstats::add_dup_dropped(1);
+                self.t_instant(ctx.now(), TraceKind::AmDupDrop, pkt.seq as u64);
+                self.explicit_ack(ctx, src, chan);
+            }
+            RxVerdict::OooDrop { nack } => {
+                if self.cfg.reliability.sack {
+                    self.buffer_ooo(ctx, src, chan, pkt, nack);
+                } else {
+                    self.stats.ooo_dropped += 1;
+                    gstats::add_ooo_dropped(1);
+                    self.t_instant(ctx.now(), TraceKind::AmOooDrop, pkt.seq as u64);
+                    if nack {
+                        self.send_nack(ctx, src, chan);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deliver one in-order sequenced packet (the window has already
+    /// accepted it).
+    fn deliver_sequenced(
+        &mut self,
+        ctx: &mut AmCtx,
+        state: &mut S,
+        src: usize,
+        pkt: AmPacket,
+        force_ack: bool,
+    ) {
+        self.made_progress = true;
+        if let Some(t0) = self.restarted_at.take() {
+            // First delivery of the new incarnation: recovery complete.
+            self.stats.recovery_ns = (ctx.now() - t0).as_ns();
+            self.t_instant(ctx.now(), TraceKind::AmRecovered, self.stats.recovery_ns);
+        }
+        let chan = pkt.chan;
+        match pkt.body {
             Body::Short {
                 kind,
                 handler,
                 nargs,
                 args,
             } => {
-                let verdict = self.peers[src].rx[chan.idx()].accept(pkt.seq, pkt.offset, true);
-                match verdict {
-                    RxVerdict::Deliver { force_ack } => {
-                        self.made_progress = true;
-                        self.stats.shorts_delivered += 1;
-                        match kind {
-                            ShortKind::User => {
-                                self.invoke(
-                                    ctx,
-                                    state,
-                                    handler,
-                                    AmArgs {
-                                        a: args,
-                                        nargs,
-                                        src,
-                                        info: None,
-                                    },
-                                    chan == Channel::Request,
-                                );
-                            }
-                            ShortKind::GetReq {
-                                src_addr,
-                                dst_addr,
-                                len,
-                                xfer,
-                            } => {
-                                self.serve_get(
-                                    ctx, src, src_addr, dst_addr, len, xfer, handler, args,
-                                );
-                            }
-                            ShortKind::Barrier { go } => {
-                                if go {
-                                    self.barrier_go = true;
-                                } else {
-                                    self.barrier_hits += 1;
-                                }
-                            }
-                        }
-                        if force_ack {
-                            self.explicit_ack(ctx, src, chan);
+                self.stats.shorts_delivered += 1;
+                match kind {
+                    ShortKind::User => {
+                        self.invoke(
+                            ctx,
+                            state,
+                            handler,
+                            AmArgs {
+                                a: args,
+                                nargs,
+                                src,
+                                info: None,
+                            },
+                            chan == Channel::Request,
+                        );
+                    }
+                    ShortKind::GetReq {
+                        src_addr,
+                        dst_addr,
+                        len,
+                        xfer,
+                    } => {
+                        self.serve_get(ctx, src, src_addr, dst_addr, len, xfer, handler, args);
+                    }
+                    ShortKind::Barrier { go } => {
+                        if go {
+                            self.barrier_go = true;
+                        } else {
+                            self.barrier_hits += 1;
                         }
                     }
-                    RxVerdict::DupDrop => {
-                        self.stats.dup_dropped += 1;
-                        gstats::add_dup_dropped(1);
-                        self.t_instant(ctx.now(), TraceKind::AmDupDrop, pkt.seq as u64);
-                        self.explicit_ack(ctx, src, chan);
-                    }
-                    RxVerdict::OooDrop { nack } => {
-                        self.stats.ooo_dropped += 1;
-                        gstats::add_ooo_dropped(1);
-                        self.t_instant(ctx.now(), TraceKind::AmOooDrop, pkt.seq as u64);
-                        if nack {
-                            self.send_nack(ctx, src, chan);
-                        }
-                    }
+                }
+                if force_ack {
+                    self.explicit_ack(ctx, src, chan);
                 }
             }
             Body::Data {
                 addr,
                 len,
-                last_of_chunk,
                 last_of_xfer,
                 handler,
                 args,
@@ -557,67 +724,216 @@ impl<S> AmPort<S> {
                 total_len,
                 xfer,
                 bytes,
+                ..
             } => {
-                let verdict =
-                    self.peers[src].rx[chan.idx()].accept(pkt.seq, pkt.offset, last_of_chunk);
-                match verdict {
-                    RxVerdict::Deliver { force_ack } => {
-                        self.made_progress = true;
-                        debug_assert_eq!(len as usize, bytes.len());
-                        self.stats.data_packets_delivered += 1;
-                        self.stats.bulk_bytes_delivered += bytes.len() as u64;
-                        self.mem.write(
-                            crate::GlobalPtr {
-                                node: self.me,
-                                addr,
+                debug_assert_eq!(len as usize, bytes.len());
+                self.stats.data_packets_delivered += 1;
+                self.stats.bulk_bytes_delivered += bytes.len() as u64;
+                self.mem.write(
+                    crate::GlobalPtr {
+                        node: self.me,
+                        addr,
+                    },
+                    &bytes,
+                );
+                if last_of_xfer {
+                    if chan == Channel::Reply {
+                        // Get data arrived back home: the handle completes
+                        // here.
+                        self.completed.insert(xfer);
+                    }
+                    if handler != HANDLER_NONE {
+                        self.invoke(
+                            ctx,
+                            state,
+                            handler,
+                            AmArgs {
+                                a: args,
+                                nargs: 4,
+                                src,
+                                info: Some(BulkInfo {
+                                    base: base_addr,
+                                    len: total_len,
+                                }),
                             },
-                            &bytes,
+                            chan == Channel::Request,
                         );
-                        if last_of_xfer {
-                            if chan == Channel::Reply {
-                                // Get data arrived back home: the handle
-                                // completes here.
-                                self.completed.insert(xfer);
-                            }
-                            if handler != HANDLER_NONE {
-                                self.invoke(
-                                    ctx,
-                                    state,
-                                    handler,
-                                    AmArgs {
-                                        a: args,
-                                        nargs: 4,
-                                        src,
-                                        info: Some(BulkInfo {
-                                            base: base_addr,
-                                            len: total_len,
-                                        }),
-                                    },
-                                    chan == Channel::Request,
-                                );
-                            }
-                        }
-                        if force_ack || last_of_xfer {
-                            self.explicit_ack(ctx, src, chan);
-                        }
-                    }
-                    RxVerdict::DupDrop => {
-                        self.stats.dup_dropped += 1;
-                        gstats::add_dup_dropped(1);
-                        self.t_instant(ctx.now(), TraceKind::AmDupDrop, pkt.seq as u64);
-                        self.explicit_ack(ctx, src, chan);
-                    }
-                    RxVerdict::OooDrop { nack } => {
-                        self.stats.ooo_dropped += 1;
-                        gstats::add_ooo_dropped(1);
-                        self.t_instant(ctx.now(), TraceKind::AmOooDrop, pkt.seq as u64);
-                        if nack {
-                            self.send_nack(ctx, src, chan);
-                        }
                     }
                 }
+                if force_ack || last_of_xfer {
+                    self.explicit_ack(ctx, src, chan);
+                }
+            }
+            _ => unreachable!("only sequenced packets reach delivery"),
+        }
+    }
+
+    /// SACK mode: hold an out-of-order packet instead of dropping it. When
+    /// the packet completes a fully-held sequence (every in-chunk offset up
+    /// to the chunk-final present), the sequence enters the advertised SACK
+    /// bitmap; the gap advertisement goes out as an explicit ACK on the
+    /// first packet of a gap (`first_of_gap`, the slot legacy mode uses for
+    /// its NACK) and whenever a sequence becomes newly fully held.
+    fn buffer_ooo(
+        &mut self,
+        ctx: &mut AmCtx,
+        src: usize,
+        chan: Channel,
+        pkt: AmPacket,
+        first_of_gap: bool,
+    ) {
+        let seq = pkt.seq;
+        let buf = &mut self.ooo_buf[src][chan.idx()];
+        if buf.contains_key(&(seq, pkt.offset)) {
+            // Duplicate of something already held: treat like any other
+            // duplicate (drop and re-advertise).
+            self.stats.dup_dropped += 1;
+            gstats::add_dup_dropped(1);
+            self.t_instant(ctx.now(), TraceKind::AmDupDrop, seq as u64);
+            self.explicit_ack(ctx, src, chan);
+            return;
+        }
+        let cum = self.peers[src].rx[chan.idx()].cum_ack();
+        if seq > cum + 64 {
+            // Beyond the 64-bit SACK horizon: unadvertisable, so holding it
+            // would be invisible to the sender. Drop like legacy (the RTO
+            // or a later round recovers it). Windows keep sequences within
+            // the horizon except for degenerate all-shorts bursts.
+            self.stats.ooo_dropped += 1;
+            gstats::add_ooo_dropped(1);
+            self.t_instant(ctx.now(), TraceKind::AmOooDrop, seq as u64);
+            return;
+        }
+        buf.insert((seq, pkt.offset), pkt);
+        self.stats.ooo_buffered += 1;
+        self.stats.ooo_held += 1;
+        self.t_instant(ctx.now(), TraceKind::AmOooHold, seq as u64);
+        // Fully held? The chunk-final packet (or the short itself) must be
+        // present along with every offset below it.
+        let buf = &self.ooo_buf[src][chan.idx()];
+        let final_off = buf
+            .range((seq, 0)..=(seq, u32::MAX))
+            .find_map(|((_, o), p)| Self::advances_seq(p).then_some(*o));
+        let fully_held = final_off.is_some_and(|fo| (0..=fo).all(|o| buf.contains_key(&(seq, o))));
+        let mut newly_held = false;
+        if fully_held && !self.peers[src].rx[chan.idx()].holds(seq) {
+            self.peers[src].rx[chan.idx()].hold(seq);
+            newly_held = true;
+        }
+        if first_of_gap || newly_held {
+            self.explicit_ack(ctx, src, chan);
+        }
+    }
+
+    /// After an in-order delivery advanced the window, feed any buffered
+    /// packets that are now next-in-line back through delivery, and discard
+    /// buffered copies the advance made moot.
+    fn drain_held(&mut self, ctx: &mut AmCtx, state: &mut S, src: usize, chan: Channel) {
+        if !self.cfg.reliability.sack {
+            return;
+        }
+        loop {
+            let expected = self.peers[src].rx[chan.idx()].expected();
+            let Some(pkt) = self.ooo_buf[src][chan.idx()].remove(&expected) else {
+                break;
+            };
+            self.stats.ooo_held -= 1;
+            let advances = Self::advances_seq(&pkt);
+            match self.peers[src].rx[chan.idx()].accept(pkt.seq, pkt.offset, advances) {
+                RxVerdict::Deliver { force_ack } => {
+                    self.deliver_sequenced(ctx, state, src, pkt, force_ack);
+                }
+                v => unreachable!("buffered packet at the expected position: {v:?}"),
             }
         }
+        // Anything left below the cumulative point was delivered through
+        // the in-order path while a copy sat in the buffer: a duplicate.
+        let cum = self.peers[src].rx[chan.idx()].cum_ack();
+        let buf = &mut self.ooo_buf[src][chan.idx()];
+        let moot: Vec<(u32, u32)> = buf.range(..(cum, 0)).map(|(k, _)| *k).collect();
+        for k in moot {
+            buf.remove(&k);
+            self.stats.ooo_held -= 1;
+            self.stats.dup_dropped += 1;
+            gstats::add_dup_dropped(1);
+        }
+    }
+
+    /// Process a piggybacked SACK bitmap for our outbound `chan` toward
+    /// `src`: gap sequences the peer does *not* hold retransmit selectively
+    /// (at most once per round).
+    fn process_sack(&mut self, ctx: &mut AmCtx, src: usize, chan: Channel, cum: u32, bitmap: u64) {
+        let rtx = self.peers[src].tx[chan.idx()].on_sack(cum, bitmap);
+        if rtx > 0 {
+            self.made_progress = true;
+            self.stats.packets_retransmitted += rtx as u64;
+            self.stats.rtx_sack_gap += rtx as u64;
+            gstats::add_retransmitted(rtx as u64);
+            gstats::add_rtx_sack_gap(rtx as u64);
+            self.t_instant(ctx.now(), TraceKind::AmSackRtx, rtx as u64);
+            self.pump_peer(ctx, src);
+        }
+    }
+
+    /// Adopt a peer's new incarnation: its old receive state is
+    /// meaningless (the new incarnation restarts its sequence space from
+    /// zero), and everything we had in flight toward the old incarnation
+    /// replays under fresh sequence numbers.
+    fn adopt_epoch(&mut self, ctx: &mut AmCtx, src: usize, epoch: u32) {
+        self.peer_epochs[src] = epoch;
+        self.t_instant(ctx.now(), TraceKind::AmEpochAdopt, epoch as u64);
+        for chan in Channel::BOTH {
+            let held = self.ooo_buf[src][chan.idx()].len() as u64;
+            self.ooo_buf[src][chan.idx()].clear();
+            self.stats.ooo_held -= held;
+            self.stats.ooo_dropped += held;
+            gstats::add_ooo_dropped(held);
+            self.peers[src].rx[chan.idx()] = self.fresh_rx(chan);
+            let rtx = self.peers[src].tx[chan.idx()].reincarnate(ctx.now());
+            if rtx > 0 {
+                self.stats.packets_retransmitted += rtx as u64;
+                gstats::add_retransmitted(rtx as u64);
+                self.t_instant(ctx.now(), TraceKind::AmRetransmit, rtx as u64);
+            }
+        }
+    }
+
+    /// Crash this node: every piece of protocol state is lost — windows,
+    /// sequence spaces, retransmit buffers, bulk completions, epoch views,
+    /// selective-repeat buffers — and the incarnation epoch is bumped so
+    /// survivors can tell the dead incarnation's in-flight packets from
+    /// the new one's. Counters in [`AmStats`] survive: they belong to the
+    /// measurement harness, not the crashed program. Call
+    /// [`AmPort::note_restart`] when the node comes back up.
+    pub(crate) fn crash_reset(&mut self, ctx: &mut AmCtx) {
+        self.my_epoch += 1;
+        self.stats.epoch = self.my_epoch as u64;
+        self.stats.restarts += 1;
+        self.t_instant(ctx.now(), TraceKind::AmCrash, self.my_epoch as u64);
+        for src in 0..self.n {
+            for chan in Channel::BOTH {
+                let held = self.ooo_buf[src][chan.idx()].len() as u64;
+                self.ooo_buf[src][chan.idx()].clear();
+                self.stats.ooo_held -= held;
+                self.stats.ooo_dropped += held;
+                gstats::add_ooo_dropped(held);
+                self.peers[src].rx[chan.idx()] = self.fresh_rx(chan);
+                self.peers[src].tx[chan.idx()] = self.fresh_tx(chan);
+            }
+        }
+        self.peer_epochs = vec![0; self.n];
+        self.completed.clear();
+        self.completions.clear();
+        self.idle_polls = 0;
+        self.barrier_hits = 0;
+        self.barrier_go = false;
+    }
+
+    /// The crashed node is back up: start the recovery-time clock and
+    /// record the restart on the trace.
+    pub(crate) fn note_restart(&mut self, ctx: &mut AmCtx) {
+        self.restarted_at = Some(ctx.now());
+        self.t_instant(ctx.now(), TraceKind::AmRestart, self.my_epoch as u64);
     }
 
     fn explicit_ack(&mut self, ctx: &mut AmCtx, dst: usize, chan: Channel) {
@@ -637,12 +953,13 @@ impl<S> AmPort<S> {
             Body::Nack {
                 seq: es,
                 offset: eo,
+                probe: false,
             },
         );
     }
 
     fn process_ack(&mut self, ctx: &mut AmCtx, state: &mut S, src: usize, chan: Channel, cum: u32) {
-        let (freed, completed) = self.peers[src].tx[chan.idx()].on_ack(cum);
+        let (freed, completed) = self.peers[src].tx[chan.idx()].on_ack(cum, ctx.now());
         if freed > 0 {
             self.made_progress = true;
             self.t_instant(

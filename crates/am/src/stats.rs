@@ -13,6 +13,10 @@ pub mod gstats {
     static DUP_DROPPED: AtomicU64 = AtomicU64::new(0);
     static OOO_DROPPED: AtomicU64 = AtomicU64::new(0);
     static KEEPALIVE_ROUNDS: AtomicU64 = AtomicU64::new(0);
+    static RTX_TIMEOUT: AtomicU64 = AtomicU64::new(0);
+    static RTX_SACK_GAP: AtomicU64 = AtomicU64::new(0);
+    static RTX_KEEPALIVE: AtomicU64 = AtomicU64::new(0);
+    static STALE_DROPPED: AtomicU64 = AtomicU64::new(0);
 
     pub(crate) fn add_retransmitted(n: u64) {
         RETRANSMITTED.fetch_add(n, Ordering::Relaxed);
@@ -31,6 +35,18 @@ pub mod gstats {
     }
     pub(crate) fn add_keepalive_rounds(n: u64) {
         KEEPALIVE_ROUNDS.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_rtx_timeout(n: u64) {
+        RTX_TIMEOUT.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_rtx_sack_gap(n: u64) {
+        RTX_SACK_GAP.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_rtx_keepalive(n: u64) {
+        RTX_KEEPALIVE.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn add_stale_dropped(n: u64) {
+        STALE_DROPPED.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Packets retransmitted (go-back-N) since process start.
@@ -57,17 +73,39 @@ pub mod gstats {
     pub fn keepalive_rounds() -> u64 {
         KEEPALIVE_ROUNDS.load(Ordering::Relaxed)
     }
+    /// Packets retransmitted on an adaptive-RTO expiry since process start.
+    pub fn rtx_timeout() -> u64 {
+        RTX_TIMEOUT.load(Ordering::Relaxed)
+    }
+    /// Packets retransmitted to fill receiver-reported SACK gaps.
+    pub fn rtx_sack_gap() -> u64 {
+        RTX_SACK_GAP.load(Ordering::Relaxed)
+    }
+    /// Packets retransmitted in response to keep-alive probe answers.
+    pub fn rtx_keepalive() -> u64 {
+        RTX_KEEPALIVE.load(Ordering::Relaxed)
+    }
+    /// Stale-incarnation packets dropped by receivers since process start.
+    pub fn stale_dropped() -> u64 {
+        STALE_DROPPED.load(Ordering::Relaxed)
+    }
 
     /// One-line summary of the process-global reliability counters, in the
-    /// style of the `[engine]` summary.
+    /// style of the `[engine]` summary. The retransmit-cause breakdown is
+    /// `timeout/sack-gap/keepalive`; the remainder of `rtx` is plain
+    /// NACK-driven go-back-N.
     pub fn summary() -> String {
         format!(
-            "rtx {} | nacks {}/{} (out/in) | dup-drop {} | ooo-drop {} | keepalive {}",
+            "rtx {} (cause t/s/k {}/{}/{}) | nacks {}/{} (out/in) | dup-drop {} | ooo-drop {} | stale-drop {} | keepalive {}",
             retransmitted(),
+            rtx_timeout(),
+            rtx_sack_gap(),
+            rtx_keepalive(),
             nacks_sent(),
             nacks_received(),
             dup_dropped(),
             ooo_dropped(),
+            stale_dropped(),
             keepalive_rounds(),
         )
     }
@@ -116,4 +154,29 @@ pub struct AmStats {
     pub probes_sent: u64,
     /// Keep-alive activations (a probe round for outstanding traffic).
     pub keepalive_rounds: u64,
+    /// Packets retransmitted because the adaptive RTO expired.
+    pub rtx_timeout: u64,
+    /// Packets retransmitted to fill a receiver-reported SACK gap.
+    pub rtx_sack_gap: u64,
+    /// Packets retransmitted in response to a keep-alive probe answer.
+    pub rtx_keepalive: u64,
+    /// Packets from (or addressed to) a dead incarnation, dropped by the
+    /// epoch check before any sequence processing.
+    pub stale_dropped: u64,
+    /// Out-of-order packets buffered for selective repeat (total ever
+    /// buffered; each is delivered later or wiped into `ooo_dropped` by a
+    /// crash).
+    pub ooo_buffered: u64,
+    /// Out-of-order packets currently held in the selective-repeat buffer
+    /// (a gauge: zero at quiescence).
+    pub ooo_held: u64,
+    /// This node's incarnation epoch (a gauge: crash/restart count).
+    pub epoch: u64,
+    /// Crash/restart cycles this node performed.
+    pub restarts: u64,
+    /// Exponential-backoff high-water mark across all channels.
+    pub backoff_hwm: u64,
+    /// Virtual ns from the last restart to the first delivered packet of
+    /// the new incarnation (0 until a post-restart delivery happens).
+    pub recovery_ns: u64,
 }

@@ -116,6 +116,11 @@ pub enum Body {
         seq: u32,
         /// Next in-chunk packet index expected (0 for short messages).
         offset: u32,
+        /// `true` when this NACK answers a keep-alive probe rather than an
+        /// out-of-order arrival — lets the sender attribute the resulting
+        /// retransmissions to the keep-alive path. Rides in a header flag
+        /// bit, so the NACK payload stays 8 bytes.
+        probe: bool,
     },
     /// Keep-alive probe: the receiver answers with an ACK or NACK
     /// reflecting its current expected sequence number.
@@ -139,6 +144,22 @@ pub struct AmPacket {
     pub ack_req: u32,
     /// Same for the reply channel.
     pub ack_rep: u32,
+    /// Sender's incarnation epoch: bumped every time the sending node
+    /// crash/restarts, so packets from a dead incarnation are recognizably
+    /// stale. `0` forever on the legacy (no-crash) protocol, making the
+    /// field invisible to every pre-epoch golden run.
+    pub src_epoch: u32,
+    /// The sender's view of the *receiver's* incarnation epoch. A receiver
+    /// whose own epoch is newer drops the packet as stale and advertises
+    /// its current epoch back.
+    pub dst_epoch: u32,
+    /// Selective-ACK bitmap for the request channel, piggybacked like
+    /// `ack_req`: bit `i` set means the receiver fully holds sequence
+    /// `ack_req + 1 + i` out of order. All-zero (and ignored) in legacy
+    /// go-back-N mode.
+    pub sack_req: u64,
+    /// Same for the reply channel.
+    pub sack_rep: u64,
     /// Body.
     pub body: Body,
 }
@@ -172,6 +193,10 @@ mod tests {
             offset: 0,
             ack_req: 0,
             ack_rep: 0,
+            src_epoch: 0,
+            dst_epoch: 0,
+            sack_req: 0,
+            sack_rep: 0,
             body: Body::Short {
                 kind: ShortKind::User,
                 handler: 1,
@@ -203,6 +228,10 @@ mod tests {
             offset: 0,
             ack_req: 0,
             ack_rep: 0,
+            src_epoch: 0,
+            dst_epoch: 0,
+            sack_req: 0,
+            sack_rep: 0,
             body: Body::Data {
                 addr: 0,
                 len: 224,
@@ -222,13 +251,25 @@ mod tests {
 
     #[test]
     fn control_classification() {
-        for body in [Body::Ack, Body::Nack { seq: 0, offset: 0 }, Body::Probe] {
+        for body in [
+            Body::Ack,
+            Body::Nack {
+                seq: 0,
+                offset: 0,
+                probe: false,
+            },
+            Body::Probe,
+        ] {
             let p = AmPacket {
                 chan: Channel::Reply,
                 seq: 0,
                 offset: 0,
                 ack_req: 0,
                 ack_rep: 0,
+                src_epoch: 0,
+                dst_epoch: 0,
+                sack_req: 0,
+                sack_rep: 0,
                 body,
             };
             assert!(p.is_control());

@@ -1,0 +1,132 @@
+//! End-to-end reliability-layer tests on a real two-node machine:
+//! crash/restart with the incarnation-epoch handshake, and the adaptive
+//! (RTT-estimated RTO + SACK) mode under random loss — exercising the
+//! full port/adapter/switch stack rather than the channel state machines.
+
+use sp_adapter::SpConfig;
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, AmStats, ReliabilityConfig};
+use sp_switch::FaultInjector;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct St {
+    bits: u32,
+    count: u32,
+}
+
+fn set_bit(env: &mut AmEnv<'_, St>, args: AmArgs) {
+    env.state.bits |= args.a[0];
+}
+
+#[test]
+fn crash_restart_epoch_handshake_redelivers_everything() {
+    // The receiver crashes after the first delivery: its adapter FIFOs and
+    // all AM channel state are wiped, it stays dark for 200µs, then
+    // restarts with a bumped incarnation epoch. The sender's channels must
+    // reincarnate and replay, and every request must still land (handlers
+    // are idempotent bit-sets, since crash-straddling packets may
+    // legitimately be redelivered).
+    let n = 20u32;
+    let goal = (1u64 << n) as u32 - 1;
+    let cfg = AmConfig {
+        keepalive_polls: 32,
+        ..AmConfig::default()
+    };
+    let mut m = AmMachine::new(SpConfig::thin(2), cfg, 7);
+    let stats = Arc::new(parking_lot::Mutex::new((
+        AmStats::default(),
+        AmStats::default(),
+    )));
+    let (s0, s1) = (stats.clone(), stats.clone());
+    m.spawn("sender", St::default(), move |am: &mut Am<'_, St>| {
+        am.register(set_bit);
+        for i in 0..n {
+            am.request_1(1, 0, 1 << i);
+        }
+        am.quiesce(); // every request acked by the *new* incarnation
+        s0.lock().0 = am.stats().clone();
+    });
+    m.spawn("receiver", St::default(), move |am: &mut Am<'_, St>| {
+        am.register(set_bit);
+        am.poll_until(|s| s.bits != 0);
+        am.crash_restart(sp_sim::Dur::us(200.0));
+        am.poll_until(|s| s.bits == goal);
+        // Serve the sender's recovery traffic before exiting.
+        am.drain(sp_sim::Dur::ms(5.0));
+        s1.lock().1 = am.stats().clone();
+    });
+    m.run().unwrap();
+    let (tx, rx) = &*stats.lock();
+    assert_eq!(rx.restarts, 1, "exactly one crash/restart");
+    assert_eq!(rx.epoch, 1, "restart must bump the incarnation epoch");
+    assert!(rx.recovery_ns > 0, "restart must clock time-to-recover");
+    assert!(
+        tx.packets_retransmitted > 0,
+        "the wiped window can only arrive by retransmission"
+    );
+}
+
+/// 300 in-order requests under 5% random loss; returns (sender, receiver)
+/// stats after full quiescence.
+fn run_lossy(rel: ReliabilityConfig) -> (AmStats, AmStats) {
+    fn ordered(env: &mut AmEnv<'_, St>, args: AmArgs) {
+        assert_eq!(args.a[0], env.state.count, "delivery must stay in order");
+        env.state.count += 1;
+    }
+    let cfg = AmConfig {
+        keepalive_polls: 64,
+        reliability: rel,
+        ..AmConfig::default()
+    };
+    let mut m = AmMachine::new(SpConfig::thin(2), cfg, 3);
+    m.configure_world(|w| {
+        w.switch
+            .set_fault_injector(FaultInjector::bernoulli(0.05, 5))
+    });
+    let stats = Arc::new(parking_lot::Mutex::new((
+        AmStats::default(),
+        AmStats::default(),
+    )));
+    let (s0, s1) = (stats.clone(), stats.clone());
+    m.spawn("sender", St::default(), move |am: &mut Am<'_, St>| {
+        am.register(ordered);
+        for i in 0..300u32 {
+            am.request_1(1, 0, i);
+        }
+        am.quiesce();
+        s0.lock().0 = am.stats().clone();
+    });
+    m.spawn("receiver", St::default(), move |am: &mut Am<'_, St>| {
+        am.register(ordered);
+        am.poll_until(|s| s.count == 300);
+        am.drain(sp_sim::Dur::ms(5.0));
+        s1.lock().1 = am.stats().clone();
+    });
+    m.run().unwrap();
+    let (tx, rx) = &*stats.lock();
+    (tx.clone(), rx.clone())
+}
+
+#[test]
+fn adaptive_mode_survives_loss_and_attributes_every_retransmit() {
+    let (tx, rx) = run_lossy(ReliabilityConfig::adaptive());
+    assert!(tx.packets_retransmitted > 0, "5% loss must force recovery");
+    assert!(
+        tx.rtx_timeout + tx.rtx_sack_gap + tx.rtx_keepalive > 0,
+        "adaptive retransmits must carry a cause"
+    );
+    assert!(
+        rx.ooo_buffered > 0,
+        "SACK mode must hold out-of-order packets instead of dropping them"
+    );
+    assert_eq!(rx.ooo_dropped, 0, "nothing should be go-back-N discarded");
+}
+
+#[test]
+fn legacy_mode_never_uses_the_adaptive_machinery() {
+    let (tx, rx) = run_lossy(ReliabilityConfig::default());
+    assert!(tx.packets_retransmitted > 0, "5% loss must force recovery");
+    assert_eq!(tx.rtx_timeout, 0, "no adaptive RTO in legacy mode");
+    assert_eq!(tx.rtx_sack_gap, 0, "no SACK gaps in legacy mode");
+    assert_eq!(rx.ooo_buffered, 0, "legacy receivers drop out-of-order");
+}

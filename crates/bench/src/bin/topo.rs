@@ -165,6 +165,37 @@ fn main() {
         (fad.dropped as f64 / frr.dropped as f64 - 1.0) * 100.0,
     );
 
+    // Loss recovery: the same seeded 15% drop window crossed by a bulk
+    // store under the legacy go-back-N and the adaptive RTO+SACK modes.
+    let (leg, adp) = topo_exp::loss_recovery(quick());
+    println!("\n==== loss recovery: seeded 15% drop window, legacy vs adaptive ====\n");
+    println!(
+        "{:<10} {:>12} {:>10} {:>8} {:>6} {:>9} {:>18}",
+        "mode", "recover (us)", "msgs/ms", "rtx", "drops", "spurious", "cause t/s/k"
+    );
+    println!("{}", "-".repeat(78));
+    for p in [&leg, &adp] {
+        println!(
+            "{:<10} {:>12.1} {:>10.1} {:>8} {:>6} {:>9} {:>18}",
+            p.mode,
+            p.recover_ns as f64 / 1_000.0,
+            p.goodput_msgs_ms,
+            p.retransmits,
+            p.dropped,
+            p.spurious_rtx,
+            format!("{}/{}/{}", p.rtx_timeout, p.rtx_sack_gap, p.rtx_keepalive),
+        );
+    }
+    println!(
+        "\nadaptive vs legacy under loss: recovery {:+.1}%, spurious rtx {:+.1}%",
+        (adp.recover_ns as f64 / leg.recover_ns as f64 - 1.0) * 100.0,
+        (adp.spurious_rtx as f64 / leg.spurious_rtx.max(1) as f64 - 1.0) * 100.0,
+    );
+    if adp.recover_ns >= leg.recover_ns || adp.spurious_rtx >= leg.spurious_rtx {
+        println!("LOSS RECOVERY CHECK FAILED: adaptive must strictly beat legacy on both");
+        std::process::exit(1);
+    }
+
     let mut metrics = collect_metrics(&rr, &ad);
     for p in [&frr, &fad] {
         metrics.push((
@@ -176,6 +207,16 @@ fn main() {
             p.rtt_p99_ns as f64,
         ));
         metrics.push((format!("topo/fault-{}-dropped", p.policy), p.dropped as f64));
+    }
+    for p in [&leg, &adp] {
+        metrics.push((
+            format!("topo/loss-{}-recover-ns", p.mode),
+            p.recover_ns as f64,
+        ));
+        metrics.push((
+            format!("topo/loss-{}-spurious-rtx", p.mode),
+            p.spurious_rtx as f64,
+        ));
     }
     if let Ok(path) = std::env::var("SP_BENCH_TOPO_JSON") {
         write_json(&path, &metrics);

@@ -288,5 +288,32 @@ pub fn random_schedule(w: Workload, seed: u64) -> Schedule {
         };
         s.events.push(ev);
     }
+    // Reliability-era draws come after every classic one, so a pre-existing
+    // seed keeps its classic fault list as an exact prefix. All three stay
+    // recoverable by construction: partitions heal by 2·(H/4) < deadline,
+    // crashed nodes restart within 1 ms, and keep-alive plus the epoch
+    // handshake clear any residue over the lossless tail.
+    if rng.gen_range(0..2u32) == 1 {
+        s.reliability = sp_am::ReliabilityConfig::adaptive();
+    }
+    if matches!(w, Workload::PingPong | Workload::Streaming) && rng.gen_range(0..3u32) == 0 {
+        s.events.push(FaultEvent::Crash {
+            node: 1,
+            at_ns: rng.gen_range(0..HORIZON / 4),
+            down_ns: rng.gen_range(100_000..1_000_000),
+        });
+    }
+    if rng.gen_range(0..4u32) == 0 {
+        let from_ns = rng.gen_range(0..HORIZON / 4);
+        let until_ns = from_ns + rng.gen_range(100_000..HORIZON / 4);
+        // Split node 0 from everyone else; heals well before the deadline.
+        let all = (1u64 << s.nodes.min(63)) - 1;
+        s.events.push(FaultEvent::Partition {
+            a: 1,
+            b: all & !1,
+            from_ns,
+            until_ns,
+        });
+    }
     s
 }

@@ -44,4 +44,5 @@ pub use campaign::{
 pub use invariant::{check, report, Violation};
 pub use run::{run, run_sharded, run_traced, NodeEnd, RunOutcome, EVENT_BUDGET};
 pub use schedule::{parse_policy, policy_name, FaultEvent, Schedule, Workload};
+pub use sp_am::ReliabilityConfig;
 pub use sp_switch::RoutePolicy;

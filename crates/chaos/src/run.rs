@@ -8,7 +8,9 @@ use sp_mpi::{Mpi, MpiAm, MpiAmConfig, MpiSt};
 use sp_sim::{Dur, Time};
 use sp_splitc::backend::am::{AmGas, SplitcSt};
 use sp_splitc::Gas;
-use sp_switch::{FaultInjector, FaultKind, FaultWindow, RoutePolicy, SwitchStats, Topology};
+use sp_switch::{
+    FaultInjector, FaultKind, FaultWindow, PartitionWindow, RoutePolicy, SwitchStats, Topology,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -59,6 +61,9 @@ pub struct RunOutcome {
     pub backlog: Vec<usize>,
     /// Packets delivered into receive FIFOs, summed over adapters.
     pub adapter_received: u64,
+    /// Delivered-but-unread receive-FIFO entries lost to crash wipes,
+    /// summed over adapters.
+    pub wiped_recv: u64,
     /// Set when the run aborted (event budget exhausted): the simulation's
     /// deterministic error string. Hardware state is lost on abort.
     pub aborted: Option<String>,
@@ -87,6 +92,8 @@ struct ChaosSt {
     got: u64,
     pauses: Vec<(Time, Dur)>,
     pause_next: usize,
+    crashes: Vec<(Time, Dur)>,
+    crash_next: usize,
 }
 
 /// Execute `schedule` and collect the outcome.
@@ -143,6 +150,7 @@ fn run_inner(s: &Schedule, trace: bool, shards: usize) -> RunOutcome {
         } else {
             s.keepalive_polls
         },
+        reliability: s.reliability,
         ..AmConfig::default()
     };
     let mut m = AmMachine::new(sp, am_cfg, s.seed);
@@ -170,9 +178,10 @@ fn run_inner(s: &Schedule, trace: bool, shards: usize) -> RunOutcome {
 
     let probe: SharedProbe = Arc::new(Mutex::new(Probe::default()));
     let pauses = collect_pauses(s, nodes);
+    let crashes = collect_crashes(s, nodes);
     match s.workload {
-        Workload::PingPong => spawn_pingpong(&mut m, s, nodes, &probe, &pauses),
-        Workload::Streaming => spawn_streaming(&mut m, s, nodes, &probe, &pauses),
+        Workload::PingPong => spawn_pingpong(&mut m, s, nodes, &probe, &pauses, &crashes),
+        Workload::Streaming => spawn_streaming(&mut m, s, nodes, &probe, &pauses, &crashes),
         Workload::SplitcRoundtrips => spawn_splitc(&mut m, s, nodes, &probe, &pauses),
         Workload::MpiExchange => spawn_mpi(&mut m, s, nodes, &probe, &pauses, cost),
     }
@@ -194,6 +203,7 @@ fn run_inner(s: &Schedule, trace: bool, shards: usize) -> RunOutcome {
         dropped_overflow: 0,
         backlog: vec![0; nodes],
         adapter_received: 0,
+        wiped_recv: 0,
         aborted: None,
         chrome_json: None,
         flight,
@@ -206,6 +216,9 @@ fn run_inner(s: &Schedule, trace: bool, shards: usize) -> RunOutcome {
             out.backlog = (0..nodes).map(|n| report.world.recv_backlog(n)).collect();
             out.adapter_received = (0..nodes)
                 .map(|n| report.world.adapter_stats(n).received)
+                .sum();
+            out.wiped_recv = (0..nodes)
+                .map(|n| report.world.adapter_stats(n).wiped_recv)
                 .sum();
         }
         Err(e) => out.aborted = Some(format!("{e:?}")),
@@ -259,6 +272,17 @@ fn install_faults(m: &mut AmMachine, s: &Schedule, nodes: usize) {
                 until: Time(until_ns),
                 kind: FaultKind::Delay,
                 probability: p,
+            }),
+            FaultEvent::Partition {
+                a,
+                b,
+                from_ns,
+                until_ns,
+            } => inj.partitions.push(PartitionWindow {
+                a_nodes: a,
+                b_nodes: b,
+                from: Time(from_ns),
+                until: Time(until_ns),
             }),
             _ => {}
         }
@@ -352,13 +376,38 @@ fn collect_pauses(s: &Schedule, nodes: usize) -> Vec<Vec<(Time, Dur)>> {
     pauses
 }
 
+/// Per-node crash/restart events, sorted by crash time. Applied by the
+/// AM-level workloads (pingpong, streaming), whose node programs own the
+/// port directly; the library-level workloads (splitc, mpi) ignore them.
+fn collect_crashes(s: &Schedule, nodes: usize) -> Vec<Vec<(Time, Dur)>> {
+    let mut crashes = vec![Vec::new(); nodes];
+    for ev in &s.events {
+        if let FaultEvent::Crash {
+            node,
+            at_ns,
+            down_ns,
+        } = *ev
+        {
+            if node < nodes {
+                crashes[node].push((Time(at_ns), Dur(down_ns)));
+            }
+        }
+    }
+    for c in &mut crashes {
+        c.sort_by_key(|(at, _)| *at);
+    }
+    crashes
+}
+
 impl ChaosSt {
-    fn new(probe: SharedProbe, pauses: Vec<(Time, Dur)>) -> ChaosSt {
+    fn new(probe: SharedProbe, pauses: Vec<(Time, Dur)>, crashes: Vec<(Time, Dur)>) -> ChaosSt {
         ChaosSt {
             probe,
             got: 0,
             pauses,
             pause_next: 0,
+            crashes,
+            crash_next: 0,
         }
     }
 }
@@ -377,6 +426,28 @@ fn take_pause(am: &mut Am<'_, ChaosSt>) {
             _ => return,
         }
     }
+}
+
+/// Take any due crash: wipe the node's adapter FIFOs and AM channel state,
+/// stay dark for the outage, restart with a bumped incarnation epoch.
+fn take_crash(am: &mut Am<'_, ChaosSt>) {
+    loop {
+        let now = am.now();
+        let st = am.state();
+        match st.crashes.get(st.crash_next) {
+            Some(&(at, down)) if now >= at => {
+                am.state_mut().crash_next += 1;
+                am.crash_restart(down);
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Apply every due scheduled program fault (crashes, then pauses).
+fn take_faults(am: &mut Am<'_, ChaosSt>) {
+    take_crash(am);
+    take_pause(am);
 }
 
 /// Lossless-tail drain + end-of-run snapshot, shared by every workload:
@@ -461,10 +532,11 @@ fn spawn_pingpong(
     nodes: usize,
     probe: &SharedProbe,
     pauses: &[Vec<(Time, Dur)>],
+    crashes: &[Vec<(Time, Dur)>],
 ) {
     let (msgs, deadline, tail) = (s.msgs, Time(s.deadline_ns), Dur(s.tail_quiet_ns));
     for (node, node_pauses) in pauses.iter().enumerate().take(nodes) {
-        let st = ChaosSt::new(probe.clone(), node_pauses.clone());
+        let st = ChaosSt::new(probe.clone(), node_pauses.clone(), crashes[node].clone());
         let probe = probe.clone();
         m.spawn(format!("pp{node}"), st, move |am| {
             let req_h = am.register(h_pingpong_req);
@@ -473,7 +545,7 @@ fn spawn_pingpong(
                 for i in 0..msgs {
                     am.request_2(1, req_h, i as u32, rep_h as u32);
                     while am.state().got <= i && am.now() < deadline {
-                        take_pause(am);
+                        take_faults(am);
                         am.poll();
                     }
                     if am.state().got <= i {
@@ -482,11 +554,11 @@ fn spawn_pingpong(
                 }
             } else if node == 1 {
                 while am.state().got < msgs && am.now() < deadline {
-                    take_pause(am);
+                    take_faults(am);
                     am.poll();
                 }
             }
-            settle(am, tail, &probe, take_pause);
+            settle(am, tail, &probe, take_faults);
         });
     }
 }
@@ -497,10 +569,11 @@ fn spawn_streaming(
     nodes: usize,
     probe: &SharedProbe,
     pauses: &[Vec<(Time, Dur)>],
+    crashes: &[Vec<(Time, Dur)>],
 ) {
     let (msgs, deadline, tail) = (s.msgs, Time(s.deadline_ns), Dur(s.tail_quiet_ns));
     for (node, node_pauses) in pauses.iter().enumerate().take(nodes) {
-        let st = ChaosSt::new(probe.clone(), node_pauses.clone());
+        let st = ChaosSt::new(probe.clone(), node_pauses.clone(), crashes[node].clone());
         let probe = probe.clone();
         m.spawn(format!("st{node}"), st, move |am| {
             let sink_h = am.register(h_sink);
@@ -509,16 +582,16 @@ fn spawn_streaming(
                     if am.now() >= deadline {
                         break;
                     }
-                    take_pause(am);
+                    take_faults(am);
                     am.request_2(1, sink_h, i as u32, 0);
                 }
             } else if node == 1 {
                 while am.state().got < msgs && am.now() < deadline {
-                    take_pause(am);
+                    take_faults(am);
                     am.poll();
                 }
             }
-            settle(am, tail, &probe, take_pause);
+            settle(am, tail, &probe, take_faults);
         });
     }
 }
@@ -555,19 +628,27 @@ fn spawn_splitc(
                         break;
                     }
                     // Only this node writes the peer's cell, so the value
-                    // read back must be the value just written.
+                    // read back must be the value just written. Both waits
+                    // are deadline-bounded (`sync_until`, not the blocking
+                    // `write_u32`/`read_u32`): a fault window that outlives
+                    // the peer's quiet tail must not wedge this node in an
+                    // unbounded completion loop.
                     let v = ((node as u32) << 16) | i as u32;
-                    gas.write_u32(
-                        GlobalPtr {
-                            node: peer,
-                            addr: cell.addr,
-                        },
-                        v,
-                    );
-                    let r = gas.read_u32(GlobalPtr {
+                    let cell = GlobalPtr {
                         node: peer,
                         addr: cell.addr,
-                    });
+                    };
+                    let scratch = gas.scratch_addr();
+                    gas.mem().write_u32(scratch, v);
+                    gas.put(scratch, cell, 4);
+                    if !gas.sync_until(deadline) {
+                        break;
+                    }
+                    gas.get(cell, scratch, 4);
+                    if !gas.sync_until(deadline) {
+                        break;
+                    }
+                    let r = gas.mem().read_u32(scratch);
                     let mut p = probe.lock();
                     if r == v {
                         p.stream(format!("n{node}:rt")).push(i);
@@ -576,6 +657,12 @@ fn spawn_splitc(
                             .push(format!("splitc n{node} rt {i}: read {r:#x} want {v:#x}"));
                     }
                 }
+                // Closing barrier: a node that returns while its peer still
+                // has round-trips in flight is, to the peer, a crash (§1.1).
+                // The barrier polls — it keeps serving the peer's requests —
+                // and every loop above is deadline-bounded, so everyone
+                // reaches it even when a fault window severed the fabric.
+                gas.barrier();
             }
             settle(am, tail, &probe, |_| {});
         });

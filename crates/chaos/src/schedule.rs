@@ -28,12 +28,23 @@
 //! cable_kill from 0 to 1 lane 2
 //! ```
 //!
-//! Both headers serialize only when they differ from the single-frame
-//! round-robin default, so every pre-topology schedule file (and every
-//! pinned reproducer report) keeps its exact bytes.
+//! The reliability layer adds one more header directive and two events
+//! (node sets in `partition` are bitmasks, node `i` ⇒ bit `i`):
+//!
+//! ```text
+//! reliability adaptive_rto 1 sack 1 min_rto_ns 50000 max_rto_ns 4000000 granularity_ns 10000 backoff_cap 6
+//! crash node 1 at 300000 down 500000
+//! partition a 1 b 2 from 100000 until 900000
+//! ```
+//!
+//! All such headers serialize only when they differ from the classic
+//! default (single frame, round-robin, legacy go-back-N reliability), so
+//! every pre-existing schedule file (and every pinned reproducer report)
+//! keeps its exact bytes.
 //!
 //! Lines starting with `#` are comments. All times are virtual nanoseconds.
 
+use sp_am::ReliabilityConfig;
 use sp_switch::RoutePolicy;
 use std::fmt;
 
@@ -166,6 +177,34 @@ pub enum FaultEvent {
         /// Pause length (ns).
         dur_ns: u64,
     },
+    /// Crash a node's program at `at_ns`: its adapter FIFOs and all AM
+    /// channel/epoch state are wiped, the node stays dark for `down_ns`
+    /// (arrivals during the outage are lost too), then it restarts with a
+    /// bumped incarnation epoch. Handlers and application memory survive
+    /// (the model crashes the *communication subsystem*, not the test
+    /// harness). Applied at the first poll-loop iteration at or after
+    /// `at_ns`, like [`FaultEvent::Pause`].
+    Crash {
+        /// Node that crashes.
+        node: usize,
+        /// Crash instant (virtual ns).
+        at_ns: u64,
+        /// Outage length (ns) before the restart.
+        down_ns: u64,
+    },
+    /// Bidirectional partition between two node sets (bitmasks: node `i` ⇒
+    /// bit `i`) over `[from_ns, until_ns)`: packets crossing the split in
+    /// either direction are dropped; intra-side traffic is unaffected.
+    Partition {
+        /// One side of the split (bitmask).
+        a: u64,
+        /// The other side (bitmask).
+        b: u64,
+        /// Partition begins (inclusive, virtual ns).
+        from_ns: u64,
+        /// Partition heals (exclusive, virtual ns).
+        until_ns: u64,
+    },
     /// Permanently sever one cable lane of a frame pair: every packet
     /// routed onto it is dropped, for the whole run. Directional (only the
     /// `from -> to` cable dies); ignored on single-frame machines or when
@@ -240,6 +279,21 @@ impl fmt::Display for FaultEvent {
             } => {
                 write!(f, "pause node {node} at {at_ns} dur {dur_ns}")
             }
+            FaultEvent::Crash {
+                node,
+                at_ns,
+                down_ns,
+            } => {
+                write!(f, "crash node {node} at {at_ns} down {down_ns}")
+            }
+            FaultEvent::Partition {
+                a,
+                b,
+                from_ns,
+                until_ns,
+            } => {
+                write!(f, "partition a {a} b {b} from {from_ns} until {until_ns}")
+            }
             FaultEvent::CableKill { from, to, lane } => {
                 write!(f, "cable_kill from {from} to {to} lane {lane}")
             }
@@ -291,6 +345,11 @@ pub struct Schedule {
     /// Fabric routing policy. Only observable on multi-frame machines,
     /// where the candidate routes ride distinct cables.
     pub route_policy: RoutePolicy,
+    /// AM reliability mode (legacy go-back-N by default). Serialized only
+    /// when non-default, so pre-reliability schedule files keep their
+    /// bytes; its hash is embedded in replay reports so a schedule replayed
+    /// under a different reliability configuration fails loudly.
+    pub reliability: ReliabilityConfig,
     /// The faults, applied in order.
     pub events: Vec<FaultEvent>,
 }
@@ -308,6 +367,7 @@ impl Schedule {
             tail_quiet_ns: 2_000_000,
             frames: 1,
             route_policy: RoutePolicy::RoundRobin,
+            reliability: ReliabilityConfig::default(),
             events: Vec::new(),
         }
     }
@@ -331,6 +391,9 @@ impl Schedule {
         if self.route_policy != RoutePolicy::RoundRobin {
             let _ = writeln!(s, "route_policy {}", policy_name(self.route_policy));
         }
+        if !self.reliability.is_legacy() {
+            let _ = writeln!(s, "reliability {}", self.reliability.format_fields());
+        }
         for ev in &self.events {
             let _ = writeln!(s, "{ev}");
         }
@@ -343,6 +406,7 @@ impl Schedule {
         let mut sched: Option<Schedule> = None;
         let mut header: Vec<(String, u64)> = Vec::new();
         let mut policy: Option<RoutePolicy> = None;
+        let mut reliability: Option<ReliabilityConfig> = None;
         let mut events = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -375,6 +439,43 @@ impl Schedule {
                     events.push(FaultEvent::FifoShrink {
                         node: f[0] as usize,
                         capacity: f[1] as usize,
+                        from_ns: f[2],
+                        until_ns: f[3],
+                    });
+                }
+                "reliability" => {
+                    let f = parse_fields(
+                        &tok[1..],
+                        &[
+                            "adaptive_rto",
+                            "sack",
+                            "min_rto_ns",
+                            "max_rto_ns",
+                            "granularity_ns",
+                            "backoff_cap",
+                        ],
+                    )
+                    .ok_or_else(|| err("bad reliability directive"))?;
+                    reliability = Some(
+                        ReliabilityConfig::from_values(&f)
+                            .ok_or_else(|| err("bad reliability values"))?,
+                    );
+                }
+                "crash" => {
+                    let f = parse_fields(&tok[1..], &["node", "at", "down"])
+                        .ok_or_else(|| err("bad crash event"))?;
+                    events.push(FaultEvent::Crash {
+                        node: f[0] as usize,
+                        at_ns: f[1],
+                        down_ns: f[2],
+                    });
+                }
+                "partition" => {
+                    let f = parse_fields(&tok[1..], &["a", "b", "from", "until"])
+                        .ok_or_else(|| err("bad partition event"))?;
+                    events.push(FaultEvent::Partition {
+                        a: f[0],
+                        b: f[1],
                         from_ns: f[2],
                         until_ns: f[3],
                     });
@@ -428,6 +529,9 @@ impl Schedule {
         }
         if let Some(p) = policy {
             sched.route_policy = p;
+        }
+        if let Some(r) = reliability {
+            sched.reliability = r;
         }
         sched.events = events;
         Ok(sched)
@@ -602,6 +706,40 @@ mod tests {
     }
 
     #[test]
+    fn reliability_crash_and_partition_round_trip() {
+        let mut s = sample();
+        s.reliability = ReliabilityConfig::adaptive();
+        s.events.push(FaultEvent::Crash {
+            node: 1,
+            at_ns: 300_000,
+            down_ns: 500_000,
+        });
+        s.events.push(FaultEvent::Partition {
+            a: 0b01,
+            b: 0b10,
+            from_ns: 100_000,
+            until_ns: 900_000,
+        });
+        let text = s.format();
+        assert!(text.contains(
+            "reliability adaptive_rto 1 sack 1 min_rto_ns 50000 \
+             max_rto_ns 4000000 granularity_ns 10000 backoff_cap 6\n"
+        ));
+        assert!(text.contains("crash node 1 at 300000 down 500000\n"));
+        assert!(text.contains("partition a 1 b 2 from 100000 until 900000\n"));
+        let back = Schedule::parse(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.format(), text);
+    }
+
+    #[test]
+    fn legacy_reliability_serializes_to_the_pre_reliability_bytes() {
+        let s = sample();
+        assert!(s.reliability.is_legacy());
+        assert!(!s.format().contains("reliability"));
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(Schedule::parse("").is_err());
         assert!(Schedule::parse("workload nope").is_err());
@@ -610,6 +748,9 @@ mod tests {
         assert!(Schedule::parse("workload pingpong\ndrop index").is_err());
         assert!(Schedule::parse("workload pingpong\nroute_policy hottest").is_err());
         assert!(Schedule::parse("workload pingpong\ncable_kill from 0 to 1").is_err());
+        assert!(Schedule::parse("workload pingpong\ncrash node 1 at 5").is_err());
+        assert!(Schedule::parse("workload pingpong\npartition a 1 b 2 from 0").is_err());
+        assert!(Schedule::parse("workload pingpong\nreliability adaptive_rto 2").is_err());
     }
 
     #[test]

@@ -7,14 +7,25 @@ use crate::schedule::Schedule;
 ///
 /// Greedy delta-debugging over the event list: repeatedly try removing
 /// each event; whenever the failure persists without it, keep the smaller
-/// schedule and restart. Deterministic — `fails` is assumed to be a pure
-/// function of the schedule (which [`crate::run::run`] guarantees).
+/// schedule and restart. A non-default reliability configuration is also
+/// tried at legacy (one extra candidate per round), so reproducers only
+/// mention the adaptive layer when it is actually implicated.
+/// Deterministic — `fails` is assumed to be a pure function of the
+/// schedule (which [`crate::run::run`] guarantees).
 pub fn shrink(base: &Schedule, mut fails: impl FnMut(&Schedule) -> bool) -> Schedule {
     let mut cur = base.clone();
     'outer: loop {
         for i in 0..cur.events.len() {
             let mut cand = cur.clone();
             cand.events.remove(i);
+            if fails(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        if !cur.reliability.is_legacy() {
+            let mut cand = cur.clone();
+            cand.reliability = Default::default();
             if fails(&cand) {
                 cur = cand;
                 continue 'outer;
@@ -60,5 +71,25 @@ mod tests {
             min.events,
             vec![FaultEvent::DropIndex(1), FaultEvent::DropIndex(3)]
         );
+    }
+
+    #[test]
+    fn drops_uninvolved_reliability_config() {
+        let mut s = Schedule::new(Workload::PingPong);
+        s.reliability = sp_am::ReliabilityConfig::adaptive();
+        s.events = vec![FaultEvent::Crash {
+            node: 1,
+            at_ns: 5,
+            down_ns: 7,
+        }];
+        // Fails regardless of the reliability mode: the config shrinks away.
+        let min = shrink(&s, |c| !c.events.is_empty());
+        assert!(min.reliability.is_legacy());
+        assert_eq!(min.events.len(), 1);
+
+        // Fails *only* under the adaptive config: it must survive.
+        let min = shrink(&s, |c| !c.reliability.is_legacy());
+        assert!(!min.reliability.is_legacy());
+        assert!(min.events.is_empty());
     }
 }

@@ -4,7 +4,8 @@
 //! shipped schedules behave as pinned.
 
 use sp_chaos::{
-    judge, package_failure, replay, run_campaign, FaultEvent, RoutePolicy, Schedule, Workload,
+    judge, judge_sharded, package_failure, replay, replay_sharded, repro_text, run_campaign,
+    FaultEvent, ReliabilityConfig, RoutePolicy, Schedule, Workload,
 };
 
 /// Keep-alive disabled plus a drop of the final reply packet (index
@@ -195,6 +196,186 @@ fn topology_aware_failing_schedule_shrinks_to_one_event() {
     assert!(f.repro.contains("route_policy adaptive\n"));
     let rep = replay(&f.repro).expect("reproducer must parse");
     assert_eq!(rep.matches(), Some(true), "replay drifted:\n{}", rep.report);
+}
+
+/// Node 1 crashes 600 µs into a lossy pingpong under the adaptive
+/// reliability config: the restart bumps its incarnation epoch, the
+/// sender's channels reincarnate, and the run must still reach
+/// exactly-once (modulo crash-straddling redelivery) and quiescence.
+fn crash_schedule() -> Schedule {
+    let mut s = Schedule::new(Workload::PingPong);
+    s.msgs = 12;
+    s.seed = 77;
+    s.reliability = ReliabilityConfig::adaptive();
+    s.events = vec![
+        FaultEvent::DropWindow {
+            p: 0.15,
+            from_ns: 0,
+            until_ns: 2_000_000,
+        },
+        FaultEvent::Crash {
+            node: 1,
+            at_ns: 600_000,
+            down_ns: 500_000,
+        },
+    ];
+    s
+}
+
+#[test]
+fn crash_restart_recovers_exactly_once_and_reports_recovery() {
+    let j = judge(&crash_schedule());
+    assert!(
+        j.violations.is_empty(),
+        "crash/restart must recover over the lossless tail: {:?}",
+        j.violations
+    );
+    let n1 = &j
+        .outcome
+        .nodes
+        .iter()
+        .find(|n| n.node == 1)
+        .expect("node 1 ran")
+        .stats;
+    assert_eq!(n1.restarts, 1, "exactly one restart happened");
+    assert_eq!(n1.epoch, 1, "the restart must bump the incarnation epoch");
+    assert!(n1.recovery_ns > 0, "the restart must clock its recovery");
+    assert!(
+        j.report.contains("reliability: config") && j.report.contains("restarts 1"),
+        "crash runs must report the reliability layer:\n{}",
+        j.report
+    );
+}
+
+#[test]
+fn healed_partition_quiesces_exactly_once() {
+    // Sever node 0 from node 1 for 700 µs mid-run; once healed, the
+    // reliability layer must redeliver everything the partition ate,
+    // exactly once, and the run must fully quiesce.
+    let mut s = Schedule::new(Workload::PingPong);
+    s.msgs = 12;
+    s.events = vec![FaultEvent::Partition {
+        a: 0b01,
+        b: 0b10,
+        from_ns: 200_000,
+        until_ns: 900_000,
+    }];
+    let j = judge(&s);
+    assert!(
+        j.violations.is_empty(),
+        "healed partition must end exactly-once: {:?}",
+        j.violations
+    );
+    assert!(
+        j.outcome.switch.dropped > 0,
+        "the partition window must actually sever traffic"
+    );
+}
+
+#[test]
+fn splitc_partition_straddling_the_quiet_tail_completes() {
+    // Regression: a dead inter-frame cable slows the Split-C round-trips
+    // into a partition window *longer than the quiet tail*, so one node
+    // used to finish, hear nothing but partition silence, drain, and
+    // exit — stranding its peer in an unbounded blocking read that spun
+    // until the event budget aborted the run. The workload's waits are
+    // now deadline-bounded and a closing barrier keeps every service
+    // window open until all nodes finish.
+    let mut s = Schedule::new(Workload::SplitcRoundtrips);
+    s.seed = 6;
+    s.msgs = 6;
+    s.frames = 2;
+    s.events = vec![
+        FaultEvent::CableKill {
+            from: 0,
+            to: 1,
+            lane: 2,
+        },
+        FaultEvent::Partition {
+            a: 0b01,
+            b: 0b10,
+            from_ns: 1_144_380,
+            until_ns: 3_081_407,
+        },
+    ];
+    let j = judge(&s);
+    assert!(
+        j.violations.is_empty(),
+        "healed partition + dead cable must still complete: {:?}",
+        j.violations
+    );
+    for n in ["n0:rt", "n1:rt"] {
+        let got = j
+            .outcome
+            .streams
+            .iter()
+            .find(|(name, _)| name == n)
+            .map(|(_, ids)| ids.len());
+        assert_eq!(got, Some(6), "{n} must finish every round-trip");
+    }
+}
+
+#[test]
+fn crash_schedule_replays_byte_identically_across_shards() {
+    let s = crash_schedule();
+    let serial = judge(&s);
+    assert!(serial.violations.is_empty(), "{:?}", serial.violations);
+    for shards in [2, 4] {
+        let sharded = judge_sharded(&s, shards);
+        assert_eq!(
+            serial.report, sharded.report,
+            "crash/restart run diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn replay_under_a_different_reliability_config_fails_loudly() {
+    let s = crash_schedule();
+    let j = judge(&s);
+    assert!(j.violations.is_empty(), "{:?}", j.violations);
+    let repro = repro_text(&s, &j.report);
+    let faithful = replay(&repro).expect("reproducer must parse");
+    assert_eq!(faithful.matches(), Some(true));
+
+    // Strip the reliability directive: same schedule, legacy config. The
+    // config hash embedded in the expected report must catch the swap even
+    // if every counter happened to coincide.
+    let tampered: String = repro
+        .lines()
+        .filter(|l| !l.starts_with("reliability "))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let rep = replay(&tampered).expect("tampered reproducer still parses");
+    assert_eq!(
+        rep.matches(),
+        Some(false),
+        "a replay under a different reliability config must fail loudly"
+    );
+    assert!(
+        rep.report.contains("reliability: config"),
+        "crash schedules report the config hash even in legacy mode:\n{}",
+        rep.report
+    );
+}
+
+#[test]
+fn pinned_crash_schedule_replays_serial_and_sharded() {
+    let text = include_str!("../schedules/crash.sched");
+    let rep = replay(text).unwrap();
+    assert_eq!(
+        rep.matches(),
+        Some(true),
+        "crash/restart behaviour drifted under the pinned schedule:\n{}",
+        rep.report
+    );
+    let rep4 = replay_sharded(text, 4).unwrap();
+    assert_eq!(
+        rep4.matches(),
+        Some(true),
+        "pinned crash schedule diverged under --parallel 4:\n{}",
+        rep4.report
+    );
 }
 
 #[test]

@@ -65,6 +65,27 @@ impl<'a, 'c> AmGas<'a, 'c> {
     pub fn am(&self) -> &Am<'c, SplitcSt> {
         self.am
     }
+
+    /// Deadline-bounded [`Gas::sync`]: poll until every outstanding get
+    /// and put of this node has completed, or virtual time reaches
+    /// `deadline`; returns whether completion was reached. The chaos
+    /// harness needs the bound — a fault window that severs the fabric
+    /// until after the peer has drained its quiet tail and exited would
+    /// wedge an unbounded completion loop forever.
+    pub fn sync_until(&mut self, deadline: Time) -> bool {
+        let t0 = self.am.now();
+        let (gi, pi) = (self.gets_issued, self.puts_issued);
+        while !(self.am.state().gets_done >= gi && self.am.state().puts_done >= pi) {
+            if self.am.now() >= deadline {
+                self.comm += self.am.now() - t0;
+                return false;
+            }
+            self.am.poll();
+        }
+        self.am.flush_sends();
+        self.comm += self.am.now() - t0;
+        true
+    }
 }
 
 impl Gas for AmGas<'_, '_> {

@@ -526,7 +526,7 @@ impl Switch {
         // the packet enters the fabric.
         let mut global_delay = false;
         let mut want_dup = false;
-        match self.fault.classify_at(ready) {
+        match self.fault.classify_pair_at(src, dst, ready) {
             FaultKind::Drop => {
                 return self.drop_at_first(path.links()[0], ready, ser, wire_bytes);
             }
@@ -657,7 +657,7 @@ impl Switch {
     pub fn fabric_phase(&mut self, mut t: StagedTransit) -> Option<StagedTransit> {
         let inj = self.topo.inj_link(t.src);
         let mut dropped = false;
-        match self.fault.classify_at(t.ready) {
+        match self.fault.classify_pair_at(t.src, t.dst, t.ready) {
             FaultKind::Drop => dropped = true,
             FaultKind::Duplicate => t.want_dup = true,
             FaultKind::Delay => t.global_delay = true,

@@ -66,6 +66,53 @@ pub struct FaultWindow {
     pub probability: f64,
 }
 
+/// A bidirectional network partition active over `[from, until)`: while
+/// the window is open, every packet whose source and destination fall on
+/// opposite sides of the split is dropped — in both directions. Node sets
+/// are bitmasks (node `i` ⇒ bit `i`, capped at 64 nodes), so the rule
+/// stays `Copy` and cheap to test per packet. Nodes in neither set (or in
+/// both) are unaffected.
+///
+/// Partitions are *topology* faults, not per-packet selectors: they draw
+/// nothing from the RNG and ignore `stop_after` (their own time window is
+/// the bound), so adding one never shifts the stochastic fault stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// One side of the split (bitmask, node `i` ⇒ bit `i`).
+    pub a_nodes: u64,
+    /// The other side (bitmask).
+    pub b_nodes: u64,
+    /// Partition begins (inclusive), in virtual time.
+    pub from: Time,
+    /// Partition heals (exclusive), in virtual time.
+    pub until: Time,
+}
+
+impl PartitionWindow {
+    fn bit(node: usize) -> u64 {
+        if node < 64 {
+            1u64 << node
+        } else {
+            0
+        }
+    }
+
+    /// Does this partition sever the (`src` → `dst`) path at `now`?
+    pub fn severs(&self, src: usize, dst: usize, now: Time) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        let (s, d) = (Self::bit(src), Self::bit(dst));
+        (s & self.a_nodes != 0 && d & self.b_nodes != 0)
+            || (s & self.b_nodes != 0 && d & self.a_nodes != 0)
+    }
+
+    /// Can this partition ever sever anything?
+    fn effective(&self) -> bool {
+        self.until > self.from && self.a_nodes != 0 && self.b_nodes != 0
+    }
+}
+
 /// Per-packet fault plan. All selectors compose; see [`FaultKind::rank`]
 /// for precedence when several hit the same packet.
 #[derive(Debug)]
@@ -90,6 +137,11 @@ pub struct FaultInjector {
     /// ([`FaultInjector::classify_at`]); `classify()` evaluates them at
     /// `Time::ZERO`.
     pub windows: Vec<FaultWindow>,
+    /// Bidirectional node-set partitions (see [`PartitionWindow`]). Only
+    /// meaningful on classification paths that know the packet's endpoints
+    /// ([`FaultInjector::classify_pair_at`]); the pairless paths ignore
+    /// them.
+    pub partitions: Vec<PartitionWindow>,
     /// Inject faults only among the first `stop_after` packets (if `Some`):
     /// tests use this to bound the lossy phase so graceful shutdown runs
     /// over a lossless tail.
@@ -116,6 +168,7 @@ impl FaultInjector {
             dup_indices: BTreeSet::new(),
             delay_indices: BTreeSet::new(),
             windows: Vec::new(),
+            partitions: Vec::new(),
             stop_after: None,
             rng: SmallRng::seed_from_u64(seed),
             next_index: 0,
@@ -167,6 +220,7 @@ impl FaultInjector {
                 .windows
                 .iter()
                 .all(|w| w.kind == FaultKind::None || w.probability == 0.0 || w.until <= w.from)
+            && self.partitions.iter().all(|p| !p.effective())
     }
 
     /// `true` when every packet is dropped unconditionally: the link is,
@@ -232,6 +286,20 @@ impl FaultInjector {
         }
         if self.delay_indices.contains(&idx) || p_delay {
             kind = kind.stronger(FaultKind::Delay);
+        }
+        kind
+    }
+
+    /// Classify the next packet, known to travel `src` → `dst` entering the
+    /// fabric at `now`. Runs [`FaultInjector::classify_at`] first — burning
+    /// exactly the same RNG draws, so pair-aware and pairless call sites
+    /// see identical stochastic streams — then overrides with `Drop` if any
+    /// partition severs the pair. Partitions ignore `stop_after` (their own
+    /// window is the bound).
+    pub fn classify_pair_at(&mut self, src: usize, dst: usize, now: Time) -> FaultKind {
+        let mut kind = self.classify_at(now);
+        if self.partitions.iter().any(|p| p.severs(src, dst, now)) {
+            kind = kind.stronger(FaultKind::Drop);
         }
         kind
     }
@@ -332,6 +400,65 @@ mod tests {
         let a: Vec<_> = (0..100).map(|_| plain.classify()).collect();
         let b: Vec<_> = (0..100).map(|_| pinned.classify()).collect();
         assert_eq!(a[1..], b[1..], "streams diverge after a pinned index");
+    }
+
+    #[test]
+    fn partition_severs_both_directions_inside_its_window() {
+        let mut inj = FaultInjector::none();
+        inj.partitions.push(PartitionWindow {
+            a_nodes: 0b0011, // nodes 0,1
+            b_nodes: 0b0100, // node 2
+            from: Time(1_000),
+            until: Time(2_000),
+        });
+        assert!(!inj.is_noop(), "an effective partition forces serial mode");
+        assert_eq!(inj.classify_pair_at(0, 2, Time(999)), FaultKind::None);
+        assert_eq!(inj.classify_pair_at(0, 2, Time(1_000)), FaultKind::Drop);
+        assert_eq!(inj.classify_pair_at(2, 1, Time(1_500)), FaultKind::Drop);
+        // Same-side and uninvolved pairs pass.
+        assert_eq!(inj.classify_pair_at(0, 1, Time(1_500)), FaultKind::None);
+        assert_eq!(inj.classify_pair_at(2, 3, Time(1_500)), FaultKind::None);
+        assert_eq!(inj.classify_pair_at(3, 0, Time(1_500)), FaultKind::None);
+        // Healed: traffic flows again.
+        assert_eq!(inj.classify_pair_at(0, 2, Time(2_000)), FaultKind::None);
+    }
+
+    /// Regression (uniform stream advance): partitions must draw nothing
+    /// from the RNG, so pair-aware classification of a partitioned world
+    /// yields the same stochastic stream as pairless classification.
+    #[test]
+    fn partition_does_not_shift_the_stochastic_stream() {
+        let mut plain = FaultInjector::bernoulli(0.3, 7);
+        let mut split = FaultInjector::bernoulli(0.3, 7);
+        split.partitions.push(PartitionWindow {
+            a_nodes: 0b01,
+            b_nodes: 0b10,
+            from: Time(0),
+            until: Time(1),
+        });
+        let a: Vec<_> = (0..100).map(|_| plain.classify_at(Time(5))).collect();
+        let b: Vec<_> = (0..100)
+            .map(|_| split.classify_pair_at(0, 1, Time(5)))
+            .collect();
+        assert_eq!(a, b, "closed partition altered the fault stream");
+    }
+
+    #[test]
+    fn ineffective_partitions_keep_the_injector_noop() {
+        let mut inj = FaultInjector::none();
+        inj.partitions.push(PartitionWindow {
+            a_nodes: 0b01,
+            b_nodes: 0, // empty side: can never sever
+            from: Time(0),
+            until: Time(1_000),
+        });
+        inj.partitions.push(PartitionWindow {
+            a_nodes: 0b01,
+            b_nodes: 0b10,
+            from: Time(1_000),
+            until: Time(1_000), // empty window
+        });
+        assert!(inj.is_noop());
     }
 
     /// Regression (uniform stream advance): `stop_after` must advance every

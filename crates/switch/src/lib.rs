@@ -40,5 +40,5 @@ mod fault;
 mod topology;
 
 pub use fabric::{gstats, RoutePolicy, StagedTransit, Switch, SwitchConfig, SwitchStats, Transit};
-pub use fault::{FaultInjector, FaultKind, FaultWindow};
+pub use fault::{FaultInjector, FaultKind, FaultWindow, PartitionWindow};
 pub use topology::{HopPath, LinkId, Topology, FRAME_PORTS, MAX_PATH_LINKS};

@@ -233,6 +233,31 @@ mod tests {
     }
 
     #[test]
+    fn reliability_instants_aggregate_as_counts() {
+        // The reliability layer's record kinds are all instants: metric
+        // aggregation must surface them as per-kind event counts.
+        let t = Tracer::new(2, 64);
+        t.instant(10, Track::program(0), Kind::AmRtoRtx, 3);
+        t.instant(20, Track::program(0), Kind::AmSackRtx, 1);
+        t.instant(30, Track::program(1), Kind::AmOooHold, 7);
+        t.instant(40, Track::program(1), Kind::AmStaleDrop, 0);
+        t.instant(50, Track::program(1), Kind::AmEpochAdopt, 1);
+        t.instant(60, Track::program(1), Kind::AmCrash, 1);
+        t.instant(70, Track::program(1), Kind::AmRestart, 1);
+        t.instant(80, Track::program(1), Kind::AmRecovered, 52_276);
+        t.instant(90, Track::program(0), Kind::AmRtoRtx, 2);
+        let m = Metrics::aggregate(&t.snapshot());
+        assert_eq!(m.counts[&Kind::AmRtoRtx], 2);
+        assert_eq!(m.counts[&Kind::AmSackRtx], 1);
+        assert_eq!(m.counts[&Kind::AmCrash], 1);
+        assert_eq!(m.counts[&Kind::AmRecovered], 1);
+        assert!(m.spans.is_empty(), "reliability kinds are instants");
+        let display = m.to_string();
+        assert!(display.contains("am-rto-rtx"));
+        assert!(display.contains("am-recovered"));
+    }
+
+    #[test]
     fn link_utilization_from_busy_spans() {
         let t = Tracer::new(2, 64);
         t.span(0, 4000, Track::switch_inj(0), Kind::LinkBusy, 256);

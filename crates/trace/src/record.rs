@@ -151,6 +151,30 @@ pub enum Kind {
     AmStore,
     /// A bulk get was initiated. `arg` is the payload length.
     AmGet,
+    /// The adaptive retransmission timeout expired: `arg` packets
+    /// (the oldest unacked sequence) re-entered the wire queue.
+    AmRtoRtx,
+    /// A SACK bitmap revealed receiver-side gaps: `arg` packets were
+    /// selectively retransmitted.
+    AmSackRtx,
+    /// An out-of-order packet was buffered for selective repeat instead of
+    /// being dropped. `arg` is its sequence number.
+    AmOooHold,
+    /// A packet from (or addressed to) a dead incarnation was dropped by
+    /// the epoch check. `arg` is the stale epoch.
+    AmStaleDrop,
+    /// A peer's new incarnation epoch was adopted: receive state reset,
+    /// in-flight traffic renumbered. `arg` is the adopted epoch.
+    AmEpochAdopt,
+    /// This node crashed: all protocol and adapter-FIFO state wiped. `arg`
+    /// is the new incarnation epoch.
+    AmCrash,
+    /// This node finished restarting and resumed polling. `arg` is the
+    /// incarnation epoch.
+    AmRestart,
+    /// First delivered packet of the new incarnation: recovery complete.
+    /// `arg` is the recovery time in ns (restart to this delivery).
+    AmRecovered,
 
     // --- user / benchmark marks ---
     /// An application-defined span (e.g. one timed round trip). `arg` is
@@ -222,6 +246,14 @@ impl Kind {
             AmChunkEnd => "chunk-end",
             AmStore => "am-store",
             AmGet => "am-get",
+            AmRtoRtx => "am-rto-rtx",
+            AmSackRtx => "am-sack-rtx",
+            AmOooHold => "am-ooo-hold",
+            AmStaleDrop => "am-stale-drop",
+            AmEpochAdopt => "am-epoch-adopt",
+            AmCrash => "am-crash",
+            AmRestart => "am-restart",
+            AmRecovered => "am-recovered",
             UserSpan => "user-span",
             UserMark => "user-mark",
         }
