@@ -66,6 +66,24 @@ impl SpConfig {
         }
     }
 
+    /// A thin-node partition on a folded-Clos fat tree of full
+    /// frames-of-16: `radix^(levels-1)` leaf frames under `levels - 1`
+    /// spine tiers, thinned per tier by `oversubscription`. Cross-frame
+    /// packets climb to the lowest common spine group and back down,
+    /// paying one switch stage per up/down link crossed.
+    pub fn fat_tree(levels: usize, radix: usize, oversubscription: usize) -> Self {
+        SpConfig::with_topology(Topology::fat_tree(levels, radix, oversubscription))
+    }
+
+    /// A thin-node partition over an arbitrary prebuilt [`Topology`].
+    pub fn with_topology(topology: Topology) -> Self {
+        SpConfig {
+            nodes: topology.nodes(),
+            topology,
+            ..SpConfig::thin(1)
+        }
+    }
+
     /// The same partition with the given switch routing policy (builder
     /// style): `SpConfig::multi_frame(2, 4).routed(RoutePolicy::Adaptive)`.
     pub fn routed(mut self, policy: sp_switch::RoutePolicy) -> Self {

@@ -449,7 +449,9 @@ fn lane_spread(records: &[Record], cfg: &SpConfig, bin_ns: u64) -> f64 {
         sp_switch::Topology::MultiFrame {
             cables_per_pair, ..
         } => cables_per_pair,
-        sp_switch::Topology::SingleFrame { .. } => return 0.0,
+        // Lane spread is a flat frame-pair metric; fat-tree spine balance
+        // is reported by the traffic experiment instead.
+        _ => return 0.0,
     };
     let mut lanes: Vec<usize> = Vec::new();
     for from in 0..topo.frames() {

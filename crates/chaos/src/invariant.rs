@@ -247,7 +247,13 @@ pub fn report(out: &RunOutcome, violations: &[Violation]) -> String {
     );
     // Topology line only for multi-frame (or non-default policy) runs, so
     // every pre-topology pinned report keeps its exact bytes.
-    if s.frames > 1 || s.route_policy != RoutePolicy::RoundRobin {
+    if let Some((levels, radix, oversub, npf)) = s.fat_tree {
+        let _ = writeln!(
+            r,
+            "topology fat_tree levels {levels} radix {radix} oversub {oversub} npf {npf} route_policy {}",
+            policy_name(s.route_policy)
+        );
+    } else if s.frames > 1 || s.route_policy != RoutePolicy::RoundRobin {
         let _ = writeln!(
             r,
             "topology frames {} route_policy {}",

@@ -126,7 +126,21 @@ fn run_inner(s: &Schedule, trace: bool, shards: usize) -> RunOutcome {
     // policy; `frames 1` is the classic single-frame machine where the
     // policy has nothing to choose between.
     let frames = s.frames.max(1);
-    let (nodes, sp) = if frames > 1 {
+    let (nodes, sp) = if let Some((levels, radix, oversub, npf)) = s.fat_tree {
+        // A fat-tree header pins the whole machine shape: every leaf frame
+        // is fully populated, so `nodes`/`frames` are overridden.
+        let topo = sp_switch::Topology::fat_tree_custom(
+            levels,
+            radix,
+            oversub,
+            npf,
+            sp_switch::DEFAULT_CABLES_PER_PAIR,
+        );
+        (
+            topo.nodes(),
+            sp_adapter::SpConfig::with_topology(topo).routed(s.route_policy),
+        )
+    } else if frames > 1 {
         let per = nodes.div_ceil(frames);
         (
             frames * per,

@@ -28,6 +28,14 @@
 //! cable_kill from 0 to 1 lane 2
 //! ```
 //!
+//! Hierarchical machines instead declare a fat-tree shape (which overrides
+//! `frames`/`nodes`; `cable_kill` has no cables to sever there and is
+//! ignored):
+//!
+//! ```text
+//! fat_tree levels 2 radix 4 oversub 1 npf 4
+//! ```
+//!
 //! The reliability layer adds one more header directive and two events
 //! (node sets in `partition` are bitmasks, node `i` ⇒ bit `i`):
 //!
@@ -345,6 +353,12 @@ pub struct Schedule {
     /// Fabric routing policy. Only observable on multi-frame machines,
     /// where the candidate routes ride distinct cables.
     pub route_policy: RoutePolicy,
+    /// Hierarchical fat-tree topology `(levels, radix, oversubscription,
+    /// nodes_per_frame)`. When set it overrides `frames` and `nodes`: the
+    /// machine is `Topology::fat_tree_custom(..)` and every leaf frame is
+    /// fully populated. Serialized only when set, so flat schedule files
+    /// keep their exact bytes.
+    pub fat_tree: Option<(usize, usize, usize, usize)>,
     /// AM reliability mode (legacy go-back-N by default). Serialized only
     /// when non-default, so pre-reliability schedule files keep their
     /// bytes; its hash is embedded in replay reports so a schedule replayed
@@ -367,6 +381,7 @@ impl Schedule {
             tail_quiet_ns: 2_000_000,
             frames: 1,
             route_policy: RoutePolicy::RoundRobin,
+            fat_tree: None,
             reliability: ReliabilityConfig::default(),
             events: Vec::new(),
         }
@@ -391,6 +406,12 @@ impl Schedule {
         if self.route_policy != RoutePolicy::RoundRobin {
             let _ = writeln!(s, "route_policy {}", policy_name(self.route_policy));
         }
+        if let Some((levels, radix, oversub, npf)) = self.fat_tree {
+            let _ = writeln!(
+                s,
+                "fat_tree levels {levels} radix {radix} oversub {oversub} npf {npf}"
+            );
+        }
         if !self.reliability.is_legacy() {
             let _ = writeln!(s, "reliability {}", self.reliability.format_fields());
         }
@@ -406,6 +427,7 @@ impl Schedule {
         let mut sched: Option<Schedule> = None;
         let mut header: Vec<(String, u64)> = Vec::new();
         let mut policy: Option<RoutePolicy> = None;
+        let mut fat_tree: Option<(usize, usize, usize, usize)> = None;
         let mut reliability: Option<ReliabilityConfig> = None;
         let mut events = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
@@ -429,6 +451,22 @@ impl Schedule {
                 "route_policy" => {
                     let name = tok.get(1).ok_or_else(|| err("missing route policy"))?;
                     policy = Some(parse_policy(name).ok_or_else(|| err("unknown route policy"))?);
+                }
+                "fat_tree" => {
+                    let f = parse_fields(&tok[1..], &["levels", "radix", "oversub", "npf"])
+                        .ok_or_else(|| err("bad fat_tree header"))?;
+                    let (levels, radix, oversub, npf) =
+                        (f[0] as usize, f[1] as usize, f[2] as usize, f[3] as usize);
+                    // Validate here so a hostile schedule file errors instead
+                    // of panicking inside the topology constructor.
+                    if !(2..=sp_switch::MAX_PATH_LINKS / 2).contains(&levels)
+                        || radix < 2
+                        || oversub < 1
+                        || !(1..=sp_switch::FRAME_PORTS).contains(&npf)
+                    {
+                        return Err(err("fat_tree shape out of range"));
+                    }
+                    fat_tree = Some((levels, radix, oversub, npf));
                 }
                 "drop" | "dup" | "delay" => {
                     events.push(parse_fault(&tok).ok_or_else(|| err("bad fault event"))?);
@@ -530,6 +568,7 @@ impl Schedule {
         if let Some(p) = policy {
             sched.route_policy = p;
         }
+        sched.fat_tree = fat_tree;
         if let Some(r) = reliability {
             sched.reliability = r;
         }
@@ -691,6 +730,28 @@ mod tests {
         let back = Schedule::parse(&text).unwrap();
         assert_eq!(back, s);
         assert_eq!(back.format(), text);
+    }
+
+    #[test]
+    fn fat_tree_header_round_trips_and_validates() {
+        let mut s = sample();
+        s.fat_tree = Some((2, 4, 1, 4));
+        let text = s.format();
+        assert!(text.contains("fat_tree levels 2 radix 4 oversub 1 npf 4\n"));
+        let back = Schedule::parse(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.format(), text);
+        // Flat schedules never mention the header.
+        assert!(!sample().format().contains("fat_tree"));
+        // Hostile shapes error instead of panicking downstream.
+        for bad in [
+            "workload pingpong\nfat_tree levels 9 radix 4 oversub 1 npf 4",
+            "workload pingpong\nfat_tree levels 2 radix 1 oversub 1 npf 4",
+            "workload pingpong\nfat_tree levels 2 radix 4 oversub 0 npf 4",
+            "workload pingpong\nfat_tree levels 2 radix 4 oversub 1 npf 17",
+        ] {
+            assert!(Schedule::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

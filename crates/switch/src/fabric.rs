@@ -690,13 +690,17 @@ impl Switch {
             // Same-frame: the next (and final) stage is the ejection link.
             return Some(t);
         }
-        debug_assert_eq!(links.len(), 3, "paths are at most inj-cable-ej");
-        if self.staged_hop(&mut t, links[1], inj, false) {
-            t.hops = 2;
-            Some(t)
-        } else {
-            None
+        // Walk every intermediate stage — one flat cable, or a fat tree's
+        // up- and down-links — exactly like the serial delivery loop.
+        let mut prev = inj;
+        for &link in &links[1..links.len() - 1] {
+            if !self.staged_hop(&mut t, link, prev, false) {
+                return None;
+            }
+            prev = link;
         }
+        t.hops = (links.len() - 1) as u64;
+        Some(t)
     }
 
     /// Final stage of a sharded staged transit: classify and claim the
@@ -711,7 +715,10 @@ impl Switch {
         let ser = self.serialization(t.wire_bytes);
         let link = self.topo.ej_link(t.dst);
         let prev = if t.hops >= 2 {
-            self.topo.path(t.src, t.dst, t.route).links()[1]
+            // The last link claimed before ejection: the packet's final
+            // intermediate stage (flat cable, or deepest fat-tree down-link).
+            let path = self.topo.path(t.src, t.dst, t.route);
+            path.links()[path.links().len() - 2]
         } else {
             self.topo.inj_link(t.src)
         };

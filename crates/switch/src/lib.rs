@@ -41,4 +41,6 @@ mod topology;
 
 pub use fabric::{gstats, RoutePolicy, StagedTransit, Switch, SwitchConfig, SwitchStats, Transit};
 pub use fault::{FaultInjector, FaultKind, FaultWindow, PartitionWindow};
-pub use topology::{HopPath, LinkId, Topology, FRAME_PORTS, MAX_PATH_LINKS};
+pub use topology::{
+    HopPath, LinkClass, LinkId, Topology, DEFAULT_CABLES_PER_PAIR, FRAME_PORTS, MAX_PATH_LINKS,
+};

@@ -1,0 +1,460 @@
+//! # sp-traffic — open-loop datacenter workload generator
+//!
+//! The paper's measurements are single-flow microbenchmarks; what stresses
+//! a production fabric is many small irregular request/response flows
+//! arriving on their own clock. This crate generates that traffic against
+//! the AM service tier on large (512–1024 node) hierarchical fabrics:
+//!
+//! * **Open loop** — every client's arrival schedule is precomputed from a
+//!   seeded RNG before the machine starts, and requests are issued at
+//!   their scheduled virtual times regardless of how far behind the
+//!   responses are. Latency therefore includes queueing delay, which is
+//!   the quantity that explodes past saturation (closed-loop generators
+//!   self-throttle and hide it).
+//! * **Poisson and bursty arrivals** — per-client exponential
+//!   inter-arrival gaps, or a two-state Markov-modulated process whose ON
+//!   bursts run hotter and OFF lulls colder than the mean rate.
+//! * **Heavy-tailed sizes** — bounded-Pareto request payloads, the
+//!   standard datacenter RPC size model.
+//! * **Incast** — a configurable N-into-1 fan-in burst pinned to one
+//!   virtual instant, the classic FIFO-overflow scenario.
+//!
+//! Every random draw lives in a per-client RNG lane (the client id is
+//! mixed into the seed) and each arrival consumes a fixed number of draws
+//! regardless of configuration, so inserting unrelated flows — enabling
+//! incast, say — cannot shift any other client's schedule. This is the
+//! same one-draw discipline the chaos fault injectors established.
+//!
+//! [`run::run_traffic`] drives the schedule over `sp-am` stores: each flow
+//! is an `am_store_async` of the sampled payload to a server whose remote
+//! handler replies one word back, and the client-side reply handler
+//! timestamps completion. Reports carry p50/p99/p999 virtual-time latency
+//! through [`sp_trace::Digest`] plus offered-load vs goodput, and hash to
+//! a single fingerprint asserted serial ≡ parallel in the test battery.
+
+#![warn(missing_docs)]
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+pub mod run;
+
+pub use run::{run_traffic, saturation_sweep, LoadPoint, TrafficReport};
+
+/// Per-client arrival process. Rates are arrivals per second of virtual
+/// time, per client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Memoryless arrivals: exponential inter-arrival gaps at `rate_hz`.
+    Poisson {
+        /// Mean arrival rate per client (1/s).
+        rate_hz: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: ON periods arrive at
+    /// `rate_hz * burst`, OFF periods at `rate_hz / burst`, and the state
+    /// toggles with probability `switch_p` after each arrival.
+    Bursty {
+        /// Mean-ish arrival rate per client (1/s); the time-average rate
+        /// depends on the ON/OFF split the switching walk produces.
+        rate_hz: f64,
+        /// Burstiness factor (≥ 1): how much hotter ON runs than the mean.
+        burst: f64,
+        /// Per-arrival state-toggle probability in (0, 1].
+        switch_p: f64,
+    },
+}
+
+/// Request payload size distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDist {
+    /// Every request carries exactly `bytes` of payload.
+    Fixed {
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// Bounded Pareto on `[min_bytes, max_bytes]` with shape `alpha` —
+    /// heavy-tailed: most requests are small, rare ones huge.
+    BoundedPareto {
+        /// Tail shape (smaller = heavier tail); 1.1–1.5 is typical.
+        alpha: f64,
+        /// Smallest payload.
+        min_bytes: u32,
+        /// Largest payload.
+        max_bytes: u32,
+    },
+}
+
+impl SizeDist {
+    /// The largest payload this distribution can emit.
+    pub fn max_bytes(&self) -> u32 {
+        match *self {
+            SizeDist::Fixed { bytes } => bytes,
+            SizeDist::BoundedPareto { max_bytes, .. } => max_bytes,
+        }
+    }
+}
+
+/// An N-into-1 fan-in burst: `fan_in` clients each fire one `bytes`-byte
+/// request at `server` at virtual time `at_ns`, on top of the background
+/// load. The clients are the highest-numbered ones, chosen without
+/// consuming any RNG draws so background lanes are untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Incast {
+    /// Number of simultaneous senders.
+    pub fan_in: usize,
+    /// The shared target (must be a server node).
+    pub server: usize,
+    /// Virtual instant every sender fires.
+    pub at_ns: u64,
+    /// Payload bytes per sender.
+    pub bytes: u32,
+}
+
+/// Workload description: who sends what, when, to whom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConfig {
+    /// Master seed; every derived RNG lane mixes this with the client id.
+    pub seed: u64,
+    /// The first `servers` nodes serve; the rest are clients.
+    pub servers: usize,
+    /// Background arrival process per client.
+    pub arrival: Arrival,
+    /// Request payload sizes.
+    pub size: SizeDist,
+    /// Arrivals are generated in `[0, horizon_ns)`; the run itself lasts
+    /// until the last response lands.
+    pub horizon_ns: u64,
+    /// Optional incast burst on top of the background load.
+    pub incast: Option<Incast>,
+    /// AM keep-alive threshold (idle polls before probing a silent peer);
+    /// bounds loss-recovery tails under incast drops.
+    pub keepalive_polls: u32,
+    /// Engine event budget: a run that executes more events than this
+    /// panics with the virtual time reached instead of spinning forever.
+    /// The guardrail that turns a recovery livelock (or a workload sized
+    /// past convergence) into a diagnosable failure. `None` = unlimited.
+    pub event_budget: Option<u64>,
+    /// Override every adapter's receive-FIFO capacity (entries). `None`
+    /// keeps the hardware default (`recv_entries_per_node * nodes`).
+    /// Incast regression tests squeeze this to force overflow drops the
+    /// way the chaos harness does.
+    pub recv_capacity: Option<usize>,
+}
+
+impl TrafficConfig {
+    /// A small default workload: Poisson arrivals of bounded-Pareto
+    /// requests from every client, no incast.
+    pub fn new(servers: usize) -> TrafficConfig {
+        TrafficConfig {
+            seed: 1,
+            servers,
+            arrival: Arrival::Poisson { rate_hz: 20_000.0 },
+            size: SizeDist::BoundedPareto {
+                alpha: 1.3,
+                min_bytes: 64,
+                max_bytes: 4096,
+            },
+            horizon_ns: 500_000,
+            incast: None,
+            keepalive_polls: 64,
+            event_budget: Some(200_000_000),
+            recv_capacity: None,
+        }
+    }
+
+    /// The same workload with the arrival rate scaled by `x` — the knob a
+    /// saturation sweep turns.
+    pub fn scaled(mut self, x: f64) -> TrafficConfig {
+        self.arrival = match self.arrival {
+            Arrival::Poisson { rate_hz } => Arrival::Poisson {
+                rate_hz: rate_hz * x,
+            },
+            Arrival::Bursty {
+                rate_hz,
+                burst,
+                switch_p,
+            } => Arrival::Bursty {
+                rate_hz: rate_hz * x,
+                burst,
+                switch_p,
+            },
+        };
+        self
+    }
+}
+
+/// One scheduled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Virtual time the client issues the request.
+    pub at_ns: u64,
+    /// Destination server node.
+    pub server: usize,
+    /// Payload bytes.
+    pub bytes: u32,
+}
+
+/// The fully expanded workload: per-node flow lists (server nodes have
+/// empty lists), sorted by issue time within each client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficSchedule {
+    /// `flows[node]` is node `node`'s request list in issue order.
+    pub flows: Vec<Vec<Flow>>,
+}
+
+impl TrafficSchedule {
+    /// Expand `cfg` into every client's arrival schedule for a machine of
+    /// `nodes` nodes. Pure: same config and node count ⇒ byte-identical
+    /// schedule, independent of engine mode or machine state.
+    pub fn generate(cfg: &TrafficConfig, nodes: usize) -> TrafficSchedule {
+        assert!(cfg.servers >= 1, "need at least one server");
+        assert!(cfg.servers < nodes, "need at least one client");
+        let mut flows: Vec<Vec<Flow>> = vec![Vec::new(); nodes];
+        for (client, lane) in flows.iter_mut().enumerate().skip(cfg.servers) {
+            *lane = client_lane(cfg, client);
+        }
+        if let Some(inc) = cfg.incast {
+            assert!(inc.server < cfg.servers, "incast target must be a server");
+            assert!(inc.fan_in <= nodes - cfg.servers, "incast fan-in too wide");
+            // The highest-numbered clients fire; no RNG lane is consulted,
+            // so the background schedules above are untouched.
+            for lane in flows.iter_mut().skip(nodes - inc.fan_in) {
+                lane.push(Flow {
+                    at_ns: inc.at_ns,
+                    server: inc.server,
+                    bytes: inc.bytes,
+                });
+                lane.sort_by_key(|f| f.at_ns);
+            }
+        }
+        TrafficSchedule { flows }
+    }
+
+    /// Total scheduled requests.
+    pub fn total_flows(&self) -> usize {
+        self.flows.iter().map(Vec::len).sum()
+    }
+
+    /// Total scheduled payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.flows.iter().flatten().map(|f| f.bytes as u64).sum()
+    }
+
+    /// FNV-1a fingerprint of the whole schedule — the determinism tests'
+    /// byte-identity check.
+    pub fn hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        for (node, list) in self.flows.iter().enumerate() {
+            h.write(node as u64);
+            h.write(list.len() as u64);
+            for f in list {
+                h.write(f.at_ns);
+                h.write(f.server as u64);
+                h.write(f.bytes as u64);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// One client's background arrival lane. Exactly four RNG draws per
+/// arrival — state, gap, server, size — whatever the configuration, so
+/// every configuration reads the same positions of the same lane.
+fn client_lane(cfg: &TrafficConfig, client: usize) -> Vec<Flow> {
+    let mut rng =
+        SmallRng::seed_from_u64(cfg.seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut out = Vec::new();
+    let mut t_ns = 0.0f64;
+    let mut on = true;
+    loop {
+        let u_state: f64 = rng.gen();
+        let u_gap: f64 = rng.gen();
+        let srv_draw: u64 = rng.gen();
+        let u_size: f64 = rng.gen();
+        let rate = match cfg.arrival {
+            Arrival::Poisson { rate_hz } => rate_hz,
+            Arrival::Bursty {
+                rate_hz,
+                burst,
+                switch_p,
+            } => {
+                if u_state < switch_p {
+                    on = !on;
+                }
+                if on {
+                    rate_hz * burst
+                } else {
+                    rate_hz / burst
+                }
+            }
+        };
+        // Exponential gap at the current rate; 1-u keeps ln() finite.
+        t_ns += -(1.0 - u_gap).ln() / rate * 1e9;
+        if t_ns >= cfg.horizon_ns as f64 {
+            return out;
+        }
+        let bytes = match cfg.size {
+            SizeDist::Fixed { bytes } => bytes,
+            SizeDist::BoundedPareto {
+                alpha,
+                min_bytes,
+                max_bytes,
+            } => {
+                let (l, h) = (min_bytes as f64, max_bytes as f64);
+                let x = l / (1.0 - u_size * (1.0 - (l / h).powf(alpha))).powf(1.0 / alpha);
+                (x as u32).clamp(min_bytes, max_bytes)
+            }
+        };
+        out.push(Flow {
+            at_ns: t_ns as u64,
+            server: (srv_draw % cfg.servers as u64) as usize,
+            bytes,
+        });
+    }
+}
+
+/// FNV-1a over u64 words — the workspace's standard report fingerprint.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = TrafficConfig::new(2);
+        let a = TrafficSchedule::generate(&cfg, 16);
+        let b = TrafficSchedule::generate(&cfg, 16);
+        assert_eq!(a, b);
+        assert_eq!(a.hash(), b.hash());
+        assert!(a.total_flows() > 0, "horizon long enough to arrive");
+    }
+
+    #[test]
+    fn different_seed_different_schedule() {
+        let cfg = TrafficConfig::new(2);
+        let other = TrafficConfig {
+            seed: 2,
+            ..cfg.clone()
+        };
+        assert_ne!(
+            TrafficSchedule::generate(&cfg, 16).hash(),
+            TrafficSchedule::generate(&other, 16).hash()
+        );
+    }
+
+    #[test]
+    fn incast_insertion_leaves_background_lanes_untouched() {
+        let cfg = TrafficConfig::new(2);
+        let with = TrafficConfig {
+            incast: Some(Incast {
+                fan_in: 4,
+                server: 0,
+                at_ns: 100_000,
+                bytes: 2048,
+            }),
+            ..cfg.clone()
+        };
+        let plain = TrafficSchedule::generate(&cfg, 16);
+        let burst = TrafficSchedule::generate(&with, 16);
+        // Non-incast clients: byte-identical schedules.
+        for node in 0..12 {
+            assert_eq!(plain.flows[node], burst.flows[node], "lane {node} shifted");
+        }
+        // Incast clients: background flows preserved, one inserted flow.
+        for node in 12..16 {
+            assert_eq!(burst.flows[node].len(), plain.flows[node].len() + 1);
+            let inserted: Vec<_> = burst.flows[node]
+                .iter()
+                .filter(|f| !plain.flows[node].contains(f))
+                .collect();
+            assert_eq!(inserted.len(), 1);
+            assert_eq!(inserted[0].at_ns, 100_000);
+            assert_eq!(inserted[0].bytes, 2048);
+        }
+    }
+
+    #[test]
+    fn arrival_and_size_configs_share_rng_positions() {
+        // Switching the size distribution must not move arrival instants:
+        // every arrival consumes its four draws regardless.
+        let pareto = TrafficConfig::new(2);
+        let fixed = TrafficConfig {
+            size: SizeDist::Fixed { bytes: 256 },
+            ..pareto.clone()
+        };
+        let a = TrafficSchedule::generate(&pareto, 8);
+        let b = TrafficSchedule::generate(&fixed, 8);
+        for (la, lb) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(la.len(), lb.len());
+            for (fa, fb) in la.iter().zip(lb) {
+                assert_eq!(fa.at_ns, fb.at_ns);
+                assert_eq!(fa.server, fb.server);
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster() {
+        // A strongly modulated process must produce a larger variance of
+        // inter-arrival gaps than Poisson at the same mean rate.
+        let var = |arrival: Arrival| {
+            let cfg = TrafficConfig {
+                arrival,
+                horizon_ns: 5_000_000,
+                ..TrafficConfig::new(1)
+            };
+            let s = TrafficSchedule::generate(&cfg, 2);
+            let gaps: Vec<f64> = s.flows[1]
+                .windows(2)
+                .map(|w| (w[1].at_ns - w[0].at_ns) as f64)
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64
+        };
+        let poisson = var(Arrival::Poisson { rate_hz: 50_000.0 });
+        let bursty = var(Arrival::Bursty {
+            rate_hz: 50_000.0,
+            burst: 8.0,
+            switch_p: 0.05,
+        });
+        assert!(
+            bursty > poisson * 1.5,
+            "bursty {bursty} not clustered vs poisson {poisson}"
+        );
+    }
+
+    #[test]
+    fn pareto_sizes_are_bounded_and_heavy_tailed() {
+        let cfg = TrafficConfig {
+            horizon_ns: 20_000_000,
+            ..TrafficConfig::new(1)
+        };
+        let s = TrafficSchedule::generate(&cfg, 2);
+        let sizes: Vec<u32> = s.flows[1].iter().map(|f| f.bytes).collect();
+        assert!(sizes.iter().all(|&b| (64..=4096).contains(&b)));
+        let small = sizes.iter().filter(|&&b| b < 256).count();
+        let large = sizes.iter().filter(|&&b| b > 2048).count();
+        assert!(
+            small > large * 2,
+            "most requests small ({small} vs {large})"
+        );
+        assert!(large > 0, "tail reaches large sizes");
+    }
+}

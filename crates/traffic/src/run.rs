@@ -1,0 +1,459 @@
+//! Drive a [`TrafficSchedule`] over the AM service tier and report
+//! latency quantiles, offered load vs goodput, and a fingerprint hash.
+//!
+//! Each flow is one request/response exchange: the client `store_async`s
+//! the sampled payload into the server's landing buffer; the store's
+//! remote handler (running in request context on the server) counts it
+//! served and replies one word carrying the flow index; the client-side
+//! reply handler timestamps completion. Open-loop: a client waits (polling
+//! the network) until each flow's scheduled instant, issues it, and only
+//! blocks for outstanding responses after its whole schedule is issued.
+
+use crate::{Fnv, TrafficConfig, TrafficSchedule};
+use parking_lot::Mutex;
+use sp_adapter::{RoutePolicy, SpConfig};
+use sp_am::{Am, AmArgs, AmConfig, AmEnv, AmMachine, GlobalPtr, HandlerId};
+use sp_sim::{Dur, Time};
+use sp_trace::Digest;
+use std::sync::Arc;
+
+/// Handler id of the server-side store handler (registration order is
+/// identical on every node, so ids are global constants).
+const SERVE: HandlerId = 0;
+/// Handler id of the client-side response handler.
+const RESP: HandlerId = 1;
+/// Handler id of the tree-barrier arrival notification (child → parent).
+const ARRIVE: HandlerId = 2;
+/// Handler id of the tree-barrier release wave (parent → child).
+const RELEASE: HandlerId = 3;
+
+/// Tree-barrier fan: children per parent. The AM layer's flat barrier
+/// funnels every arrival into node 0 — an n-way incast whose
+/// retransmission storm makes it quadratic in machine size (hundreds of
+/// virtual ms at 512 nodes). Bounding the fan-in keeps every hop within
+/// FIFO capacity: O(n) packets, O(log n) depth.
+const BARRIER_FAN: usize = 8;
+
+/// One completed flow: `(client, flow index, scheduled ns, completed ns,
+/// payload bytes)`.
+pub type Sample = (usize, u32, u64, u64, u32);
+
+/// What one traffic run measured.
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// Machine size.
+    pub nodes: usize,
+    /// Server count (nodes `0..servers`).
+    pub servers: usize,
+    /// Requests issued (== requests completed; delivery is reliable).
+    pub flows: usize,
+    /// Final virtual time.
+    pub end_ns: u64,
+    /// Engine events executed.
+    pub events: u64,
+    /// Wall-clock duration of the run.
+    pub wall: std::time::Duration,
+    /// Engine shards the run used after the adaptive fallback (1 = serial).
+    pub shards: usize,
+    /// Median request latency (scheduled instant → response landed), ns.
+    pub p50_ns: u64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency, ns.
+    pub p999_ns: u64,
+    /// Worst latency, ns (exact).
+    pub max_ns: u64,
+    /// Offered payload load over the generation horizon, MB/s.
+    pub offered_mb_s: f64,
+    /// Delivered payload over the whole run (arrivals through the last
+    /// response), MB/s — plateaus at fabric capacity past saturation.
+    pub goodput_mb_s: f64,
+    /// Packets lost to receive-FIFO overflow (the incast loss source).
+    pub dropped_overflow: u64,
+    /// Packets dropped inside the switch fabric (0 without fault injection).
+    pub switch_dropped: u64,
+    /// FNV-1a fingerprint over every sample and the machine counters; the
+    /// serial ≡ parallel determinism assertion compares this.
+    pub hash: u64,
+}
+
+#[derive(Default)]
+struct NodeState {
+    served: u64,
+    done: Vec<(u32, u64)>,
+    /// Per-generation tree-barrier arrival counts (start, completion).
+    barrier_arrived: [u32; 2],
+    /// Per-generation release flags.
+    barrier_released: [bool; 2],
+    /// Common schedule epoch broadcast in the start barrier's release
+    /// wave: every client paces its flows at `epoch + at_ns`.
+    epoch_ns: u64,
+}
+
+fn serve_handler(env: &mut AmEnv<'_, NodeState>, args: AmArgs) {
+    env.state.served += 1;
+    env.reply_1(RESP, args.a[0]);
+}
+
+fn resp_handler(env: &mut AmEnv<'_, NodeState>, args: AmArgs) {
+    let now = env.now().as_ns();
+    env.state.done.push((args.a[0], now));
+}
+
+fn arrive_handler(env: &mut AmEnv<'_, NodeState>, args: AmArgs) {
+    env.state.barrier_arrived[args.a[0] as usize] += 1;
+}
+
+fn release_handler(env: &mut AmEnv<'_, NodeState>, args: AmArgs) {
+    env.state.barrier_released[args.a[0] as usize] = true;
+    env.state.epoch_ns = args.a[1] as u64;
+}
+
+/// Margin the barrier root adds when stamping the schedule epoch: enough
+/// virtual time for the release wave to reach the deepest leaf, so every
+/// client starts pacing *before* the epoch and the open-loop schedule is
+/// preserved (a flow issued at `epoch + at_ns` is never already late).
+const EPOCH_MARGIN_NS: u64 = 300_000;
+
+/// One generation of the k-ary tree barrier. Both generations use their
+/// own counters: a fast subtree may start generation 1 while a slow peer
+/// is still finishing generation 0.
+///
+/// Returns the common schedule epoch: the root stamps `now + margin` into
+/// the release wave and every node receives the same value (0 for the
+/// completion generation, which has no schedule to pace).
+fn tree_barrier(am: &mut Am<'_, NodeState>, gen: u32) -> u64 {
+    let (me, n) = (am.node(), am.nodes());
+    let g = gen as usize;
+    let first_child = BARRIER_FAN * me + 1;
+    let children = first_child..(first_child + BARRIER_FAN).min(n);
+    let expected = children.len() as u32;
+    am.poll_until(move |s| s.barrier_arrived[g] >= expected);
+    let epoch = if me != 0 {
+        am.request_1((me - 1) / BARRIER_FAN, ARRIVE, gen);
+        am.poll_until(move |s| s.barrier_released[g]);
+        am.state().epoch_ns
+    } else if gen == 0 {
+        let e = am.now().as_ns() + EPOCH_MARGIN_NS;
+        debug_assert!(e <= u32::MAX as u64, "epoch must fit the release arg");
+        e
+    } else {
+        0
+    };
+    for child in children {
+        am.request_2(child, RELEASE, gen, epoch as u32);
+    }
+    epoch
+}
+
+/// Run `cfg`'s workload on the machine `sp` describes and measure it.
+///
+/// `sp` carries the topology, routing policy, and engine shard count.
+/// Adaptive routing is the sharded engine's one serial-only feature; such
+/// configurations fall back to one shard rather than panic in the split.
+pub fn run_traffic(cfg: &TrafficConfig, sp: SpConfig) -> TrafficReport {
+    let mut sp = sp;
+    if sp.switch.route_policy == RoutePolicy::Adaptive && sp.parallel > 1 {
+        sp.parallel = 1;
+    }
+    let shards = sp.parallel.max(1);
+    let nodes = sp.nodes;
+    let mut sched = TrafficSchedule::generate(cfg, nodes);
+    let total_flows = sched.total_flows();
+    let total_bytes = sched.total_bytes();
+    let landing = cfg.size.max_bytes().max(cfg.incast.map_or(0, |i| i.bytes));
+
+    // Per-server expected request counts, known up front because the whole
+    // schedule is. Servers poll until they served theirs.
+    let mut expect = vec![0u64; cfg.servers];
+    for f in sched.flows.iter().flatten() {
+        expect[f.server] += 1;
+    }
+
+    let am_cfg = AmConfig {
+        keepalive_polls: cfg.keepalive_polls,
+        ..AmConfig::default()
+    };
+    let mut m = AmMachine::new(sp, am_cfg, cfg.seed);
+    if let Some(budget) = cfg.event_budget {
+        m.set_event_budget(budget);
+    }
+    if let Some(cap) = cfg.recv_capacity {
+        // Applied before the engine splits the world, so the squeezed
+        // adapters ride onto their owner shards and serial/sharded runs
+        // still fingerprint identically.
+        m.configure_world(|w| {
+            for node in 0..nodes {
+                w.set_recv_capacity(node, cap);
+            }
+        });
+    }
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+
+    for (server, &expected) in expect.iter().enumerate() {
+        m.spawn(
+            format!("srv{server}"),
+            NodeState::default(),
+            move |am: &mut Am<'_, NodeState>| {
+                assert_eq!(am.register(serve_handler), SERVE);
+                assert_eq!(am.register(resp_handler), RESP);
+                assert_eq!(am.register(arrive_handler), ARRIVE);
+                assert_eq!(am.register(release_handler), RELEASE);
+                am.alloc(landing); // shared landing area at addr 0
+                tree_barrier(am, 0); // no store may beat the landing alloc
+                am.poll_until(move |s| s.served >= expected);
+                am.quiesce();
+                // Completion barrier: a busy peer defers loss recovery
+                // (keepalive probes need *consecutive* idle polls), so no
+                // fixed drain window is safe at scale — nobody exits until
+                // everybody's traffic is fully acknowledged.
+                tree_barrier(am, 1);
+                am.quiesce();
+                am.drain_quiet(Dur::ms(0.5));
+            },
+        );
+    }
+    for client in cfg.servers..nodes {
+        let flows = std::mem::take(&mut sched.flows[client]);
+        let out = samples.clone();
+        m.spawn(
+            format!("cli{client}"),
+            NodeState::default(),
+            move |am: &mut Am<'_, NodeState>| {
+                assert_eq!(am.register(serve_handler), SERVE);
+                assert_eq!(am.register(resp_handler), RESP);
+                assert_eq!(am.register(arrive_handler), ARRIVE);
+                assert_eq!(am.register(release_handler), RELEASE);
+                // The start barrier's release wave carries a common epoch
+                // stamped past the wave itself, so every client begins
+                // pacing *before* its first scheduled instant — without
+                // it, barrier completion (~1 ms of virtual time at 512
+                // nodes) would leave the whole schedule in the past and
+                // collapse the open loop into one synchronized burst.
+                let epoch = tree_barrier(am, 0);
+                let total = flows.len();
+                for (idx, f) in flows.iter().enumerate() {
+                    // Open loop: poll the network until the scheduled
+                    // instant, then issue regardless of outstanding flows.
+                    let at = Time(epoch + f.at_ns);
+                    while am.now() < at {
+                        am.drain(at - am.now());
+                    }
+                    let data = vec![0x5Au8; f.bytes as usize];
+                    am.store_async(
+                        GlobalPtr {
+                            node: f.server,
+                            addr: 0,
+                        },
+                        &data,
+                        Some(SERVE),
+                        &[idx as u32],
+                        None,
+                    );
+                }
+                am.poll_until(move |s| s.done.len() == total);
+                am.quiesce();
+                tree_barrier(am, 1); // see the server program: exit together
+                am.quiesce();
+                am.drain_quiet(Dur::ms(0.5));
+                // Samples are epoch-relative: schedule instant as
+                // generated, completion shifted back by the same common
+                // epoch, so latency and goodput read off the schedule's
+                // own clock.
+                let mut out = out.lock();
+                for &(idx, done_ns) in &am.state().done {
+                    let f = &flows[idx as usize];
+                    out.push((client, idx, f.at_ns, done_ns - epoch, f.bytes));
+                }
+            },
+        );
+    }
+
+    let report = m.run().expect("traffic run completes");
+    // Client threads finish in nondeterministic wall order; the sample
+    // stream itself is virtual-time deterministic once sorted.
+    let mut samples = std::mem::take(&mut *samples.lock());
+    samples.sort_unstable();
+    assert_eq!(samples.len(), total_flows, "every flow completes");
+
+    let mut lat = Digest::new();
+    for &(_, _, at_ns, done_ns, _) in &samples {
+        lat.observe(done_ns.saturating_sub(at_ns));
+    }
+
+    // Deliberately NOT hashed: `events` (the sharded engine executes a few
+    // extra window-bookkeeping events) and wall time. Everything below is
+    // virtual-time state that serial and sharded runs must agree on.
+    let mut h = Fnv::new();
+    h.write(report.end_time.as_ns());
+    for &(client, idx, at_ns, done_ns, bytes) in &samples {
+        h.write(client as u64);
+        h.write(idx as u64);
+        h.write(at_ns);
+        h.write(done_ns);
+        h.write(bytes as u64);
+    }
+    for node in 0..nodes {
+        let a = report.world.adapter_stats(node);
+        h.write(a.sent);
+        h.write(a.received);
+        h.write(a.dropped_overflow);
+    }
+    let sw = report.world.switch.stats();
+    h.write(sw.delivered);
+    h.write(sw.dropped);
+    h.write(sw.wire_bytes);
+    h.write(sw.hops);
+
+    let end_ns = report.end_time.as_ns();
+    // Goodput is measured to the last response landing, not to `end_ns`:
+    // the completion barrier and drain windows add a milliseconds-scale
+    // tail that would otherwise make an idle fabric look saturated.
+    // Clamped below by the horizon so an under-loaded run that finishes
+    // early reads as goodput == offered, not goodput > offered.
+    let last_done_ns = samples
+        .iter()
+        .map(|&(_, _, _, done_ns, _)| done_ns)
+        .max()
+        .unwrap_or(0)
+        .max(cfg.horizon_ns);
+    TrafficReport {
+        nodes,
+        servers: cfg.servers,
+        flows: total_flows,
+        end_ns,
+        events: report.events,
+        wall: report.wall,
+        shards,
+        p50_ns: lat.quantile_ns(0.50),
+        p99_ns: lat.quantile_ns(0.99),
+        p999_ns: lat.quantile_ns(0.999),
+        max_ns: lat.max_ns(),
+        offered_mb_s: total_bytes as f64 / (cfg.horizon_ns as f64 / 1e9) / 1e6,
+        goodput_mb_s: total_bytes as f64 / (last_done_ns.max(1) as f64 / 1e9) / 1e6,
+        dropped_overflow: report.dropped_overflow,
+        switch_dropped: report.switch_dropped,
+        hash: h.finish(),
+    }
+}
+
+/// One point of a saturation curve.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Arrival-rate multiplier applied to the base workload.
+    pub scale: f64,
+    /// The measurement at that load.
+    pub report: TrafficReport,
+}
+
+/// Sweep the arrival rate by `scales` and measure each point — the
+/// offered-load vs goodput saturation curve for `sp`'s routing policy.
+pub fn saturation_sweep(base: &TrafficConfig, sp: &SpConfig, scales: &[f64]) -> Vec<LoadPoint> {
+    scales
+        .iter()
+        .map(|&scale| LoadPoint {
+            scale,
+            report: run_traffic(&base.clone().scaled(scale), sp.clone()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_switch::Topology;
+
+    fn small_fabric() -> SpConfig {
+        // 4 leaf frames x 4 nodes under one spine tier: 16 nodes.
+        SpConfig::with_topology(Topology::fat_tree_custom(2, 4, 1, 4, 4))
+    }
+
+    #[test]
+    fn small_fat_tree_run_completes_and_measures() {
+        let cfg = TrafficConfig {
+            horizon_ns: 200_000,
+            ..TrafficConfig::new(2)
+        };
+        let r = run_traffic(&cfg, small_fabric());
+        assert!(r.flows > 0);
+        assert!(r.p50_ns > 0 && r.p50_ns <= r.p99_ns && r.p99_ns <= r.max_ns);
+        assert!(r.goodput_mb_s > 0.0);
+        assert_eq!(r.switch_dropped, 0, "no faults injected");
+    }
+
+    #[test]
+    #[ignore = "diagnostic: convergence under deep overload"]
+    fn overload_probe() {
+        // ~5x server overload: 14 clients at 166 kHz against 2 servers
+        // whose request path costs ~4.3 us each.
+        let cfg = TrafficConfig {
+            horizon_ns: 60_000,
+            arrival: crate::Arrival::Poisson { rate_hz: 166_000.0 },
+            event_budget: Some(50_000_000),
+            ..TrafficConfig::new(2)
+        };
+        let r = run_traffic(&cfg, small_fabric());
+        eprintln!(
+            "flows={} end_ns={} events={} drops={}",
+            r.flows, r.end_ns, r.events, r.dropped_overflow
+        );
+    }
+
+    #[test]
+    #[ignore = "diagnostic: 512-node convergence"]
+    fn big_fabric_probe() {
+        let rate: f64 = std::env::var("PROBE_RATE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2_200.0);
+        let shards: usize = std::env::var("PROBE_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        let servers: usize = std::env::var("PROBE_SERVERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8);
+        let radix: usize = std::env::var("PROBE_RADIX")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        let budget: u64 = std::env::var("PROBE_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let cfg = TrafficConfig {
+            horizon_ns: 60_000,
+            arrival: crate::Arrival::Poisson { rate_hz: rate },
+            event_budget: (budget > 0).then_some(budget),
+            ..TrafficConfig::new(servers)
+        };
+        let sp = SpConfig::fat_tree(2, radix, 1).parallel(shards);
+        let t0 = std::time::Instant::now();
+        let r = run_traffic(&cfg, sp);
+        eprintln!(
+            "rate={rate} shards={} flows={} end_ns={} events={} drops={} wall={:?} total={:?}",
+            r.shards,
+            r.flows,
+            r.end_ns,
+            r.events,
+            r.dropped_overflow,
+            r.wall,
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn adaptive_parallel_falls_back_to_serial() {
+        let cfg = TrafficConfig {
+            horizon_ns: 100_000,
+            ..TrafficConfig::new(2)
+        };
+        let r = run_traffic(
+            &cfg,
+            small_fabric().routed(RoutePolicy::Adaptive).parallel(4),
+        );
+        assert_eq!(r.shards, 1, "adaptive runs serial");
+        assert!(r.flows > 0);
+    }
+}

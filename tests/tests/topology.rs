@@ -1,0 +1,220 @@
+//! Property battery for the hierarchical fat-tree topology model.
+//!
+//! Random fabric shapes (levels, radix, oversubscription, frame fill, lane
+//! width) are expanded into routes and checked structurally: every path
+//! must be a connected chain of links that exist, climb to exactly the
+//! common tier, stay on one spine plane, and land on the destination; link
+//! ids must be dense and classify back to their coordinates; and the route
+//! index must cycle the first-tier lane set. The flat-topology goldens
+//! (`golden.rs`) ride along untouched — single-frame and frames-of-16
+//! shapes must stay byte-identical to the seed.
+
+use proptest::prelude::*;
+use sp_switch::{LinkClass, Topology};
+
+/// Clamp a random (levels, radix) pair so the tree stays test-sized
+/// (`radix^(levels-1)` leaf frames, at most 64).
+fn shape(levels: usize, radix: usize) -> (usize, usize) {
+    let mut levels = levels;
+    while radix.pow(levels as u32 - 1) > 64 {
+        levels -= 1;
+    }
+    (levels, radix)
+}
+
+/// Walk `path(src, dst, route)` and check it is a connected spine chain.
+fn check_path(t: &Topology, src: usize, dst: usize, route: usize) {
+    let (fs, fd) = (t.frame_of(src), t.frame_of(dst));
+    let path = t.path(src, dst, route);
+    let links = path.links();
+    assert_eq!(path.hops(), t.hops(src, dst), "hops({src},{dst})");
+
+    // Endpoints.
+    assert_eq!(links[0], t.inj_link(src));
+    assert_eq!(links[links.len() - 1], t.ej_link(dst));
+    for &l in links {
+        assert!((l as usize) < t.num_links(), "link {l} out of range");
+    }
+    if fs == fd {
+        assert_eq!(links.len(), 2, "intra-frame is adapter + one stage");
+        return;
+    }
+
+    let top = t.common_tier(fs, fd);
+    assert_eq!(links.len(), 2 + 2 * top, "tier-correct hop count");
+    // Climb: tier t leaves the unit containing the source frame. The
+    // spine plane must be the same on the way up and down at each tier
+    // (one physical middle switch), and nested units must contain the
+    // endpoint frame all the way to the common tier.
+    let mut planes = vec![0usize; top + 1];
+    for i in 0..top {
+        let LinkClass::Up { tier, unit, lane } = t.classify_link(links[1 + i]) else {
+            panic!("climb link {i} is not an up-link");
+        };
+        assert_eq!(tier, i + 1, "up-links climb one tier at a time");
+        assert_eq!(unit, fs / radix_pow(t, i), "unit contains src frame");
+        assert!(lane < t.tier_lanes(tier));
+        planes[tier] = lane;
+        assert_eq!(
+            t.up_link(tier, unit, lane),
+            links[1 + i],
+            "classify inverts"
+        );
+    }
+    for i in 0..top {
+        let LinkClass::Down { tier, unit, lane } = t.classify_link(links[1 + top + i]) else {
+            panic!("descent link {i} is not a down-link");
+        };
+        assert_eq!(tier, top - i, "down-links descend one tier at a time");
+        assert_eq!(unit, fd / radix_pow(t, tier - 1), "unit contains dst frame");
+        assert_eq!(lane, planes[tier], "same spine plane up and down");
+        assert_eq!(
+            t.down_link(tier, unit, lane),
+            links[1 + top + i],
+            "classify inverts"
+        );
+    }
+    // The turn happens inside one tier-`top` group: the up-link's unit and
+    // the first down-link's unit are siblings under the same group.
+    let LinkClass::Up { unit: u_top, .. } = t.classify_link(links[top]) else {
+        unreachable!()
+    };
+    let LinkClass::Down { unit: d_top, .. } = t.classify_link(links[top + 1]) else {
+        unreachable!()
+    };
+    let radix = radix_of(t);
+    assert_eq!(u_top / radix, d_top / radix, "one spine group at the top");
+}
+
+fn radix_of(t: &Topology) -> usize {
+    match *t {
+        Topology::FatTree { radix, .. } => radix,
+        _ => panic!("fat tree expected"),
+    }
+}
+
+fn radix_pow(t: &Topology, e: usize) -> usize {
+    radix_of(t).pow(e as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Every route of every node pair expands into a connected,
+    /// tier-correct chain of in-range links on a random fabric shape.
+    #[test]
+    fn prop_fat_tree_paths_are_connected_chains(
+        raw_levels in 2usize..5,
+        radix in 2usize..5,
+        oversub in 1usize..4,
+        npf in 1usize..5,
+        cables in 1usize..6,
+    ) {
+        let (levels, radix) = shape(raw_levels, radix);
+        let t = Topology::fat_tree_custom(levels, radix, oversub, npf, cables);
+        let n = t.nodes();
+        // Sample pairs: all pairs would be O(n^2) on the widest shapes.
+        for src in 0..n.min(9) {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                for route in 0..t.tier_lanes(1) + 1 {
+                    check_path(&t, src, dst, route);
+                }
+            }
+        }
+    }
+
+    /// Link ids are dense (`0..num_links`) and `classify_link` round-trips
+    /// through the typed coordinates for every id.
+    #[test]
+    fn prop_fat_tree_link_ids_dense_and_invertible(
+        raw_levels in 2usize..5,
+        radix in 2usize..5,
+        oversub in 1usize..4,
+        cables in 1usize..6,
+    ) {
+        let (levels, radix) = shape(raw_levels, radix);
+        let t = Topology::fat_tree_custom(levels, radix, oversub, 4, cables);
+        let n = t.nodes();
+        for link in 0..t.num_links() as sp_switch::LinkId {
+            match t.classify_link(link) {
+                LinkClass::Inj(node) => prop_assert_eq!(t.inj_link(node), link),
+                LinkClass::Ej(node) => prop_assert_eq!(t.ej_link(node), link),
+                LinkClass::Up { tier, unit, lane } => {
+                    prop_assert!(tier >= 1 && tier <= t.spine_tiers());
+                    prop_assert!(unit < t.tier_units(tier) && lane < t.tier_lanes(tier));
+                    prop_assert_eq!(t.up_link(tier, unit, lane), link);
+                }
+                LinkClass::Down { tier, unit, lane } => {
+                    prop_assert!(tier >= 1 && tier <= t.spine_tiers());
+                    prop_assert!(unit < t.tier_units(tier) && lane < t.tier_lanes(tier));
+                    prop_assert_eq!(t.down_link(tier, unit, lane), link);
+                }
+                LinkClass::Cable { .. } => prop_assert!(false, "no flat cables in a fat tree"),
+            }
+        }
+        prop_assert_eq!(n, t.frames() * npf_of(&t));
+    }
+
+    /// The route index cycles the candidate path set: the first
+    /// `tier_lanes(1)` routes are pairwise distinct and the sequence is
+    /// periodic in `tier_lanes(1)` — the invariant round-robin spraying
+    /// relies on.
+    #[test]
+    fn prop_route_index_cycles_all_candidates(
+        raw_levels in 2usize..5,
+        radix in 2usize..5,
+        oversub in 1usize..4,
+        cables in 1usize..6,
+    ) {
+        let (levels, radix) = shape(raw_levels, radix);
+        let t = Topology::fat_tree_custom(levels, radix, oversub, 2, cables);
+        let n = t.nodes();
+        let (src, dst) = (0, n - 1); // deepest pair: climbs to the top tier
+        let w = t.tier_lanes(1);
+        let first: Vec<_> = (0..w).map(|r| t.path(src, dst, r)).collect();
+        for a in 0..w {
+            for b in a + 1..w {
+                prop_assert_ne!(first[a].links(), first[b].links());
+            }
+        }
+        // Route sequence is periodic in the first-tier lane count.
+        for r in 0..3 * w {
+            let p = t.path(src, dst, r);
+            prop_assert_eq!(p.links(), first[r % w].links());
+        }
+    }
+}
+
+fn npf_of(t: &Topology) -> usize {
+    match *t {
+        Topology::FatTree {
+            nodes_per_frame, ..
+        } => nodes_per_frame,
+        _ => panic!("fat tree expected"),
+    }
+}
+
+/// The seed's flat topologies are untouched by the fat-tree extension:
+/// exact link ids pinned by value (any drift would also break the golden
+/// trace hashes in `golden.rs`, this is the structural half).
+#[test]
+fn flat_topology_goldens_pinned() {
+    let single = Topology::single_frame(8);
+    assert_eq!(single.num_links(), 16);
+    assert_eq!(single.path(2, 5, 3).links(), &[2, 13]);
+
+    let multi = Topology::multi_frame(2, 16);
+    assert_eq!(multi.nodes(), 32);
+    assert_eq!(multi.num_links(), 2 * 32 + 2 * 2 * 4);
+    assert_eq!(multi.path(0, 16, 0).links(), &[0, 68, 48]);
+    assert_eq!(multi.path(0, 16, 5).links(), &[0, 69, 48]);
+    assert_eq!(multi.path(17, 1, 2).links(), &[17, 74, 33]);
+    assert_eq!(multi.hops(3, 4), 1);
+    assert_eq!(multi.hops(3, 20), 2);
+}
